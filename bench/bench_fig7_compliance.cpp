@@ -1,0 +1,81 @@
+// E2 — §6.1 + Fig 7: IEC 104 compliance and the tolerant parser.
+//
+// Runs both capture years through the strict parser (what Wireshark/stock
+// SCAPY would do: the legacy devices are 100% malformed) and the tolerant
+// parser (the paper's contribution: the same traffic decodes under an
+// IEC 101 legacy profile), then prints the per-device findings — including
+// the Fig 7 byte-level comparison of a correct vs malformed packet.
+#include "bench/common.hpp"
+#include "iec104/parser.hpp"
+
+using namespace uncharted;
+
+namespace {
+
+void report_year(const char* label, const sim::CaptureResult& capture,
+                 const core::NameMap& names) {
+  analysis::CaptureDataset::Options strict;
+  strict.parser_mode = iec104::ApduStreamParser::Mode::kStrict;
+  auto ds_strict = analysis::CaptureDataset::build(capture.packets, strict);
+  auto ds_tolerant = analysis::CaptureDataset::build(capture.packets);
+
+  std::printf("\n--- %s ---\n", label);
+  TextTable table("Per-device compliance (tolerant parser)");
+  table.header({"device", "I-APDUs", "non-standard", "detected profile"});
+  for (const auto& [ip, entry] : ds_tolerant.compliance()) {
+    if (entry.non_compliant == 0) continue;
+    table.row({core::name_of(names, ip), format_count(entry.i_apdus),
+               format_percent(static_cast<double>(entry.non_compliant) /
+                              static_cast<double>(entry.i_apdus), 0),
+               entry.profile.str()});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("strict parser:   %s APDUs decoded, %s failures\n",
+              format_count(ds_strict.stats().apdus).c_str(),
+              format_count(ds_strict.stats().apdu_failures).c_str());
+  std::printf("tolerant parser: %s APDUs decoded, %s failures (%s recovered as legacy)\n",
+              format_count(ds_tolerant.stats().apdus).c_str(),
+              format_count(ds_tolerant.stats().apdu_failures).c_str(),
+              format_count(ds_tolerant.stats().non_compliant_apdus).c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("E2: IEC 104 compliance / tolerant parsing",
+                      "Section 6.1, Fig 7, Hypothesis 2");
+
+  auto y1 = bench::y1_capture();
+  auto y2 = bench::y2_capture();
+  core::NameMap names = core::name_map(y1.topology);
+
+  report_year("Year 1", y1, names);
+  report_year("Year 2", y2, names);
+
+  // Fig 7: byte-level view of a correct packet vs the two malformed kinds.
+  std::printf("\nFig 7: wire comparison of one M_ME_NC_1 ASDU (ioa=4701, ca=37)\n");
+  iec104::Asdu asdu;
+  asdu.type = iec104::TypeId::M_ME_NC_1;
+  asdu.cot.cause = iec104::Cause::kSpontaneous;
+  asdu.common_address = 37;
+  asdu.objects.push_back({4701, iec104::ShortFloat{59.98f, {}}, std::nullopt});
+  for (auto [name, profile] :
+       {std::pair{"(b) correct IEC 104", iec104::CodecProfile::standard()},
+        std::pair{"(a) 1-octet COT (O53/O58/O28)", iec104::CodecProfile::legacy_cot()},
+        std::pair{"(c) 2-octet IOA (O37)", iec104::CodecProfile::legacy_ioa()}}) {
+    auto bytes = iec104::Apdu::make_i(0, 0, asdu).encode(profile);
+    std::printf("  %-32s %s\n", name, hex_dump(bytes.value()).c_str());
+    auto matches = iec104::detect_profiles(bytes.value());
+    std::printf("  %-32s profiles matching exactly: %zu\n", "", matches.size());
+  }
+
+  auto cmp = bench::comparison_table("\nPaper vs measured");
+  bench::compare_row(cmp, "devices 100% invalid under strict parsing (Y1)", "O37, O28",
+                     "see table above");
+  bench::compare_row(cmp, "devices 100% invalid under strict parsing (Y2)",
+                     "O37, O53, O58", "see table above");
+  bench::compare_row(cmp, "root cause", "IEC 101 legacy field widths",
+                     "1-octet COT / 2-octet IOA profiles");
+  std::printf("%s\n", cmp.render().c_str());
+  return 0;
+}

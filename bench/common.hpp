@@ -1,0 +1,56 @@
+// Shared scaffolding for the reproduction benches: capture generation at
+// the default evaluation scale, naming, and paper-vs-measured rendering.
+//
+// The paper's captures total ~8 h (Y1) and ~3 h (Y2); the benches default
+// to 1200 s / 450 s — the same 8:3 ratio at 1/24 scale — so every run
+// finishes in seconds while preserving all rate-derived shapes. Override
+// with UNCHARTED_BENCH_SCALE=<factor> (e.g. 24 regenerates the full size).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/analyzer.hpp"
+#include "core/names.hpp"
+#include "sim/capture.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace uncharted::bench {
+
+inline double bench_scale() {
+  const char* env = std::getenv("UNCHARTED_BENCH_SCALE");
+  if (!env) return 1.0;
+  double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+inline sim::CaptureResult y1_capture() {
+  return sim::generate_capture(sim::CaptureConfig::y1(1200.0 * bench_scale()));
+}
+
+inline sim::CaptureResult y2_capture() {
+  return sim::generate_capture(sim::CaptureConfig::y2(450.0 * bench_scale()));
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+/// One "paper vs measured" comparison row.
+inline void compare_row(TextTable& table, const std::string& metric,
+                        const std::string& paper, const std::string& measured) {
+  table.row({metric, paper, measured});
+}
+
+inline TextTable comparison_table(const std::string& title) {
+  TextTable t(title);
+  t.header({"metric", "paper", "measured"});
+  return t;
+}
+
+}  // namespace uncharted::bench

@@ -1,0 +1,96 @@
+#include "analysis/bandwidth.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "net/frame.hpp"
+
+namespace uncharted::analysis {
+
+namespace {
+TapProtocol classify(const net::DecodedFrame& frame) {
+  auto on = [&](std::uint16_t port) {
+    return frame.tcp.src_port == port || frame.tcp.dst_port == port;
+  };
+  if (on(2404)) return TapProtocol::kIec104;
+  if (on(4712)) return TapProtocol::kC37118;
+  if (on(102)) return TapProtocol::kIccp;
+  return TapProtocol::kOther;
+}
+}  // namespace
+
+std::string tap_protocol_name(TapProtocol p) {
+  switch (p) {
+    case TapProtocol::kIec104: return "IEC 104";
+    case TapProtocol::kC37118: return "C37.118";
+    case TapProtocol::kIccp: return "ICCP";
+    case TapProtocol::kOther: return "other";
+  }
+  return "?";
+}
+
+double BandwidthReport::duration_seconds() const {
+  double max_t = 0.0;
+  for (const auto& [proto, buckets] : series) {
+    if (!buckets.empty()) {
+      max_t = std::max(max_t, buckets.back().t_seconds + bucket_seconds);
+    }
+  }
+  return max_t;
+}
+
+double BandwidthReport::mean_rate_bps(TapProtocol p) const {
+  double dur = duration_seconds();
+  if (dur <= 0.0) return 0.0;
+  auto it = total_bytes.find(p);
+  return it == total_bytes.end() ? 0.0 : static_cast<double>(it->second) / dur;
+}
+
+BandwidthReport analyze_bandwidth(const std::vector<net::CapturedPacket>& packets,
+                                  double bucket_seconds) {
+  BandwidthReport out;
+  out.bucket_seconds = bucket_seconds;
+  if (packets.empty()) return out;
+  out.start_ts = packets.front().ts;
+
+  std::map<net::FlowKey, std::uint64_t> connection_bytes;
+  std::optional<Timestamp> prev_iec104;
+
+  for (const auto& pkt : packets) {
+    auto frame = net::decode_frame(pkt.data);
+    if (!frame) continue;
+    TapProtocol proto = classify(frame.value());
+    double rel = to_seconds(static_cast<DurationUs>(pkt.ts - out.start_ts));
+    auto bucket_index = static_cast<std::size_t>(rel / bucket_seconds);
+
+    auto& buckets = out.series[proto];
+    while (buckets.size() <= bucket_index) {
+      buckets.push_back(RateBucket{static_cast<double>(buckets.size()) * bucket_seconds,
+                                   0, 0});
+    }
+    buckets[bucket_index].bytes += pkt.data.size();
+    ++buckets[bucket_index].packets;
+    out.total_bytes[proto] += pkt.data.size();
+    ++out.total_packets[proto];
+
+    connection_bytes[net::FlowKey{frame->ip.src, frame->tcp.src_port, frame->ip.dst,
+                                  frame->tcp.dst_port}
+                         .canonical()] += frame->payload.size();
+
+    if (proto == TapProtocol::kIec104) {
+      if (prev_iec104) {
+        out.iec104_interarrival_s.add(
+            to_seconds(static_cast<DurationUs>(pkt.ts - *prev_iec104)));
+      }
+      prev_iec104 = pkt.ts;
+    }
+  }
+
+  out.top_connections.assign(connection_bytes.begin(), connection_bytes.end());
+  std::sort(out.top_connections.begin(), out.top_connections.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (out.top_connections.size() > 20) out.top_connections.resize(20);
+  return out;
+}
+
+}  // namespace uncharted::analysis

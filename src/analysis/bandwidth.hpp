@@ -1,0 +1,55 @@
+// Bandwidth and timing analysis — the first prong of the paper's approach
+// ("traffic analysis of TCP flows, bandwidth used, and timing
+// characteristics of the packets").
+//
+// Produces per-protocol byte/packet rate time series (bucketed), per-
+// connection byte totals, and packet inter-arrival statistics for the
+// IEC 104 traffic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/flow.hpp"
+#include "net/pcap.hpp"
+#include "util/stats.hpp"
+
+namespace uncharted::analysis {
+
+/// Protocol classes on the tap.
+enum class TapProtocol { kIec104, kC37118, kIccp, kOther };
+
+std::string tap_protocol_name(TapProtocol p);
+
+/// One bucket of a rate series.
+struct RateBucket {
+  double t_seconds = 0.0;  ///< bucket start, relative to capture start
+  std::uint64_t bytes = 0;
+  std::uint64_t packets = 0;
+};
+
+struct BandwidthReport {
+  double bucket_seconds = 0.0;
+  Timestamp start_ts = 0;
+  /// Byte/packet rate per protocol over time.
+  std::map<TapProtocol, std::vector<RateBucket>> series;
+  /// Whole-capture totals.
+  std::map<TapProtocol, std::uint64_t> total_bytes;
+  std::map<TapProtocol, std::uint64_t> total_packets;
+  /// Top talkers (canonical connection -> payload bytes), descending.
+  std::vector<std::pair<net::FlowKey, std::uint64_t>> top_connections;
+  /// IEC 104 packet inter-arrival statistics (all packets on port 2404).
+  RunningStats iec104_interarrival_s;
+
+  double duration_seconds() const;
+  /// Mean throughput for a protocol in bytes/second.
+  double mean_rate_bps(TapProtocol p) const;
+};
+
+/// Computes the report with the given time bucket (default 10 s).
+BandwidthReport analyze_bandwidth(const std::vector<net::CapturedPacket>& packets,
+                                  double bucket_seconds = 10.0);
+
+}  // namespace uncharted::analysis

@@ -1,0 +1,135 @@
+#include "analysis/classify.hpp"
+
+#include <algorithm>
+
+namespace uncharted::analysis {
+
+std::string station_type_description(StationType t) {
+  switch (t) {
+    case StationType::kType1: return "No secondary connection and I-format only";
+    case StationType::kType2: return "With secondary connection and U16&U32";
+    case StationType::kType3: return "U-format only";
+    case StationType::kType4: return "I-format only to both servers";
+    case StationType::kType5: return "Single server with both I and U formats";
+    case StationType::kType6: return "With secondary connection I-format and U16 only";
+    case StationType::kType7: return "Reset-backup: unanswered U16 keep-alives";
+    case StationType::kType8: return "Switchover observed (keep-alive then I100 + data)";
+  }
+  return "?";
+}
+
+std::vector<StationClassification> classify_stations(const CaptureDataset& dataset) {
+  const auto& records = dataset.records();
+
+  // station IP -> server IP -> profile
+  std::map<net::Ipv4Addr, std::map<net::Ipv4Addr, ConnectionProfile>> profiles;
+
+  for (const auto& [pair, indices] : dataset.connections()) {
+    if (indices.empty()) continue;
+    // The outstation owns port 2404 on its flows.
+    const auto& first = records[indices.front()];
+    net::Ipv4Addr station = first.flow.dst_port == iec104::kIec104Port
+                                ? first.flow.dst_ip
+                                : first.flow.src_ip;
+    net::Ipv4Addr server = station == pair.a ? pair.b : pair.a;
+
+    ConnectionProfile& p = profiles[station][server];
+    p.server = server;
+    bool seen_i = false;
+    for (std::size_t idx : indices) {
+      const auto& rec = records[idx];
+      bool from_station = rec.flow.src_ip == station;
+      switch (rec.apdu.apdu.format) {
+        case iec104::ApduFormat::kI:
+          if (from_station) {
+            ++p.i_from_station;
+          } else {
+            ++p.i_from_server;
+          }
+          seen_i = true;
+          if (rec.apdu.apdu.asdu &&
+              rec.apdu.apdu.asdu->type == iec104::TypeId::C_IC_NA_1) {
+            p.has_i100 = true;
+          }
+          break;
+        case iec104::ApduFormat::kU:
+          switch (rec.apdu.apdu.u_function) {
+            case iec104::UFunction::kTestFrAct:
+              ++p.u16;
+              if (!seen_i) p.u_before_i = true;
+              break;
+            case iec104::UFunction::kTestFrCon:
+              ++p.u32;
+              break;
+            case iec104::UFunction::kStartDtAct:
+            case iec104::UFunction::kStartDtCon:
+              ++p.startdt;
+              break;
+            default:
+              break;
+          }
+          break;
+        case iec104::ApduFormat::kS:
+          break;
+      }
+    }
+  }
+
+  std::vector<StationClassification> out;
+  for (auto& [station, by_server] : profiles) {
+    StationClassification sc;
+    sc.station = station;
+    for (auto& [server, p] : by_server) sc.connections.push_back(p);
+
+    std::size_t n_conn = sc.connections.size();
+    std::size_t i_conns = 0, u_only_conns = 0, dead_u16_conns = 0, healthy_u_conns = 0;
+    bool any_i100 = false, any_switchover = false, any_inband_test = false;
+    for (const auto& p : sc.connections) {
+      bool has_i = p.i_from_station + p.i_from_server > 0;
+      bool has_u = p.u16 + p.u32 > 0;
+      if (has_i) ++i_conns;
+      if (!has_i && has_u) {
+        ++u_only_conns;
+        if (p.u16 > 0 && p.u32 == 0) {
+          ++dead_u16_conns;
+        } else {
+          ++healthy_u_conns;
+        }
+      }
+      if (p.has_i100) any_i100 = true;
+      if (p.has_i100 && p.u_before_i && p.startdt > 0) any_switchover = true;
+      if (has_i && p.u16 > 0 && p.u32 > 0) any_inband_test = true;
+    }
+
+    if (any_switchover) {
+      sc.type = StationType::kType8;
+    } else if (i_conns >= 2) {
+      sc.type = StationType::kType4;
+    } else if (i_conns == 1 && dead_u16_conns > 0) {
+      sc.type = StationType::kType6;
+    } else if (i_conns == 1 && healthy_u_conns > 0) {
+      sc.type = StationType::kType2;
+    } else if (i_conns == 1 && any_inband_test) {
+      sc.type = StationType::kType5;
+    } else if (i_conns == 1) {
+      sc.type = StationType::kType1;
+    } else if (dead_u16_conns > 0 && healthy_u_conns == 0) {
+      sc.type = StationType::kType7;
+    } else {
+      sc.type = StationType::kType3;
+    }
+    (void)n_conn;
+    (void)any_i100;
+    out.push_back(std::move(sc));
+  }
+  return out;
+}
+
+std::map<StationType, std::size_t> type_histogram(
+    const std::vector<StationClassification>& stations) {
+  std::map<StationType, std::size_t> hist;
+  for (const auto& s : stations) ++hist[s.type];
+  return hist;
+}
+
+}  // namespace uncharted::analysis

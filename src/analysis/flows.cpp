@@ -1,0 +1,63 @@
+#include "analysis/flows.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace uncharted::analysis {
+
+FlowAnalysis analyze_flows(const net::FlowTable& table) {
+  FlowAnalysis out;
+  out.flows = table.flows();
+
+  std::map<net::Ipv4Addr, RejectBehaviour> rejects;
+
+  for (const auto& flow : out.flows) {
+    ++out.summary.total;
+    if (flow.lifetime() == net::FlowLifetime::kShortLived) {
+      ++out.summary.short_lived;
+      double duration = flow.duration_seconds();
+      out.short_lived_durations.add(duration);
+      if (duration < 1.0) {
+        ++out.summary.short_under_1s;
+      } else {
+        ++out.summary.short_over_1s;
+      }
+    } else {
+      ++out.summary.long_lived;
+    }
+
+    // Reject behaviours: the responder is the destination of the flow's
+    // initial SYN.
+    if (flow.saw_syn) {
+      net::Ipv4Addr responder = flow.key.dst_ip;
+      if (flow.syn_rejected_with_rst) {
+        auto& r = rejects[responder];
+        r.responder = responder;
+        ++r.rst_refused;
+      } else if (!flow.saw_synack && !flow.saw_fin && !flow.saw_rst &&
+                 flow.packets_rev == 0) {
+        auto& r = rejects[responder];
+        r.responder = responder;
+        ++r.syn_ignored;
+      } else if (flow.saw_synack && flow.saw_rst && !flow.saw_fin) {
+        auto& r = rejects[responder];
+        r.responder = responder;
+        ++r.reset_midway;
+      }
+    }
+  }
+
+  for (auto& [ip, r] : rejects) {
+    if (r.rst_refused + r.syn_ignored + r.reset_midway == 0) continue;
+    out.reject_behaviours.push_back(r);
+  }
+  std::sort(out.reject_behaviours.begin(), out.reject_behaviours.end(),
+            [](const RejectBehaviour& a, const RejectBehaviour& b) {
+              auto ta = a.rst_refused + a.syn_ignored + a.reset_midway;
+              auto tb = b.rst_refused + b.syn_ignored + b.reset_midway;
+              return ta > tb;
+            });
+  return out;
+}
+
+}  // namespace uncharted::analysis

@@ -1,0 +1,52 @@
+// TCP flow lifetime analysis (§6.2, Table 3, Fig 8, Fig 9).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/flow.hpp"
+#include "util/stats.hpp"
+
+namespace uncharted::analysis {
+
+/// The Table 3 rows.
+struct FlowSummary {
+  std::uint64_t total = 0;
+  std::uint64_t short_lived = 0;       ///< SYN and FIN/RST within capture
+  std::uint64_t long_lived = 0;
+  std::uint64_t short_under_1s = 0;    ///< short-lived lasting < 1 s
+  std::uint64_t short_over_1s = 0;
+
+  double short_fraction() const {
+    return total ? static_cast<double>(short_lived) / static_cast<double>(total) : 0.0;
+  }
+  double long_fraction() const {
+    return total ? static_cast<double>(long_lived) / static_cast<double>(total) : 0.0;
+  }
+  double under_1s_fraction_of_short() const {
+    return short_lived ? static_cast<double>(short_under_1s) /
+                             static_cast<double>(short_lived)
+                       : 0.0;
+  }
+};
+
+/// Fig 9: per responder, how backup connection attempts fail.
+struct RejectBehaviour {
+  net::Ipv4Addr responder;   ///< the outstation refusing/ignoring
+  std::uint64_t rst_refused = 0;   ///< SYN answered by RST
+  std::uint64_t syn_ignored = 0;   ///< SYN never answered
+  std::uint64_t reset_midway = 0;  ///< established then RST
+};
+
+struct FlowAnalysis {
+  FlowSummary summary;
+  LogHistogram short_lived_durations{-3, 3, 4};  ///< Fig 8 (1 ms .. 1000 s)
+  std::vector<RejectBehaviour> reject_behaviours; ///< sorted by total desc
+  std::vector<net::FlowRecord> flows;             ///< the raw records
+};
+
+/// Runs the full §6.2 analysis over a capture's flow table.
+FlowAnalysis analyze_flows(const net::FlowTable& table);
+
+}  // namespace uncharted::analysis

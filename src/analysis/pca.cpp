@@ -1,0 +1,127 @@
+#include "analysis/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace uncharted::analysis {
+
+namespace {
+
+/// Cyclic Jacobi rotation eigen-solver for a symmetric matrix.
+/// Returns eigenvalues on the diagonal and accumulates eigenvectors in V
+/// (columns).
+void jacobi_eigen(Matrix& a, Matrix& v) {
+  const std::size_t n = a.size();
+  v.assign(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) v[i][i] = 1.0;
+
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += a[p][q] * a[p][q];
+    }
+    if (off < 1e-22) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::fabs(a[p][q]) < 1e-18) continue;
+        double theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+
+        for (std::size_t i = 0; i < n; ++i) {
+          double aip = a[i][p], aiq = a[i][q];
+          a[i][p] = c * aip - s * aiq;
+          a[i][q] = s * aip + c * aiq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          double api = a[p][i], aqi = a[q][i];
+          a[p][i] = c * api - s * aqi;
+          a[q][i] = s * api + c * aqi;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          double vip = v[i][p], viq = v[i][q];
+          v[i][p] = c * vip - s * viq;
+          v[i][q] = s * vip + c * viq;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+double PcaResult::explained_by(std::size_t n) const {
+  double total = std::accumulate(eigenvalues.begin(), eigenvalues.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  double top = 0.0;
+  for (std::size_t i = 0; i < n && i < eigenvalues.size(); ++i) top += eigenvalues[i];
+  return top / total;
+}
+
+PcaResult pca(const Matrix& points, std::size_t dims) {
+  if (points.size() < 2) throw std::invalid_argument("pca: need at least 2 rows");
+  const std::size_t d = points[0].size();
+  dims = std::min(dims, d);
+
+  PcaResult out;
+  out.mean.assign(d, 0.0);
+  for (const auto& p : points) {
+    for (std::size_t i = 0; i < d; ++i) out.mean[i] += p[i];
+  }
+  for (auto& m : out.mean) m /= static_cast<double>(points.size());
+
+  // Covariance matrix.
+  Matrix cov(d, std::vector<double>(d, 0.0));
+  for (const auto& p : points) {
+    for (std::size_t i = 0; i < d; ++i) {
+      double di = p[i] - out.mean[i];
+      for (std::size_t j = i; j < d; ++j) {
+        cov[i][j] += di * (p[j] - out.mean[j]);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      cov[i][j] /= static_cast<double>(points.size() - 1);
+      cov[j][i] = cov[i][j];
+    }
+  }
+
+  Matrix vectors;
+  jacobi_eigen(cov, vectors);
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(d);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return cov[a][a] > cov[b][b]; });
+
+  out.eigenvalues.reserve(d);
+  out.components.reserve(d);
+  for (std::size_t r = 0; r < d; ++r) {
+    std::size_t idx = order[r];
+    out.eigenvalues.push_back(std::max(0.0, cov[idx][idx]));
+    std::vector<double> comp(d);
+    for (std::size_t i = 0; i < d; ++i) comp[i] = vectors[i][idx];
+    out.components.push_back(std::move(comp));
+  }
+
+  out.projected.reserve(points.size());
+  for (const auto& p : points) {
+    std::vector<double> proj(dims, 0.0);
+    for (std::size_t c = 0; c < dims; ++c) {
+      for (std::size_t i = 0; i < d; ++i) {
+        proj[c] += (p[i] - out.mean[i]) * out.components[c][i];
+      }
+    }
+    out.projected.push_back(std::move(proj));
+  }
+  return out;
+}
+
+}  // namespace uncharted::analysis

@@ -1,0 +1,25 @@
+// Principal Component Analysis via cyclic Jacobi eigendecomposition of the
+// covariance matrix — used to project session features to 2-D (Fig 10).
+#pragma once
+
+#include <vector>
+
+#include "analysis/kmeans.hpp"  // Matrix
+
+namespace uncharted::analysis {
+
+struct PcaResult {
+  std::vector<double> mean;                 ///< column means
+  Matrix components;                        ///< rows: eigenvectors, desc. eigenvalue
+  std::vector<double> eigenvalues;          ///< descending
+  Matrix projected;                         ///< input projected onto `dims` components
+
+  /// Fraction of variance captured by the first n components.
+  double explained_by(std::size_t n) const;
+};
+
+/// Computes PCA of row-major data and projects onto the top `dims`
+/// components. Requires at least 2 rows.
+PcaResult pca(const Matrix& points, std::size_t dims);
+
+}  // namespace uncharted::analysis

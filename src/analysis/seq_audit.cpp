@@ -1,0 +1,73 @@
+#include "analysis/seq_audit.hpp"
+
+namespace uncharted::analysis {
+
+namespace {
+constexpr std::uint16_t kModulo = 32768;
+
+/// Distance a - b modulo 2^15, mapped to [-16384, 16383].
+int seq_delta(std::uint16_t a, std::uint16_t b) {
+  int d = (a + kModulo - b) % kModulo;
+  if (d >= kModulo / 2) d -= kModulo;
+  return d;
+}
+
+struct DirState {
+  bool seen = false;
+  std::uint16_t expected_ns = 0;  ///< next N(S) we expect
+  SeqAuditEntry entry;
+};
+}  // namespace
+
+SeqAuditReport audit_sequences(const CaptureDataset& dataset) {
+  std::map<net::FlowKey, DirState> dirs;
+
+  for (const auto& rec : dataset.records()) {
+    const auto& apdu = rec.apdu.apdu;
+    auto& st = dirs[rec.flow];
+    st.entry.direction = rec.flow;
+
+    if (apdu.format == iec104::ApduFormat::kI) {
+      ++st.entry.i_apdus;
+      if (!st.seen) {
+        st.seen = true;  // anchor mid-stream
+        st.expected_ns = static_cast<std::uint16_t>((apdu.send_seq + 1) % kModulo);
+      } else {
+        int delta = seq_delta(apdu.send_seq, st.expected_ns);
+        if (delta == 0) {
+          st.expected_ns = static_cast<std::uint16_t>((apdu.send_seq + 1) % kModulo);
+        } else if (delta > 0) {
+          ++st.entry.gaps;
+          st.expected_ns = static_cast<std::uint16_t>((apdu.send_seq + 1) % kModulo);
+        } else if (delta == -1) {
+          ++st.entry.duplicates;  // same N(S) again: retransmitted APDU
+        } else {
+          ++st.entry.resets;
+          st.expected_ns = static_cast<std::uint16_t>((apdu.send_seq + 1) % kModulo);
+        }
+      }
+    }
+
+    // Acknowledgement audit: the N(R) in I/S frames must not exceed the
+    // peer direction's next N(S).
+    if (apdu.format == iec104::ApduFormat::kI || apdu.format == iec104::ApduFormat::kS) {
+      auto peer_it = dirs.find(rec.flow.reversed());
+      if (peer_it != dirs.end() && peer_it->second.seen) {
+        int ahead = seq_delta(apdu.recv_seq, peer_it->second.expected_ns);
+        if (ahead > 0) ++st.entry.ack_violations;
+      }
+    }
+  }
+
+  SeqAuditReport report;
+  for (auto& [key, st] : dirs) {
+    if (st.entry.i_apdus == 0 && st.entry.ack_violations == 0) continue;
+    report.total_gaps += st.entry.gaps;
+    report.total_duplicates += st.entry.duplicates;
+    report.total_ack_violations += st.entry.ack_violations;
+    report.entries.push_back(st.entry);
+  }
+  return report;
+}
+
+}  // namespace uncharted::analysis

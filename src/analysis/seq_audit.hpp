@@ -1,0 +1,36 @@
+// IEC 104 sequence-number audit: per directed connection, verify that
+// N(S) increments by one per I-APDU and that N(R) never acknowledges
+// beyond what was sent. Gaps indicate capture loss; regressions indicate
+// retransmission or endpoint restarts — both useful when judging capture
+// quality (the paper's long-lived flows start mid-stream, so the audit
+// anchors on the first observed value).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "analysis/dataset.hpp"
+
+namespace uncharted::analysis {
+
+struct SeqAuditEntry {
+  net::FlowKey direction;        ///< directed 4-tuple
+  std::uint64_t i_apdus = 0;
+  std::uint64_t gaps = 0;        ///< forward jumps in N(S) (lost frames)
+  std::uint64_t duplicates = 0;  ///< repeated N(S) (retransmissions)
+  std::uint64_t resets = 0;      ///< N(S) regressions (endpoint restart)
+  std::uint64_t ack_violations = 0;  ///< N(R) beyond peer's N(S)+1 window
+};
+
+struct SeqAuditReport {
+  std::vector<SeqAuditEntry> entries;  ///< only directions with I traffic
+  std::uint64_t total_gaps = 0;
+  std::uint64_t total_duplicates = 0;
+  std::uint64_t total_ack_violations = 0;
+};
+
+/// Audits every connection in the dataset.
+SeqAuditReport audit_sequences(const CaptureDataset& dataset);
+
+}  // namespace uncharted::analysis

@@ -1,0 +1,56 @@
+// Year-over-year topology comparison (Fig 6 / Table 2): which outstations
+// appeared, disappeared, and how their IOA populations drifted.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.hpp"
+
+namespace uncharted::analysis {
+
+/// What one capture reveals about one outstation.
+struct StationInventory {
+  net::Ipv4Addr station;
+  std::set<std::uint32_t> ioas;     ///< distinct IOAs observed in monitor data
+  std::uint64_t apdus = 0;
+};
+
+/// Inventory of every outstation IP in a capture.
+std::map<net::Ipv4Addr, StationInventory> station_inventory(const CaptureDataset& dataset);
+
+enum class StationChange { kAdded, kRemoved, kMoreIoas, kFewerIoas, kUnchanged };
+
+std::string station_change_name(StationChange c);
+
+struct TopologyDiffEntry {
+  net::Ipv4Addr station;
+  StationChange change = StationChange::kUnchanged;
+  std::size_t ioas_before = 0;
+  std::size_t ioas_after = 0;
+};
+
+struct TopologyDiff {
+  std::vector<TopologyDiffEntry> entries;
+  std::size_t added = 0;
+  std::size_t removed = 0;
+  std::size_t more_ioas = 0;
+  std::size_t fewer_ioas = 0;
+  std::size_t unchanged = 0;
+  /// Unchanged stations that actually report telemetry (IOAs > 0); pure
+  /// keep-alive RTUs show 0 IOAs in both years and would otherwise count.
+  std::size_t unchanged_reporting = 0;
+
+  double unchanged_fraction() const {
+    std::size_t total = entries.size();
+    return total ? static_cast<double>(unchanged) / static_cast<double>(total) : 0.0;
+  }
+};
+
+/// Compares two captures (e.g. Y1 vs Y2).
+TopologyDiff diff_topology(const CaptureDataset& before, const CaptureDataset& after);
+
+}  // namespace uncharted::analysis

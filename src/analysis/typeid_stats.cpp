@@ -1,0 +1,37 @@
+#include "analysis/typeid_stats.hpp"
+
+#include <algorithm>
+
+namespace uncharted::analysis {
+
+std::vector<std::pair<std::uint8_t, std::uint64_t>> TypeIdDistribution::sorted() const {
+  std::vector<std::pair<std::uint8_t, std::uint64_t>> out(counts.begin(), counts.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+TypeIdDistribution typeid_distribution(const CaptureDataset& dataset) {
+  TypeIdDistribution dist;
+  for (const auto& rec : dataset.records()) {
+    if (rec.apdu.apdu.format != iec104::ApduFormat::kI || !rec.apdu.apdu.asdu) continue;
+    ++dist.counts[static_cast<std::uint8_t>(rec.apdu.apdu.asdu->type)];
+    ++dist.total;
+  }
+  return dist;
+}
+
+TypeIdStations typeid_station_counts(const CaptureDataset& dataset) {
+  TypeIdStations out;
+  for (const auto& rec : dataset.records()) {
+    if (rec.apdu.apdu.format != iec104::ApduFormat::kI || !rec.apdu.apdu.asdu) continue;
+    // The outstation owns the IEC 104 port; commands from a server are
+    // attributed to the outstation they address.
+    net::Ipv4Addr station = rec.flow.src_port == iec104::kIec104Port ? rec.flow.src_ip
+                                                                     : rec.flow.dst_ip;
+    out.stations[static_cast<std::uint8_t>(rec.apdu.apdu.asdu->type)].insert(station);
+  }
+  return out;
+}
+
+}  // namespace uncharted::analysis

@@ -1,0 +1,124 @@
+#include "core/analyzer.hpp"
+
+#include "iec104/constants.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace uncharted::core {
+
+AnalysisReport CaptureAnalyzer::analyze(const std::vector<net::CapturedPacket>& packets,
+                                        const Options& options) {
+  analysis::CaptureDataset::Options ds_opts;
+  ds_opts.mode = options.mode;
+  ds_opts.parser_mode = options.parser_mode;
+  auto dataset = analysis::CaptureDataset::build(packets, ds_opts);
+
+  AnalysisReport report;
+  report.stats = dataset.stats();
+  report.flows = analysis::analyze_flows(dataset.flow_table());
+  report.compliance = dataset.compliance();
+  report.clustering = analysis::cluster_sessions(dataset, options.cluster_k);
+  report.chains = analysis::build_connection_chains(dataset);
+  report.station_types = analysis::classify_stations(dataset);
+  report.typeids = analysis::typeid_distribution(dataset);
+  report.typeid_stations = analysis::typeid_station_counts(dataset);
+  auto series = analysis::extract_time_series(dataset);
+  report.variance_ranking = analysis::rank_by_normalized_variance(series);
+  if (options.keep_series) report.series = std::move(series);
+  report.bandwidth = analysis::analyze_bandwidth(packets);
+  report.sequence_audit = analysis::audit_sequences(dataset);
+  return report;
+}
+
+Result<AnalysisReport> CaptureAnalyzer::analyze_file(const std::string& pcap_path,
+                                                     const Options& options) {
+  auto packets = net::PcapReader::read_file(pcap_path);
+  if (!packets) return packets.error();
+  return analyze(packets.value(), options);
+}
+
+std::string render_report(const AnalysisReport& report, const NameMap& names) {
+  std::string out;
+
+  out += "== Capture overview ==\n";
+  out += "packets: " + format_count(report.stats.packets) +
+         "  tcp: " + format_count(report.stats.tcp_packets) +
+         "  apdus: " + format_count(report.stats.apdus) +
+         "  non-compliant: " + format_count(report.stats.non_compliant_apdus) +
+         "  parse failures: " + format_count(report.stats.apdu_failures) + "\n\n";
+
+  out += "== TCP flows (Table 3) ==\n";
+  const auto& fs = report.flows.summary;
+  out += "total connections: " + format_count(fs.total) + "\n";
+  out += "short-lived: " + format_count(fs.short_lived) + " (" +
+         format_percent(fs.short_fraction(), 1) + "), of which <1s: " +
+         format_count(fs.short_under_1s) + " (" +
+         format_percent(fs.under_1s_fraction_of_short(), 1) + ")\n";
+  out += "long-lived: " + format_count(fs.long_lived) + " (" +
+         format_percent(fs.long_fraction(), 1) + ")\n\n";
+
+  if (!report.compliance.empty()) {
+    out += "== IEC 104 compliance (Fig 7) ==\n";
+    for (const auto& [ip, entry] : report.compliance) {
+      if (entry.non_compliant == 0) continue;
+      out += name_of(names, ip) + ": " + format_count(entry.non_compliant) + "/" +
+             format_count(entry.i_apdus) + " I-APDUs non-standard (profile " +
+             entry.profile.str() + ")\n";
+    }
+    out += "\n";
+  }
+
+  out += "== Session clusters (Figs 10-11) ==\n";
+  for (const auto& p : report.clustering.profiles) {
+    out += "cluster " + std::to_string(p.cluster) + ": n=" + std::to_string(p.size) +
+           "  dt=" + format_duration(p.mean_inter_arrival) + "  %I=" +
+           format_percent(p.pct_i, 0) + " %S=" + format_percent(p.pct_s, 0) +
+           " %U=" + format_percent(p.pct_u, 0) + "  -- " + p.interpretation + "\n";
+  }
+  out += "\n";
+
+  out += "== Markov chain clusters (Fig 13) ==\n";
+  std::size_t p11 = 0, square = 0, ellipse = 0;
+  for (const auto& c : report.chains) {
+    switch (c.cluster) {
+      case analysis::ChainCluster::kPoint11: ++p11; break;
+      case analysis::ChainCluster::kSquare: ++square; break;
+      case analysis::ChainCluster::kEllipse: ++ellipse; break;
+    }
+  }
+  out += "point(1,1): " + std::to_string(p11) + "  square: " + std::to_string(square) +
+         "  ellipse (I100): " + std::to_string(ellipse) + "\n\n";
+
+  out += "== Outstation types (Fig 17) ==\n";
+  auto hist = analysis::type_histogram(report.station_types);
+  for (const auto& [type, count] : hist) {
+    out += "type " + std::to_string(static_cast<int>(type)) + ": " +
+           std::to_string(count) + "  (" + analysis::station_type_description(type) +
+           ")\n";
+  }
+  out += "\n";
+
+  out += "== Bandwidth ==\n";
+  for (const auto& [proto, bytes] : report.bandwidth.total_bytes) {
+    out += analysis::tap_protocol_name(proto) + ": " + format_count(bytes) + " bytes (" +
+           format_double(report.bandwidth.mean_rate_bps(proto) / 1024.0, 1) + " KiB/s)\n";
+  }
+  out += "IEC 104 mean packet inter-arrival: " +
+         format_duration(report.bandwidth.iec104_interarrival_s.mean()) + "\n\n";
+
+  out += "== Sequence audit ==\n";
+  out += "gaps: " + format_count(report.sequence_audit.total_gaps) +
+         "  duplicates: " + format_count(report.sequence_audit.total_duplicates) +
+         "  ack violations: " + format_count(report.sequence_audit.total_ack_violations) +
+         "\n\n";
+
+  out += "== ASDU typeIDs (Table 7) ==\n";
+  for (const auto& [type, count] : report.typeids.sorted()) {
+    out += "I" + std::to_string(type) + ": " +
+           format_percent(report.typeids.percentage(type)) + " (" + format_count(count) +
+           ")\n";
+  }
+  return out;
+}
+
+}  // namespace uncharted::core

@@ -1,0 +1,68 @@
+// CaptureAnalyzer: the one-call public API — pcap in, full measurement
+// report out. Runs every analysis from the paper's §6 over a capture.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/classify.hpp"
+#include "analysis/dataset.hpp"
+#include "analysis/bandwidth.hpp"
+#include "analysis/flows.hpp"
+#include "analysis/markov.hpp"
+#include "analysis/physical.hpp"
+#include "analysis/seq_audit.hpp"
+#include "analysis/sessions.hpp"
+#include "analysis/topology_diff.hpp"
+#include "analysis/typeid_stats.hpp"
+#include "core/names.hpp"
+#include "util/expected.hpp"
+
+namespace uncharted::core {
+
+/// Everything §6 computes over one capture.
+struct AnalysisReport {
+  analysis::DatasetStats stats;
+  analysis::FlowAnalysis flows;
+  std::map<net::Ipv4Addr, analysis::CaptureDataset::ComplianceEntry> compliance;
+  analysis::SessionClustering clustering;
+  std::vector<analysis::ConnectionChain> chains;
+  std::vector<analysis::StationClassification> station_types;
+  analysis::TypeIdDistribution typeids;
+  analysis::TypeIdStations typeid_stations;
+  std::vector<analysis::VarianceRank> variance_ranking;
+  std::map<analysis::SeriesKey, analysis::TimeSeries> series;
+  analysis::BandwidthReport bandwidth;
+  analysis::SeqAuditReport sequence_audit;
+};
+
+class CaptureAnalyzer {
+ public:
+  struct Options {
+    analysis::ParseMode mode = analysis::ParseMode::kPerPacket;
+    iec104::ApduStreamParser::Mode parser_mode =
+        iec104::ApduStreamParser::Mode::kTolerant;
+    int cluster_k = 5;        ///< 0 = pick by elbow
+    bool keep_series = true;  ///< retain full time series in the report
+  };
+
+  /// Analyzes in-memory packets.
+  static AnalysisReport analyze(const std::vector<net::CapturedPacket>& packets,
+                                const Options& options);
+  static AnalysisReport analyze(const std::vector<net::CapturedPacket>& packets) {
+    return analyze(packets, Options{});
+  }
+
+  /// Reads and analyzes a pcap file.
+  static Result<AnalysisReport> analyze_file(const std::string& pcap_path,
+                                             const Options& options);
+  static Result<AnalysisReport> analyze_file(const std::string& pcap_path) {
+    return analyze_file(pcap_path, Options{});
+  }
+};
+
+/// Human-readable multi-section summary of a report.
+std::string render_report(const AnalysisReport& report, const NameMap& names);
+
+}  // namespace uncharted::core

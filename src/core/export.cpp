@@ -1,0 +1,78 @@
+#include "core/export.hpp"
+
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace uncharted::core {
+
+namespace {
+/// DOT identifiers: quote and escape token names like I_36.
+std::string dot_quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+}  // namespace
+
+std::string markov_to_dot(const analysis::MarkovChain& chain, const std::string& title) {
+  std::string out = "digraph markov {\n";
+  out += "  rankdir=LR;\n  node [shape=circle, fontsize=11];\n";
+  if (!title.empty()) {
+    out += "  label=" + dot_quote(title) + ";\n  labelloc=t;\n";
+  }
+  for (const auto& [node, successors] : chain.counts()) {
+    out += "  " + dot_quote(node) + ";\n";
+    for (const auto& [next, count] : successors) {
+      out += "  " + dot_quote(node) + " -> " + dot_quote(next) + " [label=\"" +
+             format_double(chain.probability(node, next), 2) + "\"];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string series_to_csv(const analysis::TimeSeries& series, Timestamp t0) {
+  std::string out = "t_seconds,value\n";
+  for (const auto& p : series.points) {
+    out += format_double(to_seconds(static_cast<DurationUs>(p.ts - t0)), 6) + "," +
+           format_double(p.value, 6) + "\n";
+  }
+  return out;
+}
+
+std::string clusters_to_csv(const analysis::SessionClustering& clustering) {
+  std::string out = "pc1,pc2,cluster,src,dst\n";
+  for (std::size_t i = 0; i < clustering.sessions.size(); ++i) {
+    const auto& proj = clustering.projection.projected[i];
+    out += format_double(proj[0], 6) + "," + format_double(proj.size() > 1 ? proj[1] : 0.0, 6) +
+           "," + std::to_string(clustering.clustering.assignment[i]) + "," +
+           clustering.sessions[i].src.str() + "," + clustering.sessions[i].dst.str() +
+           "\n";
+  }
+  return out;
+}
+
+std::string histogram_to_csv(const LogHistogram& hist) {
+  std::string out = "bin_low,bin_high,count\n";
+  for (std::size_t b = 0; b < hist.bin_count(); ++b) {
+    out += format_double(hist.edge(b), 9) + "," + format_double(hist.edge(b + 1), 9) +
+           "," + std::to_string(hist.count_at(b)) + "\n";
+  }
+  return out;
+}
+
+Status write_text_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return Err("open-failed", path);
+  std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  bool close_ok = std::fclose(f) == 0;
+  if (written != content.size() || !close_ok) return Err("write-failed", path);
+  return Status::Ok();
+}
+
+}  // namespace uncharted::core

@@ -1,0 +1,35 @@
+// Export utilities: Graphviz DOT for Markov chains (the paper's Figs
+// 12-16 are exactly these graphs) and CSV for time series, cluster
+// scatters and histograms, so the paper's plots can be redrawn from bench
+// output with any plotting tool.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "analysis/markov.hpp"
+#include "analysis/physical.hpp"
+#include "analysis/sessions.hpp"
+#include "util/expected.hpp"
+#include "util/stats.hpp"
+
+namespace uncharted::core {
+
+/// Renders a Markov chain as a Graphviz digraph with probability-labelled
+/// edges, e.g. for `dot -Tpng`.
+std::string markov_to_dot(const analysis::MarkovChain& chain,
+                          const std::string& title = "");
+
+/// CSV with header "t_seconds,value" (time relative to `t0`).
+std::string series_to_csv(const analysis::TimeSeries& series, Timestamp t0);
+
+/// CSV of the Fig 10 scatter: "pc1,pc2,cluster,src,dst".
+std::string clusters_to_csv(const analysis::SessionClustering& clustering);
+
+/// CSV of a log histogram: "bin_low,bin_high,count".
+std::string histogram_to_csv(const LogHistogram& hist);
+
+/// Writes a string to a file.
+Status write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace uncharted::core

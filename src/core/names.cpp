@@ -1,0 +1,31 @@
+#include "core/names.hpp"
+
+namespace uncharted::core {
+
+NameMap name_map(const sim::Topology& topology) {
+  NameMap names;
+  for (const auto& server : topology.servers) names[server.ip] = server.name;
+  for (const auto& os : topology.outstations) names[os.ip] = os.name();
+  return names;
+}
+
+NameMap infer_names(const analysis::CaptureDataset& dataset) {
+  NameMap names;
+  for (const auto& rec : dataset.records()) {
+    if (rec.flow.src_port == iec104::kIec104Port) {
+      names.emplace(rec.flow.src_ip, "station-" + rec.flow.src_ip.str());
+      names.emplace(rec.flow.dst_ip, "server-" + rec.flow.dst_ip.str());
+    } else if (rec.flow.dst_port == iec104::kIec104Port) {
+      names.emplace(rec.flow.dst_ip, "station-" + rec.flow.dst_ip.str());
+      names.emplace(rec.flow.src_ip, "server-" + rec.flow.src_ip.str());
+    }
+  }
+  return names;
+}
+
+std::string name_of(const NameMap& names, net::Ipv4Addr ip) {
+  auto it = names.find(ip);
+  return it == names.end() ? ip.str() : it->second;
+}
+
+}  // namespace uncharted::core

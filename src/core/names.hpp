@@ -1,0 +1,27 @@
+// Endpoint naming: maps IP addresses to the paper's C*/O* labels when the
+// topology is known (simulated captures), or to generic role-based names
+// inferred from traffic otherwise.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "analysis/dataset.hpp"
+#include "net/headers.hpp"
+#include "sim/topology.hpp"
+
+namespace uncharted::core {
+
+using NameMap = std::map<net::Ipv4Addr, std::string>;
+
+/// Names from a known topology (C1..C4, O1..O58).
+NameMap name_map(const sim::Topology& topology);
+
+/// Heuristic names from traffic alone: endpoints owning the IEC 104 port
+/// become "station-<ip>", the others "server-<ip>".
+NameMap infer_names(const analysis::CaptureDataset& dataset);
+
+/// Lookup with fallback to the dotted quad.
+std::string name_of(const NameMap& names, net::Ipv4Addr ip);
+
+}  // namespace uncharted::core

@@ -1,0 +1,88 @@
+#include "iccp/iccp.hpp"
+
+namespace uncharted::iccp {
+
+namespace {
+void write_string(ByteWriter& w, const std::string& s) {
+  w.u16be(static_cast<std::uint16_t>(s.size()));
+  for (char c : s) w.u8(static_cast<std::uint8_t>(c));
+}
+
+Result<std::string> read_string(ByteReader& r) {
+  auto len = r.u16be();
+  if (!len) return len.error();
+  auto bytes = r.bytes(len.value());
+  if (!bytes) return bytes.error();
+  return std::string(bytes->begin(), bytes->end());
+}
+}  // namespace
+
+std::vector<std::uint8_t> Message::encode() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32be(invoke_id);
+  write_string(w, association_name);
+  w.u16be(static_cast<std::uint16_t>(points.size()));
+  for (const auto& p : points) {
+    write_string(w, p.name);
+    w.f32le(static_cast<float>(p.value));
+    w.u8(p.quality);
+  }
+  w.u16be(static_cast<std::uint16_t>(names.size()));
+  for (const auto& n : names) write_string(w, n);
+  return w.take();
+}
+
+Result<Message> Message::decode(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  auto type = r.u8();
+  auto invoke = r.u32be();
+  if (!invoke) return Err("truncated", "iccp header");
+  if (type.value() < 1 || type.value() > 6) {
+    return Err("bad-iccp-type", std::to_string(type.value()));
+  }
+  Message m;
+  m.type = static_cast<MessageType>(type.value());
+  m.invoke_id = invoke.value();
+  auto assoc = read_string(r);
+  if (!assoc) return assoc.error();
+  m.association_name = assoc.value();
+
+  auto n_points = r.u16be();
+  if (!n_points) return n_points.error();
+  for (std::uint16_t i = 0; i < n_points.value(); ++i) {
+    PointValue p;
+    auto name = read_string(r);
+    if (!name) return name.error();
+    p.name = name.value();
+    auto value = r.f32le();
+    auto quality = r.u8();
+    if (!quality) return Err("truncated", "point value");
+    p.value = value.value();
+    p.quality = quality.value();
+    m.points.push_back(std::move(p));
+  }
+
+  auto n_names = r.u16be();
+  if (!n_names) return n_names.error();
+  for (std::uint16_t i = 0; i < n_names.value(); ++i) {
+    auto name = read_string(r);
+    if (!name) return name.error();
+    m.names.push_back(name.value());
+  }
+  if (!r.empty()) return Err("trailing-bytes");
+  return m;
+}
+
+std::vector<std::uint8_t> Message::to_wire() const { return iso_wrap_data(encode()); }
+
+Result<Message> from_wire(ByteReader& r) {
+  auto cotp_bytes = tpkt_unwrap(r);
+  if (!cotp_bytes) return cotp_bytes.error();
+  auto tpdu = CotpTpdu::decode(cotp_bytes.value());
+  if (!tpdu) return tpdu.error();
+  if (tpdu->type != CotpType::kData) return Err("not-data-tpdu");
+  return Message::decode(tpdu->payload);
+}
+
+}  // namespace uncharted::iccp

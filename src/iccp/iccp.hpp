@@ -1,0 +1,54 @@
+// Simplified ICCP (TASE.2) message layer.
+//
+// Real ICCP runs MMS over the full OSI stack; modelling that faithfully is
+// out of scope (and the paper leaves ICCP analysis to future work). This
+// layer implements the *shapes* that matter to traffic measurement — an
+// association handshake, periodic data-set transfer ("information
+// reports") between control centers, and point reads — in a compact TLV
+// encoding carried over COTP/TPKT. It is explicitly NOT wire-compatible
+// with MMS; DESIGN.md records the substitution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "iccp/tpkt.hpp"
+
+namespace uncharted::iccp {
+
+enum class MessageType : std::uint8_t {
+  kAssociationRequest = 1,
+  kAssociationResponse = 2,
+  kInformationReport = 3,  ///< periodic data-set value push
+  kReadRequest = 4,
+  kReadResponse = 5,
+  kConclude = 6,
+};
+
+/// One named point value in a report.
+struct PointValue {
+  std::string name;  ///< e.g. "KV.BUS7_VOLTAGE"
+  double value = 0.0;
+  std::uint8_t quality = 0;
+};
+
+struct Message {
+  MessageType type = MessageType::kInformationReport;
+  std::uint32_t invoke_id = 0;
+  std::string association_name;    ///< association messages
+  std::vector<PointValue> points;  ///< reports / read responses
+  std::vector<std::string> names;  ///< read requests
+
+  /// Serializes the application message (TLV body only).
+  std::vector<std::uint8_t> encode() const;
+  static Result<Message> decode(std::span<const std::uint8_t> bytes);
+
+  /// Full wire form: message -> COTP DT -> TPKT.
+  std::vector<std::uint8_t> to_wire() const;
+};
+
+/// Parses one TPKT-framed ICCP message from a stream reader.
+Result<Message> from_wire(ByteReader& r);
+
+}  // namespace uncharted::iccp

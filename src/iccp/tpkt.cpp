@@ -1,0 +1,99 @@
+#include "iccp/tpkt.hpp"
+
+namespace uncharted::iccp {
+
+std::vector<std::uint8_t> tpkt_wrap(std::span<const std::uint8_t> payload) {
+  ByteWriter w(payload.size() + 4);
+  w.u8(3);  // version
+  w.u8(0);  // reserved
+  w.u16be(static_cast<std::uint16_t>(payload.size() + 4));
+  w.bytes(payload);
+  return w.take();
+}
+
+Result<std::vector<std::uint8_t>> tpkt_unwrap(ByteReader& r) {
+  auto version = r.u8();
+  auto reserved = r.u8();
+  auto length = r.u16be();
+  if (!length) return Err("truncated", "tpkt header");
+  if (version.value() != 3) return Err("bad-tpkt-version", std::to_string(version.value()));
+  (void)reserved;
+  if (length.value() < 4) return Err("bad-tpkt-length");
+  auto body = r.bytes(length.value() - 4);
+  if (!body) return Err("truncated", "tpkt body");
+  return std::vector<std::uint8_t>(body->begin(), body->end());
+}
+
+std::vector<std::uint8_t> CotpTpdu::encode() const {
+  ByteWriter w;
+  switch (type) {
+    case CotpType::kData: {
+      w.u8(2);  // LI
+      w.u8(static_cast<std::uint8_t>(type));
+      w.u8(static_cast<std::uint8_t>(last_data_unit ? 0x80 : 0x00));  // TPDU-NR|EOT
+      break;
+    }
+    case CotpType::kConnectionRequest:
+    case CotpType::kConnectionConfirm:
+    case CotpType::kDisconnectRequest: {
+      w.u8(6);  // LI: code + dst(2) + src(2) + class(1)
+      w.u8(static_cast<std::uint8_t>(type));
+      w.u16be(dst_ref);
+      w.u16be(src_ref);
+      w.u8(0x00);  // class 0
+      break;
+    }
+  }
+  w.bytes(payload);
+  return w.take();
+}
+
+Result<CotpTpdu> CotpTpdu::decode(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  auto li = r.u8();
+  auto code = r.u8();
+  if (!code) return Err("truncated", "cotp header");
+
+  CotpTpdu tpdu;
+  switch (code.value()) {
+    case 0xf0: {
+      auto nr = r.u8();
+      if (!nr) return Err("truncated", "cotp dt");
+      tpdu.type = CotpType::kData;
+      tpdu.last_data_unit = nr.value() & 0x80;
+      break;
+    }
+    case 0xe0:
+    case 0xd0:
+    case 0x80: {
+      auto dst = r.u16be();
+      auto src = r.u16be();
+      auto cls = r.u8();
+      if (!cls) return Err("truncated", "cotp cr/cc");
+      tpdu.type = static_cast<CotpType>(code.value());
+      tpdu.dst_ref = dst.value();
+      tpdu.src_ref = src.value();
+      // Variable part (options) may follow within LI; skip it.
+      std::size_t consumed = 6;
+      if (li.value() > consumed) {
+        auto skipped = r.skip(li.value() - consumed);
+        if (!skipped.ok()) return skipped.error();
+      }
+      break;
+    }
+    default:
+      return Err("bad-cotp-type", std::to_string(code.value()));
+  }
+  auto rest = r.bytes(r.remaining());
+  tpdu.payload.assign(rest->begin(), rest->end());
+  return tpdu;
+}
+
+std::vector<std::uint8_t> iso_wrap_data(std::span<const std::uint8_t> payload) {
+  CotpTpdu dt;
+  dt.type = CotpType::kData;
+  dt.payload.assign(payload.begin(), payload.end());
+  return tpkt_wrap(dt.encode());
+}
+
+}  // namespace uncharted::iccp

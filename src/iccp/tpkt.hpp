@@ -1,0 +1,49 @@
+// TPKT (RFC 1006) and ISO 8073 COTP transport framing — the stack under
+// ICCP/TASE.2, which the paper's tap carried between control centers
+// ("communications between SCADA servers of different companies", Fig 5).
+//
+// Only what ICCP sessions need is implemented: TPKT version 3 packets,
+// COTP connection request/confirm and data TPDUs (class 0).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/expected.hpp"
+
+namespace uncharted::iccp {
+
+/// ISO transport over TCP uses port 102.
+constexpr std::uint16_t kIsoTsapPort = 102;
+
+/// Wraps a payload in a TPKT header (vsn=3, reserved=0, 16-bit length).
+std::vector<std::uint8_t> tpkt_wrap(std::span<const std::uint8_t> payload);
+
+/// Unwraps exactly one TPKT packet; errors on version/length problems.
+Result<std::vector<std::uint8_t>> tpkt_unwrap(ByteReader& r);
+
+/// COTP TPDU kinds we model.
+enum class CotpType : std::uint8_t {
+  kConnectionRequest = 0xe0,
+  kConnectionConfirm = 0xd0,
+  kData = 0xf0,
+  kDisconnectRequest = 0x80,
+};
+
+struct CotpTpdu {
+  CotpType type = CotpType::kData;
+  std::uint16_t dst_ref = 0;  ///< CR/CC/DR only
+  std::uint16_t src_ref = 0;  ///< CR/CC/DR only
+  bool last_data_unit = true; ///< DT only (EOT bit)
+  std::vector<std::uint8_t> payload;
+
+  /// Serializes the TPDU (without TPKT framing).
+  std::vector<std::uint8_t> encode() const;
+  static Result<CotpTpdu> decode(std::span<const std::uint8_t> bytes);
+};
+
+/// Convenience: payload -> COTP DT -> TPKT, ready for a TCP segment.
+std::vector<std::uint8_t> iso_wrap_data(std::span<const std::uint8_t> payload);
+
+}  // namespace uncharted::iccp

@@ -1,0 +1,93 @@
+// IEC 60870-5-101 serial link layer: FT1.2 frame format (IEC 60870-5-1)
+// and the link control field (IEC 60870-5-2).
+//
+// The paper's §6.1 finding — IEC 104 packets with IEC 101 field widths —
+// comes from substations upgraded from this protocol. Implementing the
+// serial side makes the upgrade path testable end-to-end: an ASDU encoded
+// with the 101 address widths, re-framed over TCP without reconfiguration,
+// is byte-identical to the malformed packets the paper captured.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "iec104/asdu.hpp"
+#include "util/bytes.hpp"
+#include "util/expected.hpp"
+
+namespace uncharted::iec101 {
+
+/// IEC 101 addressing: 1-octet COT, 1-octet common address, 2-octet IOA
+/// (one common configuration; the standard allows several widths).
+inline iec104::CodecProfile serial_profile() { return iec104::CodecProfile{1, 2, 1}; }
+
+/// Link function codes (primary station, PRM=1).
+enum class PrimaryFunction : std::uint8_t {
+  kResetRemoteLink = 0,
+  kTestLink = 2,
+  kUserDataConfirmed = 3,
+  kUserDataNoReply = 4,
+  kRequestStatus = 9,
+  kRequestClass1 = 10,
+  kRequestClass2 = 11,
+};
+
+/// Link function codes (secondary station, PRM=0).
+enum class SecondaryFunction : std::uint8_t {
+  kAck = 0,
+  kNack = 1,
+  kUserData = 8,
+  kNoData = 9,
+  kStatus = 11,
+};
+
+/// Link control field.
+struct LinkControl {
+  bool prm = true;   ///< 1 = from primary (master)
+  bool fcb = false;  ///< frame count bit (primary)
+  bool fcv = false;  ///< frame count valid (primary)
+  bool acd = false;  ///< access demand (secondary)
+  bool dfc = false;  ///< data flow control (secondary)
+  std::uint8_t function = 0;  ///< 4-bit function code
+
+  std::uint8_t encode() const;
+  static LinkControl decode(std::uint8_t octet);
+  bool operator==(const LinkControl&) const = default;
+};
+
+/// One FT1.2 frame.
+struct Ft12Frame {
+  enum class Kind {
+    kSingleChar,  ///< 0xE5 positive acknowledgement
+    kFixed,       ///< 0x10 start: control + address, no user data
+    kVariable,    ///< 0x68 start: control + address + ASDU
+  };
+
+  Kind kind = Kind::kFixed;
+  LinkControl control;
+  std::uint8_t address = 0;  ///< link address (1 octet configured here)
+  std::vector<std::uint8_t> user_data;  ///< serialized ASDU (variable frames)
+
+  static Ft12Frame single_char();
+  static Ft12Frame fixed(LinkControl control, std::uint8_t address);
+  static Ft12Frame variable(LinkControl control, std::uint8_t address,
+                            std::vector<std::uint8_t> asdu);
+
+  /// Serializes with start/length/checksum/stop octets.
+  std::vector<std::uint8_t> encode() const;
+};
+
+/// Decodes exactly one frame from the reader (leaves trailing bytes).
+/// Errors: bad start/stop octets, length mismatch, checksum mismatch.
+Result<Ft12Frame> decode_ft12(ByteReader& r);
+
+/// Convenience: frame an IEC 101 ASDU as confirmed user data.
+Result<Ft12Frame> frame_asdu(const iec104::Asdu& asdu, std::uint8_t link_address,
+                             bool fcb);
+
+/// Extracts and decodes the ASDU of a variable frame with the serial
+/// profile.
+Result<iec104::Asdu> unframe_asdu(const Ft12Frame& frame);
+
+}  // namespace uncharted::iec101

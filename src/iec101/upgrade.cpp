@@ -1,0 +1,14 @@
+#include "iec101/upgrade.hpp"
+
+namespace uncharted::iec101 {
+
+Result<std::vector<std::uint8_t>> UpgradeAdapter::reframe(const Ft12Frame& serial_frame,
+                                                          std::uint16_t ns,
+                                                          std::uint16_t nr) const {
+  auto asdu = unframe_asdu(serial_frame);
+  if (!asdu) return asdu.error();
+  auto apdu = iec104::Apdu::make_i(ns, nr, std::move(asdu).take());
+  return apdu.encode(config_.effective_profile());
+}
+
+}  // namespace uncharted::iec101

@@ -1,0 +1,52 @@
+// The 101 -> 104 upgrade path, modelling the §6.1 misconfiguration.
+//
+// When a serial substation is migrated to TCP/IP, its telecontrol
+// configuration (field widths for COT / common address / IOA) should be
+// changed to the IEC 104 values. The paper found devices whose
+// configuration survived the migration, producing IEC 104 framing around
+// IEC 101 field layouts. UpgradeAdapter reproduces both the correct and
+// the misconfigured migration so the tolerant parser can be exercised
+// against ground truth.
+#pragma once
+
+#include <vector>
+
+#include "iec101/ft12.hpp"
+#include "iec104/apdu.hpp"
+
+namespace uncharted::iec101 {
+
+/// Which parts of the serial configuration were (incorrectly) retained.
+struct UpgradeConfig {
+  bool keep_serial_cot = false;  ///< 1-octet cause (the O53/O58/O28 case)
+  bool keep_serial_ioa = false;  ///< 2-octet IOA (the O37 case)
+
+  /// Common address is widened to 2 octets by every vendor tool we model;
+  /// the paper observed only COT/IOA retention.
+  iec104::CodecProfile effective_profile() const {
+    iec104::CodecProfile p = iec104::CodecProfile::standard();
+    if (keep_serial_cot) p.cot_octets = 1;
+    if (keep_serial_ioa) p.ioa_octets = 2;
+    return p;
+  }
+};
+
+/// Converts serial-link traffic into IEC 104 APDUs as an upgraded RTU
+/// would emit them.
+class UpgradeAdapter {
+ public:
+  explicit UpgradeAdapter(UpgradeConfig config) : config_(config) {}
+
+  /// Re-frames the ASDU of a received FT1.2 frame as an IEC 104 I-format
+  /// APDU with the given sequence numbers. The ASDU content is preserved;
+  /// only the field widths follow the (possibly wrong) configuration.
+  Result<std::vector<std::uint8_t>> reframe(const Ft12Frame& serial_frame,
+                                            std::uint16_t ns, std::uint16_t nr) const;
+
+  const UpgradeConfig& config() const { return config_; }
+
+ private:
+  UpgradeConfig config_;
+};
+
+}  // namespace uncharted::iec101

@@ -1,0 +1,166 @@
+#include "iec104/connection.hpp"
+
+namespace uncharted::iec104 {
+
+namespace {
+constexpr std::uint16_t kSeqModulo = 32768;
+
+std::uint16_t seq_inc(std::uint16_t v) {
+  return static_cast<std::uint16_t>((v + 1) % kSeqModulo);
+}
+
+/// Distance a - b modulo 2^15.
+int seq_diff(std::uint16_t a, std::uint16_t b) {
+  return static_cast<int>((a + kSeqModulo - b) % kSeqModulo);
+}
+}  // namespace
+
+ConnectionEngine::ConnectionEngine(Role role, Timers timers, int k, int w)
+    : role_(role), timers_(timers), k_(k), w_(w) {}
+
+void ConnectionEngine::on_connected(Timestamp now) {
+  started_ = false;
+  vs_ = vr_ = ack_sent_ = peer_acked_ = 0;
+  recv_since_ack_ = 0;
+  last_activity_ = now;
+  t1_deadline_.reset();
+  t2_deadline_.reset();
+  test_outstanding_ = false;
+}
+
+int ConnectionEngine::unacked() const { return seq_diff(vs_, peer_acked_); }
+
+void ConnectionEngine::note_sent(Timestamp now) {
+  last_activity_ = now;
+  if (!t1_deadline_) {
+    t1_deadline_ = now + from_seconds(timers_.t1);
+  }
+}
+
+void ConnectionEngine::ack_peer(std::uint16_t nr) {
+  // The peer acknowledges everything below nr.
+  if (seq_diff(nr, peer_acked_) <= seq_diff(vs_, peer_acked_)) {
+    peer_acked_ = nr;
+  }
+  if (peer_acked_ == vs_ && !test_outstanding_) {
+    t1_deadline_.reset();  // nothing outstanding anymore
+  }
+}
+
+EngineSignals ConnectionEngine::on_apdu(Timestamp now, const Apdu& apdu) {
+  EngineSignals out;
+  last_activity_ = now;
+
+  switch (apdu.format) {
+    case ApduFormat::kU:
+      switch (apdu.u_function) {
+        case UFunction::kStartDtAct:
+          started_ = true;
+          out.to_send.push_back(Apdu::make_u(UFunction::kStartDtCon));
+          break;
+        case UFunction::kStopDtAct:
+          started_ = false;
+          out.to_send.push_back(Apdu::make_u(UFunction::kStopDtCon));
+          break;
+        case UFunction::kTestFrAct:
+          out.to_send.push_back(Apdu::make_u(UFunction::kTestFrCon));
+          break;
+        case UFunction::kStartDtCon:
+          started_ = true;
+          t1_deadline_.reset();
+          break;
+        case UFunction::kStopDtCon:
+          started_ = false;
+          t1_deadline_.reset();
+          break;
+        case UFunction::kTestFrCon:
+          test_outstanding_ = false;
+          if (peer_acked_ == vs_) t1_deadline_.reset();
+          break;
+      }
+      break;
+
+    case ApduFormat::kS:
+      ack_peer(apdu.recv_seq);
+      break;
+
+    case ApduFormat::kI: {
+      ack_peer(apdu.recv_seq);
+      // Accept in-sequence I APDUs; a real stack would close on a sequence
+      // error, we simply resynchronize (captures can start mid-stream).
+      if (apdu.send_seq == vr_) {
+        vr_ = seq_inc(vr_);
+      } else {
+        vr_ = seq_inc(apdu.send_seq);
+      }
+      ++recv_since_ack_;
+      if (!t2_deadline_) t2_deadline_ = now + from_seconds(timers_.t2);
+      if (recv_since_ack_ >= w_) {
+        out.to_send.push_back(Apdu::make_s(vr_));
+        ack_sent_ = vr_;
+        recv_since_ack_ = 0;
+        t2_deadline_.reset();
+      }
+      break;
+    }
+  }
+
+  // Responses (confirmations, S-format acks) refresh link activity but do
+  // not arm T1: the standard's send timer covers I-frames and act-type
+  // U-frames, which expect an answer — acks do not.
+  if (!out.to_send.empty()) last_activity_ = now;
+  return out;
+}
+
+EngineSignals ConnectionEngine::on_tick(Timestamp now) {
+  EngineSignals out;
+
+  // T1: an APDU we sent (I or TESTFR) was never acknowledged -> active close.
+  if (t1_deadline_ && now >= *t1_deadline_) {
+    out.close_connection = true;
+    return out;
+  }
+
+  // T2: owed acknowledgement for received I APDUs. An S-format ack does
+  // not arm T1 (nothing acknowledges an acknowledgement).
+  if (t2_deadline_ && now >= *t2_deadline_ && recv_since_ack_ > 0) {
+    out.to_send.push_back(Apdu::make_s(vr_));
+    ack_sent_ = vr_;
+    recv_since_ack_ = 0;
+    t2_deadline_.reset();
+    last_activity_ = now;
+  }
+
+  // T3: idle connection -> keep-alive test.
+  if (!test_outstanding_ && now >= last_activity_ + from_seconds(timers_.t3)) {
+    out.to_send.push_back(Apdu::make_u(UFunction::kTestFrAct));
+    test_outstanding_ = true;
+    note_sent(now);
+  }
+
+  return out;
+}
+
+std::optional<Apdu> ConnectionEngine::send_asdu(Timestamp now, Asdu asdu) {
+  if (!started_) return std::nullopt;
+  if (unacked() >= k_) return std::nullopt;  // window closed
+  Apdu apdu = Apdu::make_i(vs_, vr_, std::move(asdu));
+  vs_ = seq_inc(vs_);
+  ack_sent_ = vr_;
+  recv_since_ack_ = 0;
+  t2_deadline_.reset();
+  note_sent(now);
+  return apdu;
+}
+
+Apdu ConnectionEngine::start_dt(Timestamp now) {
+  note_sent(now);
+  return Apdu::make_u(UFunction::kStartDtAct);
+}
+
+Apdu ConnectionEngine::stop_dt(Timestamp now) {
+  note_sent(now);
+  return Apdu::make_u(UFunction::kStopDtAct);
+}
+
+}  // namespace uncharted::iec104

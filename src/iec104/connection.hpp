@@ -1,0 +1,90 @@
+// IEC 104 application-layer connection engine: sequence numbers, STARTDT /
+// STOPDT state, S-format acknowledgement policy (w), window limit (k) and
+// the four protocol timers T0–T3 (§4 of the paper).
+//
+// The engine is transport-agnostic and time-driven: callers feed it inbound
+// APDUs and clock ticks, and collect outbound APDUs / lifecycle signals.
+// The simulator builds both controlling (server) and controlled
+// (outstation) endpoints on top of it; tests drive timer semantics directly.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "iec104/apdu.hpp"
+#include "iec104/constants.hpp"
+#include "util/timebase.hpp"
+
+namespace uncharted::iec104 {
+
+/// Which side of the connection this engine plays.
+enum class Role {
+  kControlling,  ///< SCADA/control server: sends STARTDT, commands
+  kControlled,   ///< outstation/RTU: sends monitor data once started
+};
+
+/// What the engine wants the transport to do.
+struct EngineSignals {
+  std::vector<Apdu> to_send;
+  bool close_connection = false;  ///< T1 expiry: active close / switchover
+};
+
+class ConnectionEngine {
+ public:
+  ConnectionEngine(Role role, Timers timers = {}, int k = kDefaultK, int w = kDefaultW);
+
+  /// Transport connected (TCP established). Resets sequence state; the
+  /// connection starts in STOPDT per the standard.
+  void on_connected(Timestamp now);
+
+  /// Processes an inbound APDU; returns APDUs to send in response
+  /// (STARTDT/STOPDT/TESTFR confirmations, S-format acks per w).
+  EngineSignals on_apdu(Timestamp now, const Apdu& apdu);
+
+  /// Clock tick: emits TESTFR keep-alives on T3 idle and requests close on
+  /// T1 expiry (unacknowledged send or unanswered test).
+  EngineSignals on_tick(Timestamp now);
+
+  /// Queues an ASDU for I-format transmission. Returns the wire APDU when
+  /// transmission is currently allowed (started, window open).
+  std::optional<Apdu> send_asdu(Timestamp now, Asdu asdu);
+
+  /// Controlling side: request data transfer start.
+  Apdu start_dt(Timestamp now);
+  /// Controlling side: request data transfer stop.
+  Apdu stop_dt(Timestamp now);
+
+  bool started() const { return started_; }
+  std::uint16_t vs() const { return vs_; }
+  std::uint16_t vr() const { return vr_; }
+  /// I APDUs sent but not yet acknowledged by the peer.
+  int unacked() const;
+  /// I APDUs received since our last acknowledgement.
+  int unacked_received() const { return recv_since_ack_; }
+
+ private:
+  void note_sent(Timestamp now);
+  void ack_peer(std::uint16_t nr);
+
+  Role role_;
+  Timers timers_;
+  int k_;
+  int w_;
+
+  bool started_ = false;
+  std::uint16_t vs_ = 0;      ///< next N(S) we will send
+  std::uint16_t vr_ = 0;      ///< next N(S) we expect from the peer
+  std::uint16_t ack_sent_ = 0;   ///< highest N(R) we have told the peer
+  std::uint16_t peer_acked_ = 0; ///< highest N(R) the peer has told us
+
+  int recv_since_ack_ = 0;
+
+  Timestamp last_activity_ = 0;  ///< last APDU sent or received (T3 basis)
+  std::optional<Timestamp> t1_deadline_;  ///< pending send/test awaiting ack
+  bool test_outstanding_ = false;
+  std::optional<Timestamp> t2_deadline_;  ///< pending receive awaiting our S
+};
+
+}  // namespace uncharted::iec104

@@ -1,0 +1,103 @@
+#include "iec104/cp56time.hpp"
+
+#include <cstdio>
+
+namespace uncharted::iec104 {
+
+namespace {
+// Days-from-civil / civil-from-days (Howard Hinnant's algorithms): exact
+// conversions between {y, m, d} and days since 1970-01-01.
+std::int64_t days_from_civil(std::int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+void civil_from_days(std::int64_t z, std::int64_t& y, unsigned& m, unsigned& d) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  d = doy - (153 * mp + 2) / 5 + 1;
+  m = mp + (mp < 10 ? 3 : static_cast<unsigned>(-9));
+  y += m <= 2;
+}
+}  // namespace
+
+void Cp56Time2a::encode(ByteWriter& w) const {
+  w.u16le(milliseconds);
+  w.u8(static_cast<std::uint8_t>((minute & 0x3f) | (invalid ? 0x80 : 0)));
+  w.u8(static_cast<std::uint8_t>((hour & 0x1f) | (summer_time ? 0x80 : 0)));
+  w.u8(static_cast<std::uint8_t>((day_of_month & 0x1f) | ((day_of_week & 0x07) << 5)));
+  w.u8(static_cast<std::uint8_t>(month & 0x0f));
+  w.u8(static_cast<std::uint8_t>(year & 0x7f));
+}
+
+Result<Cp56Time2a> Cp56Time2a::decode(ByteReader& r) {
+  auto ms = r.u16le();
+  auto min = r.u8();
+  auto hr = r.u8();
+  auto dom = r.u8();
+  auto mon = r.u8();
+  auto yr = r.u8();
+  if (!yr) return Err("truncated", "cp56time2a");
+  Cp56Time2a t;
+  t.milliseconds = ms.value();
+  t.minute = static_cast<std::uint8_t>(min.value() & 0x3f);
+  t.invalid = (min.value() & 0x80) != 0;
+  t.hour = static_cast<std::uint8_t>(hr.value() & 0x1f);
+  t.summer_time = (hr.value() & 0x80) != 0;
+  t.day_of_month = static_cast<std::uint8_t>(dom.value() & 0x1f);
+  t.day_of_week = static_cast<std::uint8_t>((dom.value() >> 5) & 0x07);
+  t.month = static_cast<std::uint8_t>(mon.value() & 0x0f);
+  t.year = static_cast<std::uint8_t>(yr.value() & 0x7f);
+  if (t.milliseconds > 59999 || t.minute > 59 || t.hour > 23 || t.day_of_month == 0 ||
+      t.day_of_month > 31 || t.month == 0 || t.month > 12) {
+    return Err("bad-cp56time", t.str());
+  }
+  return t;
+}
+
+Cp56Time2a Cp56Time2a::from_timestamp(Timestamp ts) {
+  std::int64_t total_ms = static_cast<std::int64_t>(ts / 1000);
+  std::int64_t days = total_ms / 86'400'000;
+  std::int64_t ms_of_day = total_ms % 86'400'000;
+
+  std::int64_t y;
+  unsigned m, d;
+  civil_from_days(days, y, m, d);
+
+  Cp56Time2a t;
+  t.year = static_cast<std::uint8_t>((y - 2000) % 100);
+  t.month = static_cast<std::uint8_t>(m);
+  t.day_of_month = static_cast<std::uint8_t>(d);
+  // ISO day of week: Monday=1..Sunday=7; 1970-01-01 was a Thursday (=4).
+  t.day_of_week = static_cast<std::uint8_t>(((days % 7) + 10) % 7 + 1);
+  t.hour = static_cast<std::uint8_t>(ms_of_day / 3'600'000);
+  t.minute = static_cast<std::uint8_t>((ms_of_day / 60'000) % 60);
+  t.milliseconds = static_cast<std::uint16_t>(ms_of_day % 60'000);
+  return t;
+}
+
+Timestamp Cp56Time2a::to_timestamp() const {
+  std::int64_t days = days_from_civil(2000 + year, month, day_of_month);
+  std::int64_t ms = days * 86'400'000 + static_cast<std::int64_t>(hour) * 3'600'000 +
+                    static_cast<std::int64_t>(minute) * 60'000 + milliseconds;
+  return static_cast<Timestamp>(ms) * 1000;
+}
+
+std::string Cp56Time2a::str() const {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "20%02u-%02u-%02u %02u:%02u:%02u.%03u%s", year, month,
+                day_of_month, hour, minute, milliseconds / 1000, milliseconds % 1000,
+                invalid ? " (IV)" : "");
+  return buf;
+}
+
+}  // namespace uncharted::iec104

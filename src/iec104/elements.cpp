@@ -1,0 +1,205 @@
+#include "iec104/elements.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace uncharted::iec104 {
+
+std::int16_t NormalizedValue::to_raw(double v) {
+  double clamped = std::clamp(v, -1.0, 32767.0 / 32768.0);
+  return static_cast<std::int16_t>(std::lround(clamped * 32768.0));
+}
+
+bool has_time_tag(TypeId t) {
+  switch (t) {
+    case TypeId::M_SP_TB_1:
+    case TypeId::M_DP_TB_1:
+    case TypeId::M_ST_TB_1:
+    case TypeId::M_BO_TB_1:
+    case TypeId::M_ME_TD_1:
+    case TypeId::M_ME_TE_1:
+    case TypeId::M_ME_TF_1:
+    case TypeId::M_IT_TB_1:
+    case TypeId::M_EP_TD_1:
+    case TypeId::M_EP_TE_1:
+    case TypeId::M_EP_TF_1:
+    case TypeId::C_SC_TA_1:
+    case TypeId::C_DC_TA_1:
+    case TypeId::C_RC_TA_1:
+    case TypeId::C_SE_TA_1:
+    case TypeId::C_SE_TB_1:
+    case TypeId::C_SE_TC_1:
+    case TypeId::C_BO_TA_1:
+    case TypeId::C_TS_TA_1:
+    case TypeId::F_DR_TA_1:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int element_size(TypeId t) {
+  switch (t) {
+    case TypeId::M_SP_NA_1:
+    case TypeId::M_SP_TB_1:
+    case TypeId::M_DP_NA_1:
+    case TypeId::M_DP_TB_1:
+      return 1;
+    case TypeId::M_ST_NA_1:
+    case TypeId::M_ST_TB_1:
+      return 2;
+    case TypeId::M_BO_NA_1:
+    case TypeId::M_BO_TB_1:
+      return 5;
+    case TypeId::M_ME_NA_1:
+    case TypeId::M_ME_TD_1:
+    case TypeId::M_ME_NB_1:
+    case TypeId::M_ME_TE_1:
+      return 3;
+    case TypeId::M_ME_NC_1:
+    case TypeId::M_ME_TF_1:
+      return 5;
+    case TypeId::M_IT_NA_1:
+    case TypeId::M_IT_TB_1:
+      return 5;
+    case TypeId::M_PS_NA_1:
+      return 5;
+    case TypeId::M_ME_ND_1:
+      return 2;
+    case TypeId::M_EP_TD_1:
+      return 3;  // SEP + CP16
+    case TypeId::M_EP_TE_1:
+    case TypeId::M_EP_TF_1:
+      return 4;  // SPE/OCI + QDP + CP16
+    case TypeId::C_SC_NA_1:
+    case TypeId::C_SC_TA_1:
+    case TypeId::C_DC_NA_1:
+    case TypeId::C_DC_TA_1:
+    case TypeId::C_RC_NA_1:
+    case TypeId::C_RC_TA_1:
+      return 1;
+    case TypeId::C_SE_NA_1:
+    case TypeId::C_SE_TA_1:
+    case TypeId::C_SE_NB_1:
+    case TypeId::C_SE_TB_1:
+      return 3;
+    case TypeId::C_SE_NC_1:
+    case TypeId::C_SE_TC_1:
+      return 5;
+    case TypeId::C_BO_NA_1:
+    case TypeId::C_BO_TA_1:
+      return 4;
+    case TypeId::M_EI_NA_1:
+      return 1;
+    case TypeId::C_IC_NA_1:
+    case TypeId::C_CI_NA_1:
+      return 1;
+    case TypeId::C_RD_NA_1:
+      return 0;
+    case TypeId::C_CS_NA_1:
+      return 7;
+    case TypeId::C_RP_NA_1:
+      return 1;
+    case TypeId::C_TS_TA_1:
+      return 2;
+    case TypeId::P_ME_NA_1:
+    case TypeId::P_ME_NB_1:
+      return 3;
+    case TypeId::P_ME_NC_1:
+      return 5;
+    case TypeId::P_AC_NA_1:
+      return 1;
+    case TypeId::F_FR_NA_1:
+      return 6;  // NOF2 + LOF3 + FRQ1
+    case TypeId::F_SR_NA_1:
+      return 7;  // NOF2 + NOS1 + LOF3 + SRQ1
+    case TypeId::F_SC_NA_1:
+      return 4;  // NOF2 + NOS1 + SCQ1
+    case TypeId::F_LS_NA_1:
+      return 5;  // NOF2 + NOS1 + LSQ1 + CHS1
+    case TypeId::F_AF_NA_1:
+      return 4;  // NOF2 + NOS1 + AFQ1
+    case TypeId::F_SG_NA_1:
+      return -1;  // NOF2 + NOS1 + LOS1 + LOS bytes
+    case TypeId::F_DR_TA_1:
+      return 6;  // NOF2 + LOF3 + SOF1
+    case TypeId::F_SC_NB_1:
+      return 16;  // NOF2 + CP56 + CP56
+  }
+  return -1;
+}
+
+bool numeric_value(const ElementValue& v, double& out) {
+  if (const auto* p = std::get_if<NormalizedValue>(&v)) {
+    out = p->value();
+    return true;
+  }
+  if (const auto* p = std::get_if<ScaledValue>(&v)) {
+    out = p->value;
+    return true;
+  }
+  if (const auto* p = std::get_if<ShortFloat>(&v)) {
+    out = p->value;
+    return true;
+  }
+  if (const auto* p = std::get_if<StepPosition>(&v)) {
+    out = p->value;
+    return true;
+  }
+  if (const auto* p = std::get_if<IntegratedTotals>(&v)) {
+    out = p->counter;
+    return true;
+  }
+  if (const auto* p = std::get_if<SinglePoint>(&v)) {
+    out = p->on ? 1.0 : 0.0;
+    return true;
+  }
+  if (const auto* p = std::get_if<DoublePoint>(&v)) {
+    out = p->state;
+    return true;
+  }
+  if (const auto* p = std::get_if<SetpointNormalized>(&v)) {
+    out = static_cast<double>(p->raw) / 32768.0;
+    return true;
+  }
+  if (const auto* p = std::get_if<SetpointScaled>(&v)) {
+    out = p->value;
+    return true;
+  }
+  if (const auto* p = std::get_if<SetpointFloat>(&v)) {
+    out = p->value;
+    return true;
+  }
+  return false;
+}
+
+std::string element_str(const ElementValue& v) {
+  double num = 0.0;
+  if (const auto* p = std::get_if<SinglePoint>(&v)) {
+    return std::string("SP=") + (p->on ? "on" : "off") + " [" + p->quality.str() + "]";
+  }
+  if (const auto* p = std::get_if<DoublePoint>(&v)) {
+    return "DP=" + std::to_string(p->state) + " [" + p->quality.str() + "]";
+  }
+  if (const auto* p = std::get_if<ShortFloat>(&v)) {
+    return format_double(p->value, 3) + " [" + p->quality.str() + "]";
+  }
+  if (const auto* p = std::get_if<InterrogationCommand>(&v)) {
+    return "interrogation qoi=" + std::to_string(p->qualifier);
+  }
+  if (const auto* p = std::get_if<SetpointFloat>(&v)) {
+    return "setpoint=" + format_double(p->value, 3);
+  }
+  if (const auto* p = std::get_if<ClockSync>(&v)) {
+    return "clock=" + p->time.str();
+  }
+  if (const auto* p = std::get_if<Segment>(&v)) {
+    return "segment len=" + std::to_string(p->data.size());
+  }
+  if (numeric_value(v, num)) return format_double(num, 3);
+  return "<element>";
+}
+
+}  // namespace uncharted::iec104

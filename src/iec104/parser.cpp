@@ -1,0 +1,173 @@
+#include "iec104/parser.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uncharted::iec104 {
+
+std::array<CodecProfile, 4> candidate_profiles() {
+  return {CodecProfile::standard(), CodecProfile::legacy_cot(),
+          CodecProfile::legacy_ioa(), CodecProfile::legacy_both()};
+}
+
+std::vector<CodecProfile> detect_profiles(std::span<const std::uint8_t> apdu_bytes) {
+  std::vector<CodecProfile> matches;
+  for (const auto& profile : candidate_profiles()) {
+    ByteReader r(apdu_bytes);
+    auto apdu = decode_apdu(r, profile);
+    if (apdu && r.empty()) {
+      matches.push_back(profile);
+      // S/U frames carry no ASDU, so every profile "matches"; report only
+      // the standard one for them.
+      if (apdu->format != ApduFormat::kI) break;
+    }
+  }
+  return matches;
+}
+
+void ApduStreamParser::feed(Timestamp ts, std::span<const std::uint8_t> data) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+  parse_buffer(ts);
+}
+
+void ApduStreamParser::parse_buffer(Timestamp ts) {
+  std::size_t pos = 0;
+  while (pos < buffer_.size()) {
+    // Resynchronize on the start byte, recording skipped garbage.
+    if (buffer_[pos] != kStartByte) {
+      std::size_t next = pos;
+      while (next < buffer_.size() && buffer_[next] != kStartByte) ++next;
+      ParseFailure f;
+      f.ts = ts;
+      f.error = "bad-start-byte";
+      f.raw.assign(buffer_.begin() + static_cast<std::ptrdiff_t>(pos),
+                   buffer_.begin() + static_cast<std::ptrdiff_t>(next));
+      failures_.push_back(std::move(f));
+      pos = next;
+      continue;
+    }
+    if (pos + 2 > buffer_.size()) break;  // need the length octet
+    std::size_t frame_len = 2 + buffer_[pos + 1];
+    if (pos + frame_len > buffer_.size()) break;  // incomplete frame
+
+    std::span<const std::uint8_t> frame(buffer_.data() + pos, frame_len);
+    if (!try_parse_frame(ts, frame)) {
+      ParseFailure f;
+      f.ts = ts;
+      f.error = "undecodable-apdu";
+      f.raw.assign(frame.begin(), frame.end());
+      failures_.push_back(std::move(f));
+    }
+    pos += frame_len;
+  }
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+int asdu_plausibility(const Asdu& asdu, const CodecProfile& profile) {
+  int score = 0;
+
+  // Known cause of transmission values.
+  auto c = static_cast<std::uint8_t>(asdu.cot.cause);
+  bool known_cause = (c >= 1 && c <= 13) || (c >= 20 && c <= 41) || (c >= 44 && c <= 47);
+  score += known_cause ? 4 : -4;
+  // Originator addresses are almost always zero in the field.
+  if (profile.cot_octets == 2 && asdu.cot.originator == 0) score += 1;
+  // Common addresses identify stations; fleets stay far below the 16-bit
+  // maximum, and almost always below 256 (the IEC 101 heritage).
+  if (asdu.common_address > 0 && asdu.common_address < 256) {
+    score += 3;
+  } else if (asdu.common_address < 4096) {
+    score += 1;
+  }
+
+  for (const auto& obj : asdu.objects) {
+    // A wrong field split shifts header bytes into the IOA, producing the
+    // paper's "invalid IOA addresses".
+    if (obj.ioa < 65536) {
+      score += 2;
+    } else if (obj.ioa >= (1u << 22)) {
+      score -= 2;
+    }
+    // ... and misaligned floats look "completely random".
+    if (const auto* f = std::get_if<ShortFloat>(&obj.value)) {
+      double v = std::fabs(f->value);
+      bool sane = std::isfinite(f->value) && (v == 0.0 || (v > 1e-6 && v < 1e7));
+      score += sane ? 2 : -4;
+    }
+    if (const auto* sp = std::get_if<SetpointFloat>(&obj.value)) {
+      double v = std::fabs(sp->value);
+      bool sane = std::isfinite(sp->value) && (v == 0.0 || (v > 1e-6 && v < 1e7));
+      score += sane ? 2 : -4;
+    }
+    if (obj.time && obj.time->invalid) score -= 1;
+  }
+  return score;
+}
+
+bool ApduStreamParser::try_parse_frame(Timestamp ts, std::span<const std::uint8_t> frame) {
+  struct Candidate {
+    CodecProfile profile;
+    Apdu apdu;
+    int score = 0;
+    int preference = 0;  ///< higher = preferred on score ties
+  };
+  std::vector<Candidate> candidates;
+
+  auto attempt = [&](const CodecProfile& profile, int preference) {
+    ByteReader r(frame);
+    auto apdu = decode_apdu(r, profile);
+    if (!apdu || !r.empty()) return false;
+    Candidate cand;
+    cand.profile = profile;
+    cand.preference = preference;
+    if (apdu->format == ApduFormat::kI) {
+      cand.score = asdu_plausibility(*apdu->asdu, profile);
+    }
+    cand.apdu = std::move(apdu).take();
+    candidates.push_back(std::move(cand));
+    return true;
+  };
+
+  if (mode_ == Mode::kStrict) {
+    attempt(CodecProfile::standard(), 0);
+  } else {
+    // Fast paths first: a locked legacy profile explains this stream, and
+    // the standard profile explains compliant streams — the field-width
+    // mismatch makes cross-profile "exact" parses impossible for them
+    // (the VSQ object count pins the expected length). Only a frame no
+    // fast path explains falls through to the full plausibility vote,
+    // which disambiguates the legacy layouts (a 1-octet-COT reading of a
+    // 2-octet-IOA frame consumes the same bytes).
+    if (locked_) attempt(*locked_, 3);
+    if (candidates.empty()) attempt(CodecProfile::standard(), 2);
+    if (candidates.empty()) {
+      for (const auto& profile : candidate_profiles()) {
+        if (profile.is_standard() || (locked_ && profile == *locked_)) continue;
+        attempt(profile, 0);
+      }
+    }
+  }
+  if (candidates.empty()) return false;
+
+  auto best = std::max_element(candidates.begin(), candidates.end(),
+                               [](const Candidate& a, const Candidate& b) {
+                                 if (a.score != b.score) return a.score < b.score;
+                                 return a.preference < b.preference;
+                               });
+
+  ParsedApdu parsed;
+  parsed.ts = ts;
+  parsed.apdu = std::move(best->apdu);
+  parsed.profile = best->profile;
+  parsed.compliant =
+      best->profile.is_standard() || parsed.apdu.format != ApduFormat::kI;
+  parsed.wire_size = frame.size();
+  if (!parsed.compliant) {
+    ++non_compliant_;
+    locked_ = best->profile;
+  }
+  apdus_.push_back(std::move(parsed));
+  return true;
+}
+
+}  // namespace uncharted::iec104

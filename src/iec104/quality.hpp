@@ -1,0 +1,52 @@
+// Quality descriptor bit fields (QDS, SIQ, DIQ, QDP) of IEC 60870-5-101/104.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace uncharted::iec104 {
+
+/// QDS quality descriptor bits shared by measured-value types.
+struct Quality {
+  bool overflow = false;     ///< OV (bit 0)
+  bool blocked = false;      ///< BL (bit 4)
+  bool substituted = false;  ///< SB (bit 5)
+  bool not_topical = false;  ///< NT (bit 6)
+  bool invalid = false;      ///< IV (bit 7)
+
+  std::uint8_t encode() const {
+    return static_cast<std::uint8_t>((overflow ? 0x01 : 0) | (blocked ? 0x10 : 0) |
+                                     (substituted ? 0x20 : 0) | (not_topical ? 0x40 : 0) |
+                                     (invalid ? 0x80 : 0));
+  }
+
+  static Quality decode(std::uint8_t v) {
+    Quality q;
+    q.overflow = v & 0x01;
+    q.blocked = v & 0x10;
+    q.substituted = v & 0x20;
+    q.not_topical = v & 0x40;
+    q.invalid = v & 0x80;
+    return q;
+  }
+
+  bool good() const {
+    return !overflow && !blocked && !substituted && !not_topical && !invalid;
+  }
+
+  std::string str() const {
+    if (good()) return "good";
+    std::string s;
+    if (overflow) s += "OV,";
+    if (blocked) s += "BL,";
+    if (substituted) s += "SB,";
+    if (not_topical) s += "NT,";
+    if (invalid) s += "IV,";
+    s.pop_back();
+    return s;
+  }
+
+  bool operator==(const Quality&) const = default;
+};
+
+}  // namespace uncharted::iec104

@@ -1,0 +1,70 @@
+#include "net/flow.hpp"
+
+#include <algorithm>
+
+namespace uncharted::net {
+
+FlowKey FlowKey::canonical() const {
+  FlowKey rev = reversed();
+  return (*this <= rev) ? *this : rev;
+}
+
+std::string FlowKey::str() const {
+  return src_ip.str() + ":" + std::to_string(src_port) + " -> " + dst_ip.str() + ":" +
+         std::to_string(dst_port);
+}
+
+void FlowTable::add(Timestamp ts, const DecodedFrame& frame) {
+  FlowKey dir{frame.ip.src, frame.tcp.src_port, frame.ip.dst, frame.tcp.dst_port};
+  FlowKey canon = dir.canonical();
+
+  auto [it, inserted] = table_.try_emplace(canon);
+  State& st = it->second;
+  FlowRecord& rec = st.record;
+
+  if (inserted) {
+    rec.key = dir;  // provisional orientation: first packet's direction
+    rec.first_ts = ts;
+  }
+  rec.last_ts = std::max(rec.last_ts, ts);
+  rec.first_ts = std::min(rec.first_ts, ts);
+  ++rec.packets;
+  rec.bytes += frame.payload.size();
+
+  bool is_initial_syn = frame.tcp.syn() && !frame.tcp.ack_set();
+  if (is_initial_syn && !st.oriented) {
+    // The SYN fixes the initiator; re-orient the record.
+    if (!(rec.key == dir)) std::swap(rec.packets_fwd, rec.packets_rev);
+    rec.key = dir;
+    st.oriented = true;
+    st.syn_seq = frame.tcp.seq;
+  }
+  if (rec.key == dir) {
+    ++rec.packets_fwd;
+  } else {
+    ++rec.packets_rev;
+  }
+
+  if (is_initial_syn) rec.saw_syn = true;
+  if (frame.tcp.syn() && frame.tcp.ack_set()) rec.saw_synack = true;
+  if (frame.tcp.fin()) rec.saw_fin = true;
+  if (frame.tcp.rst()) {
+    rec.saw_rst = true;
+    // RST from the responder before any SYN-ACK => connection refused.
+    if (rec.saw_syn && !rec.saw_synack && !(rec.key == dir)) {
+      rec.syn_rejected_with_rst = true;
+    }
+  }
+}
+
+std::vector<FlowRecord> FlowTable::flows() const {
+  std::vector<FlowRecord> out;
+  out.reserve(table_.size());
+  for (const auto& [key, st] : table_) out.push_back(st.record);
+  std::sort(out.begin(), out.end(), [](const FlowRecord& a, const FlowRecord& b) {
+    return a.first_ts < b.first_ts;
+  });
+  return out;
+}
+
+}  // namespace uncharted::net

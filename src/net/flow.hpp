@@ -1,0 +1,90 @@
+// TCP flow tracking and lifetime classification.
+//
+// A flow is the paper's 4-tuple <srcIP, srcPort, dstIP, dstPort>. A flow is
+// "short-lived" when the capture contains its establishing SYN and a
+// terminating FIN/RST (§6.2); otherwise it started before or outlived the
+// capture and is "long-lived".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "util/timebase.hpp"
+
+namespace uncharted::net {
+
+/// Directed 4-tuple key.
+struct FlowKey {
+  Ipv4Addr src_ip;
+  std::uint16_t src_port = 0;
+  Ipv4Addr dst_ip;
+  std::uint16_t dst_port = 0;
+
+  /// Key for the opposite direction.
+  FlowKey reversed() const { return {dst_ip, dst_port, src_ip, src_port}; }
+  /// Canonical (direction-agnostic) form: the lexicographically smaller
+  /// endpoint first. Both directions of a connection share it.
+  FlowKey canonical() const;
+
+  std::string str() const;
+  auto operator<=>(const FlowKey&) const = default;
+};
+
+/// How a bidirectional connection's lifetime was observed.
+enum class FlowLifetime {
+  kShortLived,  ///< SYN and FIN/RST both inside the capture
+  kLongLived,   ///< missing SYN or missing FIN/RST (spans the capture edge)
+};
+
+/// Aggregate record for one bidirectional connection.
+struct FlowRecord {
+  FlowKey key;  ///< canonical orientation; initiator if the SYN was seen
+  Timestamp first_ts = 0;
+  Timestamp last_ts = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;          ///< TCP payload bytes, both directions
+  std::uint64_t packets_fwd = 0;    ///< in the key's direction
+  std::uint64_t packets_rev = 0;
+  bool saw_syn = false;             ///< initial SYN (no ACK)
+  bool saw_synack = false;
+  bool saw_fin = false;
+  bool saw_rst = false;
+  /// True when the peer answered the initial SYN with RST (connection
+  /// refused) — the Fig 9 reject-backup pattern.
+  bool syn_rejected_with_rst = false;
+
+  double duration_seconds() const {
+    return to_seconds(static_cast<DurationUs>(last_ts - first_ts));
+  }
+  FlowLifetime lifetime() const {
+    return (saw_syn && (saw_fin || saw_rst)) ? FlowLifetime::kShortLived
+                                             : FlowLifetime::kLongLived;
+  }
+};
+
+/// Accumulates flows from decoded frames.
+class FlowTable {
+ public:
+  /// Accounts one TCP frame at time ts.
+  void add(Timestamp ts, const DecodedFrame& frame);
+
+  /// All connections, ordered by first packet time.
+  std::vector<FlowRecord> flows() const;
+
+  std::size_t connection_count() const { return table_.size(); }
+
+ private:
+  struct State {
+    FlowRecord record;
+    bool oriented = false;  ///< key direction fixed by first SYN (or first pkt)
+    std::optional<std::uint32_t> syn_seq;  ///< seq of the initial SYN
+  };
+
+  std::map<FlowKey, State> table_;  ///< keyed by canonical tuple
+};
+
+}  // namespace uncharted::net

@@ -1,0 +1,68 @@
+#include "net/frame.hpp"
+
+namespace uncharted::net {
+
+Result<DecodedFrame> decode_frame(std::span<const std::uint8_t> frame) {
+  ByteReader r(frame);
+  auto eth = EthernetHeader::decode(r);
+  if (!eth) return eth.error();
+  if (eth->ether_type != kEtherTypeIpv4) {
+    return Err("not-ipv4-ethertype", std::to_string(eth->ether_type));
+  }
+  std::size_t ip_start = r.position();
+  auto ip = Ipv4Header::decode(r);
+  if (!ip) return ip.error();
+  if (ip->protocol != kIpProtoTcp) return Err("not-tcp", std::to_string(ip->protocol));
+
+  // The IP total length bounds the TCP segment; captures may carry Ethernet
+  // padding beyond it which must not leak into the payload.
+  std::size_t ip_total = ip->total_length;
+  if (ip_total < Ipv4Header::kSize || ip_start + ip_total > frame.size()) {
+    return Err("bad-ip-length", std::to_string(ip_total));
+  }
+  std::size_t tcp_start = r.position();
+  auto tcp = TcpHeader::decode(r);
+  if (!tcp) return tcp.error();
+
+  std::size_t payload_start = r.position();
+  std::size_t segment_end = ip_start + ip_total;
+  if (payload_start > segment_end) return Err("bad-tcp-length");
+
+  DecodedFrame out;
+  out.eth = eth.value();
+  out.ip = ip.value();
+  out.tcp = tcp.value();
+  out.payload = frame.subspan(payload_start, segment_end - payload_start);
+  (void)tcp_start;
+  return out;
+}
+
+std::vector<std::uint8_t> build_tcp_frame(const TcpSegmentSpec& spec) {
+  Ipv4Header ip;
+  ip.src = spec.src_ip;
+  ip.dst = spec.dst_ip;
+  ip.identification = spec.ip_id;
+  ip.total_length = static_cast<std::uint16_t>(Ipv4Header::kSize + TcpHeader::kSize +
+                                               spec.payload.size());
+
+  TcpHeader tcp;
+  tcp.src_port = spec.src_port;
+  tcp.dst_port = spec.dst_port;
+  tcp.seq = spec.seq;
+  tcp.ack = spec.ack;
+  tcp.flags = spec.flags;
+  tcp.window = spec.window;
+
+  EthernetHeader eth;
+  eth.src = spec.src_mac;
+  eth.dst = spec.dst_mac;
+
+  ByteWriter w(EthernetHeader::kSize + ip.total_length);
+  eth.encode(w);
+  ip.encode(w);
+  tcp.encode(w, ip, spec.payload);
+  w.bytes(spec.payload);
+  return w.take();
+}
+
+}  // namespace uncharted::net

@@ -1,0 +1,47 @@
+// Decoded frame view: Ethernet + IPv4 + TCP + payload, with helpers to
+// build frames (used by the simulator) and decode them (used by analysis).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/headers.hpp"
+#include "util/expected.hpp"
+#include "util/timebase.hpp"
+
+namespace uncharted::net {
+
+/// Fully decoded TCP/IPv4/Ethernet frame. Payload references the caller's
+/// frame buffer; the buffer must outlive the DecodedFrame.
+struct DecodedFrame {
+  EthernetHeader eth;
+  Ipv4Header ip;
+  TcpHeader tcp;
+  std::span<const std::uint8_t> payload;
+};
+
+/// Decodes an Ethernet frame expected to carry IPv4+TCP.
+/// Errors: non-IPv4 ethertype, non-TCP protocol, truncation, bad checksum.
+Result<DecodedFrame> decode_frame(std::span<const std::uint8_t> frame);
+
+/// Parameters for building one TCP segment as a full Ethernet frame.
+struct TcpSegmentSpec {
+  MacAddr src_mac;
+  MacAddr dst_mac;
+  Ipv4Addr src_ip;
+  Ipv4Addr dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 65535;
+  std::uint16_t ip_id = 0;
+  std::span<const std::uint8_t> payload;
+};
+
+/// Builds a complete frame with valid lengths and checksums.
+std::vector<std::uint8_t> build_tcp_frame(const TcpSegmentSpec& spec);
+
+}  // namespace uncharted::net

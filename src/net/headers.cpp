@@ -1,0 +1,201 @@
+#include "net/headers.hpp"
+
+#include <cstdio>
+
+namespace uncharted::net {
+
+MacAddr MacAddr::from_u64(std::uint64_t v) {
+  MacAddr m;
+  for (int i = 5; i >= 0; --i) {
+    m.octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v & 0xff);
+    v >>= 8;
+  }
+  return m;
+}
+
+std::string MacAddr::str() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets[0], octets[1],
+                octets[2], octets[3], octets[4], octets[5]);
+  return buf;
+}
+
+Ipv4Addr Ipv4Addr::from_octets(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                               std::uint8_t d) {
+  return Ipv4Addr{(static_cast<std::uint32_t>(a) << 24) | (static_cast<std::uint32_t>(b) << 16) |
+                  (static_cast<std::uint32_t>(c) << 8) | d};
+}
+
+Result<Ipv4Addr> Ipv4Addr::parse(const std::string& s) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char extra = 0;
+  if (std::sscanf(s.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &extra) != 4 || a > 255 ||
+      b > 255 || c > 255 || d > 255) {
+    return Err("bad-ipv4", s);
+  }
+  return from_octets(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                     static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+std::string Ipv4Addr::str() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value >> 24) & 0xff, (value >> 16) & 0xff,
+                (value >> 8) & 0xff, value & 0xff);
+  return buf;
+}
+
+void EthernetHeader::encode(ByteWriter& w) const {
+  w.bytes(dst.octets);
+  w.bytes(src.octets);
+  w.u16be(ether_type);
+}
+
+Result<EthernetHeader> EthernetHeader::decode(ByteReader& r) {
+  EthernetHeader h;
+  auto dst = r.bytes(6);
+  if (!dst) return dst.error();
+  std::copy(dst->begin(), dst->end(), h.dst.octets.begin());
+  auto src = r.bytes(6);
+  if (!src) return src.error();
+  std::copy(src->begin(), src->end(), h.src.octets.begin());
+  auto type = r.u16be();
+  if (!type) return type.error();
+  h.ether_type = type.value();
+  return h;
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i] << 8);
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+void Ipv4Header::encode(ByteWriter& w) const {
+  ByteWriter hdr(kSize);
+  hdr.u8(0x45);  // version 4, IHL 5
+  hdr.u8(dscp_ecn);
+  hdr.u16be(total_length);
+  hdr.u16be(identification);
+  hdr.u16be(static_cast<std::uint16_t>((static_cast<std::uint16_t>(flags) << 13) |
+                                       (fragment_offset & 0x1fff)));
+  hdr.u8(ttl);
+  hdr.u8(protocol);
+  hdr.u16be(0);  // checksum placeholder
+  hdr.u32be(src.value);
+  hdr.u32be(dst.value);
+  std::uint16_t sum = internet_checksum(hdr.view());
+  hdr.patch_u16be(10, sum);
+  w.bytes(hdr.view());
+}
+
+Result<Ipv4Header> Ipv4Header::decode(ByteReader& r) {
+  std::size_t start = r.position();
+  auto ver_ihl = r.u8();
+  if (!ver_ihl) return ver_ihl.error();
+  if ((ver_ihl.value() >> 4) != 4) return Err("not-ipv4");
+  std::size_t ihl = static_cast<std::size_t>(ver_ihl.value() & 0x0f) * 4;
+  if (ihl < kSize) return Err("bad-ihl", std::to_string(ihl));
+
+  Ipv4Header h;
+  auto dscp = r.u8();
+  auto len = r.u16be();
+  auto id = r.u16be();
+  auto fl = r.u16be();
+  auto ttl = r.u8();
+  auto proto = r.u8();
+  auto sum = r.u16be();
+  auto src = r.u32be();
+  auto dst = r.u32be();
+  if (!dst) return Err("truncated", "ipv4 header");
+  h.dscp_ecn = dscp.value();
+  h.total_length = len.value();
+  h.identification = id.value();
+  h.flags = static_cast<std::uint8_t>(fl.value() >> 13);
+  h.fragment_offset = static_cast<std::uint16_t>(fl.value() & 0x1fff);
+  h.ttl = ttl.value();
+  h.protocol = proto.value();
+  h.checksum = sum.value();
+  h.src.value = src.value();
+  h.dst.value = dst.value();
+
+  if (h.fragment_offset != 0 || (h.flags & 0x01)) {
+    return Err("fragmented", "IPv4 fragments unsupported in SCADA captures");
+  }
+  if (ihl > kSize) {
+    auto skipped = r.skip(ihl - kSize);
+    if (!skipped.ok()) return skipped.error();
+  }
+  // Verify checksum over the header bytes as captured.
+  std::size_t end = r.position();
+  r.seek(start);
+  auto raw = r.bytes(end - start);
+  if (internet_checksum(raw.value()) != 0) return Err("bad-ip-checksum");
+  return h;
+}
+
+std::uint16_t tcp_checksum(const Ipv4Header& ip, std::span<const std::uint8_t> tcp_segment) {
+  ByteWriter pseudo(12 + tcp_segment.size());
+  pseudo.u32be(ip.src.value);
+  pseudo.u32be(ip.dst.value);
+  pseudo.u8(0);
+  pseudo.u8(ip.protocol);
+  pseudo.u16be(static_cast<std::uint16_t>(tcp_segment.size()));
+  pseudo.bytes(tcp_segment);
+  return internet_checksum(pseudo.view());
+}
+
+void TcpHeader::encode(ByteWriter& w, const Ipv4Header& ip,
+                       std::span<const std::uint8_t> payload) const {
+  ByteWriter seg(kSize + payload.size());
+  seg.u16be(src_port);
+  seg.u16be(dst_port);
+  seg.u32be(seq);
+  seg.u32be(ack);
+  seg.u8(0x50);  // data offset 5 words, no options
+  seg.u8(flags);
+  seg.u16be(window);
+  seg.u16be(0);  // checksum placeholder
+  seg.u16be(urgent);
+  seg.bytes(payload);
+  std::uint16_t sum = tcp_checksum(ip, seg.view());
+  seg.patch_u16be(16, sum);
+  // Emit only the header; the caller appends the payload itself so the
+  // payload bytes are written exactly once into the frame.
+  w.bytes(seg.view().subspan(0, kSize));
+}
+
+Result<TcpHeader> TcpHeader::decode(ByteReader& r) {
+  TcpHeader h;
+  auto sp = r.u16be();
+  auto dp = r.u16be();
+  auto seq = r.u32be();
+  auto ack = r.u32be();
+  auto off = r.u8();
+  auto flags = r.u8();
+  auto win = r.u16be();
+  auto sum = r.u16be();
+  auto urg = r.u16be();
+  if (!urg) return Err("truncated", "tcp header");
+  h.src_port = sp.value();
+  h.dst_port = dp.value();
+  h.seq = seq.value();
+  h.ack = ack.value();
+  h.flags = flags.value();
+  h.window = win.value();
+  h.checksum = sum.value();
+  h.urgent = urg.value();
+  std::size_t data_offset = static_cast<std::size_t>(off.value() >> 4) * 4;
+  if (data_offset < kSize) return Err("bad-tcp-offset", std::to_string(data_offset));
+  if (data_offset > kSize) {
+    auto skipped = r.skip(data_offset - kSize);
+    if (!skipped.ok()) return skipped.error();
+  }
+  return h;
+}
+
+}  // namespace uncharted::net

@@ -1,0 +1,114 @@
+// Ethernet II, IPv4 and TCP header codecs.
+//
+// Implemented from scratch (no libpcap/netinet) so the toolkit is fully
+// self-contained and tests can construct malformed frames byte by byte.
+// Only what SCADA captures need is supported: Ethernet II + IPv4 + TCP,
+// no options beyond raw bytes, no fragmentation reassembly (SCADA APDUs are
+// far below any sane MTU; fragments are surfaced as errors).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/expected.hpp"
+
+namespace uncharted::net {
+
+/// 48-bit MAC address.
+struct MacAddr {
+  std::array<std::uint8_t, 6> octets{};
+
+  static MacAddr from_u64(std::uint64_t v);
+  std::string str() const;
+  bool operator==(const MacAddr&) const = default;
+};
+
+/// IPv4 address in host byte order.
+struct Ipv4Addr {
+  std::uint32_t value = 0;
+
+  static Ipv4Addr from_octets(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d);
+  /// Parses dotted-quad, e.g. "10.0.1.17".
+  static Result<Ipv4Addr> parse(const std::string& s);
+  std::string str() const;
+  bool operator==(const Ipv4Addr&) const = default;
+  auto operator<=>(const Ipv4Addr&) const = default;
+};
+
+constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+
+struct EthernetHeader {
+  MacAddr dst;
+  MacAddr src;
+  std::uint16_t ether_type = kEtherTypeIpv4;
+
+  static constexpr std::size_t kSize = 14;
+  void encode(ByteWriter& w) const;
+  static Result<EthernetHeader> decode(ByteReader& r);
+};
+
+constexpr std::uint8_t kIpProtoTcp = 6;
+
+struct Ipv4Header {
+  std::uint8_t dscp_ecn = 0;
+  std::uint16_t total_length = 0;  ///< header + payload, filled by encode helpers
+  std::uint16_t identification = 0;
+  std::uint8_t flags = 0x02;       ///< DF set by default
+  std::uint16_t fragment_offset = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = kIpProtoTcp;
+  std::uint16_t checksum = 0;      ///< computed on encode, verified on decode
+  Ipv4Addr src;
+  Ipv4Addr dst;
+
+  static constexpr std::size_t kSize = 20;  ///< we neither emit nor keep options
+  /// Encodes with a freshly computed checksum.
+  void encode(ByteWriter& w) const;
+  /// Decodes and checks version/IHL/checksum; skips options if present.
+  static Result<Ipv4Header> decode(ByteReader& r);
+};
+
+/// TCP flag bits.
+enum TcpFlags : std::uint8_t {
+  kTcpFin = 0x01,
+  kTcpSyn = 0x02,
+  kTcpRst = 0x04,
+  kTcpPsh = 0x08,
+  kTcpAck = 0x10,
+};
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 65535;
+  std::uint16_t checksum = 0;
+  std::uint16_t urgent = 0;
+
+  static constexpr std::size_t kSize = 20;  ///< no options emitted
+  bool syn() const { return flags & kTcpSyn; }
+  bool fin() const { return flags & kTcpFin; }
+  bool rst() const { return flags & kTcpRst; }
+  bool ack_set() const { return flags & kTcpAck; }
+
+  /// Encodes with checksum over the pseudo-header + payload.
+  void encode(ByteWriter& w, const Ipv4Header& ip,
+              std::span<const std::uint8_t> payload) const;
+  /// Decodes, skipping options per data-offset; does not verify checksum
+  /// (captures routinely contain offloaded/zero checksums).
+  static Result<TcpHeader> decode(ByteReader& r);
+};
+
+/// RFC 1071 Internet checksum over a byte range.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// TCP checksum with IPv4 pseudo-header.
+std::uint16_t tcp_checksum(const Ipv4Header& ip, std::span<const std::uint8_t> tcp_segment);
+
+}  // namespace uncharted::net

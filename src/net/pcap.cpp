@@ -1,0 +1,116 @@
+#include "net/pcap.hpp"
+
+#include <cstring>
+
+#include "util/bytes.hpp"
+
+namespace uncharted::net {
+
+Result<PcapWriter> PcapWriter::open(const std::string& path, std::uint32_t snaplen) {
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Err("open-failed", path);
+
+  ByteWriter hdr(24);
+  hdr.u32le(kPcapMagic);
+  hdr.u16le(2);  // version major
+  hdr.u16le(4);  // version minor
+  hdr.u32le(0);  // thiszone
+  hdr.u32le(0);  // sigfigs
+  hdr.u32le(snaplen);
+  hdr.u32le(kLinkTypeEthernet);
+  if (std::fwrite(hdr.view().data(), 1, hdr.size(), f.get()) != hdr.size()) {
+    return Err("write-failed", path);
+  }
+  return PcapWriter(std::move(f), snaplen);
+}
+
+Status PcapWriter::write(Timestamp ts, std::span<const std::uint8_t> frame) {
+  if (!file_) return Err("closed");
+  std::uint32_t incl = static_cast<std::uint32_t>(frame.size());
+  if (incl > snaplen_) incl = snaplen_;
+
+  ByteWriter rec(16);
+  rec.u32le(timestamp_sec(ts));
+  rec.u32le(timestamp_usec(ts));
+  rec.u32le(incl);
+  rec.u32le(static_cast<std::uint32_t>(frame.size()));
+  if (std::fwrite(rec.view().data(), 1, rec.size(), file_.get()) != rec.size() ||
+      std::fwrite(frame.data(), 1, incl, file_.get()) != incl) {
+    return Err("write-failed");
+  }
+  ++packets_;
+  return Status::Ok();
+}
+
+Status PcapWriter::close() {
+  if (!file_) return Status::Ok();
+  std::FILE* raw = file_.release();
+  if (std::fclose(raw) != 0) return Err("close-failed");
+  return Status::Ok();
+}
+
+Result<std::vector<CapturedPacket>> PcapReader::read_file(const std::string& path) {
+  std::unique_ptr<std::FILE, decltype([](std::FILE* f) {
+                    if (f) std::fclose(f);
+                  })>
+      f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Err("open-failed", path);
+  std::fseek(f.get(), 0, SEEK_END);
+  long size = std::ftell(f.get());
+  std::fseek(f.get(), 0, SEEK_SET);
+  if (size < 0) return Err("stat-failed", path);
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(size));
+  if (!buf.empty() && std::fread(buf.data(), 1, buf.size(), f.get()) != buf.size()) {
+    return Err("read-failed", path);
+  }
+  return read_buffer(buf);
+}
+
+Result<std::vector<CapturedPacket>> PcapReader::read_buffer(
+    std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  auto magic = r.u32le();
+  if (!magic) return Err("truncated", "pcap global header");
+  bool swapped;
+  if (magic.value() == kPcapMagic) {
+    swapped = false;
+  } else if (magic.value() == kPcapMagicSwapped) {
+    swapped = true;
+  } else {
+    return Err("bad-magic", "not a classic pcap file");
+  }
+  auto u16 = [&]() { return swapped ? r.u16be() : r.u16le(); };
+  auto u32 = [&]() { return swapped ? r.u32be() : r.u32le(); };
+
+  auto vmaj = u16();
+  auto vmin = u16();
+  if (!vmin) return Err("truncated", "pcap version");
+  (void)vmaj;
+  if (!r.skip(8).ok()) return Err("truncated", "pcap tz/sigfigs");
+  auto snaplen = u32();
+  auto linktype = u32();
+  if (!linktype) return Err("truncated", "pcap linktype");
+  (void)snaplen;
+  if (linktype.value() != kLinkTypeEthernet) {
+    return Err("bad-linktype", std::to_string(linktype.value()));
+  }
+
+  std::vector<CapturedPacket> out;
+  while (!r.empty()) {
+    auto sec = u32();
+    auto usec = u32();
+    auto incl = u32();
+    auto orig = u32();
+    if (!orig) return Err("truncated", "pcap record header");
+    auto payload = r.bytes(incl.value());
+    if (!payload) return Err("truncated", "pcap record body");
+    CapturedPacket pkt;
+    pkt.ts = make_timestamp(sec.value(), usec.value());
+    pkt.original_length = orig.value();
+    pkt.data.assign(payload->begin(), payload->end());
+    out.push_back(std::move(pkt));
+  }
+  return out;
+}
+
+}  // namespace uncharted::net

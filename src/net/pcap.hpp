@@ -1,0 +1,78 @@
+// Classic pcap (tcpdump) file format reader and writer.
+//
+// Implemented from scratch: magic 0xa1b2c3d4 (microsecond timestamps),
+// version 2.4, link type Ethernet (1). Both native and byte-swapped files
+// are readable. No libpcap dependency.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/expected.hpp"
+#include "util/timebase.hpp"
+
+namespace uncharted::net {
+
+constexpr std::uint32_t kPcapMagic = 0xa1b2c3d4;
+constexpr std::uint32_t kPcapMagicSwapped = 0xd4c3b2a1;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+constexpr std::uint32_t kDefaultSnapLen = 65535;
+
+/// One captured record: timestamp plus raw link-layer bytes.
+struct CapturedPacket {
+  Timestamp ts = 0;
+  std::uint32_t original_length = 0;  ///< length on the wire (>= data.size())
+  std::vector<std::uint8_t> data;     ///< possibly truncated to snaplen
+};
+
+/// Streams packets into a pcap file.
+class PcapWriter {
+ public:
+  /// Creates/truncates `path` and writes the global header.
+  static Result<PcapWriter> open(const std::string& path,
+                                 std::uint32_t snaplen = kDefaultSnapLen);
+
+  PcapWriter(PcapWriter&&) noexcept = default;
+  PcapWriter& operator=(PcapWriter&&) noexcept = default;
+  ~PcapWriter() = default;
+
+  /// Appends one record; frames longer than snaplen are truncated.
+  Status write(Timestamp ts, std::span<const std::uint8_t> frame);
+
+  std::uint64_t packets_written() const { return packets_; }
+
+  /// Flushes and closes; further writes are invalid.
+  Status close();
+
+ private:
+  struct FileCloser {
+    void operator()(std::FILE* f) const {
+      if (f) std::fclose(f);
+    }
+  };
+
+  PcapWriter(std::unique_ptr<std::FILE, FileCloser> file, std::uint32_t snaplen)
+      : file_(std::move(file)), snaplen_(snaplen) {}
+
+  std::unique_ptr<std::FILE, FileCloser> file_;
+  std::uint32_t snaplen_;
+  std::uint64_t packets_ = 0;
+};
+
+/// Reads a whole pcap file into memory (captures here are small: hours of
+/// SCADA traffic is a few hundred MB at most; the paper's are far smaller).
+class PcapReader {
+ public:
+  /// Parses the file; returns all records in capture order.
+  static Result<std::vector<CapturedPacket>> read_file(const std::string& path);
+
+  /// Parses pcap bytes already in memory (used by tests).
+  static Result<std::vector<CapturedPacket>> read_buffer(
+      std::span<const std::uint8_t> data);
+};
+
+}  // namespace uncharted::net

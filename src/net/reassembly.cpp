@@ -1,0 +1,101 @@
+#include "net/reassembly.hpp"
+
+namespace uncharted::net {
+
+namespace {
+/// Serial-number comparison (RFC 1982 style) for 32-bit sequence numbers.
+bool seq_lt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+}  // namespace
+
+std::vector<StreamChunk> TcpStreamDirection::on_segment(
+    Timestamp ts, const TcpHeader& tcp, std::span<const std::uint8_t> payload) {
+  std::vector<StreamChunk> out;
+
+  if (!initialized_) {
+    // First segment seen in this direction anchors the stream. A SYN
+    // consumes one sequence number.
+    next_seq_ = tcp.seq + (tcp.syn() ? 1 : 0);
+    initialized_ = true;
+    if (tcp.syn()) {
+      if (payload.empty()) return out;
+    }
+  }
+
+  if (payload.empty()) return out;
+
+  std::uint32_t seg_start = tcp.seq;
+  std::uint32_t seg_end = seg_start + static_cast<std::uint32_t>(payload.size());
+
+  if (!seq_lt(next_seq_, seg_end)) {
+    // Entire segment is at or before next_seq_: a pure retransmission.
+    ++retransmissions_;
+    return out;
+  }
+
+  if (seq_lt(seg_start, next_seq_)) {
+    // Partial overlap: the head is retransmitted, keep only the new tail.
+    ++retransmissions_;
+    std::uint32_t skip = next_seq_ - seg_start;
+    payload = payload.subspan(skip);
+    seg_start = next_seq_;
+  }
+
+  if (seg_start != next_seq_) {
+    // Out of order: buffer for later (overwrite-same-start keeps longest).
+    ++out_of_order_;
+    auto it = pending_.find(seg_start);
+    if (it == pending_.end() || it->second.size() < payload.size()) {
+      pending_[seg_start] = {payload.begin(), payload.end()};
+    }
+    return out;
+  }
+
+  // In-order: deliver this segment, then drain any now-contiguous buffers.
+  StreamChunk chunk;
+  chunk.ts = ts;
+  chunk.data.assign(payload.begin(), payload.end());
+  next_seq_ = seg_end;
+  delivered_ += chunk.data.size();
+
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    std::uint32_t start = it->first;
+    std::uint32_t end = start + static_cast<std::uint32_t>(it->second.size());
+    if (!seq_lt(next_seq_, end)) {
+      // Fully stale buffered segment.
+      it = pending_.erase(it);
+      continue;
+    }
+    if (seq_lt(next_seq_, start)) break;  // gap remains
+    std::uint32_t skip = next_seq_ - start;
+    chunk.data.insert(chunk.data.end(), it->second.begin() + skip, it->second.end());
+    delivered_ += it->second.size() - skip;
+    next_seq_ = end;
+    it = pending_.erase(it);
+  }
+
+  out.push_back(std::move(chunk));
+  return out;
+}
+
+void TcpReassembler::add(Timestamp ts, const DecodedFrame& frame) {
+  FlowKey key{frame.ip.src, frame.tcp.src_port, frame.ip.dst, frame.tcp.dst_port};
+  auto& dir = directions_[key];
+  for (auto& chunk : dir.on_segment(ts, frame.tcp, frame.payload)) {
+    if (sink_) sink_(key, chunk);
+  }
+}
+
+std::uint64_t TcpReassembler::retransmitted_segments() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, dir] : directions_) total += dir.retransmitted_segments();
+  return total;
+}
+
+std::uint64_t TcpReassembler::retransmissions_for(const FlowKey& key) const {
+  auto it = directions_.find(key);
+  return it == directions_.end() ? 0 : it->second.retransmitted_segments();
+}
+
+}  // namespace uncharted::net

@@ -1,0 +1,45 @@
+#include "power/agc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uncharted::power {
+
+std::vector<AgcCommand> AgcController::step(GridModel& grid) {
+  std::vector<AgcCommand> commands;
+  if (grid.time_seconds() - last_run_s_ < config_.cycle_seconds) return commands;
+  last_run_s_ = grid.time_seconds();
+
+  double dev = grid.frequency_hz() - grid.config().nominal_frequency_hz;
+  if (std::fabs(dev) < config_.deadband_hz) {
+    last_ace_mw_ = 0.0;
+    return commands;
+  }
+
+  // ACE = 10 * beta * delta_f (single-area: no tie-line term). Positive ACE
+  // means over-generation (high frequency) -> lower the setpoints.
+  double ace = 10.0 * config_.frequency_bias_mw_per_tenth_hz * dev;
+  last_ace_mw_ = ace;
+  double adjust = -config_.correction_gain * ace;
+
+  double total_participation = 0.0;
+  for (std::size_t i : participants_) {
+    if (grid.generator(i).phase() != GeneratorPhase::kOnline) continue;
+    total_participation += grid.generator(i).config().participation_factor;
+  }
+  if (total_participation <= 0.0) return commands;
+
+  for (std::size_t i : participants_) {
+    auto& gen = grid.generator(i);
+    if (gen.phase() != GeneratorPhase::kOnline) continue;
+    double share = gen.config().participation_factor / total_participation;
+    double target =
+        std::clamp(gen.setpoint() + adjust * share, 0.0, gen.config().capacity_mw);
+    if (std::fabs(target - gen.setpoint()) < config_.min_command_delta_mw) continue;
+    gen.set_setpoint(target);
+    commands.push_back(AgcCommand{i, target});
+  }
+  return commands;
+}
+
+}  // namespace uncharted::power

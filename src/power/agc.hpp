@@ -1,0 +1,56 @@
+// Automatic Generation Control: the balancing authority's control loop
+// (paper §2). Every cycle it computes the Area Control Error from the
+// frequency deviation and nudges participating generators' dispatch
+// setpoints against it, split by participation factor. The setpoint itself
+// acts as the controller's integrator (bounded by unit capacity), which is
+// how utility AGC implementations avoid wind-up. The simulator turns the
+// issued setpoints into C_SE_NC_1 (I50) "AGC-SP" messages — exactly the
+// commands the paper observed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "power/grid.hpp"
+
+namespace uncharted::power {
+
+struct AgcConfig {
+  double cycle_seconds = 4.0;  ///< AGC execution period
+  /// Frequency bias beta in MW/0.1Hz (positive). Scale with system size:
+  /// roughly 1 MW/0.1Hz per 100 MW of capacity.
+  double frequency_bias_mw_per_tenth_hz = 6.0;
+  /// Fraction of the ACE corrected per cycle (integral gain on setpoints).
+  double correction_gain = 0.3;
+  double deadband_hz = 0.005;  ///< no action within the deadband
+  /// Setpoint commands smaller than this are suppressed (no point waking a
+  /// generator for noise-level corrections).
+  double min_command_delta_mw = 0.0;
+};
+
+/// One issued setpoint command.
+struct AgcCommand {
+  std::size_t generator_index;
+  double setpoint_mw;
+};
+
+class AgcController {
+ public:
+  AgcController(AgcConfig config, std::vector<std::size_t> participant_indices)
+      : config_(config), participants_(std::move(participant_indices)) {}
+
+  /// Runs one AGC pass if `cycle_seconds` elapsed since the last one.
+  /// Applies the setpoints to the grid's generators and returns them.
+  std::vector<AgcCommand> step(GridModel& grid);
+
+  double area_control_error_mw() const { return last_ace_mw_; }
+  const AgcConfig& config() const { return config_; }
+
+ private:
+  AgcConfig config_;
+  std::vector<std::size_t> participants_;
+  double last_run_s_ = -1e18;
+  double last_ace_mw_ = 0.0;
+};
+
+}  // namespace uncharted::power

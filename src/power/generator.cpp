@@ -1,0 +1,96 @@
+#include "power/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uncharted::power {
+
+Generator::Generator(GeneratorConfig config, bool start_online, double initial_mw)
+    : config_(std::move(config)) {
+  if (start_online) {
+    phase_ = GeneratorPhase::kOnline;
+    breaker_ = BreakerStatus::kClosed;
+    voltage_kv_ = config_.nominal_voltage_kv;
+    output_mw_ = std::clamp(initial_mw, 0.0, config_.capacity_mw);
+    setpoint_mw_ = output_mw_;
+  } else {
+    // The paper's Fig 20 shows the breaker status jumping 0 -> 2 when a
+    // generator comes online, so a de-energized unit reports 0.
+    phase_ = GeneratorPhase::kOffline;
+    breaker_ = BreakerStatus::kIntermediate;
+  }
+}
+
+void Generator::set_setpoint(double mw) {
+  setpoint_mw_ = std::clamp(mw, 0.0, config_.capacity_mw);
+}
+
+void Generator::begin_startup() {
+  if (phase_ == GeneratorPhase::kOffline) {
+    phase_ = GeneratorPhase::kRampingUp;
+    sync_elapsed_s_ = 0.0;
+  }
+}
+
+void Generator::trip() {
+  governor_mw_ = 0.0;
+  governor_target_mw_ = 0.0;
+  phase_ = GeneratorPhase::kOffline;
+  breaker_ = BreakerStatus::kIntermediate;
+  output_mw_ = 0.0;
+  reactive_mvar_ = 0.0;
+  voltage_kv_ = 0.0;
+}
+
+void Generator::step(double dt) {
+  switch (phase_) {
+    case GeneratorPhase::kOffline:
+      voltage_kv_ = std::max(0.0, voltage_kv_ - 4.0 * config_.voltage_ramp_kv_per_s * dt);
+      output_mw_ = 0.0;
+      reactive_mvar_ = 0.0;
+      break;
+
+    case GeneratorPhase::kRampingUp:
+      // Field energization: terminal voltage climbs to nominal, no power.
+      voltage_kv_ += config_.voltage_ramp_kv_per_s * dt;
+      if (voltage_kv_ >= config_.nominal_voltage_kv) {
+        voltage_kv_ = config_.nominal_voltage_kv;
+        phase_ = GeneratorPhase::kSynchronizing;
+        sync_elapsed_s_ = 0.0;
+      }
+      break;
+
+    case GeneratorPhase::kSynchronizing:
+      // Frequency/phase matching; P and Q stay flat (the Fig 20 plateau).
+      sync_elapsed_s_ += dt;
+      if (sync_elapsed_s_ >= config_.sync_duration_s) {
+        breaker_ = BreakerStatus::kClosed;
+        phase_ = GeneratorPhase::kOnline;
+      }
+      break;
+
+    case GeneratorPhase::kOnline: {
+      // Governor lag: ~5 s turbine time constant keeps the droop loop
+      // stable at the simulation step size.
+      governor_mw_ += (governor_target_mw_ - governor_mw_) * std::min(1.0, dt / 5.0);
+      double delta = setpoint_mw_ - output_mw_;  // dispatch tracking, droop on top
+      double max_step = config_.ramp_mw_per_s * dt;
+      output_mw_ += std::clamp(delta, -max_step, max_step);
+      output_mw_ = std::clamp(output_mw_, 0.0, config_.capacity_mw);
+      // Reactive power loosely follows loading; sign depends on whether the
+      // machine absorbs or produces vars (paper: "positive or negative").
+      double target_q = 0.25 * output_mw_ - 0.05 * config_.capacity_mw;
+      reactive_mvar_ += (target_q - reactive_mvar_) * std::min(1.0, 0.2 * dt);
+      break;
+    }
+  }
+}
+
+double Generator::current_ka() const {
+  if (voltage_kv_ < 1.0) return 0.0;
+  double s_mva = std::hypot(output_mw(), reactive_mvar_);
+  // Three-phase: I = S / (sqrt(3) * V_LL).
+  return s_mva / (1.7320508 * voltage_kv_);
+}
+
+}  // namespace uncharted::power

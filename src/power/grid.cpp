@@ -1,0 +1,78 @@
+#include "power/grid.hpp"
+
+#include <algorithm>
+
+namespace uncharted::power {
+
+GridModel::GridModel(GridConfig config)
+    : config_(config), frequency_hz_(config.nominal_frequency_hz), rng_(config.noise_seed) {}
+
+std::size_t GridModel::add_generator(Generator gen) {
+  generators_.push_back(std::move(gen));
+  return generators_.size() - 1;
+}
+
+std::size_t GridModel::add_load(Load load) {
+  loads_.push_back(std::move(load));
+  return loads_.size() - 1;
+}
+
+void GridModel::schedule(double at_seconds, std::string description,
+                         std::function<void()> apply) {
+  pending_events_.push_back(GridEvent{at_seconds, std::move(apply), std::move(description)});
+  std::sort(pending_events_.begin(), pending_events_.end(),
+            [](const GridEvent& a, const GridEvent& b) { return a.at_seconds < b.at_seconds; });
+}
+
+double GridModel::total_generation_mw() const {
+  double total = 0.0;
+  for (const auto& g : generators_) total += g.output_mw();
+  return total;
+}
+
+void GridModel::step(double dt) {
+  time_s_ += dt;
+
+  while (!pending_events_.empty() && pending_events_.front().at_seconds <= time_s_) {
+    pending_events_.front().apply();
+    pending_events_.erase(pending_events_.begin());
+  }
+
+  // Primary frequency response: each online governor counters the current
+  // deviation within +-10% of unit capacity (droop characteristic).
+  double f0_pre = config_.nominal_frequency_hz;
+  double dev_pre = frequency_hz_ - f0_pre;
+  for (auto& g : generators_) {
+    if (g.phase() == GeneratorPhase::kOnline && g.config().governor_droop > 0.0) {
+      double cap = g.config().capacity_mw;
+      double response = -dev_pre / (f0_pre * g.config().governor_droop) * cap;
+      g.set_governor_target(std::clamp(response, -0.1 * cap, 0.1 * cap));
+    } else {
+      g.set_governor_target(0.0);
+    }
+    g.step(dt);
+  }
+
+  double load_mw = 0.0;
+  for (const auto& l : loads_) load_mw += l.demand_mw(rng_);
+
+  // Frequency-dependent load damping around nominal.
+  double f0 = config_.nominal_frequency_hz;
+  double dev = frequency_hz_ - f0;
+  load_mw *= 1.0 + config_.damping / 100.0 * dev;
+  last_load_mw_ = load_mw;
+
+  double gen_mw = total_generation_mw();
+  double capacity = 0.0;
+  for (const auto& g : generators_) capacity += g.config().capacity_mw;
+  if (capacity < 1.0) capacity = 1.0;
+
+  // Swing equation on the aggregate base: 2H/f0 * df/dt = (Pgen-Pload)/S.
+  double imbalance_pu = (gen_mw - load_mw) / capacity;
+  double dfdt = imbalance_pu * f0 / (2.0 * config_.inertia_s);
+  frequency_hz_ += dfdt * dt;
+  // Numerical guard: keep frequency in a physically plausible band.
+  frequency_hz_ = std::clamp(frequency_hz_, 0.8 * f0, 1.2 * f0);
+}
+
+}  // namespace uncharted::power

@@ -1,0 +1,19 @@
+#include "power/measurement.hpp"
+
+namespace uncharted::power {
+
+std::string physical_symbol_name(PhysicalSymbol s) {
+  switch (s) {
+    case PhysicalSymbol::kCurrent: return "I";
+    case PhysicalSymbol::kActivePower: return "P";
+    case PhysicalSymbol::kReactivePower: return "Q";
+    case PhysicalSymbol::kVoltage: return "U";
+    case PhysicalSymbol::kFrequency: return "Freq";
+    case PhysicalSymbol::kStatus: return "Status";
+    case PhysicalSymbol::kSetpoint: return "AGC-SP";
+    case PhysicalSymbol::kOther: return "-";
+  }
+  return "-";
+}
+
+}  // namespace uncharted::power

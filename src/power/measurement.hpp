@@ -1,0 +1,52 @@
+// Measurement sampling: turns grid state into the telemetry points an RTU
+// reports, with the spontaneous-threshold logic the paper dissects (§6.3
+// Type 5: values are sent only when they move past a configured threshold,
+// which can starve a connection of I-messages for >T3 seconds).
+#pragma once
+
+#include <cmath>
+#include <string>
+
+namespace uncharted::power {
+
+/// Physical quantity kinds, following the paper's Table 8 legend.
+enum class PhysicalSymbol {
+  kCurrent,      ///< I
+  kActivePower,  ///< P
+  kReactivePower,///< Q
+  kVoltage,      ///< U
+  kFrequency,    ///< Freq
+  kStatus,       ///< breaker / switch status
+  kSetpoint,     ///< AGC-SP
+  kOther,
+};
+
+std::string physical_symbol_name(PhysicalSymbol s);
+
+/// Decides when a measured value is reported spontaneously.
+class SpontaneousReporter {
+ public:
+  /// threshold: absolute change that triggers a report. A large threshold
+  /// reproduces the paper's "stale data" outstation.
+  explicit SpontaneousReporter(double threshold) : threshold_(threshold) {}
+
+  /// Returns true when `value` differs from the last reported value by more
+  /// than the threshold (always true for the first sample).
+  bool should_report(double value) {
+    if (!has_last_ || std::fabs(value - last_reported_) > threshold_) {
+      last_reported_ = value;
+      has_last_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  double threshold() const { return threshold_; }
+
+ private:
+  double threshold_;
+  double last_reported_ = 0.0;
+  bool has_last_ = false;
+};
+
+}  // namespace uncharted::power

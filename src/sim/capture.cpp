@@ -1,0 +1,1014 @@
+#include "sim/capture.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "iccp/iccp.hpp"
+#include "iec104/apdu.hpp"
+#include "iec104/constants.hpp"
+#include "power/agc.hpp"
+#include "power/grid.hpp"
+#include "sim/scheduler.hpp"
+#include "synchro/c37118.hpp"
+#include "sim/signals.hpp"
+#include "sim/tcp.hpp"
+#include "util/rng.hpp"
+
+namespace uncharted::sim {
+
+namespace {
+
+using iec104::Apdu;
+using iec104::Asdu;
+using iec104::Cause;
+using iec104::CodecProfile;
+using iec104::TypeId;
+using iec104::UFunction;
+
+// Capture start epochs: 2019-06-15 and 2020-06-13, 00:00 UTC.
+constexpr Timestamp kY1Start = 1560556800ULL * kMicrosPerSecond;
+constexpr Timestamp kY2Start = 1592006400ULL * kMicrosPerSecond;
+
+constexpr double kSecondaryKeepAlivePeriod = 30.0;  ///< paper: ~30 s U16 cadence
+
+/// Per-year tuning of the misbehaving-backup churn so the Table 3 flow
+/// proportions come out with the paper's shape.
+struct ChurnTuning {
+  double rst_retry_s;         ///< interval between refused SYN attempts
+  int accept_every_cycles;    ///< one accept-then-reset per this many refusals
+  double silent_retry_s;      ///< interval between ignored SYN attempts
+  double atr_cycle_s;         ///< accept-then-reset cycle length (type 6)
+};
+
+ChurnTuning tuning_for(bool year2) {
+  // Y1: sub-second refusals dominate (99.8% of short-lived flows < 1 s) and
+  // silent-ignored SYNs inflate the "long-lived" class to ~26%.
+  // Y2: the silent-ignore outstations are gone and accept-then-reset cycles
+  // are relatively more common (6.5% of short-lived flows > 1 s).
+  if (!year2) return ChurnTuning{4.0, 300, 6.0, 240.0};
+  return ChurnTuning{1.2, 40, 0.0, 30.0};
+}
+
+class CaptureBuilder {
+ public:
+  explicit CaptureBuilder(const CaptureConfig& config)
+      : config_(config),
+        topo_(Topology::paper_topology()),
+        rng_(config.seed),
+        start_(config.year2 ? kY2Start : kY1Start),
+        end_(start_ + from_seconds(config.duration_s)),
+        grid_(power::GridConfig{60.0, 5.0, 1.5, config.seed ^ 0x9e37ULL}) {}
+
+  CaptureResult run();
+
+ private:
+  // ---- transport plumbing --------------------------------------------------
+
+  struct Link {
+    const OutstationSpec* os = nullptr;
+    const ControlServerSpec* server = nullptr;
+    std::unique_ptr<SimTcpConnection> conn;
+    CodecProfile profile;
+    std::uint16_t ns_ctl = 0;  ///< control server's N(S)
+    std::uint16_t ns_out = 0;  ///< outstation's N(S)
+    int unacked_from_out = 0;
+    Timestamp last_apdu = 0;
+    /// Next time the link may carry a frame. Independent scheduler events
+    /// (periodic signals, spontaneous batches, AGC) emit onto the same TCP
+    /// connection; serializing their synthetic timestamps keeps per-link
+    /// frame times monotonic, as a real single connection would be.
+    Timestamp busy_until = 0;
+    bool started = false;
+  };
+
+  /// A station's view: signals, reporters, routing to the active link.
+  struct Station {
+    const OutstationSpec* os = nullptr;
+    Link* primary = nullptr;
+    Link* secondary = nullptr;
+    std::vector<SignalSpec> signals;
+    std::vector<power::SpontaneousReporter> reporters;  ///< parallel to signals
+    std::optional<std::size_t> gen;
+  };
+
+  FrameSink sink() {
+    return [this](Timestamp ts, std::vector<std::uint8_t> frame) {
+      raw_frames_.push_back({ts, std::move(frame)});
+    };
+  }
+
+  std::uint16_t ephemeral_port() {
+    if (next_port_ < 49152) next_port_ = 49152;
+    return next_port_++;
+  }
+
+  Link* make_link(const OutstationSpec& os, const ControlServerSpec& server) {
+    auto link = std::make_unique<Link>();
+    link->os = &os;
+    link->server = &server;
+    Endpoint client = Endpoint::make(server.ip, ephemeral_port());
+    Endpoint srv = Endpoint::make(os.ip, iec104::kIec104Port);
+    link->conn = std::make_unique<SimTcpConnection>(client, srv, sink(), &rng_);
+    link->conn->set_retransmit_probability(config_.retransmit_probability);
+    if (os.legacy_cot && os.legacy_ioa) {
+      link->profile = CodecProfile::legacy_both();
+    } else if (os.legacy_cot) {
+      link->profile = CodecProfile::legacy_cot();
+    } else if (os.legacy_ioa) {
+      link->profile = CodecProfile::legacy_ioa();
+    }
+    links_.push_back(std::move(link));
+    return links_.back().get();
+  }
+
+  Timestamp send_apdu(Link& link, Timestamp ts, bool from_ctl, const Apdu& apdu) {
+    auto bytes = apdu.encode(link.profile);
+    if (!bytes) return ts;  // cannot happen for well-formed builders
+    ts = std::max(ts, link.busy_until);
+    link.last_apdu = ts;
+    Timestamp done = link.conn->send(ts, /*from_client=*/from_ctl, bytes.value());
+    link.busy_until = done + 500;
+    return done;
+  }
+
+  Timestamp send_u(Link& link, Timestamp ts, bool from_ctl, UFunction f) {
+    return send_apdu(link, ts, from_ctl, Apdu::make_u(f));
+  }
+
+  Timestamp send_i_from_out(Link& link, Timestamp ts, Asdu asdu) {
+    Apdu apdu = Apdu::make_i(link.ns_out, link.ns_ctl, std::move(asdu));
+    link.ns_out = static_cast<std::uint16_t>((link.ns_out + 1) % 32768);
+    ts = send_apdu(link, ts, /*from_ctl=*/false, apdu);
+    if (++link.unacked_from_out >= 8) {
+      ts += 2000 + rng_.below(4000);
+      ts = send_apdu(link, ts, /*from_ctl=*/true, Apdu::make_s(link.ns_out));
+      link.unacked_from_out = 0;
+    }
+    return ts;
+  }
+
+  Timestamp send_i_from_ctl(Link& link, Timestamp ts, Asdu asdu) {
+    Apdu apdu = Apdu::make_i(link.ns_ctl, link.ns_out, std::move(asdu));
+    link.ns_ctl = static_cast<std::uint16_t>((link.ns_ctl + 1) % 32768);
+    return send_apdu(link, ts, /*from_ctl=*/true, apdu);
+  }
+
+  /// Opens the TCP connection and performs STARTDT (controlling side).
+  Timestamp open_and_start(Link& link, Timestamp ts) {
+    ts = link.conn->open(ts);
+    ts += 20'000 + rng_.below(30'000);
+    ts = send_u(link, ts, true, UFunction::kStartDtAct);
+    ts += 10'000 + rng_.below(20'000);
+    ts = send_u(link, ts, false, UFunction::kStartDtCon);
+    link.started = true;
+    link.last_apdu = ts;
+    return ts;
+  }
+
+  // ---- ASDU builders -------------------------------------------------------
+
+  Asdu measurement_asdu(const Station& st, const SignalSpec& sig, Cause cause,
+                        double value, Timestamp ts) {
+    Asdu asdu;
+    asdu.type = static_cast<TypeId>(sig.type_id);
+    asdu.cot.cause = cause;
+    asdu.common_address = static_cast<std::uint16_t>(st.os->id);
+    iec104::InformationObject obj;
+    obj.ioa = sig.ioa;
+    obj.value = element_for(sig, value);
+    if (iec104::has_time_tag(asdu.type)) {
+      obj.time = iec104::Cp56Time2a::from_timestamp(ts);
+    }
+    asdu.objects.push_back(std::move(obj));
+    return asdu;
+  }
+
+  iec104::ElementValue element_for(const SignalSpec& sig, double value) {
+    switch (sig.type_id) {
+      case 1:
+      case 30: {
+        iec104::SinglePoint e;
+        e.on = value > 0.5;
+        return e;
+      }
+      case 3:
+      case 31: {
+        iec104::DoublePoint e;
+        e.state = static_cast<std::uint8_t>(std::clamp(value, 0.0, 3.0));
+        return e;
+      }
+      case 5: {
+        iec104::StepPosition e;
+        e.value = static_cast<std::int8_t>(std::clamp(value, -63.0, 63.0));
+        return e;
+      }
+      case 7: {
+        iec104::Bitstring32 e;
+        e.bits = static_cast<std::uint32_t>(value);
+        return e;
+      }
+      case 9:
+      case 21:
+      case 34: {
+        iec104::NormalizedValue e;
+        e.raw = iec104::NormalizedValue::to_raw(value / 1000.0);
+        return e;
+      }
+      case 11:
+      case 35: {
+        iec104::ScaledValue e;
+        e.value = static_cast<std::int16_t>(std::clamp(value, -32768.0, 32767.0));
+        return e;
+      }
+      default: {  // 13, 36 and any other float reporting
+        iec104::ShortFloat e;
+        e.value = static_cast<float>(value);
+        return e;
+      }
+    }
+  }
+
+  // ---- physical model ------------------------------------------------------
+
+  void setup_grid() {
+    double online_total = 0.0;
+    for (const auto& os : topo_.outstations) {
+      bool present = config_.year2 ? os.in_y2 : os.in_y1;
+      if (!present) continue;
+      const auto* sub = &topo_.substations[static_cast<std::size_t>(os.substation - 1)];
+      bool reports = !build_signals(os, config_.year2).empty();
+      if (!sub->has_generator || !reports) continue;
+
+      power::GeneratorConfig cfg;
+      cfg.name = os.name();
+      cfg.capacity_mw = 60.0 + (os.id * 13) % 300;
+      cfg.ramp_mw_per_s = 0.5 + (os.id % 5) * 0.2;
+      cfg.nominal_voltage_kv = 130.0;
+      cfg.agc_participant = os.agc_generator;
+
+      bool starts_offline = config_.include_physical_events && os.id == 31 && !config_.year2;
+      double initial = 0.55 * cfg.capacity_mw;
+      grid_.add_generator(power::Generator(cfg, !starts_offline, initial));
+      gen_index_[os.id] = grid_.generator_count() - 1;
+      if (!starts_offline) online_total += initial;
+    }
+
+    // Loads balance initial generation; one small block is disconnectable
+    // (the Fig 18 "unmet load" event).
+    grid_.add_load(power::Load(power::LoadConfig{"base", online_total * 0.94, 0.004}));
+    grid_.add_load(power::Load(power::LoadConfig{"event-block", online_total * 0.06, 0.01}));
+
+    std::vector<std::size_t> participants;
+    for (const auto& [id, idx] : gen_index_) {
+      if (grid_.generator(idx).config().agc_participant) participants.push_back(idx);
+    }
+    double capacity = 0.0;
+    for (const auto& [id, idx] : gen_index_) {
+      capacity += grid_.generator(idx).config().capacity_mw;
+    }
+    power::AgcConfig agc_cfg;
+    agc_cfg.cycle_seconds = 8.0;
+    agc_cfg.frequency_bias_mw_per_tenth_hz = capacity / 100.0;
+    agc_cfg.deadband_hz = 0.03;
+    agc_cfg.min_command_delta_mw = 2.5;
+    agc_ = power::AgcController(agc_cfg, participants);
+
+    if (config_.include_physical_events) {
+      double dur = config_.duration_s;
+      double loss_at = 0.35 * dur;
+      truth_.load_loss_at_s = loss_at;
+      truth_.load_restore_at_s = loss_at + std::min(150.0, 0.15 * dur);
+      grid_.schedule(loss_at, "load loss", [this] { grid_.load(1).disconnect(); });
+      grid_.schedule(truth_.load_restore_at_s, "load restore",
+                     [this] { grid_.load(1).reconnect(); });
+
+      if (!config_.year2 && gen_index_.count(31)) {
+        double online_at = 0.55 * dur;
+        truth_.generator_online_at_s = online_at;
+        truth_.generator_online_outstation = 31;
+        std::size_t gi = gen_index_[31];
+        grid_.schedule(online_at, "generator startup",
+                       [this, gi] { grid_.generator(gi).begin_startup(); });
+      }
+    }
+  }
+
+  double sample_value(const Station& st, const SignalSpec& sig) {
+    const power::Generator* gen =
+        st.gen ? &grid_.generator(*st.gen) : nullptr;
+    double noise = rng_.normal();
+    switch (sig.symbol) {
+      case power::PhysicalSymbol::kActivePower:
+        return gen ? gen->output_mw() + 0.15 * noise : 40.0 + 0.5 * noise;
+      case power::PhysicalSymbol::kReactivePower:
+        return gen ? gen->reactive_mvar() + 0.1 * noise : 8.0 + 0.3 * noise;
+      case power::PhysicalSymbol::kVoltage:
+        return gen ? gen->terminal_voltage_kv() + 0.08 * noise : 228.0 + 0.3 * noise;
+      case power::PhysicalSymbol::kCurrent:
+        return gen ? gen->current_ka() + 0.002 * noise : 0.4 + 0.005 * noise;
+      case power::PhysicalSymbol::kFrequency:
+        return grid_.frequency_hz() + 0.0008 * noise;
+      case power::PhysicalSymbol::kStatus:
+        return gen ? static_cast<double>(gen->breaker()) : 2.0;
+      case power::PhysicalSymbol::kSetpoint:
+        return gen ? gen->setpoint() : 0.0;
+      case power::PhysicalSymbol::kOther:
+        return 5.0 + 0.1 * noise;
+    }
+    return 0.0;
+  }
+
+  // ---- behaviours ----------------------------------------------------------
+
+  /// General interrogation exchange on a link (Fig 15): server I100 act,
+  /// outstation actcon, burst of COT=20 values, I100 actterm.
+  Timestamp gi_exchange(Station& st, Link& link, Timestamp ts) {
+    Asdu act;
+    act.type = TypeId::C_IC_NA_1;
+    act.cot.cause = Cause::kActivation;
+    act.common_address = static_cast<std::uint16_t>(st.os->id);
+    act.objects.push_back({0, iec104::InterrogationCommand{20}, std::nullopt});
+    ts = send_i_from_ctl(link, ts + 5000, act);
+
+    Asdu con = act;
+    con.cot.cause = Cause::kActivationCon;
+    ts = send_i_from_out(link, ts + 30'000, con);
+
+    // Values, batched: up to 8 objects of the same type per ASDU.
+    std::size_t i = 0;
+    while (i < st.signals.size()) {
+      const auto& first = st.signals[i];
+      Asdu batch;
+      batch.type = static_cast<TypeId>(first.type_id);
+      batch.cot.cause = Cause::kInterrogatedByStation;
+      batch.common_address = static_cast<std::uint16_t>(st.os->id);
+      while (i < st.signals.size() && st.signals[i].type_id == first.type_id &&
+             batch.objects.size() < 8) {
+        const auto& sig = st.signals[i];
+        iec104::InformationObject obj;
+        obj.ioa = sig.ioa;
+        obj.value = element_for(sig, sample_value(st, sig));
+        if (iec104::has_time_tag(batch.type)) {
+          obj.time = iec104::Cp56Time2a::from_timestamp(ts);
+        }
+        batch.objects.push_back(std::move(obj));
+        ++i;
+      }
+      ts = send_i_from_out(link, ts + 20'000 + rng_.below(30'000), batch);
+    }
+
+    Asdu term = act;
+    term.cot.cause = Cause::kActivationTerm;
+    return send_i_from_out(link, ts + 20'000, term);
+  }
+
+  /// Periodic U16/U32 keep-alive loop on a healthy secondary link.
+  void schedule_keepalive(Link* link, double period_s, Timestamp first) {
+    sched_.schedule_at(first, [this, link, period_s](Timestamp ts) {
+      if (ts >= end_) return;
+      Timestamp t2 = send_u(*link, ts, true, UFunction::kTestFrAct);
+      send_u(*link, t2 + 15'000 + rng_.below(20'000), false, UFunction::kTestFrCon);
+      double jitter = period_s * (0.97 + 0.06 * rng_.uniform());
+      schedule_keepalive(link, period_s, ts + from_seconds(jitter));
+    });
+  }
+
+  /// Unanswered U16 loop (the (1,1) Markov point): C2-O30 style, on a
+  /// persistent connection that is never torn down.
+  void schedule_unanswered_keepalive(Link* link, double period_s, Timestamp first) {
+    sched_.schedule_at(first, [this, link, period_s](Timestamp ts) {
+      if (ts >= end_) return;
+      send_u(*link, ts, true, UFunction::kTestFrAct);
+      schedule_unanswered_keepalive(link, period_s, ts + from_seconds(period_s));
+    });
+  }
+
+  /// Churning backup connection: refused SYNs with occasional accepted
+  /// cycles in which the server's U16 goes unanswered until a reset.
+  void schedule_reject_churn(const OutstationSpec& os, const ControlServerSpec& server,
+                             Timestamp first, int cycle_number) {
+    sched_.schedule_at(first, [this, &os, &server, cycle_number](Timestamp ts) {
+      if (ts >= end_) return;
+      ChurnTuning tune = tuning_for(config_.year2);
+      bool accept_cycle = tune.accept_every_cycles > 0 &&
+                          cycle_number % tune.accept_every_cycles ==
+                              std::min(25, tune.accept_every_cycles / 2);
+      double next_in = tune.rst_retry_s * (0.9 + 0.2 * rng_.uniform());
+
+      if (os.reject_mode == BackupRejectMode::kSilentIgnore) {
+        Endpoint client = Endpoint::make(server.ip, ephemeral_port());
+        Endpoint srv = Endpoint::make(os.ip, iec104::kIec104Port);
+        SimTcpConnection conn(client, srv, sink(), &rng_);
+        conn.open_ignored(ts, 2);
+        next_in = tune.silent_retry_s * (0.9 + 0.2 * rng_.uniform());
+      } else if (accept_cycle || os.reject_mode == BackupRejectMode::kAcceptThenReset) {
+        // Handshake completes; server sends TESTFR on T3 idle (20 s), gets
+        // nothing, sends once more, then the outstation resets (Fig 9).
+        Link* link = make_link(os, server);
+        Timestamp t = link->conn->open(ts);
+        t = send_u(*link, t + from_seconds(20.0), true, UFunction::kTestFrAct);
+        t = send_u(*link, t + from_seconds(12.0), true, UFunction::kTestFrAct);
+        link->conn->close_rst(t + from_seconds(3.0), /*from_client=*/false);
+        next_in = (os.reject_mode == BackupRejectMode::kAcceptThenReset
+                       ? tune.atr_cycle_s
+                       : tune.rst_retry_s) *
+                  (0.9 + 0.2 * rng_.uniform());
+      } else {
+        Endpoint client = Endpoint::make(server.ip, ephemeral_port());
+        Endpoint srv = Endpoint::make(os.ip, iec104::kIec104Port);
+        SimTcpConnection conn(client, srv, sink(), &rng_);
+        conn.open_refused(ts);
+      }
+      schedule_reject_churn(os, server, ts + from_seconds(next_in), cycle_number + 1);
+    });
+  }
+
+  /// Spontaneous sampling tick for one station (every ~2 s).
+  void schedule_spontaneous(Station* st, Timestamp first) {
+    sched_.schedule_at(first, [this, st](Timestamp ts) {
+      if (ts >= end_) return;
+      if (st->primary && st->primary->started) {
+        Timestamp t = ts;
+        for (std::size_t i = 0; i < st->signals.size(); ++i) {
+          const auto& sig = st->signals[i];
+          if (sig.period_s > 0.0) continue;
+          double value = sample_value(*st, sig);
+          if (st->reporters[i].should_report(value)) {
+            t = send_i_from_out(*st->primary, t + 3000 + rng_.below(5000),
+                                measurement_asdu(*st, sig, Cause::kSpontaneous, value, t));
+          }
+        }
+      }
+      schedule_spontaneous(st, ts + from_seconds(2.0 * (0.9 + 0.2 * rng_.uniform())));
+    });
+  }
+
+  /// Periodic reporting for one signal.
+  void schedule_periodic(Station* st, std::size_t sig_index, Timestamp first) {
+    sched_.schedule_at(first, [this, st, sig_index](Timestamp ts) {
+      if (ts >= end_) return;
+      const auto& sig = st->signals[sig_index];
+      if (st->primary && st->primary->started) {
+        double value = sample_value(*st, sig);
+        send_i_from_out(*st->primary, ts,
+                        measurement_asdu(*st, sig, Cause::kPeriodic, value, ts));
+      }
+      double jitter = sig.period_s * (0.95 + 0.1 * rng_.uniform());
+      schedule_periodic(st, sig_index, ts + from_seconds(jitter));
+    });
+  }
+
+  /// Type 5: when the primary link has been idle longer than T3, the
+  /// endpoint emits an in-band TESTFR pair.
+  void schedule_idle_test(Station* st, Timestamp first) {
+    sched_.schedule_at(first, [this, st](Timestamp ts) {
+      if (ts >= end_) return;
+      Link* link = st->primary;
+      if (link && link->started && ts > link->last_apdu &&
+          ts - link->last_apdu > from_seconds(20.0)) {
+        Timestamp t = send_u(*link, ts, false, UFunction::kTestFrAct);
+        send_u(*link, t + 10'000 + rng_.below(10'000), true, UFunction::kTestFrCon);
+      }
+      schedule_idle_test(st, ts + from_seconds(5.0));
+    });
+  }
+
+  /// Server-side S flusher: acknowledge outstanding I APDUs within ~T2.
+  void schedule_ack_flush(Link* link, Timestamp first) {
+    sched_.schedule_at(first, [this, link](Timestamp ts) {
+      if (ts >= end_) return;
+      if (link->started && link->unacked_from_out > 0 && ts > link->last_apdu &&
+          ts - link->last_apdu > from_seconds(8.0)) {
+        send_apdu(*link, ts, true, Apdu::make_s(link->ns_out));
+        link->unacked_from_out = 0;
+      }
+      schedule_ack_flush(link, ts + from_seconds(5.0));
+    });
+  }
+
+  /// Clock synchronization (I103) every 10 minutes.
+  void schedule_clock_sync(Station* st, Timestamp first) {
+    sched_.schedule_at(first, [this, st](Timestamp ts) {
+      if (ts >= end_) return;
+      if (st->primary && st->primary->started) {
+        Asdu act;
+        act.type = TypeId::C_CS_NA_1;
+        act.cot.cause = Cause::kActivation;
+        act.common_address = static_cast<std::uint16_t>(st->os->id);
+        act.objects.push_back(
+            {0, iec104::ClockSync{iec104::Cp56Time2a::from_timestamp(ts)}, std::nullopt});
+        Timestamp t = send_i_from_ctl(*st->primary, ts, act);
+        Asdu con = act;
+        con.cot.cause = Cause::kActivationCon;
+        send_i_from_out(*st->primary, t + 40'000 + rng_.below(40'000), con);
+      }
+      schedule_clock_sync(st, ts + from_seconds(1800.0));
+    });
+  }
+
+  /// Grid tick: physics at 1 Hz, AGC every 4 s, setpoint commands on wire.
+  void schedule_grid_tick(Timestamp first) {
+    sched_.schedule_at(first, [this](Timestamp ts) {
+      if (ts >= end_) return;
+      grid_.step(1.0);
+      // Newly synchronized generator gets a dispatch target (Fig 20: power
+      // ramps once the breaker closes).
+      for (auto& [osid, gi] : gen_index_) {
+        auto& gen = grid_.generator(gi);
+        if (gen.phase() == power::GeneratorPhase::kOnline && gen.setpoint() < 1.0 &&
+            gen.output_mw() < 1.0) {
+          gen.set_setpoint(0.5 * gen.config().capacity_mw);
+        }
+      }
+      auto commands = agc_->step(grid_);
+      for (const auto& cmd : commands) {
+        // Find the station owning this generator and send I50.
+        for (auto& st : stations_) {
+          if (!st->gen || *st->gen != cmd.generator_index) continue;
+          if (!st->primary || !st->primary->started) break;
+          Asdu act;
+          act.type = TypeId::C_SE_NC_1;
+          act.cot.cause = Cause::kActivation;
+          act.common_address = static_cast<std::uint16_t>(st->os->id);
+          act.objects.push_back(
+              {9001, iec104::SetpointFloat{static_cast<float>(cmd.setpoint_mw), 0},
+               std::nullopt});
+          Timestamp t = send_i_from_ctl(*st->primary, ts + 50'000, act);
+          Asdu con = act;
+          con.cot.cause = Cause::kActivationCon;
+          send_i_from_out(*st->primary, t + 60'000 + rng_.below(60'000), con);
+          break;
+        }
+      }
+      schedule_grid_tick(ts + from_seconds(1.0));
+    });
+  }
+
+  /// The C4-O22 outlier: a non-operational RTU under test, four APDUs with
+  /// enormous gaps, then a reset (Y1 only).
+  void schedule_o22_test() {
+    const auto* os = topo_.find_outstation(22);
+    sched_.schedule_at(start_ + from_seconds(0.15 * config_.duration_s),
+                       [this, os](Timestamp ts) {
+                         Link* link = make_link(*os, topo_.servers[3]);  // C4
+                         Timestamp t = link->conn->open(ts);
+                         t = send_u(*link, t + 100'000, true, UFunction::kStartDtAct);
+                         double gap = config_.duration_s * 0.15;
+                         t = send_u(*link, t + from_seconds(gap), false,
+                                    UFunction::kStartDtCon);
+                         t = send_u(*link, t + from_seconds(gap), true,
+                                    UFunction::kTestFrAct);
+                         t = send_u(*link, t + from_seconds(gap), false,
+                                    UFunction::kTestFrCon);
+                         link->conn->close_rst(t + from_seconds(gap * 0.3), false);
+                       });
+  }
+
+  /// Type 8: keep-alive on the new server, then mid-capture switchover:
+  /// STARTDT + I100 + data stream moves over (Fig 16).
+  void schedule_switchover(Station* st, Link* old_primary, Link* new_primary,
+                           double at_fraction) {
+    sched_.schedule_at(
+        start_ + from_seconds(at_fraction * config_.duration_s),
+        [this, st, old_primary, new_primary](Timestamp ts) {
+          if (ts >= end_) return;
+          Timestamp t = send_u(*new_primary, ts, true, UFunction::kStartDtAct);
+          t = send_u(*new_primary, t + 15'000, false, UFunction::kStartDtCon);
+          new_primary->started = true;
+          t = gi_exchange(*st, *new_primary, t + 50'000);
+          st->primary = new_primary;
+          old_primary->started = false;
+          // The old primary falls back to keep-alive duty.
+          schedule_keepalive(old_primary, kSecondaryKeepAlivePeriod,
+                             t + from_seconds(kSecondaryKeepAlivePeriod));
+        });
+  }
+
+  void setup_station(const OutstationSpec& os);
+
+  // ---- background protocols (Fig 5: C37.118 + ICCP) ------------------------
+
+  struct PmuStream {
+    std::unique_ptr<SimTcpConnection> conn;
+    synchro::ConfigFrame config;
+    int gen_source = -1;  ///< generator index feeding the phasor values
+  };
+
+  /// One synchrophasor stream: data concentrator (server side of the tap)
+  /// receives `rate` data frames per second over a long-lived connection.
+  void setup_pmu_stream(int index, double rate_fps) {
+    auto pmu = std::make_unique<PmuStream>();
+    Endpoint client = Endpoint::make(
+        net::Ipv4Addr::from_octets(10, 3, 0, static_cast<std::uint8_t>(index + 1)),
+        ephemeral_port());
+    Endpoint server = Endpoint::make(topo_.servers[2].ip, synchro::kC37118Port);
+    pmu->conn = std::make_unique<SimTcpConnection>(client, server, sink(), &rng_);
+
+    synchro::PmuConfig cfg;
+    cfg.station_name = "PMU_" + std::to_string(index + 1);
+    cfg.idcode = static_cast<std::uint16_t>(100 + index);
+    cfg.phasor_names = {"VA", "VB", "VC", "I1"};
+    cfg.phasor_units = {915527, 915527, 915527, 45776};
+    cfg.analog_names = {"MW"};
+    cfg.nominal_freq_code = 0;  // 60 Hz
+    pmu->config.header.idcode = cfg.idcode;
+    pmu->config.time_base = 1'000'000;
+    pmu->config.data_rate = static_cast<std::uint16_t>(rate_fps);
+    pmu->config.pmus.push_back(std::move(cfg));
+    if (!gen_index_.empty()) {
+      auto it = gen_index_.begin();
+      std::advance(it, static_cast<long>(static_cast<std::size_t>(index) % gen_index_.size()));
+      pmu->gen_source = static_cast<int>(it->second);
+    }
+
+    // The stream predates the capture: handshake + CFG2 happen off-tape.
+    Timestamp pre = start_ - from_seconds(30.0 + 10.0 * index);
+    Timestamp t = pmu->conn->open(pre);
+    pmu->config.header.soc = timestamp_sec(t);
+    pmu->conn->send(t + 5000, false, synchro::encode_config(pmu->config));
+
+    PmuStream* raw = pmu.get();
+    pmu_streams_.push_back(std::move(pmu));
+    schedule_pmu_frame(raw, start_ + from_seconds(rng_.uniform(0.0, 1.0)), rate_fps);
+    schedule_pmu_config(raw, start_ + from_seconds(rng_.uniform(2.0, 20.0)));
+  }
+
+  /// Periodic CFG-2 re-announcement (the concentrator polls configuration
+  /// every few minutes; it also lets a mid-stream tap decode the data).
+  void schedule_pmu_config(PmuStream* pmu, Timestamp at) {
+    sched_.schedule_at(at, [this, pmu](Timestamp ts) {
+      if (ts >= end_) return;
+      synchro::CommandFrame cmd;
+      cmd.header.idcode = pmu->config.header.idcode;
+      cmd.header.soc = timestamp_sec(ts);
+      cmd.command = synchro::Command::kSendConfig2;
+      Timestamp t = pmu->conn->send(ts, /*from_client=*/false, synchro::encode_command(cmd));
+      pmu->config.header.soc = timestamp_sec(t);
+      pmu->conn->send(t + 20'000, /*from_client=*/true, synchro::encode_config(pmu->config));
+      schedule_pmu_config(pmu, ts + from_seconds(300.0));
+    });
+  }
+
+  void schedule_pmu_frame(PmuStream* pmu, Timestamp at, double rate_fps) {
+    sched_.schedule_at(at, [this, pmu, rate_fps](Timestamp ts) {
+      if (ts >= end_) return;
+      synchro::DataFrame frame;
+      frame.header.idcode = pmu->config.header.idcode;
+      frame.header.soc = timestamp_sec(ts);
+      frame.header.fracsec = static_cast<std::uint32_t>(
+          (timestamp_usec(ts) * (pmu->config.time_base / 1'000'000)));
+
+      double vmag = 132.8e3 / 1.7320508;  // phase voltage
+      double freq_dev = grid_.frequency_hz() - grid_.config().nominal_frequency_hz;
+      double mw = 0.0;
+      if (pmu->gen_source >= 0) {
+        const auto& gen = grid_.generator(static_cast<std::size_t>(pmu->gen_source));
+        vmag = gen.terminal_voltage_kv() * 1000.0 / 1.7320508;
+        mw = gen.output_mw();
+      }
+      synchro::PmuData data;
+      data.stat = 0;
+      double angle = 2.0943951;  // 120 degrees between phases
+      for (int ph = 0; ph < 3; ++ph) {
+        double a = -angle * ph + 0.002 * rng_.normal();
+        data.phasors.emplace_back(vmag * std::cos(a), vmag * std::sin(a));
+      }
+      data.phasors.emplace_back(400.0 + 2.0 * rng_.normal(), -30.0);  // current
+      data.freq_deviation_mhz = freq_dev * 1000.0;
+      data.rocof = 0.01 * rng_.normal();
+      data.analogs.push_back(mw);
+      frame.pmus.push_back(std::move(data));
+
+      pmu->conn->send(ts, /*from_client=*/true, synchro::encode_data(pmu->config, frame));
+      schedule_pmu_frame(pmu, ts + from_seconds(1.0 / rate_fps), rate_fps);
+    });
+  }
+
+  struct IccpLink {
+    std::unique_ptr<SimTcpConnection> conn;
+    std::string association;
+    std::uint32_t next_invoke = 1;
+  };
+
+  /// One ICCP association with another company's control center.
+  void setup_iccp_link(int index, const ControlServerSpec& local_server,
+                       double report_period_s) {
+    auto link = std::make_unique<IccpLink>();
+    Endpoint client = Endpoint::make(local_server.ip, ephemeral_port());
+    Endpoint server = Endpoint::make(
+        net::Ipv4Addr::from_octets(10, 4, 0, static_cast<std::uint8_t>(index + 1)),
+        iccp::kIsoTsapPort);
+    link->conn = std::make_unique<SimTcpConnection>(client, server, sink(), &rng_);
+    link->association = "TASE2-ASSOC-" + std::to_string(index + 1);
+
+    // Association predates the capture (ICCP links run for months).
+    Timestamp pre = start_ - from_seconds(120.0 + 15.0 * index);
+    Timestamp t = link->conn->open(pre);
+    iccp::Message req;
+    req.type = iccp::MessageType::kAssociationRequest;
+    req.invoke_id = link->next_invoke++;
+    req.association_name = link->association;
+    t = link->conn->send(t + 10'000, true, req.to_wire());
+    iccp::Message resp = req;
+    resp.type = iccp::MessageType::kAssociationResponse;
+    link->conn->send(t + 20'000, false, resp.to_wire());
+
+    IccpLink* raw = link.get();
+    iccp_links_.push_back(std::move(link));
+    schedule_iccp_report(raw, start_ + from_seconds(rng_.uniform(0.5, report_period_s)),
+                         report_period_s);
+  }
+
+  void schedule_iccp_report(IccpLink* link, Timestamp at, double period_s) {
+    sched_.schedule_at(at, [this, link, period_s](Timestamp ts) {
+      if (ts >= end_) return;
+      // The remote control center pushes a data-set of tie-line readings.
+      iccp::Message report;
+      report.type = iccp::MessageType::kInformationReport;
+      report.invoke_id = link->next_invoke++;
+      report.association_name = link->association;
+      for (int i = 0; i < 6; ++i) {
+        iccp::PointValue p;
+        p.name = "TIE_LINE_" + std::to_string(i + 1) + ".MW";
+        p.value = 120.0 + 15.0 * i + 2.0 * rng_.normal();
+        report.points.push_back(std::move(p));
+      }
+      iccp::PointValue freq;
+      freq.name = "AREA.FREQ";
+      freq.value = grid_.frequency_hz();
+      report.points.push_back(std::move(freq));
+      link->conn->send(ts, /*from_client=*/false, report.to_wire());
+
+      // Occasionally the local center reads a specific remote point.
+      if (rng_.chance(0.05)) {
+        iccp::Message read;
+        read.type = iccp::MessageType::kReadRequest;
+        read.invoke_id = link->next_invoke++;
+        read.association_name = link->association;
+        read.names = {"BUS7.KV"};
+        Timestamp t = link->conn->send(ts + 200'000, /*from_client=*/true, read.to_wire());
+        iccp::Message resp;
+        resp.type = iccp::MessageType::kReadResponse;
+        resp.invoke_id = read.invoke_id;
+        resp.association_name = link->association;
+        resp.points.push_back({"BUS7.KV", 231.0 + 0.4 * rng_.normal(), 0});
+        link->conn->send(t + 80'000, /*from_client=*/false, resp.to_wire());
+      }
+      schedule_iccp_report(link, ts + from_seconds(period_s * (0.95 + 0.1 * rng_.uniform())),
+                           period_s);
+    });
+  }
+
+  // ---- members -------------------------------------------------------------
+
+  const CaptureConfig config_;
+  Topology topo_;
+  Rng rng_;
+  Timestamp start_;
+  Timestamp end_;
+  power::GridModel grid_;
+  std::optional<power::AgcController> agc_;
+  std::map<int, std::size_t> gen_index_;
+  GroundTruth truth_;
+
+  EventScheduler sched_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<Station>> stations_;
+  std::vector<std::unique_ptr<PmuStream>> pmu_streams_;
+  std::vector<std::unique_ptr<IccpLink>> iccp_links_;
+  std::uint16_t next_port_ = 49152;
+
+  struct RawFrame {
+    Timestamp ts;
+    std::vector<std::uint8_t> data;
+  };
+  std::vector<RawFrame> raw_frames_;
+};
+
+void CaptureBuilder::setup_station(const OutstationSpec& os) {
+  auto station = std::make_unique<Station>();
+  Station* st = station.get();
+  st->os = &os;
+  st->signals = build_signals(os, config_.year2);
+  for (const auto& sig : st->signals) {
+    st->reporters.emplace_back(sig.threshold > 0 ? sig.threshold : 1e-9);
+    truth_.signals.push_back(SignalTruth{os.id, sig.ioa, sig.symbol, sig.type_id});
+  }
+  if (auto it = gen_index_.find(os.id); it != gen_index_.end()) st->gen = it->second;
+  stations_.push_back(std::move(station));
+
+  const auto& primary_srv = topo_.primary_server(os);
+  const auto& backup_srv = topo_.backup_server(os);
+  // Connections that pre-date the capture open before start_ (their
+  // handshakes are filtered out, leaving mid-stream long-lived flows).
+  Timestamp pre_open = start_ - from_seconds(60.0 + rng_.uniform(0, 240.0));
+
+  using OT = OutstationType;
+  switch (os.type) {
+    case OT::kType1_PrimaryOnly:
+    case OT::kType5_StaleSpontaneous: {
+      Link* link = make_link(os, primary_srv);
+      open_and_start(*link, pre_open);
+      st->primary = link;
+      break;
+    }
+    case OT::kType2_Ideal: {
+      Link* link = make_link(os, primary_srv);
+      open_and_start(*link, pre_open);
+      st->primary = link;
+      Link* backup = make_link(os, backup_srv);
+      backup->conn->open(pre_open + from_seconds(5.0));
+      st->secondary = backup;
+      schedule_keepalive(backup, kSecondaryKeepAlivePeriod,
+                         start_ + from_seconds(rng_.uniform(1.0, 30.0)));
+      break;
+    }
+    case OT::kType3_BackupOnly: {
+      // Redundant RTU: keep-alive connections to both servers of the pair.
+      for (const auto* srv : {&primary_srv, &backup_srv}) {
+        Link* link = make_link(os, *srv);
+        link->conn->open(pre_open);
+        schedule_keepalive(link, kSecondaryKeepAlivePeriod,
+                           start_ + from_seconds(rng_.uniform(1.0, 30.0)));
+      }
+      break;
+    }
+    case OT::kType4_BothServersI: {
+      // The unique outstation whose active server differs between captures;
+      // I-format only (reporting is frequent enough that T3 never fires).
+      const auto& srv = config_.year2 ? backup_srv : primary_srv;
+      Link* link = make_link(os, srv);
+      open_and_start(*link, pre_open);
+      st->primary = link;
+      break;
+    }
+    case OT::kType6_RejectBackupWithI: {
+      // I to the active server; the other server's backup attempts churn.
+      // Fig 13 places C1-O5 and C1-O8 but C2-O28 at the (1,1) point, so the
+      // churning side is C1 for O5/O8 and C2 for O28.
+      const auto& churn_srv = os.id == 28 ? backup_srv : primary_srv;
+      const auto& active_srv = os.id == 28 ? primary_srv : backup_srv;
+      Link* link = make_link(os, active_srv);
+      open_and_start(*link, pre_open);
+      st->primary = link;
+      schedule_reject_churn(os, churn_srv, start_ + from_seconds(rng_.uniform(0.0, 5.0)),
+                            0);
+      break;
+    }
+    case OT::kType7_ResetBackup: {
+      // Pure backup RTU whose keep-alive connection misbehaves. O24/O28/O30
+      // are served by the pair's backup server (C2), the rest by C1.
+      bool via_backup_server = os.id == 24 || os.id == 28 || os.id == 30;
+      const auto& srv = via_backup_server ? backup_srv : primary_srv;
+      if (os.secondary_t3_s) {
+        // C2-O30: a persistent connection with a misconfigured T3 of 430 s
+        // whose U16s are never answered.
+        Link* link = make_link(os, srv);
+        link->conn->open(pre_open);
+        schedule_unanswered_keepalive(link, *os.secondary_t3_s,
+                                      start_ + from_seconds(rng_.uniform(5.0, 60.0)));
+      } else {
+        schedule_reject_churn(os, srv, start_ + from_seconds(rng_.uniform(0.0, 4.0)), 0);
+      }
+      break;
+    }
+    case OT::kType8_Switchover: {
+      const auto& first_srv = primary_srv;
+      const auto& second_srv = backup_srv;
+      Link* a = make_link(os, first_srv);
+      open_and_start(*a, pre_open);
+      st->primary = a;
+      Link* b = make_link(os, second_srv);
+      b->conn->open(pre_open + from_seconds(4.0));
+      st->secondary = b;
+      double frac = 0.3 + 0.12 * (os.id % 4);
+      schedule_keepalive(b, kSecondaryKeepAlivePeriod,
+                         start_ + from_seconds(rng_.uniform(1.0, 30.0)));
+      schedule_switchover(st, a, b, frac);
+      break;
+    }
+  }
+
+  // Stations whose backup attempts are silently ignored (Y1 only) churn
+  // regardless of their data role: each ignored SYN is a new flow that the
+  // lifetime classifier counts as "long-lived" (no FIN/RST ever seen).
+  if (os.reject_mode == BackupRejectMode::kSilentIgnore &&
+      tuning_for(config_.year2).silent_retry_s > 0.0) {
+    schedule_reject_churn(os, backup_srv, start_ + from_seconds(rng_.uniform(0.0, 6.0)),
+                          0);
+  }
+
+  if (st->primary) {
+    schedule_ack_flush(st->primary, start_ + from_seconds(rng_.uniform(2.0, 7.0)));
+    bool any_spont = false;
+    for (std::size_t i = 0; i < st->signals.size(); ++i) {
+      if (st->signals[i].period_s > 0.0) {
+        schedule_periodic(st, i, start_ + from_seconds(rng_.uniform(0.5, st->signals[i].period_s)));
+      } else {
+        any_spont = true;
+      }
+    }
+    if (any_spont) {
+      schedule_spontaneous(st, start_ + from_seconds(rng_.uniform(0.5, 2.0)));
+    }
+    if (os.type == OT::kType5_StaleSpontaneous) {
+      schedule_idle_test(st, start_ + from_seconds(5.0));
+    }
+    if (station_gets_clock_sync(os.id)) {
+      schedule_clock_sync(st, start_ + from_seconds(rng_.uniform(30.0, 900.0)));
+    }
+    if (station_sends_end_of_init(os.id)) {
+      Station* stp = st;
+      sched_.schedule_at(start_ + from_seconds(1.0 + (os.id % 7)), [this, stp](Timestamp ts) {
+        Asdu ei;
+        ei.type = TypeId::M_EI_NA_1;
+        ei.cot.cause = Cause::kInitialized;
+        ei.common_address = static_cast<std::uint16_t>(stp->os->id);
+        ei.objects.push_back({0, iec104::EndOfInit{0}, std::nullopt});
+        send_i_from_out(*stp->primary, ts, ei);
+      });
+    }
+  }
+}
+
+CaptureResult CaptureBuilder::run() {
+  truth_.year2 = config_.year2;
+  truth_.duration_s = config_.duration_s;
+  truth_.start_ts = start_;
+
+  setup_grid();
+
+  for (const auto& os : topo_.outstations) {
+    bool present = config_.year2 ? os.in_y2 : os.in_y1;
+    if (!present) continue;
+    truth_.outstation_ids.push_back(os.id);
+    if (os.id == 22 && !config_.year2) {
+      schedule_o22_test();
+      continue;  // O22 is under test, not in regular operation
+    }
+    setup_station(os);
+  }
+
+  // Operator-initiated general interrogations on two stations (one of the
+  // three I100 trigger conditions in the standard).
+  for (int id : {1, 10}) {
+    sched_.schedule_at(start_ + from_seconds(0.2 * config_.duration_s * (1 + id % 3)),
+                       [this, id](Timestamp ts) {
+                         if (ts >= end_) return;
+                         for (auto& st : stations_) {
+                           if (st->os->id == id && st->primary && st->primary->started) {
+                             gi_exchange(*st, *st->primary, ts);
+                             break;
+                           }
+                         }
+                       });
+  }
+
+  if (config_.include_background_protocols) {
+    for (int i = 0; i < 3; ++i) setup_pmu_stream(i, 10.0);
+    setup_iccp_link(0, topo_.servers[0], 4.0);
+    setup_iccp_link(1, topo_.servers[2], 6.0);
+  }
+
+  schedule_grid_tick(start_ + from_seconds(1.0));
+  sched_.run_until(end_);
+
+  // Order frames by time and drop the pre-capture warm-up.
+  std::stable_sort(raw_frames_.begin(), raw_frames_.end(),
+                   [](const RawFrame& a, const RawFrame& b) { return a.ts < b.ts; });
+
+  CaptureResult result;
+  result.truth = std::move(truth_);
+  result.topology = std::move(topo_);
+  result.packets.reserve(raw_frames_.size());
+  for (auto& f : raw_frames_) {
+    if (f.ts < start_ || f.ts >= end_) continue;
+    net::CapturedPacket pkt;
+    pkt.ts = f.ts;
+    pkt.original_length = static_cast<std::uint32_t>(f.data.size());
+    pkt.data = std::move(f.data);
+    result.packets.push_back(std::move(pkt));
+  }
+  return result;
+}
+
+}  // namespace
+
+CaptureResult generate_capture(const CaptureConfig& config) {
+  CaptureBuilder builder(config);
+  return builder.run();
+}
+
+Status write_capture_pcap(const CaptureResult& capture, const std::string& path) {
+  auto writer = net::PcapWriter::open(path);
+  if (!writer) return writer.error();
+  for (const auto& pkt : capture.packets) {
+    auto st = writer->write(pkt.ts, pkt.data);
+    if (!st.ok()) return st;
+  }
+  return writer->close();
+}
+
+}  // namespace uncharted::sim

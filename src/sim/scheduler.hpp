@@ -1,0 +1,57 @@
+// Discrete-event scheduler driving the capture synthesis.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "util/timebase.hpp"
+
+namespace uncharted::sim {
+
+/// Min-heap of timestamped callbacks. Deterministic: ties break by
+/// insertion order.
+class EventScheduler {
+ public:
+  using Callback = std::function<void(Timestamp)>;
+
+  void schedule_at(Timestamp ts, Callback cb) {
+    queue_.push(Entry{ts, next_id_++, std::move(cb)});
+  }
+
+  void schedule_after(Timestamp now, DurationUs delay, Callback cb) {
+    schedule_at(now + static_cast<Timestamp>(delay), std::move(cb));
+  }
+
+  bool empty() const { return queue_.empty(); }
+  Timestamp next_time() const { return queue_.top().ts; }
+
+  /// Runs all events with ts <= horizon, in time order.
+  void run_until(Timestamp horizon) {
+    while (!queue_.empty() && queue_.top().ts <= horizon) {
+      // Copy out before pop so the callback can schedule more events.
+      Entry e = queue_.top();
+      queue_.pop();
+      e.cb(e.ts);
+    }
+  }
+
+ private:
+  struct Entry {
+    Timestamp ts;
+    std::uint64_t id;
+    Callback cb;
+
+    bool operator>(const Entry& other) const {
+      if (ts != other.ts) return ts > other.ts;
+      return id > other.id;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace uncharted::sim

@@ -1,0 +1,206 @@
+#include "sim/signals.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace uncharted::sim {
+
+namespace {
+using power::PhysicalSymbol;
+
+template <std::size_t N>
+bool contains(const std::array<int, N>& set, int id) {
+  return std::find(set.begin(), set.end(), id) != set.end();
+}
+
+// Station sets (invented, sized to Table 8's station counts; Y2-only
+// stations keep the Y1 counts roughly stable since others leave).
+constexpr std::array<int, 13> kI36Stations = {1, 4, 10, 12, 14, 17, 19, 25, 31, 34, 43, 50, 53};
+constexpr std::array<int, 20> kI13Stations = {1,  2,  4,  5,  8,  10, 12, 14, 17, 19,
+                                              25, 26, 31, 34, 39, 44, 45, 52, 54, 55};
+constexpr std::array<int, 6> kI3Stations = {1, 10, 25, 31, 34, 43};
+constexpr std::array<int, 4> kI31Stations = {1, 10, 31, 50};
+constexpr std::array<int, 3> kI1Stations = {4, 12, 26};
+constexpr std::array<int, 3> kClockSyncStations = {1, 10, 31};
+constexpr std::array<int, 2> kEndOfInitStations = {17, 19};
+}  // namespace
+
+bool station_reports_i36(int id) { return contains(kI36Stations, id); }
+bool station_reports_i13(int id) { return contains(kI13Stations, id); }
+bool station_reports_i3(int id) { return contains(kI3Stations, id); }
+bool station_reports_i31(int id) { return contains(kI31Stations, id); }
+bool station_reports_i1(int id) { return contains(kI1Stations, id); }
+bool station_gets_clock_sync(int id) { return contains(kClockSyncStations, id); }
+bool station_sends_end_of_init(int id) { return contains(kEndOfInitStations, id); }
+
+std::vector<SignalSpec> build_signals(const OutstationSpec& os, bool year2) {
+  std::vector<SignalSpec> signals;
+
+  // Keep-alive-only RTUs report nothing.
+  if (os.type == OutstationType::kType3_BackupOnly ||
+      os.type == OutstationType::kType7_ResetBackup) {
+    return signals;
+  }
+
+  int total = os.ioa_count(year2);
+  std::uint32_t next_ioa = 1001 + static_cast<std::uint32_t>(os.id) * 100;
+  auto ioa = [&]() { return next_ioa++; };
+
+  const std::array<PhysicalSymbol, 5> kRotation = {
+      PhysicalSymbol::kActivePower, PhysicalSymbol::kReactivePower,
+      PhysicalSymbol::kVoltage, PhysicalSymbol::kCurrent, PhysicalSymbol::kFrequency};
+
+  // Thresholds per symbol: small enough that normal noise reports every few
+  // samples. Type 5 uses huge thresholds (the paper's stale-data RTU).
+  auto threshold_for = [&](PhysicalSymbol s) {
+    double scale = os.type == OutstationType::kType5_StaleSpontaneous ? 60.0 : 1.0;
+    switch (s) {
+      case PhysicalSymbol::kActivePower: return 0.12 * scale;
+      case PhysicalSymbol::kReactivePower: return 0.08 * scale;
+      case PhysicalSymbol::kVoltage: return 0.06 * scale;
+      case PhysicalSymbol::kCurrent: return 0.0015 * scale;
+      case PhysicalSymbol::kFrequency: return 0.0006 * scale;
+      default: return 1.0;
+    }
+  };
+
+  int produced = 0;
+  // I36 stations: spontaneous, time-tagged floats (the dominant type).
+  if (station_reports_i36(os.id)) {
+    int n = std::min(total - produced, (2 * total) / 3);
+    for (int i = 0; i < n; ++i) {
+      PhysicalSymbol sym = kRotation[static_cast<std::size_t>(i) % kRotation.size()];
+      SignalSpec s;
+      s.ioa = ioa();
+      s.symbol = sym;
+      s.type_id = 36;
+      s.period_s = 0.0;
+      s.threshold = threshold_for(sym);
+      signals.push_back(s);
+      ++produced;
+    }
+  }
+
+  // I13 stations: periodic short floats (no time tag). The Type 5 station
+  // reports everything spontaneously instead (with its huge thresholds), so
+  // long idle gaps force in-band TESTFR keep-alives.
+  if (os.type == OutstationType::kType5_StaleSpontaneous) {
+    while (produced < total) {
+      PhysicalSymbol sym = kRotation[static_cast<std::size_t>(produced) % kRotation.size()];
+      SignalSpec s;
+      s.ioa = ioa();
+      s.symbol = sym;
+      s.type_id = 13;
+      s.period_s = 0.0;
+      s.threshold = threshold_for(sym);
+      signals.push_back(s);
+      ++produced;
+    }
+    return signals;
+  }
+  if (station_reports_i13(os.id)) {
+    int n = std::max(2, (total - produced) * 3 / 4);
+    n = std::min(n, total - produced);
+    for (int i = 0; i < n; ++i) {
+      PhysicalSymbol sym = kRotation[static_cast<std::size_t>(i + 2) % kRotation.size()];
+      SignalSpec s;
+      s.ioa = ioa();
+      s.symbol = sym;
+      s.type_id = 13;
+      s.period_s = 8.0;
+      signals.push_back(s);
+      ++produced;
+    }
+  }
+
+  // Status points (breaker / disconnector positions).
+  if (station_reports_i3(os.id) && produced < total) {
+    SignalSpec s;
+    s.ioa = ioa();
+    s.symbol = PhysicalSymbol::kStatus;
+    s.type_id = 3;
+    s.period_s = 60.0;  // periodic status refresh
+    signals.push_back(s);
+    ++produced;
+  }
+  if (station_reports_i31(os.id) && produced < total) {
+    SignalSpec s;
+    s.ioa = ioa();
+    s.symbol = PhysicalSymbol::kStatus;
+    s.type_id = 31;  // spontaneous, time-tagged breaker change
+    s.period_s = 0.0;
+    s.threshold = 0.5;
+    signals.push_back(s);
+    ++produced;
+  }
+  if (station_reports_i1(os.id) && produced < total) {
+    SignalSpec s;
+    s.ioa = ioa();
+    s.symbol = PhysicalSymbol::kStatus;
+    s.type_id = 1;
+    s.period_s = 240.0;
+    signals.push_back(s);
+    ++produced;
+  }
+
+  // Singleton stations for the rare monitor types (Table 8 count = 1 each).
+  if (os.id == 31 && produced < total) {  // I30: time-tagged single point
+    SignalSpec s;
+    s.ioa = ioa();
+    s.symbol = PhysicalSymbol::kStatus;
+    s.type_id = 30;
+    s.period_s = 0.0;
+    s.threshold = 0.5;
+    signals.push_back(s);
+    ++produced;
+  }
+  if (os.id == 34 && produced < total) {  // I5: transformer tap position
+    SignalSpec s;
+    s.ioa = ioa();
+    s.symbol = PhysicalSymbol::kOther;
+    s.type_id = 5;
+    s.period_s = 60.0;
+    signals.push_back(s);
+    ++produced;
+  }
+  if (os.id == 37) {  // I9: normalized values — the legacy-IOA device
+    int n = std::max(2, (total - produced) / 3);
+    for (int i = 0; i < n && produced < total; ++i) {
+      PhysicalSymbol sym = kRotation[static_cast<std::size_t>(i) % kRotation.size()];
+      SignalSpec s;
+      s.ioa = ioa();
+      s.symbol = sym;
+      s.type_id = 9;
+      s.period_s = 4.0;
+      signals.push_back(s);
+      ++produced;
+    }
+  }
+  if (os.id == 43 && produced < total) {  // I7: bitstring of alarm flags
+    SignalSpec s;
+    s.ioa = ioa();
+    s.symbol = PhysicalSymbol::kOther;
+    s.type_id = 7;
+    s.period_s = 180.0;
+    signals.push_back(s);
+    ++produced;
+  }
+
+  // Fill any remaining IOAs with slow periodic floats so the cloud size in
+  // Fig 6 (total IOAs) matches the ground truth counts.
+  while (produced < total) {
+    PhysicalSymbol sym = kRotation[static_cast<std::size_t>(produced) % kRotation.size()];
+    SignalSpec s;
+    s.ioa = ioa();
+    s.symbol = sym;
+    s.type_id = station_reports_i36(os.id) ? std::uint8_t{36} : std::uint8_t{13};
+    s.period_s = station_reports_i36(os.id) ? 0.0 : 20.0;
+    s.threshold = s.period_s == 0.0 ? threshold_for(sym) : 0.0;
+    signals.push_back(s);
+    ++produced;
+  }
+
+  return signals;
+}
+
+}  // namespace uncharted::sim

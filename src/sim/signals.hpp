@@ -1,0 +1,25 @@
+// Builds each outstation's telemetry signal map (IOA -> physical quantity,
+// ASDU type, reporting policy) so that the fleet-wide typeID mix matches
+// the paper's Tables 7 and 8.
+#pragma once
+
+#include <vector>
+
+#include "sim/topology.hpp"
+
+namespace uncharted::sim {
+
+/// Station sets driving Table 8's "Transmitting Station Count" column.
+/// Membership is by outstation id.
+bool station_reports_i36(int id);
+bool station_reports_i13(int id);
+bool station_reports_i3(int id);
+bool station_reports_i31(int id);
+bool station_reports_i1(int id);
+bool station_gets_clock_sync(int id);   ///< I103 targets (3 stations)
+bool station_sends_end_of_init(int id); ///< I70 senders (2 stations)
+
+/// Fills spec.signals for the given year. Deterministic per (id, year).
+std::vector<SignalSpec> build_signals(const OutstationSpec& os, bool year2);
+
+}  // namespace uncharted::sim

@@ -1,0 +1,118 @@
+#include "sim/tcp.hpp"
+
+namespace uncharted::sim {
+
+Endpoint Endpoint::make(net::Ipv4Addr ip, std::uint16_t port) {
+  Endpoint e;
+  e.ip = ip;
+  e.port = port;
+  // Locally administered MAC derived from the IP for determinism.
+  e.mac = net::MacAddr::from_u64(0x02'00'00'00'00'00ULL | ip.value);
+  return e;
+}
+
+SimTcpConnection::SimTcpConnection(Endpoint client, Endpoint server, FrameSink sink,
+                                   Rng* rng)
+    : client_(std::move(client)), server_(std::move(server)), sink_(std::move(sink)),
+      rng_(rng) {
+  client_state_.seq = static_cast<std::uint32_t>(rng_->next_u64());
+  server_state_.seq = static_cast<std::uint32_t>(rng_->next_u64());
+}
+
+DurationUs SimTcpConnection::hop_delay() {
+  return static_cast<DurationUs>(1000 + rng_->below(7000));  // 1-8 ms
+}
+
+void SimTcpConnection::emit(Timestamp ts, bool from_client, std::uint8_t flags,
+                            std::span<const std::uint8_t> payload) {
+  const Endpoint& src = from_client ? client_ : server_;
+  const Endpoint& dst = from_client ? server_ : client_;
+  DirState& me = dir(from_client);
+  DirState& peer = dir(!from_client);
+
+  net::TcpSegmentSpec spec;
+  spec.src_mac = src.mac;
+  spec.dst_mac = dst.mac;
+  spec.src_ip = src.ip;
+  spec.dst_ip = dst.ip;
+  spec.src_port = src.port;
+  spec.dst_port = dst.port;
+  spec.seq = me.seq;
+  spec.ack = (flags & net::kTcpAck) ? peer.seq : 0;
+  spec.flags = flags;
+  spec.ip_id = me.ip_id++;
+  spec.payload = payload;
+
+  sink_(ts, net::build_tcp_frame(spec));
+
+  // Spurious retransmission of data segments (paper §6.3.1).
+  if (!payload.empty() && retransmit_p_ > 0.0 && rng_->chance(retransmit_p_)) {
+    sink_(ts + 40'000 + static_cast<Timestamp>(rng_->below(120'000)),
+          net::build_tcp_frame(spec));
+  }
+
+  if (flags & (net::kTcpSyn | net::kTcpFin)) {
+    me.seq += 1;
+  }
+  me.seq += static_cast<std::uint32_t>(payload.size());
+}
+
+Timestamp SimTcpConnection::open(Timestamp ts) {
+  emit(ts, true, net::kTcpSyn, {});
+  ts += static_cast<Timestamp>(hop_delay());
+  emit(ts, false, net::kTcpSyn | net::kTcpAck, {});
+  ts += static_cast<Timestamp>(hop_delay());
+  emit(ts, true, net::kTcpAck, {});
+  open_ = true;
+  return ts;
+}
+
+Timestamp SimTcpConnection::open_refused(Timestamp ts) {
+  emit(ts, true, net::kTcpSyn, {});
+  ts += static_cast<Timestamp>(hop_delay());
+  // RST+ACK from the server; it never consumed the SYN, seq stays put.
+  emit(ts, false, net::kTcpRst | net::kTcpAck, {});
+  open_ = false;
+  return ts;
+}
+
+Timestamp SimTcpConnection::open_ignored(Timestamp ts, int retries) {
+  emit(ts, true, net::kTcpSyn, {});
+  // Exponential SYN retransmission backoff: 1s, 2s, 4s...
+  DurationUs backoff = 1'000'000;
+  for (int i = 0; i < retries; ++i) {
+    ts += static_cast<Timestamp>(backoff);
+    // Rewind: a retransmitted SYN reuses the same sequence number.
+    dir(true).seq -= 1;
+    emit(ts, true, net::kTcpSyn, {});
+    backoff *= 2;
+  }
+  open_ = false;
+  return ts;
+}
+
+Timestamp SimTcpConnection::send(Timestamp ts, bool from_client,
+                                 std::span<const std::uint8_t> payload) {
+  emit(ts, from_client, net::kTcpPsh | net::kTcpAck, payload);
+  ts += static_cast<Timestamp>(hop_delay());
+  emit(ts, !from_client, net::kTcpAck, {});
+  return ts;
+}
+
+Timestamp SimTcpConnection::close_fin(Timestamp ts, bool from_client) {
+  emit(ts, from_client, net::kTcpFin | net::kTcpAck, {});
+  ts += static_cast<Timestamp>(hop_delay());
+  emit(ts, !from_client, net::kTcpFin | net::kTcpAck, {});
+  ts += static_cast<Timestamp>(hop_delay());
+  emit(ts, from_client, net::kTcpAck, {});
+  open_ = false;
+  return ts;
+}
+
+Timestamp SimTcpConnection::close_rst(Timestamp ts, bool from_client) {
+  emit(ts, from_client, net::kTcpRst | net::kTcpAck, {});
+  open_ = false;
+  return ts;
+}
+
+}  // namespace uncharted::sim

@@ -1,0 +1,92 @@
+// Lightweight TCP endpoint model for capture synthesis.
+//
+// Emits byte-exact Ethernet/IPv4/TCP frames (checksums included) for the
+// connection lifecycles the paper observes: normal handshakes and teardown,
+// connections refused with RST, SYNs ignored entirely, mid-stream resets,
+// and occasional TCP-level retransmissions (which the paper traced as the
+// source of "repeated U16/U32" tokens, §6.3.1). It is not a full stack —
+// no congestion control, no window management — because the consumer is a
+// pcap analysis pipeline, not a peer stack.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "util/rng.hpp"
+#include "util/timebase.hpp"
+
+namespace uncharted::sim {
+
+/// Receives every synthesized frame. Frames may be emitted slightly out of
+/// global time order across connections; the capture generator sorts before
+/// writing pcap.
+using FrameSink = std::function<void(Timestamp, std::vector<std::uint8_t>)>;
+
+struct Endpoint {
+  net::MacAddr mac;
+  net::Ipv4Addr ip;
+  std::uint16_t port = 0;
+
+  static Endpoint make(net::Ipv4Addr ip, std::uint16_t port);
+};
+
+/// One simulated TCP connection between a client (initiator) and a server.
+class SimTcpConnection {
+ public:
+  SimTcpConnection(Endpoint client, Endpoint server, FrameSink sink, Rng* rng);
+
+  /// Probability that a data segment is followed by a spurious
+  /// retransmission of itself (default 0: deterministic tests).
+  void set_retransmit_probability(double p) { retransmit_p_ = p; }
+
+  /// Full three-way handshake; returns the time after the final ACK.
+  Timestamp open(Timestamp ts);
+
+  /// SYN answered by RST from the server (connection refused, Fig 9).
+  /// Returns the time of the RST.
+  Timestamp open_refused(Timestamp ts);
+
+  /// SYN (plus `retries` retransmitted SYNs) that no one ever answers.
+  Timestamp open_ignored(Timestamp ts, int retries = 2);
+
+  /// Sends application payload; the peer acknowledges. Returns the time
+  /// after the ACK. `from_client` selects the direction.
+  Timestamp send(Timestamp ts, bool from_client, std::span<const std::uint8_t> payload);
+
+  /// Graceful teardown (FIN/ACK both ways) initiated by one side.
+  Timestamp close_fin(Timestamp ts, bool from_client);
+
+  /// Abortive teardown: one RST.
+  Timestamp close_rst(Timestamp ts, bool from_client);
+
+  bool is_open() const { return open_; }
+  const Endpoint& client() const { return client_; }
+  const Endpoint& server() const { return server_; }
+
+ private:
+  struct DirState {
+    std::uint32_t seq = 0;
+    std::uint16_t ip_id = 0;
+  };
+
+  void emit(Timestamp ts, bool from_client, std::uint8_t flags,
+            std::span<const std::uint8_t> payload);
+  DirState& dir(bool from_client) { return from_client ? client_state_ : server_state_; }
+
+  /// Small per-hop latency: 1-8 ms, deterministic via rng.
+  DurationUs hop_delay();
+
+  Endpoint client_;
+  Endpoint server_;
+  FrameSink sink_;
+  Rng* rng_;
+  DirState client_state_;
+  DirState server_state_;
+  bool open_ = false;
+  double retransmit_p_ = 0.0;
+};
+
+}  // namespace uncharted::sim

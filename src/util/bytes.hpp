@@ -1,0 +1,91 @@
+// Bounds-checked byte readers/writers with explicit endianness.
+//
+// Network headers (Ethernet/IPv4/TCP, pcap) are big-endian or host-defined;
+// IEC 60870-5-104 fields are little-endian. Both views are provided and every
+// access is range-checked: a truncated capture must surface as a decode
+// error, never as UB.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/expected.hpp"
+
+namespace uncharted {
+
+/// Sequential reader over a non-owning byte span. All reads are checked.
+/// A failed read poisons the reader: every subsequent read also fails, so
+/// multi-field decode chains can check only the final result without a
+/// shorter later read "succeeding" past an earlier failure.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool empty() const { return remaining() == 0; }
+  bool failed() const { return failed_; }
+
+  /// True if at least n bytes remain and no prior read has failed.
+  bool can_read(std::size_t n) const { return !failed_ && remaining() >= n; }
+
+  Result<std::uint8_t> u8();
+  Result<std::uint16_t> u16le();
+  Result<std::uint16_t> u16be();
+  Result<std::uint32_t> u32le();
+  Result<std::uint32_t> u32be();
+  Result<std::uint64_t> u64le();
+  /// IEEE-754 single precision, little-endian (IEC 104 float encoding).
+  Result<float> f32le();
+
+  /// Returns a subspan of n bytes and advances.
+  Result<std::span<const std::uint8_t>> bytes(std::size_t n);
+
+  /// Skips n bytes.
+  Status skip(std::size_t n);
+
+  /// Rewinds to an absolute position (must be <= size) and clears any
+  /// failure state.
+  void seek(std::size_t pos);
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+/// Append-only writer into an owned buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16le(std::uint16_t v);
+  void u16be(std::uint16_t v);
+  void u32le(std::uint32_t v);
+  void u32be(std::uint32_t v);
+  void u64le(std::uint64_t v);
+  void f32le(float v);
+  void bytes(std::span<const std::uint8_t> data);
+
+  /// Overwrites a previously written byte (e.g. a length field backpatch).
+  void patch_u8(std::size_t pos, std::uint8_t v) { buf_.at(pos) = v; }
+  void patch_u16be(std::size_t pos, std::uint16_t v);
+
+  std::size_t size() const { return buf_.size(); }
+  std::span<const std::uint8_t> view() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Hex dump (for diagnostics and golden tests), e.g. "68 0e 02 00 ...".
+std::string hex_dump(std::span<const std::uint8_t> data);
+
+}  // namespace uncharted

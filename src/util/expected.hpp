@@ -1,0 +1,85 @@
+// Minimal Result<T> type for recoverable errors (std::expected is C++23).
+//
+// Parsing network bytes fails routinely (truncated captures, malformed
+// frames), so decode APIs return Result<T> rather than throwing; exceptions
+// are reserved for programming errors.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace uncharted {
+
+/// Error payload: a short machine-readable code plus human-readable detail.
+struct Error {
+  std::string code;    ///< e.g. "truncated", "bad-start-byte"
+  std::string detail;  ///< free-form context for diagnostics
+
+  std::string str() const { return detail.empty() ? code : code + ": " + detail; }
+};
+
+/// Result<T> holds either a value or an Error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : error_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& take() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+ private:
+  std::optional<T> value_;
+  std::optional<Error> error_;
+};
+
+/// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  static Status Ok() { return Status{}; }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+inline Error Err(std::string code, std::string detail = "") {
+  return Error{std::move(code), std::move(detail)};
+}
+
+}  // namespace uncharted

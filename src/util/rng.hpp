@@ -1,0 +1,93 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Every synthetic capture must be reproducible from a single seed so that
+// tests and benches can assert exact properties. We use xoshiro256** with a
+// SplitMix64 seeder; both are tiny, fast and well distributed.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace uncharted {
+
+/// SplitMix64: used only to expand a single seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** deterministic generator with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5ca1ab1eULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n) for n > 0.
+  std::uint64_t below(std::uint64_t n) { return next_u64() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box-Muller (one value per call; simple, stateless).
+  double normal() {
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with given mean (inter-arrival modelling).
+  double exponential(double mean) {
+    double u = uniform();
+    if (u < 1e-300) u = 1e-300;
+    return -mean * std::log(u);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace uncharted

@@ -1,0 +1,63 @@
+#include "util/strings.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace uncharted {
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string format_percent(double fraction, int precision) {
+  return format_double(fraction * 100.0, precision) + "%";
+}
+
+std::string format_duration(double seconds) {
+  if (seconds < 1e-3) return format_double(seconds * 1e6, 1) + " us";
+  if (seconds < 1.0) return format_double(seconds * 1e3, 1) + " ms";
+  if (seconds < 120.0) return format_double(seconds, 1) + " s";
+  if (seconds < 7200.0) return format_double(seconds / 60.0, 1) + " min";
+  return format_double(seconds / 3600.0, 1) + " h";
+}
+
+std::string format_count(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int pos = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it, ++pos) {
+    if (pos && pos % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == delim) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& delim) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += delim;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace uncharted

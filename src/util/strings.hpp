@@ -1,0 +1,28 @@
+// Small string/formatting helpers shared by reports and benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uncharted {
+
+/// Fixed-precision double formatting, e.g. format_double(3.14159, 2) == "3.14".
+std::string format_double(double v, int precision);
+
+/// "65.1322%" style percentage with 4 decimals (Table 7 style).
+std::string format_percent(double fraction, int precision = 4);
+
+/// Seconds rendered human-readably: "430 ms", "12.3 s", "2.1 h".
+std::string format_duration(double seconds);
+
+/// Thousands separator: 31614 -> "31,614".
+std::string format_count(std::uint64_t n);
+
+/// Splits on a delimiter, keeping empty fields.
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// Joins with a delimiter.
+std::string join(const std::vector<std::string>& parts, const std::string& delim);
+
+}  // namespace uncharted

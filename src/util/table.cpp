@@ -1,0 +1,48 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+namespace uncharted {
+
+void TextTable::header(std::vector<std::string> cells) { header_ = std::move(cells); }
+void TextTable::row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string TextTable::render() const {
+  // Compute per-column widths over header and rows.
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      width[i] = std::max(width[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto rule = [&] {
+    std::string s = "+";
+    for (std::size_t i = 0; i < cols; ++i) s += std::string(width[i] + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t i = 0; i < cols; ++i) {
+      std::string cell = i < cells.size() ? cells[i] : "";
+      s += " " + cell + std::string(width[i] - cell.size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += rule();
+  if (!header_.empty()) {
+    out += line(header_);
+    out += rule();
+  }
+  for (const auto& r : rows_) out += line(r);
+  out += rule();
+  return out;
+}
+
+}  // namespace uncharted

@@ -1,0 +1,26 @@
+// ASCII table renderer used by the bench harnesses to print paper tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace uncharted {
+
+/// Column-aligned ASCII table with an optional title and header row.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+  void header(std::vector<std::string> cells);
+  void row(std::vector<std::string> cells);
+
+  /// Renders with a box border and padded columns.
+  std::string render() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace uncharted

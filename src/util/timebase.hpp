@@ -1,0 +1,38 @@
+// Time representation shared by the capture, simulation and analysis layers.
+//
+// All timestamps are microseconds since the Unix epoch, carried as uint64.
+// pcap's (sec, usec) pairs convert losslessly; double seconds are used only
+// for durations in analysis output.
+#pragma once
+
+#include <cstdint>
+
+namespace uncharted {
+
+/// Microseconds since the Unix epoch.
+using Timestamp = std::uint64_t;
+
+/// Duration in microseconds.
+using DurationUs = std::int64_t;
+
+constexpr Timestamp kMicrosPerSecond = 1'000'000;
+
+constexpr Timestamp make_timestamp(std::uint32_t sec, std::uint32_t usec) {
+  return static_cast<Timestamp>(sec) * kMicrosPerSecond + usec;
+}
+
+constexpr std::uint32_t timestamp_sec(Timestamp ts) {
+  return static_cast<std::uint32_t>(ts / kMicrosPerSecond);
+}
+
+constexpr std::uint32_t timestamp_usec(Timestamp ts) {
+  return static_cast<std::uint32_t>(ts % kMicrosPerSecond);
+}
+
+constexpr double to_seconds(DurationUs d) { return static_cast<double>(d) / 1e6; }
+
+constexpr Timestamp from_seconds(double s) {
+  return static_cast<Timestamp>(s * 1e6);
+}
+
+}  // namespace uncharted

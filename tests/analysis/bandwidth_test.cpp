@@ -1,0 +1,71 @@
+#include "analysis/bandwidth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/capture.hpp"
+#include "tests/analysis/testlib.hpp"
+
+namespace uncharted::analysis {
+namespace {
+
+TEST(Bandwidth, BucketsAndTotalsFromHandBuiltCapture) {
+  testlib::CaptureBuilder cb;
+  auto server = testlib::ip(10, 0, 0, 1);
+  auto station = testlib::ip(10, 1, 0, 5);
+  // Three APDUs: t=0s, t=5s, t=25s.
+  cb.apdu(0, server, station, true, testlib::i_apdu(testlib::float_asdu(5, 1, 1.0f), 0, 0));
+  cb.apdu(5'000'000, server, station, true,
+          testlib::i_apdu(testlib::float_asdu(5, 1, 2.0f), 1, 0));
+  cb.apdu(25'000'000, server, station, true,
+          testlib::i_apdu(testlib::float_asdu(5, 1, 3.0f), 2, 0));
+
+  auto report = analyze_bandwidth(cb.packets(), 10.0);
+  ASSERT_TRUE(report.series.count(TapProtocol::kIec104));
+  const auto& buckets = report.series.at(TapProtocol::kIec104);
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0].packets, 2u);
+  EXPECT_EQ(buckets[1].packets, 0u);
+  EXPECT_EQ(buckets[2].packets, 1u);
+  EXPECT_EQ(report.total_packets.at(TapProtocol::kIec104), 3u);
+  EXPECT_GT(report.total_bytes.at(TapProtocol::kIec104), 3u * 60u);
+
+  // Inter-arrival stats: gaps of 5 s and 20 s.
+  EXPECT_EQ(report.iec104_interarrival_s.count(), 2u);
+  EXPECT_NEAR(report.iec104_interarrival_s.mean(), 12.5, 1e-9);
+
+  // Top talker is our single connection.
+  ASSERT_FALSE(report.top_connections.empty());
+  EXPECT_GT(report.top_connections[0].second, 0u);
+}
+
+TEST(Bandwidth, EmptyCapture) {
+  auto report = analyze_bandwidth({});
+  EXPECT_TRUE(report.series.empty());
+  EXPECT_EQ(report.duration_seconds(), 0.0);
+  EXPECT_EQ(report.mean_rate_bps(TapProtocol::kIec104), 0.0);
+}
+
+TEST(Bandwidth, ProtocolSplitOnSimCapture) {
+  auto capture = sim::generate_capture(sim::CaptureConfig::y1(90.0));
+  auto report = analyze_bandwidth(capture.packets, 10.0);
+  EXPECT_GT(report.total_bytes.at(TapProtocol::kIec104), 0u);
+  EXPECT_GT(report.total_bytes.at(TapProtocol::kC37118), 0u);
+  EXPECT_GT(report.total_bytes.at(TapProtocol::kIccp), 0u);
+  EXPECT_EQ(report.total_bytes.count(TapProtocol::kOther), 0u);
+  // SCADA telemetry is low-bandwidth: well under 1 MB/s at this scale.
+  EXPECT_LT(report.mean_rate_bps(TapProtocol::kIec104), 1e6);
+  EXPECT_GT(report.mean_rate_bps(TapProtocol::kIec104), 1e3);
+  // C37.118 rate is steady: no empty buckets after warm-up.
+  const auto& pmu = report.series.at(TapProtocol::kC37118);
+  for (std::size_t i = 1; i + 1 < pmu.size(); ++i) {
+    EXPECT_GT(pmu[i].packets, 0u) << "bucket " << i;
+  }
+}
+
+TEST(Bandwidth, Names) {
+  EXPECT_EQ(tap_protocol_name(TapProtocol::kIec104), "IEC 104");
+  EXPECT_EQ(tap_protocol_name(TapProtocol::kIccp), "ICCP");
+}
+
+}  // namespace
+}  // namespace uncharted::analysis

@@ -1,0 +1,105 @@
+#include "analysis/flows.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uncharted::analysis {
+namespace {
+
+net::DecodedFrame frame(const char* src, std::uint16_t sport, const char* dst,
+                        std::uint16_t dport, std::uint8_t flags) {
+  net::DecodedFrame f;
+  f.ip.src = net::Ipv4Addr::parse(src).value();
+  f.ip.dst = net::Ipv4Addr::parse(dst).value();
+  f.tcp.src_port = sport;
+  f.tcp.dst_port = dport;
+  f.tcp.flags = flags;
+  return f;
+}
+
+TEST(FlowAnalysis, Table3Buckets) {
+  net::FlowTable table;
+  Timestamp t = 0;
+
+  // 3 sub-second refused flows.
+  for (std::uint16_t p = 5000; p < 5003; ++p) {
+    table.add(t, frame("10.0.0.2", p, "10.1.0.7", 2404, net::kTcpSyn));
+    table.add(t + 5'000,
+              frame("10.1.0.7", 2404, "10.0.0.2", p, net::kTcpRst | net::kTcpAck));
+    t += 1'000'000;
+  }
+  // 1 short-lived flow lasting 3 s (handshake + FIN).
+  table.add(t, frame("10.0.0.2", 6000, "10.1.0.8", 2404, net::kTcpSyn));
+  table.add(t + 1'000,
+            frame("10.1.0.8", 2404, "10.0.0.2", 6000, net::kTcpSyn | net::kTcpAck));
+  table.add(t + 3'000'000,
+            frame("10.0.0.2", 6000, "10.1.0.8", 2404, net::kTcpFin | net::kTcpAck));
+  // 2 long-lived (mid-stream) flows.
+  table.add(t, frame("10.0.0.1", 7000, "10.1.0.9", 2404, net::kTcpAck));
+  table.add(t, frame("10.0.0.1", 7001, "10.1.0.10", 2404, net::kTcpAck));
+
+  auto out = analyze_flows(table);
+  EXPECT_EQ(out.summary.total, 6u);
+  EXPECT_EQ(out.summary.short_lived, 4u);
+  EXPECT_EQ(out.summary.long_lived, 2u);
+  EXPECT_EQ(out.summary.short_under_1s, 3u);
+  EXPECT_EQ(out.summary.short_over_1s, 1u);
+  EXPECT_NEAR(out.summary.short_fraction(), 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(out.summary.under_1s_fraction_of_short(), 0.75, 1e-12);
+  EXPECT_EQ(out.short_lived_durations.total(), 4u);
+}
+
+TEST(FlowAnalysis, RejectBehavioursAttributed) {
+  net::FlowTable table;
+  auto add_refused = [&](const char* station, std::uint16_t port, Timestamp t) {
+    table.add(t, frame("10.0.0.2", port, station, 2404, net::kTcpSyn));
+    table.add(t + 100, frame(station, 2404, "10.0.0.2", port,
+                             net::kTcpRst | net::kTcpAck));
+  };
+  // O7 refuses 3 times, O9 once.
+  add_refused("10.1.0.7", 5000, 0);
+  add_refused("10.1.0.7", 5001, 10'000'000);
+  add_refused("10.1.0.7", 5002, 20'000'000);
+  add_refused("10.1.0.9", 5003, 30'000'000);
+  // Silent ignore toward O2.
+  table.add(40'000'000, frame("10.0.0.2", 5004, "10.1.0.2", 2404, net::kTcpSyn));
+  // Accept-then-reset at O30.
+  table.add(50'000'000, frame("10.0.0.2", 5005, "10.1.0.30", 2404, net::kTcpSyn));
+  table.add(50'001'000, frame("10.1.0.30", 2404, "10.0.0.2", 5005,
+                              net::kTcpSyn | net::kTcpAck));
+  table.add(80'000'000, frame("10.1.0.30", 2404, "10.0.0.2", 5005, net::kTcpRst));
+
+  auto out = analyze_flows(table);
+  ASSERT_GE(out.reject_behaviours.size(), 3u);
+  // Sorted by total misbehaviour: O7 first.
+  EXPECT_EQ(out.reject_behaviours[0].responder.str(), "10.1.0.7");
+  EXPECT_EQ(out.reject_behaviours[0].rst_refused, 3u);
+
+  for (const auto& r : out.reject_behaviours) {
+    if (r.responder.str() == "10.1.0.2") {
+      EXPECT_EQ(r.syn_ignored, 1u);
+    }
+    if (r.responder.str() == "10.1.0.30") {
+      EXPECT_EQ(r.reset_midway, 1u);
+    }
+  }
+}
+
+TEST(FlowAnalysis, WellBehavedFlowsProduceNoRejects) {
+  net::FlowTable table;
+  table.add(0, frame("10.0.0.1", 5000, "10.1.0.5", 2404, net::kTcpSyn));
+  table.add(1, frame("10.1.0.5", 2404, "10.0.0.1", 5000, net::kTcpSyn | net::kTcpAck));
+  table.add(2, frame("10.0.0.1", 5000, "10.1.0.5", 2404, net::kTcpAck));
+  auto out = analyze_flows(table);
+  EXPECT_TRUE(out.reject_behaviours.empty());
+}
+
+TEST(FlowAnalysis, EmptyTable) {
+  net::FlowTable table;
+  auto out = analyze_flows(table);
+  EXPECT_EQ(out.summary.total, 0u);
+  EXPECT_EQ(out.summary.short_fraction(), 0.0);
+  EXPECT_EQ(out.summary.under_1s_fraction_of_short(), 0.0);
+}
+
+}  // namespace
+}  // namespace uncharted::analysis

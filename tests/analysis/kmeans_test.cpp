@@ -1,0 +1,142 @@
+#include "analysis/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace uncharted::analysis {
+namespace {
+
+/// Three well-separated Gaussian blobs in 2-D.
+Matrix three_blobs(std::size_t per_blob = 40, std::uint64_t seed = 5) {
+  Rng rng(seed);
+  Matrix points;
+  const double centers[3][2] = {{0, 0}, {10, 0}, {5, 9}};
+  for (const auto& c : centers) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      points.push_back({c[0] + 0.5 * rng.normal(), c[1] + 0.5 * rng.normal()});
+    }
+  }
+  return points;
+}
+
+TEST(KMeans, RecoversSeparableClusters) {
+  Matrix points = three_blobs();
+  auto result = kmeans(points, 3);
+  EXPECT_EQ(result.k, 3);
+  // Every blob must be pure: all 40 members share one label.
+  for (int blob = 0; blob < 3; ++blob) {
+    int label = result.assignment[static_cast<std::size_t>(blob) * 40];
+    for (std::size_t i = 0; i < 40; ++i) {
+      EXPECT_EQ(result.assignment[static_cast<std::size_t>(blob) * 40 + i], label);
+    }
+  }
+  // SSE is tiny relative to the spread of the data.
+  EXPECT_LT(result.sse, 120.0);
+}
+
+TEST(KMeans, SilhouetteHighForGoodClustering) {
+  Matrix points = three_blobs();
+  auto result = kmeans(points, 3);
+  EXPECT_GT(silhouette_score(points, result.assignment, 3), 0.7);
+  // Forcing everything into too few clusters scores lower.
+  auto k2 = kmeans(points, 2);
+  EXPECT_GT(silhouette_score(points, result.assignment, 3),
+            silhouette_score(points, k2.assignment, 2));
+}
+
+TEST(KMeans, ExplainedVarianceNearOneForTightClusters) {
+  Matrix points = three_blobs();
+  auto result = kmeans(points, 3);
+  double ev = explained_variance(points, result);
+  EXPECT_GT(ev, 0.95);
+  EXPECT_LE(ev, 1.0);
+}
+
+TEST(KMeans, ElbowFindsThree) {
+  Matrix points = three_blobs();
+  auto sweep = sweep_k(points, 1, 8);
+  EXPECT_EQ(elbow_k(sweep), 3);
+}
+
+TEST(KMeans, KEqualsNDegenerate) {
+  Matrix points = {{0, 0}, {1, 1}, {2, 2}};
+  auto result = kmeans(points, 3);
+  EXPECT_NEAR(result.sse, 0.0, 1e-12);
+}
+
+TEST(KMeans, InvalidArgumentsThrow) {
+  Matrix points = {{0.0}, {1.0}};
+  EXPECT_THROW(kmeans(points, 0), std::invalid_argument);
+  EXPECT_THROW(kmeans(points, 3), std::invalid_argument);
+  EXPECT_THROW(kmeans({}, 1), std::invalid_argument);
+}
+
+TEST(KMeans, IdenticalPointsHandled) {
+  Matrix points(10, {5.0, 5.0});
+  auto result = kmeans(points, 2);
+  EXPECT_NEAR(result.sse, 0.0, 1e-12);
+  EXPECT_EQ(silhouette_score(points, result.assignment, 2), 0.0);
+}
+
+TEST(KMeans, DeterministicForSeed) {
+  Matrix points = three_blobs();
+  KMeansOptions opts;
+  opts.seed = 42;
+  auto a = kmeans(points, 3, opts);
+  auto b = kmeans(points, 3, opts);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.sse, b.sse);
+}
+
+TEST(Standardize, ZeroMeanUnitVariance) {
+  Matrix points = {{10, 100}, {20, 200}, {30, 300}};
+  Matrix z = standardize(points);
+  for (std::size_t d = 0; d < 2; ++d) {
+    double mean = 0, var = 0;
+    for (const auto& p : z) mean += p[d];
+    mean /= 3;
+    for (const auto& p : z) var += (p[d] - mean) * (p[d] - mean);
+    var /= 3;
+    EXPECT_NEAR(mean, 0.0, 1e-12);
+    EXPECT_NEAR(var, 1.0, 1e-9);
+  }
+}
+
+TEST(Standardize, ConstantColumnPassesThrough) {
+  Matrix points = {{1, 7}, {2, 7}, {3, 7}};
+  Matrix z = standardize(points);
+  EXPECT_EQ(z[0][1], 7.0);
+  EXPECT_EQ(z[2][1], 7.0);
+}
+
+// Property sweep: silhouette peaks at the true k for synthetic blobs of
+// varying separation.
+class SilhouetteSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SilhouetteSweep, PeaksAtTrueK) {
+  int true_k = GetParam();
+  Rng rng(static_cast<std::uint64_t>(true_k) * 17);
+  Matrix points;
+  for (int c = 0; c < true_k; ++c) {
+    double cx = 20.0 * c;
+    for (int i = 0; i < 30; ++i) {
+      points.push_back({cx + rng.normal(), rng.normal()});
+    }
+  }
+  auto sweep = sweep_k(points, 2, true_k + 3);
+  double best_sil = -2;
+  int best_k = 0;
+  for (const auto& e : sweep) {
+    if (e.silhouette > best_sil) {
+      best_sil = e.silhouette;
+      best_k = e.k;
+    }
+  }
+  EXPECT_EQ(best_k, true_k);
+}
+
+INSTANTIATE_TEST_SUITE_P(TrueKSweep, SilhouetteSweep, ::testing::Values(2, 3, 4, 5));
+
+}  // namespace
+}  // namespace uncharted::analysis

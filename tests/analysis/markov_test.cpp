@@ -1,0 +1,97 @@
+#include "analysis/markov.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uncharted::analysis {
+namespace {
+
+TEST(MarkovChain, CountsNodesAndEdges) {
+  // The Fig 12 primary pattern: I36 ... I36 S I36 ...
+  std::vector<std::string> tokens = {"I_36", "I_36", "S", "I_36", "I_36", "S", "I_36"};
+  auto chain = MarkovChain::from_tokens(tokens);
+  EXPECT_EQ(chain.node_count(), 2u);
+  // Edges: I36->I36, I36->S, S->I36.
+  EXPECT_EQ(chain.edge_count(), 3u);
+  EXPECT_TRUE(chain.has_self_loop("I_36"));
+  EXPECT_FALSE(chain.has_self_loop("S"));
+}
+
+TEST(MarkovChain, MleProbabilities) {
+  std::vector<std::string> tokens = {"A", "B", "A", "B", "A", "A"};
+  auto chain = MarkovChain::from_tokens(tokens);
+  // From A: ->B twice, ->A once.
+  EXPECT_NEAR(chain.probability("A", "B"), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(chain.probability("A", "A"), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(chain.probability("B", "A"), 1.0, 1e-12);
+  EXPECT_EQ(chain.probability("B", "B"), 0.0);
+  EXPECT_EQ(chain.probability("C", "A"), 0.0);
+}
+
+TEST(MarkovChain, OutgoingProbabilitiesSumToOne) {
+  std::vector<std::string> tokens = {"U16", "U32", "U16", "U32", "U16", "U16", "U32"};
+  auto chain = MarkovChain::from_tokens(tokens);
+  for (const auto& [node, successors] : chain.counts()) {
+    if (successors.empty()) continue;
+    double sum = 0;
+    for (const auto& [next, count] : successors) sum += chain.probability(node, next);
+    EXPECT_NEAR(sum, 1.0, 1e-12) << node;
+  }
+}
+
+TEST(MarkovChain, Point11ShapeForUnansweredKeepAlives) {
+  // The paper's Fig 14: repeated U16 without U32 -> one node, one edge.
+  std::vector<std::string> tokens(20, "U16");
+  auto chain = MarkovChain::from_tokens(tokens);
+  EXPECT_EQ(chain.node_count(), 1u);
+  EXPECT_EQ(chain.edge_count(), 1u);
+  EXPECT_EQ(chain.probability("U16", "U16"), 1.0);
+}
+
+TEST(MarkovChain, SingleTokenHasNodeButNoEdge) {
+  auto chain = MarkovChain::from_tokens({"I_100"});
+  EXPECT_EQ(chain.node_count(), 1u);
+  EXPECT_EQ(chain.edge_count(), 0u);
+}
+
+TEST(MarkovChain, StrRendersEdges) {
+  auto chain = MarkovChain::from_tokens({"A", "B"});
+  EXPECT_NE(chain.str().find("A -> B : 1.000"), std::string::npos);
+}
+
+TEST(BigramModel, MleWithStartEnd) {
+  BigramModel model;
+  model.add_sequence({"U16", "U32"});
+  model.add_sequence({"U16", "U32"});
+  model.add_sequence({"U16", "U16"});
+  EXPECT_NEAR(model.probability(BigramModel::kStart, "U16"), 1.0, 1e-12);
+  EXPECT_NEAR(model.probability("U16", "U32"), 0.5, 1e-12);
+  EXPECT_NEAR(model.probability("U16", "U16"), 0.25, 1e-12);
+  EXPECT_NEAR(model.probability("U16", BigramModel::kEnd), 0.25, 1e-12);
+  EXPECT_NEAR(model.probability("U32", BigramModel::kEnd), 1.0, 1e-12);
+}
+
+TEST(BigramModel, ScoresFamiliarSequencesHigher) {
+  BigramModel model;
+  for (int i = 0; i < 50; ++i) model.add_sequence({"I_36", "I_36", "S", "I_36"});
+  double familiar = model.log2_score({"I_36", "S", "I_36"});
+  double alien = model.log2_score({"U1", "U2", "I_100"});
+  EXPECT_GT(familiar, alien);
+}
+
+TEST(BigramModel, DetectsUnseenTransitions) {
+  BigramModel model;
+  model.add_sequence({"I_36", "S"});
+  EXPECT_FALSE(model.contains_unseen_transition({"I_36", "S"}));
+  EXPECT_TRUE(model.contains_unseen_transition({"S", "I_36"}));
+  EXPECT_TRUE(model.contains_unseen_transition({"I_100"}));
+  EXPECT_FALSE(model.contains_unseen_transition({}));
+}
+
+TEST(ChainCluster, Names) {
+  EXPECT_EQ(chain_cluster_name(ChainCluster::kPoint11), "point(1,1)");
+  EXPECT_EQ(chain_cluster_name(ChainCluster::kSquare), "square");
+  EXPECT_EQ(chain_cluster_name(ChainCluster::kEllipse), "ellipse");
+}
+
+}  // namespace
+}  // namespace uncharted::analysis

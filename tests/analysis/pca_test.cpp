@@ -1,0 +1,100 @@
+#include "analysis/pca.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace uncharted::analysis {
+namespace {
+
+TEST(Pca, RecoversDominantAxis) {
+  // Points along y = 2x with small noise: first component ~ (1,2)/sqrt(5).
+  Rng rng(13);
+  Matrix points;
+  for (int i = 0; i < 200; ++i) {
+    double t = rng.normal();
+    points.push_back({t + 0.01 * rng.normal(), 2 * t + 0.01 * rng.normal()});
+  }
+  auto result = pca(points, 2);
+  ASSERT_EQ(result.components.size(), 2u);
+  double cx = result.components[0][0];
+  double cy = result.components[0][1];
+  EXPECT_NEAR(std::fabs(cy / cx), 2.0, 0.05);
+  EXPECT_GT(result.explained_by(1), 0.99);
+}
+
+TEST(Pca, EigenvaluesDescending) {
+  Rng rng(17);
+  Matrix points;
+  for (int i = 0; i < 100; ++i) {
+    points.push_back({3 * rng.normal(), rng.normal(), 0.1 * rng.normal()});
+  }
+  auto result = pca(points, 3);
+  ASSERT_EQ(result.eigenvalues.size(), 3u);
+  EXPECT_GE(result.eigenvalues[0], result.eigenvalues[1]);
+  EXPECT_GE(result.eigenvalues[1], result.eigenvalues[2]);
+  EXPECT_NEAR(result.eigenvalues[0], 9.0, 2.5);
+  EXPECT_NEAR(result.eigenvalues[1], 1.0, 0.4);
+}
+
+TEST(Pca, ProjectionPreservesPairwiseDistancesInFullRank) {
+  Rng rng(19);
+  Matrix points;
+  for (int i = 0; i < 50; ++i) points.push_back({rng.normal(), rng.normal()});
+  auto result = pca(points, 2);
+  // Full-dimensional PCA is a rigid rotation: distances preserved.
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = i + 1; j < 10; ++j) {
+      double orig = std::hypot(points[i][0] - points[j][0], points[i][1] - points[j][1]);
+      double proj = std::hypot(result.projected[i][0] - result.projected[j][0],
+                               result.projected[i][1] - result.projected[j][1]);
+      EXPECT_NEAR(orig, proj, 1e-9);
+    }
+  }
+}
+
+TEST(Pca, ComponentsAreOrthonormal) {
+  Rng rng(23);
+  Matrix points;
+  for (int i = 0; i < 80; ++i) {
+    points.push_back({rng.normal(), 2 * rng.normal(), rng.normal() + 0.3});
+  }
+  auto result = pca(points, 3);
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = 0; b < 3; ++b) {
+      double dot = 0;
+      for (std::size_t d = 0; d < 3; ++d) {
+        dot += result.components[a][d] * result.components[b][d];
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(Pca, MeanCenteredProjection) {
+  Matrix points = {{10, 10}, {12, 10}, {10, 12}, {12, 12}};
+  auto result = pca(points, 2);
+  double sum0 = 0, sum1 = 0;
+  for (const auto& p : result.projected) {
+    sum0 += p[0];
+    sum1 += p[1];
+  }
+  EXPECT_NEAR(sum0, 0.0, 1e-9);
+  EXPECT_NEAR(sum1, 0.0, 1e-9);
+}
+
+TEST(Pca, DimsClampedToData) {
+  Matrix points = {{1, 2}, {3, 4}, {5, 7}};
+  auto result = pca(points, 10);
+  EXPECT_EQ(result.projected[0].size(), 2u);
+}
+
+TEST(Pca, ThrowsOnTooFewRows) {
+  EXPECT_THROW(pca({{1.0, 2.0}}, 2), std::invalid_argument);
+  EXPECT_THROW(pca({}, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace uncharted::analysis

@@ -1,0 +1,84 @@
+// Shared helpers for analysis-layer tests: hand-build captures packet by
+// packet with correct TCP framing, without the full simulator.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "iec104/apdu.hpp"
+#include "net/frame.hpp"
+#include "net/pcap.hpp"
+
+namespace uncharted::testlib {
+
+/// Builds a packet list for CaptureDataset::build. Sequence numbers per
+/// directed flow are tracked so reassembly-mode parsing also works.
+class CaptureBuilder {
+ public:
+  /// Appends one APDU-bearing TCP segment. `from_station` selects the
+  /// direction; the station always owns port 2404.
+  void apdu(Timestamp ts, net::Ipv4Addr server, net::Ipv4Addr station,
+            bool from_station, const iec104::Apdu& apdu,
+            const iec104::CodecProfile& profile = iec104::CodecProfile::standard(),
+            std::uint16_t server_port = 49152) {
+    auto bytes = apdu.encode(profile);
+    segment(ts, server, station, from_station, bytes.value(), server_port);
+  }
+
+  /// Appends a raw payload segment.
+  void segment(Timestamp ts, net::Ipv4Addr server, net::Ipv4Addr station,
+               bool from_station, std::span<const std::uint8_t> payload,
+               std::uint16_t server_port = 49152,
+               std::uint8_t flags = net::kTcpPsh | net::kTcpAck) {
+    net::TcpSegmentSpec spec;
+    net::Ipv4Addr src = from_station ? station : server;
+    net::Ipv4Addr dst = from_station ? server : station;
+    spec.src_mac = net::MacAddr::from_u64(0x020000000000ULL | src.value);
+    spec.dst_mac = net::MacAddr::from_u64(0x020000000000ULL | dst.value);
+    spec.src_ip = src;
+    spec.dst_ip = dst;
+    spec.src_port = from_station ? iec104::kIec104Port : server_port;
+    spec.dst_port = from_station ? server_port : iec104::kIec104Port;
+    net::FlowKey key{spec.src_ip, spec.src_port, spec.dst_ip, spec.dst_port};
+    std::uint32_t& seq = seqs_[key];
+    spec.seq = seq;
+    seq += static_cast<std::uint32_t>(payload.size());
+    spec.flags = flags;
+    spec.payload = payload;
+
+    net::CapturedPacket pkt;
+    pkt.ts = ts;
+    pkt.data = net::build_tcp_frame(spec);
+    pkt.original_length = static_cast<std::uint32_t>(pkt.data.size());
+    packets_.push_back(std::move(pkt));
+  }
+
+  const std::vector<net::CapturedPacket>& packets() const { return packets_; }
+
+ private:
+  std::map<net::FlowKey, std::uint32_t> seqs_;
+  std::vector<net::CapturedPacket> packets_;
+};
+
+inline net::Ipv4Addr ip(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) {
+  return net::Ipv4Addr::from_octets(a, b, c, d);
+}
+
+inline iec104::Asdu float_asdu(std::uint16_t ca, std::uint32_t ioa, float value,
+                               iec104::TypeId type = iec104::TypeId::M_ME_NC_1,
+                               iec104::Cause cause = iec104::Cause::kSpontaneous) {
+  iec104::Asdu asdu;
+  asdu.type = type;
+  asdu.cot.cause = cause;
+  asdu.common_address = ca;
+  asdu.objects.push_back({ioa, iec104::ShortFloat{value, {}}, std::nullopt});
+  return asdu;
+}
+
+inline iec104::Apdu i_apdu(const iec104::Asdu& asdu, std::uint16_t ns = 0,
+                           std::uint16_t nr = 0) {
+  return iec104::Apdu::make_i(ns, nr, asdu);
+}
+
+}  // namespace uncharted::testlib

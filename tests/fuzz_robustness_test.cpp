@@ -1,0 +1,155 @@
+// Fuzz-style robustness sweep: every decoder in the repository is fed
+// random bytes and mutated valid inputs. Decoders must return errors, not
+// crash, hang, or read out of bounds (run under ASan for full effect).
+#include <gtest/gtest.h>
+
+#include "iccp/iccp.hpp"
+#include "iec101/ft12.hpp"
+#include "iec104/parser.hpp"
+#include "net/frame.hpp"
+#include "net/pcap.hpp"
+#include "synchro/c37118.hpp"
+#include "util/rng.hpp"
+
+namespace uncharted {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(Rng& rng, std::size_t max_len) {
+  std::vector<std::uint8_t> out(rng.below(max_len + 1));
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.below(256));
+  return out;
+}
+
+/// Flips a few random bits/bytes of a valid message.
+std::vector<std::uint8_t> mutate(Rng& rng, std::vector<std::uint8_t> bytes) {
+  if (bytes.empty()) return bytes;
+  int flips = static_cast<int>(1 + rng.below(4));
+  for (int i = 0; i < flips; ++i) {
+    auto pos = rng.below(bytes.size());
+    bytes[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+  }
+  if (rng.chance(0.3) && bytes.size() > 2) {
+    bytes.resize(bytes.size() - 1 - rng.below(bytes.size() / 2));
+  }
+  return bytes;
+}
+
+TEST(Fuzz, EthernetFrameDecoder) {
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    auto bytes = random_bytes(rng, 120);
+    (void)net::decode_frame(bytes);  // must not crash
+  }
+}
+
+TEST(Fuzz, MutatedTcpFrames) {
+  Rng rng(2);
+  std::uint8_t payload[] = {0x68, 0x04, 0x43, 0x00, 0x00, 0x00};
+  net::TcpSegmentSpec spec;
+  spec.src_ip = net::Ipv4Addr::from_octets(10, 0, 0, 1);
+  spec.dst_ip = net::Ipv4Addr::from_octets(10, 1, 0, 1);
+  spec.src_port = 40000;
+  spec.dst_port = 2404;
+  spec.payload = payload;
+  auto valid = net::build_tcp_frame(spec);
+  for (int i = 0; i < 500; ++i) {
+    (void)net::decode_frame(mutate(rng, valid));
+  }
+}
+
+TEST(Fuzz, PcapReader) {
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    (void)net::PcapReader::read_buffer(random_bytes(rng, 200));
+  }
+  // Mutated valid pcap bytes.
+  ByteWriter w;
+  w.u32le(net::kPcapMagic);
+  w.u16le(2);
+  w.u16le(4);
+  w.u32le(0);
+  w.u32le(0);
+  w.u32le(65535);
+  w.u32le(1);
+  w.u32le(0);
+  w.u32le(0);
+  w.u32le(6);
+  w.u32le(6);
+  for (int i = 0; i < 6; ++i) w.u8(0xaa);
+  auto valid = w.take();
+  for (int i = 0; i < 300; ++i) {
+    (void)net::PcapReader::read_buffer(mutate(rng, valid));
+  }
+}
+
+TEST(Fuzz, Iec104Decoders) {
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    auto bytes = random_bytes(rng, 260);
+    ByteReader r(bytes);
+    (void)iec104::decode_apdu(r);
+    (void)iec104::detect_profiles(bytes);
+  }
+}
+
+TEST(Fuzz, Ft12Decoder) {
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    auto bytes = random_bytes(rng, 100);
+    ByteReader r(bytes);
+    (void)iec101::decode_ft12(r);
+  }
+}
+
+TEST(Fuzz, C37118Decoder) {
+  Rng rng(6);
+  synchro::ConfigFrame cfg;
+  synchro::PmuConfig pmu;
+  pmu.phasor_names = {"VA"};
+  pmu.phasor_units = {915527};
+  cfg.pmus.push_back(pmu);
+  auto valid = synchro::encode_config(cfg);
+  for (int i = 0; i < 500; ++i) {
+    (void)synchro::decode_frame(random_bytes(rng, 100), &cfg);
+    (void)synchro::decode_frame(mutate(rng, valid), &cfg);
+    (void)synchro::split_stream(random_bytes(rng, 200));
+  }
+}
+
+TEST(Fuzz, IccpDecoder) {
+  Rng rng(7);
+  iccp::Message m;
+  m.type = iccp::MessageType::kInformationReport;
+  m.points.push_back({"X", 1.0, 0});
+  auto valid = m.to_wire();
+  for (int i = 0; i < 500; ++i) {
+    auto garbage = random_bytes(rng, 120);
+    ByteReader r1(garbage);
+    (void)iccp::from_wire(r1);
+    auto mutated = mutate(rng, valid);
+    ByteReader r2(mutated);
+    (void)iccp::from_wire(r2);
+  }
+}
+
+TEST(Fuzz, StreamParserOnMutatedTraffic) {
+  Rng rng(8);
+  // A valid stream with a mutation in the middle must resynchronize and
+  // keep parsing later APDUs where possible — and never crash.
+  iec104::Asdu asdu;
+  asdu.type = iec104::TypeId::M_ME_NC_1;
+  asdu.common_address = 7;
+  asdu.objects.push_back({100, iec104::ShortFloat{1.0f, {}}, std::nullopt});
+  auto one = iec104::Apdu::make_i(0, 0, asdu).encode().take();
+  for (int i = 0; i < 200; ++i) {
+    std::vector<std::uint8_t> stream;
+    for (int k = 0; k < 5; ++k) stream.insert(stream.end(), one.begin(), one.end());
+    auto mutated = mutate(rng, stream);
+    iec104::ApduStreamParser parser;
+    parser.feed(0, mutated);
+    EXPECT_LE(parser.apdus().size(), 5u * 4u);  // sanity bound
+  }
+}
+
+}  // namespace
+}  // namespace uncharted

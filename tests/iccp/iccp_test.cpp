@@ -1,0 +1,142 @@
+#include "iccp/iccp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uncharted::iccp {
+namespace {
+
+TEST(Tpkt, WrapUnwrapRoundTrip) {
+  std::uint8_t payload[] = {1, 2, 3, 4, 5};
+  auto wrapped = tpkt_wrap(payload);
+  ASSERT_EQ(wrapped.size(), 9u);
+  EXPECT_EQ(wrapped[0], 3);
+  EXPECT_EQ(wrapped[2], 0);
+  EXPECT_EQ(wrapped[3], 9);
+  ByteReader r(wrapped);
+  auto back = tpkt_unwrap(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 5u);
+  EXPECT_EQ((*back)[0], 1);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Tpkt, BadVersionRejected) {
+  std::uint8_t bytes[] = {4, 0, 0, 5, 0xaa};
+  ByteReader r(bytes);
+  auto back = tpkt_unwrap(r);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.error().code, "bad-tpkt-version");
+}
+
+TEST(Cotp, DataTpduRoundTrip) {
+  CotpTpdu dt;
+  dt.type = CotpType::kData;
+  dt.last_data_unit = true;
+  dt.payload = {0xde, 0xad};
+  auto bytes = dt.encode();
+  ASSERT_EQ(bytes.size(), 5u);
+  EXPECT_EQ(bytes[1], 0xf0);
+  auto back = CotpTpdu::decode(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->type, CotpType::kData);
+  EXPECT_TRUE(back->last_data_unit);
+  EXPECT_EQ(back->payload, dt.payload);
+}
+
+TEST(Cotp, ConnectionHandshakeRoundTrip) {
+  CotpTpdu cr;
+  cr.type = CotpType::kConnectionRequest;
+  cr.dst_ref = 0;
+  cr.src_ref = 0x1234;
+  auto bytes = cr.encode();
+  auto back = CotpTpdu::decode(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->type, CotpType::kConnectionRequest);
+  EXPECT_EQ(back->src_ref, 0x1234);
+
+  CotpTpdu cc;
+  cc.type = CotpType::kConnectionConfirm;
+  cc.dst_ref = 0x1234;
+  cc.src_ref = 0x5678;
+  auto cc_back = CotpTpdu::decode(cc.encode());
+  ASSERT_TRUE(cc_back.ok());
+  EXPECT_EQ(cc_back->dst_ref, 0x1234);
+}
+
+TEST(Iccp, MessageRoundTrip) {
+  Message m;
+  m.type = MessageType::kInformationReport;
+  m.invoke_id = 42;
+  m.association_name = "TASE2-ASSOC-1";
+  m.points.push_back({"TIE_LINE_1.MW", 131.5, 0});
+  m.points.push_back({"AREA.FREQ", 60.002, 0x01});
+  auto bytes = m.encode();
+  auto back = Message::decode(bytes);
+  ASSERT_TRUE(back.ok()) << back.error().str();
+  EXPECT_EQ(back->type, MessageType::kInformationReport);
+  EXPECT_EQ(back->invoke_id, 42u);
+  EXPECT_EQ(back->association_name, "TASE2-ASSOC-1");
+  ASSERT_EQ(back->points.size(), 2u);
+  EXPECT_EQ(back->points[0].name, "TIE_LINE_1.MW");
+  EXPECT_NEAR(back->points[1].value, 60.002, 1e-3);
+  EXPECT_EQ(back->points[1].quality, 0x01);
+}
+
+TEST(Iccp, ReadRequestCarriesNames) {
+  Message m;
+  m.type = MessageType::kReadRequest;
+  m.invoke_id = 7;
+  m.names = {"BUS7.KV", "BUS9.KV"};
+  auto back = Message::decode(m.encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->names, m.names);
+  EXPECT_TRUE(back->points.empty());
+}
+
+TEST(Iccp, WireRoundTripThroughTpktCotp) {
+  Message m;
+  m.type = MessageType::kAssociationRequest;
+  m.invoke_id = 1;
+  m.association_name = "TASE2-ASSOC-9";
+  auto wire = m.to_wire();
+  ByteReader r(wire);
+  auto back = from_wire(r);
+  ASSERT_TRUE(back.ok()) << back.error().str();
+  EXPECT_EQ(back->type, MessageType::kAssociationRequest);
+  EXPECT_EQ(back->association_name, "TASE2-ASSOC-9");
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Iccp, TwoMessagesInOneStream) {
+  Message a;
+  a.type = MessageType::kReadRequest;
+  a.invoke_id = 1;
+  a.names = {"X"};
+  Message b;
+  b.type = MessageType::kReadResponse;
+  b.invoke_id = 1;
+  b.points.push_back({"X", 5.0, 0});
+  auto wa = a.to_wire();
+  auto wb = b.to_wire();
+  std::vector<std::uint8_t> stream = wa;
+  stream.insert(stream.end(), wb.begin(), wb.end());
+  ByteReader r(stream);
+  EXPECT_EQ(from_wire(r)->type, MessageType::kReadRequest);
+  EXPECT_EQ(from_wire(r)->type, MessageType::kReadResponse);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Iccp, MalformedMessageRejected) {
+  std::uint8_t junk[] = {9, 0, 0, 0, 1, 0, 0};
+  auto back = Message::decode(junk);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.error().code, "bad-iccp-type");
+  Message m;
+  m.type = MessageType::kConclude;
+  auto bytes = m.encode();
+  bytes.push_back(0xff);
+  EXPECT_EQ(Message::decode(bytes).error().code, "trailing-bytes");
+}
+
+}  // namespace
+}  // namespace uncharted::iccp

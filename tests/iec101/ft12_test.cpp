@@ -1,0 +1,136 @@
+#include "iec101/ft12.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iec104/parser.hpp"
+
+namespace uncharted::iec101 {
+namespace {
+
+iec104::Asdu serial_asdu() {
+  iec104::Asdu asdu;
+  asdu.type = iec104::TypeId::M_ME_NC_1;
+  asdu.cot.cause = iec104::Cause::kSpontaneous;
+  asdu.common_address = 37;  // 1-octet CA on serial
+  asdu.objects.push_back({4701, iec104::ShortFloat{59.98f, {}}, std::nullopt});
+  return asdu;
+}
+
+TEST(LinkControl, PrimaryBitsRoundTrip) {
+  LinkControl c;
+  c.prm = true;
+  c.fcb = true;
+  c.fcv = true;
+  c.function = static_cast<std::uint8_t>(PrimaryFunction::kUserDataConfirmed);
+  EXPECT_EQ(c.encode(), 0x73);
+  EXPECT_EQ(LinkControl::decode(0x73), c);
+}
+
+TEST(LinkControl, SecondaryBitsRoundTrip) {
+  LinkControl c;
+  c.prm = false;
+  c.acd = true;
+  c.dfc = false;
+  c.function = static_cast<std::uint8_t>(SecondaryFunction::kUserData);
+  std::uint8_t wire = c.encode();
+  EXPECT_EQ(wire, 0x28);
+  EXPECT_EQ(LinkControl::decode(wire), c);
+}
+
+TEST(Ft12, SingleCharFrame) {
+  auto bytes = Ft12Frame::single_char().encode();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0xe5);
+  ByteReader r(bytes);
+  auto back = decode_ft12(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->kind, Ft12Frame::Kind::kSingleChar);
+}
+
+TEST(Ft12, FixedFrameRoundTrip) {
+  LinkControl c;
+  c.prm = true;
+  c.function = static_cast<std::uint8_t>(PrimaryFunction::kRequestStatus);
+  auto bytes = Ft12Frame::fixed(c, 12).encode();
+  ASSERT_EQ(bytes.size(), 5u);
+  EXPECT_EQ(bytes[0], 0x10);
+  EXPECT_EQ(bytes[4], 0x16);
+  ByteReader r(bytes);
+  auto back = decode_ft12(r);
+  ASSERT_TRUE(back.ok()) << back.error().str();
+  EXPECT_EQ(back->kind, Ft12Frame::Kind::kFixed);
+  EXPECT_EQ(back->control, c);
+  EXPECT_EQ(back->address, 12);
+}
+
+TEST(Ft12, VariableFrameRoundTrip) {
+  auto framed = frame_asdu(serial_asdu(), 37, /*fcb=*/true);
+  ASSERT_TRUE(framed.ok()) << framed.error().str();
+  auto bytes = framed->encode();
+  EXPECT_EQ(bytes[0], 0x68);
+  EXPECT_EQ(bytes[3], 0x68);
+  EXPECT_EQ(bytes[1], bytes[2]);  // repeated length
+  EXPECT_EQ(bytes.back(), 0x16);
+
+  ByteReader r(bytes);
+  auto back = decode_ft12(r);
+  ASSERT_TRUE(back.ok()) << back.error().str();
+  EXPECT_TRUE(r.empty());
+  auto asdu = unframe_asdu(back.value());
+  ASSERT_TRUE(asdu.ok()) << asdu.error().str();
+  EXPECT_EQ(asdu->common_address, 37);
+  EXPECT_EQ(asdu->objects[0].ioa, 4701u);
+  EXPECT_FLOAT_EQ(std::get<iec104::ShortFloat>(asdu->objects[0].value).value, 59.98f);
+}
+
+TEST(Ft12, ChecksumCorruptionDetected) {
+  auto framed = frame_asdu(serial_asdu(), 37, false);
+  auto bytes = framed->encode();
+  bytes[6] ^= 0x01;  // flip a body byte
+  ByteReader r(bytes);
+  auto back = decode_ft12(r);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.error().code, "bad-checksum");
+}
+
+TEST(Ft12, FramingErrorsDetected) {
+  auto framed = frame_asdu(serial_asdu(), 1, false);
+  auto good = framed->encode();
+
+  auto bad_len = good;
+  bad_len[2] = static_cast<std::uint8_t>(bad_len[2] + 1);
+  ByteReader r1(bad_len);
+  EXPECT_EQ(decode_ft12(r1).error().code, "length-mismatch");
+
+  auto bad_stop = good;
+  bad_stop.back() = 0x17;
+  ByteReader r2(bad_stop);
+  EXPECT_EQ(decode_ft12(r2).error().code, "bad-stop-octet");
+
+  std::uint8_t junk[] = {0x42};
+  ByteReader r3(junk);
+  EXPECT_EQ(decode_ft12(r3).error().code, "bad-start-octet");
+}
+
+TEST(Ft12, BackToBackFramesParseSequentially) {
+  auto f1 = frame_asdu(serial_asdu(), 1, false)->encode();
+  auto ack = Ft12Frame::single_char().encode();
+  std::vector<std::uint8_t> stream = f1;
+  stream.insert(stream.end(), ack.begin(), ack.end());
+  ByteReader r(stream);
+  EXPECT_EQ(decode_ft12(r)->kind, Ft12Frame::Kind::kVariable);
+  EXPECT_EQ(decode_ft12(r)->kind, Ft12Frame::Kind::kSingleChar);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Ft12, SerialProfileWidths) {
+  // 1-octet COT, 1-octet CA, 2-octet IOA: the serial ASDU for one float
+  // object is 4 (type+vsq+cot+ca) + 2 (IOA) + 5 (element) = 11 bytes, two
+  // shorter than the 13-byte IEC 104 standard layout.
+  ByteWriter w;
+  ASSERT_TRUE(serial_asdu().encode(w, serial_profile()).ok());
+  EXPECT_EQ(w.size(), 11u);
+}
+
+}  // namespace
+}  // namespace uncharted::iec101

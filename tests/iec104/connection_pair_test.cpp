@@ -1,0 +1,166 @@
+// Integration of two ConnectionEngines driving each other over a virtual
+// wire: the full controlling/controlled lifecycle of §4 — STARTDT, data
+// transfer with S-format acknowledgements, keep-alive tests, windowing —
+// without any scripted responses.
+#include <deque>
+
+#include <gtest/gtest.h>
+
+#include "iec104/connection.hpp"
+
+namespace uncharted::iec104 {
+namespace {
+
+/// Two engines and a lossless in-order wire between them.
+class Wire {
+ public:
+  Wire()
+      : server_(Role::kControlling, Timers{}, kDefaultK, /*w=*/4),
+        outstation_(Role::kControlled, Timers{}, kDefaultK, /*w=*/4) {
+    server_.on_connected(now_);
+    outstation_.on_connected(now_);
+  }
+
+  /// Delivers queued APDUs until both directions are idle.
+  void settle() {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      while (!to_outstation_.empty()) {
+        progress = true;
+        Apdu apdu = to_outstation_.front();
+        to_outstation_.pop_front();
+        deliver(outstation_.on_apdu(now_, apdu), to_server_);
+      }
+      while (!to_server_.empty()) {
+        progress = true;
+        Apdu apdu = to_server_.front();
+        to_server_.pop_front();
+        deliver(server_.on_apdu(now_, apdu), to_outstation_);
+      }
+    }
+  }
+
+  void server_sends(const Apdu& apdu) { to_outstation_.push_back(apdu); }
+  void outstation_sends(const Apdu& apdu) { to_server_.push_back(apdu); }
+
+  void advance(double seconds) { now_ += from_seconds(seconds); }
+  Timestamp now() const { return now_; }
+
+  /// Runs both engines' timers and routes what they emit.
+  void tick() {
+    deliver(server_.on_tick(now_), to_outstation_);
+    deliver(outstation_.on_tick(now_), to_server_);
+  }
+
+  ConnectionEngine server_;
+  ConnectionEngine outstation_;
+  std::vector<Apdu> outstation_inbox_;  ///< observed S frames etc.
+
+ private:
+  void deliver(const EngineSignals& signals, std::deque<Apdu>& queue) {
+    EXPECT_FALSE(signals.close_connection) << "unexpected close";
+    for (const auto& apdu : signals.to_send) queue.push_back(apdu);
+  }
+
+  Timestamp now_ = 1'000'000'000;
+  std::deque<Apdu> to_outstation_;
+  std::deque<Apdu> to_server_;
+};
+
+Asdu measurement(float value) {
+  Asdu asdu;
+  asdu.type = TypeId::M_ME_NC_1;
+  asdu.cot.cause = Cause::kSpontaneous;
+  asdu.common_address = 7;
+  asdu.objects.push_back({1001, ShortFloat{value, {}}, std::nullopt});
+  return asdu;
+}
+
+TEST(ConnectionPair, FullLifecycle) {
+  Wire wire;
+
+  // 1. Server starts data transfer; outstation confirms.
+  wire.server_sends(wire.server_.start_dt(wire.now()));
+  wire.settle();
+  EXPECT_TRUE(wire.server_.started());
+  EXPECT_TRUE(wire.outstation_.started());
+
+  // 2. Outstation sends 9 measurements; the server acks per w=4.
+  for (int i = 0; i < 9; ++i) {
+    auto apdu = wire.outstation_.send_asdu(wire.now(), measurement(60.0f + i));
+    ASSERT_TRUE(apdu.has_value()) << i;
+    wire.outstation_sends(*apdu);
+    wire.settle();
+  }
+  // Two S-acks (after 4 and 8) leave one unacknowledged I-APDU.
+  EXPECT_EQ(wire.outstation_.unacked(), 1);
+  EXPECT_EQ(wire.server_.vr(), 9);
+
+  // 3. This is why the standard mandates T2 < T1: the server owes an ack
+  // for the 9th I-APDU, and must flush it (T2, 10 s) before the
+  // outstation's send timer (T1, 15 s) would force a close. Step through
+  // T2 first...
+  wire.advance(11.0);
+  wire.tick();
+  wire.settle();
+  EXPECT_EQ(wire.outstation_.unacked(), 0);
+
+  // ...then idle past T3: both sides emit TESTFR act, each answered.
+  wire.advance(21.0);
+  wire.tick();
+  wire.settle();
+  wire.advance(5.0);
+  wire.tick();
+  wire.settle();
+
+  // 4. Server stops data transfer.
+  wire.server_sends(wire.server_.stop_dt(wire.now()));
+  wire.settle();
+  EXPECT_FALSE(wire.outstation_.started());
+  EXPECT_FALSE(wire.outstation_.send_asdu(wire.now(), measurement(0.0f)).has_value());
+}
+
+TEST(ConnectionPair, WindowStallsUntilAcked) {
+  Wire wire;
+  wire.server_sends(wire.server_.start_dt(wire.now()));
+  wire.settle();
+
+  // Send k APDUs without letting the wire deliver anything.
+  std::vector<Apdu> held;
+  for (int i = 0; i < kDefaultK; ++i) {
+    auto apdu = wire.outstation_.send_asdu(wire.now(), measurement(1.0f));
+    ASSERT_TRUE(apdu.has_value());
+    held.push_back(*apdu);
+  }
+  EXPECT_FALSE(wire.outstation_.send_asdu(wire.now(), measurement(2.0f)).has_value());
+
+  // Deliver them; acks flow back; the window reopens.
+  for (const auto& apdu : held) wire.outstation_sends(apdu);
+  wire.settle();
+  EXPECT_EQ(wire.outstation_.unacked(), 0);
+  EXPECT_TRUE(wire.outstation_.send_asdu(wire.now(), measurement(3.0f)).has_value());
+}
+
+TEST(ConnectionPair, T2FlushWhenTrafficStops) {
+  Wire wire;
+  wire.server_sends(wire.server_.start_dt(wire.now()));
+  wire.settle();
+
+  // 2 I-APDUs (< w): no immediate ack.
+  for (int i = 0; i < 2; ++i) {
+    auto apdu = wire.outstation_.send_asdu(wire.now(), measurement(1.0f));
+    wire.outstation_sends(*apdu);
+  }
+  wire.settle();
+  EXPECT_EQ(wire.outstation_.unacked(), 2);
+
+  // After T2 the server's tick emits the owed S-format ack.
+  wire.advance(11.0);
+  wire.tick();
+  wire.settle();
+  EXPECT_EQ(wire.outstation_.unacked(), 0);
+}
+
+}  // namespace
+}  // namespace uncharted::iec104

@@ -1,0 +1,181 @@
+#include "iec104/connection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uncharted::iec104 {
+namespace {
+
+constexpr Timestamp kT0 = 1'000'000'000;  // arbitrary base
+
+Asdu tiny_asdu() {
+  Asdu asdu;
+  asdu.type = TypeId::M_ME_NC_1;
+  asdu.cot.cause = Cause::kSpontaneous;
+  asdu.common_address = 1;
+  asdu.objects.push_back({10, ShortFloat{1.0f, Quality{}}, std::nullopt});
+  return asdu;
+}
+
+TEST(Connection, StartsStoppedUntilStartDt) {
+  ConnectionEngine out(Role::kControlled);
+  out.on_connected(kT0);
+  EXPECT_FALSE(out.started());
+  EXPECT_FALSE(out.send_asdu(kT0, tiny_asdu()).has_value());
+
+  auto sig = out.on_apdu(kT0 + 1000, Apdu::make_u(UFunction::kStartDtAct));
+  ASSERT_EQ(sig.to_send.size(), 1u);
+  EXPECT_EQ(sig.to_send[0].token(), "U2");
+  EXPECT_TRUE(out.started());
+  EXPECT_TRUE(out.send_asdu(kT0 + 2000, tiny_asdu()).has_value());
+}
+
+TEST(Connection, SequenceNumbersIncrement) {
+  ConnectionEngine out(Role::kControlled);
+  out.on_connected(kT0);
+  out.on_apdu(kT0, Apdu::make_u(UFunction::kStartDtAct));
+  auto a1 = out.send_asdu(kT0 + 1, tiny_asdu());
+  auto a2 = out.send_asdu(kT0 + 2, tiny_asdu());
+  ASSERT_TRUE(a1 && a2);
+  EXPECT_EQ(a1->send_seq, 0);
+  EXPECT_EQ(a2->send_seq, 1);
+  EXPECT_EQ(out.vs(), 2);
+  EXPECT_EQ(out.unacked(), 2);
+}
+
+TEST(Connection, SFormatAcknowledgesWindow) {
+  ConnectionEngine out(Role::kControlled);
+  out.on_connected(kT0);
+  out.on_apdu(kT0, Apdu::make_u(UFunction::kStartDtAct));
+  for (int i = 0; i < 5; ++i) out.send_asdu(kT0 + 10 + i, tiny_asdu());
+  EXPECT_EQ(out.unacked(), 5);
+  out.on_apdu(kT0 + 100, Apdu::make_s(3));
+  EXPECT_EQ(out.unacked(), 2);
+  out.on_apdu(kT0 + 200, Apdu::make_s(5));
+  EXPECT_EQ(out.unacked(), 0);
+}
+
+TEST(Connection, WindowKBlocksSending) {
+  ConnectionEngine out(Role::kControlled, Timers{}, /*k=*/3, /*w=*/2);
+  out.on_connected(kT0);
+  out.on_apdu(kT0, Apdu::make_u(UFunction::kStartDtAct));
+  EXPECT_TRUE(out.send_asdu(kT0 + 1, tiny_asdu()).has_value());
+  EXPECT_TRUE(out.send_asdu(kT0 + 2, tiny_asdu()).has_value());
+  EXPECT_TRUE(out.send_asdu(kT0 + 3, tiny_asdu()).has_value());
+  // Window of 3 full: further sends are refused until an ack.
+  EXPECT_FALSE(out.send_asdu(kT0 + 4, tiny_asdu()).has_value());
+  out.on_apdu(kT0 + 5, Apdu::make_s(3));
+  EXPECT_TRUE(out.send_asdu(kT0 + 6, tiny_asdu()).has_value());
+}
+
+TEST(Connection, ReceiverAcksEveryWIApdus) {
+  ConnectionEngine server(Role::kControlling, Timers{}, kDefaultK, /*w=*/4);
+  server.on_connected(kT0);
+  server.on_apdu(kT0, Apdu::make_u(UFunction::kStartDtCon));
+  int s_count = 0;
+  for (int i = 0; i < 12; ++i) {
+    auto sig = server.on_apdu(kT0 + 10 * (i + 1),
+                              Apdu::make_i(static_cast<std::uint16_t>(i), 0, tiny_asdu()));
+    for (const auto& apdu : sig.to_send) {
+      if (apdu.format == ApduFormat::kS) {
+        ++s_count;
+        EXPECT_EQ(apdu.recv_seq, static_cast<std::uint16_t>(i + 1));
+      }
+    }
+  }
+  EXPECT_EQ(s_count, 3);  // every 4th
+}
+
+TEST(Connection, T2FlushesPendingAck) {
+  Timers timers;
+  timers.t2 = 10.0;
+  ConnectionEngine server(Role::kControlling, timers, kDefaultK, /*w=*/8);
+  server.on_connected(kT0);
+  server.on_apdu(kT0 + 1, Apdu::make_i(0, 0, tiny_asdu()));
+  EXPECT_EQ(server.unacked_received(), 1);
+
+  // Before T2: nothing.
+  auto quiet = server.on_tick(kT0 + from_seconds(5.0));
+  EXPECT_TRUE(quiet.to_send.empty());
+
+  auto sig = server.on_tick(kT0 + from_seconds(11.0));
+  ASSERT_EQ(sig.to_send.size(), 1u);
+  EXPECT_EQ(sig.to_send[0].format, ApduFormat::kS);
+  EXPECT_EQ(server.unacked_received(), 0);
+}
+
+TEST(Connection, T3IdleTriggersTestFrame) {
+  Timers timers;
+  timers.t3 = 20.0;
+  ConnectionEngine eng(Role::kControlling, timers);
+  eng.on_connected(kT0);
+  auto early = eng.on_tick(kT0 + from_seconds(19.0));
+  EXPECT_TRUE(early.to_send.empty());
+  auto sig = eng.on_tick(kT0 + from_seconds(21.0));
+  ASSERT_EQ(sig.to_send.size(), 1u);
+  EXPECT_EQ(sig.to_send[0].token(), "U16");
+  // Only one test outstanding at a time.
+  auto again = eng.on_tick(kT0 + from_seconds(22.0));
+  EXPECT_TRUE(again.to_send.empty());
+}
+
+TEST(Connection, T1ExpiryOnUnansweredTestRequestsClose) {
+  Timers timers;
+  timers.t1 = 15.0;
+  timers.t3 = 20.0;
+  ConnectionEngine eng(Role::kControlling, timers);
+  eng.on_connected(kT0);
+  auto test = eng.on_tick(kT0 + from_seconds(21.0));
+  ASSERT_FALSE(test.to_send.empty());
+  // No TESTFR con arrives; T1 after the send must close.
+  auto closed = eng.on_tick(kT0 + from_seconds(21.0 + 16.0));
+  EXPECT_TRUE(closed.close_connection);
+}
+
+TEST(Connection, TestFrConCancelsT1) {
+  Timers timers;
+  timers.t1 = 15.0;
+  timers.t3 = 20.0;
+  ConnectionEngine eng(Role::kControlling, timers);
+  eng.on_connected(kT0);
+  eng.on_tick(kT0 + from_seconds(21.0));  // emits TESTFR act
+  eng.on_apdu(kT0 + from_seconds(22.0), Apdu::make_u(UFunction::kTestFrCon));
+  auto sig = eng.on_tick(kT0 + from_seconds(40.0));
+  EXPECT_FALSE(sig.close_connection);
+}
+
+TEST(Connection, RespondsToTestAndStop) {
+  ConnectionEngine eng(Role::kControlled);
+  eng.on_connected(kT0);
+  auto test = eng.on_apdu(kT0 + 1, Apdu::make_u(UFunction::kTestFrAct));
+  ASSERT_EQ(test.to_send.size(), 1u);
+  EXPECT_EQ(test.to_send[0].token(), "U32");
+
+  eng.on_apdu(kT0 + 2, Apdu::make_u(UFunction::kStartDtAct));
+  EXPECT_TRUE(eng.started());
+  auto stop = eng.on_apdu(kT0 + 3, Apdu::make_u(UFunction::kStopDtAct));
+  ASSERT_EQ(stop.to_send.size(), 1u);
+  EXPECT_EQ(stop.to_send[0].token(), "U8");
+  EXPECT_FALSE(eng.started());
+}
+
+TEST(Connection, ControllingStartStopHelpers) {
+  ConnectionEngine ctl(Role::kControlling);
+  ctl.on_connected(kT0);
+  EXPECT_EQ(ctl.start_dt(kT0 + 1).token(), "U1");
+  ctl.on_apdu(kT0 + 2, Apdu::make_u(UFunction::kStartDtCon));
+  EXPECT_TRUE(ctl.started());
+  EXPECT_EQ(ctl.stop_dt(kT0 + 3).token(), "U4");
+  ctl.on_apdu(kT0 + 4, Apdu::make_u(UFunction::kStopDtCon));
+  EXPECT_FALSE(ctl.started());
+}
+
+TEST(Connection, ResyncsOnOutOfSequencePeer) {
+  ConnectionEngine eng(Role::kControlling);
+  eng.on_connected(kT0);
+  // A capture that starts mid-stream sees a peer N(S) of 500.
+  eng.on_apdu(kT0 + 1, Apdu::make_i(500, 0, tiny_asdu()));
+  EXPECT_EQ(eng.vr(), 501);
+}
+
+}  // namespace
+}  // namespace uncharted::iec104

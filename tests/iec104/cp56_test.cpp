@@ -1,0 +1,127 @@
+#include "iec104/cp56time.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace uncharted::iec104 {
+namespace {
+
+TEST(Cp56Time2a, KnownDate) {
+  // 2020-10-27 14:30:12.345 UTC.
+  Cp56Time2a t;
+  t.year = 20;
+  t.month = 10;
+  t.day_of_month = 27;
+  t.hour = 14;
+  t.minute = 30;
+  t.milliseconds = 12345;
+  Timestamp ts = t.to_timestamp();
+  Cp56Time2a back = Cp56Time2a::from_timestamp(ts);
+  EXPECT_EQ(back.year, 20);
+  EXPECT_EQ(back.month, 10);
+  EXPECT_EQ(back.day_of_month, 27);
+  EXPECT_EQ(back.hour, 14);
+  EXPECT_EQ(back.minute, 30);
+  EXPECT_EQ(back.milliseconds, 12345);
+  // 2020-10-27 was a Tuesday (ISO day 2).
+  EXPECT_EQ(back.day_of_week, 2);
+}
+
+TEST(Cp56Time2a, EpochConversionMatchesKnownValue) {
+  // 2019-06-15 00:00:00 UTC == 1560556800 s.
+  Cp56Time2a t = Cp56Time2a::from_timestamp(1560556800ULL * 1'000'000);
+  EXPECT_EQ(t.year, 19);
+  EXPECT_EQ(t.month, 6);
+  EXPECT_EQ(t.day_of_month, 15);
+  EXPECT_EQ(t.hour, 0);
+  EXPECT_EQ(t.minute, 0);
+  EXPECT_EQ(t.milliseconds, 0);
+}
+
+TEST(Cp56Time2a, WireRoundTrip) {
+  Cp56Time2a t;
+  t.year = 21;
+  t.month = 2;
+  t.day_of_month = 28;
+  t.day_of_week = 7;
+  t.hour = 23;
+  t.minute = 59;
+  t.milliseconds = 59999;
+  t.invalid = true;
+  t.summer_time = true;
+  ByteWriter w;
+  t.encode(w);
+  ASSERT_EQ(w.size(), Cp56Time2a::kSize);
+  ByteReader r(w.view());
+  auto back = Cp56Time2a::decode(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), t);
+}
+
+TEST(Cp56Time2a, RejectsOutOfRangeFields) {
+  ByteWriter w;
+  w.u16le(60001);  // ms > 59999
+  w.u8(0);
+  w.u8(0);
+  w.u8(1);
+  w.u8(1);
+  w.u8(20);
+  ByteReader r(w.view());
+  EXPECT_FALSE(Cp56Time2a::decode(r).ok());
+
+  ByteWriter w2;
+  w2.u16le(0);
+  w2.u8(0);
+  w2.u8(0);
+  w2.u8(0);  // day 0 invalid
+  w2.u8(1);
+  w2.u8(20);
+  ByteReader r2(w2.view());
+  EXPECT_FALSE(Cp56Time2a::decode(r2).ok());
+}
+
+TEST(Cp56Time2a, TruncatedDecodeFails) {
+  std::uint8_t short_buf[3] = {0, 0, 0};
+  ByteReader r(std::span<const std::uint8_t>(short_buf, 3));
+  EXPECT_FALSE(Cp56Time2a::decode(r).ok());
+}
+
+// Property: timestamp -> CP56 -> timestamp is the identity at millisecond
+// resolution across the 2000-2099 window.
+TEST(Cp56Time2aProperty, TimestampRoundTrip) {
+  Rng rng(77);
+  const Timestamp lo = 946684800ULL * 1'000'000;    // 2000-01-01
+  const Timestamp hi = 4102444800ULL * 1'000'000;   // 2100-01-01
+  for (int i = 0; i < 3000; ++i) {
+    Timestamp ts = lo + rng.next_u64() % (hi - lo);
+    ts -= ts % 1000;  // CP56 carries milliseconds
+    Cp56Time2a t = Cp56Time2a::from_timestamp(ts);
+    EXPECT_EQ(t.to_timestamp(), ts) << t.str();
+
+    // And the wire encoding round-trips too.
+    ByteWriter w;
+    t.encode(w);
+    ByteReader r(w.view());
+    auto back = Cp56Time2a::decode(r);
+    ASSERT_TRUE(back.ok());
+    // day_of_week is carried but to_timestamp ignores it.
+    EXPECT_EQ(back->to_timestamp(), ts);
+  }
+}
+
+TEST(Cp56Time2a, StrFormatting) {
+  Cp56Time2a t;
+  t.year = 20;
+  t.month = 10;
+  t.day_of_month = 27;
+  t.hour = 14;
+  t.minute = 3;
+  t.milliseconds = 22512;
+  EXPECT_EQ(t.str(), "2020-10-27 14:03:22.512");
+  t.invalid = true;
+  EXPECT_EQ(t.str(), "2020-10-27 14:03:22.512 (IV)");
+}
+
+}  // namespace
+}  // namespace uncharted::iec104

@@ -1,0 +1,240 @@
+#include "iec104/elements.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iec104/asdu.hpp"
+
+namespace uncharted::iec104 {
+namespace {
+
+/// Exemplar element for every supported typeID, with distinctive values so
+/// a misaligned decode cannot accidentally compare equal.
+ElementValue sample_element(TypeId t) {
+  switch (t) {
+    case TypeId::M_SP_NA_1:
+    case TypeId::M_SP_TB_1:
+      return SinglePoint{true, Quality::decode(0x40)};
+    case TypeId::M_DP_NA_1:
+    case TypeId::M_DP_TB_1:
+      return DoublePoint{2, Quality::decode(0x80)};
+    case TypeId::M_ST_NA_1:
+    case TypeId::M_ST_TB_1:
+      return StepPosition{-17, true, Quality{}};
+    case TypeId::M_BO_NA_1:
+    case TypeId::M_BO_TB_1:
+      return Bitstring32{0xCAFEBABE, Quality{}};
+    case TypeId::M_ME_NA_1:
+    case TypeId::M_ME_TD_1:
+    case TypeId::M_ME_ND_1:
+      return NormalizedValue{-12345, Quality{}};
+    case TypeId::M_ME_NB_1:
+    case TypeId::M_ME_TE_1:
+      return ScaledValue{-3000, Quality::decode(0x10)};
+    case TypeId::M_ME_NC_1:
+    case TypeId::M_ME_TF_1:
+      return ShortFloat{59.97f, Quality{}};
+    case TypeId::M_IT_NA_1:
+    case TypeId::M_IT_TB_1:
+      return IntegratedTotals{987654, 0x15};
+    case TypeId::M_PS_NA_1:
+      return PackedSinglePoints{0xAAAA, 0x5555, Quality{}};
+    case TypeId::M_EP_TD_1:
+      return ProtectionEvent{2, 1500};
+    case TypeId::M_EP_TE_1:
+      return ProtectionStartEvents{0x3f, 0x10, 250};
+    case TypeId::M_EP_TF_1:
+      return ProtectionOutputCircuit{0x0f, 0x00, 750};
+    case TypeId::M_EI_NA_1:
+      return EndOfInit{0x02};
+    case TypeId::C_SC_NA_1:
+    case TypeId::C_SC_TA_1:
+      return SingleCommand{true, true, 3};
+    case TypeId::C_DC_NA_1:
+    case TypeId::C_DC_TA_1:
+      return DoubleCommand{2, false, 1};
+    case TypeId::C_RC_NA_1:
+    case TypeId::C_RC_TA_1:
+      return RegulatingStep{1, true, 0};
+    case TypeId::C_SE_NA_1:
+    case TypeId::C_SE_TA_1:
+      return SetpointNormalized{22222, 0};
+    case TypeId::C_SE_NB_1:
+    case TypeId::C_SE_TB_1:
+      return SetpointScaled{-4242, 1};
+    case TypeId::C_SE_NC_1:
+    case TypeId::C_SE_TC_1:
+      return SetpointFloat{123.5f, 0};
+    case TypeId::C_BO_NA_1:
+    case TypeId::C_BO_TA_1:
+      return BitstringCommand{0x12345678};
+    case TypeId::C_IC_NA_1:
+      return InterrogationCommand{20};
+    case TypeId::C_CI_NA_1:
+      return CounterInterrogation{5};
+    case TypeId::C_RD_NA_1:
+      return ReadCommand{};
+    case TypeId::C_CS_NA_1: {
+      Cp56Time2a time;
+      time.year = 20;
+      time.month = 10;
+      time.day_of_month = 27;
+      time.hour = 12;
+      return ClockSync{time};
+    }
+    case TypeId::C_RP_NA_1:
+      return ResetProcess{1};
+    case TypeId::C_TS_TA_1:
+      return TestCommand{0xAA55};
+    case TypeId::P_ME_NA_1:
+      return ParameterNormalized{100, 1};
+    case TypeId::P_ME_NB_1:
+      return ParameterScaled{-100, 2};
+    case TypeId::P_ME_NC_1:
+      return ParameterFloat{0.25f, 3};
+    case TypeId::P_AC_NA_1:
+      return ParameterActivation{1};
+    case TypeId::F_FR_NA_1:
+      return FileReady{7, 0x012345, 0x80};
+    case TypeId::F_SR_NA_1:
+      return SectionReady{7, 2, 0x00abcd, 0x00};
+    case TypeId::F_SC_NA_1:
+      return CallFile{7, 2, 1};
+    case TypeId::F_LS_NA_1:
+      return LastSection{7, 2, 3, 0x5a};
+    case TypeId::F_AF_NA_1:
+      return AckFile{7, 2, 1};
+    case TypeId::F_SG_NA_1:
+      return Segment{7, 2, {1, 2, 3, 4, 5}};
+    case TypeId::F_DR_TA_1:
+      return DirectoryEntry{9, 0x001000, 0x01};
+    case TypeId::F_SC_NB_1: {
+      QueryLog q;
+      q.file_name = 3;
+      q.start.year = 19;
+      q.start.month = 6;
+      q.start.day_of_month = 15;
+      q.stop.year = 19;
+      q.stop.month = 6;
+      q.stop.day_of_month = 16;
+      return q;
+    }
+  }
+  return ReadCommand{};
+}
+
+std::vector<std::uint8_t> all_supported_codes() {
+  std::vector<std::uint8_t> codes;
+  for (int c = 1; c <= 127; ++c) {
+    if (is_supported_type(static_cast<std::uint8_t>(c))) {
+      codes.push_back(static_cast<std::uint8_t>(c));
+    }
+  }
+  return codes;
+}
+
+TEST(SupportedTypes, ExactlyThe54FromTable5) {
+  EXPECT_EQ(all_supported_codes().size(), 54u);
+  EXPECT_FALSE(is_supported_type(0));
+  EXPECT_FALSE(is_supported_type(2));    // IEC 101-only type
+  EXPECT_FALSE(is_supported_type(44));   // gap
+  EXPECT_FALSE(is_supported_type(104));  // IEC 101-only
+}
+
+class ElementRoundTrip : public ::testing::TestWithParam<std::uint8_t> {};
+
+TEST_P(ElementRoundTrip, EncodeDecodeIdentity) {
+  auto type = static_cast<TypeId>(GetParam());
+  ElementValue value = sample_element(type);
+
+  ByteWriter w;
+  auto st = encode_element(type, value, w);
+  ASSERT_TRUE(st.ok()) << type_acronym(type) << ": " << st.error().str();
+
+  int expected = element_size(type);
+  if (expected >= 0) {
+    EXPECT_EQ(w.size(), static_cast<std::size_t>(expected)) << type_acronym(type);
+  }
+
+  ByteReader r(w.view());
+  auto back = decode_element(type, r);
+  ASSERT_TRUE(back.ok()) << type_acronym(type) << ": " << back.error().str();
+  EXPECT_TRUE(r.empty()) << type_acronym(type) << " left bytes";
+  EXPECT_EQ(back.value(), value) << type_acronym(type);
+}
+
+TEST_P(ElementRoundTrip, TruncationFailsCleanly) {
+  auto type = static_cast<TypeId>(GetParam());
+  if (element_size(type) == 0) GTEST_SKIP() << "no payload";
+  ElementValue value = sample_element(type);
+  ByteWriter w;
+  ASSERT_TRUE(encode_element(type, value, w).ok());
+  auto full = w.take();
+  for (std::size_t n = 0; n < full.size(); ++n) {
+    ByteReader r(std::span<const std::uint8_t>(full.data(), n));
+    EXPECT_FALSE(decode_element(type, r).ok())
+        << type_acronym(type) << " with " << n << " bytes";
+  }
+}
+
+TEST_P(ElementRoundTrip, WrongVariantRejected) {
+  auto type = static_cast<TypeId>(GetParam());
+  // ReadCommand has no payload, so feed something definitely mismatched.
+  ElementValue wrong = type == TypeId::C_RD_NA_1 ? ElementValue{SinglePoint{}}
+                                                 : ElementValue{ReadCommand{}};
+  ByteWriter w;
+  EXPECT_FALSE(encode_element(type, wrong, w).ok()) << type_acronym(type);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTable5Types, ElementRoundTrip,
+                         ::testing::ValuesIn(all_supported_codes()),
+                         [](const ::testing::TestParamInfo<std::uint8_t>& info) {
+                           return type_acronym(static_cast<TypeId>(info.param));
+                         });
+
+TEST(NormalizedValue, RawConversion) {
+  EXPECT_EQ(NormalizedValue::to_raw(0.0), 0);
+  EXPECT_EQ(NormalizedValue::to_raw(-1.0), -32768);
+  EXPECT_EQ(NormalizedValue::to_raw(0.5), 16384);
+  EXPECT_EQ(NormalizedValue::to_raw(5.0), 32767);   // clamped
+  EXPECT_EQ(NormalizedValue::to_raw(-5.0), -32768); // clamped
+  NormalizedValue v;
+  v.raw = 16384;
+  EXPECT_DOUBLE_EQ(v.value(), 0.5);
+}
+
+TEST(NumericValue, ExtractsProcessValues) {
+  double out = 0.0;
+  EXPECT_TRUE(numeric_value(ShortFloat{59.5f, {}}, out));
+  EXPECT_FLOAT_EQ(static_cast<float>(out), 59.5f);
+  EXPECT_TRUE(numeric_value(DoublePoint{2, {}}, out));
+  EXPECT_EQ(out, 2.0);
+  EXPECT_TRUE(numeric_value(SinglePoint{true, {}}, out));
+  EXPECT_EQ(out, 1.0);
+  EXPECT_TRUE(numeric_value(SetpointFloat{12.5f, 0}, out));
+  EXPECT_EQ(out, 12.5);
+  EXPECT_FALSE(numeric_value(InterrogationCommand{20}, out));
+  EXPECT_FALSE(numeric_value(ReadCommand{}, out));
+}
+
+TEST(Quality, BitRoundTrip) {
+  for (int bits : {0x00, 0x01, 0x10, 0x20, 0x40, 0x80, 0xf1}) {
+    Quality q = Quality::decode(static_cast<std::uint8_t>(bits));
+    EXPECT_EQ(q.encode(), bits);
+  }
+  EXPECT_TRUE(Quality{}.good());
+  EXPECT_EQ(Quality{}.str(), "good");
+  EXPECT_EQ(Quality::decode(0x80).str(), "IV");
+}
+
+TEST(TimeTags, ExactlyTheTbTdTeTfTaTypes) {
+  EXPECT_TRUE(has_time_tag(TypeId::M_ME_TF_1));
+  EXPECT_TRUE(has_time_tag(TypeId::M_SP_TB_1));
+  EXPECT_TRUE(has_time_tag(TypeId::C_TS_TA_1));
+  EXPECT_TRUE(has_time_tag(TypeId::F_DR_TA_1));
+  EXPECT_FALSE(has_time_tag(TypeId::M_ME_NC_1));
+  EXPECT_FALSE(has_time_tag(TypeId::C_IC_NA_1));
+  EXPECT_FALSE(has_time_tag(TypeId::C_CS_NA_1));  // CP56 is the element itself
+}
+
+}  // namespace
+}  // namespace uncharted::iec104

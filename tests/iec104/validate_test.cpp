@@ -1,0 +1,124 @@
+#include "iec104/validate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uncharted::iec104 {
+namespace {
+
+Asdu make(TypeId type, Cause cause, ElementValue value, std::uint32_t ioa = 100) {
+  Asdu asdu;
+  asdu.type = type;
+  asdu.cot.cause = cause;
+  asdu.common_address = 5;
+  InformationObject obj;
+  obj.ioa = ioa;
+  obj.value = std::move(value);
+  if (has_time_tag(type)) obj.time = Cp56Time2a::from_timestamp(1560556800ULL * 1'000'000);
+  asdu.objects.push_back(std::move(obj));
+  return asdu;
+}
+
+TEST(TypeCategory, Buckets) {
+  EXPECT_EQ(type_category(TypeId::M_ME_NC_1), TypeCategory::kMonitor);
+  EXPECT_EQ(type_category(TypeId::M_SP_TB_1), TypeCategory::kMonitor);
+  EXPECT_EQ(type_category(TypeId::M_EI_NA_1), TypeCategory::kMonitor);
+  EXPECT_EQ(type_category(TypeId::C_SC_NA_1), TypeCategory::kControl);
+  EXPECT_EQ(type_category(TypeId::C_SE_TC_1), TypeCategory::kControl);
+  EXPECT_EQ(type_category(TypeId::C_IC_NA_1), TypeCategory::kSystem);
+  EXPECT_EQ(type_category(TypeId::C_CS_NA_1), TypeCategory::kSystem);
+  EXPECT_EQ(type_category(TypeId::P_ME_NC_1), TypeCategory::kParameter);
+  EXPECT_EQ(type_category(TypeId::F_SG_NA_1), TypeCategory::kFile);
+}
+
+TEST(Validate, CleanMonitorTraffic) {
+  auto asdu = make(TypeId::M_ME_NC_1, Cause::kSpontaneous, ShortFloat{60.0f, {}});
+  EXPECT_TRUE(validate_asdu(asdu, Direction::kFromOutstation).empty());
+  auto periodic = make(TypeId::M_ME_TF_1, Cause::kPeriodic, ShortFloat{1.0f, {}});
+  EXPECT_TRUE(validate_asdu(periodic, Direction::kFromOutstation).empty());
+  auto gi_resp =
+      make(TypeId::M_ME_NC_1, Cause::kInterrogatedByStation, ShortFloat{1.0f, {}});
+  EXPECT_TRUE(validate_asdu(gi_resp, Direction::kFromOutstation).empty());
+}
+
+TEST(Validate, MonitorTypeFromServerIsWrongDirection) {
+  auto asdu = make(TypeId::M_ME_NC_1, Cause::kSpontaneous, ShortFloat{60.0f, {}});
+  auto violations = validate_asdu(asdu, Direction::kFromController);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].kind, ViolationKind::kWrongDirection);
+}
+
+TEST(Validate, MonitorWithActivationCauseIsMismatch) {
+  auto asdu = make(TypeId::M_ME_NC_1, Cause::kActivation, ShortFloat{60.0f, {}});
+  auto violations = validate_asdu(asdu, Direction::kFromOutstation);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].kind, ViolationKind::kCauseMismatch);
+}
+
+TEST(Validate, CommandLifecycleDirections) {
+  // Activation from the controller: clean.
+  auto act = make(TypeId::C_SE_NC_1, Cause::kActivation, SetpointFloat{50.0f, 0});
+  EXPECT_TRUE(validate_asdu(act, Direction::kFromController).empty());
+  // Activation *from the outstation*: wrong direction.
+  auto v1 = validate_asdu(act, Direction::kFromOutstation);
+  ASSERT_FALSE(v1.empty());
+  EXPECT_EQ(v1[0].kind, ViolationKind::kWrongDirection);
+  // Confirmation from the outstation: clean.
+  auto con = make(TypeId::C_SE_NC_1, Cause::kActivationCon, SetpointFloat{50.0f, 0});
+  EXPECT_TRUE(validate_asdu(con, Direction::kFromOutstation).empty());
+  // Confirmation from the controller: wrong direction.
+  auto v2 = validate_asdu(con, Direction::kFromController);
+  ASSERT_FALSE(v2.empty());
+  EXPECT_EQ(v2[0].kind, ViolationKind::kWrongDirection);
+  // Command with a periodic cause: mismatch.
+  auto weird = make(TypeId::C_SC_NA_1, Cause::kPeriodic, SingleCommand{true, false, 0});
+  auto v3 = validate_asdu(weird, Direction::kFromController);
+  ASSERT_FALSE(v3.empty());
+  EXPECT_EQ(v3[0].kind, ViolationKind::kCauseMismatch);
+}
+
+TEST(Validate, InterrogationQualifierRange) {
+  auto good = make(TypeId::C_IC_NA_1, Cause::kActivation, InterrogationCommand{20});
+  EXPECT_TRUE(validate_asdu(good, Direction::kFromController).empty());
+  auto group = make(TypeId::C_IC_NA_1, Cause::kActivation, InterrogationCommand{36});
+  EXPECT_TRUE(validate_asdu(group, Direction::kFromController).empty());
+  auto bad = make(TypeId::C_IC_NA_1, Cause::kActivation, InterrogationCommand{42});
+  auto violations = validate_asdu(bad, Direction::kFromController);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].kind, ViolationKind::kBadQualifier);
+}
+
+TEST(Validate, ErrorMirrorCausesAreLegalBothWays) {
+  auto unknown = make(TypeId::C_SE_NC_1, Cause::kUnknownIoa, SetpointFloat{1.0f, 0});
+  EXPECT_TRUE(validate_asdu(unknown, Direction::kFromOutstation).empty());
+  EXPECT_TRUE(validate_asdu(unknown, Direction::kFromController).empty());
+}
+
+TEST(Validate, SequenceOverflowFlagged) {
+  Asdu asdu;
+  asdu.type = TypeId::M_ME_NC_1;
+  asdu.cot.cause = Cause::kInterrogatedByStation;
+  asdu.common_address = 1;
+  asdu.sequence = true;
+  for (int i = 0; i < 3; ++i) {
+    asdu.objects.push_back({0xfffffe + static_cast<std::uint32_t>(i),
+                            ShortFloat{1.0f, {}}, std::nullopt});
+  }
+  auto violations = validate_asdu(asdu, Direction::kFromOutstation);
+  bool found = false;
+  for (const auto& v : violations) {
+    if (v.kind == ViolationKind::kSequenceOverflow) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validate, FileTransferCauses) {
+  auto seg = make(TypeId::F_SG_NA_1, Cause::kFile, Segment{1, 1, {1, 2, 3}});
+  EXPECT_TRUE(validate_asdu(seg, Direction::kFromOutstation).empty());
+  auto weird = make(TypeId::F_SG_NA_1, Cause::kSpontaneous, Segment{1, 1, {1}});
+  // Spontaneous is a monitor cause; file types accept it per our lenient
+  // rule set (vendors vary here), so no violation.
+  EXPECT_TRUE(validate_asdu(weird, Direction::kFromOutstation).empty());
+}
+
+}  // namespace
+}  // namespace uncharted::iec104

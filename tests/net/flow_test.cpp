@@ -1,0 +1,115 @@
+#include "net/flow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uncharted::net {
+namespace {
+
+DecodedFrame make_frame(const char* src, std::uint16_t sport, const char* dst,
+                        std::uint16_t dport, std::uint8_t flags,
+                        std::span<const std::uint8_t> payload = {}) {
+  DecodedFrame f;
+  f.ip.src = Ipv4Addr::parse(src).value();
+  f.ip.dst = Ipv4Addr::parse(dst).value();
+  f.tcp.src_port = sport;
+  f.tcp.dst_port = dport;
+  f.tcp.flags = flags;
+  f.payload = payload;
+  return f;
+}
+
+TEST(FlowKey, CanonicalMergesDirections) {
+  FlowKey a{Ipv4Addr::parse("10.0.0.1").value(), 5000,
+            Ipv4Addr::parse("10.1.0.2").value(), 2404};
+  EXPECT_EQ(a.canonical(), a.reversed().canonical());
+  EXPECT_NE(a.str(), a.reversed().str());
+}
+
+TEST(FlowTable, ShortLivedNeedsSynAndFin) {
+  FlowTable table;
+  Timestamp t = 1'000'000;
+  table.add(t, make_frame("10.0.0.1", 5000, "10.1.0.2", 2404, kTcpSyn));
+  table.add(t + 1000, make_frame("10.1.0.2", 2404, "10.0.0.1", 5000, kTcpSyn | kTcpAck));
+  table.add(t + 2000, make_frame("10.0.0.1", 5000, "10.1.0.2", 2404, kTcpAck));
+  table.add(t + 500000, make_frame("10.0.0.1", 5000, "10.1.0.2", 2404, kTcpFin | kTcpAck));
+
+  auto flows = table.flows();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].lifetime(), FlowLifetime::kShortLived);
+  EXPECT_NEAR(flows[0].duration_seconds(), 0.5, 0.002);
+  EXPECT_TRUE(flows[0].saw_syn);
+  EXPECT_TRUE(flows[0].saw_synack);
+  EXPECT_FALSE(flows[0].syn_rejected_with_rst);
+}
+
+TEST(FlowTable, MidStreamFlowIsLongLived) {
+  FlowTable table;
+  std::uint8_t data[] = {1};
+  table.add(0, make_frame("10.0.0.1", 5000, "10.1.0.2", 2404, kTcpAck | kTcpPsh, data));
+  table.add(10, make_frame("10.1.0.2", 2404, "10.0.0.1", 5000, kTcpAck));
+  auto flows = table.flows();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].lifetime(), FlowLifetime::kLongLived);
+  EXPECT_EQ(flows[0].bytes, 1u);
+}
+
+TEST(FlowTable, SynOnlyFlowIsLongLived) {
+  // The silent-ignore pattern: SYNs never answered. No FIN/RST -> the
+  // paper's definition classifies it long-lived.
+  FlowTable table;
+  table.add(0, make_frame("10.0.0.1", 5000, "10.1.0.2", 2404, kTcpSyn));
+  table.add(1'000'000, make_frame("10.0.0.1", 5000, "10.1.0.2", 2404, kTcpSyn));
+  auto flows = table.flows();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].lifetime(), FlowLifetime::kLongLived);
+  EXPECT_EQ(flows[0].packets_rev, 0u);
+}
+
+TEST(FlowTable, RstRefusedConnectionDetected) {
+  FlowTable table;
+  table.add(0, make_frame("10.0.0.1", 5000, "10.1.0.2", 2404, kTcpSyn));
+  table.add(2000, make_frame("10.1.0.2", 2404, "10.0.0.1", 5000, kTcpRst | kTcpAck));
+  auto flows = table.flows();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].lifetime(), FlowLifetime::kShortLived);
+  EXPECT_TRUE(flows[0].syn_rejected_with_rst);
+  // Orientation: the SYN sender is the flow's source.
+  EXPECT_EQ(flows[0].key.src_ip.str(), "10.0.0.1");
+}
+
+TEST(FlowTable, EstablishedThenRstIsNotRefused) {
+  FlowTable table;
+  table.add(0, make_frame("10.0.0.1", 5000, "10.1.0.2", 2404, kTcpSyn));
+  table.add(1, make_frame("10.1.0.2", 2404, "10.0.0.1", 5000, kTcpSyn | kTcpAck));
+  table.add(2, make_frame("10.0.0.1", 5000, "10.1.0.2", 2404, kTcpAck));
+  table.add(3, make_frame("10.1.0.2", 2404, "10.0.0.1", 5000, kTcpRst));
+  auto flows = table.flows();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_FALSE(flows[0].syn_rejected_with_rst);
+  EXPECT_TRUE(flows[0].saw_rst);
+}
+
+TEST(FlowTable, DistinctPortsAreDistinctFlows) {
+  FlowTable table;
+  for (std::uint16_t port = 5000; port < 5010; ++port) {
+    table.add(port, make_frame("10.0.0.1", port, "10.1.0.2", 2404, kTcpSyn));
+  }
+  EXPECT_EQ(table.connection_count(), 10u);
+}
+
+TEST(FlowTable, OrientationFixedBySynAfterMidstreamStart) {
+  FlowTable table;
+  std::uint8_t data[] = {1, 2};
+  // First observed packet flows server->client (e.g. capture started
+  // mid-connection), then a reconnect SYN from the client reorients.
+  table.add(0, make_frame("10.1.0.2", 2404, "10.0.0.1", 5000, kTcpAck | kTcpPsh, data));
+  table.add(10, make_frame("10.0.0.1", 5000, "10.1.0.2", 2404, kTcpSyn));
+  auto flows = table.flows();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].key.src_ip.str(), "10.0.0.1");
+  EXPECT_EQ(flows[0].packets_fwd, 1u);
+  EXPECT_EQ(flows[0].packets_rev, 1u);
+}
+
+}  // namespace
+}  // namespace uncharted::net

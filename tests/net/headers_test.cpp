@@ -1,0 +1,186 @@
+#include "net/headers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uncharted::net {
+namespace {
+
+TEST(Ipv4Addr, ParseAndFormat) {
+  auto a = Ipv4Addr::parse("10.0.1.17");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->str(), "10.0.1.17");
+  EXPECT_EQ(a->value, 0x0A000111u);
+  EXPECT_FALSE(Ipv4Addr::parse("10.0.1").ok());
+  EXPECT_FALSE(Ipv4Addr::parse("10.0.1.256").ok());
+  EXPECT_FALSE(Ipv4Addr::parse("10.0.1.1x").ok());
+  EXPECT_FALSE(Ipv4Addr::parse("not-an-ip").ok());
+}
+
+TEST(MacAddr, FromU64AndFormat) {
+  auto m = MacAddr::from_u64(0x0200deadbeefULL);
+  EXPECT_EQ(m.str(), "02:00:de:ad:be:ef");
+}
+
+TEST(EthernetHeader, RoundTrip) {
+  EthernetHeader h;
+  h.src = MacAddr::from_u64(1);
+  h.dst = MacAddr::from_u64(2);
+  h.ether_type = kEtherTypeIpv4;
+  ByteWriter w;
+  h.encode(w);
+  ASSERT_EQ(w.size(), EthernetHeader::kSize);
+  ByteReader r(w.view());
+  auto back = EthernetHeader::decode(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->src, h.src);
+  EXPECT_EQ(back->dst, h.dst);
+  EXPECT_EQ(back->ether_type, kEtherTypeIpv4);
+}
+
+TEST(InternetChecksum, KnownVector) {
+  // RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> checksum 0x220d.
+  std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(InternetChecksum, OddLength) {
+  std::uint8_t data[] = {0x01, 0x02, 0x03};
+  // Pads with zero: words 0102, 0300 -> sum 0402 -> ~ = 0xfbfd.
+  EXPECT_EQ(internet_checksum(data), 0xfbfd);
+}
+
+Ipv4Header sample_ip() {
+  Ipv4Header ip;
+  ip.src = Ipv4Addr::from_octets(10, 0, 0, 1);
+  ip.dst = Ipv4Addr::from_octets(10, 1, 2, 3);
+  ip.total_length = Ipv4Header::kSize + TcpHeader::kSize;
+  ip.identification = 777;
+  return ip;
+}
+
+TEST(Ipv4Header, RoundTripWithValidChecksum) {
+  Ipv4Header ip = sample_ip();
+  ByteWriter w;
+  ip.encode(w);
+  ASSERT_EQ(w.size(), Ipv4Header::kSize);
+  ByteReader r(w.view());
+  auto back = Ipv4Header::decode(r);
+  ASSERT_TRUE(back.ok()) << back.error().str();
+  EXPECT_EQ(back->src, ip.src);
+  EXPECT_EQ(back->dst, ip.dst);
+  EXPECT_EQ(back->total_length, ip.total_length);
+  EXPECT_EQ(back->identification, 777);
+  EXPECT_EQ(back->protocol, kIpProtoTcp);
+}
+
+TEST(Ipv4Header, CorruptedChecksumRejected) {
+  Ipv4Header ip = sample_ip();
+  ByteWriter w;
+  ip.encode(w);
+  auto bytes = w.take();
+  bytes[8] ^= 0xff;  // flip TTL without fixing the checksum
+  ByteReader r(bytes);
+  auto back = Ipv4Header::decode(r);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.error().code, "bad-ip-checksum");
+}
+
+TEST(Ipv4Header, RejectsNonV4AndFragments) {
+  Ipv4Header ip = sample_ip();
+  ByteWriter w;
+  ip.encode(w);
+  auto bytes = w.take();
+  bytes[0] = 0x65;  // version 6
+  {
+    ByteReader r(bytes);
+    EXPECT_FALSE(Ipv4Header::decode(r).ok());
+  }
+  // Fragment: set MF flag; checksum must be refreshed for the test to reach
+  // the fragment check, so rebuild manually.
+  Ipv4Header frag = sample_ip();
+  frag.flags = 0x01;  // MF
+  ByteWriter w2;
+  frag.encode(w2);
+  ByteReader r2(w2.view());
+  auto res = Ipv4Header::decode(r2);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.error().code, "fragmented");
+}
+
+TEST(TcpHeader, RoundTripAndFlags) {
+  Ipv4Header ip = sample_ip();
+  TcpHeader tcp;
+  tcp.src_port = 49152;
+  tcp.dst_port = 2404;
+  tcp.seq = 0xdeadbeef;
+  tcp.ack = 42;
+  tcp.flags = kTcpSyn | kTcpAck;
+  ByteWriter w;
+  tcp.encode(w, ip, {});
+  ASSERT_EQ(w.size(), TcpHeader::kSize);
+  ByteReader r(w.view());
+  auto back = TcpHeader::decode(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->src_port, 49152);
+  EXPECT_EQ(back->dst_port, 2404);
+  EXPECT_EQ(back->seq, 0xdeadbeefu);
+  EXPECT_TRUE(back->syn());
+  EXPECT_TRUE(back->ack_set());
+  EXPECT_FALSE(back->fin());
+  EXPECT_FALSE(back->rst());
+}
+
+TEST(TcpHeader, ChecksumCoversPseudoHeaderAndPayload) {
+  Ipv4Header ip = sample_ip();
+  std::uint8_t payload[] = {0x68, 0x04, 0x43, 0x00, 0x00, 0x00};
+  ip.total_length = static_cast<std::uint16_t>(Ipv4Header::kSize + TcpHeader::kSize +
+                                               sizeof(payload));
+  TcpHeader tcp;
+  tcp.src_port = 1;
+  tcp.dst_port = 2;
+  ByteWriter w;
+  tcp.encode(w, ip, payload);
+  // Reconstruct the full segment and verify the checksum folds to zero.
+  ByteWriter seg;
+  seg.bytes(w.view());
+  seg.bytes(payload);
+  EXPECT_EQ(tcp_checksum(ip, seg.view()), 0);
+}
+
+TEST(TcpHeader, SkipsOptions) {
+  // Hand-build a header with data offset 6 (one 4-byte option).
+  ByteWriter w;
+  w.u16be(10);
+  w.u16be(20);
+  w.u32be(100);
+  w.u32be(200);
+  w.u8(0x60);  // offset 6
+  w.u8(kTcpAck);
+  w.u16be(1024);
+  w.u16be(0);
+  w.u16be(0);
+  w.u32be(0x01010101);  // option bytes
+  ByteReader r(w.view());
+  auto back = TcpHeader::decode(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->src_port, 10);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(TcpHeader, RejectsBadOffset) {
+  ByteWriter w;
+  w.u16be(1);
+  w.u16be(2);
+  w.u32be(0);
+  w.u32be(0);
+  w.u8(0x40);  // offset 4 < minimum 5
+  w.u8(0);
+  w.u16be(0);
+  w.u16be(0);
+  w.u16be(0);
+  ByteReader r(w.view());
+  EXPECT_FALSE(TcpHeader::decode(r).ok());
+}
+
+}  // namespace
+}  // namespace uncharted::net

@@ -1,0 +1,144 @@
+#include "net/pcap.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+
+namespace uncharted::net {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<std::uint8_t> sample_frame(std::uint8_t fill, std::size_t n) {
+  return std::vector<std::uint8_t>(n, fill);
+}
+
+TEST(Pcap, WriteReadRoundTrip) {
+  std::string path = temp_path("uncharted_pcap_rt.pcap");
+  {
+    auto w = PcapWriter::open(path);
+    ASSERT_TRUE(w.ok()) << w.error().str();
+    ASSERT_TRUE(w->write(make_timestamp(100, 250), sample_frame(0xaa, 60)).ok());
+    ASSERT_TRUE(w->write(make_timestamp(101, 999999), sample_frame(0xbb, 1500)).ok());
+    EXPECT_EQ(w->packets_written(), 2u);
+    ASSERT_TRUE(w->close().ok());
+  }
+  auto packets = PcapReader::read_file(path);
+  ASSERT_TRUE(packets.ok()) << packets.error().str();
+  ASSERT_EQ(packets->size(), 2u);
+  EXPECT_EQ((*packets)[0].ts, make_timestamp(100, 250));
+  EXPECT_EQ((*packets)[0].data.size(), 60u);
+  EXPECT_EQ((*packets)[0].data[0], 0xaa);
+  EXPECT_EQ((*packets)[1].ts, make_timestamp(101, 999999));
+  EXPECT_EQ((*packets)[1].original_length, 1500u);
+  std::filesystem::remove(path);
+}
+
+TEST(Pcap, SnaplenTruncatesButKeepsOriginalLength) {
+  std::string path = temp_path("uncharted_pcap_snap.pcap");
+  {
+    auto w = PcapWriter::open(path, 64);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w->write(0, sample_frame(0xcc, 200)).ok());
+    ASSERT_TRUE(w->close().ok());
+  }
+  auto packets = PcapReader::read_file(path);
+  ASSERT_TRUE(packets.ok());
+  ASSERT_EQ(packets->size(), 1u);
+  EXPECT_EQ((*packets)[0].data.size(), 64u);
+  EXPECT_EQ((*packets)[0].original_length, 200u);
+  std::filesystem::remove(path);
+}
+
+TEST(Pcap, ReadsByteSwappedFiles) {
+  // Construct a big-endian (swapped magic) pcap in memory.
+  ByteWriter w;
+  w.u32be(kPcapMagic);  // stored big-endian == swapped from our reader's view
+  w.u16be(2);
+  w.u16be(4);
+  w.u32be(0);
+  w.u32be(0);
+  w.u32be(65535);
+  w.u32be(kLinkTypeEthernet);
+  w.u32be(1600000000);  // ts_sec
+  w.u32be(123);         // ts_usec
+  w.u32be(4);           // incl_len
+  w.u32be(4);           // orig_len
+  w.u32be(0xdeadbeef);  // payload
+  auto packets = PcapReader::read_buffer(w.view());
+  ASSERT_TRUE(packets.ok()) << packets.error().str();
+  ASSERT_EQ(packets->size(), 1u);
+  EXPECT_EQ((*packets)[0].ts, make_timestamp(1600000000, 123));
+  EXPECT_EQ((*packets)[0].data.size(), 4u);
+}
+
+TEST(Pcap, RejectsBadMagicAndLinktype) {
+  ByteWriter bad;
+  bad.u32le(0x12345678);
+  auto r1 = PcapReader::read_buffer(bad.view());
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.error().code, "bad-magic");
+
+  ByteWriter wrong_link;
+  wrong_link.u32le(kPcapMagic);
+  wrong_link.u16le(2);
+  wrong_link.u16le(4);
+  wrong_link.u32le(0);
+  wrong_link.u32le(0);
+  wrong_link.u32le(65535);
+  wrong_link.u32le(101);  // LINKTYPE_RAW, unsupported
+  auto r2 = PcapReader::read_buffer(wrong_link.view());
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.error().code, "bad-linktype");
+}
+
+TEST(Pcap, TruncatedRecordIsAnError) {
+  std::string path = temp_path("uncharted_pcap_trunc.pcap");
+  {
+    auto w = PcapWriter::open(path);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w->write(0, sample_frame(0x11, 100)).ok());
+    ASSERT_TRUE(w->close().ok());
+  }
+  // Chop the last 10 bytes.
+  auto full = PcapReader::read_file(path);
+  ASSERT_TRUE(full.ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  bytes.resize(bytes.size() - 10);
+  auto result = PcapReader::read_buffer(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "truncated");
+  std::filesystem::remove(path);
+}
+
+TEST(Pcap, EmptyCaptureIsValid) {
+  std::string path = temp_path("uncharted_pcap_empty.pcap");
+  {
+    auto w = PcapWriter::open(path);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w->close().ok());
+  }
+  auto packets = PcapReader::read_file(path);
+  ASSERT_TRUE(packets.ok());
+  EXPECT_TRUE(packets->empty());
+  std::filesystem::remove(path);
+}
+
+TEST(Pcap, OpenFailsForBadPath) {
+  EXPECT_FALSE(PcapWriter::open("/nonexistent-dir/x.pcap").ok());
+  EXPECT_FALSE(PcapReader::read_file("/nonexistent-dir/x.pcap").ok());
+}
+
+}  // namespace
+}  // namespace uncharted::net

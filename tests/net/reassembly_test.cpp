@@ -1,0 +1,129 @@
+#include "net/reassembly.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uncharted::net {
+namespace {
+
+TcpHeader seg(std::uint32_t seq, std::uint8_t flags = kTcpAck) {
+  TcpHeader h;
+  h.seq = seq;
+  h.flags = flags;
+  return h;
+}
+
+std::vector<std::uint8_t> bytes(std::initializer_list<std::uint8_t> list) {
+  return {list};
+}
+
+TEST(StreamDirection, InOrderDelivery) {
+  TcpStreamDirection dir;
+  auto c1 = dir.on_segment(1, seg(100), bytes({1, 2, 3}));
+  ASSERT_EQ(c1.size(), 1u);
+  EXPECT_EQ(c1[0].data, bytes({1, 2, 3}));
+  auto c2 = dir.on_segment(2, seg(103), bytes({4, 5}));
+  ASSERT_EQ(c2.size(), 1u);
+  EXPECT_EQ(c2[0].data, bytes({4, 5}));
+  EXPECT_EQ(dir.delivered_bytes(), 5u);
+  EXPECT_EQ(dir.retransmitted_segments(), 0u);
+}
+
+TEST(StreamDirection, SynConsumesOneSequenceNumber) {
+  TcpStreamDirection dir;
+  EXPECT_TRUE(dir.on_segment(0, seg(99, kTcpSyn), {}).empty());
+  auto c = dir.on_segment(1, seg(100), bytes({7}));
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0].data, bytes({7}));
+}
+
+TEST(StreamDirection, ExactDuplicateIsRetransmission) {
+  TcpStreamDirection dir;
+  dir.on_segment(1, seg(100), bytes({1, 2, 3}));
+  auto dup = dir.on_segment(2, seg(100), bytes({1, 2, 3}));
+  EXPECT_TRUE(dup.empty());
+  EXPECT_EQ(dir.retransmitted_segments(), 1u);
+  EXPECT_EQ(dir.delivered_bytes(), 3u);
+}
+
+TEST(StreamDirection, PartialOverlapDeliversOnlyNewTail) {
+  TcpStreamDirection dir;
+  dir.on_segment(1, seg(100), bytes({1, 2, 3}));
+  auto c = dir.on_segment(2, seg(101), bytes({2, 3, 4, 5}));
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0].data, bytes({4, 5}));
+  EXPECT_EQ(dir.retransmitted_segments(), 1u);
+}
+
+TEST(StreamDirection, OutOfOrderBufferedThenDrained) {
+  TcpStreamDirection dir;
+  dir.on_segment(1, seg(100), bytes({1}));
+  auto gap = dir.on_segment(2, seg(103), bytes({4, 5}));
+  EXPECT_TRUE(gap.empty());
+  EXPECT_EQ(dir.out_of_order_segments(), 1u);
+  auto c = dir.on_segment(3, seg(101), bytes({2, 3}));
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0].data, bytes({2, 3, 4, 5}));
+  EXPECT_EQ(dir.delivered_bytes(), 5u);
+}
+
+TEST(StreamDirection, SequenceWraparound) {
+  TcpStreamDirection dir;
+  std::uint32_t near_max = 0xfffffffe;
+  auto c1 = dir.on_segment(1, seg(near_max), bytes({1, 2, 3, 4}));
+  ASSERT_EQ(c1.size(), 1u);
+  auto c2 = dir.on_segment(2, seg(near_max + 4), bytes({5, 6}));  // wraps to 2
+  ASSERT_EQ(c2.size(), 1u);
+  EXPECT_EQ(c2[0].data, bytes({5, 6}));
+}
+
+TEST(StreamDirection, StaleBufferedSegmentDropped) {
+  TcpStreamDirection dir;
+  dir.on_segment(1, seg(100), bytes({1}));
+  dir.on_segment(2, seg(102), bytes({3}));      // buffered
+  dir.on_segment(3, seg(102), bytes({3, 4}));   // longer duplicate, replaces
+  auto c = dir.on_segment(4, seg(101), bytes({2}));
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0].data, bytes({2, 3, 4}));
+}
+
+TEST(Reassembler, RoutesPerDirection) {
+  std::map<std::string, std::vector<std::uint8_t>> streams;
+  TcpReassembler r([&](const FlowKey& key, const StreamChunk& chunk) {
+    auto& s = streams[key.str()];
+    s.insert(s.end(), chunk.data.begin(), chunk.data.end());
+  });
+
+  DecodedFrame fwd;
+  fwd.ip.src = Ipv4Addr::parse("10.0.0.1").value();
+  fwd.ip.dst = Ipv4Addr::parse("10.1.0.2").value();
+  fwd.tcp = seg(100);
+  fwd.tcp.src_port = 5000;
+  fwd.tcp.dst_port = 2404;
+  std::uint8_t d1[] = {1, 2};
+  fwd.payload = d1;
+  r.add(1, fwd);
+
+  DecodedFrame rev;
+  rev.ip.src = fwd.ip.dst;
+  rev.ip.dst = fwd.ip.src;
+  rev.tcp = seg(500);
+  rev.tcp.src_port = 2404;
+  rev.tcp.dst_port = 5000;
+  std::uint8_t d2[] = {9};
+  rev.payload = d2;
+  r.add(2, rev);
+
+  ASSERT_EQ(streams.size(), 2u);
+  EXPECT_EQ(streams["10.0.0.1:5000 -> 10.1.0.2:2404"], bytes({1, 2}));
+  EXPECT_EQ(streams["10.1.0.2:2404 -> 10.0.0.1:5000"], bytes({9}));
+  EXPECT_EQ(r.retransmitted_segments(), 0u);
+
+  r.add(3, fwd);  // duplicate
+  EXPECT_EQ(r.retransmitted_segments(), 1u);
+  FlowKey key{fwd.ip.src, 5000, fwd.ip.dst, 2404};
+  EXPECT_EQ(r.retransmissions_for(key), 1u);
+  EXPECT_EQ(r.retransmissions_for(key.reversed()), 0u);
+}
+
+}  // namespace
+}  // namespace uncharted::net

@@ -1,0 +1,146 @@
+#include "power/agc.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "power/measurement.hpp"
+
+namespace uncharted::power {
+namespace {
+
+struct Rig {
+  GridModel grid;
+  AgcController agc;
+
+  explicit Rig(AgcConfig cfg = {})
+      : grid(GridConfig{60.0, 5.0, 1.5, 11}),
+        agc((cfg.cycle_seconds = 4.0, cfg), make_participants(grid)) {}
+
+  static std::vector<std::size_t> make_participants(GridModel& grid) {
+    GeneratorConfig g1;
+    g1.name = "G1";
+    g1.capacity_mw = 300.0;
+    g1.ramp_mw_per_s = 5.0;
+    g1.participation_factor = 2.0;
+    GeneratorConfig g2 = g1;
+    g2.name = "G2";
+    g2.participation_factor = 1.0;
+    grid.add_generator(Generator(g1, true, 150.0));
+    grid.add_generator(Generator(g2, true, 150.0));
+    grid.add_load(Load(LoadConfig{"L", 300.0, 0.0}));
+    return {0, 1};
+  }
+
+  void run(double seconds) {
+    for (int i = 0; i < static_cast<int>(seconds); ++i) {
+      grid.step(1.0);
+      agc.step(grid);
+    }
+  }
+};
+
+TEST(Agc, RestoresFrequencyAfterLoadLoss) {
+  Rig rig;
+  rig.run(20);
+  rig.grid.load(0).disconnect();
+  rig.grid.add_load(Load(LoadConfig{"L2", 270.0, 0.0}));  // net 30 MW load loss
+  rig.run(30);
+  double disturbed = rig.grid.frequency_hz();
+  EXPECT_GT(disturbed, 60.0);
+  rig.run(400);
+  EXPECT_NEAR(rig.grid.frequency_hz(), 60.0, 0.05);
+  // Generation was ramped down to match the smaller load.
+  EXPECT_LT(rig.grid.total_generation_mw(), 295.0);
+}
+
+TEST(Agc, DeadbandSuppressesCommands) {
+  AgcConfig cfg;
+  cfg.deadband_hz = 100.0;  // wider than the clamped frequency band: never act
+  Rig rig(cfg);
+  rig.grid.load(0).disconnect();
+  int commands = 0;
+  for (int i = 0; i < 100; ++i) {
+    rig.grid.step(1.0);
+    commands += static_cast<int>(rig.agc.step(rig.grid).size());
+  }
+  EXPECT_EQ(commands, 0);
+  EXPECT_EQ(rig.agc.area_control_error_mw(), 0.0);
+}
+
+TEST(Agc, RespectsCyclePeriod) {
+  Rig rig;
+  rig.grid.load(0).disconnect();  // force activity
+  int passes_with_commands = 0;
+  for (int i = 0; i < 8; ++i) {
+    rig.grid.step(1.0);
+    if (!rig.agc.step(rig.grid).empty()) ++passes_with_commands;
+  }
+  // 8 seconds at a 4-second cycle: at most 2 command passes.
+  EXPECT_LE(passes_with_commands, 2);
+}
+
+TEST(Agc, ParticipationFactorSplitsCorrection) {
+  Rig rig;
+  rig.grid.load(0).disconnect();
+  rig.grid.add_load(Load(LoadConfig{"L2", 240.0, 0.0}));  // 60 MW loss
+  // Capture the first real command batch.
+  std::vector<AgcCommand> batch;
+  for (int i = 0; i < 60 && batch.empty(); ++i) {
+    rig.grid.step(1.0);
+    batch = rig.agc.step(rig.grid);
+  }
+  ASSERT_EQ(batch.size(), 2u);
+  double delta0 = std::fabs(batch[0].setpoint_mw - 150.0);
+  double delta1 = std::fabs(batch[1].setpoint_mw - 150.0);
+  ASSERT_GT(delta1, 0.0);
+  EXPECT_NEAR(delta0 / delta1, 2.0, 0.2);  // 2:1 participation
+}
+
+TEST(Agc, MinCommandDeltaSuppressesNoise) {
+  AgcConfig cfg;
+  cfg.min_command_delta_mw = 1e9;
+  Rig rig(cfg);
+  rig.grid.load(0).disconnect();
+  int commands = 0;
+  for (int i = 0; i < 60; ++i) {
+    rig.grid.step(1.0);
+    commands += static_cast<int>(rig.agc.step(rig.grid).size());
+  }
+  EXPECT_EQ(commands, 0);
+}
+
+TEST(Agc, SkipsOfflineGenerators) {
+  Rig rig;
+  rig.grid.generator(1).trip();
+  rig.grid.load(0).disconnect();
+  rig.grid.add_load(Load(LoadConfig{"L2", 100.0, 0.0}));
+  std::vector<AgcCommand> batch;
+  for (int i = 0; i < 60 && batch.empty(); ++i) {
+    rig.grid.step(1.0);
+    batch = rig.agc.step(rig.grid);
+  }
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].generator_index, 0u);
+}
+
+TEST(SpontaneousReporter, ThresholdGating) {
+  SpontaneousReporter rep(1.0);
+  EXPECT_TRUE(rep.should_report(10.0));   // first sample always reports
+  EXPECT_FALSE(rep.should_report(10.5));  // within threshold
+  EXPECT_FALSE(rep.should_report(9.2));
+  EXPECT_TRUE(rep.should_report(11.5));   // crossed vs last *reported* (10.0)
+  EXPECT_FALSE(rep.should_report(11.0));  // within threshold of 11.5
+}
+
+TEST(PhysicalSymbols, NamesMatchTable8Legend) {
+  EXPECT_EQ(physical_symbol_name(PhysicalSymbol::kCurrent), "I");
+  EXPECT_EQ(physical_symbol_name(PhysicalSymbol::kActivePower), "P");
+  EXPECT_EQ(physical_symbol_name(PhysicalSymbol::kReactivePower), "Q");
+  EXPECT_EQ(physical_symbol_name(PhysicalSymbol::kVoltage), "U");
+  EXPECT_EQ(physical_symbol_name(PhysicalSymbol::kFrequency), "Freq");
+  EXPECT_EQ(physical_symbol_name(PhysicalSymbol::kSetpoint), "AGC-SP");
+}
+
+}  // namespace
+}  // namespace uncharted::power

@@ -1,0 +1,115 @@
+#include "power/generator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uncharted::power {
+namespace {
+
+GeneratorConfig config() {
+  GeneratorConfig c;
+  c.name = "G1";
+  c.capacity_mw = 100.0;
+  c.ramp_mw_per_s = 2.0;
+  c.nominal_voltage_kv = 130.0;
+  c.voltage_ramp_kv_per_s = 10.0;
+  c.sync_duration_s = 5.0;
+  return c;
+}
+
+TEST(Generator, OnlineStartHasNominalState) {
+  Generator g(config(), /*start_online=*/true, 60.0);
+  EXPECT_EQ(g.phase(), GeneratorPhase::kOnline);
+  EXPECT_EQ(g.breaker(), BreakerStatus::kClosed);
+  EXPECT_DOUBLE_EQ(g.output_mw(), 60.0);
+  EXPECT_DOUBLE_EQ(g.terminal_voltage_kv(), 130.0);
+  EXPECT_GT(g.current_ka(), 0.0);
+}
+
+TEST(Generator, SetpointTrackingRespectsRampLimit) {
+  Generator g(config(), true, 50.0);
+  g.set_setpoint(80.0);
+  g.step(1.0);
+  EXPECT_DOUBLE_EQ(g.output_mw(), 52.0);  // 2 MW/s
+  for (int i = 0; i < 100; ++i) g.step(1.0);
+  EXPECT_NEAR(g.output_mw(), 80.0, 1e-9);
+}
+
+TEST(Generator, SetpointClampedToCapacity) {
+  Generator g(config(), true, 50.0);
+  g.set_setpoint(500.0);
+  EXPECT_DOUBLE_EQ(g.setpoint(), 100.0);
+  g.set_setpoint(-10.0);
+  EXPECT_DOUBLE_EQ(g.setpoint(), 0.0);
+}
+
+TEST(Generator, SynchronizationSequenceMatchesFig20) {
+  // The Fig 20/21 signature: V ramps 0 -> nominal while P stays 0, the unit
+  // synchronizes, the breaker closes (status 0 -> 2), then P ramps.
+  Generator g(config(), /*start_online=*/false);
+  EXPECT_EQ(g.phase(), GeneratorPhase::kOffline);
+  EXPECT_EQ(static_cast<int>(g.breaker()), 0);  // paper reports status 0
+  EXPECT_DOUBLE_EQ(g.terminal_voltage_kv(), 0.0);
+
+  g.begin_startup();
+  EXPECT_EQ(g.phase(), GeneratorPhase::kRampingUp);
+
+  // Voltage ramp: 130 kV at 10 kV/s = 13 s.
+  for (int i = 0; i < 12; ++i) {
+    g.step(1.0);
+    EXPECT_DOUBLE_EQ(g.output_mw(), 0.0);
+    EXPECT_EQ(static_cast<int>(g.breaker()), 0);
+  }
+  g.step(1.0);
+  EXPECT_EQ(g.phase(), GeneratorPhase::kSynchronizing);
+  EXPECT_DOUBLE_EQ(g.terminal_voltage_kv(), 130.0);
+
+  // Synchronizing plateau: V nominal, P still 0, breaker still open.
+  for (int i = 0; i < 4; ++i) {
+    g.step(1.0);
+    EXPECT_DOUBLE_EQ(g.output_mw(), 0.0);
+  }
+  g.step(1.0);
+  EXPECT_EQ(g.phase(), GeneratorPhase::kOnline);
+  EXPECT_EQ(g.breaker(), BreakerStatus::kClosed);
+
+  // Power ramps only after the breaker closes.
+  g.set_setpoint(40.0);
+  g.step(1.0);
+  EXPECT_GT(g.output_mw(), 0.0);
+}
+
+TEST(Generator, BeginStartupIdempotentWhenOnline) {
+  Generator g(config(), true, 10.0);
+  g.begin_startup();
+  EXPECT_EQ(g.phase(), GeneratorPhase::kOnline);
+}
+
+TEST(Generator, TripDropsEverything) {
+  Generator g(config(), true, 70.0);
+  g.trip();
+  EXPECT_EQ(g.phase(), GeneratorPhase::kOffline);
+  EXPECT_DOUBLE_EQ(g.output_mw(), 0.0);
+  EXPECT_EQ(g.current_ka(), 0.0);
+  for (int i = 0; i < 10; ++i) g.step(1.0);
+  EXPECT_DOUBLE_EQ(g.terminal_voltage_kv(), 0.0);
+}
+
+TEST(Generator, ReactivePowerSettlesSigned) {
+  Generator g(config(), true, 10.0);
+  // At low loading the vars target is negative (absorbing).
+  for (int i = 0; i < 200; ++i) g.step(1.0);
+  EXPECT_LT(g.reactive_mvar(), 0.0);
+  g.set_setpoint(100.0);
+  for (int i = 0; i < 300; ++i) g.step(1.0);
+  EXPECT_GT(g.reactive_mvar(), 0.0);
+}
+
+TEST(Generator, CurrentFollowsApparentPower) {
+  Generator g(config(), true, 90.0);
+  for (int i = 0; i < 100; ++i) g.step(1.0);
+  // I = S / (sqrt(3) V): with P=90, |Q|<=25, V=130 -> ~0.40-0.42 kA.
+  EXPECT_NEAR(g.current_ka(), 0.41, 0.03);
+}
+
+}  // namespace
+}  // namespace uncharted::power

@@ -1,0 +1,84 @@
+#include "power/grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uncharted::power {
+namespace {
+
+GridModel balanced_grid(double noise = 0.0) {
+  GridModel grid(GridConfig{60.0, 5.0, 1.5, 7});
+  GeneratorConfig gc;
+  gc.name = "G";
+  gc.capacity_mw = 200.0;
+  gc.ramp_mw_per_s = 2.0;
+  grid.add_generator(Generator(gc, true, 100.0));
+  grid.add_load(Load(LoadConfig{"L", 100.0, noise}));
+  return grid;
+}
+
+TEST(Grid, BalancedSystemHoldsNominalFrequency) {
+  GridModel grid = balanced_grid();
+  for (int i = 0; i < 300; ++i) grid.step(1.0);
+  EXPECT_NEAR(grid.frequency_hz(), 60.0, 0.05);
+}
+
+TEST(Grid, LoadLossRaisesFrequency) {
+  // The paper's "unmet load" event (Fig 18): losing load with generation
+  // unchanged pushes frequency up.
+  GridModel grid = balanced_grid();
+  for (int i = 0; i < 10; ++i) grid.step(1.0);
+  double f_before = grid.frequency_hz();
+  grid.load(0).disconnect();
+  for (int i = 0; i < 20; ++i) grid.step(1.0);
+  EXPECT_GT(grid.frequency_hz(), f_before + 0.1);
+}
+
+TEST(Grid, GenerationLossLowersFrequency) {
+  GridModel grid = balanced_grid();
+  grid.generator(0).trip();
+  for (int i = 0; i < 20; ++i) grid.step(1.0);
+  EXPECT_LT(grid.frequency_hz(), 59.9);
+}
+
+TEST(Grid, DampingLimitsRunaway) {
+  GridModel grid = balanced_grid();
+  grid.load(0).disconnect();
+  for (int i = 0; i < 2000; ++i) grid.step(1.0);
+  // Clamped to the plausibility band rather than diverging.
+  EXPECT_LE(grid.frequency_hz(), 72.0 + 1e-9);
+}
+
+TEST(Grid, ScheduledEventsFireInOrder) {
+  GridModel grid = balanced_grid();
+  std::vector<int> fired;
+  grid.schedule(5.0, "b", [&] { fired.push_back(2); });
+  grid.schedule(2.0, "a", [&] { fired.push_back(1); });
+  grid.schedule(100.0, "never", [&] { fired.push_back(3); });
+  for (int i = 0; i < 10; ++i) grid.step(1.0);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], 1);
+  EXPECT_EQ(fired[1], 2);
+}
+
+TEST(Grid, TotalsTrackComponents) {
+  GridModel grid = balanced_grid();
+  grid.step(1.0);
+  EXPECT_NEAR(grid.total_generation_mw(), 100.0, 1.0);
+  EXPECT_NEAR(grid.total_load_mw(), 100.0, 1.0);
+  EXPECT_NEAR(grid.time_seconds(), 1.0, 1e-9);
+}
+
+TEST(Load, NoiseAndDisconnect) {
+  Rng rng(3);
+  Load noisy(LoadConfig{"L", 100.0, 0.01});
+  double sum = 0.0;
+  for (int i = 0; i < 1000; ++i) sum += noisy.demand_mw(rng);
+  EXPECT_NEAR(sum / 1000.0, 100.0, 1.0);
+  noisy.disconnect();
+  EXPECT_EQ(noisy.demand_mw(rng), 0.0);
+  noisy.reconnect();
+  EXPECT_GT(noisy.demand_mw(rng), 0.0);
+}
+
+}  // namespace
+}  // namespace uncharted::power

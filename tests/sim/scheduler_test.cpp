@@ -1,0 +1,60 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uncharted::sim {
+namespace {
+
+TEST(Scheduler, RunsInTimeOrder) {
+  EventScheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(30, [&](Timestamp) { order.push_back(3); });
+  sched.schedule_at(10, [&](Timestamp) { order.push_back(1); });
+  sched.schedule_at(20, [&](Timestamp) { order.push_back(2); });
+  sched.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, TiesBreakByInsertionOrder) {
+  EventScheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.schedule_at(50, [&order, i](Timestamp) { order.push_back(i); });
+  }
+  sched.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, HorizonIsInclusive) {
+  EventScheduler sched;
+  int fired = 0;
+  sched.schedule_at(100, [&](Timestamp) { ++fired; });
+  sched.schedule_at(101, [&](Timestamp) { ++fired; });
+  sched.run_until(100);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sched.empty());
+  EXPECT_EQ(sched.next_time(), 101u);
+}
+
+TEST(Scheduler, CallbacksCanScheduleMore) {
+  EventScheduler sched;
+  int chain = 0;
+  std::function<void(Timestamp)> self = [&](Timestamp ts) {
+    if (++chain < 10) sched.schedule_at(ts + 5, self);
+  };
+  sched.schedule_at(0, self);
+  sched.run_until(1000);
+  EXPECT_EQ(chain, 10);
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(Scheduler, ScheduleAfterAddsDelay) {
+  EventScheduler sched;
+  Timestamp fired_at = 0;
+  sched.schedule_after(1000, 500, [&](Timestamp ts) { fired_at = ts; });
+  sched.run_until(2000);
+  EXPECT_EQ(fired_at, 1500u);
+}
+
+}  // namespace
+}  // namespace uncharted::sim

@@ -1,0 +1,125 @@
+#include "sim/signals.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace uncharted::sim {
+namespace {
+
+class Signals : public ::testing::Test {
+ protected:
+  Topology topo = Topology::paper_topology();
+
+  const OutstationSpec& station(int id) { return *topo.find_outstation(id); }
+};
+
+TEST_F(Signals, CloudSizeMatchesConfiguredIoaCount) {
+  // Fig 6's clouds: the signal map must produce exactly the configured
+  // number of IOAs for every reporting outstation, in both years.
+  for (const auto& os : topo.outstations) {
+    for (bool year2 : {false, true}) {
+      if (!(year2 ? os.in_y2 : os.in_y1)) continue;
+      auto signals = build_signals(os, year2);
+      if (os.type == OutstationType::kType3_BackupOnly ||
+          os.type == OutstationType::kType7_ResetBackup) {
+        EXPECT_TRUE(signals.empty()) << os.name();
+      } else {
+        EXPECT_EQ(static_cast<int>(signals.size()), os.ioa_count(year2))
+            << os.name() << " y2=" << year2;
+      }
+    }
+  }
+}
+
+TEST_F(Signals, IoasAreUniquePerStation) {
+  for (const auto& os : topo.outstations) {
+    auto signals = build_signals(os, false);
+    std::set<std::uint32_t> ioas;
+    for (const auto& s : signals) {
+      EXPECT_TRUE(ioas.insert(s.ioa).second) << os.name() << " ioa " << s.ioa;
+    }
+  }
+}
+
+TEST_F(Signals, DeterministicPerStationAndYear) {
+  auto a = build_signals(station(10), false);
+  auto b = build_signals(station(10), false);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ioa, b[i].ioa);
+    EXPECT_EQ(a[i].type_id, b[i].type_id);
+    EXPECT_EQ(a[i].period_s, b[i].period_s);
+  }
+}
+
+TEST_F(Signals, Type5StationIsFullySpontaneous) {
+  auto signals = build_signals(station(44), false);
+  ASSERT_FALSE(signals.empty());
+  // Thresholds are 60x the fleet defaults (symbol-dependent scale); even
+  // the smallest (frequency) sits far above its noise floor.
+  for (const auto& s : signals) {
+    EXPECT_EQ(s.period_s, 0.0) << "ioa " << s.ioa;
+    EXPECT_GT(s.threshold, 0.03) << "stale-data thresholds must be large";
+  }
+}
+
+TEST_F(Signals, I36StationsCarryTimeTaggedFloats) {
+  auto signals = build_signals(station(1), false);
+  int i36 = 0, i13 = 0;
+  for (const auto& s : signals) {
+    if (s.type_id == 36) {
+      ++i36;
+      EXPECT_EQ(s.period_s, 0.0);  // spontaneous
+    }
+    if (s.type_id == 13) ++i13;
+  }
+  EXPECT_GT(i36, 0);
+  EXPECT_GT(i36, i13 / 2);  // I36-heavy station
+}
+
+TEST_F(Signals, TableEightSingletons) {
+  // O37 is the only I9 station, O34 the only I5, O43 the only I7.
+  for (const auto& os : topo.outstations) {
+    auto signals = build_signals(os, false);
+    for (const auto& s : signals) {
+      if (s.type_id == 9) EXPECT_EQ(os.id, 37);
+      if (s.type_id == 5) EXPECT_EQ(os.id, 34);
+      if (s.type_id == 7) EXPECT_EQ(os.id, 43);
+    }
+  }
+}
+
+TEST_F(Signals, StationSetSizesMatchTable8) {
+  int i36 = 0, i13 = 0, i3 = 0, i31 = 0, i1 = 0, sync = 0, eoi = 0;
+  for (int id = 1; id <= 58; ++id) {
+    if (station_reports_i36(id)) ++i36;
+    if (station_reports_i13(id)) ++i13;
+    if (station_reports_i3(id)) ++i3;
+    if (station_reports_i31(id)) ++i31;
+    if (station_reports_i1(id)) ++i1;
+    if (station_gets_clock_sync(id)) ++sync;
+    if (station_sends_end_of_init(id)) ++eoi;
+  }
+  EXPECT_EQ(i36, 13);  // Table 8: I36 from 13 stations
+  EXPECT_EQ(i13, 20);  // I13 from 20
+  EXPECT_EQ(i3, 6);
+  EXPECT_EQ(i31, 4);
+  EXPECT_EQ(i1, 3);
+  EXPECT_EQ(sync, 3);  // I103 targets
+  EXPECT_EQ(eoi, 2);   // I70 senders
+}
+
+TEST_F(Signals, StatusSignalsPresentWhereExpected) {
+  auto signals = build_signals(station(31), false);
+  bool has_i31 = false, has_i30 = false;
+  for (const auto& s : signals) {
+    if (s.type_id == 31) has_i31 = true;
+    if (s.type_id == 30) has_i30 = true;
+  }
+  EXPECT_TRUE(has_i31);  // breaker status with time tag
+  EXPECT_TRUE(has_i30);  // the singleton time-tagged single point
+}
+
+}  // namespace
+}  // namespace uncharted::sim

@@ -1,0 +1,134 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace uncharted {
+namespace {
+
+TEST(ByteWriter, LittleEndianLayout) {
+  ByteWriter w;
+  w.u16le(0x1234);
+  w.u32le(0xdeadbeef);
+  ASSERT_EQ(w.size(), 6u);
+  auto v = w.view();
+  EXPECT_EQ(v[0], 0x34);
+  EXPECT_EQ(v[1], 0x12);
+  EXPECT_EQ(v[2], 0xef);
+  EXPECT_EQ(v[3], 0xbe);
+  EXPECT_EQ(v[4], 0xad);
+  EXPECT_EQ(v[5], 0xde);
+}
+
+TEST(ByteWriter, BigEndianLayout) {
+  ByteWriter w;
+  w.u16be(0x1234);
+  w.u32be(0x01020304);
+  auto v = w.view();
+  EXPECT_EQ(v[0], 0x12);
+  EXPECT_EQ(v[1], 0x34);
+  EXPECT_EQ(v[2], 0x01);
+  EXPECT_EQ(v[5], 0x04);
+}
+
+TEST(ByteWriter, PatchOverwritesInPlace) {
+  ByteWriter w;
+  w.u32be(0);
+  w.patch_u16be(1, 0xabcd);
+  auto v = w.view();
+  EXPECT_EQ(v[0], 0x00);
+  EXPECT_EQ(v[1], 0xab);
+  EXPECT_EQ(v[2], 0xcd);
+  EXPECT_EQ(v[3], 0x00);
+}
+
+TEST(ByteReader, ReadsInOrder) {
+  ByteWriter w;
+  w.u8(7);
+  w.u16le(300);
+  w.u32be(123456);
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u8().value(), 7);
+  EXPECT_EQ(r.u16le().value(), 300);
+  EXPECT_EQ(r.u32be().value(), 123456u);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ByteReader, TruncationPoisonsSubsequentReads) {
+  std::uint8_t data[3] = {1, 2, 3};
+  ByteReader r(std::span<const std::uint8_t>(data, 3));
+  EXPECT_TRUE(r.u16le().ok());
+  auto fail = r.u16le();
+  ASSERT_FALSE(fail.ok());
+  EXPECT_EQ(fail.error().code, "truncated");
+  EXPECT_TRUE(r.failed());
+  // Poisoned: even a 1-byte read now fails, so decode chains can't
+  // "succeed" past an earlier failure.
+  EXPECT_FALSE(r.u8().ok());
+  // seek() clears the failure state.
+  r.seek(2);
+  EXPECT_EQ(r.u8().value(), 3);
+}
+
+TEST(ByteReader, SkipAndSeek) {
+  std::uint8_t data[5] = {1, 2, 3, 4, 5};
+  ByteReader r(std::span<const std::uint8_t>(data, 5));
+  ASSERT_TRUE(r.skip(2).ok());
+  EXPECT_EQ(r.u8().value(), 3);
+  r.seek(0);
+  EXPECT_EQ(r.u8().value(), 1);
+  EXPECT_FALSE(r.skip(10).ok());
+}
+
+TEST(ByteReader, BytesReturnsSubspanWithoutCopy) {
+  std::uint8_t data[4] = {9, 8, 7, 6};
+  ByteReader r(std::span<const std::uint8_t>(data, 4));
+  auto span = r.bytes(3);
+  ASSERT_TRUE(span.ok());
+  EXPECT_EQ(span->data(), data);
+  EXPECT_EQ(span->size(), 3u);
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+TEST(Bytes, FloatRoundTripExactBits) {
+  for (float f : {0.0f, 1.0f, -123.456f, 3.4e38f, 1.17e-38f}) {
+    ByteWriter w;
+    w.f32le(f);
+    ByteReader r(w.view());
+    EXPECT_EQ(r.f32le().value(), f);
+  }
+}
+
+// Property: every integer width round-trips through write+read for random
+// values in both endiannesses.
+TEST(BytesProperty, RandomRoundTrips) {
+  Rng rng(1234);
+  for (int i = 0; i < 2000; ++i) {
+    std::uint64_t v = rng.next_u64();
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(v));
+    w.u16le(static_cast<std::uint16_t>(v));
+    w.u16be(static_cast<std::uint16_t>(v));
+    w.u32le(static_cast<std::uint32_t>(v));
+    w.u32be(static_cast<std::uint32_t>(v));
+    w.u64le(v);
+    ByteReader r(w.view());
+    EXPECT_EQ(r.u8().value(), static_cast<std::uint8_t>(v));
+    EXPECT_EQ(r.u16le().value(), static_cast<std::uint16_t>(v));
+    EXPECT_EQ(r.u16be().value(), static_cast<std::uint16_t>(v));
+    EXPECT_EQ(r.u32le().value(), static_cast<std::uint32_t>(v));
+    EXPECT_EQ(r.u32be().value(), static_cast<std::uint32_t>(v));
+    EXPECT_EQ(r.u64le().value(), v);
+    EXPECT_TRUE(r.empty());
+  }
+}
+
+TEST(HexDump, Formats) {
+  std::uint8_t data[3] = {0x68, 0x0e, 0xff};
+  EXPECT_EQ(hex_dump(std::span<const std::uint8_t>(data, 3)), "68 0e ff");
+  EXPECT_EQ(hex_dump({}), "");
+}
+
+}  // namespace
+}  // namespace uncharted

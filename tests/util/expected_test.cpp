@@ -1,0 +1,84 @@
+#include "util/expected.hpp"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace uncharted {
+namespace {
+
+Result<int> parse_positive(int v) {
+  if (v <= 0) return Err("not-positive", std::to_string(v));
+  return v;
+}
+
+TEST(Result, ValueAndErrorPaths) {
+  auto ok = parse_positive(5);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(static_cast<bool>(ok));
+  EXPECT_EQ(ok.value(), 5);
+  EXPECT_EQ(*ok, 5);
+
+  auto bad = parse_positive(-1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, "not-positive");
+  EXPECT_EQ(bad.error().detail, "-1");
+}
+
+TEST(Result, ErrorStrFormatting) {
+  EXPECT_EQ(Err("truncated", "need 4 bytes").str(), "truncated: need 4 bytes");
+  EXPECT_EQ(Err("closed").str(), "closed");
+}
+
+TEST(Result, TakeMovesOutValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  auto owned = std::move(r).take();
+  ASSERT_TRUE(owned);
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r->size(), 5u);
+  r->append("!");
+  EXPECT_EQ(*r, "hello!");
+}
+
+TEST(Result, ErrorPropagationPattern) {
+  // The codebase's idiom: return inner.error() to convert Result<A> to
+  // Result<B> on failure.
+  auto chain = [](int v) -> Result<std::string> {
+    auto inner = parse_positive(v);
+    if (!inner) return inner.error();
+    return std::to_string(inner.value());
+  };
+  EXPECT_EQ(chain(3).value(), "3");
+  EXPECT_EQ(chain(0).error().code, "not-positive");
+}
+
+TEST(Status, OkAndError) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_TRUE(static_cast<bool>(ok));
+
+  Status bad = Err("write-failed", "/tmp/x");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, "write-failed");
+
+  Status default_constructed;
+  EXPECT_TRUE(default_constructed.ok());
+}
+
+TEST(Result, ImplicitConversionFromValueAndError) {
+  // Both directions of the implicit constructor are used pervasively.
+  auto make = [](bool good) -> Result<double> {
+    if (good) return 1.5;
+    return Err("nope");
+  };
+  EXPECT_TRUE(make(true).ok());
+  EXPECT_FALSE(make(false).ok());
+}
+
+}  // namespace
+}  // namespace uncharted

@@ -1,0 +1,90 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace uncharted {
+namespace {
+
+TEST(RunningStats, MatchesNaiveComputation) {
+  Rng rng(99);
+  std::vector<double> values;
+  RunningStats stats;
+  for (int i = 0; i < 500; ++i) {
+    double v = rng.normal(10.0, 3.0);
+    values.push_back(v);
+    stats.add(v);
+  }
+  EXPECT_NEAR(stats.mean(), mean_of(values), 1e-9);
+  EXPECT_NEAR(stats.variance(), variance_of(values), 1e-7);
+  EXPECT_EQ(stats.count(), values.size());
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  s.add(5.0);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_EQ(percentile(v, 0), 1.0);
+  EXPECT_EQ(percentile(v, 100), 5.0);
+  EXPECT_EQ(percentile(v, 50), 3.0);
+  EXPECT_NEAR(percentile(v, 25), 2.0, 1e-12);
+  EXPECT_NEAR(percentile(v, 90), 4.6, 1e-12);
+  EXPECT_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(NormalizedVariance, ScaleInvariantForNonzeroMean) {
+  std::vector<double> base = {10, 11, 9, 10.5, 9.5};
+  std::vector<double> scaled;
+  for (double v : base) scaled.push_back(v * 1000.0);
+  EXPECT_NEAR(normalized_variance(base), normalized_variance(scaled), 1e-9);
+}
+
+TEST(NormalizedVariance, ZeroMeanFallsBackToPlainVariance) {
+  std::vector<double> v = {-1, 1, -1, 1};
+  EXPECT_NEAR(normalized_variance(v), variance_of(v), 1e-12);
+}
+
+TEST(NormalizedVariance, ConstantSeriesIsZero) {
+  std::vector<double> v(20, 42.0);
+  EXPECT_EQ(normalized_variance(v), 0.0);
+}
+
+TEST(LogHistogram, BinsByDecade) {
+  LogHistogram h(-3, 3, 1);  // 1 ms .. 1000 s, one bin per decade
+  h.add(0.005);   // 10^-3..10^-2
+  h.add(0.5);     // 10^-1..10^0
+  h.add(50.0);    // 10^1..10^2
+  h.add(0.0);     // underflow (non-positive)
+  h.add(5000.0);  // overflow
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count_at(0), 1u);
+  EXPECT_EQ(h.count_at(2), 1u);
+  EXPECT_EQ(h.count_at(4), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_NEAR(h.edge(0), 1e-3, 1e-12);
+  EXPECT_NEAR(h.edge(3), 1.0, 1e-12);
+}
+
+TEST(LogHistogram, SubDecadeBins) {
+  LogHistogram h(0, 1, 4);  // 1..10 in 4 bins
+  h.add(1.0);
+  h.add(9.9);
+  EXPECT_EQ(h.count_at(0), 1u);
+  EXPECT_EQ(h.count_at(3), 1u);
+}
+
+}  // namespace
+}  // namespace uncharted

@@ -1,0 +1,51 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uncharted {
+namespace {
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-0.5, 0), "-0");
+  EXPECT_EQ(format_double(2.0, 3), "2.000");
+}
+
+TEST(FormatPercent, Table7Style) {
+  EXPECT_EQ(format_percent(0.651322), "65.1322%");
+  EXPECT_EQ(format_percent(0.5, 1), "50.0%");
+}
+
+TEST(FormatDuration, PicksUnits) {
+  EXPECT_EQ(format_duration(0.0000005), "0.5 us");
+  EXPECT_EQ(format_duration(0.0124), "12.4 ms");
+  EXPECT_EQ(format_duration(4.3), "4.3 s");
+  EXPECT_EQ(format_duration(430.0), "7.2 min");
+  EXPECT_EQ(format_duration(7300.0), "2.0 h");
+}
+
+TEST(FormatCount, ThousandsSeparators) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(31614), "31,614");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Join, RoundTripsSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(join(parts, "-"), "x-y-z");
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+  EXPECT_EQ(join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace uncharted

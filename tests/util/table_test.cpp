@@ -1,0 +1,45 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uncharted {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t("Demo");
+  t.header({"name", "count"});
+  t.row({"short", "1"});
+  t.row({"a-much-longer-name", "12345"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| a-much-longer-name |"), std::string::npos);
+  // All lines in the box have equal width.
+  std::size_t first_nl = out.find('\n');
+  std::size_t second_nl = out.find('\n', first_nl + 1);
+  std::size_t rule_len = second_nl - first_nl - 1;
+  for (std::size_t pos = first_nl + 1; pos < out.size();) {
+    std::size_t next = out.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, rule_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TextTable, HandlesRaggedRows) {
+  TextTable t;
+  t.header({"a", "b", "c"});
+  t.row({"only-one"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+TEST(TextTable, NoHeaderNoTitle) {
+  TextTable t;
+  t.row({"x", "y"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("| x | y |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace uncharted
