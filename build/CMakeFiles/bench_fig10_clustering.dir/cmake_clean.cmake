@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_clustering.dir/bench/bench_fig10_clustering.cpp.o"
+  "CMakeFiles/bench_fig10_clustering.dir/bench/bench_fig10_clustering.cpp.o.d"
+  "bench/bench_fig10_clustering"
+  "bench/bench_fig10_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_markov.dir/bench/bench_fig13_markov.cpp.o"
+  "CMakeFiles/bench_fig13_markov.dir/bench/bench_fig13_markov.cpp.o.d"
+  "bench/bench_fig13_markov"
+  "bench/bench_fig13_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

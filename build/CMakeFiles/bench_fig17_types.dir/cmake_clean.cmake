@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_types.dir/bench/bench_fig17_types.cpp.o"
+  "CMakeFiles/bench_fig17_types.dir/bench/bench_fig17_types.cpp.o.d"
+  "bench/bench_fig17_types"
+  "bench/bench_fig17_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_19_agc.dir/bench/bench_fig18_19_agc.cpp.o"
+  "CMakeFiles/bench_fig18_19_agc.dir/bench/bench_fig18_19_agc.cpp.o.d"
+  "bench/bench_fig18_19_agc"
+  "bench/bench_fig18_19_agc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_19_agc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

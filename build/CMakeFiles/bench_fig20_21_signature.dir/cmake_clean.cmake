@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_21_signature.dir/bench/bench_fig20_21_signature.cpp.o"
+  "CMakeFiles/bench_fig20_21_signature.dir/bench/bench_fig20_21_signature.cpp.o.d"
+  "bench/bench_fig20_21_signature"
+  "bench/bench_fig20_21_signature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_21_signature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_background.cpp" "CMakeFiles/bench_fig5_background.dir/bench/bench_fig5_background.cpp.o" "gcc" "CMakeFiles/bench_fig5_background.dir/bench/bench_fig5_background.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/uncharted_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uncharted_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/uncharted_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/uncharted_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/uncharted_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/iec104/CMakeFiles/uncharted_iec104.dir/DependInfo.cmake"
+  "/root/repo/build/src/synchro/CMakeFiles/uncharted_synchro.dir/DependInfo.cmake"
+  "/root/repo/build/src/iccp/CMakeFiles/uncharted_iccp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/uncharted_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

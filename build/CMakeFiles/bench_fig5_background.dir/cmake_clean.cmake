@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_background.dir/bench/bench_fig5_background.cpp.o"
+  "CMakeFiles/bench_fig5_background.dir/bench/bench_fig5_background.cpp.o.d"
+  "bench/bench_fig5_background"
+  "bench/bench_fig5_background.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_background.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_compliance.dir/bench/bench_fig7_compliance.cpp.o"
+  "CMakeFiles/bench_fig7_compliance.dir/bench/bench_fig7_compliance.cpp.o.d"
+  "bench/bench_fig7_compliance"
+  "bench/bench_fig7_compliance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_compliance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

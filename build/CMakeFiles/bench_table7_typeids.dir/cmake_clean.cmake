@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_typeids.dir/bench/bench_table7_typeids.cpp.o"
+  "CMakeFiles/bench_table7_typeids.dir/bench/bench_table7_typeids.cpp.o.d"
+  "bench/bench_table7_typeids"
+  "bench/bench_table7_typeids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_typeids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capture_generator.dir/capture_generator.cpp.o"
+  "CMakeFiles/capture_generator.dir/capture_generator.cpp.o.d"
+  "capture_generator"
+  "capture_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capture_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

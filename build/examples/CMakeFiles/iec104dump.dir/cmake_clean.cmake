@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iec104dump.dir/iec104dump.cpp.o"
+  "CMakeFiles/iec104dump.dir/iec104dump.cpp.o.d"
+  "iec104dump"
+  "iec104dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iec104dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for iec104dump.
+# This may be replaced when dependencies are built.

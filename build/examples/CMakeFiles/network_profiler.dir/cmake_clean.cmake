@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_profiler.dir/network_profiler.cpp.o"
+  "CMakeFiles/network_profiler.dir/network_profiler.cpp.o.d"
+  "network_profiler"
+  "network_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/background.cpp" "src/analysis/CMakeFiles/uncharted_analysis.dir/background.cpp.o" "gcc" "src/analysis/CMakeFiles/uncharted_analysis.dir/background.cpp.o.d"
+  "/root/repo/src/analysis/bandwidth.cpp" "src/analysis/CMakeFiles/uncharted_analysis.dir/bandwidth.cpp.o" "gcc" "src/analysis/CMakeFiles/uncharted_analysis.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/analysis/classify.cpp" "src/analysis/CMakeFiles/uncharted_analysis.dir/classify.cpp.o" "gcc" "src/analysis/CMakeFiles/uncharted_analysis.dir/classify.cpp.o.d"
+  "/root/repo/src/analysis/dataset.cpp" "src/analysis/CMakeFiles/uncharted_analysis.dir/dataset.cpp.o" "gcc" "src/analysis/CMakeFiles/uncharted_analysis.dir/dataset.cpp.o.d"
+  "/root/repo/src/analysis/flows.cpp" "src/analysis/CMakeFiles/uncharted_analysis.dir/flows.cpp.o" "gcc" "src/analysis/CMakeFiles/uncharted_analysis.dir/flows.cpp.o.d"
+  "/root/repo/src/analysis/kmeans.cpp" "src/analysis/CMakeFiles/uncharted_analysis.dir/kmeans.cpp.o" "gcc" "src/analysis/CMakeFiles/uncharted_analysis.dir/kmeans.cpp.o.d"
+  "/root/repo/src/analysis/markov.cpp" "src/analysis/CMakeFiles/uncharted_analysis.dir/markov.cpp.o" "gcc" "src/analysis/CMakeFiles/uncharted_analysis.dir/markov.cpp.o.d"
+  "/root/repo/src/analysis/pca.cpp" "src/analysis/CMakeFiles/uncharted_analysis.dir/pca.cpp.o" "gcc" "src/analysis/CMakeFiles/uncharted_analysis.dir/pca.cpp.o.d"
+  "/root/repo/src/analysis/physical.cpp" "src/analysis/CMakeFiles/uncharted_analysis.dir/physical.cpp.o" "gcc" "src/analysis/CMakeFiles/uncharted_analysis.dir/physical.cpp.o.d"
+  "/root/repo/src/analysis/seq_audit.cpp" "src/analysis/CMakeFiles/uncharted_analysis.dir/seq_audit.cpp.o" "gcc" "src/analysis/CMakeFiles/uncharted_analysis.dir/seq_audit.cpp.o.d"
+  "/root/repo/src/analysis/sessions.cpp" "src/analysis/CMakeFiles/uncharted_analysis.dir/sessions.cpp.o" "gcc" "src/analysis/CMakeFiles/uncharted_analysis.dir/sessions.cpp.o.d"
+  "/root/repo/src/analysis/topology_diff.cpp" "src/analysis/CMakeFiles/uncharted_analysis.dir/topology_diff.cpp.o" "gcc" "src/analysis/CMakeFiles/uncharted_analysis.dir/topology_diff.cpp.o.d"
+  "/root/repo/src/analysis/typeid_stats.cpp" "src/analysis/CMakeFiles/uncharted_analysis.dir/typeid_stats.cpp.o" "gcc" "src/analysis/CMakeFiles/uncharted_analysis.dir/typeid_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/uncharted_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/uncharted_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/iec104/CMakeFiles/uncharted_iec104.dir/DependInfo.cmake"
+  "/root/repo/build/src/synchro/CMakeFiles/uncharted_synchro.dir/DependInfo.cmake"
+  "/root/repo/build/src/iccp/CMakeFiles/uncharted_iccp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

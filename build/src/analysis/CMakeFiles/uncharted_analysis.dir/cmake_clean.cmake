@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncharted_analysis.dir/background.cpp.o"
+  "CMakeFiles/uncharted_analysis.dir/background.cpp.o.d"
+  "CMakeFiles/uncharted_analysis.dir/bandwidth.cpp.o"
+  "CMakeFiles/uncharted_analysis.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/uncharted_analysis.dir/classify.cpp.o"
+  "CMakeFiles/uncharted_analysis.dir/classify.cpp.o.d"
+  "CMakeFiles/uncharted_analysis.dir/dataset.cpp.o"
+  "CMakeFiles/uncharted_analysis.dir/dataset.cpp.o.d"
+  "CMakeFiles/uncharted_analysis.dir/flows.cpp.o"
+  "CMakeFiles/uncharted_analysis.dir/flows.cpp.o.d"
+  "CMakeFiles/uncharted_analysis.dir/kmeans.cpp.o"
+  "CMakeFiles/uncharted_analysis.dir/kmeans.cpp.o.d"
+  "CMakeFiles/uncharted_analysis.dir/markov.cpp.o"
+  "CMakeFiles/uncharted_analysis.dir/markov.cpp.o.d"
+  "CMakeFiles/uncharted_analysis.dir/pca.cpp.o"
+  "CMakeFiles/uncharted_analysis.dir/pca.cpp.o.d"
+  "CMakeFiles/uncharted_analysis.dir/physical.cpp.o"
+  "CMakeFiles/uncharted_analysis.dir/physical.cpp.o.d"
+  "CMakeFiles/uncharted_analysis.dir/seq_audit.cpp.o"
+  "CMakeFiles/uncharted_analysis.dir/seq_audit.cpp.o.d"
+  "CMakeFiles/uncharted_analysis.dir/sessions.cpp.o"
+  "CMakeFiles/uncharted_analysis.dir/sessions.cpp.o.d"
+  "CMakeFiles/uncharted_analysis.dir/topology_diff.cpp.o"
+  "CMakeFiles/uncharted_analysis.dir/topology_diff.cpp.o.d"
+  "CMakeFiles/uncharted_analysis.dir/typeid_stats.cpp.o"
+  "CMakeFiles/uncharted_analysis.dir/typeid_stats.cpp.o.d"
+  "libuncharted_analysis.a"
+  "libuncharted_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncharted_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuncharted_analysis.a"
+)

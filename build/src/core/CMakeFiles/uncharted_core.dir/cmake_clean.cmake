@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncharted_core.dir/analyzer.cpp.o"
+  "CMakeFiles/uncharted_core.dir/analyzer.cpp.o.d"
+  "CMakeFiles/uncharted_core.dir/export.cpp.o"
+  "CMakeFiles/uncharted_core.dir/export.cpp.o.d"
+  "CMakeFiles/uncharted_core.dir/names.cpp.o"
+  "CMakeFiles/uncharted_core.dir/names.cpp.o.d"
+  "CMakeFiles/uncharted_core.dir/profiler.cpp.o"
+  "CMakeFiles/uncharted_core.dir/profiler.cpp.o.d"
+  "libuncharted_core.a"
+  "libuncharted_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncharted_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

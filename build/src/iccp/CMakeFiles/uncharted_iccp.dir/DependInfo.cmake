@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iccp/iccp.cpp" "src/iccp/CMakeFiles/uncharted_iccp.dir/iccp.cpp.o" "gcc" "src/iccp/CMakeFiles/uncharted_iccp.dir/iccp.cpp.o.d"
+  "/root/repo/src/iccp/tpkt.cpp" "src/iccp/CMakeFiles/uncharted_iccp.dir/tpkt.cpp.o" "gcc" "src/iccp/CMakeFiles/uncharted_iccp.dir/tpkt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/uncharted_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncharted_iccp.dir/iccp.cpp.o"
+  "CMakeFiles/uncharted_iccp.dir/iccp.cpp.o.d"
+  "CMakeFiles/uncharted_iccp.dir/tpkt.cpp.o"
+  "CMakeFiles/uncharted_iccp.dir/tpkt.cpp.o.d"
+  "libuncharted_iccp.a"
+  "libuncharted_iccp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncharted_iccp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

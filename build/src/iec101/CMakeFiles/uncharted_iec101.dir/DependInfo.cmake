@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iec101/ft12.cpp" "src/iec101/CMakeFiles/uncharted_iec101.dir/ft12.cpp.o" "gcc" "src/iec101/CMakeFiles/uncharted_iec101.dir/ft12.cpp.o.d"
+  "/root/repo/src/iec101/upgrade.cpp" "src/iec101/CMakeFiles/uncharted_iec101.dir/upgrade.cpp.o" "gcc" "src/iec101/CMakeFiles/uncharted_iec101.dir/upgrade.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/iec104/CMakeFiles/uncharted_iec104.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/uncharted_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncharted_iec101.dir/ft12.cpp.o"
+  "CMakeFiles/uncharted_iec101.dir/ft12.cpp.o.d"
+  "CMakeFiles/uncharted_iec101.dir/upgrade.cpp.o"
+  "CMakeFiles/uncharted_iec101.dir/upgrade.cpp.o.d"
+  "libuncharted_iec101.a"
+  "libuncharted_iec101.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncharted_iec101.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

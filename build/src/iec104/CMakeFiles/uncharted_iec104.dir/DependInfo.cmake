@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iec104/apdu.cpp" "src/iec104/CMakeFiles/uncharted_iec104.dir/apdu.cpp.o" "gcc" "src/iec104/CMakeFiles/uncharted_iec104.dir/apdu.cpp.o.d"
+  "/root/repo/src/iec104/asdu.cpp" "src/iec104/CMakeFiles/uncharted_iec104.dir/asdu.cpp.o" "gcc" "src/iec104/CMakeFiles/uncharted_iec104.dir/asdu.cpp.o.d"
+  "/root/repo/src/iec104/connection.cpp" "src/iec104/CMakeFiles/uncharted_iec104.dir/connection.cpp.o" "gcc" "src/iec104/CMakeFiles/uncharted_iec104.dir/connection.cpp.o.d"
+  "/root/repo/src/iec104/constants.cpp" "src/iec104/CMakeFiles/uncharted_iec104.dir/constants.cpp.o" "gcc" "src/iec104/CMakeFiles/uncharted_iec104.dir/constants.cpp.o.d"
+  "/root/repo/src/iec104/cp56time.cpp" "src/iec104/CMakeFiles/uncharted_iec104.dir/cp56time.cpp.o" "gcc" "src/iec104/CMakeFiles/uncharted_iec104.dir/cp56time.cpp.o.d"
+  "/root/repo/src/iec104/elements.cpp" "src/iec104/CMakeFiles/uncharted_iec104.dir/elements.cpp.o" "gcc" "src/iec104/CMakeFiles/uncharted_iec104.dir/elements.cpp.o.d"
+  "/root/repo/src/iec104/parser.cpp" "src/iec104/CMakeFiles/uncharted_iec104.dir/parser.cpp.o" "gcc" "src/iec104/CMakeFiles/uncharted_iec104.dir/parser.cpp.o.d"
+  "/root/repo/src/iec104/validate.cpp" "src/iec104/CMakeFiles/uncharted_iec104.dir/validate.cpp.o" "gcc" "src/iec104/CMakeFiles/uncharted_iec104.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/uncharted_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncharted_iec104.dir/apdu.cpp.o"
+  "CMakeFiles/uncharted_iec104.dir/apdu.cpp.o.d"
+  "CMakeFiles/uncharted_iec104.dir/asdu.cpp.o"
+  "CMakeFiles/uncharted_iec104.dir/asdu.cpp.o.d"
+  "CMakeFiles/uncharted_iec104.dir/connection.cpp.o"
+  "CMakeFiles/uncharted_iec104.dir/connection.cpp.o.d"
+  "CMakeFiles/uncharted_iec104.dir/constants.cpp.o"
+  "CMakeFiles/uncharted_iec104.dir/constants.cpp.o.d"
+  "CMakeFiles/uncharted_iec104.dir/cp56time.cpp.o"
+  "CMakeFiles/uncharted_iec104.dir/cp56time.cpp.o.d"
+  "CMakeFiles/uncharted_iec104.dir/elements.cpp.o"
+  "CMakeFiles/uncharted_iec104.dir/elements.cpp.o.d"
+  "CMakeFiles/uncharted_iec104.dir/parser.cpp.o"
+  "CMakeFiles/uncharted_iec104.dir/parser.cpp.o.d"
+  "CMakeFiles/uncharted_iec104.dir/validate.cpp.o"
+  "CMakeFiles/uncharted_iec104.dir/validate.cpp.o.d"
+  "libuncharted_iec104.a"
+  "libuncharted_iec104.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncharted_iec104.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

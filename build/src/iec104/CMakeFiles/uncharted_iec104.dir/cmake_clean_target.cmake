@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuncharted_iec104.a"
+)

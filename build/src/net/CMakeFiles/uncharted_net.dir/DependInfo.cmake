@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/flow.cpp" "src/net/CMakeFiles/uncharted_net.dir/flow.cpp.o" "gcc" "src/net/CMakeFiles/uncharted_net.dir/flow.cpp.o.d"
+  "/root/repo/src/net/frame.cpp" "src/net/CMakeFiles/uncharted_net.dir/frame.cpp.o" "gcc" "src/net/CMakeFiles/uncharted_net.dir/frame.cpp.o.d"
+  "/root/repo/src/net/headers.cpp" "src/net/CMakeFiles/uncharted_net.dir/headers.cpp.o" "gcc" "src/net/CMakeFiles/uncharted_net.dir/headers.cpp.o.d"
+  "/root/repo/src/net/pcap.cpp" "src/net/CMakeFiles/uncharted_net.dir/pcap.cpp.o" "gcc" "src/net/CMakeFiles/uncharted_net.dir/pcap.cpp.o.d"
+  "/root/repo/src/net/reassembly.cpp" "src/net/CMakeFiles/uncharted_net.dir/reassembly.cpp.o" "gcc" "src/net/CMakeFiles/uncharted_net.dir/reassembly.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/uncharted_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncharted_net.dir/flow.cpp.o"
+  "CMakeFiles/uncharted_net.dir/flow.cpp.o.d"
+  "CMakeFiles/uncharted_net.dir/frame.cpp.o"
+  "CMakeFiles/uncharted_net.dir/frame.cpp.o.d"
+  "CMakeFiles/uncharted_net.dir/headers.cpp.o"
+  "CMakeFiles/uncharted_net.dir/headers.cpp.o.d"
+  "CMakeFiles/uncharted_net.dir/pcap.cpp.o"
+  "CMakeFiles/uncharted_net.dir/pcap.cpp.o.d"
+  "CMakeFiles/uncharted_net.dir/reassembly.cpp.o"
+  "CMakeFiles/uncharted_net.dir/reassembly.cpp.o.d"
+  "libuncharted_net.a"
+  "libuncharted_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncharted_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuncharted_net.a"
+)

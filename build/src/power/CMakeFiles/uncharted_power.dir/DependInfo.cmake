@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/agc.cpp" "src/power/CMakeFiles/uncharted_power.dir/agc.cpp.o" "gcc" "src/power/CMakeFiles/uncharted_power.dir/agc.cpp.o.d"
+  "/root/repo/src/power/generator.cpp" "src/power/CMakeFiles/uncharted_power.dir/generator.cpp.o" "gcc" "src/power/CMakeFiles/uncharted_power.dir/generator.cpp.o.d"
+  "/root/repo/src/power/grid.cpp" "src/power/CMakeFiles/uncharted_power.dir/grid.cpp.o" "gcc" "src/power/CMakeFiles/uncharted_power.dir/grid.cpp.o.d"
+  "/root/repo/src/power/measurement.cpp" "src/power/CMakeFiles/uncharted_power.dir/measurement.cpp.o" "gcc" "src/power/CMakeFiles/uncharted_power.dir/measurement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/uncharted_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncharted_power.dir/agc.cpp.o"
+  "CMakeFiles/uncharted_power.dir/agc.cpp.o.d"
+  "CMakeFiles/uncharted_power.dir/generator.cpp.o"
+  "CMakeFiles/uncharted_power.dir/generator.cpp.o.d"
+  "CMakeFiles/uncharted_power.dir/grid.cpp.o"
+  "CMakeFiles/uncharted_power.dir/grid.cpp.o.d"
+  "CMakeFiles/uncharted_power.dir/measurement.cpp.o"
+  "CMakeFiles/uncharted_power.dir/measurement.cpp.o.d"
+  "libuncharted_power.a"
+  "libuncharted_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncharted_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

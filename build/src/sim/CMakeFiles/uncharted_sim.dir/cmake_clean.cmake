@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncharted_sim.dir/capture.cpp.o"
+  "CMakeFiles/uncharted_sim.dir/capture.cpp.o.d"
+  "CMakeFiles/uncharted_sim.dir/signals.cpp.o"
+  "CMakeFiles/uncharted_sim.dir/signals.cpp.o.d"
+  "CMakeFiles/uncharted_sim.dir/tcp.cpp.o"
+  "CMakeFiles/uncharted_sim.dir/tcp.cpp.o.d"
+  "CMakeFiles/uncharted_sim.dir/topology.cpp.o"
+  "CMakeFiles/uncharted_sim.dir/topology.cpp.o.d"
+  "libuncharted_sim.a"
+  "libuncharted_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncharted_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncharted_synchro.dir/c37118.cpp.o"
+  "CMakeFiles/uncharted_synchro.dir/c37118.cpp.o.d"
+  "libuncharted_synchro.a"
+  "libuncharted_synchro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncharted_synchro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

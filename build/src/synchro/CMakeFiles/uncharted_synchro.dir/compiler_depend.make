@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for uncharted_synchro.
+# This may be replaced when dependencies are built.

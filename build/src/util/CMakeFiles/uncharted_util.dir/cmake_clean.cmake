@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncharted_util.dir/bytes.cpp.o"
+  "CMakeFiles/uncharted_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/uncharted_util.dir/log.cpp.o"
+  "CMakeFiles/uncharted_util.dir/log.cpp.o.d"
+  "CMakeFiles/uncharted_util.dir/stats.cpp.o"
+  "CMakeFiles/uncharted_util.dir/stats.cpp.o.d"
+  "CMakeFiles/uncharted_util.dir/strings.cpp.o"
+  "CMakeFiles/uncharted_util.dir/strings.cpp.o.d"
+  "CMakeFiles/uncharted_util.dir/table.cpp.o"
+  "CMakeFiles/uncharted_util.dir/table.cpp.o.d"
+  "libuncharted_util.a"
+  "libuncharted_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncharted_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/background_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/background_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/bandwidth_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/bandwidth_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/classify_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/classify_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/dataset_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/dataset_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/flows_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/flows_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/kmeans_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/kmeans_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/markov_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/markov_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/pca_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/pca_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/physical_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/physical_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/seq_audit_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/seq_audit_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/topology_diff_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/topology_diff_test.cpp.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

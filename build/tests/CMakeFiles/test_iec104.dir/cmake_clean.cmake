@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iec104.dir/iec104/apdu_test.cpp.o"
+  "CMakeFiles/test_iec104.dir/iec104/apdu_test.cpp.o.d"
+  "CMakeFiles/test_iec104.dir/iec104/asdu_test.cpp.o"
+  "CMakeFiles/test_iec104.dir/iec104/asdu_test.cpp.o.d"
+  "CMakeFiles/test_iec104.dir/iec104/connection_pair_test.cpp.o"
+  "CMakeFiles/test_iec104.dir/iec104/connection_pair_test.cpp.o.d"
+  "CMakeFiles/test_iec104.dir/iec104/connection_test.cpp.o"
+  "CMakeFiles/test_iec104.dir/iec104/connection_test.cpp.o.d"
+  "CMakeFiles/test_iec104.dir/iec104/cp56_test.cpp.o"
+  "CMakeFiles/test_iec104.dir/iec104/cp56_test.cpp.o.d"
+  "CMakeFiles/test_iec104.dir/iec104/elements_test.cpp.o"
+  "CMakeFiles/test_iec104.dir/iec104/elements_test.cpp.o.d"
+  "CMakeFiles/test_iec104.dir/iec104/parser_property_test.cpp.o"
+  "CMakeFiles/test_iec104.dir/iec104/parser_property_test.cpp.o.d"
+  "CMakeFiles/test_iec104.dir/iec104/parser_test.cpp.o"
+  "CMakeFiles/test_iec104.dir/iec104/parser_test.cpp.o.d"
+  "CMakeFiles/test_iec104.dir/iec104/validate_test.cpp.o"
+  "CMakeFiles/test_iec104.dir/iec104/validate_test.cpp.o.d"
+  "test_iec104"
+  "test_iec104.pdb"
+  "test_iec104[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iec104.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

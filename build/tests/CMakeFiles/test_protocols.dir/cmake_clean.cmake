@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocols.dir/iccp/iccp_test.cpp.o"
+  "CMakeFiles/test_protocols.dir/iccp/iccp_test.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/iec101/ft12_test.cpp.o"
+  "CMakeFiles/test_protocols.dir/iec101/ft12_test.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/iec101/upgrade_test.cpp.o"
+  "CMakeFiles/test_protocols.dir/iec101/upgrade_test.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/synchro/c37118_test.cpp.o"
+  "CMakeFiles/test_protocols.dir/synchro/c37118_test.cpp.o.d"
+  "test_protocols"
+  "test_protocols.pdb"
+  "test_protocols[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
