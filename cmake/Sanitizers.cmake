@@ -1,0 +1,46 @@
+# Sanitizer build modes.
+#
+# UNCHARTED_SANITIZE is a semicolon-separated list drawn from
+# {address, undefined, leak, thread}. The flags are attached to the
+# uncharted_options interface target, so every library, test, bench and
+# example in the tree inherits them — a truncated-capture bug caught by a
+# fuzzer reproduces identically inside ctest.
+#
+#   cmake -B build -S . -DUNCHARTED_SANITIZE="address;undefined"
+#   cmake --preset debug-asan-ubsan      # same thing, via presets
+#
+# thread is mutually exclusive with address/leak (the runtimes cannot be
+# linked together); the combination is rejected at configure time.
+
+set(UNCHARTED_SANITIZE "" CACHE STRING
+    "Semicolon-separated sanitizers to enable: address;undefined;leak;thread")
+
+function(uncharted_apply_sanitizers target)
+  if(NOT UNCHARTED_SANITIZE)
+    return()
+  endif()
+
+  set(_known address undefined leak thread)
+  foreach(_san IN LISTS UNCHARTED_SANITIZE)
+    if(NOT _san IN_LIST _known)
+      message(FATAL_ERROR
+        "UNCHARTED_SANITIZE: unknown sanitizer '${_san}' "
+        "(expected a subset of: ${_known})")
+    endif()
+  endforeach()
+
+  if("thread" IN_LIST UNCHARTED_SANITIZE AND
+     ("address" IN_LIST UNCHARTED_SANITIZE OR "leak" IN_LIST UNCHARTED_SANITIZE))
+    message(FATAL_ERROR
+      "UNCHARTED_SANITIZE: 'thread' cannot be combined with 'address' or 'leak'")
+  endif()
+
+  string(REPLACE ";" "," _fsan "${UNCHARTED_SANITIZE}")
+  message(STATUS "uncharted: sanitizers enabled: ${_fsan}")
+
+  target_compile_options(${target} INTERFACE
+    -fsanitize=${_fsan}
+    -fno-omit-frame-pointer
+    -fno-sanitize-recover=all)
+  target_link_options(${target} INTERFACE -fsanitize=${_fsan})
+endfunction()

@@ -1,0 +1,35 @@
+# clang-tidy integration.
+#
+# UNCHARTED_TIDY=ON runs clang-tidy (configuration in the repo-root
+# .clang-tidy) on every translation unit of the directories that call
+# uncharted_enable_tidy_here() — currently src/. Diagnostics are promoted
+# to errors so a tidy build either passes clean or fails:
+#
+#   cmake --preset tidy && cmake --build build-tidy -j
+#
+# Requires a clang-tidy binary on PATH; configuring with UNCHARTED_TIDY=ON
+# on a machine without one is a hard configure error rather than a silent
+# no-op, so CI cannot "pass" by skipping the analysis.
+
+option(UNCHARTED_TIDY "Run clang-tidy over src/ as part of the build" OFF)
+
+if(UNCHARTED_TIDY)
+  find_program(UNCHARTED_CLANG_TIDY_EXE
+    NAMES clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 clang-tidy-16
+          clang-tidy-15 clang-tidy-14)
+  if(NOT UNCHARTED_CLANG_TIDY_EXE)
+    message(FATAL_ERROR
+      "UNCHARTED_TIDY=ON but no clang-tidy executable was found on PATH")
+  endif()
+  message(STATUS "uncharted: clang-tidy: ${UNCHARTED_CLANG_TIDY_EXE}")
+endif()
+
+# Sets CMAKE_CXX_CLANG_TIDY for the calling directory (and its children).
+# A macro rather than a function so the variable lands in the caller's
+# directory scope.
+macro(uncharted_enable_tidy_here)
+  if(UNCHARTED_TIDY)
+    set(CMAKE_CXX_CLANG_TIDY
+        "${UNCHARTED_CLANG_TIDY_EXE};--warnings-as-errors=*")
+  endif()
+endmacro()

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Local reproduction of the three CI jobs (.github/workflows/ci.yml):
+#
+#   1. Release build + ctest
+#   2. Debug ASan+UBSan build + ctest
+#   3. clang-tidy over src/ (skipped with a notice if clang-tidy is absent)
+#
+# Usage: scripts/check.sh [--fuzz]
+#   --fuzz   additionally build the fuzz harnesses and run each one for
+#            10k iterations over the seed corpus (the `fuzz` preset)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+run_fuzz=0
+for arg in "$@"; do
+  case "$arg" in
+    --fuzz) run_fuzz=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> [1/3] release: build + ctest"
+cmake --preset release
+cmake --build --preset release -j "$jobs"
+ctest --preset release -j "$jobs"
+
+echo "==> [2/3] debug-asan-ubsan: build + ctest"
+cmake --preset debug-asan-ubsan
+cmake --build --preset debug-asan-ubsan -j "$jobs"
+ASAN_OPTIONS=strict_string_checks=1:detect_stack_use_after_return=1 \
+UBSAN_OPTIONS=print_stacktrace=1 \
+  ctest --preset debug-asan-ubsan -j "$jobs"
+
+echo "==> [3/3] clang-tidy over src/"
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake --preset tidy
+  cmake --build --preset tidy -j "$jobs"
+else
+  echo "    clang-tidy not installed; skipping (CI runs this job)"
+fi
+
+if [ "$run_fuzz" -eq 1 ]; then
+  echo "==> [fuzz] harnesses: 10k iterations over the seed corpus"
+  cmake --preset fuzz
+  cmake --build --preset fuzz -j "$jobs"
+  ctest --preset fuzz -L fuzz -j "$jobs"
+fi
+
+echo "==> all checks passed"

@@ -11,7 +11,7 @@ std::int64_t days_from_civil(std::int64_t y, unsigned m, unsigned d) {
   y -= m <= 2;
   const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
   const unsigned yoe = static_cast<unsigned>(y - era * 400);
-  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doy = (153 * (m > 2 ? m - 3 : m + 9) + 2) / 5 + d - 1;
   const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
   return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
 }
@@ -74,7 +74,13 @@ Cp56Time2a Cp56Time2a::from_timestamp(Timestamp ts) {
   civil_from_days(days, y, m, d);
 
   Cp56Time2a t;
-  t.year = static_cast<std::uint8_t>((y - 2000) % 100);
+  // Euclidean remainder: for pre-2000 dates (y - 2000) % 100 is negative
+  // and the old straight cast wrapped it through uint8_t into an
+  // out-of-range year (e.g. 1970 -> 226). Two-digit years >= 70 mean 19xx
+  // (see to_timestamp), so 1970 must encode as 70.
+  std::int64_t two_digit = (y - 2000) % 100;
+  if (two_digit < 0) two_digit += 100;
+  t.year = static_cast<std::uint8_t>(two_digit);
   t.month = static_cast<std::uint8_t>(m);
   t.day_of_month = static_cast<std::uint8_t>(d);
   // ISO day of week: Monday=1..Sunday=7; 1970-01-01 was a Thursday (=4).
@@ -86,7 +92,11 @@ Cp56Time2a Cp56Time2a::from_timestamp(Timestamp ts) {
 }
 
 Timestamp Cp56Time2a::to_timestamp() const {
-  std::int64_t days = days_from_civil(2000 + year, month, day_of_month);
+  // IEC 60870-5 convention for the two-digit year: 70..99 are 1970..1999,
+  // 0..69 are 2000..2069. Timestamp is unsigned microseconds since the
+  // epoch, so both ranges are representable.
+  const std::int64_t century = year >= 70 ? 1900 : 2000;
+  std::int64_t days = days_from_civil(century + year, month, day_of_month);
   std::int64_t ms = days * 86'400'000 + static_cast<std::int64_t>(hour) * 3'600'000 +
                     static_cast<std::int64_t>(minute) * 60'000 + milliseconds;
   return static_cast<Timestamp>(ms) * 1000;
@@ -94,9 +104,12 @@ Timestamp Cp56Time2a::to_timestamp() const {
 
 std::string Cp56Time2a::str() const {
   char buf[40];
-  std::snprintf(buf, sizeof(buf), "20%02u-%02u-%02u %02u:%02u:%02u.%03u%s", year, month,
-                day_of_month, hour, minute, milliseconds / 1000, milliseconds % 1000,
-                invalid ? " (IV)" : "");
+  std::snprintf(buf, sizeof(buf), "%02u%02u-%02u-%02u %02u:%02u:%02u.%03u%s",
+                year >= 70 ? 19u : 20u, static_cast<unsigned>(year),
+                static_cast<unsigned>(month), static_cast<unsigned>(day_of_month),
+                static_cast<unsigned>(hour), static_cast<unsigned>(minute),
+                static_cast<unsigned>(milliseconds / 1000),
+                static_cast<unsigned>(milliseconds % 1000), invalid ? " (IV)" : "");
   return buf;
 }
 

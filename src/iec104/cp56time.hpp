@@ -21,7 +21,7 @@ struct Cp56Time2a {
   std::uint8_t day_of_month = 1;   ///< 1..31
   std::uint8_t day_of_week = 0;    ///< 1..7, 0 = unused
   std::uint8_t month = 1;          ///< 1..12
-  std::uint8_t year = 0;           ///< 0..99 (years since 2000 by convention)
+  std::uint8_t year = 0;           ///< 0..99; 70..99 = 19xx, 0..69 = 20xx
 
   static constexpr std::size_t kSize = 7;
 
@@ -29,7 +29,8 @@ struct Cp56Time2a {
   static Result<Cp56Time2a> decode(ByteReader& r);
 
   /// Conversion to/from microseconds since the Unix epoch. Date math uses
-  /// the proleptic Gregorian calendar; years map to 2000..2099.
+  /// the proleptic Gregorian calendar; two-digit years map to 1970..2069
+  /// (the IEC 60870-5 pivot), so the epoch round-trips exactly.
   static Cp56Time2a from_timestamp(Timestamp ts);
   Timestamp to_timestamp() const;
 

@@ -47,7 +47,7 @@ void ApduStreamParser::parse_buffer(Timestamp ts) {
       continue;
     }
     if (pos + 2 > buffer_.size()) break;  // need the length octet
-    std::size_t frame_len = 2 + buffer_[pos + 1];
+    const std::size_t frame_len = 2 + static_cast<std::size_t>(buffer_[pos + 1]);
     if (pos + frame_len > buffer_.size()) break;  // incomplete frame
 
     std::span<const std::uint8_t> frame(buffer_.data() + pos, frame_len);

@@ -26,14 +26,20 @@ Result<std::uint8_t> ByteReader::u8() {
 
 Result<std::uint16_t> ByteReader::u16le() {
   UNCHARTED_CHECK_READ(2);
-  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+  // Assemble in unsigned arithmetic: the implicit uint8_t -> int promotion
+  // of `b << 8` is a signed shift, which tidy rightly flags on a wire path.
+  std::uint16_t v = static_cast<std::uint16_t>(
+      static_cast<std::uint32_t>(data_[pos_]) |
+      (static_cast<std::uint32_t>(data_[pos_ + 1]) << 8));
   pos_ += 2;
   return v;
 }
 
 Result<std::uint16_t> ByteReader::u16be() {
   UNCHARTED_CHECK_READ(2);
-  std::uint16_t v = static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+  std::uint16_t v = static_cast<std::uint16_t>(
+      (static_cast<std::uint32_t>(data_[pos_]) << 8) |
+      static_cast<std::uint32_t>(data_[pos_ + 1]));
   pos_ += 2;
   return v;
 }
@@ -61,7 +67,9 @@ Result<std::uint32_t> ByteReader::u32be() {
 Result<std::uint64_t> ByteReader::u64le() {
   UNCHARTED_CHECK_READ(8);
   std::uint64_t v = 0;
-  for (int i = 7; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)]);
+  }
   pos_ += 8;
   return v;
 }
@@ -124,7 +132,7 @@ void ByteWriter::patch_u16be(std::size_t pos, std::uint16_t v) {
 }
 
 std::string hex_dump(std::span<const std::uint8_t> data) {
-  static const char* kHex = "0123456789abcdef";
+  static constexpr char kHex[] = "0123456789abcdef";
   std::string out;
   out.reserve(data.size() * 3);
   for (std::size_t i = 0; i < data.size(); ++i) {

@@ -94,7 +94,9 @@ TEST(Analyzer, MarkovChainsShowTheThreeFig13Clusters) {
   EXPECT_GT(square, 30u);
   // Every ellipse chain contains I100 by construction of the classifier.
   for (const auto& c : r.chains) {
-    if (c.cluster == analysis::ChainCluster::kEllipse) EXPECT_TRUE(c.has_i100);
+    if (c.cluster == analysis::ChainCluster::kEllipse) {
+      EXPECT_TRUE(c.has_i100);
+    }
   }
 }
 

@@ -1,0 +1,281 @@
+#include "corpus/corpus.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "iccp/iccp.hpp"
+#include "iec101/ft12.hpp"
+#include "iec104/apdu.hpp"
+#include "net/frame.hpp"
+#include "net/pcap.hpp"
+#include "synchro/c37118.hpp"
+#include "util/bytes.hpp"
+
+namespace uncharted::corpus {
+
+namespace {
+
+std::vector<std::uint8_t> encode_apdu(const iec104::Apdu& apdu,
+                                      const iec104::CodecProfile& profile) {
+  auto encoded = apdu.encode(profile);
+  return encoded.ok() ? std::move(encoded).take() : std::vector<std::uint8_t>{};
+}
+
+iec104::Asdu measurement_asdu() {
+  iec104::Asdu asdu;
+  asdu.type = iec104::TypeId::M_ME_NC_1;
+  asdu.cot.cause = iec104::Cause::kSpontaneous;
+  asdu.common_address = 7;
+  asdu.objects.push_back({1001, iec104::ShortFloat{230.5f, {}}, std::nullopt});
+  return asdu;
+}
+
+void add_iec104(std::vector<Seed>& out) {
+  using iec104::Apdu;
+  using iec104::CodecProfile;
+
+  auto meas = measurement_asdu();
+  out.push_back({"apdu_i_std_float", Category::kIec104,
+                 encode_apdu(Apdu::make_i(4, 2, meas), CodecProfile::standard())});
+
+  // The paper's non-conforming layouts: O37 kept a 2-octet IOA after the
+  // TCP/IP upgrade; O53/O58/O28 kept a 1-octet COT.
+  out.push_back({"apdu_i_o37_2octet_ioa", Category::kIec104,
+                 encode_apdu(Apdu::make_i(4, 2, meas), CodecProfile::legacy_ioa())});
+  out.push_back({"apdu_i_o53_1octet_cot", Category::kIec104,
+                 encode_apdu(Apdu::make_i(4, 2, meas), CodecProfile::legacy_cot())});
+  out.push_back({"apdu_i_legacy_both", Category::kIec104,
+                 encode_apdu(Apdu::make_i(4, 2, meas), CodecProfile::legacy_both())});
+
+  // Sequence-addressed single points (SQ bit exercise).
+  iec104::Asdu seq;
+  seq.type = iec104::TypeId::M_SP_NA_1;
+  seq.sequence = true;
+  seq.cot.cause = iec104::Cause::kInterrogatedByStation;
+  seq.common_address = 7;
+  for (int i = 0; i < 4; ++i) {
+    seq.objects.push_back({static_cast<std::uint32_t>(2000 + i),
+                           iec104::SinglePoint{(i % 2) != 0, {}}, std::nullopt});
+  }
+  out.push_back({"apdu_i_sq_single_points", Category::kIec104,
+                 encode_apdu(Apdu::make_i(9, 9, seq), CodecProfile::standard())});
+
+  // Time-tagged measurement (CP56Time2a on the wire).
+  iec104::Asdu timed;
+  timed.type = iec104::TypeId::M_ME_TF_1;
+  timed.cot.cause = iec104::Cause::kSpontaneous;
+  timed.common_address = 7;
+  iec104::InformationObject obj;
+  obj.ioa = 3001;
+  obj.value = iec104::ShortFloat{59.98f, {}};
+  obj.time = iec104::Cp56Time2a::from_timestamp(1560556800ULL * 1'000'000);
+  timed.objects.push_back(obj);
+  out.push_back({"apdu_i_time_tagged", Category::kIec104,
+                 encode_apdu(Apdu::make_i(5, 3, timed), CodecProfile::standard())});
+
+  // Interrogation command (system direction).
+  iec104::Asdu gi;
+  gi.type = iec104::TypeId::C_IC_NA_1;
+  gi.cot.cause = iec104::Cause::kActivation;
+  gi.common_address = 7;
+  gi.objects.push_back({0, iec104::InterrogationCommand{20}, std::nullopt});
+  out.push_back({"apdu_i_interrogation", Category::kIec104,
+                 encode_apdu(Apdu::make_i(0, 0, gi), CodecProfile::standard())});
+
+  // S- and U-format control frames.
+  out.push_back({"apdu_s_ack", Category::kIec104,
+                 encode_apdu(Apdu::make_s(12), CodecProfile::standard())});
+  out.push_back({"apdu_u_startdt", Category::kIec104,
+                 encode_apdu(Apdu::make_u(iec104::UFunction::kStartDtAct),
+                             CodecProfile::standard())});
+  out.push_back({"apdu_u_testfr", Category::kIec104,
+                 encode_apdu(Apdu::make_u(iec104::UFunction::kTestFrAct),
+                             CodecProfile::standard())});
+
+  // Structurally broken frames the stream parser must frame around.
+  auto valid = encode_apdu(Apdu::make_i(4, 2, meas), CodecProfile::standard());
+  auto truncated = valid;
+  if (truncated.size() > 3) truncated.resize(truncated.size() / 2);
+  out.push_back({"apdu_truncated", Category::kIec104, std::move(truncated)});
+
+  // Length octet claims more bytes than follow.
+  auto oversized = valid;
+  if (oversized.size() > 1) oversized[1] = 0xfd;
+  out.push_back({"apdu_oversized_length", Category::kIec104, std::move(oversized)});
+
+  out.push_back({"apdu_bad_start_byte", Category::kIec104,
+                 {0x69, 0x04, 0x43, 0x00, 0x00, 0x00}});
+}
+
+void add_ft12(std::vector<Seed>& out) {
+  using iec101::Ft12Frame;
+  using iec101::LinkControl;
+
+  out.push_back({"ft12_single_char_ack", Category::kFt12,
+                 Ft12Frame::single_char().encode()});
+
+  LinkControl reset;
+  reset.prm = true;
+  reset.function = static_cast<std::uint8_t>(iec101::PrimaryFunction::kResetRemoteLink);
+  out.push_back({"ft12_fixed_reset_link", Category::kFt12,
+                 Ft12Frame::fixed(reset, 21).encode()});
+
+  // Variable frame carrying a serial-profile ASDU — byte-identical to what
+  // an un-reconfigured upgrade ships over TCP (paper §6.1).
+  auto framed = iec101::frame_asdu(measurement_asdu(), 21, true);
+  if (framed.ok()) {
+    out.push_back({"ft12_variable_user_data", Category::kFt12, framed->encode()});
+    auto bad_checksum = framed->encode();
+    if (bad_checksum.size() > 2) bad_checksum[bad_checksum.size() - 2] ^= 0xff;
+    out.push_back({"ft12_bad_checksum", Category::kFt12, std::move(bad_checksum)});
+  }
+}
+
+void add_iccp(std::vector<Seed>& out) {
+  iccp::Message assoc;
+  assoc.type = iccp::MessageType::kAssociationRequest;
+  assoc.invoke_id = 1;
+  assoc.association_name = "CENTER_A-CENTER_B";
+  out.push_back({"iccp_association_request", Category::kIccp, assoc.to_wire()});
+
+  iccp::Message report;
+  report.type = iccp::MessageType::kInformationReport;
+  report.invoke_id = 42;
+  report.points.push_back({"KV.BUS7_VOLTAGE", 347.2, 0});
+  report.points.push_back({"MW.TIE_LINE_4", -121.5, 0});
+  out.push_back({"iccp_information_report", Category::kIccp, report.to_wire()});
+
+  iccp::Message read;
+  read.type = iccp::MessageType::kReadRequest;
+  read.invoke_id = 7;
+  read.names = {"KV.BUS7_VOLTAGE"};
+  out.push_back({"iccp_read_request", Category::kIccp, read.to_wire()});
+
+  // TPKT header whose length field exceeds the available bytes.
+  auto truncated = report.to_wire();
+  if (truncated.size() > 6) truncated.resize(6);
+  out.push_back({"iccp_truncated_tpkt", Category::kIccp, std::move(truncated)});
+}
+
+synchro::ConfigFrame pmu_config() {
+  synchro::ConfigFrame cfg;
+  cfg.header.idcode = 7734;
+  synchro::PmuConfig pmu;
+  pmu.station_name = "STATION_A";
+  pmu.idcode = 7734;
+  pmu.phasors_float = true;
+  pmu.freq_float = true;
+  pmu.phasor_names = {"VA", "VB"};
+  pmu.phasor_units = {915527, 915527};
+  cfg.pmus.push_back(pmu);
+  return cfg;
+}
+
+void add_c37118(std::vector<Seed>& out) {
+  auto cfg = pmu_config();
+  out.push_back({"c37118_config2", Category::kC37118, synchro::encode_config(cfg)});
+
+  synchro::DataFrame data;
+  data.header.idcode = 7734;
+  synchro::PmuData pmu;
+  pmu.phasors = {{230.0, 12.0}, {-115.0, 199.2}};
+  pmu.freq_deviation_mhz = 12.0;
+  data.pmus.push_back(pmu);
+  out.push_back({"c37118_data", Category::kC37118, synchro::encode_data(cfg, data)});
+
+  synchro::CommandFrame cmd;
+  cmd.header.idcode = 7734;
+  cmd.command = synchro::Command::kTurnOnTransmission;
+  out.push_back({"c37118_command", Category::kC37118, synchro::encode_command(cmd)});
+
+  auto bad_crc = synchro::encode_config(cfg);
+  if (!bad_crc.empty()) bad_crc.back() ^= 0xff;
+  out.push_back({"c37118_bad_crc", Category::kC37118, std::move(bad_crc)});
+}
+
+void add_frames(std::vector<Seed>& out) {
+  std::uint8_t payload[] = {0x68, 0x04, 0x43, 0x00, 0x00, 0x00};
+  net::TcpSegmentSpec spec;
+  spec.src_ip = net::Ipv4Addr::from_octets(10, 0, 0, 1);
+  spec.dst_ip = net::Ipv4Addr::from_octets(10, 1, 0, 1);
+  spec.src_port = 40000;
+  spec.dst_port = 2404;
+  spec.flags = 0x18;  // PSH|ACK
+  spec.payload = payload;
+  auto frame = net::build_tcp_frame(spec);
+  out.push_back({"eth_tcp_iec104_segment", Category::kFrame, frame});
+
+  auto short_ip = frame;
+  if (short_ip.size() > 30) short_ip.resize(30);
+  out.push_back({"eth_truncated_ip_header", Category::kFrame, std::move(short_ip)});
+
+  auto bad_checksum = frame;
+  if (bad_checksum.size() > 40) bad_checksum[40] ^= 0xff;
+  out.push_back({"eth_corrupted_byte", Category::kFrame, std::move(bad_checksum)});
+
+  // Minimal valid pcap: global header plus one 6-byte record.
+  ByteWriter w;
+  w.u32le(net::kPcapMagic);
+  w.u16le(2);
+  w.u16le(4);
+  w.u32le(0);
+  w.u32le(0);
+  w.u32le(65535);
+  w.u32le(1);
+  w.u32le(0);
+  w.u32le(0);
+  w.u32le(6);
+  w.u32le(6);
+  for (int i = 0; i < 6; ++i) w.u8(0xaa);
+  out.push_back({"pcap_one_record", Category::kFrame, w.take()});
+}
+
+}  // namespace
+
+std::string category_name(Category c) {
+  switch (c) {
+    case Category::kIec104: return "iec104";
+    case Category::kFt12: return "ft12";
+    case Category::kIccp: return "iccp";
+    case Category::kC37118: return "c37118";
+    case Category::kFrame: return "frame";
+  }
+  return "unknown";
+}
+
+const std::vector<Seed>& seeds() {
+  static const std::vector<Seed> all = [] {
+    std::vector<Seed> out;
+    add_iec104(out);
+    add_ft12(out);
+    add_iccp(out);
+    add_c37118(out);
+    add_frames(out);
+    return out;
+  }();
+  return all;
+}
+
+std::vector<const Seed*> seeds_for(Category c) {
+  std::vector<const Seed*> out;
+  for (const auto& seed : seeds()) {
+    if (seed.category == c) out.push_back(&seed);
+  }
+  return out;
+}
+
+bool write_seed_files(const std::string& dir) {
+  std::error_code ec;
+  for (const auto& seed : seeds()) {
+    auto subdir = std::filesystem::path(dir) / category_name(seed.category);
+    std::filesystem::create_directories(subdir, ec);
+    if (ec) return false;
+    std::ofstream file(subdir / (seed.name + ".bin"), std::ios::binary);
+    file.write(reinterpret_cast<const char*>(seed.bytes.data()),
+               static_cast<std::streamsize>(seed.bytes.size()));
+    if (!file) return false;
+  }
+  return true;
+}
+
+}  // namespace uncharted::corpus

@@ -1,0 +1,19 @@
+// Writes the embedded seed corpus (tests/corpus) out as one file per seed,
+// grouped by category — the starting corpus for libFuzzer runs.
+#include <cstdio>
+
+#include "corpus/corpus.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-dir>\n", argv[0]);
+    return 2;
+  }
+  if (!uncharted::corpus::write_seed_files(argv[1])) {
+    std::fprintf(stderr, "failed to write corpus under %s\n", argv[1]);
+    return 1;
+  }
+  std::printf("wrote %zu corpus seeds under %s\n",
+              uncharted::corpus::seeds().size(), argv[1]);
+  return 0;
+}

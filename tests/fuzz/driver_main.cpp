@@ -1,0 +1,124 @@
+// Standalone driver for the fuzz harnesses when libFuzzer is unavailable
+// (non-clang toolchains). Links against the same LLVMFuzzerTestOneInput
+// entry point a clang -fsanitize=fuzzer build would use, and replays:
+//
+//   1. every embedded corpus seed (tests/corpus), once, verbatim;
+//   2. any files or directories passed on the command line;
+//   3. --iterations N (default 10000) deterministic mutation rounds over
+//      the seed pool — bit flips, truncations, extensions — seeded by
+//      --seed S so failures reproduce exactly.
+//
+// A libFuzzer-style run `harness corpus_dir -runs=N` therefore has a
+// gcc-compatible twin: `harness corpus_dir --iterations N`. Exit code 0
+// means every input was decoded (or rejected) without crashing; sanitizer
+// reports abort the process, which is the failure signal CI consumes.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "util/rng.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+using Input = std::vector<std::uint8_t>;
+
+void run_one(const Input& bytes) {
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+}
+
+bool load_file(const std::filesystem::path& path, std::vector<Input>& pool) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return false;
+  Input bytes((std::istreambuf_iterator<char>(file)), std::istreambuf_iterator<char>());
+  pool.push_back(std::move(bytes));
+  return true;
+}
+
+std::uint64_t parse_count(const char* text, const char* flag) {
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "%s: not a number: %s\n", flag, text);
+    std::exit(2);
+  }
+  return value;
+}
+
+Input mutate(uncharted::Rng& rng, Input bytes) {
+  if (bytes.empty()) {
+    bytes.resize(1 + rng.below(64));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.below(256));
+    return bytes;
+  }
+  auto flips = 1 + rng.below(4);
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    auto pos = rng.below(bytes.size());
+    bytes[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+  }
+  if (rng.chance(0.25) && bytes.size() > 2) {
+    bytes.resize(bytes.size() - 1 - rng.below(bytes.size() / 2));
+  } else if (rng.chance(0.15)) {
+    auto extra = 1 + rng.below(16);
+    for (std::uint64_t i = 0; i < extra; ++i) {
+      bytes.push_back(static_cast<std::uint8_t>(rng.below(256)));
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t iterations = 10'000;
+  std::uint64_t seed = 0x5eed;
+  std::vector<Input> pool;
+
+  for (const auto& corpus_seed : uncharted::corpus::seeds()) {
+    pool.push_back(corpus_seed.bytes);
+  }
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--iterations" && i + 1 < argc) {
+      iterations = parse_count(argv[++i], "--iterations");
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = parse_count(argv[++i], "--seed");
+    } else if (arg.rfind("-runs=", 0) == 0) {  // libFuzzer spelling
+      iterations = parse_count(arg.c_str() + 6, "-runs");
+    } else if (std::filesystem::is_directory(arg)) {
+      for (const auto& entry : std::filesystem::recursive_directory_iterator(arg)) {
+        if (entry.is_regular_file()) load_file(entry.path(), pool);
+      }
+    } else if (std::filesystem::is_regular_file(arg)) {
+      load_file(arg, pool);
+    } else {
+      std::fprintf(stderr, "unknown argument or missing path: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  for (const auto& input : pool) run_one(input);
+
+  uncharted::Rng rng(seed);
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    if (pool.empty() || rng.chance(0.1)) {
+      Input random(rng.below(300));
+      for (auto& b : random) b = static_cast<std::uint8_t>(rng.below(256));
+      run_one(random);
+    } else {
+      run_one(mutate(rng, pool[rng.below(pool.size())]));
+    }
+  }
+
+  std::printf("fuzz driver: %zu seed inputs + %llu mutation iterations, no crash\n",
+              pool.size(), static_cast<unsigned long long>(iterations));
+  return 0;
+}

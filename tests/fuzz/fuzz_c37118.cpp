@@ -1,0 +1,43 @@
+// libFuzzer harness for the IEEE C37.118 synchrophasor codec: header
+// peeking, full frame decode with and without a stream configuration
+// (data frames need one), and TCP stream splitting.
+#include <cstdint>
+#include <span>
+
+#include "synchro/c37118.hpp"
+
+namespace {
+
+const uncharted::synchro::ConfigFrame& stream_config() {
+  static const uncharted::synchro::ConfigFrame cfg = [] {
+    uncharted::synchro::ConfigFrame c;
+    c.header.idcode = 7734;
+    uncharted::synchro::PmuConfig pmu;
+    pmu.station_name = "STATION_A";
+    pmu.idcode = 7734;
+    pmu.phasors_float = true;
+    pmu.freq_float = true;
+    pmu.phasor_names = {"VA", "VB"};
+    pmu.phasor_units = {915527, 915527};
+    c.pmus.push_back(pmu);
+    return c;
+  }();
+  return cfg;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  using namespace uncharted;
+  std::span<const std::uint8_t> input(data, size);
+
+  (void)synchro::peek_header(input);
+  (void)synchro::decode_frame(input, nullptr);
+  (void)synchro::decode_frame(input, &stream_config());
+
+  auto split = synchro::split_stream(input);
+  for (const auto& frame : split.frames) {
+    (void)synchro::decode_frame(frame, &stream_config());
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// libFuzzer harness for the capture ingest path: Ethernet/IPv4/TCP frame
+// decoding, pcap buffer parsing, and TCP stream reassembly of whatever
+// frames survive decoding.
+#include <cstdint>
+#include <span>
+
+#include "net/frame.hpp"
+#include "net/pcap.hpp"
+#include "net/reassembly.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  using namespace uncharted;
+  std::span<const std::uint8_t> input(data, size);
+
+  const auto no_sink = [](const net::FlowKey&, const net::StreamChunk&) {};
+
+  auto frame = net::decode_frame(input);
+  if (frame.ok()) {
+    net::TcpReassembler reassembler(no_sink);
+    reassembler.add(0, *frame);
+  }
+
+  auto packets = net::PcapReader::read_buffer(input);
+  if (packets.ok()) {
+    net::TcpReassembler reassembler(no_sink);
+    Timestamp ts = 0;
+    for (const auto& packet : *packets) {
+      auto decoded = net::decode_frame(packet.data);
+      if (decoded.ok()) reassembler.add(ts++, *decoded);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// libFuzzer harness for the ISO transport stack under ICCP: TPKT
+// unwrapping, COTP TPDU decoding and the TLV message layer, both
+// separately and through the combined from_wire() path.
+#include <cstdint>
+#include <span>
+
+#include "iccp/iccp.hpp"
+#include "iccp/tpkt.hpp"
+#include "util/bytes.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  using namespace uncharted;
+  std::span<const std::uint8_t> input(data, size);
+
+  {
+    ByteReader r(input);
+    auto tpkt = iccp::tpkt_unwrap(r);
+    if (tpkt.ok()) {
+      auto tpdu = iccp::CotpTpdu::decode(*tpkt);
+      if (tpdu.ok()) (void)tpdu->encode();
+    }
+  }
+
+  (void)iccp::Message::decode(input);
+
+  ByteReader r(input);
+  auto message = iccp::from_wire(r);
+  if (message.ok()) {
+    // A decoded message must re-serialize without crashing.
+    (void)message->encode();
+    (void)message->to_wire();
+  }
+  return 0;
+}

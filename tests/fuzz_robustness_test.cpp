@@ -1,13 +1,17 @@
 // Fuzz-style robustness sweep: every decoder in the repository is fed
-// random bytes and mutated valid inputs. Decoders must return errors, not
-// crash, hang, or read out of bounds (run under ASan for full effect).
+// random bytes and mutations of the shared seed corpus (tests/corpus — the
+// same seeds the libFuzzer harnesses in tests/fuzz start from). Decoders
+// must return errors, not crash, hang, or read out of bounds; the
+// debug-asan-ubsan preset runs this suite with the full sanitizer wall.
 #include <gtest/gtest.h>
 
+#include "corpus/corpus.hpp"
 #include "iccp/iccp.hpp"
 #include "iec101/ft12.hpp"
 #include "iec104/parser.hpp"
 #include "net/frame.hpp"
 #include "net/pcap.hpp"
+#include "net/reassembly.hpp"
 #include "synchro/c37118.hpp"
 #include "util/rng.hpp"
 
@@ -34,6 +38,20 @@ std::vector<std::uint8_t> mutate(Rng& rng, std::vector<std::uint8_t> bytes) {
   return bytes;
 }
 
+/// Mutations of every corpus seed in one category, `rounds` per seed.
+void sweep_category(Rng& rng, corpus::Category category, int rounds,
+                    const std::function<void(std::span<const std::uint8_t>)>& decode) {
+  auto seeds = corpus::seeds_for(category);
+  ASSERT_FALSE(seeds.empty()) << "no corpus seeds for " << corpus::category_name(category);
+  for (const auto* seed : seeds) {
+    decode(seed->bytes);  // the seed itself must already be handled cleanly
+    for (int i = 0; i < rounds; ++i) {
+      auto mutated = mutate(rng, seed->bytes);
+      decode(mutated);
+    }
+  }
+}
+
 TEST(Fuzz, EthernetFrameDecoder) {
   Rng rng(1);
   for (int i = 0; i < 500; ++i) {
@@ -42,43 +60,18 @@ TEST(Fuzz, EthernetFrameDecoder) {
   }
 }
 
-TEST(Fuzz, MutatedTcpFrames) {
+TEST(Fuzz, MutatedFrameCorpus) {
   Rng rng(2);
-  std::uint8_t payload[] = {0x68, 0x04, 0x43, 0x00, 0x00, 0x00};
-  net::TcpSegmentSpec spec;
-  spec.src_ip = net::Ipv4Addr::from_octets(10, 0, 0, 1);
-  spec.dst_ip = net::Ipv4Addr::from_octets(10, 1, 0, 1);
-  spec.src_port = 40000;
-  spec.dst_port = 2404;
-  spec.payload = payload;
-  auto valid = net::build_tcp_frame(spec);
-  for (int i = 0; i < 500; ++i) {
-    (void)net::decode_frame(mutate(rng, valid));
-  }
+  sweep_category(rng, corpus::Category::kFrame, 200, [](auto bytes) {
+    (void)net::decode_frame(bytes);
+    (void)net::PcapReader::read_buffer(bytes);
+  });
 }
 
 TEST(Fuzz, PcapReader) {
   Rng rng(3);
   for (int i = 0; i < 300; ++i) {
     (void)net::PcapReader::read_buffer(random_bytes(rng, 200));
-  }
-  // Mutated valid pcap bytes.
-  ByteWriter w;
-  w.u32le(net::kPcapMagic);
-  w.u16le(2);
-  w.u16le(4);
-  w.u32le(0);
-  w.u32le(0);
-  w.u32le(65535);
-  w.u32le(1);
-  w.u32le(0);
-  w.u32le(0);
-  w.u32le(6);
-  w.u32le(6);
-  for (int i = 0; i < 6; ++i) w.u8(0xaa);
-  auto valid = w.take();
-  for (int i = 0; i < 300; ++i) {
-    (void)net::PcapReader::read_buffer(mutate(rng, valid));
   }
 }
 
@@ -90,6 +83,13 @@ TEST(Fuzz, Iec104Decoders) {
     (void)iec104::decode_apdu(r);
     (void)iec104::detect_profiles(bytes);
   }
+  sweep_category(rng, corpus::Category::kIec104, 150, [](auto bytes) {
+    for (const auto& profile : iec104::candidate_profiles()) {
+      ByteReader r(bytes);
+      (void)iec104::decode_apdu(r, profile);
+    }
+    (void)iec104::detect_profiles(bytes);
+  });
 }
 
 TEST(Fuzz, Ft12Decoder) {
@@ -99,6 +99,11 @@ TEST(Fuzz, Ft12Decoder) {
     ByteReader r(bytes);
     (void)iec101::decode_ft12(r);
   }
+  sweep_category(rng, corpus::Category::kFt12, 200, [](auto bytes) {
+    ByteReader r(bytes);
+    auto frame = iec101::decode_ft12(r);
+    if (frame.ok()) (void)iec101::unframe_asdu(*frame);
+  });
 }
 
 TEST(Fuzz, C37118Decoder) {
@@ -108,28 +113,29 @@ TEST(Fuzz, C37118Decoder) {
   pmu.phasor_names = {"VA"};
   pmu.phasor_units = {915527};
   cfg.pmus.push_back(pmu);
-  auto valid = synchro::encode_config(cfg);
   for (int i = 0; i < 500; ++i) {
     (void)synchro::decode_frame(random_bytes(rng, 100), &cfg);
-    (void)synchro::decode_frame(mutate(rng, valid), &cfg);
     (void)synchro::split_stream(random_bytes(rng, 200));
   }
+  sweep_category(rng, corpus::Category::kC37118, 150, [&cfg](auto bytes) {
+    (void)synchro::decode_frame(bytes, &cfg);
+    (void)synchro::decode_frame(bytes, nullptr);
+    (void)synchro::split_stream(bytes);
+  });
 }
 
 TEST(Fuzz, IccpDecoder) {
   Rng rng(7);
-  iccp::Message m;
-  m.type = iccp::MessageType::kInformationReport;
-  m.points.push_back({"X", 1.0, 0});
-  auto valid = m.to_wire();
   for (int i = 0; i < 500; ++i) {
     auto garbage = random_bytes(rng, 120);
     ByteReader r1(garbage);
     (void)iccp::from_wire(r1);
-    auto mutated = mutate(rng, valid);
-    ByteReader r2(mutated);
-    (void)iccp::from_wire(r2);
   }
+  sweep_category(rng, corpus::Category::kIccp, 200, [](auto bytes) {
+    ByteReader r(bytes);
+    (void)iccp::from_wire(r);
+    (void)iccp::Message::decode(bytes);
+  });
 }
 
 TEST(Fuzz, StreamParserOnMutatedTraffic) {
@@ -148,6 +154,37 @@ TEST(Fuzz, StreamParserOnMutatedTraffic) {
     iec104::ApduStreamParser parser;
     parser.feed(0, mutated);
     EXPECT_LE(parser.apdus().size(), 5u * 4u);  // sanity bound
+  }
+}
+
+TEST(Fuzz, StreamParserOnMutatedCorpusConcatenations) {
+  Rng rng(9);
+  auto seeds = corpus::seeds_for(corpus::Category::kIec104);
+  for (int i = 0; i < 150; ++i) {
+    std::vector<std::uint8_t> stream;
+    for (int k = 0; k < 4; ++k) {
+      const auto& seed = seeds[rng.below(seeds.size())]->bytes;
+      stream.insert(stream.end(), seed.begin(), seed.end());
+    }
+    iec104::ApduStreamParser parser;
+    parser.feed(0, mutate(rng, stream));
+  }
+}
+
+// Every corpus seed tagged as a valid wire message must actually decode —
+// guards the corpus itself against rotting as encoders evolve.
+TEST(Corpus, ValidSeedsDecode) {
+  for (const auto* seed : corpus::seeds_for(corpus::Category::kIec104)) {
+    if (seed->name.rfind("apdu_i_", 0) == 0 || seed->name.rfind("apdu_s_", 0) == 0 ||
+        seed->name.rfind("apdu_u_", 0) == 0) {
+      EXPECT_FALSE(iec104::detect_profiles(seed->bytes).empty())
+          << seed->name << " should decode under at least one profile";
+    }
+  }
+  for (const auto* seed : corpus::seeds_for(corpus::Category::kFt12)) {
+    if (seed->name.rfind("ft12_bad", 0) == 0) continue;
+    ByteReader r(seed->bytes);
+    EXPECT_TRUE(iec101::decode_ft12(r).ok()) << seed->name;
   }
 }
 

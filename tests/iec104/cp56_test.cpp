@@ -88,11 +88,12 @@ TEST(Cp56Time2a, TruncatedDecodeFails) {
 }
 
 // Property: timestamp -> CP56 -> timestamp is the identity at millisecond
-// resolution across the 2000-2099 window.
+// resolution across the full window the two-digit year can represent
+// (1970-2069 under the IEC 60870-5 pivot: 70..99 = 19xx, 0..69 = 20xx).
 TEST(Cp56Time2aProperty, TimestampRoundTrip) {
   Rng rng(77);
-  const Timestamp lo = 946684800ULL * 1'000'000;    // 2000-01-01
-  const Timestamp hi = 4102444800ULL * 1'000'000;   // 2100-01-01
+  const Timestamp lo = 0;                           // 1970-01-01 (epoch)
+  const Timestamp hi = 3155760000ULL * 1'000'000;   // 2070-01-01
   for (int i = 0; i < 3000; ++i) {
     Timestamp ts = lo + rng.next_u64() % (hi - lo);
     ts -= ts % 1000;  // CP56 carries milliseconds
@@ -108,6 +109,52 @@ TEST(Cp56Time2aProperty, TimestampRoundTrip) {
     // day_of_week is carried but to_timestamp ignores it.
     EXPECT_EQ(back->to_timestamp(), ts);
   }
+}
+
+// Regression: pre-2000 timestamps used to wrap (y - 2000) % 100 through a
+// uint8_t cast, producing out-of-range year bytes (1970 -> 226). Under the
+// IEC pivot the epoch encodes as year 70 and round-trips exactly.
+TEST(Cp56Time2a, EpochBoundary) {
+  Cp56Time2a t = Cp56Time2a::from_timestamp(0);
+  EXPECT_EQ(t.year, 70);
+  EXPECT_EQ(t.month, 1);
+  EXPECT_EQ(t.day_of_month, 1);
+  EXPECT_EQ(t.hour, 0);
+  EXPECT_EQ(t.minute, 0);
+  EXPECT_EQ(t.milliseconds, 0);
+  EXPECT_EQ(t.day_of_week, 4);  // 1970-01-01 was a Thursday
+  EXPECT_EQ(t.to_timestamp(), 0u);
+  EXPECT_EQ(t.str(), "1970-01-01 00:00:00.000");
+
+  // The wire encoding stays inside the 7-bit year field.
+  ByteWriter w;
+  t.encode(w);
+  ByteReader r(w.view());
+  auto back = Cp56Time2a::decode(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->year, 70);
+}
+
+TEST(Cp56Time2a, CenturyPivotBoundaries) {
+  // 1999-12-31 23:59:59.999 -> year 99 -> still 19xx.
+  const Timestamp end_1999 = 946684799ULL * 1'000'000 + 999'000;
+  Cp56Time2a t99 = Cp56Time2a::from_timestamp(end_1999);
+  EXPECT_EQ(t99.year, 99);
+  EXPECT_EQ(t99.milliseconds, 59999);
+  EXPECT_EQ(t99.to_timestamp(), end_1999);
+
+  // One millisecond later: 2000-01-01 00:00:00.000 -> year 0.
+  const Timestamp start_2000 = 946684800ULL * 1'000'000;
+  Cp56Time2a t00 = Cp56Time2a::from_timestamp(start_2000);
+  EXPECT_EQ(t00.year, 0);
+  EXPECT_EQ(t00.milliseconds, 0);
+  EXPECT_EQ(t00.to_timestamp(), start_2000);
+
+  // Last representable instant: 2069-12-31 23:59:59.999 (year 69).
+  const Timestamp end_2069 = 3155759999ULL * 1'000'000 + 999'000;
+  Cp56Time2a t69 = Cp56Time2a::from_timestamp(end_2069);
+  EXPECT_EQ(t69.year, 69);
+  EXPECT_EQ(t69.to_timestamp(), end_2069);
 }
 
 TEST(Cp56Time2a, StrFormatting) {

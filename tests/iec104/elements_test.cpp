@@ -187,8 +187,8 @@ TEST_P(ElementRoundTrip, WrongVariantRejected) {
 
 INSTANTIATE_TEST_SUITE_P(AllTable5Types, ElementRoundTrip,
                          ::testing::ValuesIn(all_supported_codes()),
-                         [](const ::testing::TestParamInfo<std::uint8_t>& info) {
-                           return type_acronym(static_cast<TypeId>(info.param));
+                         [](const ::testing::TestParamInfo<std::uint8_t>& param) {
+                           return type_acronym(static_cast<TypeId>(param.param));
                          });
 
 TEST(NormalizedValue, RawConversion) {

@@ -111,6 +111,136 @@ TEST(Validate, SequenceOverflowFlagged) {
   EXPECT_TRUE(found);
 }
 
+// Exhaustive error-path coverage: every ViolationKind is reachable, and the
+// diagnostic detail carries the type acronym / offending value so findings
+// are actionable without re-decoding the capture.
+
+TEST(ValidateErrorPaths, WrongDirectionDetailNamesType) {
+  auto asdu = make(TypeId::M_ME_NC_1, Cause::kSpontaneous, ShortFloat{1.0f, {}});
+  auto violations = validate_asdu(asdu, Direction::kFromController);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kWrongDirection);
+  EXPECT_NE(violations[0].detail.find("M_ME_NC_1"), std::string::npos);
+  EXPECT_NE(violations[0].detail.find("control station"), std::string::npos);
+}
+
+TEST(ValidateErrorPaths, CauseMismatchDetailNamesCause) {
+  auto asdu = make(TypeId::M_SP_NA_1, Cause::kActivation, SinglePoint{true, {}});
+  auto violations = validate_asdu(asdu, Direction::kFromOutstation);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kCauseMismatch);
+  EXPECT_NE(violations[0].detail.find("M_SP_NA_1"), std::string::npos);
+}
+
+TEST(ValidateErrorPaths, ControlConfirmationFromController) {
+  for (auto cause : {Cause::kActivationCon, Cause::kActivationTerm,
+                     Cause::kDeactivationCon}) {
+    auto asdu = make(TypeId::C_SC_NA_1, cause, SingleCommand{true, false, 0});
+    auto violations = validate_asdu(asdu, Direction::kFromController);
+    ASSERT_EQ(violations.size(), 1u) << cause_name(cause);
+    EXPECT_EQ(violations[0].kind, ViolationKind::kWrongDirection);
+    EXPECT_NE(violations[0].detail.find("confirmation"), std::string::npos);
+  }
+}
+
+TEST(ValidateErrorPaths, ControlActivationFromOutstation) {
+  for (auto cause : {Cause::kActivation, Cause::kDeactivation}) {
+    auto asdu = make(TypeId::C_SC_NA_1, cause, SingleCommand{true, false, 0});
+    auto violations = validate_asdu(asdu, Direction::kFromOutstation);
+    ASSERT_EQ(violations.size(), 1u) << cause_name(cause);
+    EXPECT_EQ(violations[0].kind, ViolationKind::kWrongDirection);
+    EXPECT_NE(violations[0].detail.find("activation"), std::string::npos);
+  }
+}
+
+TEST(ValidateErrorPaths, ParameterTypesFollowCommandRules) {
+  auto weird = make(TypeId::P_ME_NC_1, Cause::kPeriodic, ShortFloat{1.0f, {}});
+  auto violations = validate_asdu(weird, Direction::kFromController);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kCauseMismatch);
+}
+
+TEST(ValidateErrorPaths, SystemTypeBadCauseAndDirection) {
+  // Interrogation with a file cause: mismatch.
+  auto bad_cause = make(TypeId::C_IC_NA_1, Cause::kFile, InterrogationCommand{20});
+  auto v1 = validate_asdu(bad_cause, Direction::kFromController);
+  ASSERT_EQ(v1.size(), 1u);
+  EXPECT_EQ(v1[0].kind, ViolationKind::kCauseMismatch);
+  // Interrogation activation emitted by the outstation: wrong direction.
+  auto act = make(TypeId::C_IC_NA_1, Cause::kActivation, InterrogationCommand{20});
+  auto v2 = validate_asdu(act, Direction::kFromOutstation);
+  ASSERT_EQ(v2.size(), 1u);
+  EXPECT_EQ(v2[0].kind, ViolationKind::kWrongDirection);
+}
+
+TEST(ValidateErrorPaths, FileTypeCauseMismatch) {
+  // Activation family and monitor causes stay legal for file transfer...
+  auto con = make(TypeId::F_SG_NA_1, Cause::kActivationCon, Segment{1, 1, {1}});
+  EXPECT_TRUE(validate_asdu(con, Direction::kFromOutstation).empty());
+  auto periodic = make(TypeId::F_SG_NA_1, Cause::kPeriodic, Segment{1, 1, {1}});
+  EXPECT_TRUE(validate_asdu(periodic, Direction::kFromOutstation).empty());
+  // ...but a reserved cause code (14..19 are unassigned) is a mismatch.
+  auto reserved = make(TypeId::F_SG_NA_1, static_cast<Cause>(15), Segment{1, 1, {1}});
+  auto violations = validate_asdu(reserved, Direction::kFromOutstation);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kCauseMismatch);
+}
+
+TEST(ValidateErrorPaths, BadQualifierDetailCarriesValue) {
+  auto bad = make(TypeId::C_IC_NA_1, Cause::kActivation, InterrogationCommand{19});
+  auto violations = validate_asdu(bad, Direction::kFromController);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kBadQualifier);
+  EXPECT_NE(violations[0].detail.find("19"), std::string::npos);
+  // Qualifier 0 ("not used") stays legal.
+  auto zero = make(TypeId::C_IC_NA_1, Cause::kActivation, InterrogationCommand{0});
+  EXPECT_TRUE(validate_asdu(zero, Direction::kFromController).empty());
+}
+
+TEST(ValidateErrorPaths, SequenceOverflowDetailCarriesBase) {
+  Asdu asdu;
+  asdu.type = TypeId::M_SP_NA_1;
+  asdu.cot.cause = Cause::kSpontaneous;
+  asdu.common_address = 1;
+  asdu.sequence = true;
+  asdu.objects.push_back({0xffffff, SinglePoint{true, {}}, std::nullopt});
+  asdu.objects.push_back({0, SinglePoint{false, {}}, std::nullopt});
+  auto violations = validate_asdu(asdu, Direction::kFromOutstation);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kSequenceOverflow);
+  EXPECT_NE(violations[0].detail.find(std::to_string(0xffffff)), std::string::npos);
+}
+
+TEST(ValidateErrorPaths, MultipleViolationsAccumulate) {
+  // Monitor type, activation cause, sent by the controller: both the
+  // direction and the cause rules fire.
+  auto asdu = make(TypeId::M_ME_NC_1, Cause::kActivation, ShortFloat{1.0f, {}});
+  auto violations = validate_asdu(asdu, Direction::kFromController);
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kWrongDirection);
+  EXPECT_EQ(violations[1].kind, ViolationKind::kCauseMismatch);
+}
+
+TEST(ValidateErrorPaths, ViolationKindNamesAreStable) {
+  EXPECT_EQ(violation_kind_name(ViolationKind::kWrongDirection), "wrong-direction");
+  EXPECT_EQ(violation_kind_name(ViolationKind::kCauseMismatch), "cause-mismatch");
+  EXPECT_EQ(violation_kind_name(ViolationKind::kBadQualifier), "bad-qualifier");
+  EXPECT_EQ(violation_kind_name(ViolationKind::kSequenceOverflow), "sequence-overflow");
+}
+
+TEST(ValidateErrorPaths, TypeCategoryBoundaries) {
+  // Category edges: 44 is the last monitor code boundary neighbour, 45
+  // starts commands, 64 ends them, 70 is the end-of-init exception, 107
+  // ends system, 113 ends parameter, 114+ is file transfer.
+  EXPECT_EQ(type_category(static_cast<TypeId>(44)), TypeCategory::kMonitor);
+  EXPECT_EQ(type_category(static_cast<TypeId>(45)), TypeCategory::kControl);
+  EXPECT_EQ(type_category(static_cast<TypeId>(64)), TypeCategory::kControl);
+  EXPECT_EQ(type_category(static_cast<TypeId>(70)), TypeCategory::kMonitor);
+  EXPECT_EQ(type_category(static_cast<TypeId>(107)), TypeCategory::kSystem);
+  EXPECT_EQ(type_category(static_cast<TypeId>(113)), TypeCategory::kParameter);
+  EXPECT_EQ(type_category(static_cast<TypeId>(114)), TypeCategory::kFile);
+}
+
 TEST(Validate, FileTransferCauses) {
   auto seg = make(TypeId::F_SG_NA_1, Cause::kFile, Segment{1, 1, {1, 2, 3}});
   EXPECT_TRUE(validate_asdu(seg, Direction::kFromOutstation).empty());

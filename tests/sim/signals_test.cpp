@@ -83,9 +83,15 @@ TEST_F(Signals, TableEightSingletons) {
   for (const auto& os : topo.outstations) {
     auto signals = build_signals(os, false);
     for (const auto& s : signals) {
-      if (s.type_id == 9) EXPECT_EQ(os.id, 37);
-      if (s.type_id == 5) EXPECT_EQ(os.id, 34);
-      if (s.type_id == 7) EXPECT_EQ(os.id, 43);
+      if (s.type_id == 9) {
+        EXPECT_EQ(os.id, 37);
+      }
+      if (s.type_id == 5) {
+        EXPECT_EQ(os.id, 34);
+      }
+      if (s.type_id == 7) {
+        EXPECT_EQ(os.id, 43);
+      }
     }
   }
 }

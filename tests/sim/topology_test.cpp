@@ -58,7 +58,9 @@ TEST_F(PaperTopology, O30TimerMisconfiguration) {
   EXPECT_DOUBLE_EQ(*o30->secondary_t3_s, 430.0);
   // No one else has the override.
   for (const auto& o : topo.outstations) {
-    if (o.id != 30) EXPECT_FALSE(o.secondary_t3_s.has_value()) << o.id;
+    if (o.id != 30) {
+      EXPECT_FALSE(o.secondary_t3_s.has_value()) << o.id;
+    }
   }
 }
 

@@ -130,5 +130,47 @@ TEST(HexDump, Formats) {
   EXPECT_EQ(hex_dump({}), "");
 }
 
+// Regression: multi-byte reads assemble in unsigned arithmetic. All-0xff
+// inputs exercise every high bit — a signed `byte << 8`/`<< 24` promotion
+// bug would surface here as a wrong value or (under UBSan) a shift report.
+TEST(ByteReader, HighBitBoundaryValues) {
+  std::vector<std::uint8_t> ones(8, 0xff);
+  {
+    ByteReader r(ones);
+    EXPECT_EQ(r.u16le().value(), 0xffff);
+    EXPECT_EQ(r.u16be().value(), 0xffff);
+    EXPECT_EQ(r.u32le().value(), 0xffffffffu);
+  }
+  {
+    ByteReader r(ones);
+    EXPECT_EQ(r.u32be().value(), 0xffffffffu);
+  }
+  {
+    ByteReader r(ones);
+    EXPECT_EQ(r.u64le().value(), 0xffffffffffffffffULL);
+  }
+  // Sign-bit-only patterns: the top byte alone must land in the top lane.
+  std::uint8_t top_le[] = {0x00, 0x80};
+  ByteReader r1(std::span<const std::uint8_t>(top_le, 2));
+  EXPECT_EQ(r1.u16le().value(), 0x8000);
+  std::uint8_t top_be[] = {0x80, 0x00, 0x00, 0x00};
+  ByteReader r2(std::span<const std::uint8_t>(top_be, 4));
+  EXPECT_EQ(r2.u32be().value(), 0x80000000u);
+}
+
+TEST(ByteReader, SeekClearsPoisonAtBoundaries) {
+  std::uint8_t data[2] = {0x12, 0x34};
+  ByteReader r(std::span<const std::uint8_t>(data, 2));
+  EXPECT_FALSE(r.u32le().ok());  // poisons
+  EXPECT_TRUE(r.failed());
+  r.seek(0);
+  EXPECT_FALSE(r.failed());
+  EXPECT_EQ(r.u16le().value(), 0x3412);
+  // Seeking past the end clamps to the end rather than overflowing.
+  r.seek(99);
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_TRUE(r.empty());
+}
+
 }  // namespace
 }  // namespace uncharted
