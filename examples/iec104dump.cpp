@@ -6,6 +6,10 @@
 // Prints one line per APDU with the tolerant parse, marking non-compliant
 // frames with the legacy profile that explains them. Without a pcap,
 // self-demos on a short synthetic capture.
+//
+// Exit codes: 0 clean, 1 unreadable input, 2 degraded (the pcap tail was
+// truncated or the capture carried damage the pipeline had to skip) — the
+// partial report is still printed.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -34,14 +38,20 @@ int main(int argc, char** argv) {
 
   std::vector<net::CapturedPacket> packets;
   core::NameMap names;
+  bool pcap_truncated = false;
   if (!path.empty()) {
-    auto loaded = net::PcapReader::read_file(path);
+    auto loaded = net::PcapReader::read_file_tolerant(path);
     if (!loaded) {
       std::fprintf(stderr, "cannot read %s: %s\n", path.c_str(),
                    loaded.error().str().c_str());
       return 1;
     }
-    packets = std::move(loaded).take();
+    if (loaded->truncated_tail) {
+      std::fprintf(stderr, "warning: %s: %s; dumping the complete prefix\n",
+                   path.c_str(), loaded->warning.c_str());
+      pcap_truncated = true;
+    }
+    packets = std::move(loaded->packets);
   } else {
     std::printf("(no pcap given; using a 30 s synthetic capture)\n");
     auto capture = sim::generate_capture(sim::CaptureConfig::y1(30.0));
@@ -80,5 +90,18 @@ int main(int argc, char** argv) {
               format_count(ds.stats().apdus).c_str(),
               format_count(ds.stats().non_compliant_apdus).c_str(),
               format_count(ds.stats().apdu_failures).c_str());
+
+  const auto& deg = ds.stats().degradation;
+  if (pcap_truncated || deg.any()) {
+    std::fprintf(stderr,
+                 "degraded: %s resyncs, %s garbage bytes, %s truncated tail "
+                 "bytes, %s quarantined connections%s\n",
+                 format_count(deg.parser_resyncs).c_str(),
+                 format_count(deg.garbage_bytes).c_str(),
+                 format_count(deg.truncated_tail_bytes).c_str(),
+                 format_count(deg.quarantined_connections).c_str(),
+                 pcap_truncated ? ", pcap tail truncated" : "");
+    return 2;
+  }
   return 0;
 }

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Local reproduction of the three CI jobs (.github/workflows/ci.yml):
+# Local reproduction of the CI jobs (.github/workflows/ci.yml):
 #
 #   1. Release build + ctest
-#   2. Debug ASan+UBSan build + ctest
+#   2. Debug ASan+UBSan build + ctest (includes the fault-injection chaos
+#      sweep, called out explicitly so a chaos regression is easy to spot)
 #   3. clang-tidy over src/ (skipped with a notice if clang-tidy is absent)
 #
 # Usage: scripts/check.sh [--fuzz]
@@ -20,19 +21,24 @@ for arg in "$@"; do
   esac
 done
 
-echo "==> [1/3] release: build + ctest"
+echo "==> [1/4] release: build + ctest"
 cmake --preset release
 cmake --build --preset release -j "$jobs"
 ctest --preset release -j "$jobs"
 
-echo "==> [2/3] debug-asan-ubsan: build + ctest"
+echo "==> [2/4] debug-asan-ubsan: build + ctest"
 cmake --preset debug-asan-ubsan
 cmake --build --preset debug-asan-ubsan -j "$jobs"
 ASAN_OPTIONS=strict_string_checks=1:detect_stack_use_after_return=1 \
 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --preset debug-asan-ubsan -j "$jobs"
 
-echo "==> [3/3] clang-tidy over src/"
+echo "==> [3/4] chaos sweep under sanitizers (fault injection 0-20%)"
+ASAN_OPTIONS=strict_string_checks=1:detect_stack_use_after_return=1 \
+UBSAN_OPTIONS=print_stacktrace=1 \
+  ctest --preset debug-asan-ubsan -R 'ChaosSweep|FaultInject' --output-on-failure
+
+echo "==> [4/4] clang-tidy over src/"
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake --preset tidy
   cmake --build --preset tidy -j "$jobs"

@@ -1,6 +1,7 @@
 #include "analysis/dataset.hpp"
 
 #include <algorithm>
+#include <set>
 
 namespace uncharted::analysis {
 
@@ -9,9 +10,20 @@ EndpointPair EndpointPair::of(net::Ipv4Addr x, net::Ipv4Addr y) {
   return EndpointPair{x, y};
 }
 
+namespace {
+
+/// Per-directed-flow parse health, for the quarantine decision.
+struct FlowHealth {
+  std::uint64_t apdus = 0;
+  std::uint64_t failures = 0;
+};
+
+}  // namespace
+
 CaptureDataset CaptureDataset::build(const std::vector<net::CapturedPacket>& packets,
                                      const Options& options) {
   CaptureDataset ds;
+  auto& deg = ds.stats_.degradation;
 
   // One stream parser per directed 4-tuple keeps APDU framing correct even
   // when APDUs straddle segment boundaries or ports are reused.
@@ -24,34 +36,66 @@ CaptureDataset CaptureDataset::build(const std::vector<net::CapturedPacket>& pac
     return it->second;
   };
 
-  auto ingest = [&](const net::FlowKey& key, Timestamp ts,
-                    std::span<const std::uint8_t> payload) {
-    auto& parser = parser_for(key);
-    std::size_t before = parser.apdus().size();
-    std::size_t fail_before = parser.failures().size();
-    parser.feed(ts, payload);
-    ds.stats_.apdu_failures += parser.failures().size() - fail_before;
-    for (std::size_t i = before; i < parser.apdus().size(); ++i) {
+  std::map<net::FlowKey, FlowHealth> health;
+
+  // Accounts everything a parser produced since the last visit: new APDUs
+  // become records, new failures feed the degradation taxonomy.
+  auto collect = [&](const net::FlowKey& key, iec104::ApduStreamParser& parser,
+                     std::size_t apdus_before, std::size_t failures_before) {
+    auto& h = health[key];
+    for (std::size_t i = failures_before; i < parser.failures().size(); ++i) {
+      const auto& f = parser.failures()[i];
+      ++ds.stats_.apdu_failures;
+      ++h.failures;
+      switch (f.kind) {
+        case iec104::FailureKind::kGarbage:
+          ++deg.parser_resyncs;
+          deg.garbage_bytes += f.raw.size();
+          break;
+        case iec104::FailureKind::kUndecodable:
+          ++deg.undecodable_apdus;
+          break;
+        case iec104::FailureKind::kTruncatedTail:
+          deg.truncated_tail_bytes += f.raw.size();
+          break;
+      }
+    }
+    for (std::size_t i = apdus_before; i < parser.apdus().size(); ++i) {
       ApduRecord rec;
       rec.ts = parser.apdus()[i].ts;
       rec.flow = key;
       rec.apdu = parser.apdus()[i];
       ds.records_.push_back(std::move(rec));
+      ++h.apdus;
     }
+  };
+
+  auto ingest = [&](const net::FlowKey& key, Timestamp ts,
+                    std::span<const std::uint8_t> payload) {
+    auto& parser = parser_for(key);
+    std::size_t apdus_before = parser.apdus().size();
+    std::size_t failures_before = parser.failures().size();
+    parser.feed(ts, payload);
+    collect(key, parser, apdus_before, failures_before);
   };
 
   std::optional<net::TcpReassembler> reassembler;
   if (options.mode == ParseMode::kReassembled) {
-    reassembler.emplace([&](const net::FlowKey& key, const net::StreamChunk& chunk) {
-      ingest(key, chunk.ts, chunk.data);
-    });
+    reassembler.emplace(
+        [&](const net::FlowKey& key, const net::StreamChunk& chunk) {
+          ingest(key, chunk.ts, chunk.data);
+        },
+        options.reassembly_limits);
   }
 
+  Timestamp last_ts = 0;
   for (const auto& pkt : packets) {
     ++ds.stats_.packets;
+    last_ts = pkt.ts;
     auto frame = net::decode_frame(pkt.data);
     if (!frame) {
       ++ds.stats_.undecodable_frames;
+      ++deg.undecodable_frames;
       continue;
     }
     ++ds.stats_.tcp_packets;
@@ -80,22 +124,52 @@ CaptureDataset CaptureDataset::build(const std::vector<net::CapturedPacket>& pac
       net::FlowKey key{frame->ip.src, frame->tcp.src_port, frame->ip.dst,
                        frame->tcp.dst_port};
       // Per-packet mode: each payload parsed independently (fresh framing),
-      // matching the paper's per-packet SCAPY pipeline.
+      // matching the paper's per-packet SCAPY pipeline. An APDU cut off by
+      // the packet boundary is a truncated tail, not silence.
       iec104::ApduStreamParser packet_parser(options.parser_mode);
       packet_parser.feed(pkt.ts, frame->payload);
-      ds.stats_.apdu_failures += packet_parser.failures().size();
-      for (const auto& parsed : packet_parser.apdus()) {
-        ApduRecord rec;
-        rec.ts = parsed.ts;
-        rec.flow = key;
-        rec.apdu = parsed;
-        ds.records_.push_back(std::move(rec));
-      }
+      packet_parser.finish(pkt.ts);
+      collect(key, packet_parser, 0, 0);
     }
   }
 
   if (reassembler) {
+    // End of capture: abandon outstanding holes, deliver what is behind
+    // them, then account the partial tails left in the stream parsers.
+    reassembler->flush(last_ts);
     ds.stats_.tcp_retransmissions = reassembler->retransmitted_segments();
+    auto totals = reassembler->totals();
+    deg.reassembly_gaps += totals.gaps_skipped;
+    deg.reassembly_lost_bytes += totals.lost_bytes;
+    deg.overlapping_segments += totals.overlapping_segments;
+    deg.aborted_streams += totals.aborted_with_pending;
+    deg.wild_segments += totals.wild_segments;
+    for (auto& [key, parser] : parsers) {
+      std::size_t apdus_before = parser.apdus().size();
+      std::size_t failures_before = parser.failures().size();
+      parser.finish(last_ts);
+      collect(key, parser, apdus_before, failures_before);
+    }
+  }
+
+  // Quarantine: a directed stream drowning in parse failures is producing
+  // mis-decoded APDUs, not telemetry. Drop its records so one poisoned
+  // stream cannot skew the report, and say so in the counters.
+  if (options.quarantine_failure_threshold > 0) {
+    std::set<net::FlowKey> quarantined;
+    for (const auto& [key, h] : health) {
+      if (h.failures >= options.quarantine_failure_threshold && h.failures > h.apdus) {
+        quarantined.insert(key);
+      }
+    }
+    if (!quarantined.empty()) {
+      auto dropped = std::erase_if(ds.records_, [&](const ApduRecord& rec) {
+        return quarantined.count(rec.flow) != 0;
+      });
+      deg.quarantined_apdus += dropped;
+      deg.quarantined_connections += quarantined.size();
+      ds.quarantined_.assign(quarantined.begin(), quarantined.end());
+    }
   }
 
   // Per-packet mode appends in packet order which is already time order;

@@ -30,6 +30,34 @@ struct ApduRecord {
   iec104::ParsedApdu apdu;
 };
 
+/// Typed error counters for degraded-mode ingestion: everything the
+/// pipeline dropped, skipped or quarantined instead of crashing on. All
+/// monotone during a build; `any()` is false for a clean capture (benign
+/// TCP retransmissions and orderly RSTs are accounted elsewhere).
+struct DegradationCounters {
+  std::uint64_t undecodable_frames = 0;   ///< frames that failed L2-L4 decode
+  std::uint64_t parser_resyncs = 0;       ///< 0x68 hunts after lost framing
+  std::uint64_t garbage_bytes = 0;        ///< bytes skipped while resyncing
+  std::uint64_t undecodable_apdus = 0;    ///< framed APDUs no profile explains
+  std::uint64_t truncated_tail_bytes = 0; ///< partial APDUs at stream end
+  std::uint64_t reassembly_gaps = 0;      ///< sequence holes abandoned
+  std::uint64_t reassembly_lost_bytes = 0;///< width of those holes
+  std::uint64_t overlapping_segments = 0; ///< partially re-sent segments
+  std::uint64_t aborted_streams = 0;      ///< RST with data still buffered
+  std::uint64_t wild_segments = 0;        ///< discarded out-of-window segments
+  std::uint64_t quarantined_connections = 0;  ///< poisoned streams excluded
+  std::uint64_t quarantined_apdus = 0;        ///< their APDUs, not reported
+
+  /// True iff the capture showed any damage at all.
+  bool any() const { return total() != 0; }
+  std::uint64_t total() const {
+    return undecodable_frames + parser_resyncs + garbage_bytes +
+           undecodable_apdus + truncated_tail_bytes + reassembly_gaps +
+           reassembly_lost_bytes + overlapping_segments + aborted_streams +
+           wild_segments + quarantined_connections + quarantined_apdus;
+  }
+};
+
 /// Totals for the capture.
 struct DatasetStats {
   std::uint64_t packets = 0;
@@ -45,6 +73,7 @@ struct DatasetStats {
   std::uint64_t other_tcp_packets = 0;
   std::uint64_t non_compliant_apdus = 0;
   std::uint64_t tcp_retransmissions = 0;  ///< reassembled mode only
+  DegradationCounters degradation;
 };
 
 /// An undirected endpoint pair (a "connection" in the paper's sense:
@@ -66,6 +95,14 @@ class CaptureDataset {
         iec104::ApduStreamParser::Mode::kTolerant;
     /// Only payloads to/from this TCP port are treated as IEC 104.
     std::uint16_t iec104_port = 2404;
+    /// Bounds on per-direction out-of-order buffering (reassembled mode).
+    net::ReassemblyLimits reassembly_limits;
+    /// A directed stream whose parse failures reach this count AND
+    /// outnumber its successful APDUs is quarantined: its (likely
+    /// mis-decoded) APDUs are dropped from the dataset so one poisoned
+    /// stream cannot skew compliance, clustering or type statistics.
+    /// 0 disables quarantine.
+    std::uint64_t quarantine_failure_threshold = 8;
   };
 
   /// Builds the dataset from captured packets.
@@ -104,6 +141,9 @@ class CaptureDataset {
     return compliance_;
   }
 
+  /// Directed flows excluded from the dataset by the quarantine rule.
+  const std::vector<net::FlowKey>& quarantined_flows() const { return quarantined_; }
+
  private:
   DatasetStats stats_;
   net::FlowTable flows_;
@@ -111,6 +151,7 @@ class CaptureDataset {
   std::map<std::pair<net::Ipv4Addr, net::Ipv4Addr>, std::vector<std::size_t>> sessions_;
   std::map<EndpointPair, std::vector<std::size_t>> connections_;
   std::map<net::Ipv4Addr, ComplianceEntry> compliance_;
+  std::vector<net::FlowKey> quarantined_;
 };
 
 }  // namespace uncharted::analysis

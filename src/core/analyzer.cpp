@@ -27,14 +27,28 @@ AnalysisReport CaptureAnalyzer::analyze(const std::vector<net::CapturedPacket>& 
   if (options.keep_series) report.series = std::move(series);
   report.bandwidth = analysis::analyze_bandwidth(packets);
   report.sequence_audit = analysis::audit_sequences(dataset);
+  report.degradation.counters = report.stats.degradation;
+  if (report.degradation.counters.any()) {
+    report.degradation.warning =
+        "degraded capture: " + format_count(report.degradation.counters.total()) +
+        " fault events survived (see degradation counters)";
+  }
   return report;
 }
 
 Result<AnalysisReport> CaptureAnalyzer::analyze_file(const std::string& pcap_path,
                                                      const Options& options) {
-  auto packets = net::PcapReader::read_file(pcap_path);
-  if (!packets) return packets.error();
-  return analyze(packets.value(), options);
+  // Tolerant read: a capture cut off mid-record (crashed tap, live file)
+  // still yields the report over its complete prefix, flagged as degraded.
+  auto read = net::PcapReader::read_file_tolerant(pcap_path);
+  if (!read) return read.error();
+  auto report = analyze(read->packets, options);
+  if (read->truncated_tail) {
+    report.degradation.pcap_truncated = true;
+    report.degradation.warning = read->warning +
+        (report.degradation.warning.empty() ? "" : "; " + report.degradation.warning);
+  }
+  return report;
 }
 
 std::string render_report(const AnalysisReport& report, const NameMap& names) {
@@ -46,6 +60,28 @@ std::string render_report(const AnalysisReport& report, const NameMap& names) {
          "  apdus: " + format_count(report.stats.apdus) +
          "  non-compliant: " + format_count(report.stats.non_compliant_apdus) +
          "  parse failures: " + format_count(report.stats.apdu_failures) + "\n\n";
+
+  if (report.degradation.degraded()) {
+    const auto& d = report.degradation.counters;
+    out += "== Degraded-mode ingestion ==\n";
+    if (!report.degradation.warning.empty()) {
+      out += "warning: " + report.degradation.warning + "\n";
+    }
+    out += "undecodable frames: " + format_count(d.undecodable_frames) +
+           "  parser resyncs: " + format_count(d.parser_resyncs) + " (" +
+           format_count(d.garbage_bytes) + " garbage bytes)" +
+           "  undecodable apdus: " + format_count(d.undecodable_apdus) + "\n";
+    out += "reassembly gaps: " + format_count(d.reassembly_gaps) + " (" +
+           format_count(d.reassembly_lost_bytes) + " bytes lost)" +
+           "  overlaps: " + format_count(d.overlapping_segments) +
+           "  aborted streams: " + format_count(d.aborted_streams) +
+           "  wild segments: " + format_count(d.wild_segments) + "\n";
+    out += "truncated tail bytes: " + format_count(d.truncated_tail_bytes) +
+           "  quarantined: " + format_count(d.quarantined_connections) +
+           " connections / " + format_count(d.quarantined_apdus) + " apdus" +
+           (report.degradation.pcap_truncated ? "  [pcap tail truncated]" : "") +
+           "\n\n";
+  }
 
   out += "== TCP flows (Table 3) ==\n";
   const auto& fs = report.flows.summary;

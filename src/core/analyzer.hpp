@@ -21,6 +21,18 @@
 
 namespace uncharted::core {
 
+/// What degraded-mode ingestion dropped, skipped or quarantined while the
+/// report was produced. `degraded()` is false for a clean capture; when
+/// true the headline numbers carry the documented drift bounds (DESIGN.md
+/// "Degraded-mode ingestion") instead of being exact.
+struct DegradationReport {
+  analysis::DegradationCounters counters;
+  bool pcap_truncated = false;  ///< the capture file itself ended mid-record
+  std::string warning;          ///< human-readable summary, empty when clean
+
+  bool degraded() const { return counters.any() || pcap_truncated; }
+};
+
 /// Everything §6 computes over one capture.
 struct AnalysisReport {
   analysis::DatasetStats stats;
@@ -35,6 +47,7 @@ struct AnalysisReport {
   std::map<analysis::SeriesKey, analysis::TimeSeries> series;
   analysis::BandwidthReport bandwidth;
   analysis::SeqAuditReport sequence_audit;
+  DegradationReport degradation;
 };
 
 class CaptureAnalyzer {

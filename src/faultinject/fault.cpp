@@ -1,0 +1,168 @@
+#include "faultinject/fault.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "net/frame.hpp"
+#include "util/rng.hpp"
+
+namespace uncharted::faultinject {
+
+FaultConfig FaultConfig::uniform(double rate, std::uint64_t seed) {
+  FaultConfig c;
+  c.seed = seed;
+  c.drop_p = rate * 0.35;
+  c.duplicate_p = rate * 0.15;
+  c.reorder_p = rate * 0.10;
+  c.truncate_p = rate * 0.10;
+  c.corrupt_p = rate * 0.08;
+  c.garble_p = rate * 0.10;
+  c.rst_p = rate * 0.05;
+  c.desync_p = rate * 0.07;
+  return c;
+}
+
+namespace {
+
+/// Rebuilds a decoded frame with a replacement payload and fresh length
+/// and checksum fields, so the damage survives decode_frame and reaches
+/// the reassembler/parser as a valid-looking TCP segment.
+std::vector<std::uint8_t> rebuild(const net::DecodedFrame& frame,
+                                  std::span<const std::uint8_t> payload) {
+  net::TcpSegmentSpec spec;
+  spec.src_mac = frame.eth.src;
+  spec.dst_mac = frame.eth.dst;
+  spec.src_ip = frame.ip.src;
+  spec.dst_ip = frame.ip.dst;
+  spec.src_port = frame.tcp.src_port;
+  spec.dst_port = frame.tcp.dst_port;
+  spec.seq = frame.tcp.seq;
+  spec.ack = frame.tcp.ack;
+  spec.flags = frame.tcp.flags;
+  spec.window = frame.tcp.window;
+  spec.ip_id = frame.ip.identification;
+  spec.payload = payload;
+  return net::build_tcp_frame(spec);
+}
+
+}  // namespace
+
+FaultResult apply_faults(const std::vector<net::CapturedPacket>& packets,
+                         const FaultConfig& config) {
+  FaultResult out;
+  out.packets.reserve(packets.size());
+  Rng rng(config.seed);
+
+  // Reordering holds one packet back and releases it after its successor.
+  std::optional<net::CapturedPacket> held;
+  auto emit = [&](net::CapturedPacket pkt) {
+    out.packets.push_back(std::move(pkt));
+    if (held) {
+      out.packets.push_back(std::move(*held));
+      held.reset();
+    }
+  };
+
+  for (const auto& original : packets) {
+    auto frame = net::decode_frame(original.data);
+    bool eligible = frame.ok();
+    if (eligible && config.iec104_only) {
+      eligible = frame->tcp.src_port == config.iec104_port ||
+                 frame->tcp.dst_port == config.iec104_port;
+    }
+    if (!eligible) {
+      emit(original);
+      continue;
+    }
+    ++out.log.eligible_packets;
+
+    if (rng.chance(config.drop_p)) {
+      ++out.log.dropped;
+      continue;
+    }
+
+    net::CapturedPacket pkt = original;
+    if (rng.chance(config.truncate_p) && pkt.data.size() > 2) {
+      // Cut a random amount off the tail — the frame no longer decodes,
+      // exactly like a tap that ran out of snaplen.
+      std::size_t keep = 1 + rng.below(pkt.data.size() - 1);
+      out.log.bytes_removed += pkt.data.size() - keep;
+      pkt.data.resize(keep);
+      ++out.log.truncated;
+    } else if (rng.chance(config.corrupt_p) && !pkt.data.empty()) {
+      // Bit flips with stale checksums: header hits make the frame
+      // undecodable, payload hits reach the parser as garbage (TCP
+      // checksums are not verified on decode, as in real captures).
+      int flips = static_cast<int>(1 + rng.below(4));
+      for (int i = 0; i < flips; ++i) {
+        pkt.data[rng.below(pkt.data.size())] ^=
+            static_cast<std::uint8_t>(1 + rng.below(255));
+      }
+      out.log.bytes_corrupted += static_cast<std::uint64_t>(flips);
+      ++out.log.corrupted;
+    } else if (rng.chance(config.garble_p) && !frame->payload.empty()) {
+      // Corrupt payload bytes and rebuild checksums: the segment is
+      // delivered, so the APDU parser must resynchronize past the damage.
+      std::vector<std::uint8_t> payload(frame->payload.begin(), frame->payload.end());
+      int flips = static_cast<int>(1 + rng.below(std::min<std::size_t>(4, payload.size())));
+      for (int i = 0; i < flips; ++i) {
+        payload[rng.below(payload.size())] ^=
+            static_cast<std::uint8_t>(1 + rng.below(255));
+      }
+      out.log.bytes_corrupted += static_cast<std::uint64_t>(flips);
+      pkt.data = rebuild(*frame, payload);
+      pkt.original_length = static_cast<std::uint32_t>(pkt.data.size());
+      ++out.log.garbled;
+    } else if (rng.chance(config.desync_p) && frame->payload.size() > 1) {
+      // Cut leading payload bytes, keeping seq: the stream's content
+      // shifts under the parser mid-APDU and a sequence hole opens where
+      // the cut bytes used to end.
+      std::size_t cut = 1 + rng.below(frame->payload.size() - 1);
+      std::vector<std::uint8_t> payload(frame->payload.begin() + static_cast<std::ptrdiff_t>(cut),
+                                        frame->payload.end());
+      out.log.bytes_removed += cut;
+      pkt.data = rebuild(*frame, payload);
+      pkt.original_length = static_cast<std::uint32_t>(pkt.data.size());
+      ++out.log.desynced;
+    }
+
+    bool duplicate = rng.chance(config.duplicate_p);
+    bool reorder = rng.chance(config.reorder_p);
+    bool inject_rst = rng.chance(config.rst_p);
+
+    if (reorder && !held) {
+      held = pkt;
+      ++out.log.reordered;
+    } else {
+      emit(pkt);
+    }
+    if (duplicate) {
+      emit(pkt);
+      ++out.log.duplicated;
+    }
+    if (inject_rst) {
+      // A hard reset from the sender right after its own data — the Fig 9
+      // reset-backup behaviour landing mid-stream.
+      net::TcpSegmentSpec spec;
+      spec.src_mac = frame->eth.src;
+      spec.dst_mac = frame->eth.dst;
+      spec.src_ip = frame->ip.src;
+      spec.dst_ip = frame->ip.dst;
+      spec.src_port = frame->tcp.src_port;
+      spec.dst_port = frame->tcp.dst_port;
+      spec.seq = frame->tcp.seq + static_cast<std::uint32_t>(frame->payload.size());
+      spec.ack = frame->tcp.ack;
+      spec.flags = net::kTcpRst | net::kTcpAck;
+      net::CapturedPacket rst;
+      rst.ts = pkt.ts;
+      rst.data = net::build_tcp_frame(spec);
+      rst.original_length = static_cast<std::uint32_t>(rst.data.size());
+      emit(std::move(rst));
+      ++out.log.rsts_injected;
+    }
+  }
+  if (held) out.packets.push_back(std::move(*held));
+  return out;
+}
+
+}  // namespace uncharted::faultinject

@@ -1,0 +1,79 @@
+// Deterministic fault injection over synthesized captures.
+//
+// The paper's captures were hostile in ways our simulator is not: frames
+// arrived truncated by the tap, outstations hard-reset backup connections
+// mid-stream (Fig 9), and TCP-layer loss/retransmission masqueraded as
+// protocol anomalies (§6.3.1). This layer wraps the output of
+// sim::generate_capture and damages it on purpose — packet loss,
+// duplication, reordering, truncation, bit corruption, injected RSTs, and
+// byte-stream desync — at configurable per-packet rates, so every
+// downstream layer can be exercised (and its DegradationReport audited)
+// under controlled, reproducible damage. Same packets + same config ==
+// byte-identical output; the chaos sweep depends on that.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/pcap.hpp"
+
+namespace uncharted::faultinject {
+
+/// Independent per-packet fault probabilities. Mutating faults (truncate /
+/// corrupt / garble / desync) are mutually exclusive per packet, tried in
+/// that order; drop preempts everything; duplicate, reorder and RST
+/// injection compose with the rest.
+struct FaultConfig {
+  std::uint64_t seed = 0xfa0175;
+
+  double drop_p = 0.0;       ///< packet vanishes (link loss)
+  double duplicate_p = 0.0;  ///< packet emitted twice (spurious retransmit)
+  double reorder_p = 0.0;    ///< packet swapped with its successor
+  double truncate_p = 0.0;   ///< frame cut short (tap/snaplen damage)
+  double corrupt_p = 0.0;    ///< bit flips anywhere, checksums NOT fixed
+  double garble_p = 0.0;     ///< payload bytes corrupted, checksums rebuilt
+  double rst_p = 0.0;        ///< mid-stream RST injected after the packet
+  double desync_p = 0.0;     ///< leading payload bytes cut, checksums rebuilt
+
+  /// Restrict faults to IEC 104 traffic (port 2404); background protocol
+  /// packets pass through untouched.
+  bool iec104_only = true;
+  std::uint16_t iec104_port = 2404;
+
+  /// One knob for the chaos sweep: distributes `rate` over every fault
+  /// class with fixed weights (loss-dominated, like a sick WAN link).
+  static FaultConfig uniform(double rate, std::uint64_t seed = 0xfa0175);
+};
+
+/// Typed counters of what was actually injected. All monotone; `total()`
+/// is nonzero iff any fault fired.
+struct FaultLog {
+  std::uint64_t eligible_packets = 0;  ///< packets the config could touch
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t garbled = 0;
+  std::uint64_t rsts_injected = 0;
+  std::uint64_t desynced = 0;
+  std::uint64_t bytes_removed = 0;    ///< via truncation + desync cuts
+  std::uint64_t bytes_corrupted = 0;  ///< via corrupt + garble
+
+  std::uint64_t total() const {
+    return dropped + duplicated + reordered + truncated + corrupted + garbled +
+           rsts_injected + desynced;
+  }
+};
+
+struct FaultResult {
+  std::vector<net::CapturedPacket> packets;
+  FaultLog log;
+};
+
+/// Applies the configured faults to a time-ordered packet list.
+/// Deterministic: the RNG is seeded from config.seed alone.
+FaultResult apply_faults(const std::vector<net::CapturedPacket>& packets,
+                         const FaultConfig& config);
+
+}  // namespace uncharted::faultinject

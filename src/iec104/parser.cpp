@@ -25,9 +25,30 @@ std::vector<CodecProfile> detect_profiles(std::span<const std::uint8_t> apdu_byt
   return matches;
 }
 
+std::string failure_kind_name(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kGarbage: return "garbage";
+    case FailureKind::kUndecodable: return "undecodable";
+    case FailureKind::kTruncatedTail: return "truncated-tail";
+  }
+  return "unknown";
+}
+
 void ApduStreamParser::feed(Timestamp ts, std::span<const std::uint8_t> data) {
   buffer_.insert(buffer_.end(), data.begin(), data.end());
   parse_buffer(ts);
+}
+
+void ApduStreamParser::finish(Timestamp ts) {
+  if (buffer_.empty()) return;
+  ParseFailure f;
+  f.ts = ts;
+  f.kind = FailureKind::kTruncatedTail;
+  f.error = "truncated-tail";
+  f.raw = std::move(buffer_);
+  buffer_.clear();
+  truncated_tail_bytes_ += f.raw.size();
+  failures_.push_back(std::move(f));
 }
 
 void ApduStreamParser::parse_buffer(Timestamp ts) {
@@ -39,9 +60,12 @@ void ApduStreamParser::parse_buffer(Timestamp ts) {
       while (next < buffer_.size() && buffer_[next] != kStartByte) ++next;
       ParseFailure f;
       f.ts = ts;
+      f.kind = FailureKind::kGarbage;
       f.error = "bad-start-byte";
       f.raw.assign(buffer_.begin() + static_cast<std::ptrdiff_t>(pos),
                    buffer_.begin() + static_cast<std::ptrdiff_t>(next));
+      ++resyncs_;
+      garbage_bytes_ += f.raw.size();
       failures_.push_back(std::move(f));
       pos = next;
       continue;
@@ -54,6 +78,7 @@ void ApduStreamParser::parse_buffer(Timestamp ts) {
     if (!try_parse_frame(ts, frame)) {
       ParseFailure f;
       f.ts = ts;
+      f.kind = FailureKind::kUndecodable;
       f.error = "undecodable-apdu";
       f.raw.assign(frame.begin(), frame.end());
       failures_.push_back(std::move(f));

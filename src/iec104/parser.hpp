@@ -30,9 +30,22 @@ struct ParsedApdu {
   std::size_t wire_size = 0; ///< bytes on the wire including start+length
 };
 
+/// Why a byte range failed to parse — the degraded-mode taxonomy. Garbage
+/// means the stream lost framing (desync) and the parser had to hunt for
+/// the next 0x68; undecodable means a well-framed APDU no profile could
+/// explain; truncated-tail means the stream ended mid-frame.
+enum class FailureKind {
+  kGarbage,        ///< skipped bytes while resynchronizing on 0x68
+  kUndecodable,    ///< framed APDU rejected by every candidate profile
+  kTruncatedTail,  ///< partial frame left in the buffer at end of stream
+};
+
+std::string failure_kind_name(FailureKind kind);
+
 /// One undecodable byte range.
 struct ParseFailure {
   Timestamp ts = 0;
+  FailureKind kind = FailureKind::kUndecodable;
   std::string error;
   std::vector<std::uint8_t> raw;  ///< offending bytes (up to the framed APDU)
 };
@@ -65,10 +78,21 @@ class ApduStreamParser {
   /// Partial APDUs stay buffered until the next feed.
   void feed(Timestamp ts, std::span<const std::uint8_t> data);
 
+  /// End of stream: a partial frame still buffered becomes a
+  /// kTruncatedTail failure. Idempotent; further feeds restart framing.
+  void finish(Timestamp ts);
+
   /// Parsed APDUs in stream order.
   const std::vector<ParsedApdu>& apdus() const { return apdus_; }
   /// Undecodable ranges.
   const std::vector<ParseFailure>& failures() const { return failures_; }
+
+  /// Times the parser lost framing and hunted for the next start byte.
+  std::uint64_t resyncs() const { return resyncs_; }
+  /// Bytes skipped during those hunts.
+  std::uint64_t garbage_bytes() const { return garbage_bytes_; }
+  /// Bytes abandoned as a partial frame by finish().
+  std::uint64_t truncated_tail_bytes() const { return truncated_tail_bytes_; }
 
   /// The profile locked in for this stream after the first non-standard
   /// success (nullopt while the stream looks standard).
@@ -91,6 +115,9 @@ class ApduStreamParser {
   std::vector<ParseFailure> failures_;
   std::optional<CodecProfile> locked_;
   std::uint64_t non_compliant_ = 0;
+  std::uint64_t resyncs_ = 0;
+  std::uint64_t garbage_bytes_ = 0;
+  std::uint64_t truncated_tail_bytes_ = 0;
 };
 
 }  // namespace uncharted::iec104

@@ -49,7 +49,9 @@ Status PcapWriter::close() {
   return Status::Ok();
 }
 
-Result<std::vector<CapturedPacket>> PcapReader::read_file(const std::string& path) {
+namespace {
+
+Result<std::vector<std::uint8_t>> slurp(const std::string& path) {
   std::unique_ptr<std::FILE, decltype([](std::FILE* f) {
                     if (f) std::fclose(f);
                   })>
@@ -63,10 +65,32 @@ Result<std::vector<CapturedPacket>> PcapReader::read_file(const std::string& pat
   if (!buf.empty() && std::fread(buf.data(), 1, buf.size(), f.get()) != buf.size()) {
     return Err("read-failed", path);
   }
-  return read_buffer(buf);
+  return buf;
+}
+
+}  // namespace
+
+Result<std::vector<CapturedPacket>> PcapReader::read_file(const std::string& path) {
+  auto buf = slurp(path);
+  if (!buf) return buf.error();
+  return read_buffer(buf.value());
+}
+
+Result<PcapReader::TolerantRead> PcapReader::read_file_tolerant(const std::string& path) {
+  auto buf = slurp(path);
+  if (!buf) return buf.error();
+  return read_buffer_tolerant(buf.value());
 }
 
 Result<std::vector<CapturedPacket>> PcapReader::read_buffer(
+    std::span<const std::uint8_t> data) {
+  auto read = read_buffer_tolerant(data);
+  if (!read) return read.error();
+  if (read->truncated_tail) return Err("truncated", read->warning);
+  return std::move(read->packets);
+}
+
+Result<PcapReader::TolerantRead> PcapReader::read_buffer_tolerant(
     std::span<const std::uint8_t> data) {
   ByteReader r(data);
   auto magic = r.u32le();
@@ -95,20 +119,30 @@ Result<std::vector<CapturedPacket>> PcapReader::read_buffer(
     return Err("bad-linktype", std::to_string(linktype.value()));
   }
 
-  std::vector<CapturedPacket> out;
+  TolerantRead out;
   while (!r.empty()) {
     auto sec = u32();
     auto usec = u32();
     auto incl = u32();
     auto orig = u32();
-    if (!orig) return Err("truncated", "pcap record header");
+    if (!orig) {
+      out.truncated_tail = true;
+      out.warning = "pcap record header cut short after " +
+                    std::to_string(out.packets.size()) + " packets";
+      break;
+    }
     auto payload = r.bytes(incl.value());
-    if (!payload) return Err("truncated", "pcap record body");
+    if (!payload) {
+      out.truncated_tail = true;
+      out.warning = "pcap record body cut short after " +
+                    std::to_string(out.packets.size()) + " packets";
+      break;
+    }
     CapturedPacket pkt;
     pkt.ts = make_timestamp(sec.value(), usec.value());
     pkt.original_length = orig.value();
     pkt.data.assign(payload->begin(), payload->end());
-    out.push_back(std::move(pkt));
+    out.packets.push_back(std::move(pkt));
   }
   return out;
 }

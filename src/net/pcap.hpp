@@ -67,12 +67,29 @@ class PcapWriter {
 /// SCADA traffic is a few hundred MB at most; the paper's are far smaller).
 class PcapReader {
  public:
-  /// Parses the file; returns all records in capture order.
+  /// A tolerant read: every complete record, plus whether the file ended
+  /// mid-record (a crashed or still-writing tcpdump leaves exactly this).
+  struct TolerantRead {
+    std::vector<CapturedPacket> packets;
+    bool truncated_tail = false;
+    std::string warning;  ///< non-empty iff truncated_tail
+  };
+
+  /// Parses the file; returns all records in capture order. A truncated
+  /// final record is an error (strict mode).
   static Result<std::vector<CapturedPacket>> read_file(const std::string& path);
 
   /// Parses pcap bytes already in memory (used by tests).
   static Result<std::vector<CapturedPacket>> read_buffer(
       std::span<const std::uint8_t> data);
+
+  /// Like read_file, but a truncated tail yields the complete prefix with
+  /// a warning instead of an error. Header-level damage (bad magic, wrong
+  /// link type) is still an error: nothing after it can be interpreted.
+  static Result<TolerantRead> read_file_tolerant(const std::string& path);
+
+  /// Tolerant parse of in-memory pcap bytes.
+  static Result<TolerantRead> read_buffer_tolerant(std::span<const std::uint8_t> data);
 };
 
 }  // namespace uncharted::net

@@ -9,6 +9,50 @@ bool seq_lt(std::uint32_t a, std::uint32_t b) {
 }
 }  // namespace
 
+void StreamStats::accumulate(const StreamStats& o) {
+  retransmissions += o.retransmissions;
+  overlapping_segments += o.overlapping_segments;
+  out_of_order += o.out_of_order;
+  delivered_bytes += o.delivered_bytes;
+  gaps_skipped += o.gaps_skipped;
+  lost_bytes += o.lost_bytes;
+  resets += o.resets;
+  aborted_with_pending += o.aborted_with_pending;
+  wild_segments += o.wild_segments;
+}
+
+void TcpStreamDirection::drain_contiguous(StreamChunk& chunk) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    std::uint32_t start = it->first;
+    std::uint32_t end = start + static_cast<std::uint32_t>(it->second.size());
+    if (!seq_lt(next_seq_, end)) {
+      // Fully stale buffered segment.
+      pending_bytes_ -= it->second.size();
+      it = pending_.erase(it);
+      continue;
+    }
+    if (seq_lt(next_seq_, start)) break;  // gap remains
+    std::uint32_t skip = next_seq_ - start;
+    chunk.data.insert(chunk.data.end(), it->second.begin() + skip, it->second.end());
+    stats_.delivered_bytes += it->second.size() - skip;
+    next_seq_ = end;
+    pending_bytes_ -= it->second.size();
+    it = pending_.erase(it);
+  }
+}
+
+StreamChunk TcpStreamDirection::skip_hole(Timestamp ts) {
+  StreamChunk chunk;
+  chunk.ts = ts;
+  if (pending_.empty()) return chunk;
+  std::uint32_t start = pending_.begin()->first;
+  ++stats_.gaps_skipped;
+  stats_.lost_bytes += start - next_seq_;
+  next_seq_ = start;
+  drain_contiguous(chunk);
+  return chunk;
+}
+
 std::vector<StreamChunk> TcpStreamDirection::on_segment(
     Timestamp ts, const TcpHeader& tcp, std::span<const std::uint8_t> payload) {
   std::vector<StreamChunk> out;
@@ -30,24 +74,42 @@ std::vector<StreamChunk> TcpStreamDirection::on_segment(
 
   if (!seq_lt(next_seq_, seg_end)) {
     // Entire segment is at or before next_seq_: a pure retransmission.
-    ++retransmissions_;
+    ++stats_.retransmissions;
     return out;
   }
 
   if (seq_lt(seg_start, next_seq_)) {
-    // Partial overlap: the head is retransmitted, keep only the new tail.
-    ++retransmissions_;
+    // Partial overlap: the head was already delivered, keep only the
+    // unseen suffix so no byte is ever delivered twice.
+    ++stats_.overlapping_segments;
     std::uint32_t skip = next_seq_ - seg_start;
     payload = payload.subspan(skip);
     seg_start = next_seq_;
   }
 
   if (seg_start != next_seq_) {
+    if (seg_start - next_seq_ > limits_.max_window_bytes) {
+      // Far outside any receive window: a corrupted sequence number, not
+      // a reorder. Buffering it would fake an enormous hole.
+      ++stats_.wild_segments;
+      return out;
+    }
     // Out of order: buffer for later (overwrite-same-start keeps longest).
-    ++out_of_order_;
+    ++stats_.out_of_order;
     auto it = pending_.find(seg_start);
-    if (it == pending_.end() || it->second.size() < payload.size()) {
+    if (it == pending_.end()) {
+      pending_bytes_ += payload.size();
       pending_[seg_start] = {payload.begin(), payload.end()};
+    } else if (it->second.size() < payload.size()) {
+      pending_bytes_ += payload.size() - it->second.size();
+      it->second.assign(payload.begin(), payload.end());
+    }
+    // Past the cap the hole in front can no longer be waited out: abandon
+    // it, deliver the buffered data, and keep memory bounded.
+    while (pending_bytes_ > limits_.max_pending_bytes ||
+           pending_.size() > limits_.max_pending_segments) {
+      auto chunk = skip_hole(ts);
+      if (!chunk.data.empty()) out.push_back(std::move(chunk));
     }
     return out;
   }
@@ -57,33 +119,62 @@ std::vector<StreamChunk> TcpStreamDirection::on_segment(
   chunk.ts = ts;
   chunk.data.assign(payload.begin(), payload.end());
   next_seq_ = seg_end;
-  delivered_ += chunk.data.size();
-
-  for (auto it = pending_.begin(); it != pending_.end();) {
-    std::uint32_t start = it->first;
-    std::uint32_t end = start + static_cast<std::uint32_t>(it->second.size());
-    if (!seq_lt(next_seq_, end)) {
-      // Fully stale buffered segment.
-      it = pending_.erase(it);
-      continue;
-    }
-    if (seq_lt(next_seq_, start)) break;  // gap remains
-    std::uint32_t skip = next_seq_ - start;
-    chunk.data.insert(chunk.data.end(), it->second.begin() + skip, it->second.end());
-    delivered_ += it->second.size() - skip;
-    next_seq_ = end;
-    it = pending_.erase(it);
-  }
-
+  stats_.delivered_bytes += chunk.data.size();
+  drain_contiguous(chunk);
   out.push_back(std::move(chunk));
+  return out;
+}
+
+void TcpStreamDirection::on_reset(Timestamp ts) {
+  (void)ts;
+  ++stats_.resets;
+  if (!pending_.empty()) {
+    // The connection died with a hole outstanding: whatever was buffered
+    // behind it can never be framed reliably, count it all as lost.
+    ++stats_.aborted_with_pending;
+    ++stats_.gaps_skipped;
+    stats_.lost_bytes += pending_bytes_;
+    pending_.clear();
+    pending_bytes_ = 0;
+  }
+  // Re-anchor on the next segment (a reused tuple starts a fresh stream;
+  // an injected RST in the middle of a live stream resumes where the
+  // peer's data continues).
+  initialized_ = false;
+}
+
+std::vector<StreamChunk> TcpStreamDirection::flush(Timestamp ts) {
+  std::vector<StreamChunk> out;
+  while (!pending_.empty()) {
+    auto chunk = skip_hole(ts);
+    if (!chunk.data.empty()) out.push_back(std::move(chunk));
+  }
   return out;
 }
 
 void TcpReassembler::add(Timestamp ts, const DecodedFrame& frame) {
   FlowKey key{frame.ip.src, frame.tcp.src_port, frame.ip.dst, frame.tcp.dst_port};
-  auto& dir = directions_[key];
+  auto it = directions_.find(key);
+  if (it == directions_.end()) {
+    it = directions_.emplace(key, TcpStreamDirection(limits_)).first;
+  }
+  auto& dir = it->second;
   for (auto& chunk : dir.on_segment(ts, frame.tcp, frame.payload)) {
     if (sink_) sink_(key, chunk);
+  }
+  if (frame.tcp.rst()) {
+    // A reset kills both directions of the connection.
+    dir.on_reset(ts);
+    auto rev = directions_.find(key.reversed());
+    if (rev != directions_.end()) rev->second.on_reset(ts);
+  }
+}
+
+void TcpReassembler::flush(Timestamp ts) {
+  for (auto& [key, dir] : directions_) {
+    for (auto& chunk : dir.flush(ts)) {
+      if (sink_) sink_(key, chunk);
+    }
   }
 }
 
@@ -96,6 +187,12 @@ std::uint64_t TcpReassembler::retransmitted_segments() const {
 std::uint64_t TcpReassembler::retransmissions_for(const FlowKey& key) const {
   auto it = directions_.find(key);
   return it == directions_.end() ? 0 : it->second.retransmitted_segments();
+}
+
+StreamStats TcpReassembler::totals() const {
+  StreamStats total;
+  for (const auto& [key, dir] : directions_) total.accumulate(dir.stats());
+  return total;
 }
 
 }  // namespace uncharted::net

@@ -1,15 +1,19 @@
-// TCP stream reassembly with retransmission detection.
+// TCP stream reassembly with retransmission detection and degraded-mode
+// gap handling.
 //
 // The paper found that "repeated U16/U32" anomalies were in fact TCP-layer
 // retransmissions (§6.3.1), so the reassembler must (a) deliver each payload
-// byte exactly once in sequence order, and (b) report how many segments were
+// byte at most once in sequence order, and (b) report how many segments were
 // retransmissions, per direction, so the application layer can distinguish
 // genuine protocol repeats from link noise.
 //
-// Scope: SCADA flows are low-rate and in-order in our captures except for
-// deliberately injected duplicates; the reassembler buffers out-of-order
-// segments and drops fully duplicate ones. Sequence wrap-around is handled
-// via serial number arithmetic.
+// Degraded captures add two requirements. A lost segment opens a hole that
+// may never fill, so the out-of-order buffer is bounded (bytes + segment
+// count); exceeding the cap — or reaching end of capture / a mid-stream
+// RST — records a gap, skips next_seq_ ahead to the buffered data, and
+// delivers what can still be delivered. Every anomaly is counted in
+// StreamStats so the analyzer's DegradationReport can say exactly what was
+// lost. Sequence wrap-around is handled via serial number arithmetic.
 #pragma once
 
 #include <cstdint>
@@ -29,24 +33,72 @@ struct StreamChunk {
   std::vector<std::uint8_t> data;
 };
 
+/// Caps on the out-of-order buffer of one stream direction. When either is
+/// exceeded the hole in front of the buffered data is abandoned (recorded
+/// as a gap) and delivery skips ahead, bounding memory per direction.
+struct ReassemblyLimits {
+  std::size_t max_pending_bytes = 256 * 1024;
+  std::size_t max_pending_segments = 64;
+  /// A segment starting further than this ahead of next_seq_ is outside
+  /// any plausible receive window — in practice a corrupted sequence
+  /// number — and is discarded (counted as wild) rather than buffered,
+  /// so one flipped bit cannot fake a multi-gigabyte hole.
+  std::uint32_t max_window_bytes = 1 << 20;
+};
+
+/// Per-direction counters. All monotone over the life of the stream.
+struct StreamStats {
+  std::uint64_t retransmissions = 0;       ///< fully duplicate segments
+  std::uint64_t overlapping_segments = 0;  ///< partial overlaps (head trimmed)
+  std::uint64_t out_of_order = 0;          ///< segments buffered past a hole
+  std::uint64_t delivered_bytes = 0;
+  std::uint64_t gaps_skipped = 0;   ///< holes abandoned (cap, flush or RST)
+  std::uint64_t lost_bytes = 0;     ///< width of abandoned holes + data dropped by RST
+  std::uint64_t resets = 0;         ///< RST segments observed
+  std::uint64_t aborted_with_pending = 0;  ///< RST while data was buffered
+  std::uint64_t wild_segments = 0;  ///< discarded: start beyond max_window_bytes
+
+  void accumulate(const StreamStats& o);
+};
+
 /// One direction of one connection.
 class TcpStreamDirection {
  public:
-  /// Feeds a segment; returns application chunks that became contiguous.
+  explicit TcpStreamDirection(ReassemblyLimits limits = {}) : limits_(limits) {}
+
+  /// Feeds a segment; returns application chunks that became contiguous
+  /// (possibly after skipping an abandoned hole).
   std::vector<StreamChunk> on_segment(Timestamp ts, const TcpHeader& tcp,
                                       std::span<const std::uint8_t> payload);
 
-  std::uint64_t retransmitted_segments() const { return retransmissions_; }
-  std::uint64_t delivered_bytes() const { return delivered_; }
-  std::uint64_t out_of_order_segments() const { return out_of_order_; }
+  /// A RST tore the stream down: buffered out-of-order data can never
+  /// complete, so it is dropped (counted as lost) and the direction
+  /// re-anchors on the next segment, if any.
+  void on_reset(Timestamp ts);
+
+  /// End of capture: abandons any remaining hole and delivers what was
+  /// buffered behind it. Idempotent once pending data is drained.
+  std::vector<StreamChunk> flush(Timestamp ts);
+
+  const StreamStats& stats() const { return stats_; }
+  std::uint64_t retransmitted_segments() const { return stats_.retransmissions; }
+  std::uint64_t delivered_bytes() const { return stats_.delivered_bytes; }
+  std::uint64_t out_of_order_segments() const { return stats_.out_of_order; }
+  std::uint64_t overlapping_segments() const { return stats_.overlapping_segments; }
 
  private:
+  /// Appends now-contiguous pending buffers to `chunk`.
+  void drain_contiguous(StreamChunk& chunk);
+  /// Abandons the hole before the first pending buffer; returns the chunk
+  /// delivered from behind it (empty data if nothing was pending).
+  StreamChunk skip_hole(Timestamp ts);
+
+  ReassemblyLimits limits_;
   bool initialized_ = false;
   std::uint32_t next_seq_ = 0;  ///< next expected sequence number
   std::map<std::uint32_t, std::vector<std::uint8_t>> pending_;  ///< OOO buffer
-  std::uint64_t retransmissions_ = 0;
-  std::uint64_t delivered_ = 0;
-  std::uint64_t out_of_order_ = 0;
+  std::size_t pending_bytes_ = 0;
+  StreamStats stats_;
 };
 
 /// Reassembles both directions of every connection in a capture and hands
@@ -56,10 +108,14 @@ class TcpReassembler {
   /// sink(directed_key, chunk): invoked for every delivered chunk.
   using Sink = std::function<void(const FlowKey&, const StreamChunk&)>;
 
-  explicit TcpReassembler(Sink sink) : sink_(std::move(sink)) {}
+  explicit TcpReassembler(Sink sink, ReassemblyLimits limits = {})
+      : sink_(std::move(sink)), limits_(limits) {}
 
-  /// Feeds one decoded frame.
+  /// Feeds one decoded frame. RST flags reset both directions of the flow.
   void add(Timestamp ts, const DecodedFrame& frame);
+
+  /// End of capture: flushes every direction through the sink.
+  void flush(Timestamp ts);
 
   /// Total retransmitted segments across all directions.
   std::uint64_t retransmitted_segments() const;
@@ -67,8 +123,12 @@ class TcpReassembler {
   /// Retransmissions for one directed flow (0 if unseen).
   std::uint64_t retransmissions_for(const FlowKey& key) const;
 
+  /// Sum of every direction's counters.
+  StreamStats totals() const;
+
  private:
   Sink sink_;
+  ReassemblyLimits limits_;
   std::map<FlowKey, TcpStreamDirection> directions_;
 };
 

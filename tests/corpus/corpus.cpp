@@ -107,6 +107,76 @@ void add_iec104(std::vector<Seed>& out) {
                  {0x69, 0x04, 0x43, 0x00, 0x00, 0x00}});
 }
 
+// Byte streams shaped like what the fault injector leaves behind after
+// loss, corruption and desync — deterministic snapshots of the damage the
+// chaos sweep produces, so fuzzers start from realistic degraded inputs
+// and the parser's resync taxonomy is pinned at the corpus level.
+void add_fault_streams(std::vector<Seed>& out) {
+  using iec104::Apdu;
+  using iec104::CodecProfile;
+
+  auto meas = measurement_asdu();
+  auto i_frame = encode_apdu(Apdu::make_i(4, 2, meas), CodecProfile::standard());
+  auto u_frame = encode_apdu(Apdu::make_u(iec104::UFunction::kTestFrAct),
+                             CodecProfile::standard());
+  auto s_frame = encode_apdu(Apdu::make_s(12), CodecProfile::standard());
+  auto concat = [](std::initializer_list<std::vector<std::uint8_t>> parts) {
+    std::vector<std::uint8_t> joined;
+    for (const auto& p : parts) joined.insert(joined.end(), p.begin(), p.end());
+    return joined;
+  };
+
+  // Garble damage: line noise between two intact APDUs (one resync).
+  out.push_back({"fault_garbage_between_apdus", Category::kIec104,
+                 concat({i_frame, {0xde, 0xad, 0xbe, 0xef}, i_frame})});
+
+  // Truncation: the capture (or a skipped gap) cuts an APDU in half.
+  auto half = i_frame;
+  half.resize(half.size() / 2);
+  out.push_back({"fault_truncated_mid_apdu", Category::kIec104,
+                 concat({u_frame, half})});
+
+  // Desync: the head of an APDU is missing, so framing lands mid-body and
+  // must hunt for the next genuine 0x68.
+  std::vector<std::uint8_t> tail(i_frame.begin() + 3, i_frame.end());
+  out.push_back({"fault_desync_head_cut", Category::kIec104,
+                 concat({tail, i_frame})});
+
+  // A flipped length octet swallows the start of the next frame.
+  auto bad_len = i_frame;
+  if (bad_len.size() > 1) bad_len[1] = static_cast<std::uint8_t>(bad_len[1] + 7);
+  out.push_back({"fault_corrupt_length_octet", Category::kIec104,
+                 concat({bad_len, s_frame, u_frame})});
+
+  // A bit flip inside the control field: well-framed but undecodable.
+  auto bad_cf = i_frame;
+  if (bad_cf.size() > 2) bad_cf[2] = 0x03;  // U-format with function bits 0
+  out.push_back({"fault_bitflip_control_field", Category::kIec104,
+                 concat({bad_cf, i_frame})});
+
+  // Pure noise — nothing to resynchronize onto.
+  out.push_back({"fault_all_garbage", Category::kIec104,
+                 {0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa}});
+
+  // A run of fake start bytes: every resync lands on another 0x68.
+  out.push_back({"fault_start_byte_flood", Category::kIec104,
+                 concat({{0x68, 0x68, 0x68, 0x68, 0x68, 0x68}, u_frame})});
+
+  // Length below the 4-byte control-field minimum.
+  out.push_back({"fault_undersized_length", Category::kIec104,
+                 concat({{0x68, 0x02, 0x43, 0x00}, s_frame})});
+
+  // The byte-level shape of a TCP retransmission that slipped through:
+  // the same I-frame twice, back to back.
+  out.push_back({"fault_duplicated_apdu", Category::kIec104,
+                 concat({i_frame, i_frame})});
+
+  // Control traffic interleaved with short noise bursts — the steady
+  // state of a link at a few percent corruption.
+  out.push_back({"fault_noisy_control_channel", Category::kIec104,
+                 concat({u_frame, {0x00, 0x13}, s_frame, {0xfe}, u_frame})});
+}
+
 void add_ft12(std::vector<Seed>& out) {
   using iec101::Ft12Frame;
   using iec101::LinkControl;
@@ -247,6 +317,7 @@ const std::vector<Seed>& seeds() {
   static const std::vector<Seed> all = [] {
     std::vector<Seed> out;
     add_iec104(out);
+    add_fault_streams(out);
     add_ft12(out);
     add_iccp(out);
     add_c37118(out);

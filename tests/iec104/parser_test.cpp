@@ -60,6 +60,53 @@ TEST(StreamParser, ResynchronizesAfterGarbage) {
   ASSERT_EQ(parser.failures().size(), 1u);
   EXPECT_EQ(parser.failures()[0].error, "bad-start-byte");
   EXPECT_EQ(parser.failures()[0].raw.size(), 4u);
+  EXPECT_EQ(parser.failures()[0].kind, FailureKind::kGarbage);
+  EXPECT_EQ(parser.resyncs(), 1u);
+  EXPECT_EQ(parser.garbage_bytes(), 4u);
+}
+
+TEST(StreamParser, TaxonomySeparatesGarbageFromUndecodableFromTail) {
+  ApduStreamParser parser;
+  auto good = Apdu::make_u(UFunction::kTestFrAct).encode().take();
+
+  std::vector<std::uint8_t> stream;
+  // (1) garbage before the first frame — a desync the parser hunts past;
+  stream.insert(stream.end(), {0x01, 0x02, 0x03});
+  stream.insert(stream.end(), good.begin(), good.end());
+  // (2) a well-framed APDU whose control field no profile explains;
+  stream.insert(stream.end(), {0x68, 0x04, 0x03, 0x00, 0x00, 0x00});
+  stream.insert(stream.end(), good.begin(), good.end());
+  // (3) a frame cut off by the end of the stream.
+  stream.insert(stream.end(), {0x68, 0x0e, 0x00, 0x00});
+  parser.feed(7, stream);
+  parser.finish(9);
+
+  EXPECT_EQ(parser.apdus().size(), 2u);
+  ASSERT_EQ(parser.failures().size(), 3u);
+  EXPECT_EQ(parser.failures()[0].kind, FailureKind::kGarbage);
+  EXPECT_EQ(parser.failures()[1].kind, FailureKind::kUndecodable);
+  EXPECT_EQ(parser.failures()[2].kind, FailureKind::kTruncatedTail);
+  EXPECT_EQ(parser.failures()[2].raw.size(), 4u);
+  EXPECT_EQ(parser.resyncs(), 1u);
+  EXPECT_EQ(parser.garbage_bytes(), 3u);
+  EXPECT_EQ(parser.truncated_tail_bytes(), 4u);
+  EXPECT_EQ(parser.buffered_bytes(), 0u);  // finish() drained the buffer
+  // finish() is idempotent.
+  parser.finish(10);
+  EXPECT_EQ(parser.failures().size(), 3u);
+}
+
+TEST(StreamParser, ResyncBetweenValidApdusAfterInjectedGarbage) {
+  ApduStreamParser parser;
+  auto frame = encode_with(float_asdu(3, 300, 1.5f), CodecProfile::standard());
+  std::vector<std::uint8_t> stream = frame;
+  stream.insert(stream.end(), {0xde, 0xad});  // injected mid-stream garbage
+  stream.insert(stream.end(), frame.begin(), frame.end());
+  parser.feed(0, stream);
+  ASSERT_EQ(parser.apdus().size(), 2u);
+  EXPECT_EQ(parser.apdus()[1].apdu.token(), "I_13");
+  EXPECT_EQ(parser.resyncs(), 1u);
+  EXPECT_EQ(parser.garbage_bytes(), 2u);
 }
 
 TEST(StreamParser, DetectsLegacyCotProfile) {

@@ -122,6 +122,52 @@ TEST(Pcap, TruncatedRecordIsAnError) {
   std::filesystem::remove(path);
 }
 
+TEST(Pcap, TolerantReadRecoversCompletePrefixOfTruncatedFile) {
+  std::string path = temp_path("uncharted_pcap_tol.pcap");
+  {
+    auto w = PcapWriter::open(path);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w->write(0, sample_frame(0x11, 100)).ok());
+    ASSERT_TRUE(w->write(1, sample_frame(0x22, 80)).ok());
+    ASSERT_TRUE(w->write(2, sample_frame(0x33, 60)).ok());
+    ASSERT_TRUE(w->close().ok());
+  }
+  // Cut mid-way through the third record, as a crashed tap would.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  bytes.resize(bytes.size() - 30);
+
+  auto tolerant = PcapReader::read_buffer_tolerant(bytes);
+  ASSERT_TRUE(tolerant.ok()) << tolerant.error().str();
+  EXPECT_TRUE(tolerant->truncated_tail);
+  EXPECT_FALSE(tolerant->warning.empty());
+  ASSERT_EQ(tolerant->packets.size(), 2u);
+  EXPECT_EQ(tolerant->packets[1].data[0], 0x22);
+
+  // The strict reader still refuses the same bytes...
+  EXPECT_FALSE(PcapReader::read_buffer(bytes).ok());
+
+  // ...and an intact file is tolerant-read with no warning.
+  auto clean = PcapReader::read_file_tolerant(path);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_FALSE(clean->truncated_tail);
+  EXPECT_TRUE(clean->warning.empty());
+  EXPECT_EQ(clean->packets.size(), 3u);
+  std::filesystem::remove(path);
+}
+
+TEST(Pcap, HeaderDamageIsStillAnErrorForTolerantRead) {
+  // Tolerance covers a cut-off tail, not an unreadable file: a capture
+  // whose global header is damaged has no trustworthy prefix at all.
+  std::vector<std::uint8_t> junk = {0x00, 0x01, 0x02, 0x03};
+  EXPECT_FALSE(PcapReader::read_buffer_tolerant(junk).ok());
+}
+
 TEST(Pcap, EmptyCaptureIsValid) {
   std::string path = temp_path("uncharted_pcap_empty.pcap");
   {

@@ -51,7 +51,21 @@ TEST(StreamDirection, PartialOverlapDeliversOnlyNewTail) {
   auto c = dir.on_segment(2, seg(101), bytes({2, 3, 4, 5}));
   ASSERT_EQ(c.size(), 1u);
   EXPECT_EQ(c[0].data, bytes({4, 5}));
-  EXPECT_EQ(dir.retransmitted_segments(), 1u);
+  // A partial overlap is its own stat; full duplicates stay retransmissions.
+  EXPECT_EQ(dir.overlapping_segments(), 1u);
+  EXPECT_EQ(dir.retransmitted_segments(), 0u);
+  EXPECT_EQ(dir.delivered_bytes(), 5u);
+}
+
+TEST(StreamDirection, OverlapNeverDoubleDeliversAcrossPending) {
+  TcpStreamDirection dir;
+  dir.on_segment(1, seg(100), bytes({1, 2}));        // next_seq_ = 102
+  dir.on_segment(2, seg(104), bytes({5, 6}));        // buffered past a hole
+  // Fills the hole and overlaps the pending segment's head.
+  auto c = dir.on_segment(3, seg(102), bytes({3, 4, 5}));
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0].data, bytes({3, 4, 5, 6}));
+  EXPECT_EQ(dir.delivered_bytes(), 6u);
 }
 
 TEST(StreamDirection, OutOfOrderBufferedThenDrained) {
@@ -84,6 +98,146 @@ TEST(StreamDirection, StaleBufferedSegmentDropped) {
   auto c = dir.on_segment(4, seg(101), bytes({2}));
   ASSERT_EQ(c.size(), 1u);
   EXPECT_EQ(c[0].data, bytes({2, 3, 4}));
+}
+
+TEST(StreamDirection, PendingCapAbandonsHoleAndSkipsAhead) {
+  ReassemblyLimits limits;
+  limits.max_pending_segments = 2;
+  TcpStreamDirection dir(limits);
+  dir.on_segment(1, seg(100), bytes({1}));  // next_seq_ = 101
+  // A hole at 101; three out-of-order segments exceed the 2-segment cap.
+  EXPECT_TRUE(dir.on_segment(2, seg(105), bytes({5})).empty());
+  EXPECT_TRUE(dir.on_segment(3, seg(106), bytes({6})).empty());
+  auto c = dir.on_segment(4, seg(107), bytes({7}));
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0].data, bytes({5, 6, 7}));  // delivered past the abandoned hole
+  EXPECT_EQ(dir.stats().gaps_skipped, 1u);
+  EXPECT_EQ(dir.stats().lost_bytes, 4u);  // seq 101..104 never arrived
+}
+
+TEST(StreamDirection, PendingByteCapBoundsMemory) {
+  ReassemblyLimits limits;
+  limits.max_pending_bytes = 8;
+  TcpStreamDirection dir(limits);
+  dir.on_segment(1, seg(100), bytes({1}));
+  EXPECT_TRUE(dir.on_segment(2, seg(110), bytes({1, 2, 3, 4, 5, 6})).empty());
+  auto c = dir.on_segment(3, seg(116), bytes({7, 8, 9}));  // 9 pending bytes > 8
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0].data.size(), 9u);
+  EXPECT_EQ(dir.stats().gaps_skipped, 1u);
+  EXPECT_EQ(dir.stats().lost_bytes, 9u);  // hole 101..109
+}
+
+TEST(StreamDirection, WildSegmentBeyondWindowIsDiscarded) {
+  // A corrupted sequence number lands a "segment" ~2^31 ahead of the
+  // stream. It must be dropped — not buffered as a 2 GiB hole that later
+  // inflates lost_bytes when the cap forces a skip-ahead.
+  TcpStreamDirection dir;
+  dir.on_segment(1, seg(100), bytes({1}));
+  EXPECT_TRUE(dir.on_segment(2, seg(100 + (1u << 31)), bytes({9})).empty());
+  EXPECT_EQ(dir.stats().wild_segments, 1u);
+  EXPECT_EQ(dir.stats().out_of_order, 0u);
+  // The stream continues unharmed and flush() finds nothing pending.
+  auto c = dir.on_segment(3, seg(101), bytes({2}));
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_TRUE(dir.flush(4).empty());
+  EXPECT_EQ(dir.stats().lost_bytes, 0u);
+}
+
+TEST(StreamDirection, FlushDeliversTailBehindUnfilledHole) {
+  TcpStreamDirection dir;
+  dir.on_segment(1, seg(100), bytes({1, 2}));
+  EXPECT_TRUE(dir.on_segment(2, seg(105), bytes({6, 7})).empty());  // hole 102..104
+  auto c = dir.flush(3);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0].data, bytes({6, 7}));
+  EXPECT_EQ(dir.stats().gaps_skipped, 1u);
+  EXPECT_EQ(dir.stats().lost_bytes, 3u);
+  EXPECT_TRUE(dir.flush(4).empty());  // idempotent
+}
+
+TEST(StreamDirection, SequenceWrapWithPendingHole) {
+  TcpStreamDirection dir;
+  std::uint32_t near_max = 0xfffffffd;
+  auto c1 = dir.on_segment(1, seg(near_max), bytes({1, 2}));  // next wraps to 0xffffffff
+  ASSERT_EQ(c1.size(), 1u);
+  // Out-of-order segment on the far side of the wrap (seq 1).
+  EXPECT_TRUE(dir.on_segment(2, seg(1), bytes({4, 5})).empty());
+  // The hole-filler spans the wrap: 0xffffffff..0.
+  auto c2 = dir.on_segment(3, seg(near_max + 2), bytes({3, 3}));
+  ASSERT_EQ(c2.size(), 1u);
+  EXPECT_EQ(c2[0].data, bytes({3, 3, 4, 5}));
+  EXPECT_EQ(dir.stats().lost_bytes, 0u);
+}
+
+TEST(StreamDirection, ResetDropsPendingAndReanchors) {
+  TcpStreamDirection dir;
+  dir.on_segment(1, seg(100), bytes({1}));
+  EXPECT_TRUE(dir.on_segment(2, seg(105), bytes({9, 9})).empty());
+  dir.on_reset(3);
+  EXPECT_EQ(dir.stats().resets, 1u);
+  EXPECT_EQ(dir.stats().aborted_with_pending, 1u);
+  EXPECT_EQ(dir.stats().lost_bytes, 2u);  // the buffered bytes died with the RST
+  // A reused tuple starts a fresh stream at an unrelated sequence number.
+  auto c = dir.on_segment(4, seg(5000), bytes({42}));
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0].data, bytes({42}));
+}
+
+TEST(Reassembler, RstMidStreamResetsBothDirections) {
+  std::vector<std::uint8_t> delivered;
+  TcpReassembler r([&](const FlowKey&, const StreamChunk& chunk) {
+    delivered.insert(delivered.end(), chunk.data.begin(), chunk.data.end());
+  });
+
+  DecodedFrame fwd;
+  fwd.ip.src = Ipv4Addr::parse("10.0.0.1").value();
+  fwd.ip.dst = Ipv4Addr::parse("10.1.0.2").value();
+  fwd.tcp = seg(100);
+  fwd.tcp.src_port = 5000;
+  fwd.tcp.dst_port = 2404;
+  std::uint8_t d1[] = {1, 2};
+  fwd.payload = d1;
+  r.add(1, fwd);
+
+  DecodedFrame rst = fwd;
+  rst.tcp = seg(102, kTcpRst | kTcpAck);
+  rst.tcp.src_port = 5000;
+  rst.tcp.dst_port = 2404;
+  rst.payload = {};
+  r.add(2, rst);
+  EXPECT_EQ(r.totals().resets, 1u);
+
+  // Data continuing after the reset re-anchors instead of being dropped.
+  DecodedFrame cont = fwd;
+  cont.tcp = seg(102);
+  cont.tcp.src_port = 5000;
+  cont.tcp.dst_port = 2404;
+  std::uint8_t d2[] = {3};
+  cont.payload = d2;
+  r.add(3, cont);
+  EXPECT_EQ(delivered, bytes({1, 2, 3}));
+}
+
+TEST(Reassembler, FlushDrainsEveryDirection) {
+  std::size_t chunks = 0;
+  TcpReassembler r([&](const FlowKey&, const StreamChunk&) { ++chunks; });
+  DecodedFrame f;
+  f.ip.src = Ipv4Addr::parse("10.0.0.1").value();
+  f.ip.dst = Ipv4Addr::parse("10.1.0.2").value();
+  f.tcp = seg(200);
+  f.tcp.src_port = 1;
+  f.tcp.dst_port = 2404;
+  std::uint8_t d[] = {1};
+  f.payload = d;
+  r.add(1, f);            // in order, delivered
+  f.tcp.seq = 205;        // hole at 201..204
+  r.add(2, f);
+  EXPECT_EQ(chunks, 1u);
+  r.flush(3);
+  EXPECT_EQ(chunks, 2u);
+  EXPECT_EQ(r.totals().gaps_skipped, 1u);
+  EXPECT_EQ(r.totals().lost_bytes, 4u);
 }
 
 TEST(Reassembler, RoutesPerDirection) {
