@@ -11,6 +11,7 @@
 #include <cstring>
 #include <string>
 
+#include "faultinject/fault.hpp"
 #include "power/measurement.hpp"
 #include "sim/capture.hpp"
 #include "util/strings.hpp"
@@ -22,7 +23,8 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--year 1|2] [--duration SECONDS] [--seed N]\n"
-               "          [--retransmit P] [--no-events] [--out FILE.pcap]\n",
+               "          [--retransmit P] [--no-events] [--out FILE.pcap]\n"
+               "          [--fault-rate P] [--fault-seed N]\n",
                argv0);
 }
 
@@ -32,8 +34,11 @@ int main(int argc, char** argv) {
   int year = 1;
   double duration = 1200.0;
   std::uint64_t seed = 0;
+  bool seed_set = false;  // honor an explicit `--seed 0` too
   double retransmit = -1.0;
   bool events = true;
+  double fault_rate = 0.0;
+  std::uint64_t fault_seed = 0xfa0175;
   std::string out = "capture.pcap";
 
   for (int i = 1; i < argc; ++i) {
@@ -51,10 +56,15 @@ int main(int argc, char** argv) {
       duration = std::atof(next());
     } else if (arg == "--seed") {
       seed = static_cast<std::uint64_t>(std::atoll(next()));
+      seed_set = true;
     } else if (arg == "--retransmit") {
       retransmit = std::atof(next());
     } else if (arg == "--no-events") {
       events = false;
+    } else if (arg == "--fault-rate") {
+      fault_rate = std::atof(next());
+    } else if (arg == "--fault-seed") {
+      fault_seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--out") {
       out = next();
     } else {
@@ -65,13 +75,24 @@ int main(int argc, char** argv) {
 
   sim::CaptureConfig config =
       year == 2 ? sim::CaptureConfig::y2(duration) : sim::CaptureConfig::y1(duration);
-  if (seed) config.seed = seed;
+  if (seed_set) config.seed = seed;
   if (retransmit >= 0) config.retransmit_probability = retransmit;
   config.include_physical_events = events;
 
   std::printf("generating year-%d capture: %.0f s, seed %llu ...\n", year, duration,
               static_cast<unsigned long long>(config.seed));
   auto capture = sim::generate_capture(config);
+  if (fault_rate > 0.0) {
+    // Reproducible chaos capture: same seeds in == byte-identical pcap out,
+    // so a soak failure can be replayed from the command line.
+    auto damaged = faultinject::apply_faults(
+        capture.packets, faultinject::FaultConfig::uniform(fault_rate, fault_seed));
+    std::printf("injected faults at rate %.3f (seed %llu): %s events over %s packets\n",
+                fault_rate, static_cast<unsigned long long>(fault_seed),
+                format_count(damaged.log.total()).c_str(),
+                format_count(damaged.log.eligible_packets).c_str());
+    capture.packets = std::move(damaged.packets);
+  }
   if (auto st = sim::write_capture_pcap(capture, out); !st.ok()) {
     std::fprintf(stderr, "write failed: %s\n", st.error().str().c_str());
     return 1;

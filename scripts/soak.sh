@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Streaming kill/restore soak: the long-run resilience acceptance test.
+#
+# For each fault rate, this script
+#   1. synthesizes a reproducible chaos capture (capture_generator --seed
+#      --fault-rate, so any failure replays from the command line),
+#   2. runs the batch reference (longrun_monitor without a checkpoint:
+#      streaming with no restore is exactly the batch analyzer),
+#   3. streams the same capture while repeatedly kill-9-ing the monitor
+#      (--kill-after exits with no shutdown checkpoint, like a crash) and
+#      restarting it from the last periodic checkpoint,
+#   4. asserts the final headline metrics from the kill/restore run equal
+#      the batch run. Checkpoint resume replays from an exact packet
+#      cursor, so equality — stronger than the documented chaos drift
+#      bounds (stations +/-1, flows +/-10%, same clusters) — must hold.
+#
+# Usage: scripts/soak.sh [--duration SECONDS] [--rates "0 0.01 0.05 0.20"]
+#                        [--seed N] [--build-dir DIR] [--kill-step PACKETS]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+duration=600
+rates="0 0.01 0.05 0.20"
+seed=7
+build_dir=build-release
+kill_step=20000
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --duration)  duration="$2"; shift 2 ;;
+    --rates)     rates="$2"; shift 2 ;;
+    --seed)      seed="$2"; shift 2 ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --kill-step) kill_step="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+gen="$build_dir/examples/capture_generator"
+mon="$build_dir/examples/longrun_monitor"
+for bin in "$gen" "$mon"; do
+  if [ ! -x "$bin" ]; then
+    echo "missing $bin — build the examples first (cmake --preset release)" >&2
+    exit 2
+  fi
+done
+
+workdir="$(mktemp -d "${TMPDIR:-/tmp}/soak.XXXXXX")"
+trap 'rm -rf "$workdir"' EXIT
+
+failures=0
+for rate in $rates; do
+  echo "==> soak @ fault rate $rate (duration ${duration}s, seed $seed)"
+  pcap="$workdir/soak_$rate.pcap"
+  ckpt="$workdir/soak_$rate.ckpt"
+  "$gen" --year 1 --duration "$duration" --seed "$seed" \
+         --fault-rate "$rate" --fault-seed "$seed" --out "$pcap" >/dev/null
+
+  batch="$("$mon" --pcap "$pcap" --quiet)"
+  echo "    batch:    $batch"
+
+  # Kill/restore loop: each incarnation dies $kill_step packets further
+  # in, until one survives to the end of the capture.
+  kill_after=$kill_step
+  restarts=0
+  while :; do
+    rc=0
+    out="$("$mon" --pcap "$pcap" --checkpoint "$ckpt" --interval 2000 \
+                  --kill-after "$kill_after" --quiet)" || rc=$?
+    if [ "$rc" -eq 0 ]; then
+      streamed="$(printf '%s\n' "$out" | tail -n 1)"
+      break
+    elif [ "$rc" -eq 42 ]; then
+      restarts=$((restarts + 1))
+      kill_after=$((kill_after + kill_step))
+    else
+      echo "    FAIL: monitor crashed for real (exit $rc) at rate $rate" >&2
+      printf '%s\n' "$out" >&2
+      failures=$((failures + 1))
+      streamed=""
+      break
+    fi
+  done
+  [ -n "$streamed" ] || continue
+  echo "    streamed: $streamed  (survived $restarts kills)"
+
+  if [ "$streamed" != "$batch" ]; then
+    echo "    FAIL: kill/restore run diverged from batch at rate $rate" >&2
+    failures=$((failures + 1))
+  fi
+done
+
+if [ "$failures" -gt 0 ]; then
+  echo "==> soak FAILED ($failures rate(s) diverged or crashed)" >&2
+  exit 1
+fi
+echo "==> soak passed: kill/restore streaming == batch at every fault rate"

@@ -48,49 +48,161 @@ double BandwidthReport::mean_rate_bps(TapProtocol p) const {
 
 BandwidthReport analyze_bandwidth(const std::vector<net::CapturedPacket>& packets,
                                   double bucket_seconds) {
-  BandwidthReport out;
-  out.bucket_seconds = bucket_seconds;
-  if (packets.empty()) return out;
-  out.start_ts = packets.front().ts;
+  BandwidthAccumulator acc(bucket_seconds);
+  for (const auto& pkt : packets) acc.add_packet(pkt);
+  return acc.finish();
+}
 
-  std::map<net::FlowKey, std::uint64_t> connection_bytes;
-  std::optional<Timestamp> prev_iec104;
+BandwidthAccumulator::BandwidthAccumulator(double bucket_seconds)
+    : bucket_seconds_(bucket_seconds) {}
 
-  for (const auto& pkt : packets) {
-    auto frame = net::decode_frame(pkt.data);
-    if (!frame) continue;
-    TapProtocol proto = classify(frame.value());
-    double rel = to_seconds(static_cast<DurationUs>(pkt.ts - out.start_ts));
-    auto bucket_index = static_cast<std::size_t>(rel / bucket_seconds);
-
-    auto& buckets = out.series[proto];
-    while (buckets.size() <= bucket_index) {
-      buckets.push_back(RateBucket{static_cast<double>(buckets.size()) * bucket_seconds,
-                                   0, 0});
-    }
-    buckets[bucket_index].bytes += pkt.data.size();
-    ++buckets[bucket_index].packets;
-    out.total_bytes[proto] += pkt.data.size();
-    ++out.total_packets[proto];
-
-    connection_bytes[net::FlowKey{frame->ip.src, frame->tcp.src_port, frame->ip.dst,
-                                  frame->tcp.dst_port}
-                         .canonical()] += frame->payload.size();
-
-    if (proto == TapProtocol::kIec104) {
-      if (prev_iec104) {
-        out.iec104_interarrival_s.add(
-            to_seconds(static_cast<DurationUs>(pkt.ts - *prev_iec104)));
-      }
-      prev_iec104 = pkt.ts;
-    }
+void BandwidthAccumulator::add_packet(const net::CapturedPacket& pkt) {
+  if (!have_start_) {
+    start_ts_ = pkt.ts;
+    have_start_ = true;
   }
+  auto frame = net::decode_frame(pkt.data);
+  if (!frame) return;
+  TapProtocol proto = classify(frame.value());
+  double rel = to_seconds(static_cast<DurationUs>(pkt.ts - start_ts_));
+  auto bucket_index = static_cast<std::size_t>(rel / bucket_seconds_);
 
-  out.top_connections.assign(connection_bytes.begin(), connection_bytes.end());
+  auto& buckets = series_[proto];
+  while (buckets.size() <= bucket_index) {
+    buckets.push_back(RateBucket{static_cast<double>(buckets.size()) * bucket_seconds_,
+                                 0, 0});
+  }
+  buckets[bucket_index].bytes += pkt.data.size();
+  ++buckets[bucket_index].packets;
+  total_bytes_[proto] += pkt.data.size();
+  ++total_packets_[proto];
+
+  connection_bytes_[net::FlowKey{frame->ip.src, frame->tcp.src_port, frame->ip.dst,
+                                 frame->tcp.dst_port}
+                        .canonical()] += frame->payload.size();
+
+  if (proto == TapProtocol::kIec104) {
+    if (prev_iec104_) {
+      iec104_interarrival_s_.add(
+          to_seconds(static_cast<DurationUs>(pkt.ts - *prev_iec104_)));
+    }
+    prev_iec104_ = pkt.ts;
+  }
+}
+
+BandwidthReport BandwidthAccumulator::finish() const {
+  BandwidthReport out;
+  out.bucket_seconds = bucket_seconds_;
+  out.start_ts = start_ts_;
+  out.series = series_;
+  out.total_bytes = total_bytes_;
+  out.total_packets = total_packets_;
+  out.iec104_interarrival_s = iec104_interarrival_s_;
+  out.top_connections.assign(connection_bytes_.begin(), connection_bytes_.end());
   std::sort(out.top_connections.begin(), out.top_connections.end(),
             [](const auto& a, const auto& b) { return a.second > b.second; });
   if (out.top_connections.size() > 20) out.top_connections.resize(20);
   return out;
+}
+
+void BandwidthAccumulator::save(ByteWriter& w) const {
+  w.f64le(bucket_seconds_);
+  w.u8(have_start_ ? 1 : 0);
+  w.u64le(start_ts_);
+  w.u32le(static_cast<std::uint32_t>(series_.size()));
+  for (const auto& [proto, buckets] : series_) {
+    w.u8(static_cast<std::uint8_t>(proto));
+    w.u32le(static_cast<std::uint32_t>(buckets.size()));
+    for (const auto& b : buckets) {
+      w.f64le(b.t_seconds);
+      w.u64le(b.bytes);
+      w.u64le(b.packets);
+    }
+  }
+  auto save_totals = [&w](const std::map<TapProtocol, std::uint64_t>& m) {
+    w.u32le(static_cast<std::uint32_t>(m.size()));
+    for (const auto& [proto, v] : m) {
+      w.u8(static_cast<std::uint8_t>(proto));
+      w.u64le(v);
+    }
+  };
+  save_totals(total_bytes_);
+  save_totals(total_packets_);
+  w.u32le(static_cast<std::uint32_t>(connection_bytes_.size()));
+  for (const auto& [key, bytes] : connection_bytes_) {
+    key.save(w);
+    w.u64le(bytes);
+  }
+  w.u8(prev_iec104_.has_value() ? 1 : 0);
+  if (prev_iec104_) w.u64le(*prev_iec104_);
+  iec104_interarrival_s_.save(w);
+}
+
+Status BandwidthAccumulator::load(ByteReader& r) {
+  auto bucket = r.f64le();
+  auto have_start = r.u8();
+  auto start = r.u64le();
+  if (!start) return start.error();
+  bucket_seconds_ = bucket.value();
+  have_start_ = have_start.value() != 0;
+  start_ts_ = start.value();
+
+  auto series_count = r.u32le();
+  if (!series_count) return series_count.error();
+  series_.clear();
+  for (std::uint32_t i = 0; i < series_count.value(); ++i) {
+    auto proto = r.u8();
+    auto bucket_count = r.u32le();
+    if (!bucket_count) return bucket_count.error();
+    auto& buckets = series_[static_cast<TapProtocol>(proto.value())];
+    buckets.reserve(bucket_count.value());
+    for (std::uint32_t j = 0; j < bucket_count.value(); ++j) {
+      auto t = r.f64le();
+      auto bytes = r.u64le();
+      auto packets = r.u64le();
+      if (!packets) return packets.error();
+      buckets.push_back(RateBucket{t.value(), bytes.value(), packets.value()});
+    }
+  }
+
+  auto load_totals = [&r](std::map<TapProtocol, std::uint64_t>& m) -> Status {
+    auto count = r.u32le();
+    if (!count) return count.error();
+    m.clear();
+    for (std::uint32_t i = 0; i < count.value(); ++i) {
+      auto proto = r.u8();
+      auto v = r.u64le();
+      if (!v) return v.error();
+      m[static_cast<TapProtocol>(proto.value())] = v.value();
+    }
+    return Status::Ok();
+  };
+  if (auto st = load_totals(total_bytes_); !st) return st;
+  if (auto st = load_totals(total_packets_); !st) return st;
+
+  auto conn_count = r.u32le();
+  if (!conn_count) return conn_count.error();
+  connection_bytes_.clear();
+  for (std::uint32_t i = 0; i < conn_count.value(); ++i) {
+    auto key = net::FlowKey::load(r);
+    if (!key) return key.error();
+    auto bytes = r.u64le();
+    if (!bytes) return bytes.error();
+    connection_bytes_[key.value()] = bytes.value();
+  }
+
+  auto has_prev = r.u8();
+  if (!has_prev) return has_prev.error();
+  prev_iec104_.reset();
+  if (has_prev.value()) {
+    auto prev = r.u64le();
+    if (!prev) return prev.error();
+    prev_iec104_ = prev.value();
+  }
+  auto stats = RunningStats::load(r);
+  if (!stats) return stats.error();
+  iec104_interarrival_s_ = stats.value();
+  return Status::Ok();
 }
 
 }  // namespace uncharted::analysis

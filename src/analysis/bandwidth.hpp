@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -51,5 +52,35 @@ struct BandwidthReport {
 /// Computes the report with the given time bucket (default 10 s).
 BandwidthReport analyze_bandwidth(const std::vector<net::CapturedPacket>& packets,
                                   double bucket_seconds = 10.0);
+
+/// Incremental bandwidth accounting: one packet at a time, checkpointable.
+/// `analyze_bandwidth` is a thin wrapper; the streaming analyzer feeds one
+/// of these alongside the DatasetBuilder.
+class BandwidthAccumulator {
+ public:
+  explicit BandwidthAccumulator(double bucket_seconds = 10.0);
+
+  void add_packet(const net::CapturedPacket& pkt);
+
+  /// Snapshot of the report so far (top talkers sorted and truncated).
+  BandwidthReport finish() const;
+
+  /// Checkpoint serialization. The bucket width is saved too — it shapes
+  /// the series, so a restore under a different width must not silently
+  /// mix scales (load adopts the saved width).
+  void save(ByteWriter& w) const;
+  Status load(ByteReader& r);
+
+ private:
+  double bucket_seconds_;
+  bool have_start_ = false;
+  Timestamp start_ts_ = 0;
+  std::map<TapProtocol, std::vector<RateBucket>> series_;
+  std::map<TapProtocol, std::uint64_t> total_bytes_;
+  std::map<TapProtocol, std::uint64_t> total_packets_;
+  std::map<net::FlowKey, std::uint64_t> connection_bytes_;
+  std::optional<Timestamp> prev_iec104_;
+  RunningStats iec104_interarrival_s_;
+};
 
 }  // namespace uncharted::analysis

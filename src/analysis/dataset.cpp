@@ -1,6 +1,7 @@
 #include "analysis/dataset.hpp"
 
 #include <algorithm>
+#include <array>
 #include <set>
 
 namespace uncharted::analysis {
@@ -10,172 +11,227 @@ EndpointPair EndpointPair::of(net::Ipv4Addr x, net::Ipv4Addr y) {
   return EndpointPair{x, y};
 }
 
-namespace {
-
-/// Per-directed-flow parse health, for the quarantine decision.
-struct FlowHealth {
-  std::uint64_t apdus = 0;
-  std::uint64_t failures = 0;
-};
-
-}  // namespace
-
 CaptureDataset CaptureDataset::build(const std::vector<net::CapturedPacket>& packets,
                                      const Options& options) {
-  CaptureDataset ds;
-  auto& deg = ds.stats_.degradation;
+  DatasetBuilder builder(options);
+  for (const auto& pkt : packets) builder.add_packet(pkt);
+  return builder.finish();
+}
 
-  // One stream parser per directed 4-tuple keeps APDU framing correct even
-  // when APDUs straddle segment boundaries or ports are reused.
-  std::map<net::FlowKey, iec104::ApduStreamParser> parsers;
-  auto parser_for = [&](const net::FlowKey& key) -> iec104::ApduStreamParser& {
-    auto it = parsers.find(key);
-    if (it == parsers.end()) {
-      it = parsers.emplace(key, iec104::ApduStreamParser(options.parser_mode)).first;
-    }
-    return it->second;
-  };
-
-  std::map<net::FlowKey, FlowHealth> health;
-
-  // Accounts everything a parser produced since the last visit: new APDUs
-  // become records, new failures feed the degradation taxonomy.
-  auto collect = [&](const net::FlowKey& key, iec104::ApduStreamParser& parser,
-                     std::size_t apdus_before, std::size_t failures_before) {
-    auto& h = health[key];
-    for (std::size_t i = failures_before; i < parser.failures().size(); ++i) {
-      const auto& f = parser.failures()[i];
-      ++ds.stats_.apdu_failures;
-      ++h.failures;
-      switch (f.kind) {
-        case iec104::FailureKind::kGarbage:
-          ++deg.parser_resyncs;
-          deg.garbage_bytes += f.raw.size();
-          break;
-        case iec104::FailureKind::kUndecodable:
-          ++deg.undecodable_apdus;
-          break;
-        case iec104::FailureKind::kTruncatedTail:
-          deg.truncated_tail_bytes += f.raw.size();
-          break;
-      }
-    }
-    for (std::size_t i = apdus_before; i < parser.apdus().size(); ++i) {
-      ApduRecord rec;
-      rec.ts = parser.apdus()[i].ts;
-      rec.flow = key;
-      rec.apdu = parser.apdus()[i];
-      ds.records_.push_back(std::move(rec));
-      ++h.apdus;
-    }
-  };
-
-  auto ingest = [&](const net::FlowKey& key, Timestamp ts,
-                    std::span<const std::uint8_t> payload) {
-    auto& parser = parser_for(key);
-    std::size_t apdus_before = parser.apdus().size();
-    std::size_t failures_before = parser.failures().size();
-    parser.feed(ts, payload);
-    collect(key, parser, apdus_before, failures_before);
-  };
-
-  std::optional<net::TcpReassembler> reassembler;
-  if (options.mode == ParseMode::kReassembled) {
-    reassembler.emplace(
-        [&](const net::FlowKey& key, const net::StreamChunk& chunk) {
+DatasetBuilder::DatasetBuilder(CaptureDataset::Options options,
+                               ResourceBudgets budgets)
+    : options_(options), budgets_(budgets) {
+  if (options_.mode == ParseMode::kReassembled) {
+    reassembler_.emplace(
+        [this](const net::FlowKey& key, const net::StreamChunk& chunk) {
           ingest(key, chunk.ts, chunk.data);
         },
-        options.reassembly_limits);
+        options_.reassembly_limits);
   }
+}
 
-  Timestamp last_ts = 0;
-  for (const auto& pkt : packets) {
-    ++ds.stats_.packets;
-    last_ts = pkt.ts;
-    auto frame = net::decode_frame(pkt.data);
-    if (!frame) {
-      ++ds.stats_.undecodable_frames;
-      ++deg.undecodable_frames;
-      continue;
+iec104::ApduStreamParser& DatasetBuilder::parser_for(const net::FlowKey& key) {
+  auto it = parsers_.find(key);
+  if (it == parsers_.end()) {
+    it = parsers_.emplace(key, iec104::ApduStreamParser(options_.parser_mode)).first;
+  }
+  return it->second;
+}
+
+void DatasetBuilder::collect(const net::FlowKey& key,
+                             std::vector<iec104::ParsedApdu>& apdus,
+                             std::vector<iec104::ParseFailure>& failures) {
+  auto& deg = stats_.degradation;
+  auto& h = health_[key];
+  for (const auto& f : failures) {
+    ++stats_.apdu_failures;
+    ++h.failures;
+    switch (f.kind) {
+      case iec104::FailureKind::kGarbage:
+        ++deg.parser_resyncs;
+        deg.garbage_bytes += f.raw.size();
+        break;
+      case iec104::FailureKind::kUndecodable:
+        ++deg.undecodable_apdus;
+        break;
+      case iec104::FailureKind::kTruncatedTail:
+        deg.truncated_tail_bytes += f.raw.size();
+        break;
     }
-    ++ds.stats_.tcp_packets;
-    ds.flows_.add(pkt.ts, frame.value());
+  }
+  for (auto& parsed : apdus) {
+    ApduRecord rec;
+    rec.ts = parsed.ts;
+    rec.flow = key;
+    rec.apdu = std::move(parsed);
+    records_.push_back(std::move(rec));
+    ++h.apdus;
+  }
+  apdus.clear();
+  failures.clear();
+}
 
-    bool is_iec104 = frame->tcp.src_port == options.iec104_port ||
-                     frame->tcp.dst_port == options.iec104_port;
-    if (!is_iec104) {
-      auto on_port = [&](std::uint16_t port) {
-        return frame->tcp.src_port == port || frame->tcp.dst_port == port;
-      };
-      if (on_port(4712)) {
-        ++ds.stats_.c37118_packets;
-      } else if (on_port(102)) {
-        ++ds.stats_.iccp_packets;
-      } else {
-        ++ds.stats_.other_tcp_packets;
+void DatasetBuilder::ingest(const net::FlowKey& key, Timestamp ts,
+                            std::span<const std::uint8_t> payload) {
+  auto& parser = parser_for(key);
+  parser.feed(ts, payload);
+  parser.drain(drained_apdus_, drained_failures_);
+  collect(key, drained_apdus_, drained_failures_);
+}
+
+void DatasetBuilder::enforce_budgets() {
+  if (budgets_.max_flow_entries > 0 &&
+      flows_.connection_count() > budgets_.max_flow_entries) {
+    pressure_.flow_evictions += flows_.evict_lru(budgets_.max_flow_entries);
+  }
+  if (reassembler_ && budgets_.max_reassembly_bytes > 0 &&
+      reassembler_->pending_bytes() > budgets_.max_reassembly_bytes) {
+    pressure_.reassembly_flushes +=
+        reassembler_->evict_pending(last_ts_, budgets_.max_reassembly_bytes);
+  }
+  if (budgets_.max_records > 0 && records_.size() > budgets_.max_records) {
+    // Drop a quarter of the budget at once so the O(n) front erase
+    // amortizes instead of firing on every subsequent packet.
+    std::size_t target = budgets_.max_records - budgets_.max_records / 4;
+    std::size_t drop = records_.size() - target;
+    records_.erase(records_.begin(),
+                   records_.begin() + static_cast<std::ptrdiff_t>(drop));
+    pressure_.records_evicted += drop;
+  }
+  if (budgets_.max_parsers > 0 && parsers_.size() > budgets_.max_parsers) {
+    // Idle parsers (no partial frame) carry only a locked profile: retire
+    // them first. If that is not enough, retire buffering parsers too —
+    // their partial frame becomes an accounted truncated tail.
+    for (int pass = 0; pass < 2 && parsers_.size() > budgets_.max_parsers; ++pass) {
+      for (auto it = parsers_.begin();
+           it != parsers_.end() && parsers_.size() > budgets_.max_parsers;) {
+        if (pass == 0 && it->second.buffered_bytes() > 0) {
+          ++it;
+          continue;
+        }
+        it->second.finish(last_ts_);
+        it->second.drain(drained_apdus_, drained_failures_);
+        collect(it->first, drained_apdus_, drained_failures_);
+        it = parsers_.erase(it);
+        ++pressure_.parsers_evicted;
       }
-      continue;
-    }
-
-    if (options.mode == ParseMode::kReassembled) {
-      reassembler->add(pkt.ts, frame.value());
-    } else if (!frame->payload.empty()) {
-      ++ds.stats_.iec104_payload_packets;
-      net::FlowKey key{frame->ip.src, frame->tcp.src_port, frame->ip.dst,
-                       frame->tcp.dst_port};
-      // Per-packet mode: each payload parsed independently (fresh framing),
-      // matching the paper's per-packet SCAPY pipeline. An APDU cut off by
-      // the packet boundary is a truncated tail, not silence.
-      iec104::ApduStreamParser packet_parser(options.parser_mode);
-      packet_parser.feed(pkt.ts, frame->payload);
-      packet_parser.finish(pkt.ts);
-      collect(key, packet_parser, 0, 0);
     }
   }
 
-  if (reassembler) {
+  // Peaks are sampled after enforcement: they are the post-governance
+  // high-water marks, so an enforced budget is never reported as exceeded
+  // by the one-packet transient that triggered the eviction.
+  pressure_.peak_flow_entries =
+      std::max<std::uint64_t>(pressure_.peak_flow_entries, flows_.connection_count());
+  pressure_.peak_records =
+      std::max<std::uint64_t>(pressure_.peak_records, records_.size());
+  pressure_.peak_parsers =
+      std::max<std::uint64_t>(pressure_.peak_parsers, parsers_.size());
+  if (reassembler_) {
+    pressure_.peak_reassembly_bytes = std::max<std::uint64_t>(
+        pressure_.peak_reassembly_bytes, reassembler_->pending_bytes());
+  }
+}
+
+void DatasetBuilder::add_packet(const net::CapturedPacket& pkt) {
+  ++packets_consumed_;
+  ++stats_.packets;
+  last_ts_ = pkt.ts;
+  auto frame = net::decode_frame(pkt.data);
+  if (!frame) {
+    ++stats_.undecodable_frames;
+    ++stats_.degradation.undecodable_frames;
+    return;
+  }
+  ++stats_.tcp_packets;
+  flows_.add(pkt.ts, frame.value());
+
+  bool is_iec104 = frame->tcp.src_port == options_.iec104_port ||
+                   frame->tcp.dst_port == options_.iec104_port;
+  if (!is_iec104) {
+    auto on_port = [&](std::uint16_t port) {
+      return frame->tcp.src_port == port || frame->tcp.dst_port == port;
+    };
+    if (on_port(4712)) {
+      ++stats_.c37118_packets;
+    } else if (on_port(102)) {
+      ++stats_.iccp_packets;
+    } else {
+      ++stats_.other_tcp_packets;
+    }
+    enforce_budgets();
+    return;
+  }
+
+  if (options_.mode == ParseMode::kReassembled) {
+    reassembler_->add(pkt.ts, frame.value());
+  } else if (!frame->payload.empty()) {
+    ++stats_.iec104_payload_packets;
+    net::FlowKey key{frame->ip.src, frame->tcp.src_port, frame->ip.dst,
+                     frame->tcp.dst_port};
+    // Per-packet mode: each payload parsed independently (fresh framing),
+    // matching the paper's per-packet SCAPY pipeline. An APDU cut off by
+    // the packet boundary is a truncated tail, not silence.
+    iec104::ApduStreamParser packet_parser(options_.parser_mode);
+    packet_parser.feed(pkt.ts, frame->payload);
+    packet_parser.finish(pkt.ts);
+    packet_parser.drain(drained_apdus_, drained_failures_);
+    collect(key, drained_apdus_, drained_failures_);
+  }
+  enforce_budgets();
+}
+
+CaptureDataset DatasetBuilder::finish() {
+  CaptureDataset ds;
+
+  if (reassembler_) {
     // End of capture: abandon outstanding holes, deliver what is behind
     // them, then account the partial tails left in the stream parsers.
-    reassembler->flush(last_ts);
-    ds.stats_.tcp_retransmissions = reassembler->retransmitted_segments();
-    auto totals = reassembler->totals();
+    reassembler_->flush(last_ts_);
+    stats_.tcp_retransmissions = reassembler_->retransmitted_segments();
+    auto totals = reassembler_->totals();
+    auto& deg = stats_.degradation;
     deg.reassembly_gaps += totals.gaps_skipped;
     deg.reassembly_lost_bytes += totals.lost_bytes;
     deg.overlapping_segments += totals.overlapping_segments;
     deg.aborted_streams += totals.aborted_with_pending;
     deg.wild_segments += totals.wild_segments;
-    for (auto& [key, parser] : parsers) {
-      std::size_t apdus_before = parser.apdus().size();
-      std::size_t failures_before = parser.failures().size();
-      parser.finish(last_ts);
-      collect(key, parser, apdus_before, failures_before);
+    for (auto& [key, parser] : parsers_) {
+      parser.finish(last_ts_);
+      parser.drain(drained_apdus_, drained_failures_);
+      collect(key, drained_apdus_, drained_failures_);
     }
   }
 
   // Quarantine: a directed stream drowning in parse failures is producing
   // mis-decoded APDUs, not telemetry. Drop its records so one poisoned
   // stream cannot skew the report, and say so in the counters.
-  if (options.quarantine_failure_threshold > 0) {
+  if (options_.quarantine_failure_threshold > 0) {
     std::set<net::FlowKey> quarantined;
-    for (const auto& [key, h] : health) {
-      if (h.failures >= options.quarantine_failure_threshold && h.failures > h.apdus) {
+    for (const auto& [key, h] : health_) {
+      if (h.failures >= options_.quarantine_failure_threshold &&
+          h.failures > h.apdus) {
         quarantined.insert(key);
       }
     }
     if (!quarantined.empty()) {
-      auto dropped = std::erase_if(ds.records_, [&](const ApduRecord& rec) {
+      auto dropped = std::erase_if(records_, [&](const ApduRecord& rec) {
         return quarantined.count(rec.flow) != 0;
       });
-      deg.quarantined_apdus += dropped;
-      deg.quarantined_connections += quarantined.size();
+      stats_.degradation.quarantined_apdus += dropped;
+      stats_.degradation.quarantined_connections += quarantined.size();
       ds.quarantined_.assign(quarantined.begin(), quarantined.end());
     }
   }
 
   // Per-packet mode appends in packet order which is already time order;
   // reassembled mode can deliver chunks out of order across flows.
-  std::stable_sort(ds.records_.begin(), ds.records_.end(),
+  std::stable_sort(records_.begin(), records_.end(),
                    [](const ApduRecord& a, const ApduRecord& b) { return a.ts < b.ts; });
+
+  ds.stats_ = stats_;
+  ds.flows_ = std::move(flows_);
+  ds.records_ = std::move(records_);
 
   for (std::size_t i = 0; i < ds.records_.size(); ++i) {
     const auto& rec = ds.records_[i];
@@ -188,7 +244,7 @@ CaptureDataset CaptureDataset::build(const std::vector<net::CapturedPacket>& pac
       // Attribute to the outstation (the IEC 104 port owner): a vendor
       // server configured for a legacy RTU mirrors its dialect, but the
       // paper's compliance finding is about the device, not the direction.
-      net::Ipv4Addr station = rec.flow.src_port == options.iec104_port
+      net::Ipv4Addr station = rec.flow.src_port == options_.iec104_port
                                   ? rec.flow.src_ip
                                   : rec.flow.dst_ip;
       auto& entry = ds.compliance_[station];
@@ -201,6 +257,205 @@ CaptureDataset CaptureDataset::build(const std::vector<net::CapturedPacket>& pac
   }
 
   return ds;
+}
+
+namespace {
+
+void save_counters(ByteWriter& w, const DegradationCounters& d) {
+  w.u64le(d.undecodable_frames);
+  w.u64le(d.parser_resyncs);
+  w.u64le(d.garbage_bytes);
+  w.u64le(d.undecodable_apdus);
+  w.u64le(d.truncated_tail_bytes);
+  w.u64le(d.reassembly_gaps);
+  w.u64le(d.reassembly_lost_bytes);
+  w.u64le(d.overlapping_segments);
+  w.u64le(d.aborted_streams);
+  w.u64le(d.wild_segments);
+  w.u64le(d.quarantined_connections);
+  w.u64le(d.quarantined_apdus);
+}
+
+Status load_counters(ByteReader& r, DegradationCounters& d) {
+  std::array<std::uint64_t*, 12> fields = {
+      &d.undecodable_frames,   &d.parser_resyncs,
+      &d.garbage_bytes,        &d.undecodable_apdus,
+      &d.truncated_tail_bytes, &d.reassembly_gaps,
+      &d.reassembly_lost_bytes, &d.overlapping_segments,
+      &d.aborted_streams,      &d.wild_segments,
+      &d.quarantined_connections, &d.quarantined_apdus};
+  for (auto* field : fields) {
+    auto v = r.u64le();
+    if (!v) return v.error();
+    *field = v.value();
+  }
+  return Status::Ok();
+}
+
+void save_stats(ByteWriter& w, const DatasetStats& s) {
+  w.u64le(s.packets);
+  w.u64le(s.tcp_packets);
+  w.u64le(s.undecodable_frames);
+  w.u64le(s.iec104_payload_packets);
+  w.u64le(s.apdus);
+  w.u64le(s.apdu_failures);
+  w.u64le(s.c37118_packets);
+  w.u64le(s.iccp_packets);
+  w.u64le(s.other_tcp_packets);
+  w.u64le(s.non_compliant_apdus);
+  w.u64le(s.tcp_retransmissions);
+  save_counters(w, s.degradation);
+}
+
+Status load_stats(ByteReader& r, DatasetStats& s) {
+  std::array<std::uint64_t*, 11> fields = {
+      &s.packets,         &s.tcp_packets,        &s.undecodable_frames,
+      &s.iec104_payload_packets, &s.apdus,       &s.apdu_failures,
+      &s.c37118_packets,  &s.iccp_packets,       &s.other_tcp_packets,
+      &s.non_compliant_apdus, &s.tcp_retransmissions};
+  for (auto* field : fields) {
+    auto v = r.u64le();
+    if (!v) return v.error();
+    *field = v.value();
+  }
+  return load_counters(r, s.degradation);
+}
+
+void save_profile(ByteWriter& w, const iec104::CodecProfile& p) {
+  w.u8(static_cast<std::uint8_t>(p.cot_octets));
+  w.u8(static_cast<std::uint8_t>(p.ioa_octets));
+  w.u8(static_cast<std::uint8_t>(p.ca_octets));
+}
+
+Result<iec104::CodecProfile> load_profile(ByteReader& r) {
+  auto cot = r.u8();
+  auto ioa = r.u8();
+  auto ca = r.u8();
+  if (!ca) return ca.error();
+  return iec104::CodecProfile{cot.value(), ioa.value(), ca.value()};
+}
+
+}  // namespace
+
+Status DatasetBuilder::save(ByteWriter& w) const {
+  save_stats(w, stats_);
+  pressure_.save(w);
+  flows_.save(w);
+  w.u64le(last_ts_);
+  w.u64le(packets_consumed_);
+
+  // APDU records travel re-encoded under their own codec profile. The
+  // parser only accepts exact decodes, so encode(profile) round-trips.
+  w.u32le(static_cast<std::uint32_t>(records_.size()));
+  for (const auto& rec : records_) {
+    w.u64le(rec.ts);
+    rec.flow.save(w);
+    w.u64le(rec.apdu.ts);
+    save_profile(w, rec.apdu.profile);
+    w.u8(rec.apdu.compliant ? 1 : 0);
+    w.u32le(static_cast<std::uint32_t>(rec.apdu.wire_size));
+    auto encoded = rec.apdu.apdu.encode(rec.apdu.profile);
+    if (!encoded) return encoded.error();
+    w.u32le(static_cast<std::uint32_t>(encoded->size()));
+    w.bytes(*encoded);
+  }
+
+  w.u32le(static_cast<std::uint32_t>(parsers_.size()));
+  for (const auto& [key, parser] : parsers_) {
+    key.save(w);
+    parser.save(w);
+  }
+
+  w.u32le(static_cast<std::uint32_t>(health_.size()));
+  for (const auto& [key, h] : health_) {
+    key.save(w);
+    w.u64le(h.apdus);
+    w.u64le(h.failures);
+  }
+
+  w.u8(reassembler_.has_value() ? 1 : 0);
+  if (reassembler_) reassembler_->save(w);
+  return Status::Ok();
+}
+
+Status DatasetBuilder::load(ByteReader& r) {
+  if (auto st = load_stats(r, stats_); !st) return st;
+  auto pressure = ResourcePressure::load(r);
+  if (!pressure) return pressure.error();
+  pressure_ = pressure.value();
+  if (auto st = flows_.load(r); !st) return st;
+  auto last_ts = r.u64le();
+  auto consumed = r.u64le();
+  if (!consumed) return consumed.error();
+  last_ts_ = last_ts.value();
+  packets_consumed_ = consumed.value();
+
+  auto record_count = r.u32le();
+  if (!record_count) return record_count.error();
+  records_.clear();
+  records_.reserve(record_count.value());
+  for (std::uint32_t i = 0; i < record_count.value(); ++i) {
+    ApduRecord rec;
+    auto ts = r.u64le();
+    if (!ts) return ts.error();
+    rec.ts = ts.value();
+    auto flow = net::FlowKey::load(r);
+    if (!flow) return flow.error();
+    rec.flow = flow.value();
+    auto apdu_ts = r.u64le();
+    if (!apdu_ts) return apdu_ts.error();
+    rec.apdu.ts = apdu_ts.value();
+    auto profile = load_profile(r);
+    if (!profile) return profile.error();
+    rec.apdu.profile = profile.value();
+    auto compliant = r.u8();
+    auto wire_size = r.u32le();
+    auto len = r.u32le();
+    if (!len) return len.error();
+    auto bytes = r.bytes(len.value());
+    if (!bytes) return bytes.error();
+    rec.apdu.compliant = compliant.value() != 0;
+    rec.apdu.wire_size = wire_size.value();
+    ByteReader apdu_reader(*bytes);
+    auto apdu = iec104::decode_apdu(apdu_reader, rec.apdu.profile);
+    if (!apdu) return apdu.error();
+    rec.apdu.apdu = std::move(apdu).take();
+    records_.push_back(std::move(rec));
+  }
+
+  auto parser_count = r.u32le();
+  if (!parser_count) return parser_count.error();
+  parsers_.clear();
+  for (std::uint32_t i = 0; i < parser_count.value(); ++i) {
+    auto key = net::FlowKey::load(r);
+    if (!key) return key.error();
+    auto parser = iec104::ApduStreamParser::load(r);
+    if (!parser) return parser.error();
+    parsers_.emplace(key.value(), std::move(parser).take());
+  }
+
+  auto health_count = r.u32le();
+  if (!health_count) return health_count.error();
+  health_.clear();
+  for (std::uint32_t i = 0; i < health_count.value(); ++i) {
+    auto key = net::FlowKey::load(r);
+    if (!key) return key.error();
+    auto apdus = r.u64le();
+    auto failures = r.u64le();
+    if (!failures) return failures.error();
+    health_[key.value()] = FlowHealth{apdus.value(), failures.value()};
+  }
+
+  auto has_reassembler = r.u8();
+  if (!has_reassembler) return has_reassembler.error();
+  if (has_reassembler.value()) {
+    if (!reassembler_) {
+      return Error{"checkpoint-mode-mismatch",
+                   "checkpoint has reassembler state but builder mode is per-packet"};
+    }
+    if (auto st = reassembler_->load(r); !st) return st;
+  }
+  return Status::Ok();
 }
 
 }  // namespace uncharted::analysis

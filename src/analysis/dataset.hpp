@@ -14,6 +14,9 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+
+#include "analysis/resource.hpp"
 #include "iec104/parser.hpp"
 #include "net/flow.hpp"
 #include "net/pcap.hpp"
@@ -145,6 +148,8 @@ class CaptureDataset {
   const std::vector<net::FlowKey>& quarantined_flows() const { return quarantined_; }
 
  private:
+  friend class DatasetBuilder;
+
   DatasetStats stats_;
   net::FlowTable flows_;
   std::vector<ApduRecord> records_;
@@ -152,6 +157,72 @@ class CaptureDataset {
   std::map<EndpointPair, std::vector<std::size_t>> connections_;
   std::map<net::Ipv4Addr, ComplianceEntry> compliance_;
   std::vector<net::FlowKey> quarantined_;
+};
+
+/// Incremental dataset construction: packets go in one at a time (or in
+/// bounded batches), budgets are enforced as state grows, and the whole
+/// builder can be checkpointed mid-capture and restored after a crash.
+/// `CaptureDataset::build` is now a thin wrapper over one of these; the
+/// streaming analyzer drives it directly.
+class DatasetBuilder {
+ public:
+  explicit DatasetBuilder(CaptureDataset::Options options = {},
+                          ResourceBudgets budgets = {});
+
+  DatasetBuilder(const DatasetBuilder&) = delete;
+  DatasetBuilder& operator=(const DatasetBuilder&) = delete;
+
+  /// Ingests one captured packet. Budgets are enforced after each call.
+  void add_packet(const net::CapturedPacket& pkt);
+
+  /// Packets ingested so far — the resume cursor a checkpoint stores.
+  std::uint64_t packets_consumed() const { return packets_consumed_; }
+
+  /// Enforcement actions and high-water marks so far.
+  const ResourcePressure& pressure() const { return pressure_; }
+
+  /// Finalizes: flushes reassembly, applies quarantine, sorts and indexes.
+  /// The builder is spent afterwards; ingest into a fresh one.
+  CaptureDataset finish();
+
+  /// Checkpoint serialization. Options and budgets are configuration and
+  /// are NOT saved — construct the restoring builder with the same ones
+  /// (a mismatch is a caller bug, like mismatched ReassemblyLimits).
+  /// APDU records are stored re-encoded in their own codec profile; save
+  /// fails only if a record cannot be re-encoded (cannot happen for
+  /// parser-produced records, which round-trip by construction).
+  Status save(ByteWriter& w) const;
+  Status load(ByteReader& r);
+
+ private:
+  struct FlowHealth {
+    std::uint64_t apdus = 0;
+    std::uint64_t failures = 0;
+  };
+
+  iec104::ApduStreamParser& parser_for(const net::FlowKey& key);
+  /// Accounts freshly drained parse results for one directed flow.
+  void collect(const net::FlowKey& key, std::vector<iec104::ParsedApdu>& apdus,
+               std::vector<iec104::ParseFailure>& failures);
+  void ingest(const net::FlowKey& key, Timestamp ts,
+              std::span<const std::uint8_t> payload);
+  void enforce_budgets();
+
+  CaptureDataset::Options options_;
+  ResourceBudgets budgets_;
+
+  DatasetStats stats_;
+  net::FlowTable flows_;
+  std::vector<ApduRecord> records_;
+  std::map<net::FlowKey, iec104::ApduStreamParser> parsers_;
+  std::map<net::FlowKey, FlowHealth> health_;
+  std::optional<net::TcpReassembler> reassembler_;
+  Timestamp last_ts_ = 0;
+  std::uint64_t packets_consumed_ = 0;
+  ResourcePressure pressure_;
+  /// Scratch for drain(); members so buffers are reused across packets.
+  std::vector<iec104::ParsedApdu> drained_apdus_;
+  std::vector<iec104::ParseFailure> drained_failures_;
 };
 
 }  // namespace uncharted::analysis

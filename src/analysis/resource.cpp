@@ -1,0 +1,32 @@
+#include "analysis/resource.hpp"
+
+#include <array>
+
+namespace uncharted::analysis {
+
+void ResourcePressure::save(ByteWriter& w) const {
+  w.u64le(flow_evictions);
+  w.u64le(reassembly_flushes);
+  w.u64le(records_evicted);
+  w.u64le(parsers_evicted);
+  w.u64le(peak_flow_entries);
+  w.u64le(peak_reassembly_bytes);
+  w.u64le(peak_records);
+  w.u64le(peak_parsers);
+}
+
+Result<ResourcePressure> ResourcePressure::load(ByteReader& r) {
+  ResourcePressure p;
+  std::array<std::uint64_t*, 8> fields = {
+      &p.flow_evictions, &p.reassembly_flushes, &p.records_evicted,
+      &p.parsers_evicted, &p.peak_flow_entries, &p.peak_reassembly_bytes,
+      &p.peak_records,    &p.peak_parsers};
+  for (auto* field : fields) {
+    auto v = r.u64le();
+    if (!v) return v.error();
+    *field = v.value();
+  }
+  return p;
+}
+
+}  // namespace uncharted::analysis

@@ -1,18 +1,16 @@
 #include "core/analyzer.hpp"
 
+#include <algorithm>
+
 #include "iec104/constants.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 namespace uncharted::core {
 
-AnalysisReport CaptureAnalyzer::analyze(const std::vector<net::CapturedPacket>& packets,
-                                        const Options& options) {
-  analysis::CaptureDataset::Options ds_opts;
-  ds_opts.mode = options.mode;
-  ds_opts.parser_mode = options.parser_mode;
-  auto dataset = analysis::CaptureDataset::build(packets, ds_opts);
-
+AnalysisReport analyze_dataset(const analysis::CaptureDataset& dataset,
+                               analysis::BandwidthReport bandwidth,
+                               const CaptureAnalyzer::Options& options) {
   AnalysisReport report;
   report.stats = dataset.stats();
   report.flows = analysis::analyze_flows(dataset.flow_table());
@@ -25,15 +23,24 @@ AnalysisReport CaptureAnalyzer::analyze(const std::vector<net::CapturedPacket>& 
   auto series = analysis::extract_time_series(dataset);
   report.variance_ranking = analysis::rank_by_normalized_variance(series);
   if (options.keep_series) report.series = std::move(series);
-  report.bandwidth = analysis::analyze_bandwidth(packets);
+  report.bandwidth = std::move(bandwidth);
   report.sequence_audit = analysis::audit_sequences(dataset);
   report.degradation.counters = report.stats.degradation;
   if (report.degradation.counters.any()) {
-    report.degradation.warning =
+    report.degradation.warnings.push_back(
         "degraded capture: " + format_count(report.degradation.counters.total()) +
-        " fault events survived (see degradation counters)";
+        " fault events survived (see degradation counters)");
   }
   return report;
+}
+
+AnalysisReport CaptureAnalyzer::analyze(const std::vector<net::CapturedPacket>& packets,
+                                        const Options& options) {
+  analysis::CaptureDataset::Options ds_opts;
+  ds_opts.mode = options.mode;
+  ds_opts.parser_mode = options.parser_mode;
+  auto dataset = analysis::CaptureDataset::build(packets, ds_opts);
+  return analyze_dataset(dataset, analysis::analyze_bandwidth(packets), options);
 }
 
 Result<AnalysisReport> CaptureAnalyzer::analyze_file(const std::string& pcap_path,
@@ -45,8 +52,8 @@ Result<AnalysisReport> CaptureAnalyzer::analyze_file(const std::string& pcap_pat
   auto report = analyze(read->packets, options);
   if (read->truncated_tail) {
     report.degradation.pcap_truncated = true;
-    report.degradation.warning = read->warning +
-        (report.degradation.warning.empty() ? "" : "; " + report.degradation.warning);
+    report.degradation.warnings.insert(report.degradation.warnings.begin(),
+                                       read->warning);
   }
   return report;
 }
@@ -64,8 +71,22 @@ std::string render_report(const AnalysisReport& report, const NameMap& names) {
   if (report.degradation.degraded()) {
     const auto& d = report.degradation.counters;
     out += "== Degraded-mode ingestion ==\n";
-    if (!report.degradation.warning.empty()) {
-      out += "warning: " + report.degradation.warning + "\n";
+    // Identical warnings repeat when many stages hit the same condition
+    // (every batch of a long soak, say); emit each distinct line once with
+    // a count, preserving first-occurrence order.
+    std::vector<std::pair<std::string, std::size_t>> deduped;
+    for (const auto& warning : report.degradation.warnings) {
+      auto it = std::find_if(deduped.begin(), deduped.end(),
+                             [&](const auto& e) { return e.first == warning; });
+      if (it == deduped.end()) {
+        deduped.emplace_back(warning, 1);
+      } else {
+        ++it->second;
+      }
+    }
+    for (const auto& [warning, count] : deduped) {
+      out += "warning: " + warning +
+             (count > 1 ? " (x" + std::to_string(count) + ")" : "") + "\n";
     }
     out += "undecodable frames: " + format_count(d.undecodable_frames) +
            "  parser resyncs: " + format_count(d.parser_resyncs) + " (" +
@@ -80,7 +101,18 @@ std::string render_report(const AnalysisReport& report, const NameMap& names) {
            "  quarantined: " + format_count(d.quarantined_connections) +
            " connections / " + format_count(d.quarantined_apdus) + " apdus" +
            (report.degradation.pcap_truncated ? "  [pcap tail truncated]" : "") +
-           "\n\n";
+           "\n";
+    const auto& rp = report.degradation.resources;
+    if (rp.any()) {
+      out += "resource pressure: " + format_count(rp.flow_evictions) +
+             " flows evicted, " + format_count(rp.reassembly_flushes) +
+             " streams force-flushed, " + format_count(rp.records_evicted) +
+             " records evicted, " + format_count(rp.parsers_evicted) +
+             " parsers retired (peaks: " + format_count(rp.peak_flow_entries) +
+             " flows, " + format_count(rp.peak_reassembly_bytes) +
+             " pending bytes, " + format_count(rp.peak_records) + " records)\n";
+    }
+    out += "\n";
   }
 
   out += "== TCP flows (Table 3) ==\n";

@@ -27,10 +27,17 @@ namespace uncharted::core {
 /// "Degraded-mode ingestion") instead of being exact.
 struct DegradationReport {
   analysis::DegradationCounters counters;
+  /// Budget enforcement during streaming ingestion (empty for batch runs
+  /// and unbounded streams).
+  analysis::ResourcePressure resources;
   bool pcap_truncated = false;  ///< the capture file itself ended mid-record
-  std::string warning;          ///< human-readable summary, empty when clean
+  /// Human-readable summaries, empty when clean. May repeat (one entry per
+  /// emitting stage); rendering deduplicates identical lines with a count.
+  std::vector<std::string> warnings;
 
-  bool degraded() const { return counters.any() || pcap_truncated; }
+  bool degraded() const {
+    return counters.any() || resources.any() || pcap_truncated;
+  }
 };
 
 /// Everything §6 computes over one capture.
@@ -74,6 +81,13 @@ class CaptureAnalyzer {
     return analyze_file(pcap_path, Options{});
   }
 };
+
+/// Shared back half of batch and streaming analysis: every §6 computation
+/// over an already-built dataset. Callers supply the bandwidth report
+/// because only they know how the packets were obtained.
+AnalysisReport analyze_dataset(const analysis::CaptureDataset& dataset,
+                               analysis::BandwidthReport bandwidth,
+                               const CaptureAnalyzer::Options& options);
 
 /// Human-readable multi-section summary of a report.
 std::string render_report(const AnalysisReport& report, const NameMap& names);

@@ -1,0 +1,83 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/bytes.hpp"
+#include "util/checksum.hpp"
+
+namespace uncharted::core {
+
+Status write_checkpoint_file(const std::string& path,
+                             std::span<const std::uint8_t> payload) {
+  ByteWriter w;
+  w.u32le(kCheckpointMagic);
+  w.u32le(kCheckpointVersion);
+  w.u64le(payload.size());
+  w.u32le(crc32(payload));
+  w.bytes(payload);
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Error{"checkpoint-open", "cannot open " + tmp};
+    out.write(reinterpret_cast<const char*>(w.data().data()),
+              static_cast<std::streamsize>(w.data().size()));
+    out.flush();
+    if (!out) return Error{"checkpoint-write", "short write to " + tmp};
+  }
+
+  std::error_code ec;
+  // Rotate the previous generation; a missing primary is fine (first write).
+  if (std::filesystem::exists(path, ec)) {
+    std::filesystem::rename(path, path + ".1", ec);
+    if (ec) return Error{"checkpoint-rotate", ec.message()};
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) return Error{"checkpoint-rename", ec.message()};
+  return Status::Ok();
+}
+
+Result<std::vector<std::uint8_t>> read_checkpoint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error{"checkpoint-open", "cannot open " + path};
+  std::vector<std::uint8_t> raw((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+
+  ByteReader r(raw);
+  auto magic = r.u32le();
+  if (!magic || magic.value() != kCheckpointMagic) {
+    return Error{"checkpoint-magic", path + " is not a checkpoint"};
+  }
+  auto version = r.u32le();
+  if (!version || version.value() != kCheckpointVersion) {
+    return Error{"checkpoint-version",
+                 "unsupported version in " + path +
+                     (version ? " (" + std::to_string(version.value()) + ")" : "")};
+  }
+  auto len = r.u64le();
+  auto crc = r.u32le();
+  if (!crc) return Error{"checkpoint-truncated", path + " header incomplete"};
+  auto payload = r.bytes(static_cast<std::size_t>(len.value()));
+  if (!payload) {
+    return Error{"checkpoint-truncated",
+                 path + " declares " + std::to_string(len.value()) +
+                     " payload bytes but holds fewer"};
+  }
+  if (crc32(*payload) != crc.value()) {
+    return Error{"checkpoint-crc", path + " payload checksum mismatch"};
+  }
+  return std::vector<std::uint8_t>(payload->begin(), payload->end());
+}
+
+Result<std::vector<std::uint8_t>> read_latest_checkpoint(const std::string& path) {
+  auto primary = read_checkpoint_file(path);
+  if (primary) return primary;
+  auto fallback = read_checkpoint_file(path + ".1");
+  if (fallback) return fallback;
+  // Report the primary's failure — it is the interesting one.
+  return primary.error();
+}
+
+}  // namespace uncharted::core

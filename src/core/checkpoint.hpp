@@ -1,0 +1,43 @@
+// Crash-safe checkpoint files.
+//
+// A long-running streaming analyzer periodically snapshots its state so a
+// crash (or kill -9) costs at most one checkpoint interval of work. The
+// file format is designed for the failure modes that actually happen to a
+// process dying mid-write:
+//
+//   [magic "UNCK"][version u32][payload_len u64][crc32 u32][payload bytes]
+//
+// - Writes go to `path.tmp` and are renamed into place, so `path` is always
+//   either the previous complete checkpoint or the new complete one.
+// - The previous checkpoint is rotated to `path.1` first, so even a rename
+//   caught mid-crash leaves one recoverable generation.
+// - Readers validate magic, version, declared length and CRC-32 before
+//   trusting a byte; a truncated or corrupted file is a clean error, never
+//   a crash, and `read_latest_checkpoint` falls back to the rotation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/expected.hpp"
+
+namespace uncharted::core {
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x554E434B;  // "UNCK"
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Atomically replaces `path` with a checkpoint wrapping `payload`,
+/// rotating any existing file to `path + ".1"` first.
+Status write_checkpoint_file(const std::string& path,
+                             std::span<const std::uint8_t> payload);
+
+/// Reads and validates one checkpoint file; returns its payload.
+Result<std::vector<std::uint8_t>> read_checkpoint_file(const std::string& path);
+
+/// Reads `path`, falling back to `path + ".1"` when the primary is
+/// missing, truncated or corrupt. Fails only when no generation is valid.
+Result<std::vector<std::uint8_t>> read_latest_checkpoint(const std::string& path);
+
+}  // namespace uncharted::core

@@ -1,0 +1,135 @@
+#include "core/streaming.hpp"
+
+#include <algorithm>
+
+#include "core/checkpoint.hpp"
+#include "util/strings.hpp"
+
+namespace uncharted::core {
+
+namespace {
+
+analysis::CaptureDataset::Options dataset_options(const StreamingOptions& options) {
+  analysis::CaptureDataset::Options ds_opts;
+  ds_opts.mode = options.analyze.mode;
+  ds_opts.parser_mode = options.analyze.parser_mode;
+  return ds_opts;
+}
+
+}  // namespace
+
+StreamingAnalyzer::StreamingAnalyzer(StreamingOptions options)
+    : options_(std::move(options)),
+      builder_(dataset_options(options_), options_.budgets) {}
+
+void StreamingAnalyzer::add_packet(const net::CapturedPacket& pkt) {
+  builder_.add_packet(pkt);
+  bandwidth_.add_packet(pkt);
+  if (options_.checkpoint_every_packets > 0 && !options_.checkpoint_path.empty() &&
+      builder_.packets_consumed() - last_checkpoint_packets_ >=
+          options_.checkpoint_every_packets) {
+    // A failed periodic write must not stop ingestion (a full disk should
+    // degrade durability, not availability); remember it for the report.
+    if (auto st = write_checkpoint(); !st) checkpoint_error_ = st.error().str();
+  }
+}
+
+void StreamingAnalyzer::add_packets(std::span<const net::CapturedPacket> packets) {
+  while (!packets.empty()) {
+    std::size_t n = std::min(packets.size(), options_.batch_packets);
+    for (const auto& pkt : packets.first(n)) add_packet(pkt);
+    packets = packets.subspan(n);
+  }
+}
+
+Status StreamingAnalyzer::write_checkpoint() {
+  ByteWriter w;
+  if (auto st = builder_.save(w); !st) return st;
+  bandwidth_.save(w);
+  if (auto st = write_checkpoint_file(options_.checkpoint_path, w.view()); !st) {
+    return st;
+  }
+  last_checkpoint_packets_ = builder_.packets_consumed();
+  return Status::Ok();
+}
+
+Status StreamingAnalyzer::checkpoint_now() {
+  if (options_.checkpoint_path.empty()) {
+    return Error{"checkpoint-unconfigured", "no checkpoint_path set"};
+  }
+  return write_checkpoint();
+}
+
+bool StreamingAnalyzer::try_restore() {
+  if (options_.checkpoint_path.empty()) return false;
+  auto payload = read_latest_checkpoint(options_.checkpoint_path);
+  if (!payload) return false;  // missing/corrupt/truncated: start fresh
+  ByteReader r(payload.value());
+  if (auto st = builder_.load(r); !st) return false;
+  if (auto st = bandwidth_.load(r); !st) return false;
+  last_checkpoint_packets_ = builder_.packets_consumed();
+  return true;
+}
+
+AnalysisReport StreamingAnalyzer::finalize() {
+  if (!options_.checkpoint_path.empty()) {
+    // Shutdown checkpoint: a restart after this point resumes at the end
+    // of input instead of re-ingesting.
+    if (auto st = write_checkpoint(); !st) checkpoint_error_ = st.error().str();
+  }
+  auto pressure = builder_.pressure();
+  auto dataset = builder_.finish();
+  auto report = analyze_dataset(dataset, bandwidth_.finish(), options_.analyze);
+  report.degradation.resources = pressure;
+  if (pressure.any()) {
+    report.degradation.warnings.push_back(
+        "resource budgets enforced: " + format_count(pressure.flow_evictions) +
+        " flow evictions, " + format_count(pressure.reassembly_flushes) +
+        " reassembly flushes, " + format_count(pressure.records_evicted) +
+        " records evicted, " + format_count(pressure.parsers_evicted) +
+        " parsers retired — headline metrics undercount accordingly");
+  }
+  if (!checkpoint_error_.empty()) {
+    report.degradation.warnings.push_back("checkpoint write failed: " +
+                                          checkpoint_error_);
+  }
+  return report;
+}
+
+Result<AnalysisReport> analyze_file_streaming(const std::string& pcap_path,
+                                              const StreamingOptions& options) {
+  auto read = net::PcapReader::read_file_tolerant(pcap_path);
+  if (!read) return read.error();
+
+  StreamingAnalyzer analyzer(options);
+  std::uint64_t skip = 0;
+  if (analyzer.try_restore()) {
+    skip = analyzer.packets_consumed();
+    // A checkpoint past the end of this file means it belongs to some
+    // other input; restart clean rather than silently produce nothing.
+    if (skip > read->packets.size()) {
+      StreamingAnalyzer fresh(options);
+      fresh.add_packets(read->packets);
+      auto report = fresh.finalize();
+      report.degradation.warnings.push_back(
+          "checkpoint ignored: cursor beyond end of input");
+      if (read->truncated_tail) {
+        report.degradation.pcap_truncated = true;
+        report.degradation.warnings.insert(report.degradation.warnings.begin(),
+                                           read->warning);
+      }
+      return report;
+    }
+  }
+  analyzer.add_packets(std::span<const net::CapturedPacket>(read->packets)
+                           .subspan(static_cast<std::size_t>(skip)));
+  auto report = analyzer.finalize();
+  if (read->truncated_tail) {
+    report.degradation.pcap_truncated = true;
+    report.degradation.warnings.insert(report.degradation.warnings.begin(),
+                                       read->warning);
+  }
+  return report;
+}
+
+}  // namespace uncharted::core

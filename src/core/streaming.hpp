@@ -1,0 +1,84 @@
+// Streaming analysis: bounded-memory ingestion with checkpoint/restore.
+//
+// The batch CaptureAnalyzer holds the whole capture in memory; fine for a
+// day of traffic, wrong for a permanent monitor. StreamingAnalyzer consumes
+// packets one bounded batch at a time, keeps only builder state (flow
+// table, per-direction parsers, APDU records — each under a resource
+// budget), and periodically snapshots that state to a crash-safe
+// checkpoint file. After a crash, `try_restore` resumes from the newest
+// valid generation and the driver re-reads the input from
+// `packets_consumed()`, reproducing the batch report exactly when budgets
+// never bound.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "analysis/resource.hpp"
+#include "core/analyzer.hpp"
+
+namespace uncharted::core {
+
+struct StreamingOptions {
+  CaptureAnalyzer::Options analyze;
+  /// Budgets handed to the DatasetBuilder. Default: unlimited.
+  analysis::ResourceBudgets budgets;
+  /// add_packets() slice size — bounds how much work happens between
+  /// checkpoint opportunities.
+  std::size_t batch_packets = 1024;
+  /// Write a checkpoint every N consumed packets (0 = only on finalize).
+  std::uint64_t checkpoint_every_packets = 0;
+  /// Checkpoint file path; empty disables checkpointing entirely.
+  std::string checkpoint_path;
+};
+
+class StreamingAnalyzer {
+ public:
+  explicit StreamingAnalyzer(StreamingOptions options);
+
+  StreamingAnalyzer(const StreamingAnalyzer&) = delete;
+  StreamingAnalyzer& operator=(const StreamingAnalyzer&) = delete;
+
+  /// Ingests one packet; writes a checkpoint when the interval elapses.
+  /// Checkpoint write failures never interrupt ingestion — they surface as
+  /// a degradation warning in the final report.
+  void add_packet(const net::CapturedPacket& pkt);
+
+  /// Ingests a span in `batch_packets`-sized slices.
+  void add_packets(std::span<const net::CapturedPacket> packets);
+
+  /// Packets ingested so far; after try_restore(), the resume cursor.
+  std::uint64_t packets_consumed() const { return builder_.packets_consumed(); }
+
+  const analysis::ResourcePressure& pressure() const { return builder_.pressure(); }
+
+  /// Writes a checkpoint now (error if no checkpoint_path configured).
+  Status checkpoint_now();
+
+  /// Loads the newest valid checkpoint generation, if any. Returns true
+  /// when state was restored, false when no usable checkpoint exists (the
+  /// analyzer stays fresh — corrupt or truncated files are skipped, never
+  /// fatal). Call before feeding any packets.
+  bool try_restore();
+
+  /// Final checkpoint (when configured), then the full §6 report. The
+  /// analyzer is spent afterwards.
+  AnalysisReport finalize();
+
+ private:
+  Status write_checkpoint();
+
+  StreamingOptions options_;
+  analysis::DatasetBuilder builder_;
+  analysis::BandwidthAccumulator bandwidth_;
+  std::uint64_t last_checkpoint_packets_ = 0;
+  std::string checkpoint_error_;  ///< last failed write, for the report
+};
+
+/// Streams a pcap file: restore from checkpoint if present, skip what was
+/// already consumed, ingest the rest, finalize. The crash-recovery entry
+/// point for drivers and the soak harness.
+Result<AnalysisReport> analyze_file_streaming(const std::string& pcap_path,
+                                              const StreamingOptions& options);
+
+}  // namespace uncharted::core

@@ -37,13 +37,26 @@ void ConnectionEngine::note_sent(Timestamp now) {
   }
 }
 
-void ConnectionEngine::ack_peer(std::uint16_t nr) {
-  // The peer acknowledges everything below nr.
-  if (seq_diff(nr, peer_acked_) <= seq_diff(vs_, peer_acked_)) {
-    peer_acked_ = nr;
-  }
-  if (peer_acked_ == vs_ && !test_outstanding_) {
-    t1_deadline_.reset();  // nothing outstanding anymore
+void ConnectionEngine::ack_peer(Timestamp now, std::uint16_t nr) {
+  // N(R) is a 15-bit counter; mask defensively so a caller passing a raw
+  // 16-bit value cannot desynchronize the window math at the 32767 wrap.
+  nr = static_cast<std::uint16_t>(nr % kSeqModulo);
+  // The peer acknowledges everything below nr. An N(R) outside
+  // (peer_acked_, vs_] is stale or bogus and is ignored — the modular
+  // distance test handles the wrap, where nr may be numerically smaller
+  // than peer_acked_.
+  int advance = seq_diff(nr, peer_acked_);
+  if (advance == 0 || advance > seq_diff(vs_, peer_acked_)) return;
+  peer_acked_ = nr;
+  if (peer_acked_ == vs_) {
+    // Everything acknowledged; T1 now only guards an outstanding TESTFR.
+    if (!test_outstanding_) t1_deadline_.reset();
+  } else if (t1_deadline_) {
+    // Partial progress: the peer is alive and draining the window, so the
+    // send timer restarts from the newest acknowledgement. Without this a
+    // busy long-lived connection whose acks always lag by a frame keeps
+    // the original deadline and suffers a spurious T1 close.
+    t1_deadline_ = now + from_seconds(timers_.t1);
   }
 }
 
@@ -81,11 +94,11 @@ EngineSignals ConnectionEngine::on_apdu(Timestamp now, const Apdu& apdu) {
       break;
 
     case ApduFormat::kS:
-      ack_peer(apdu.recv_seq);
+      ack_peer(now, apdu.recv_seq);
       break;
 
     case ApduFormat::kI: {
-      ack_peer(apdu.recv_seq);
+      ack_peer(now, apdu.recv_seq);
       // Accept in-sequence I APDUs; a real stack would close on a sequence
       // error, we simply resynchronize (captures can start mid-stream).
       if (apdu.send_seq == vr_) {
@@ -161,6 +174,84 @@ Apdu ConnectionEngine::start_dt(Timestamp now) {
 Apdu ConnectionEngine::stop_dt(Timestamp now) {
   note_sent(now);
   return Apdu::make_u(UFunction::kStopDtAct);
+}
+
+void ConnectionEngine::Snapshot::save(ByteWriter& w) const {
+  w.u8(started ? 1 : 0);
+  w.u16le(vs);
+  w.u16le(vr);
+  w.u16le(ack_sent);
+  w.u16le(peer_acked);
+  w.u32le(static_cast<std::uint32_t>(recv_since_ack));
+  w.u64le(last_activity);
+  w.u8(t1_deadline.has_value() ? 1 : 0);
+  if (t1_deadline) w.u64le(*t1_deadline);
+  w.u8(test_outstanding ? 1 : 0);
+  w.u8(t2_deadline.has_value() ? 1 : 0);
+  if (t2_deadline) w.u64le(*t2_deadline);
+}
+
+Result<ConnectionEngine::Snapshot> ConnectionEngine::Snapshot::load(ByteReader& r) {
+  Snapshot s;
+  auto started = r.u8();
+  auto vs = r.u16le();
+  auto vr = r.u16le();
+  auto ack_sent = r.u16le();
+  auto peer_acked = r.u16le();
+  auto recv = r.u32le();
+  auto last_activity = r.u64le();
+  auto has_t1 = r.u8();
+  if (!has_t1) return has_t1.error();
+  if (has_t1.value()) {
+    auto t1 = r.u64le();
+    if (!t1) return t1.error();
+    s.t1_deadline = t1.value();
+  }
+  auto test = r.u8();
+  auto has_t2 = r.u8();
+  if (!has_t2) return has_t2.error();
+  if (has_t2.value()) {
+    auto t2 = r.u64le();
+    if (!t2) return t2.error();
+    s.t2_deadline = t2.value();
+  }
+  s.started = started.value() != 0;
+  s.vs = vs.value();
+  s.vr = vr.value();
+  s.ack_sent = ack_sent.value();
+  s.peer_acked = peer_acked.value();
+  s.recv_since_ack = static_cast<int>(recv.value());
+  s.last_activity = last_activity.value();
+  s.test_outstanding = test.value() != 0;
+  return s;
+}
+
+ConnectionEngine::Snapshot ConnectionEngine::snapshot() const {
+  Snapshot s;
+  s.started = started_;
+  s.vs = vs_;
+  s.vr = vr_;
+  s.ack_sent = ack_sent_;
+  s.peer_acked = peer_acked_;
+  s.recv_since_ack = recv_since_ack_;
+  s.last_activity = last_activity_;
+  s.t1_deadline = t1_deadline_;
+  s.test_outstanding = test_outstanding_;
+  s.t2_deadline = t2_deadline_;
+  return s;
+}
+
+void ConnectionEngine::restore(const Snapshot& s) {
+  started_ = s.started;
+  vs_ = static_cast<std::uint16_t>(s.vs % kSeqModulo);
+  vr_ = static_cast<std::uint16_t>(s.vr % kSeqModulo);
+  ack_sent_ = static_cast<std::uint16_t>(s.ack_sent % kSeqModulo);
+  peer_acked_ = static_cast<std::uint16_t>(s.peer_acked % kSeqModulo);
+  recv_since_ack_ = s.recv_since_ack;
+  last_activity_ = s.last_activity;
+  t1_deadline_ = s.t1_deadline;
+  test_outstanding_ = s.test_outstanding;
+  t2_deadline_ = s.t2_deadline;
 }
 
 }  // namespace uncharted::iec104

@@ -15,6 +15,7 @@
 
 #include "iec104/apdu.hpp"
 #include "iec104/constants.hpp"
+#include "util/bytes.hpp"
 #include "util/timebase.hpp"
 
 namespace uncharted::iec104 {
@@ -64,9 +65,32 @@ class ConnectionEngine {
   /// I APDUs received since our last acknowledgement.
   int unacked_received() const { return recv_since_ack_; }
 
+  /// Full dynamic state of the engine, for checkpoints and tests that need
+  /// to start near the 32767 sequence wrap. Timers/k/w are configuration
+  /// and stay with the engine.
+  struct Snapshot {
+    bool started = false;
+    std::uint16_t vs = 0;
+    std::uint16_t vr = 0;
+    std::uint16_t ack_sent = 0;
+    std::uint16_t peer_acked = 0;
+    int recv_since_ack = 0;
+    Timestamp last_activity = 0;
+    std::optional<Timestamp> t1_deadline;
+    bool test_outstanding = false;
+    std::optional<Timestamp> t2_deadline;
+
+    void save(ByteWriter& w) const;
+    static Result<Snapshot> load(ByteReader& r);
+  };
+
+  Snapshot snapshot() const;
+  /// Restores dynamic state; sequence fields are masked to 15 bits.
+  void restore(const Snapshot& s);
+
  private:
   void note_sent(Timestamp now);
-  void ack_peer(std::uint16_t nr);
+  void ack_peer(Timestamp now, std::uint16_t nr);
 
   Role role_;
   Timers timers_;

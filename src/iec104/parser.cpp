@@ -51,6 +51,59 @@ void ApduStreamParser::finish(Timestamp ts) {
   failures_.push_back(std::move(f));
 }
 
+void ApduStreamParser::drain(std::vector<ParsedApdu>& apdus_out,
+                             std::vector<ParseFailure>& failures_out) {
+  for (auto& a : apdus_) apdus_out.push_back(std::move(a));
+  for (auto& f : failures_) failures_out.push_back(std::move(f));
+  apdus_.clear();
+  failures_.clear();
+}
+
+void ApduStreamParser::save(ByteWriter& w) const {
+  w.u8(mode_ == Mode::kTolerant ? 1 : 0);
+  w.u8(locked_.has_value() ? 1 : 0);
+  if (locked_) {
+    w.u8(static_cast<std::uint8_t>(locked_->cot_octets));
+    w.u8(static_cast<std::uint8_t>(locked_->ioa_octets));
+    w.u8(static_cast<std::uint8_t>(locked_->ca_octets));
+  }
+  w.u64le(non_compliant_);
+  w.u64le(resyncs_);
+  w.u64le(garbage_bytes_);
+  w.u64le(truncated_tail_bytes_);
+  w.u32le(static_cast<std::uint32_t>(buffer_.size()));
+  w.bytes(buffer_);
+}
+
+Result<ApduStreamParser> ApduStreamParser::load(ByteReader& r) {
+  auto mode = r.u8();
+  if (!mode) return mode.error();
+  ApduStreamParser p(mode.value() ? Mode::kTolerant : Mode::kStrict);
+  auto has_locked = r.u8();
+  if (!has_locked) return has_locked.error();
+  if (has_locked.value()) {
+    auto cot = r.u8();
+    auto ioa = r.u8();
+    auto ca = r.u8();
+    if (!ca) return ca.error();
+    p.locked_ = CodecProfile{cot.value(), ioa.value(), ca.value()};
+  }
+  auto non_compliant = r.u64le();
+  auto resyncs = r.u64le();
+  auto garbage = r.u64le();
+  auto tail = r.u64le();
+  auto len = r.u32le();
+  if (!len) return len.error();
+  auto buf = r.bytes(len.value());
+  if (!buf) return buf.error();
+  p.non_compliant_ = non_compliant.value();
+  p.resyncs_ = resyncs.value();
+  p.garbage_bytes_ = garbage.value();
+  p.truncated_tail_bytes_ = tail.value();
+  p.buffer_.assign(buf->begin(), buf->end());
+  return p;
+}
+
 void ApduStreamParser::parse_buffer(Timestamp ts) {
   std::size_t pos = 0;
   while (pos < buffer_.size()) {

@@ -87,6 +87,19 @@ class ApduStreamParser {
   /// Undecodable ranges.
   const std::vector<ParseFailure>& failures() const { return failures_; }
 
+  /// Moves accumulated APDUs and failures out, leaving both lists empty.
+  /// Streaming callers drain after every feed so the parser holds only the
+  /// partial frame still waiting for bytes — the state a checkpoint must
+  /// carry — instead of the whole stream history.
+  void drain(std::vector<ParsedApdu>& apdus_out, std::vector<ParseFailure>& failures_out);
+
+  /// Checkpoint serialization. Only the resumable core is saved (mode,
+  /// partial-frame buffer, locked profile, counters); drained results are
+  /// the caller's to persist. load() requires apdus()/failures() to have
+  /// been drained, mirroring the streaming discipline.
+  void save(ByteWriter& w) const;
+  static Result<ApduStreamParser> load(ByteReader& r);
+
   /// Times the parser lost framing and hunted for the next start byte.
   std::uint64_t resyncs() const { return resyncs_; }
   /// Bytes skipped during those hunts.

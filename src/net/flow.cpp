@@ -1,6 +1,7 @@
 #include "net/flow.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 namespace uncharted::net {
 
@@ -12,6 +13,27 @@ FlowKey FlowKey::canonical() const {
 std::string FlowKey::str() const {
   return src_ip.str() + ":" + std::to_string(src_port) + " -> " + dst_ip.str() + ":" +
          std::to_string(dst_port);
+}
+
+void FlowKey::save(ByteWriter& w) const {
+  w.u32le(src_ip.value);
+  w.u16le(src_port);
+  w.u32le(dst_ip.value);
+  w.u16le(dst_port);
+}
+
+Result<FlowKey> FlowKey::load(ByteReader& r) {
+  FlowKey k;
+  auto sip = r.u32le();
+  auto sport = r.u16le();
+  auto dip = r.u32le();
+  auto dport = r.u16le();
+  if (!dport) return dport.error();
+  k.src_ip.value = sip.value();
+  k.src_port = sport.value();
+  k.dst_ip.value = dip.value();
+  k.dst_port = dport.value();
+  return k;
 }
 
 void FlowTable::add(Timestamp ts, const DecodedFrame& frame) {
@@ -55,6 +77,100 @@ void FlowTable::add(Timestamp ts, const DecodedFrame& frame) {
       rec.syn_rejected_with_rst = true;
     }
   }
+}
+
+std::size_t FlowTable::evict_lru(std::size_t max_entries) {
+  std::size_t evicted = 0;
+  while (table_.size() > max_entries) {
+    auto victim = table_.begin();
+    for (auto it = std::next(table_.begin()); it != table_.end(); ++it) {
+      if (it->second.record.last_ts < victim->second.record.last_ts) victim = it;
+    }
+    table_.erase(victim);
+    ++evicted;
+  }
+  return evicted;
+}
+
+namespace {
+
+void save_record(ByteWriter& w, const FlowRecord& rec) {
+  rec.key.save(w);
+  w.u64le(rec.first_ts);
+  w.u64le(rec.last_ts);
+  w.u64le(rec.packets);
+  w.u64le(rec.bytes);
+  w.u64le(rec.packets_fwd);
+  w.u64le(rec.packets_rev);
+  std::uint8_t flags = 0;
+  if (rec.saw_syn) flags |= 0x01;
+  if (rec.saw_synack) flags |= 0x02;
+  if (rec.saw_fin) flags |= 0x04;
+  if (rec.saw_rst) flags |= 0x08;
+  if (rec.syn_rejected_with_rst) flags |= 0x10;
+  w.u8(flags);
+}
+
+Result<FlowRecord> load_record(ByteReader& r) {
+  FlowRecord rec;
+  auto key = FlowKey::load(r);
+  if (!key) return key.error();
+  rec.key = key.value();
+  auto first_ts = r.u64le();
+  auto last_ts = r.u64le();
+  auto packets = r.u64le();
+  auto bytes = r.u64le();
+  auto fwd = r.u64le();
+  auto rev = r.u64le();
+  auto flags = r.u8();
+  if (!flags) return flags.error();
+  rec.first_ts = first_ts.value();
+  rec.last_ts = last_ts.value();
+  rec.packets = packets.value();
+  rec.bytes = bytes.value();
+  rec.packets_fwd = fwd.value();
+  rec.packets_rev = rev.value();
+  rec.saw_syn = (flags.value() & 0x01) != 0;
+  rec.saw_synack = (flags.value() & 0x02) != 0;
+  rec.saw_fin = (flags.value() & 0x04) != 0;
+  rec.saw_rst = (flags.value() & 0x08) != 0;
+  rec.syn_rejected_with_rst = (flags.value() & 0x10) != 0;
+  return rec;
+}
+
+}  // namespace
+
+void FlowTable::save(ByteWriter& w) const {
+  w.u32le(static_cast<std::uint32_t>(table_.size()));
+  for (const auto& [key, st] : table_) {
+    save_record(w, st.record);
+    w.u8(st.oriented ? 1 : 0);
+    w.u8(st.syn_seq.has_value() ? 1 : 0);
+    if (st.syn_seq) w.u32le(*st.syn_seq);
+  }
+}
+
+Status FlowTable::load(ByteReader& r) {
+  auto count = r.u32le();
+  if (!count) return count.error();
+  table_.clear();
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto rec = load_record(r);
+    if (!rec) return rec.error();
+    State st;
+    st.record = rec.value();
+    auto oriented = r.u8();
+    auto has_syn = r.u8();
+    if (!has_syn) return has_syn.error();
+    st.oriented = oriented.value() != 0;
+    if (has_syn.value()) {
+      auto seq = r.u32le();
+      if (!seq) return seq.error();
+      st.syn_seq = seq.value();
+    }
+    table_[st.record.key.canonical()] = std::move(st);
+  }
+  return Status::Ok();
 }
 
 std::vector<FlowRecord> FlowTable::flows() const {

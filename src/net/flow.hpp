@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "net/frame.hpp"
+#include "util/bytes.hpp"
 #include "util/timebase.hpp"
 
 namespace uncharted::net {
@@ -29,6 +30,10 @@ struct FlowKey {
   /// Canonical (direction-agnostic) form: the lexicographically smaller
   /// endpoint first. Both directions of a connection share it.
   FlowKey canonical() const;
+
+  /// Checkpoint serialization (12 bytes).
+  void save(ByteWriter& w) const;
+  static Result<FlowKey> load(ByteReader& r);
 
   std::string str() const;
   auto operator<=>(const FlowKey&) const = default;
@@ -76,6 +81,15 @@ class FlowTable {
   std::vector<FlowRecord> flows() const;
 
   std::size_t connection_count() const { return table_.size(); }
+
+  /// Resource governance: evicts least-recently-active connections until at
+  /// most `max_entries` remain. Returns how many were evicted. Evicted
+  /// flows disappear from flows(); callers account them as pressure.
+  std::size_t evict_lru(std::size_t max_entries);
+
+  /// Checkpoint serialization of every tracked connection.
+  void save(ByteWriter& w) const;
+  Status load(ByteReader& r);
 
  private:
   struct State {

@@ -1,5 +1,7 @@
 #include "net/reassembly.hpp"
 
+#include <array>
+
 namespace uncharted::net {
 
 namespace {
@@ -152,6 +154,58 @@ std::vector<StreamChunk> TcpStreamDirection::flush(Timestamp ts) {
   return out;
 }
 
+void TcpStreamDirection::save(ByteWriter& w) const {
+  w.u8(initialized_ ? 1 : 0);
+  w.u32le(next_seq_);
+  w.u32le(static_cast<std::uint32_t>(pending_.size()));
+  for (const auto& [seq, data] : pending_) {
+    w.u32le(seq);
+    w.u32le(static_cast<std::uint32_t>(data.size()));
+    w.bytes(data);
+  }
+  w.u64le(stats_.retransmissions);
+  w.u64le(stats_.overlapping_segments);
+  w.u64le(stats_.out_of_order);
+  w.u64le(stats_.delivered_bytes);
+  w.u64le(stats_.gaps_skipped);
+  w.u64le(stats_.lost_bytes);
+  w.u64le(stats_.resets);
+  w.u64le(stats_.aborted_with_pending);
+  w.u64le(stats_.wild_segments);
+}
+
+Result<TcpStreamDirection> TcpStreamDirection::load(ByteReader& r,
+                                                    ReassemblyLimits limits) {
+  TcpStreamDirection dir(limits);
+  auto initialized = r.u8();
+  auto next_seq = r.u32le();
+  auto count = r.u32le();
+  if (!count) return count.error();
+  dir.initialized_ = initialized.value() != 0;
+  dir.next_seq_ = next_seq.value();
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto seq = r.u32le();
+    auto len = r.u32le();
+    if (!len) return len.error();
+    auto data = r.bytes(len.value());
+    if (!data) return data.error();
+    dir.pending_bytes_ += data->size();
+    dir.pending_[seq.value()] = {data->begin(), data->end()};
+  }
+  std::array<std::uint64_t*, 9> fields = {
+      &dir.stats_.retransmissions, &dir.stats_.overlapping_segments,
+      &dir.stats_.out_of_order,    &dir.stats_.delivered_bytes,
+      &dir.stats_.gaps_skipped,    &dir.stats_.lost_bytes,
+      &dir.stats_.resets,          &dir.stats_.aborted_with_pending,
+      &dir.stats_.wild_segments};
+  for (auto* field : fields) {
+    auto v = r.u64le();
+    if (!v) return v.error();
+    *field = v.value();
+  }
+  return dir;
+}
+
 void TcpReassembler::add(Timestamp ts, const DecodedFrame& frame) {
   FlowKey key{frame.ip.src, frame.tcp.src_port, frame.ip.dst, frame.tcp.dst_port};
   auto it = directions_.find(key);
@@ -193,6 +247,54 @@ StreamStats TcpReassembler::totals() const {
   StreamStats total;
   for (const auto& [key, dir] : directions_) total.accumulate(dir.stats());
   return total;
+}
+
+std::size_t TcpReassembler::pending_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [key, dir] : directions_) total += dir.pending_bytes();
+  return total;
+}
+
+std::size_t TcpReassembler::evict_pending(Timestamp ts, std::size_t max_bytes) {
+  std::size_t flushed = 0;
+  while (pending_bytes() > max_bytes) {
+    auto victim = directions_.end();
+    for (auto it = directions_.begin(); it != directions_.end(); ++it) {
+      if (it->second.pending_bytes() == 0) continue;
+      if (victim == directions_.end() ||
+          it->second.pending_bytes() > victim->second.pending_bytes()) {
+        victim = it;
+      }
+    }
+    if (victim == directions_.end()) break;
+    for (auto& chunk : victim->second.flush(ts)) {
+      if (sink_) sink_(victim->first, chunk);
+    }
+    ++flushed;
+  }
+  return flushed;
+}
+
+void TcpReassembler::save(ByteWriter& w) const {
+  w.u32le(static_cast<std::uint32_t>(directions_.size()));
+  for (const auto& [key, dir] : directions_) {
+    key.save(w);
+    dir.save(w);
+  }
+}
+
+Status TcpReassembler::load(ByteReader& r) {
+  auto count = r.u32le();
+  if (!count) return count.error();
+  directions_.clear();
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto key = FlowKey::load(r);
+    if (!key) return key.error();
+    auto dir = TcpStreamDirection::load(r, limits_);
+    if (!dir) return dir.error();
+    directions_.emplace(key.value(), std::move(dir).take());
+  }
+  return Status::Ok();
 }
 
 }  // namespace uncharted::net

@@ -86,6 +86,14 @@ class TcpStreamDirection {
   std::uint64_t out_of_order_segments() const { return stats_.out_of_order; }
   std::uint64_t overlapping_segments() const { return stats_.overlapping_segments; }
 
+  /// Bytes buffered out of order right now (resource accounting).
+  std::size_t pending_bytes() const { return pending_bytes_; }
+
+  /// Checkpoint serialization: anchor, OOO buffer and counters. Limits are
+  /// configuration, not state — the loader supplies them.
+  void save(ByteWriter& w) const;
+  static Result<TcpStreamDirection> load(ByteReader& r, ReassemblyLimits limits);
+
  private:
   /// Appends now-contiguous pending buffers to `chunk`.
   void drain_contiguous(StreamChunk& chunk);
@@ -125,6 +133,19 @@ class TcpReassembler {
 
   /// Sum of every direction's counters.
   StreamStats totals() const;
+
+  /// Total bytes buffered out of order across all directions.
+  std::size_t pending_bytes() const;
+
+  /// Resource governance: while total pending exceeds `max_bytes`, force-
+  /// flushes the direction holding the most buffered data — the hole in
+  /// front of it is abandoned (a recorded gap) and what was buffered is
+  /// delivered through the sink at time ts. Returns directions flushed.
+  std::size_t evict_pending(Timestamp ts, std::size_t max_bytes);
+
+  /// Checkpoint serialization of every tracked direction.
+  void save(ByteWriter& w) const;
+  Status load(ByteReader& r);
 
  private:
   Sink sink_;

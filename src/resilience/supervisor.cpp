@@ -1,0 +1,223 @@
+#include "resilience/supervisor.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "iec104/elements.hpp"
+
+namespace uncharted::resilience {
+
+std::string endpoint_state_name(EndpointState s) {
+  switch (s) {
+    case EndpointState::kDown: return "down";
+    case EndpointState::kConnecting: return "connecting";
+    case EndpointState::kStandby: return "standby";
+    case EndpointState::kActive: return "active";
+    case EndpointState::kBackoff: return "backoff";
+    case EndpointState::kCircuitOpen: return "circuit-open";
+  }
+  return "?";
+}
+
+RedundancySupervisor::RedundancySupervisor(SupervisorConfig config)
+    : config_(config),
+      endpoints_{Endpoint(config), Endpoint(config)},
+      rng_(config.seed) {}
+
+int RedundancySupervisor::check(int endpoint) {
+  assert(endpoint >= 0 && endpoint < kEndpoints);
+  return endpoint;
+}
+
+void RedundancySupervisor::fail(Timestamp now, int endpoint) {
+  auto& ep = endpoints_[check(endpoint)];
+  ++stats_.failed_connects;
+  ++ep.consecutive_failures;
+  ep.connect_deadline.reset();
+  ep.awaiting_start_con = false;
+  if (ep.consecutive_failures >= config_.circuit_failure_threshold) {
+    // Flapping or dead: stop retrying for the cool-off period.
+    ++stats_.circuit_opens;
+    ep.state = EndpointState::kCircuitOpen;
+    ep.wake_at = now + from_seconds(config_.circuit_open_s);
+    ep.backoff_s = config_.backoff_initial_s;
+    return;
+  }
+  double base = ep.backoff_s <= 0.0 ? config_.backoff_initial_s
+                                    : std::min(ep.backoff_s * 2.0, config_.backoff_max_s);
+  ep.backoff_s = base;
+  // Deterministic jitter desynchronizes a fleet of supervisors retrying
+  // after a shared outage (the thundering-herd problem).
+  double jitter = rng_.uniform(-config_.backoff_jitter, config_.backoff_jitter);
+  double delay = std::max(0.0, base * (1.0 + jitter));
+  ep.state = EndpointState::kBackoff;
+  ep.wake_at = now + from_seconds(delay);
+}
+
+void RedundancySupervisor::promote(Timestamp now, int endpoint, std::vector<Action>& out) {
+  auto& ep = endpoints_[check(endpoint)];
+  active_ = endpoint;
+  ep.awaiting_start_con = true;
+  out.push_back(
+      Action{Action::Kind::kSendApdu, endpoint, ep.engine.start_dt(now)});
+}
+
+void RedundancySupervisor::lose_active(Timestamp now, std::vector<Action>& out) {
+  int other = active_ == kPrimary ? kBackup : kPrimary;
+  active_ = -1;
+  if (endpoints_[other].state == EndpointState::kStandby) {
+    // Switchover: the cold backup takes over (paper Fig 9).
+    ++stats_.switchovers;
+    promote(now, other, out);
+  }
+}
+
+std::vector<Action> RedundancySupervisor::on_connected(Timestamp now, int endpoint) {
+  std::vector<Action> out;
+  auto& ep = endpoints_[check(endpoint)];
+  ep.engine.on_connected(now);
+  ep.state = EndpointState::kStandby;
+  ep.connected_at = now;
+  ep.connect_deadline.reset();
+  ep.wake_at.reset();
+  // Success clears the failure streak only once the connection proves
+  // itself (min_uptime); a flap must keep escalating. The streak is
+  // cleared lazily in on_disconnected / on_tick via uptime checks, and
+  // explicitly here when the previous session was long-lived.
+  if (active_ < 0) promote(now, endpoint, out);
+  return out;
+}
+
+std::vector<Action> RedundancySupervisor::on_connect_failed(Timestamp now,
+                                                            int endpoint) {
+  std::vector<Action> out;
+  fail(now, endpoint);
+  return out;
+}
+
+std::vector<Action> RedundancySupervisor::on_disconnected(Timestamp now, int endpoint) {
+  std::vector<Action> out;
+  auto& ep = endpoints_[check(endpoint)];
+  bool was_active = active_ == endpoint;
+  bool young = to_seconds(static_cast<DurationUs>(now - ep.connected_at)) <
+               config_.min_uptime_s;
+  if (!was_active && (ep.state == EndpointState::kStandby)) {
+    // The paper's reset-backup pattern: the cold connection is routinely
+    // torn down and re-established. Expected churn, not a failure.
+    ++stats_.backup_resets;
+  }
+  if (young) {
+    fail(now, endpoint);
+  } else {
+    ep.consecutive_failures = 0;
+    ep.backoff_s = 0.0;
+    ep.state = EndpointState::kBackoff;
+    // Honest disconnect: retry after the initial delay (jittered).
+    double delay = std::max(
+        0.0, config_.backoff_initial_s *
+                 (1.0 + rng_.uniform(-config_.backoff_jitter, config_.backoff_jitter)));
+    ep.wake_at = now + from_seconds(delay);
+  }
+  ep.awaiting_start_con = false;
+  if (was_active) lose_active(now, out);
+  return out;
+}
+
+std::vector<Action> RedundancySupervisor::on_apdu(Timestamp now, int endpoint,
+                                                  const iec104::Apdu& apdu) {
+  std::vector<Action> out;
+  auto& ep = endpoints_[check(endpoint)];
+  if (ep.state != EndpointState::kStandby && ep.state != EndpointState::kActive) {
+    return out;  // late APDU on a dead transport: ignore
+  }
+  auto signals = ep.engine.on_apdu(now, apdu);
+  for (auto& reply : signals.to_send) {
+    out.push_back(Action{Action::Kind::kSendApdu, endpoint, std::move(reply)});
+  }
+
+  if (ep.awaiting_start_con && apdu.format == iec104::ApduFormat::kU &&
+      apdu.u_function == iec104::UFunction::kStartDtCon) {
+    // Activation confirmed: resynchronize process state with a general
+    // interrogation — the I100 burst the paper observes after every
+    // switchover (the Fig 13 "ellipse" pattern).
+    ep.awaiting_start_con = false;
+    ep.state = EndpointState::kActive;
+    ep.consecutive_failures = 0;
+    ep.backoff_s = 0.0;
+    iec104::Asdu gi;
+    gi.type = iec104::TypeId::C_IC_NA_1;
+    gi.cot.cause = iec104::Cause::kActivation;
+    gi.common_address = config_.common_address;
+    gi.objects.push_back({0, iec104::InterrogationCommand{20}, std::nullopt});
+    if (auto i_apdu = ep.engine.send_asdu(now, std::move(gi))) {
+      ++stats_.interrogations_sent;
+      out.push_back(Action{Action::Kind::kSendApdu, endpoint, std::move(*i_apdu)});
+    }
+  }
+
+  if (signals.close_connection) {
+    ++stats_.t1_closes;
+    out.push_back(Action{Action::Kind::kCloseConnection, endpoint, {}});
+    ep.state = EndpointState::kDown;
+    ep.wake_at = now;  // eligible to reconnect immediately
+    if (active_ == endpoint) lose_active(now, out);
+  }
+  return out;
+}
+
+std::vector<Action> RedundancySupervisor::on_tick(Timestamp now) {
+  std::vector<Action> out;
+  for (int i = 0; i < kEndpoints; ++i) {
+    auto& ep = endpoints_[i];
+    switch (ep.state) {
+      case EndpointState::kDown:
+        if (!ep.wake_at || now >= *ep.wake_at) {
+          ++stats_.reconnect_attempts;
+          ep.state = EndpointState::kConnecting;
+          ep.connect_deadline = now + from_seconds(config_.connect_timeout_s);
+          out.push_back(Action{Action::Kind::kOpenConnection, i, {}});
+        }
+        break;
+      case EndpointState::kBackoff:
+      case EndpointState::kCircuitOpen:
+        if (ep.wake_at && now >= *ep.wake_at) {
+          if (ep.state == EndpointState::kCircuitOpen) {
+            // Half-open probe: one fresh attempt; failure re-opens fast.
+            ep.consecutive_failures = config_.circuit_failure_threshold - 1;
+          }
+          ++stats_.reconnect_attempts;
+          ep.state = EndpointState::kConnecting;
+          ep.wake_at.reset();
+          ep.connect_deadline = now + from_seconds(config_.connect_timeout_s);
+          out.push_back(Action{Action::Kind::kOpenConnection, i, {}});
+        }
+        break;
+      case EndpointState::kConnecting:
+        if (ep.connect_deadline && now >= *ep.connect_deadline) {
+          // The transport never answered (paper's T0 expiry).
+          fail(now, i);
+        }
+        break;
+      case EndpointState::kStandby:
+      case EndpointState::kActive: {
+        auto signals = ep.engine.on_tick(now);
+        for (auto& apdu : signals.to_send) {
+          out.push_back(Action{Action::Kind::kSendApdu, i, std::move(apdu)});
+        }
+        if (signals.close_connection) {
+          // T1 expiry: the defining switchover trigger.
+          ++stats_.t1_closes;
+          out.push_back(Action{Action::Kind::kCloseConnection, i, {}});
+          ep.state = EndpointState::kDown;
+          ep.wake_at = now;
+          ep.awaiting_start_con = false;
+          if (active_ == i) lose_active(now, out);
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace uncharted::resilience

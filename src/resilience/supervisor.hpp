@@ -1,0 +1,156 @@
+// Redundancy supervisor: primary/backup IEC 104 connection management.
+//
+// The paper's measurements (§5, Figs 8-9) show control centers holding a
+// hot primary connection and a cold backup to every outstation, with two
+// recurring dynamics: the backup being periodically reset ("reset-backup")
+// and traffic switching to the backup when the primary's T1 timer expires
+// ("switchover"). This supervisor reproduces both on top of two
+// ConnectionEngine instances, adding the operational machinery a real
+// front-end needs for long-run resilience:
+//
+//   - exponential backoff with deterministic jitter between reconnect
+//     attempts, so a dead outstation is not hammered;
+//   - a circuit breaker: an endpoint that keeps failing — or keeps
+//     flapping (connecting, then dying young) — is quarantined for a
+//     cool-off period instead of being retried forever;
+//   - T1-expiry-triggered switchover: when the active connection's send
+//     timer fires, the standby is promoted (STARTDT, then a general
+//     interrogation to resynchronize state, the paper's I100 ellipse).
+//
+// Like ConnectionEngine, the supervisor is transport-agnostic and
+// time-driven: the owner reports transport events and ticks, and executes
+// the returned actions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "iec104/connection.hpp"
+#include "util/rng.hpp"
+#include "util/timebase.hpp"
+
+namespace uncharted::resilience {
+
+/// Lifecycle of one redundant endpoint (one TCP path to the outstation).
+enum class EndpointState {
+  kDown,         ///< not connected, eligible for a connect attempt
+  kConnecting,   ///< connect requested, waiting for the transport
+  kStandby,      ///< connected, STOPDT — the cold backup
+  kActive,       ///< connected, STARTDT confirmed — carrying traffic
+  kBackoff,      ///< waiting out an exponential-backoff delay
+  kCircuitOpen,  ///< quarantined after repeated failures/flaps
+};
+
+std::string endpoint_state_name(EndpointState s);
+
+struct SupervisorConfig {
+  iec104::Timers timers;
+  int k = iec104::kDefaultK;
+  int w = iec104::kDefaultW;
+
+  double backoff_initial_s = 1.0;  ///< first retry delay
+  double backoff_max_s = 60.0;     ///< delay cap
+  double backoff_jitter = 0.25;    ///< +/- fraction of the delay, randomized
+
+  /// Consecutive failures (failed connects or young deaths) that open the
+  /// circuit breaker.
+  int circuit_failure_threshold = 5;
+  double circuit_open_s = 120.0;  ///< quarantine duration
+  /// A connection dying sooner than this after connecting counts as a
+  /// failure (flap), not an honest disconnect.
+  double min_uptime_s = 5.0;
+  /// A connect attempt outstanding longer than this is failed by the
+  /// supervisor itself (transport never answered — the paper's T0).
+  double connect_timeout_s = 30.0;
+
+  /// Station address used in the post-switchover general interrogation.
+  std::uint16_t common_address = 1;
+
+  std::uint64_t seed = 0x5ca1ab1eULL;  ///< jitter determinism
+};
+
+/// What the supervisor wants its owner to do.
+struct Action {
+  enum class Kind {
+    kOpenConnection,   ///< start a TCP connect on `endpoint`
+    kCloseConnection,  ///< tear down `endpoint`'s transport
+    kSendApdu,         ///< transmit `apdu` on `endpoint`
+  };
+  Kind kind = Kind::kOpenConnection;
+  int endpoint = 0;  ///< 0 = primary, 1 = backup
+  iec104::Apdu apdu;
+};
+
+struct SupervisorStats {
+  std::uint64_t switchovers = 0;         ///< active role moved endpoints
+  std::uint64_t reconnect_attempts = 0;  ///< kOpenConnection actions issued
+  std::uint64_t failed_connects = 0;     ///< failures + young deaths
+  std::uint64_t circuit_opens = 0;       ///< times the breaker tripped
+  std::uint64_t t1_closes = 0;           ///< closes forced by T1 expiry
+  std::uint64_t interrogations_sent = 0; ///< I100 after activation
+  std::uint64_t backup_resets = 0;       ///< standby disconnects (reset-backup)
+};
+
+class RedundancySupervisor {
+ public:
+  static constexpr int kPrimary = 0;
+  static constexpr int kBackup = 1;
+  static constexpr int kEndpoints = 2;
+
+  explicit RedundancySupervisor(SupervisorConfig config = {});
+
+  /// Transport reports `endpoint` connected.
+  std::vector<Action> on_connected(Timestamp now, int endpoint);
+  /// Transport reports the connect attempt failed.
+  std::vector<Action> on_connect_failed(Timestamp now, int endpoint);
+  /// Transport reports an established connection died (peer close, RST).
+  std::vector<Action> on_disconnected(Timestamp now, int endpoint);
+  /// An APDU arrived on `endpoint`.
+  std::vector<Action> on_apdu(Timestamp now, int endpoint, const iec104::Apdu& apdu);
+  /// Clock tick: drives engines' timers, backoff expiry, circuit reset and
+  /// connect timeouts.
+  std::vector<Action> on_tick(Timestamp now);
+
+  EndpointState state(int endpoint) const { return endpoints_[check(endpoint)].state; }
+  /// The endpoint currently carrying (or activating) traffic, -1 if none.
+  int active_endpoint() const { return active_; }
+  const SupervisorStats& stats() const { return stats_; }
+  const iec104::ConnectionEngine& engine(int endpoint) const {
+    return endpoints_[check(endpoint)].engine;
+  }
+
+ private:
+  struct Endpoint {
+    explicit Endpoint(const SupervisorConfig& config)
+        : engine(iec104::Role::kControlling, config.timers, config.k, config.w) {}
+
+    EndpointState state = EndpointState::kDown;
+    iec104::ConnectionEngine engine;
+    int consecutive_failures = 0;
+    double backoff_s = 0.0;
+    std::optional<Timestamp> wake_at;        ///< backoff / circuit-open expiry
+    std::optional<Timestamp> connect_deadline;
+    Timestamp connected_at = 0;
+    bool awaiting_start_con = false;  ///< STARTDT sent, confirmation pending
+  };
+
+  static int check(int endpoint);
+  /// Registers a failure (failed connect or flap) and schedules the next
+  /// attempt — or opens the circuit.
+  void fail(Timestamp now, int endpoint);
+  /// Begins activation of a connected endpoint: STARTDT + bookkeeping.
+  void promote(Timestamp now, int endpoint, std::vector<Action>& out);
+  /// Active endpoint lost: demote and promote the standby if possible.
+  void lose_active(Timestamp now, std::vector<Action>& out);
+
+  SupervisorConfig config_;
+  std::array<Endpoint, kEndpoints> endpoints_;
+  int active_ = -1;
+  SupervisorStats stats_;
+  Rng rng_;
+};
+
+}  // namespace uncharted::resilience

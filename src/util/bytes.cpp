@@ -80,6 +80,12 @@ Result<float> ByteReader::f32le() {
   return std::bit_cast<float>(raw.value());
 }
 
+Result<double> ByteReader::f64le() {
+  auto raw = u64le();
+  if (!raw) return raw.error();
+  return std::bit_cast<double>(raw.value());
+}
+
 Result<std::span<const std::uint8_t>> ByteReader::bytes(std::size_t n) {
   UNCHARTED_CHECK_READ(n);
   auto out = data_.subspan(pos_, n);
@@ -121,6 +127,8 @@ void ByteWriter::u64le(std::uint64_t v) {
 }
 
 void ByteWriter::f32le(float v) { u32le(std::bit_cast<std::uint32_t>(v)); }
+
+void ByteWriter::f64le(double v) { u64le(std::bit_cast<std::uint64_t>(v)); }
 
 void ByteWriter::bytes(std::span<const std::uint8_t> data) {
   buf_.insert(buf_.end(), data.begin(), data.end());

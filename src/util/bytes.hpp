@@ -40,6 +40,8 @@ class ByteReader {
   Result<std::uint64_t> u64le();
   /// IEEE-754 single precision, little-endian (IEC 104 float encoding).
   Result<float> f32le();
+  /// IEEE-754 double precision, little-endian (checkpoint snapshots).
+  Result<double> f64le();
 
   /// Returns a subspan of n bytes and advances.
   Result<std::span<const std::uint8_t>> bytes(std::size_t n);
@@ -70,6 +72,7 @@ class ByteWriter {
   void u32be(std::uint32_t v);
   void u64le(std::uint64_t v);
   void f32le(float v);
+  void f64le(double v);
   void bytes(std::span<const std::uint8_t> data);
 
   /// Overwrites a previously written byte (e.g. a length field backpatch).

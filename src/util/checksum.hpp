@@ -1,0 +1,15 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for checkpoint
+// integrity. A snapshot written mid-crash must be detectably bad, never
+// silently restored; the CRC covers the whole serialized payload.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace uncharted {
+
+/// CRC-32 of `data`, optionally continuing from a previous value (pass the
+/// prior return value as `seed` to checksum in pieces).
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed = 0);
+
+}  // namespace uncharted

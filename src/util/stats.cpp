@@ -22,6 +22,33 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
+void RunningStats::save(ByteWriter& w) const {
+  w.u64le(n_);
+  w.f64le(mean_);
+  w.f64le(m2_);
+  w.f64le(sum_);
+  w.f64le(min_);
+  w.f64le(max_);
+}
+
+Result<RunningStats> RunningStats::load(ByteReader& r) {
+  RunningStats s;
+  auto n = r.u64le();
+  auto mean = r.f64le();
+  auto m2 = r.f64le();
+  auto sum = r.f64le();
+  auto mn = r.f64le();
+  auto mx = r.f64le();
+  if (!mx) return mx.error();
+  s.n_ = static_cast<std::size_t>(n.value());
+  s.mean_ = mean.value();
+  s.m2_ = m2.value();
+  s.sum_ = sum.value();
+  s.min_ = mn.value();
+  s.max_ = mx.value();
+  return s;
+}
+
 double percentile(std::vector<double> values, double p) {
   if (values.empty()) return 0.0;
   std::sort(values.begin(), values.end());

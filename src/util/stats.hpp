@@ -7,6 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "util/bytes.hpp"
+#include "util/expected.hpp"
+
 namespace uncharted {
 
 /// Welford online mean/variance plus min/max.
@@ -22,6 +25,11 @@ class RunningStats {
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }
   double sum() const { return sum_; }
+
+  /// Checkpoint serialization: the exact Welford state round-trips, so a
+  /// restored accumulator continues as if never interrupted.
+  void save(ByteWriter& w) const;
+  static Result<RunningStats> load(ByteReader& r);
 
  private:
   std::size_t n_ = 0;

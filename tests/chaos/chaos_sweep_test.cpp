@@ -72,7 +72,7 @@ TEST(ChaosSweep, FaultedRunsReportDegradationExactlyWhenInjected) {
       EXPECT_GT(point.log.total(), 0u) << "rate " << rate;
       EXPECT_TRUE(point.report.degradation.degraded()) << "rate " << rate;
       EXPECT_GT(point.report.degradation.counters.total(), 0u) << "rate " << rate;
-      EXPECT_FALSE(point.report.degradation.warning.empty()) << "rate " << rate;
+      EXPECT_FALSE(point.report.degradation.warnings.empty()) << "rate " << rate;
     }
   }
 }

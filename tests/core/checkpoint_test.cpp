@@ -1,0 +1,142 @@
+// The checkpoint container: atomic replace, generation rotation, and
+// rejection of every torn-write artifact a crash can leave behind.
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace uncharted::core {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "checkpoint_test_" + name;
+}
+
+std::vector<std::uint8_t> payload_of(std::initializer_list<int> bytes) {
+  std::vector<std::uint8_t> out;
+  for (int b : bytes) out.push_back(static_cast<std::uint8_t>(b));
+  return out;
+}
+
+void write_raw(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+}
+
+std::vector<std::uint8_t> read_raw(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>()};
+}
+
+TEST(Checkpoint, RoundTripsPayload) {
+  auto path = temp_path("roundtrip.ckpt");
+  std::filesystem::remove(path);
+  auto payload = payload_of({1, 2, 3, 4, 5, 0xff, 0});
+  ASSERT_TRUE(write_checkpoint_file(path, payload).ok());
+  auto back = read_checkpoint_file(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, payload);
+}
+
+TEST(Checkpoint, EmptyPayloadIsValid) {
+  auto path = temp_path("empty.ckpt");
+  std::filesystem::remove(path);
+  ASSERT_TRUE(write_checkpoint_file(path, {}).ok());
+  auto back = read_checkpoint_file(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(Checkpoint, SecondWriteRotatesPreviousGeneration) {
+  auto path = temp_path("rotate.ckpt");
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".1");
+  auto first = payload_of({10, 11, 12});
+  auto second = payload_of({20, 21});
+  ASSERT_TRUE(write_checkpoint_file(path, first).ok());
+  ASSERT_TRUE(write_checkpoint_file(path, second).ok());
+
+  auto primary = read_checkpoint_file(path);
+  auto rotated = read_checkpoint_file(path + ".1");
+  ASSERT_TRUE(primary.ok());
+  ASSERT_TRUE(rotated.ok());
+  EXPECT_EQ(*primary, second);
+  EXPECT_EQ(*rotated, first);
+}
+
+TEST(Checkpoint, MissingFileIsCleanError) {
+  auto missing = temp_path("nonexistent.ckpt");
+  std::filesystem::remove(missing);
+  auto r = read_checkpoint_file(missing);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Checkpoint, TruncatedFileRejected) {
+  auto path = temp_path("truncated.ckpt");
+  std::filesystem::remove(path);
+  ASSERT_TRUE(write_checkpoint_file(path, payload_of({1, 2, 3, 4, 5, 6})).ok());
+  auto bytes = read_raw(path);
+  ASSERT_GT(bytes.size(), 4u);
+  // Cut mid-payload: the crash-during-write shape rename protects against,
+  // simulated directly.
+  bytes.resize(bytes.size() - 3);
+  write_raw(path, bytes);
+  auto r = read_checkpoint_file(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "checkpoint-truncated");
+}
+
+TEST(Checkpoint, CorruptedPayloadFailsCrc) {
+  auto path = temp_path("crc.ckpt");
+  std::filesystem::remove(path);
+  ASSERT_TRUE(write_checkpoint_file(path, payload_of({1, 2, 3, 4, 5, 6})).ok());
+  auto bytes = read_raw(path);
+  bytes.back() ^= 0x40;  // flip a payload bit; header stays plausible
+  write_raw(path, bytes);
+  auto r = read_checkpoint_file(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "checkpoint-crc");
+}
+
+TEST(Checkpoint, WrongMagicRejected) {
+  auto path = temp_path("magic.ckpt");
+  write_raw(path, payload_of({'P', 'K', 0x03, 0x04, 0, 0, 0, 0, 0, 0, 0, 0,
+                              0, 0, 0, 0, 0, 0, 0, 0}));
+  auto r = read_checkpoint_file(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "checkpoint-magic");
+}
+
+TEST(Checkpoint, LatestFallsBackToRotationWhenPrimaryCorrupt) {
+  auto path = temp_path("fallback.ckpt");
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".1");
+  auto older = payload_of({7, 7, 7});
+  ASSERT_TRUE(write_checkpoint_file(path, older).ok());
+  ASSERT_TRUE(write_checkpoint_file(path, payload_of({8, 8, 8})).ok());
+
+  auto bytes = read_raw(path);
+  bytes.resize(6);  // destroy the primary generation
+  write_raw(path, bytes);
+
+  auto r = read_latest_checkpoint(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, older);
+}
+
+TEST(Checkpoint, LatestFailsWhenBothGenerationsUnusable) {
+  auto path = temp_path("allbad.ckpt");
+  write_raw(path, payload_of({0xde, 0xad}));
+  write_raw(path + ".1", payload_of({0xbe, 0xef}));
+  auto r = read_latest_checkpoint(path);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace uncharted::core

@@ -1,0 +1,309 @@
+// Regression tests for ConnectionEngine behavior at the 15-bit sequence
+// wrap (32767 -> 0) and for the T2 acknowledgement-delay edge cases. The
+// Snapshot API lets every test start the engine a few frames below the
+// wrap instead of sending 32,760 warm-up APDUs.
+#include "iec104/connection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+
+namespace uncharted::iec104 {
+namespace {
+
+constexpr Timestamp kT0 = 1'000'000'000;
+
+Asdu tiny_asdu() {
+  Asdu asdu;
+  asdu.type = TypeId::M_ME_NC_1;
+  asdu.cot.cause = Cause::kSpontaneous;
+  asdu.common_address = 1;
+  asdu.objects.push_back({10, ShortFloat{1.0f, Quality{}}, std::nullopt});
+  return asdu;
+}
+
+/// A started engine whose send state sits `below` frames under the wrap.
+ConnectionEngine near_wrap_sender(std::uint16_t below, Timers timers = {}) {
+  ConnectionEngine engine(Role::kControlled, timers, /*k=*/12, /*w=*/8);
+  engine.on_connected(kT0);
+  ConnectionEngine::Snapshot s;
+  s.started = true;
+  s.vs = static_cast<std::uint16_t>(32768 - below);
+  s.peer_acked = s.vs;
+  s.last_activity = kT0;
+  engine.restore(s);
+  return engine;
+}
+
+TEST(ConnectionWrap, SendSequenceWrapsAt32767) {
+  auto engine = near_wrap_sender(2);
+  auto a1 = engine.send_asdu(kT0 + 1, tiny_asdu());
+  auto a2 = engine.send_asdu(kT0 + 2, tiny_asdu());
+  auto a3 = engine.send_asdu(kT0 + 3, tiny_asdu());
+  ASSERT_TRUE(a1 && a2 && a3);
+  EXPECT_EQ(a1->send_seq, 32766);
+  EXPECT_EQ(a2->send_seq, 32767);
+  EXPECT_EQ(a3->send_seq, 0);  // wrapped, not 32768
+  EXPECT_EQ(engine.vs(), 1);
+  EXPECT_EQ(engine.unacked(), 3);
+}
+
+TEST(ConnectionWrap, AckAccountingCrossesTheWrap) {
+  auto engine = near_wrap_sender(5);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine.send_asdu(kT0 + i, tiny_asdu()).has_value());
+  }
+  EXPECT_EQ(engine.vs(), 5);  // 32763..32767 then 0..4
+  EXPECT_EQ(engine.unacked(), 10);
+
+  // Ack below the wrap, then across it: both must drain the window.
+  engine.on_apdu(kT0 + 100, Apdu::make_s(32766));
+  EXPECT_EQ(engine.unacked(), 7);
+  engine.on_apdu(kT0 + 200, Apdu::make_s(2));  // numerically < peer_acked
+  EXPECT_EQ(engine.unacked(), 3);
+  engine.on_apdu(kT0 + 300, Apdu::make_s(5));
+  EXPECT_EQ(engine.unacked(), 0);
+}
+
+TEST(ConnectionWrap, StaleAndBogusAcksIgnoredAcrossTheWrap) {
+  auto engine = near_wrap_sender(3);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(engine.send_asdu(kT0 + i, tiny_asdu()).has_value());
+  }
+  engine.on_apdu(kT0 + 10, Apdu::make_s(1));  // partial, across the wrap
+  EXPECT_EQ(engine.unacked(), 2);
+
+  // Stale: a pre-wrap N(R) re-arriving after the window moved past it.
+  engine.on_apdu(kT0 + 20, Apdu::make_s(32766));
+  EXPECT_EQ(engine.unacked(), 2);
+  // Bogus: beyond everything we have sent (vs_ == 3).
+  engine.on_apdu(kT0 + 30, Apdu::make_s(9));
+  EXPECT_EQ(engine.unacked(), 2);
+  // 16-bit garbage on the wire: masked to 15 bits, 32773 % 32768 == 5 > vs.
+  engine.on_apdu(kT0 + 40, Apdu::make_s(32773));
+  EXPECT_EQ(engine.unacked(), 2);
+}
+
+TEST(ConnectionWrap, WindowLimitKEnforcedAcrossTheWrap) {
+  Timers timers;
+  ConnectionEngine engine(Role::kControlled, timers, /*k=*/4, /*w=*/8);
+  engine.on_connected(kT0);
+  ConnectionEngine::Snapshot s;
+  s.started = true;
+  s.vs = 32767;
+  s.peer_acked = 32767;
+  s.last_activity = kT0;
+  engine.restore(s);
+
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(engine.send_asdu(kT0 + i, tiny_asdu()).has_value());
+  }
+  // Window full (k=4) even though vs_ (3) is numerically tiny again.
+  EXPECT_FALSE(engine.send_asdu(kT0 + 10, tiny_asdu()).has_value());
+  engine.on_apdu(kT0 + 20, Apdu::make_s(0));  // acks the pre-wrap frame
+  EXPECT_EQ(engine.unacked(), 3);
+  EXPECT_TRUE(engine.send_asdu(kT0 + 30, tiny_asdu()).has_value());
+}
+
+TEST(ConnectionWrap, ReceiveSequenceWrapsAndAcksWithWrappedVr) {
+  ConnectionEngine engine(Role::kControlling, Timers{}, /*k=*/12, /*w=*/4);
+  engine.on_connected(kT0);
+  ConnectionEngine::Snapshot s;
+  s.started = true;
+  s.vr = 32766;
+  s.ack_sent = 32766;
+  s.last_activity = kT0;
+  engine.restore(s);
+
+  std::uint16_t seqs[] = {32766, 32767, 0};
+  EngineSignals sig;
+  for (std::uint16_t ns : seqs) {
+    sig = engine.on_apdu(kT0 + ns % 100, Apdu::make_i(ns, 0, tiny_asdu()));
+    EXPECT_TRUE(sig.to_send.empty());
+  }
+  EXPECT_EQ(engine.vr(), 1);
+  EXPECT_EQ(engine.unacked_received(), 3);
+
+  // The w-th frame crosses the boundary; the S ack carries the wrapped vr.
+  sig = engine.on_apdu(kT0 + 500, Apdu::make_i(1, 0, tiny_asdu()));
+  ASSERT_EQ(sig.to_send.size(), 1u);
+  EXPECT_EQ(sig.to_send[0].format, ApduFormat::kS);
+  EXPECT_EQ(sig.to_send[0].recv_seq, 2);
+  EXPECT_EQ(engine.unacked_received(), 0);
+}
+
+TEST(ConnectionWrap, PartialAckAcrossWrapReArmsT1) {
+  Timers timers;  // t1 = 15s
+  auto engine = near_wrap_sender(2, timers);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(engine.send_asdu(kT0 + i, tiny_asdu()).has_value());
+  }
+  // Original T1 deadline: kT0 + 15s. A partial ack at +10s crossing the
+  // wrap proves the peer is draining; the deadline must restart from the
+  // ack, not stay anchored at the first send.
+  Timestamp ack_at = kT0 + from_seconds(10.0);
+  engine.on_apdu(ack_at, Apdu::make_s(1));
+  EXPECT_EQ(engine.unacked(), 1);
+
+  auto sig = engine.on_tick(kT0 + from_seconds(16.0));  // past original T1
+  EXPECT_FALSE(sig.close_connection);
+  sig = engine.on_tick(ack_at + from_seconds(15.0) + 1);  // past re-armed T1
+  EXPECT_TRUE(sig.close_connection);
+}
+
+TEST(ConnectionWrap, FullAckAcrossWrapDisarmsT1) {
+  auto engine = near_wrap_sender(1);
+  ASSERT_TRUE(engine.send_asdu(kT0, tiny_asdu()).has_value());
+  ASSERT_TRUE(engine.send_asdu(kT0 + 1, tiny_asdu()).has_value());
+  engine.on_apdu(kT0 + from_seconds(1.0), Apdu::make_s(1));  // acks both
+  EXPECT_EQ(engine.unacked(), 0);
+  auto sig = engine.on_tick(kT0 + from_seconds(16.0));
+  EXPECT_FALSE(sig.close_connection);
+}
+
+TEST(ConnectionWrap, SnapshotRoundTripsThroughBytes) {
+  ConnectionEngine::Snapshot s;
+  s.started = true;
+  s.vs = 32767;
+  s.vr = 12345;
+  s.ack_sent = 12340;
+  s.peer_acked = 32760;
+  s.recv_since_ack = 5;
+  s.last_activity = kT0;
+  s.t1_deadline = kT0 + from_seconds(7.5);
+  s.test_outstanding = true;
+  s.t2_deadline = kT0 + from_seconds(2.5);
+
+  ByteWriter w;
+  s.save(w);
+  ByteReader r(w.view());
+  auto loaded = ConnectionEngine::Snapshot::load(r);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->started, s.started);
+  EXPECT_EQ(loaded->vs, s.vs);
+  EXPECT_EQ(loaded->vr, s.vr);
+  EXPECT_EQ(loaded->ack_sent, s.ack_sent);
+  EXPECT_EQ(loaded->peer_acked, s.peer_acked);
+  EXPECT_EQ(loaded->recv_since_ack, s.recv_since_ack);
+  EXPECT_EQ(loaded->last_activity, s.last_activity);
+  EXPECT_EQ(loaded->t1_deadline, s.t1_deadline);
+  EXPECT_EQ(loaded->test_outstanding, s.test_outstanding);
+  EXPECT_EQ(loaded->t2_deadline, s.t2_deadline);
+
+  // restore() masks out-of-range sequence fields instead of trusting them.
+  loaded->vs = 40000;  // 40000 % 32768 == 7232
+  ConnectionEngine engine(Role::kControlled);
+  engine.on_connected(kT0);
+  engine.restore(*loaded);
+  EXPECT_EQ(engine.vs(), 7232);
+}
+
+// --- T2 acknowledgement-delay edges ---------------------------------------
+
+/// A started controlling engine with small w for boundary tests.
+ConnectionEngine started_receiver(int w, Timers timers = {}) {
+  ConnectionEngine engine(Role::kControlling, timers, /*k=*/12, w);
+  engine.on_connected(kT0);
+  ConnectionEngine::Snapshot s;
+  s.started = true;
+  s.last_activity = kT0;
+  engine.restore(s);
+  return engine;
+}
+
+TEST(ConnectionT2, SFrameDueExactlyAtWindowBoundaryW) {
+  auto engine = started_receiver(/*w=*/3);
+  EXPECT_TRUE(engine.on_apdu(kT0 + 1, Apdu::make_i(0, 0, tiny_asdu())).to_send.empty());
+  EXPECT_TRUE(engine.on_apdu(kT0 + 2, Apdu::make_i(1, 0, tiny_asdu())).to_send.empty());
+  // Exactly w received: the S ack is immediate, not deferred to T2.
+  auto sig = engine.on_apdu(kT0 + 3, Apdu::make_i(2, 0, tiny_asdu()));
+  ASSERT_EQ(sig.to_send.size(), 1u);
+  EXPECT_EQ(sig.to_send[0].format, ApduFormat::kS);
+  EXPECT_EQ(sig.to_send[0].recv_seq, 3);
+  EXPECT_EQ(engine.unacked_received(), 0);
+  // The boundary ack also cleared T2: a later tick owes nothing.
+  sig = engine.on_tick(kT0 + from_seconds(11.0));
+  EXPECT_TRUE(sig.to_send.empty());
+}
+
+TEST(ConnectionT2, AckFiresExactlyAtT2Deadline) {
+  Timers timers;  // t2 = 10s
+  auto engine = started_receiver(/*w=*/8, timers);
+  engine.on_apdu(kT0, Apdu::make_i(0, 0, tiny_asdu()));
+  Timestamp deadline = kT0 + from_seconds(timers.t2);
+
+  auto sig = engine.on_tick(deadline - 1);
+  EXPECT_TRUE(sig.to_send.empty());
+  sig = engine.on_tick(deadline);  // boundary inclusive: due exactly now
+  ASSERT_EQ(sig.to_send.size(), 1u);
+  EXPECT_EQ(sig.to_send[0].format, ApduFormat::kS);
+  EXPECT_EQ(sig.to_send[0].recv_seq, 1);
+  // Once paid, the debt is gone: no second S on the next tick.
+  sig = engine.on_tick(deadline + 1);
+  EXPECT_TRUE(sig.to_send.empty());
+}
+
+TEST(ConnectionT2, OwnIFrameCancelsPendingT2Ack) {
+  Timers timers;
+  auto engine = started_receiver(/*w=*/8, timers);
+  engine.on_apdu(kT0, Apdu::make_i(0, 0, tiny_asdu()));
+  // Our own I-frame piggybacks N(R); the standalone S is no longer owed.
+  ASSERT_TRUE(engine.send_asdu(kT0 + 5, tiny_asdu()).has_value());
+  auto sig = engine.on_tick(kT0 + from_seconds(timers.t2));
+  EXPECT_TRUE(sig.to_send.empty());
+}
+
+TEST(ConnectionT2, PeerTestFrDoesNotCancelPendingAck) {
+  Timers timers;
+  auto engine = started_receiver(/*w=*/8, timers);
+  engine.on_apdu(kT0, Apdu::make_i(0, 0, tiny_asdu()));
+  // The peer's keep-alive races our pending acknowledgement: we confirm
+  // the test immediately, but still owe the S at T2.
+  auto sig = engine.on_apdu(kT0 + from_seconds(5.0), Apdu::make_u(UFunction::kTestFrAct));
+  ASSERT_EQ(sig.to_send.size(), 1u);
+  EXPECT_EQ(sig.to_send[0].u_function, UFunction::kTestFrCon);
+  EXPECT_EQ(engine.unacked_received(), 1);
+
+  sig = engine.on_tick(kT0 + from_seconds(timers.t2));
+  ASSERT_EQ(sig.to_send.size(), 1u);
+  EXPECT_EQ(sig.to_send[0].format, ApduFormat::kS);
+}
+
+TEST(ConnectionT2, TestFrConDoesNotDisarmT1WhileIFramesUnacked) {
+  Timers timers;
+  timers.t3 = 5.0;  // idle test fires before the 15s T1
+  ConnectionEngine engine(Role::kControlled, timers);
+  engine.on_connected(kT0);
+  engine.on_apdu(kT0, Apdu::make_u(UFunction::kStartDtAct));
+  ASSERT_TRUE(engine.send_asdu(kT0 + 1, tiny_asdu()).has_value());
+
+  // Idle long enough for the T3 keep-alive while the I-frame is unacked.
+  auto sig = engine.on_tick(kT0 + from_seconds(6.0));
+  ASSERT_EQ(sig.to_send.size(), 1u);
+  EXPECT_EQ(sig.to_send[0].u_function, UFunction::kTestFrAct);
+
+  // The test confirmation answers the TESTFR — but the I-frame is still
+  // outstanding, so T1 (armed at the send) must keep running.
+  engine.on_apdu(kT0 + from_seconds(7.0), Apdu::make_u(UFunction::kTestFrCon));
+  sig = engine.on_tick(kT0 + from_seconds(16.0));
+  EXPECT_TRUE(sig.close_connection);
+}
+
+TEST(ConnectionT2, TestFrConDisarmsT1WhenNothingElseOutstanding) {
+  Timers timers;
+  timers.t3 = 5.0;
+  ConnectionEngine engine(Role::kControlled, timers);
+  engine.on_connected(kT0);
+  engine.on_apdu(kT0, Apdu::make_u(UFunction::kStartDtAct));
+
+  auto sig = engine.on_tick(kT0 + from_seconds(6.0));
+  ASSERT_EQ(sig.to_send.size(), 1u);
+  EXPECT_EQ(sig.to_send[0].u_function, UFunction::kTestFrAct);
+  engine.on_apdu(kT0 + from_seconds(7.0), Apdu::make_u(UFunction::kTestFrCon));
+
+  sig = engine.on_tick(kT0 + from_seconds(6.0) + from_seconds(16.0));
+  EXPECT_FALSE(sig.close_connection);
+}
+
+}  // namespace
+}  // namespace uncharted::iec104

@@ -1,0 +1,427 @@
+// RedundancySupervisor: backoff/jitter, circuit breaker, T1 switchover,
+// the reset-backup pattern, and an end-to-end soak against simulated
+// outstations over a wire damaged by the faultinject layer.
+#include "resilience/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "faultinject/fault.hpp"
+#include "iec104/apdu.hpp"
+#include "net/frame.hpp"
+#include "net/pcap.hpp"
+#include "util/bytes.hpp"
+
+namespace uncharted::resilience {
+namespace {
+
+constexpr Timestamp kT0 = 1'000'000'000;
+
+using iec104::Apdu;
+using iec104::ApduFormat;
+using iec104::UFunction;
+
+int count_kind(const std::vector<Action>& actions, Action::Kind kind,
+               int endpoint = -1) {
+  int n = 0;
+  for (const auto& a : actions) {
+    if (a.kind == kind && (endpoint < 0 || a.endpoint == endpoint)) ++n;
+  }
+  return n;
+}
+
+const Apdu* find_apdu(const std::vector<Action>& actions, int endpoint) {
+  for (const auto& a : actions) {
+    if (a.kind == Action::Kind::kSendApdu && a.endpoint == endpoint) return &a.apdu;
+  }
+  return nullptr;
+}
+
+SupervisorConfig no_jitter_config() {
+  SupervisorConfig config;
+  config.backoff_jitter = 0.0;
+  return config;
+}
+
+TEST(Supervisor, OpensBothEndpointsOnFirstTick) {
+  RedundancySupervisor sup;
+  auto actions = sup.on_tick(kT0);
+  EXPECT_EQ(count_kind(actions, Action::Kind::kOpenConnection), 2);
+  EXPECT_EQ(sup.state(0), EndpointState::kConnecting);
+  EXPECT_EQ(sup.state(1), EndpointState::kConnecting);
+  EXPECT_EQ(sup.active_endpoint(), -1);
+  EXPECT_EQ(sup.stats().reconnect_attempts, 2u);
+}
+
+TEST(Supervisor, FirstConnectionPromotedSecondStaysStandby) {
+  RedundancySupervisor sup;
+  sup.on_tick(kT0);
+
+  auto actions = sup.on_connected(kT0 + 1, RedundancySupervisor::kPrimary);
+  const Apdu* startdt = find_apdu(actions, 0);
+  ASSERT_NE(startdt, nullptr);
+  EXPECT_EQ(startdt->format, ApduFormat::kU);
+  EXPECT_EQ(startdt->u_function, UFunction::kStartDtAct);
+  EXPECT_EQ(sup.active_endpoint(), 0);
+
+  // STARTDT confirmed: activation completes with a general interrogation
+  // (the paper's post-switchover I100 burst).
+  actions = sup.on_apdu(kT0 + 2, 0, Apdu::make_u(UFunction::kStartDtCon));
+  const Apdu* gi = find_apdu(actions, 0);
+  ASSERT_NE(gi, nullptr);
+  EXPECT_EQ(gi->format, ApduFormat::kI);
+  EXPECT_EQ(sup.state(0), EndpointState::kActive);
+  EXPECT_EQ(sup.stats().interrogations_sent, 1u);
+
+  // The backup connects later and stays cold.
+  actions = sup.on_connected(kT0 + 3, RedundancySupervisor::kBackup);
+  EXPECT_TRUE(actions.empty());
+  EXPECT_EQ(sup.state(1), EndpointState::kStandby);
+}
+
+TEST(Supervisor, BackoffDoublesUpToCapWithoutJitter) {
+  auto config = no_jitter_config();
+  config.circuit_failure_threshold = 100;  // keep the breaker out of the way
+  config.backoff_initial_s = 1.0;
+  config.backoff_max_s = 4.0;
+  RedundancySupervisor sup(config);
+  sup.on_tick(kT0);
+
+  Timestamp now = kT0 + 1;
+  double expected[] = {1.0, 2.0, 4.0, 4.0};  // doubling, then capped
+  for (double delay : expected) {
+    sup.on_connect_failed(now, 0);
+    EXPECT_EQ(sup.state(0), EndpointState::kBackoff);
+    // One microsecond early: still waiting.
+    auto early = sup.on_tick(now + from_seconds(delay) - 1);
+    EXPECT_EQ(count_kind(early, Action::Kind::kOpenConnection, 0), 0);
+    auto due = sup.on_tick(now + from_seconds(delay));
+    EXPECT_EQ(count_kind(due, Action::Kind::kOpenConnection, 0), 1);
+    now = now + from_seconds(delay) + 1;
+  }
+}
+
+TEST(Supervisor, JitteredBackoffStaysWithinConfiguredBand) {
+  SupervisorConfig config;
+  config.backoff_initial_s = 8.0;
+  config.backoff_jitter = 0.25;
+  config.circuit_failure_threshold = 100;
+  RedundancySupervisor sup(config);
+  sup.on_tick(kT0);
+
+  sup.on_connect_failed(kT0, 0);
+  // Before base*(1-jitter) the retry can never be due; after
+  // base*(1+jitter) it always is.
+  auto early = sup.on_tick(kT0 + from_seconds(8.0 * 0.75) - 1);
+  EXPECT_EQ(count_kind(early, Action::Kind::kOpenConnection, 0), 0);
+  auto late = sup.on_tick(kT0 + from_seconds(8.0 * 1.25) + 1);
+  EXPECT_EQ(count_kind(late, Action::Kind::kOpenConnection, 0), 1);
+}
+
+TEST(Supervisor, CircuitBreakerOpensAndProbesHalfOpen) {
+  auto config = no_jitter_config();
+  config.circuit_failure_threshold = 3;
+  config.circuit_open_s = 60.0;
+  RedundancySupervisor sup(config);
+  sup.on_tick(kT0);
+
+  // Two failures back off; the third trips the breaker.
+  Timestamp now = kT0;
+  for (int i = 0; i < 3; ++i) {
+    sup.on_connect_failed(now, 0);
+    now += from_seconds(10.0);
+    sup.on_tick(now);
+  }
+  EXPECT_EQ(sup.state(0), EndpointState::kCircuitOpen);
+  EXPECT_EQ(sup.stats().circuit_opens, 1u);
+
+  // Quarantined: ticks inside the cool-off do not retry.
+  auto quiet = sup.on_tick(now + from_seconds(1.0));
+  EXPECT_EQ(count_kind(quiet, Action::Kind::kOpenConnection, 0), 0);
+
+  // Cool-off over: one half-open probe; its failure re-trips immediately.
+  Timestamp trip_at = kT0 + from_seconds(20.0);  // time of the third failure
+  auto probe = sup.on_tick(trip_at + from_seconds(60.0));
+  EXPECT_EQ(count_kind(probe, Action::Kind::kOpenConnection, 0), 1);
+  sup.on_connect_failed(trip_at + from_seconds(61.0), 0);
+  EXPECT_EQ(sup.state(0), EndpointState::kCircuitOpen);
+  EXPECT_EQ(sup.stats().circuit_opens, 2u);
+}
+
+TEST(Supervisor, YoungDeathsCountAsFlapsAndTripTheBreaker) {
+  auto config = no_jitter_config();
+  config.circuit_failure_threshold = 3;
+  config.min_uptime_s = 5.0;
+  config.backoff_initial_s = 1.0;
+  RedundancySupervisor sup(config);
+
+  Timestamp now = kT0;
+  for (int i = 0; i < 3; ++i) {
+    sup.on_tick(now);
+    sup.on_connected(now + from_seconds(0.1), 0);
+    // Dies after one second: a flap, not an honest disconnect.
+    sup.on_disconnected(now + from_seconds(1.1), 0);
+    now += from_seconds(30.0);
+  }
+  EXPECT_EQ(sup.state(0), EndpointState::kCircuitOpen);
+  EXPECT_GE(sup.stats().failed_connects, 3u);
+}
+
+TEST(Supervisor, LongLivedDisconnectResetsTheFailureStreak) {
+  auto config = no_jitter_config();
+  config.circuit_failure_threshold = 3;
+  config.min_uptime_s = 5.0;
+  RedundancySupervisor sup(config);
+
+  Timestamp now = kT0;
+  // Twice: connect, live well past min_uptime, drop. Never escalates.
+  for (int i = 0; i < 4; ++i) {
+    sup.on_tick(now);
+    sup.on_connected(now + from_seconds(0.1), 0);
+    sup.on_disconnected(now + from_seconds(60.0), 0);
+    EXPECT_EQ(sup.state(0), EndpointState::kBackoff);
+    now += from_seconds(120.0);
+  }
+  EXPECT_EQ(sup.stats().circuit_opens, 0u);
+}
+
+TEST(Supervisor, T1ExpiryTriggersSwitchoverToStandby) {
+  SupervisorConfig config = no_jitter_config();
+  RedundancySupervisor sup(config);
+  sup.on_tick(kT0);
+  sup.on_connected(kT0 + 1, 0);
+  sup.on_apdu(kT0 + 2, 0, Apdu::make_u(UFunction::kStartDtCon));
+  sup.on_connected(kT0 + 3, 1);
+  ASSERT_EQ(sup.active_endpoint(), 0);
+  ASSERT_EQ(sup.state(1), EndpointState::kStandby);
+
+  // The GI I-frame sent at activation is never acknowledged; T1 (15s)
+  // expires and the supervisor must close the primary and promote the
+  // backup.
+  auto actions = sup.on_tick(kT0 + 2 + from_seconds(config.timers.t1) + 1);
+  EXPECT_EQ(count_kind(actions, Action::Kind::kCloseConnection, 0), 1);
+  const Apdu* startdt = find_apdu(actions, 1);
+  ASSERT_NE(startdt, nullptr);
+  EXPECT_EQ(startdt->u_function, UFunction::kStartDtAct);
+  EXPECT_EQ(sup.active_endpoint(), 1);
+  EXPECT_EQ(sup.stats().t1_closes, 1u);
+  EXPECT_EQ(sup.stats().switchovers, 1u);
+
+  // The new active completes activation with its own interrogation.
+  actions = sup.on_apdu(kT0 + from_seconds(16.5), 1, Apdu::make_u(UFunction::kStartDtCon));
+  ASSERT_NE(find_apdu(actions, 1), nullptr);
+  EXPECT_EQ(sup.state(1), EndpointState::kActive);
+  EXPECT_EQ(sup.stats().interrogations_sent, 2u);
+}
+
+TEST(Supervisor, StandbyDisconnectCountsAsBackupReset) {
+  RedundancySupervisor sup(no_jitter_config());
+  sup.on_tick(kT0);
+  sup.on_connected(kT0 + 1, 0);
+  sup.on_apdu(kT0 + 2, 0, Apdu::make_u(UFunction::kStartDtCon));
+  sup.on_connected(kT0 + 3, 1);
+
+  // The outstation routinely tears the cold connection down (paper Fig 9).
+  sup.on_disconnected(kT0 + from_seconds(30.0), 1);
+  EXPECT_EQ(sup.stats().backup_resets, 1u);
+  EXPECT_EQ(sup.active_endpoint(), 0);  // traffic unaffected
+  EXPECT_EQ(sup.stats().switchovers, 0u);
+}
+
+TEST(Supervisor, ConnectTimeoutFailsTheAttempt) {
+  auto config = no_jitter_config();
+  config.connect_timeout_s = 30.0;
+  RedundancySupervisor sup(config);
+  sup.on_tick(kT0);
+  ASSERT_EQ(sup.state(0), EndpointState::kConnecting);
+
+  sup.on_tick(kT0 + from_seconds(31.0));
+  EXPECT_EQ(sup.state(0), EndpointState::kBackoff);
+  EXPECT_GE(sup.stats().failed_connects, 2u);  // both endpoints timed out
+}
+
+// --- End-to-end soak over a faultinject-damaged wire ----------------------
+
+/// One simulated outstation endpoint: a controlled ConnectionEngine behind
+/// a lossy unidirectional wire in each direction. Every APDU crossing the
+/// wire is wrapped in a CapturedPacket and run through the faultinject
+/// layer; drops and corruption come out of its deterministic RNG, and a
+/// corrupted APDU that no longer decodes is counted as lost.
+class LossyWire {
+ public:
+  LossyWire(double rate, std::uint64_t seed) : rate_(rate), seed_(seed) {}
+
+  /// Returns the APDUs that survive the crossing (0, 1 or 2 copies).
+  std::vector<Apdu> cross(Timestamp ts, const Apdu& apdu) {
+    std::vector<Apdu> delivered;
+    auto encoded = apdu.encode();
+    if (!encoded.ok()) return delivered;
+
+    // faultinject only touches packets that decode as real IEC 104/TCP
+    // frames, so the APDU crosses the wire fully framed.
+    net::TcpSegmentSpec spec;
+    spec.src_mac = net::MacAddr::from_u64(0x020000000001);
+    spec.dst_mac = net::MacAddr::from_u64(0x020000000002);
+    spec.src_ip = net::Ipv4Addr{0x0a000001};
+    spec.dst_ip = net::Ipv4Addr{0x0a000002};
+    spec.src_port = 40000;
+    spec.dst_port = 2404;
+    spec.payload = *encoded;
+
+    net::CapturedPacket pkt;
+    pkt.ts = ts;
+    pkt.data = net::build_tcp_frame(spec);
+    pkt.original_length = static_cast<std::uint32_t>(pkt.data.size());
+
+    faultinject::FaultConfig config;
+    config.seed = seed_ + (counter_++);  // deterministic per crossing
+    config.drop_p = rate_;
+    config.duplicate_p = rate_ / 4;
+    config.corrupt_p = rate_ / 2;
+    auto result = faultinject::apply_faults({pkt}, config);
+
+    for (const auto& out : result.packets) {
+      auto frame = net::decode_frame(out.data);
+      if (!frame.ok()) continue;  // headers corrupted: the wire ate it
+      ByteReader r(frame->payload);
+      auto decoded = iec104::decode_apdu(r);
+      if (decoded.ok()) delivered.push_back(std::move(*decoded));
+      // else: payload damaged beyond recognition — likewise lost
+    }
+    return delivered;
+  }
+
+ private:
+  double rate_;
+  std::uint64_t seed_;
+  std::uint64_t counter_ = 0;
+};
+
+struct SoakOutcome {
+  SupervisorStats stats;
+  std::uint64_t apdus_delivered_to_supervisor = 0;
+  bool ended_with_active = false;
+};
+
+/// Drives a supervisor against two outstation engines for `seconds` of
+/// simulated time at a 250ms tick, with every APDU in both directions
+/// crossing a faultinject wire.
+SoakOutcome run_soak(double fault_rate, double seconds, std::uint64_t seed) {
+  SupervisorConfig config;
+  config.backoff_initial_s = 0.5;
+  config.backoff_max_s = 8.0;
+  config.seed = seed;
+  RedundancySupervisor sup(config);
+
+  std::array<iec104::ConnectionEngine, 2> outstations{
+      iec104::ConnectionEngine(iec104::Role::kControlled),
+      iec104::ConnectionEngine(iec104::Role::kControlled)};
+  std::array<bool, 2> transport_up{false, false};
+  LossyWire wire(fault_rate, seed * 77 + 1);
+
+  SoakOutcome outcome;
+
+  // Deliver supervisor-side actions, bouncing outstation replies back
+  // through the wire until the exchange quiesces.
+  std::deque<Action> queue;
+  auto pump = [&](Timestamp now, std::vector<Action> actions) {
+    for (auto& a : actions) queue.push_back(std::move(a));
+    while (!queue.empty()) {
+      Action a = std::move(queue.front());
+      queue.pop_front();
+      switch (a.kind) {
+        case Action::Kind::kOpenConnection:
+          // The transport always succeeds; resilience under loss is the
+          // engine/supervisor layer's problem, which is what we exercise.
+          transport_up[a.endpoint] = true;
+          outstations[a.endpoint].on_connected(now);
+          for (auto& r : sup.on_connected(now, a.endpoint)) queue.push_back(std::move(r));
+          break;
+        case Action::Kind::kCloseConnection:
+          transport_up[a.endpoint] = false;
+          break;
+        case Action::Kind::kSendApdu:
+          if (!transport_up[a.endpoint]) break;
+          for (auto& crossed : wire.cross(now, a.apdu)) {
+            auto replies = outstations[a.endpoint].on_apdu(now, crossed);
+            for (auto& reply : replies.to_send) {
+              for (auto& back : wire.cross(now, reply)) {
+                ++outcome.apdus_delivered_to_supervisor;
+                for (auto& next : sup.on_apdu(now, a.endpoint, back)) {
+                  queue.push_back(std::move(next));
+                }
+              }
+            }
+          }
+          break;
+      }
+    }
+  };
+
+  const Timestamp tick = from_seconds(0.25);
+  for (Timestamp now = kT0; now < kT0 + from_seconds(seconds); now += tick) {
+    pump(now, sup.on_tick(now));
+    // Outstation side timers (their S-acks at T2 keep the supervisor's T1
+    // honest when the wire lets them through).
+    for (int ep = 0; ep < 2; ++ep) {
+      if (!transport_up[ep]) continue;
+      auto signals = outstations[ep].on_tick(now);
+      std::vector<Action> forward;
+      for (auto& apdu : signals.to_send) {
+        for (auto& back : wire.cross(now, apdu)) {
+          ++outcome.apdus_delivered_to_supervisor;
+          for (auto& next : sup.on_apdu(now, ep, back)) forward.push_back(std::move(next));
+        }
+      }
+      if (signals.close_connection) {
+        transport_up[ep] = false;
+        for (auto& next : sup.on_disconnected(now, ep)) forward.push_back(std::move(next));
+      }
+      pump(now, std::move(forward));
+    }
+  }
+
+  outcome.stats = sup.stats();
+  outcome.ended_with_active = sup.active_endpoint() >= 0;
+  return outcome;
+}
+
+TEST(SupervisorSoak, CleanWireActivatesAndStaysUp) {
+  auto outcome = run_soak(/*fault_rate=*/0.0, /*seconds=*/120.0, /*seed=*/1);
+  EXPECT_TRUE(outcome.ended_with_active);
+  EXPECT_EQ(outcome.stats.circuit_opens, 0u);
+  EXPECT_EQ(outcome.stats.t1_closes, 0u);
+  EXPECT_GE(outcome.stats.interrogations_sent, 1u);
+  EXPECT_GT(outcome.apdus_delivered_to_supervisor, 0u);
+}
+
+TEST(SupervisorSoak, LossyWireForcesSwitchoversButNeverWedges) {
+  // 20% loss: T1 expiries and switchovers are expected; a wedged
+  // supervisor (no active endpoint, no pending retry) is not.
+  auto outcome = run_soak(/*fault_rate=*/0.20, /*seconds=*/600.0, /*seed=*/2);
+  EXPECT_GT(outcome.stats.t1_closes, 0u);
+  EXPECT_GT(outcome.stats.reconnect_attempts, 2u);
+  EXPECT_GE(outcome.stats.interrogations_sent, 1u);
+  // Liveness: across a 10-minute soak the pair keeps being re-driven
+  // toward active; the final instant may legitimately be mid-reconnect.
+  EXPECT_GT(outcome.apdus_delivered_to_supervisor, 10u);
+}
+
+TEST(SupervisorSoak, SweepNeverCrashesAndStaysDeterministic) {
+  for (double rate : {0.0, 0.01, 0.05, 0.20}) {
+    auto a = run_soak(rate, 90.0, 42);
+    auto b = run_soak(rate, 90.0, 42);
+    EXPECT_EQ(a.stats.switchovers, b.stats.switchovers) << "rate " << rate;
+    EXPECT_EQ(a.stats.reconnect_attempts, b.stats.reconnect_attempts)
+        << "rate " << rate;
+    EXPECT_EQ(a.apdus_delivered_to_supervisor, b.apdus_delivered_to_supervisor)
+        << "rate " << rate;
+  }
+}
+
+}  // namespace
+}  // namespace uncharted::resilience
