@@ -8,6 +8,7 @@
 // IOA brute-force did), then fires breaker-open double commands.
 #include <cstdio>
 
+#include "analysis/conformance_audit.hpp"
 #include "core/analyzer.hpp"
 #include "core/profiler.hpp"
 #include "sim/capture.hpp"
@@ -118,7 +119,26 @@ int main() {
     std::printf("   (no new alerts -- detection failed!)\n");
     return 1;
   }
+  std::printf("6. conformance audit (no learning phase needed):\n");
+  auto benign_conf = analysis::audit_conformance(benign_ds);
+  auto mixed_conf = analysis::audit_conformance(mixed_ds);
+  std::printf("   benign capture: %llu hostile connections\n",
+              static_cast<unsigned long long>(benign_conf.hostile_connections));
+  for (const auto& entry : mixed_conf.entries) {
+    if (entry.verdict != iec104::Verdict::kHostile) continue;
+    std::printf("   [hostile] %-12s <-> %-12s  %s\n",
+                core::name_of(names, entry.pair.a).c_str(),
+                core::name_of(names, entry.pair.b).c_str(),
+                entry.profile.summary().c_str());
+  }
+  if (benign_conf.any_hostile() || !mixed_conf.any_hostile()) {
+    std::printf("   (conformance audit missed the attack or flagged benign traffic!)\n");
+    return 1;
+  }
+
   std::printf("\nThe attacker host, its interrogation sweep, and the never-before-seen\n"
-              "breaker commands (typeID 46) all surface as whitelist violations.\n");
+              "breaker commands (typeID 46) all surface as whitelist violations; the\n"
+              "conformance machine flags the same connections from protocol state\n"
+              "alone (commands sent before STARTDT was ever confirmed).\n");
   return 0;
 }

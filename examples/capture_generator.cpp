@@ -6,14 +6,17 @@
 // IEC 104 over TCP/IPv4/Ethernet between 4 control servers and the Fig 6
 // outstation fleet, including every §6 anomaly. Also prints the ground
 // truth (what the operator would tell you).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "faultinject/fault.hpp"
+#include "iec104/constants.hpp"
 #include "power/measurement.hpp"
 #include "sim/capture.hpp"
+#include "sim/hostile.hpp"
 #include "util/strings.hpp"
 
 using namespace uncharted;
@@ -24,7 +27,7 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--year 1|2] [--duration SECONDS] [--seed N]\n"
                "          [--retransmit P] [--no-events] [--out FILE.pcap]\n"
-               "          [--fault-rate P] [--fault-seed N]\n",
+               "          [--fault-rate P] [--fault-seed N] [--hostile]\n",
                argv0);
 }
 
@@ -39,6 +42,7 @@ int main(int argc, char** argv) {
   bool events = true;
   double fault_rate = 0.0;
   std::uint64_t fault_seed = 0xfa0175;
+  bool hostile = false;
   std::string out = "capture.pcap";
 
   for (int i = 1; i < argc; ++i) {
@@ -65,6 +69,8 @@ int main(int argc, char** argv) {
       fault_rate = std::atof(next());
     } else if (arg == "--fault-seed") {
       fault_seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--hostile") {
+      hostile = true;
     } else if (arg == "--out") {
       out = next();
     } else {
@@ -82,6 +88,30 @@ int main(int argc, char** argv) {
   std::printf("generating year-%d capture: %.0f s, seed %llu ...\n", year, duration,
               static_cast<unsigned long long>(config.seed));
   auto capture = sim::generate_capture(config);
+  if (hostile) {
+    // Interleave every HostilePeer attack scenario with the benign fleet,
+    // so `iec104dump --conformance` on the result demonstrates the full
+    // detection path (and its hostile exit code 3) from the command line.
+    Rng rng(config.seed ^ 0xad7e5aull);
+    auto sink = [&capture](Timestamp ts, std::vector<std::uint8_t> frame) {
+      net::CapturedPacket pkt;
+      pkt.ts = ts;
+      pkt.original_length = static_cast<std::uint32_t>(frame.size());
+      pkt.data = std::move(frame);
+      capture.packets.push_back(std::move(pkt));
+    };
+    sim::HostilePeer peer(net::Ipv4Addr::from_octets(10, 9, 9, 9),
+                          sim::Endpoint::make(net::Ipv4Addr::from_octets(10, 0, 2, 50),
+                                              iec104::kIec104Port),
+                          sink, &rng);
+    peer.run_all(from_seconds(1.0));
+    std::stable_sort(capture.packets.begin(), capture.packets.end(),
+                     [](const net::CapturedPacket& a, const net::CapturedPacket& b) {
+                       return a.ts < b.ts;
+                     });
+    std::printf("injected hostile peer 10.9.9.9: %zu attack scenarios\n",
+                sim::all_hostile_scenarios().size());
+  }
   if (fault_rate > 0.0) {
     // Reproducible chaos capture: same seeds in == byte-identical pcap out,
     // so a soak failure can be replayed from the command line.

@@ -1,19 +1,23 @@
 // iec104dump: a tshark-style line printer for IEC 104 traffic — the tool
 // you reach for when Wireshark calls the packets malformed.
 //
-//   ./iec104dump capture.pcap [--strict] [--limit N]
+//   ./iec104dump capture.pcap [--strict] [--limit N] [--conformance]
 //
 // Prints one line per APDU with the tolerant parse, marking non-compliant
-// frames with the legacy profile that explains them. Without a pcap,
+// frames with the legacy profile that explains them. With --conformance,
+// also runs the conformance state machine over every connection and prints
+// per-connection profiles plus a violation summary. Without a pcap,
 // self-demos on a short synthetic capture.
 //
 // Exit codes: 0 clean, 1 unreadable input, 2 degraded (the pcap tail was
-// truncated or the capture carried damage the pipeline had to skip) — the
-// partial report is still printed.
+// truncated or the capture carried damage the pipeline had to skip), 3
+// hostile conformance profiles present (--conformance only; wins over 2) —
+// the partial report is still printed in every case.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "analysis/conformance_audit.hpp"
 #include "analysis/dataset.hpp"
 #include "core/names.hpp"
 #include "sim/capture.hpp"
@@ -24,11 +28,14 @@ using namespace uncharted;
 int main(int argc, char** argv) {
   std::string path;
   bool strict = false;
+  bool conformance = false;
   long limit = 40;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--strict") {
       strict = true;
+    } else if (arg == "--conformance") {
+      conformance = true;
     } else if (arg == "--limit" && i + 1 < argc) {
       limit = std::atol(argv[++i]);
     } else {
@@ -91,8 +98,46 @@ int main(int argc, char** argv) {
               format_count(ds.stats().non_compliant_apdus).c_str(),
               format_count(ds.stats().apdu_failures).c_str());
 
+  bool hostile = false;
+  if (conformance) {
+    auto report = analysis::audit_conformance(ds);
+    hostile = report.any_hostile();
+    std::printf("\n== conformance ==\n");
+    std::printf("connections: %s clean, %s legacy, %s suspect, %s hostile\n",
+                format_count(report.clean_connections).c_str(),
+                format_count(report.legacy_connections).c_str(),
+                format_count(report.suspect_connections).c_str(),
+                format_count(report.hostile_connections).c_str());
+    for (const auto& entry : report.entries) {
+      std::printf("%-12s <-> %-12s  %-7s  %s\n",
+                  core::name_of(names, entry.pair.a).c_str(),
+                  core::name_of(names, entry.pair.b).c_str(),
+                  iec104::verdict_name(entry.verdict).c_str(),
+                  entry.profile.summary().c_str());
+    }
+    if (hostile) {
+      std::printf("violation summary (hostile connections):\n");
+      for (const auto& entry : report.entries) {
+        if (entry.verdict != iec104::Verdict::kHostile) continue;
+        for (const auto& v : entry.profile.violations) {
+          if (v.severity != iec104::Severity::kHostile &&
+              v.severity != iec104::Severity::kWarn) {
+            continue;
+          }
+          std::printf("  %s <-> %s: %s x%s (%s) -- %s\n",
+                      core::name_of(names, entry.pair.a).c_str(),
+                      core::name_of(names, entry.pair.b).c_str(),
+                      iec104::violation_code_name(v.code).c_str(),
+                      format_count(v.count).c_str(),
+                      iec104::severity_name(v.severity).c_str(), v.detail.c_str());
+        }
+      }
+    }
+  }
+
   const auto& deg = ds.stats().degradation;
-  if (pcap_truncated || deg.any()) {
+  bool degraded = pcap_truncated || deg.any();
+  if (degraded) {
     std::fprintf(stderr,
                  "degraded: %s resyncs, %s garbage bytes, %s truncated tail "
                  "bytes, %s quarantined connections%s\n",
@@ -101,7 +146,8 @@ int main(int argc, char** argv) {
                  format_count(deg.truncated_tail_bytes).c_str(),
                  format_count(deg.quarantined_connections).c_str(),
                  pcap_truncated ? ", pcap tail truncated" : "");
-    return 2;
   }
+  if (hostile) return 3;  // hostile wins: an attacker also causes damage
+  if (degraded) return 2;
   return 0;
 }

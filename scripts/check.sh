@@ -4,8 +4,11 @@
 #   1. Release build + ctest
 #   2. Debug ASan+UBSan build + ctest (includes the fault-injection chaos
 #      sweep, called out explicitly so a chaos regression is easy to spot)
-#   3. clang-tidy over src/ (skipped with a notice if clang-tidy is absent)
-#   4. a short streaming kill/restore soak (scripts/soak.sh; the nightly
+#   3. the hostile-peer adversarial sweep under sanitizers: every
+#      sim::HostilePeer attack scenario through the full pipeline plus the
+#      conformance machine and supervisor quarantine tests
+#   4. clang-tidy over src/ (skipped with a notice if clang-tidy is absent)
+#   5. a short streaming kill/restore soak (scripts/soak.sh; the nightly
 #      CI job runs the full 10-minute matrix)
 #
 # Usage: scripts/check.sh [--fuzz]
@@ -23,24 +26,31 @@ for arg in "$@"; do
   esac
 done
 
-echo "==> [1/5] release: build + ctest"
+echo "==> [1/6] release: build + ctest"
 cmake --preset release
 cmake --build --preset release -j "$jobs"
 ctest --preset release -j "$jobs"
 
-echo "==> [2/5] debug-asan-ubsan: build + ctest"
+echo "==> [2/6] debug-asan-ubsan: build + ctest"
 cmake --preset debug-asan-ubsan
 cmake --build --preset debug-asan-ubsan -j "$jobs"
 ASAN_OPTIONS=strict_string_checks=1:detect_stack_use_after_return=1 \
 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --preset debug-asan-ubsan -j "$jobs"
 
-echo "==> [3/5] chaos sweep under sanitizers (fault injection 0-20%)"
+echo "==> [3/6] chaos sweep under sanitizers (fault injection 0-20%)"
 ASAN_OPTIONS=strict_string_checks=1:detect_stack_use_after_return=1 \
 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --preset debug-asan-ubsan -R 'ChaosSweep|FaultInject' --output-on-failure
 
-echo "==> [4/5] clang-tidy over src/"
+echo "==> [4/6] hostile-peer: adversarial sweep under sanitizers"
+ASAN_OPTIONS=strict_string_checks=1:detect_stack_use_after_return=1 \
+UBSAN_OPTIONS=print_stacktrace=1 \
+  ctest --preset debug-asan-ubsan \
+    -R 'HostilePeer|Conformance|QuarantinePolicy|Supervisor.Hostile' \
+    --output-on-failure
+
+echo "==> [5/6] clang-tidy over src/"
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake --preset tidy
   cmake --build --preset tidy -j "$jobs"
@@ -48,7 +58,7 @@ else
   echo "    clang-tidy not installed; skipping (CI runs this job)"
 fi
 
-echo "==> [5/5] streaming kill/restore soak (short; nightly CI runs 10 min)"
+echo "==> [6/6] streaming kill/restore soak (short; nightly CI runs 10 min)"
 scripts/soak.sh --duration 120 --rates "0 0.01" --kill-step 10000
 
 if [ "$run_fuzz" -eq 1 ]; then

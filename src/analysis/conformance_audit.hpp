@@ -1,0 +1,46 @@
+// Conformance audit: runs the IEC 104 conformance state machine over every
+// TCP connection in a capture dataset and aggregates the profiles per
+// endpoint pair (the paper's C-O "connection" granularity). Machines are
+// keyed by the directed 4-tuple's canonical form, NOT by endpoint pair, so
+// a reconnect or redundancy switchover starts a fresh machine instead of
+// reading as a hostile sequence reset.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/dataset.hpp"
+#include "iec104/conformance.hpp"
+
+namespace uncharted::analysis {
+
+/// Merged conformance result for one endpoint pair.
+struct ConnectionConformance {
+  EndpointPair pair;
+  iec104::Verdict verdict = iec104::Verdict::kClean;  ///< worst across flows
+  iec104::ConformanceProfile profile;  ///< counts summed, timers maxed
+  std::size_t flows = 0;               ///< TCP connections merged in
+};
+
+/// Capture-wide conformance summary (part of AnalysisReport).
+struct ConformanceReport {
+  std::vector<ConnectionConformance> entries;  ///< ordered by endpoint pair
+  std::uint64_t clean_connections = 0;
+  std::uint64_t legacy_connections = 0;
+  std::uint64_t suspect_connections = 0;
+  std::uint64_t hostile_connections = 0;
+  std::uint64_t hostile_events = 0;  ///< across all entries
+
+  bool any_hostile() const { return hostile_connections > 0; }
+};
+
+/// Runs the conformance machines over `dataset`. The outstation side of
+/// each flow is identified by `iec104_port`; flows whose establishing
+/// SYN/SYN-ACK are inside the capture get the definitive fresh-connection
+/// state machine, everything else anchors mid-stream.
+ConformanceReport audit_conformance(
+    const CaptureDataset& dataset,
+    const iec104::ConformancePolicy& policy = {},
+    std::uint16_t iec104_port = iec104::kIec104Port);
+
+}  // namespace uncharted::analysis

@@ -42,19 +42,30 @@ void DatasetBuilder::collect(const net::FlowKey& key,
                              std::vector<iec104::ParsedApdu>& apdus,
                              std::vector<iec104::ParseFailure>& failures) {
   auto& deg = stats_.degradation;
-  auto& h = health_[key];
+  auto& dmg = damage_[key];
   for (const auto& f : failures) {
     ++stats_.apdu_failures;
-    ++h.failures;
+    dmg.last_failure_ts = f.ts;
+    // A framed 0x68 start whose length octet exceeds the 253-octet APDU
+    // limit is its own damage class: no conforming implementation can emit
+    // it, so the conformance audit scores it hostile rather than corrupt.
+    if (f.raw.size() >= 2 && f.raw[0] == iec104::kStartByte &&
+        f.raw[1] > iec104::kMaxApduLength) {
+      ++dmg.oversized;
+    }
     switch (f.kind) {
       case iec104::FailureKind::kGarbage:
+        ++dmg.garbage;
+        dmg.garbage_bytes += f.raw.size();
         ++deg.parser_resyncs;
         deg.garbage_bytes += f.raw.size();
         break;
       case iec104::FailureKind::kUndecodable:
+        ++dmg.undecodable;
         ++deg.undecodable_apdus;
         break;
       case iec104::FailureKind::kTruncatedTail:
+        ++dmg.truncated;
         deg.truncated_tail_bytes += f.raw.size();
         break;
     }
@@ -65,7 +76,7 @@ void DatasetBuilder::collect(const net::FlowKey& key,
     rec.flow = key;
     rec.apdu = std::move(parsed);
     records_.push_back(std::move(rec));
-    ++h.apdus;
+    ++dmg.apdus;
   }
   apdus.clear();
   failures.clear();
@@ -204,13 +215,16 @@ CaptureDataset DatasetBuilder::finish() {
   }
 
   // Quarantine: a directed stream drowning in parse failures is producing
-  // mis-decoded APDUs, not telemetry. Drop its records so one poisoned
-  // stream cannot skew the report, and say so in the counters.
-  if (options_.quarantine_failure_threshold > 0) {
+  // mis-decoded APDUs, not telemetry. The policy scores each failure kind
+  // by severity; streams crossing the threshold are dropped so one
+  // poisoned stream cannot skew the report, and the counters say so.
+  {
+    const auto& policy = options_.quarantine;
     std::set<net::FlowKey> quarantined;
-    for (const auto& [key, h] : health_) {
-      if (h.failures >= options_.quarantine_failure_threshold &&
-          h.failures > h.apdus) {
+    for (const auto& [key, dmg] : damage_) {
+      double score =
+          policy.score(dmg.garbage, dmg.undecodable, dmg.truncated, dmg.oversized);
+      if (policy.should_quarantine(score, dmg.failures(), dmg.apdus)) {
         quarantined.insert(key);
       }
     }
@@ -232,6 +246,7 @@ CaptureDataset DatasetBuilder::finish() {
   ds.stats_ = stats_;
   ds.flows_ = std::move(flows_);
   ds.records_ = std::move(records_);
+  ds.damage_ = std::move(damage_);
 
   for (std::size_t i = 0; i < ds.records_.size(); ++i) {
     const auto& rec = ds.records_[i];
@@ -366,11 +381,16 @@ Status DatasetBuilder::save(ByteWriter& w) const {
     parser.save(w);
   }
 
-  w.u32le(static_cast<std::uint32_t>(health_.size()));
-  for (const auto& [key, h] : health_) {
+  w.u32le(static_cast<std::uint32_t>(damage_.size()));
+  for (const auto& [key, dmg] : damage_) {
     key.save(w);
-    w.u64le(h.apdus);
-    w.u64le(h.failures);
+    w.u64le(dmg.apdus);
+    w.u64le(dmg.garbage);
+    w.u64le(dmg.garbage_bytes);
+    w.u64le(dmg.undecodable);
+    w.u64le(dmg.truncated);
+    w.u64le(dmg.oversized);
+    w.u64le(dmg.last_failure_ts);
   }
 
   w.u8(reassembler_.has_value() ? 1 : 0);
@@ -434,16 +454,22 @@ Status DatasetBuilder::load(ByteReader& r) {
     parsers_.emplace(key.value(), std::move(parser).take());
   }
 
-  auto health_count = r.u32le();
-  if (!health_count) return health_count.error();
-  health_.clear();
-  for (std::uint32_t i = 0; i < health_count.value(); ++i) {
+  auto damage_count = r.u32le();
+  if (!damage_count) return damage_count.error();
+  damage_.clear();
+  for (std::uint32_t i = 0; i < damage_count.value(); ++i) {
     auto key = net::FlowKey::load(r);
     if (!key) return key.error();
-    auto apdus = r.u64le();
-    auto failures = r.u64le();
-    if (!failures) return failures.error();
-    health_[key.value()] = FlowHealth{apdus.value(), failures.value()};
+    FlowDamage dmg;
+    std::array<std::uint64_t*, 7> fields = {
+        &dmg.apdus,     &dmg.garbage,   &dmg.garbage_bytes, &dmg.undecodable,
+        &dmg.truncated, &dmg.oversized, &dmg.last_failure_ts};
+    for (auto* field : fields) {
+      auto v = r.u64le();
+      if (!v) return v.error();
+      *field = v.value();
+    }
+    damage_[key.value()] = dmg;
   }
 
   auto has_reassembler = r.u8();

@@ -17,6 +17,7 @@
 #include <optional>
 
 #include "analysis/resource.hpp"
+#include "iec104/conformance.hpp"
 #include "iec104/parser.hpp"
 #include "net/flow.hpp"
 #include "net/pcap.hpp"
@@ -79,6 +80,23 @@ struct DatasetStats {
   DegradationCounters degradation;
 };
 
+/// Per-directed-flow parse damage: how many APDUs parsed cleanly and what
+/// each failure was. This is both the quarantine evidence (scored by
+/// iec104::QuarantinePolicy) and the parse-level input to the conformance
+/// audit, which needs the failure *kinds* — a garbage flood reads very
+/// differently from a dribble of truncated tails.
+struct FlowDamage {
+  std::uint64_t apdus = 0;
+  std::uint64_t garbage = 0;        ///< resync events
+  std::uint64_t garbage_bytes = 0;  ///< bytes skipped across them
+  std::uint64_t undecodable = 0;    ///< framed APDUs no profile explains
+  std::uint64_t truncated = 0;      ///< partial frames abandoned
+  std::uint64_t oversized = 0;      ///< frames whose length octet exceeds 253
+  Timestamp last_failure_ts = 0;
+
+  std::uint64_t failures() const { return garbage + undecodable + truncated; }
+};
+
 /// An undirected endpoint pair (a "connection" in the paper's sense:
 /// C1-O7, C2-O30, ...). Ports are ignored so reconnections merge.
 struct EndpointPair {
@@ -100,12 +118,14 @@ class CaptureDataset {
     std::uint16_t iec104_port = 2404;
     /// Bounds on per-direction out-of-order buffering (reassembled mode).
     net::ReassemblyLimits reassembly_limits;
-    /// A directed stream whose parse failures reach this count AND
-    /// outnumber its successful APDUs is quarantined: its (likely
-    /// mis-decoded) APDUs are dropped from the dataset so one poisoned
-    /// stream cannot skew compliance, clustering or type statistics.
-    /// 0 disables quarantine.
-    std::uint64_t quarantine_failure_threshold = 8;
+    /// Severity-weighted quarantine: a directed stream whose damage score
+    /// crosses the policy threshold (and whose failures outnumber its
+    /// successful APDUs, under the default policy) is quarantined — its
+    /// (likely mis-decoded) APDUs are dropped from the dataset so one
+    /// poisoned stream cannot skew compliance, clustering or type
+    /// statistics. The defaults reproduce the former flat ">= 8 failures"
+    /// rule; score_threshold = 0 disables quarantine.
+    iec104::QuarantinePolicy quarantine;
   };
 
   /// Builds the dataset from captured packets.
@@ -147,6 +167,10 @@ class CaptureDataset {
   /// Directed flows excluded from the dataset by the quarantine rule.
   const std::vector<net::FlowKey>& quarantined_flows() const { return quarantined_; }
 
+  /// Per-directed-flow parse damage (including quarantined flows), so the
+  /// conformance audit can attribute parse-level hostility to peers.
+  const std::map<net::FlowKey, FlowDamage>& damage() const { return damage_; }
+
  private:
   friend class DatasetBuilder;
 
@@ -157,6 +181,7 @@ class CaptureDataset {
   std::map<EndpointPair, std::vector<std::size_t>> connections_;
   std::map<net::Ipv4Addr, ComplianceEntry> compliance_;
   std::vector<net::FlowKey> quarantined_;
+  std::map<net::FlowKey, FlowDamage> damage_;
 };
 
 /// Incremental dataset construction: packets go in one at a time (or in
@@ -195,11 +220,6 @@ class DatasetBuilder {
   Status load(ByteReader& r);
 
  private:
-  struct FlowHealth {
-    std::uint64_t apdus = 0;
-    std::uint64_t failures = 0;
-  };
-
   iec104::ApduStreamParser& parser_for(const net::FlowKey& key);
   /// Accounts freshly drained parse results for one directed flow.
   void collect(const net::FlowKey& key, std::vector<iec104::ParsedApdu>& apdus,
@@ -215,7 +235,7 @@ class DatasetBuilder {
   net::FlowTable flows_;
   std::vector<ApduRecord> records_;
   std::map<net::FlowKey, iec104::ApduStreamParser> parsers_;
-  std::map<net::FlowKey, FlowHealth> health_;
+  std::map<net::FlowKey, FlowDamage> damage_;
   std::optional<net::TcpReassembler> reassembler_;
   Timestamp last_ts_ = 0;
   std::uint64_t packets_consumed_ = 0;

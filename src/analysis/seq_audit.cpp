@@ -1,17 +1,13 @@
 #include "analysis/seq_audit.hpp"
 
+#include "iec104/seq15.hpp"
+
 namespace uncharted::analysis {
 
+using iec104::seq15_delta;
+using iec104::seq15_next;
+
 namespace {
-constexpr std::uint16_t kModulo = 32768;
-
-/// Distance a - b modulo 2^15, mapped to [-16384, 16383].
-int seq_delta(std::uint16_t a, std::uint16_t b) {
-  int d = (a + kModulo - b) % kModulo;
-  if (d >= kModulo / 2) d -= kModulo;
-  return d;
-}
-
 struct DirState {
   bool seen = false;
   std::uint16_t expected_ns = 0;  ///< next N(S) we expect
@@ -31,19 +27,19 @@ SeqAuditReport audit_sequences(const CaptureDataset& dataset) {
       ++st.entry.i_apdus;
       if (!st.seen) {
         st.seen = true;  // anchor mid-stream
-        st.expected_ns = static_cast<std::uint16_t>((apdu.send_seq + 1) % kModulo);
+        st.expected_ns = seq15_next(apdu.send_seq);
       } else {
-        int delta = seq_delta(apdu.send_seq, st.expected_ns);
+        int delta = seq15_delta(apdu.send_seq, st.expected_ns);
         if (delta == 0) {
-          st.expected_ns = static_cast<std::uint16_t>((apdu.send_seq + 1) % kModulo);
+          st.expected_ns = seq15_next(apdu.send_seq);
         } else if (delta > 0) {
           ++st.entry.gaps;
-          st.expected_ns = static_cast<std::uint16_t>((apdu.send_seq + 1) % kModulo);
+          st.expected_ns = seq15_next(apdu.send_seq);
         } else if (delta == -1) {
           ++st.entry.duplicates;  // same N(S) again: retransmitted APDU
         } else {
           ++st.entry.resets;
-          st.expected_ns = static_cast<std::uint16_t>((apdu.send_seq + 1) % kModulo);
+          st.expected_ns = seq15_next(apdu.send_seq);
         }
       }
     }
@@ -53,7 +49,7 @@ SeqAuditReport audit_sequences(const CaptureDataset& dataset) {
     if (apdu.format == iec104::ApduFormat::kI || apdu.format == iec104::ApduFormat::kS) {
       auto peer_it = dirs.find(rec.flow.reversed());
       if (peer_it != dirs.end() && peer_it->second.seen) {
-        int ahead = seq_delta(apdu.recv_seq, peer_it->second.expected_ns);
+        int ahead = seq15_delta(apdu.recv_seq, peer_it->second.expected_ns);
         if (ahead > 0) ++st.entry.ack_violations;
       }
     }

@@ -25,6 +25,7 @@ AnalysisReport analyze_dataset(const analysis::CaptureDataset& dataset,
   if (options.keep_series) report.series = std::move(series);
   report.bandwidth = std::move(bandwidth);
   report.sequence_audit = analysis::audit_sequences(dataset);
+  report.conformance = analysis::audit_conformance(dataset);
   report.degradation.counters = report.stats.degradation;
   if (report.degradation.counters.any()) {
     report.degradation.warnings.push_back(
@@ -58,6 +59,32 @@ Result<AnalysisReport> CaptureAnalyzer::analyze_file(const std::string& pcap_pat
   return report;
 }
 
+namespace {
+
+/// Identical warnings repeat when many stages (or many connections) hit
+/// the same condition; emit each distinct line once with a count,
+/// preserving first-occurrence order. Shared by the degradation and
+/// conformance sections.
+void render_deduped_warnings(std::string& out,
+                             const std::vector<std::string>& warnings) {
+  std::vector<std::pair<std::string, std::size_t>> deduped;
+  for (const auto& warning : warnings) {
+    auto it = std::find_if(deduped.begin(), deduped.end(),
+                           [&](const auto& e) { return e.first == warning; });
+    if (it == deduped.end()) {
+      deduped.emplace_back(warning, 1);
+    } else {
+      ++it->second;
+    }
+  }
+  for (const auto& [warning, count] : deduped) {
+    out += "warning: " + warning +
+           (count > 1 ? " (x" + std::to_string(count) + ")" : "") + "\n";
+  }
+}
+
+}  // namespace
+
 std::string render_report(const AnalysisReport& report, const NameMap& names) {
   std::string out;
 
@@ -71,23 +98,7 @@ std::string render_report(const AnalysisReport& report, const NameMap& names) {
   if (report.degradation.degraded()) {
     const auto& d = report.degradation.counters;
     out += "== Degraded-mode ingestion ==\n";
-    // Identical warnings repeat when many stages hit the same condition
-    // (every batch of a long soak, say); emit each distinct line once with
-    // a count, preserving first-occurrence order.
-    std::vector<std::pair<std::string, std::size_t>> deduped;
-    for (const auto& warning : report.degradation.warnings) {
-      auto it = std::find_if(deduped.begin(), deduped.end(),
-                             [&](const auto& e) { return e.first == warning; });
-      if (it == deduped.end()) {
-        deduped.emplace_back(warning, 1);
-      } else {
-        ++it->second;
-      }
-    }
-    for (const auto& [warning, count] : deduped) {
-      out += "warning: " + warning +
-             (count > 1 ? " (x" + std::to_string(count) + ")" : "") + "\n";
-    }
+    render_deduped_warnings(out, report.degradation.warnings);
     out += "undecodable frames: " + format_count(d.undecodable_frames) +
            "  parser resyncs: " + format_count(d.parser_resyncs) + " (" +
            format_count(d.garbage_bytes) + " garbage bytes)" +
@@ -179,6 +190,32 @@ std::string render_report(const AnalysisReport& report, const NameMap& names) {
          "  duplicates: " + format_count(report.sequence_audit.total_duplicates) +
          "  ack violations: " + format_count(report.sequence_audit.total_ack_violations) +
          "\n\n";
+
+  const auto& conf = report.conformance;
+  if (!conf.entries.empty()) {
+    out += "== IEC 104 conformance ==\n";
+    out += "connections: " + format_count(conf.clean_connections) + " clean, " +
+           format_count(conf.legacy_connections) + " legacy, " +
+           format_count(conf.suspect_connections) + " suspect, " +
+           format_count(conf.hostile_connections) + " hostile\n";
+    std::vector<std::string> conf_warnings;
+    for (const auto& entry : conf.entries) {
+      if (entry.verdict == iec104::Verdict::kClean ||
+          entry.verdict == iec104::Verdict::kLegacy) {
+        continue;
+      }
+      out += name_of(names, entry.pair.a) + " <-> " + name_of(names, entry.pair.b) +
+             ": " + iec104::verdict_name(entry.verdict) + " (" +
+             entry.profile.summary() + ")\n";
+      for (const auto& v : entry.profile.violations) {
+        if (v.severity != iec104::Severity::kHostile) continue;
+        conf_warnings.push_back("hostile " + iec104::violation_code_name(v.code) +
+                                ": " + v.detail);
+      }
+    }
+    render_deduped_warnings(out, conf_warnings);
+    out += "\n";
+  }
 
   out += "== ASDU typeIDs (Table 7) ==\n";
   for (const auto& [type, count] : report.typeids.sorted()) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/classify.hpp"
+#include "analysis/conformance_audit.hpp"
 #include "analysis/dataset.hpp"
 #include "analysis/bandwidth.hpp"
 #include "analysis/flows.hpp"
@@ -54,6 +55,7 @@ struct AnalysisReport {
   std::map<analysis::SeriesKey, analysis::TimeSeries> series;
   analysis::BandwidthReport bandwidth;
   analysis::SeqAuditReport sequence_audit;
+  analysis::ConformanceReport conformance;
   DegradationReport degradation;
 };
 

@@ -26,7 +26,11 @@
 namespace uncharted::core {
 
 inline constexpr std::uint32_t kCheckpointMagic = 0x554E434B;  // "UNCK"
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+// Version 2: DatasetBuilder serializes per-flow damage kinds (FlowDamage)
+// instead of the former two-counter FlowHealth. Version-1 checkpoints are
+// rejected on read and the analyzer restarts from the capture — by design,
+// never a crash.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// Atomically replaces `path` with a checkpoint wrapping `payload`,
 /// rotating any existing file to `path + ".1"` first.

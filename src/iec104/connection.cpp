@@ -1,18 +1,14 @@
 #include "iec104/connection.hpp"
 
+#include "iec104/seq15.hpp"
+
 namespace uncharted::iec104 {
 
 namespace {
-constexpr std::uint16_t kSeqModulo = 32768;
-
-std::uint16_t seq_inc(std::uint16_t v) {
-  return static_cast<std::uint16_t>((v + 1) % kSeqModulo);
-}
-
-/// Distance a - b modulo 2^15.
-int seq_diff(std::uint16_t a, std::uint16_t b) {
-  return static_cast<int>((a + kSeqModulo - b) % kSeqModulo);
-}
+// Shared 15-bit sequence arithmetic (seq15.hpp), under the names this
+// engine has always used.
+constexpr auto seq_inc = seq15_next;
+constexpr auto seq_diff = seq15_ahead;
 }  // namespace
 
 ConnectionEngine::ConnectionEngine(Role role, Timers timers, int k, int w)
@@ -40,7 +36,7 @@ void ConnectionEngine::note_sent(Timestamp now) {
 void ConnectionEngine::ack_peer(Timestamp now, std::uint16_t nr) {
   // N(R) is a 15-bit counter; mask defensively so a caller passing a raw
   // 16-bit value cannot desynchronize the window math at the 32767 wrap.
-  nr = static_cast<std::uint16_t>(nr % kSeqModulo);
+  nr = seq15(nr);
   // The peer acknowledges everything below nr. An N(R) outside
   // (peer_acked_, vs_] is stale or bogus and is ignored — the modular
   // distance test handles the wrap, where nr may be numerically smaller

@@ -72,10 +72,41 @@ void RedundancySupervisor::lose_active(Timestamp now, std::vector<Action>& out) 
   }
 }
 
+void RedundancySupervisor::track_outbound(Timestamp now,
+                                          const std::vector<Action>& out) {
+  for (const auto& action : out) {
+    if (action.kind != Action::Kind::kSendApdu) continue;
+    endpoints_[check(action.endpoint)].conformance.on_apdu(
+        now, /*from_controller=*/true, action.apdu);
+  }
+}
+
+void RedundancySupervisor::quarantine_if_hostile(Timestamp now, int endpoint,
+                                                 std::vector<Action>& out) {
+  auto& ep = endpoints_[check(endpoint)];
+  if (!config_.quarantine_hostile_peers || !ep.conformance.hostile()) return;
+  if (ep.state != EndpointState::kStandby && ep.state != EndpointState::kActive) return;
+  // A peer speaking protocol-impossible IEC 104: cut the session and open
+  // the circuit. Unlike a flap this needs no failure streak — the evidence
+  // is in the conformance profile, not in connect statistics.
+  ++stats_.hostile_quarantines;
+  ++stats_.circuit_opens;
+  out.push_back(Action{Action::Kind::kCloseConnection, endpoint, {}});
+  ep.state = EndpointState::kCircuitOpen;
+  ep.wake_at = now + from_seconds(config_.circuit_open_s);
+  ep.backoff_s = config_.backoff_initial_s;
+  ep.awaiting_start_con = false;
+  if (active_ == endpoint) lose_active(now, out);
+}
+
 std::vector<Action> RedundancySupervisor::on_connected(Timestamp now, int endpoint) {
   std::vector<Action> out;
   auto& ep = endpoints_[check(endpoint)];
   ep.engine.on_connected(now);
+  // Fresh session, fresh conformance machine: a new transport connection
+  // is definitively in STOPDT with zeroed counters.
+  ep.conformance = iec104::ConformanceMachine(config_.conformance);
+  ep.conformance.on_connection_open(now);
   ep.state = EndpointState::kStandby;
   ep.connected_at = now;
   ep.connect_deadline.reset();
@@ -85,6 +116,7 @@ std::vector<Action> RedundancySupervisor::on_connected(Timestamp now, int endpoi
   // cleared lazily in on_disconnected / on_tick via uptime checks, and
   // explicitly here when the previous session was long-lived.
   if (active_ < 0) promote(now, endpoint, out);
+  track_outbound(now, out);
   return out;
 }
 
@@ -120,6 +152,7 @@ std::vector<Action> RedundancySupervisor::on_disconnected(Timestamp now, int end
   }
   ep.awaiting_start_con = false;
   if (was_active) lose_active(now, out);
+  track_outbound(now, out);
   return out;
 }
 
@@ -130,6 +163,7 @@ std::vector<Action> RedundancySupervisor::on_apdu(Timestamp now, int endpoint,
   if (ep.state != EndpointState::kStandby && ep.state != EndpointState::kActive) {
     return out;  // late APDU on a dead transport: ignore
   }
+  ep.conformance.on_apdu(now, /*from_controller=*/false, apdu);
   auto signals = ep.engine.on_apdu(now, apdu);
   for (auto& reply : signals.to_send) {
     out.push_back(Action{Action::Kind::kSendApdu, endpoint, std::move(reply)});
@@ -162,6 +196,8 @@ std::vector<Action> RedundancySupervisor::on_apdu(Timestamp now, int endpoint,
     ep.wake_at = now;  // eligible to reconnect immediately
     if (active_ == endpoint) lose_active(now, out);
   }
+  track_outbound(now, out);
+  quarantine_if_hostile(now, endpoint, out);
   return out;
 }
 
@@ -217,6 +253,7 @@ std::vector<Action> RedundancySupervisor::on_tick(Timestamp now) {
       }
     }
   }
+  track_outbound(now, out);
   return out;
 }
 

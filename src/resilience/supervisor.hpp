@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "iec104/conformance.hpp"
 #include "iec104/connection.hpp"
 #include "util/rng.hpp"
 #include "util/timebase.hpp"
@@ -69,6 +70,17 @@ struct SupervisorConfig {
   /// Station address used in the post-switchover general interrogation.
   std::uint16_t common_address = 1;
 
+  /// Severity policy for the per-connection conformance machines. The
+  /// supervisor observes both directions of each endpoint's session (its
+  /// own sends and the peer's frames) through one of these.
+  iec104::ConformancePolicy conformance;
+  /// Trip the circuit breaker when a peer's conformance verdict turns
+  /// hostile: the connection is closed and the endpoint quarantined for
+  /// circuit_open_s, exactly like a flapping transport. A peer speaking
+  /// protocol-impossible IEC 104 is an intruder or a faulted device;
+  /// either way, keeping the session up is the wrong move.
+  bool quarantine_hostile_peers = true;
+
   std::uint64_t seed = 0x5ca1ab1eULL;  ///< jitter determinism
 };
 
@@ -92,6 +104,7 @@ struct SupervisorStats {
   std::uint64_t t1_closes = 0;           ///< closes forced by T1 expiry
   std::uint64_t interrogations_sent = 0; ///< I100 after activation
   std::uint64_t backup_resets = 0;       ///< standby disconnects (reset-backup)
+  std::uint64_t hostile_quarantines = 0; ///< circuit opens forced by conformance
 };
 
 class RedundancySupervisor {
@@ -121,14 +134,21 @@ class RedundancySupervisor {
   const iec104::ConnectionEngine& engine(int endpoint) const {
     return endpoints_[check(endpoint)].engine;
   }
+  /// Conformance machine for the endpoint's current session (reset on
+  /// every reconnect).
+  const iec104::ConformanceMachine& conformance(int endpoint) const {
+    return endpoints_[check(endpoint)].conformance;
+  }
 
  private:
   struct Endpoint {
     explicit Endpoint(const SupervisorConfig& config)
-        : engine(iec104::Role::kControlling, config.timers, config.k, config.w) {}
+        : engine(iec104::Role::kControlling, config.timers, config.k, config.w),
+          conformance(config.conformance) {}
 
     EndpointState state = EndpointState::kDown;
     iec104::ConnectionEngine engine;
+    iec104::ConformanceMachine conformance;
     int consecutive_failures = 0;
     double backoff_s = 0.0;
     std::optional<Timestamp> wake_at;        ///< backoff / circuit-open expiry
@@ -145,6 +165,11 @@ class RedundancySupervisor {
   void promote(Timestamp now, int endpoint, std::vector<Action>& out);
   /// Active endpoint lost: demote and promote the standby if possible.
   void lose_active(Timestamp now, std::vector<Action>& out);
+  /// Feeds every outbound kSendApdu in `out` to its endpoint's
+  /// conformance machine (our own traffic is half the session).
+  void track_outbound(Timestamp now, const std::vector<Action>& out);
+  /// Closes and quarantines `endpoint` if its peer turned hostile.
+  void quarantine_if_hostile(Timestamp now, int endpoint, std::vector<Action>& out);
 
   SupervisorConfig config_;
   std::array<Endpoint, kEndpoints> endpoints_;

@@ -1,0 +1,212 @@
+#include "sim/hostile.hpp"
+
+#include "iec104/constants.hpp"
+#include "iec104/elements.hpp"
+
+namespace uncharted::sim {
+
+namespace {
+
+constexpr DurationUs kStep = 20'000;  // 20 ms between attack frames
+
+/// A double command, the attacker's payload of choice (what Industroyer
+/// swept breakers with).
+iec104::Asdu command(std::uint32_t ioa) {
+  iec104::Asdu asdu;
+  asdu.type = iec104::TypeId::C_DC_NA_1;
+  asdu.cot.cause = iec104::Cause::kActivation;
+  asdu.common_address = 1;
+  asdu.objects.push_back({ioa, iec104::DoubleCommand{2, false, 0}, std::nullopt});
+  return asdu;
+}
+
+iec104::Apdu u_frame(iec104::UFunction f) { return iec104::Apdu::make_u(f); }
+
+}  // namespace
+
+std::string hostile_scenario_name(HostileScenario s) {
+  switch (s) {
+    case HostileScenario::kIBeforeStartDt: return "i-before-startdt";
+    case HostileScenario::kStartDtNotConfirmed: return "startdt-not-confirmed";
+    case HostileScenario::kWindowOverflow: return "window-overflow";
+    case HostileScenario::kAckOfUnsent: return "ack-of-unsent";
+    case HostileScenario::kSequenceDesync: return "sequence-desync";
+    case HostileScenario::kOversizedAsdu: return "oversized-asdu";
+    case HostileScenario::kSlowlorisDribble: return "slowloris-dribble";
+    case HostileScenario::kSpoofedCommandSweep: return "spoofed-command-sweep";
+    case HostileScenario::kUnsolicitedConfirms: return "unsolicited-confirms";
+    case HostileScenario::kDataAfterStopDt: return "data-after-stopdt";
+  }
+  return "?";
+}
+
+std::vector<HostileScenario> all_hostile_scenarios() {
+  return {HostileScenario::kIBeforeStartDt,
+          HostileScenario::kStartDtNotConfirmed,
+          HostileScenario::kWindowOverflow,
+          HostileScenario::kAckOfUnsent,
+          HostileScenario::kSequenceDesync,
+          HostileScenario::kOversizedAsdu,
+          HostileScenario::kSlowlorisDribble,
+          HostileScenario::kSpoofedCommandSweep,
+          HostileScenario::kUnsolicitedConfirms,
+          HostileScenario::kDataAfterStopDt};
+}
+
+HostilePeer::HostilePeer(net::Ipv4Addr attacker_ip, Endpoint target,
+                         FrameSink sink, Rng* rng)
+    : attacker_ip_(attacker_ip), target_(target), sink_(sink), rng_(rng) {}
+
+SimTcpConnection HostilePeer::connect(net::Ipv4Addr src_ip) {
+  Endpoint attacker = Endpoint::make(src_ip, next_port_++);
+  return SimTcpConnection(attacker, target_, sink_, rng_);
+}
+
+Timestamp HostilePeer::apdu(SimTcpConnection& conn, Timestamp ts,
+                            bool from_attacker, const iec104::Apdu& apdu) {
+  auto bytes = apdu.encode();
+  return conn.send(ts, from_attacker, bytes.value());
+}
+
+Timestamp HostilePeer::run(HostileScenario scenario, Timestamp ts) {
+  auto conn = connect(attacker_ip_);
+  using U = iec104::UFunction;
+  switch (scenario) {
+    case HostileScenario::kIBeforeStartDt:
+      // Straight to commands on a fresh connection: data transfer was
+      // never activated, so every I-frame is protocol-impossible.
+      ts = conn.open(ts);
+      for (std::uint16_t ns = 0; ns < 3; ++ns) {
+        ts = apdu(conn, ts + kStep, true, iec104::Apdu::make_i(ns, 0, command(100 + ns)));
+      }
+      return conn.close_rst(ts + kStep, true);
+
+    case HostileScenario::kStartDtNotConfirmed:
+      // STARTDT act, then commands without waiting for the confirmation —
+      // the blind ordering of a scripted intrusion.
+      ts = conn.open(ts);
+      ts = apdu(conn, ts + kStep, true, u_frame(U::kStartDtAct));
+      for (std::uint16_t ns = 0; ns < 3; ++ns) {
+        ts = apdu(conn, ts + kStep, true, iec104::Apdu::make_i(ns, 0, command(200 + ns)));
+      }
+      return conn.close_rst(ts + kStep, true);
+
+    case HostileScenario::kWindowOverflow: {
+      // Proper activation, then a blast far past k=12 with the victim
+      // never acknowledging (its acks are what the attacker ignores).
+      ts = conn.open(ts);
+      ts = apdu(conn, ts + kStep, true, u_frame(U::kStartDtAct));
+      ts = apdu(conn, ts + kStep, false, u_frame(U::kStartDtCon));
+      for (std::uint16_t ns = 0; ns < 30; ++ns) {
+        ts = apdu(conn, ts + kStep, true, iec104::Apdu::make_i(ns, 0, command(300 + ns)));
+      }
+      return conn.close_rst(ts + kStep, true);
+    }
+
+    case HostileScenario::kAckOfUnsent:
+      // The attacker acknowledges 200 frames the outstation never sent,
+      // desynchronizing any implementation that trusts N(R).
+      ts = conn.open(ts);
+      ts = apdu(conn, ts + kStep, true, u_frame(U::kStartDtAct));
+      ts = apdu(conn, ts + kStep, false, u_frame(U::kStartDtCon));
+      ts = apdu(conn, ts + kStep, true, iec104::Apdu::make_s(200));
+      return conn.close_fin(ts + kStep, true);
+
+    case HostileScenario::kSequenceDesync: {
+      // N(S) repeatedly rewound, each time continuing from the rewound
+      // value (a retransmitted copy would instead resume the old stream):
+      // four resets at double weight cross the hostile score even though
+      // no single frame is impossible.
+      ts = conn.open(ts);
+      ts = apdu(conn, ts + kStep, true, u_frame(U::kStartDtAct));
+      ts = apdu(conn, ts + kStep, false, u_frame(U::kStartDtCon));
+      const std::uint16_t pattern[] = {0, 1, 2, 0, 7, 1, 9, 2, 11, 3, 13};
+      for (std::uint16_t ns : pattern) {
+        ts = apdu(conn, ts + kStep, true, iec104::Apdu::make_i(ns, 0, command(400 + ns)));
+      }
+      return conn.close_rst(ts + kStep, true);
+    }
+
+    case HostileScenario::kOversizedAsdu: {
+      // Frames claiming a 255-octet APDU: the length octet alone exceeds
+      // the 253-octet limit, which no conforming encoder can produce.
+      ts = conn.open(ts);
+      ts = apdu(conn, ts + kStep, true, u_frame(U::kStartDtAct));
+      ts = apdu(conn, ts + kStep, false, u_frame(U::kStartDtCon));
+      std::vector<std::uint8_t> frame(2 + 255, 0xA5);
+      frame[0] = iec104::kStartByte;
+      frame[1] = 0xFF;
+      for (int i = 0; i < 3; ++i) {
+        ts = conn.send(ts + kStep, true, frame);
+      }
+      return conn.close_rst(ts + kStep, true);
+    }
+
+    case HostileScenario::kSlowlorisDribble: {
+      // One byte per segment: every packet leaves the parser holding a
+      // partial frame (or skipping a stray byte), starving the receiver
+      // while tying up its buffers.
+      ts = conn.open(ts);
+      auto encoded = iec104::Apdu::make_i(0, 0, command(500)).encode();
+      const auto& bytes = encoded.value();
+      for (int round = 0; round < 3; ++round) {
+        for (std::size_t i = 0; i < bytes.size(); ++i) {
+          ts = conn.send(ts + kStep, true, std::span(&bytes[i], 1));
+        }
+      }
+      return conn.close_rst(ts + kStep, true);
+    }
+
+    case HostileScenario::kSpoofedCommandSweep: {
+      // The same command sweep from several spoofed source addresses —
+      // each source is its own hostile flow, and none of the hostility
+      // may bleed onto the victim's legitimate peers.
+      for (std::uint8_t i = 0; i < 3; ++i) {
+        auto spoofed = connect(net::Ipv4Addr::from_octets(
+            203, 0, 113, static_cast<std::uint8_t>(10 + i)));
+        ts = spoofed.open(ts + kStep);
+        ts = apdu(spoofed, ts + kStep, true, u_frame(U::kStartDtAct));
+        for (std::uint16_t ns = 0; ns < 16; ++ns) {
+          ts = apdu(spoofed, ts + kStep, true,
+                    iec104::Apdu::make_i(ns, 0, command(600 + ns)));
+        }
+        ts = spoofed.close_rst(ts + kStep, true);
+      }
+      return ts;
+    }
+
+    case HostileScenario::kUnsolicitedConfirms:
+      // Confirmations nobody asked for: on a fresh connection there is no
+      // act they could answer.
+      ts = conn.open(ts);
+      ts = apdu(conn, ts + kStep, true, u_frame(U::kStartDtCon));
+      for (int i = 0; i < 4; ++i) {
+        ts = apdu(conn, ts + kStep, true, u_frame(U::kTestFrCon));
+      }
+      ts = apdu(conn, ts + kStep, true, u_frame(U::kStopDtCon));
+      return conn.close_fin(ts + kStep, true);
+
+    case HostileScenario::kDataAfterStopDt:
+      // A fully orderly session — activation, one command, orderly STOPDT
+      // — followed by more commands after the stop was confirmed.
+      ts = conn.open(ts);
+      ts = apdu(conn, ts + kStep, true, u_frame(U::kStartDtAct));
+      ts = apdu(conn, ts + kStep, false, u_frame(U::kStartDtCon));
+      ts = apdu(conn, ts + kStep, true, iec104::Apdu::make_i(0, 0, command(700)));
+      ts = apdu(conn, ts + kStep, false, iec104::Apdu::make_s(1));
+      ts = apdu(conn, ts + kStep, true, u_frame(U::kStopDtAct));
+      ts = apdu(conn, ts + kStep, false, u_frame(U::kStopDtCon));
+      ts = apdu(conn, ts + kStep, true, iec104::Apdu::make_i(1, 0, command(701)));
+      return conn.close_fin(ts + kStep, true);
+  }
+  return ts;
+}
+
+Timestamp HostilePeer::run_all(Timestamp ts) {
+  for (auto scenario : all_hostile_scenarios()) {
+    ts = run(scenario, ts + from_seconds(1.0));
+  }
+  return ts;
+}
+
+}  // namespace uncharted::sim

@@ -1,0 +1,69 @@
+// Adversarial IEC 104 peer: synthesizes the attack traffic the conformance
+// state machine exists to catch. Each scenario is one deliberately
+// malicious TCP connection (byte-exact frames via SimTcpConnection) played
+// against a target outstation — the adversarial counterpart of the benign
+// fleet generator, used by the hostile-peer test suite to assert three
+// properties: the pipeline never crashes on attack traffic, every scenario
+// is flagged hostile in the ConformanceReport, and hostility is attributed
+// to the attacking flow, never to the victim's legitimate peers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "iec104/apdu.hpp"
+#include "sim/tcp.hpp"
+#include "util/rng.hpp"
+#include "util/timebase.hpp"
+
+namespace uncharted::sim {
+
+/// One attack pattern against an IEC 104 outstation.
+enum class HostileScenario {
+  kIBeforeStartDt,      ///< commands on a fresh connection, no STARTDT
+  kStartDtNotConfirmed, ///< STARTDT act, then data without awaiting con
+  kWindowOverflow,      ///< blast far past k unacknowledged I-frames
+  kAckOfUnsent,         ///< S-frame acknowledging frames never sent
+  kSequenceDesync,      ///< N(S) repeatedly rewound to desynchronize
+  kOversizedAsdu,       ///< frames whose length octet exceeds 253
+  kSlowlorisDribble,    ///< the stream dribbled one byte per segment
+  kSpoofedCommandSweep, ///< command sweep from several spoofed sources
+  kUnsolicitedConfirms, ///< STARTDT/STOPDT/TESTFR con storm without acts
+  kDataAfterStopDt,     ///< orderly STOPDT, then more commands anyway
+};
+
+std::string hostile_scenario_name(HostileScenario s);
+
+/// All scenarios, for exhaustive adversarial sweeps.
+std::vector<HostileScenario> all_hostile_scenarios();
+
+/// Plays attack scenarios against `target` (an outstation owning the
+/// IEC 104 port), emitting byte-exact frames into `sink`. Every scenario
+/// opens its own TCP connection from a distinct attacker source port (or
+/// spoofed source address), so each attack is one directed flow.
+class HostilePeer {
+ public:
+  HostilePeer(net::Ipv4Addr attacker_ip, Endpoint target, FrameSink sink, Rng* rng);
+
+  /// Runs one scenario starting at `ts`; returns the time after its last
+  /// frame.
+  Timestamp run(HostileScenario scenario, Timestamp ts);
+
+  /// Runs every scenario back to back.
+  Timestamp run_all(Timestamp ts);
+
+ private:
+  SimTcpConnection connect(net::Ipv4Addr src_ip);
+  /// Sends one encoded APDU as a PSH segment.
+  Timestamp apdu(SimTcpConnection& conn, Timestamp ts, bool from_attacker,
+                 const iec104::Apdu& apdu);
+
+  net::Ipv4Addr attacker_ip_;
+  Endpoint target_;
+  FrameSink sink_;
+  Rng* rng_;
+  std::uint16_t next_port_ = 51000;  ///< fresh source port per connection
+};
+
+}  // namespace uncharted::sim

@@ -87,6 +87,38 @@ TEST(SeqAudit, WrapAroundIsClean) {
   EXPECT_EQ(report.entries[0].resets, 0u);
 }
 
+TEST(SeqAudit, DuplicateAtWrapIsDuplicateNotReset) {
+  // A retransmission straddling the 32767->0 wrap must read as a
+  // duplicate (delta -1 in 15-bit arithmetic), never as a reset to the
+  // top of the sequence space.
+  CaptureBuilder cb;
+  cb.apdu(0, kServer, kStation, true, i_apdu(float_asdu(5, 1, 1.0f), 32766, 0));
+  cb.apdu(1000, kServer, kStation, true, i_apdu(float_asdu(5, 1, 1.0f), 32767, 0));
+  cb.apdu(2000, kServer, kStation, true, i_apdu(float_asdu(5, 1, 1.0f), 32767, 0));
+  cb.apdu(3000, kServer, kStation, true, i_apdu(float_asdu(5, 1, 1.0f), 0, 0));
+  cb.apdu(4000, kServer, kStation, true, i_apdu(float_asdu(5, 1, 1.0f), 0, 0));
+  auto report = audit(cb);
+  EXPECT_EQ(report.total_duplicates, 2u);
+  EXPECT_EQ(report.total_gaps, 0u);
+  ASSERT_EQ(report.entries.size(), 1u);
+  EXPECT_EQ(report.entries[0].resets, 0u);
+}
+
+TEST(SeqAudit, AckAcrossWrapIsClean) {
+  CaptureBuilder cb;
+  cb.apdu(0, kServer, kStation, true, i_apdu(float_asdu(5, 1, 1.0f), 32767, 0));
+  // N(R)=0 acknowledges the wrapped frame: exactly the station's V(S).
+  cb.apdu(1000, kServer, kStation, false, iec104::Apdu::make_s(0));
+  EXPECT_EQ(audit(cb).total_ack_violations, 0u);
+
+  // One past the wrapped V(S) is still a violation — the 15-bit compare
+  // must not mistake 1 vs 0 for a 32767-frame regression.
+  CaptureBuilder cb2;
+  cb2.apdu(0, kServer, kStation, true, i_apdu(float_asdu(5, 1, 1.0f), 32767, 0));
+  cb2.apdu(1000, kServer, kStation, false, iec104::Apdu::make_s(1));
+  EXPECT_EQ(audit(cb2).total_ack_violations, 1u);
+}
+
 TEST(SeqAudit, AckViolationDetected) {
   CaptureBuilder cb;
   // Station sent N(S)=0 only; server acks N(R)=5 — beyond the window.

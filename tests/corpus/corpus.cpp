@@ -1,7 +1,9 @@
 #include "corpus/corpus.hpp"
 
+#include <array>
 #include <filesystem>
 #include <fstream>
+#include <initializer_list>
 
 #include "iccp/iccp.hpp"
 #include "iec101/ft12.hpp"
@@ -300,6 +302,57 @@ void add_frames(std::vector<Seed>& out) {
   out.push_back({"pcap_one_record", Category::kFrame, w.take()});
 }
 
+// Op scripts for fuzz_conformance: byte 0 is flags (bit 0 = fresh
+// connection, bit 1 = legacy whitelist off), then 5-byte records
+// [op, a, b, c, d] where op & 7 selects the event (0/1 = I-frame with
+// N(S) = a|b<<8 and N(R) = c|d<<8, 2 = S-frame, 3 = U-frame a%6,
+// 4/5 = legacy-profile I-frame, 6 = parse failures), op & 8 sets the
+// controller direction and op>>4 scales the time step. The seeds spell
+// out the interesting attack shapes so mutation starts at the cliffs.
+void add_conformance(std::vector<Seed>& out) {
+  constexpr std::uint8_t kIOut = 0x00, kICtl = 0x08;
+  constexpr std::uint8_t kSCtl = 0x0a;
+  constexpr std::uint8_t kUOut = 0x03, kUCtl = 0x0b;
+  constexpr std::uint8_t kFail = 0x06, kLegacyOut = 0x04;
+  // U-function indices for op 3: a = 0 STARTDT act, 1 STARTDT con,
+  // 2 STOPDT act, 3 STOPDT con, 4 TESTFR act, 5 TESTFR con.
+  using Rec = std::array<std::uint8_t, 5>;
+  auto script = [&out](const char* name, std::uint8_t flags,
+                       std::initializer_list<Rec> records) {
+    std::vector<std::uint8_t> bytes{flags};
+    for (const auto& r : records) bytes.insert(bytes.end(), r.begin(), r.end());
+    out.push_back({name, Category::kConformance, std::move(bytes)});
+  };
+
+  script("script_clean_session", 1,
+         {Rec{kUCtl, 0}, Rec{kUOut, 1}, Rec{kIOut, 0}, Rec{kIOut, 1},
+          Rec{kSCtl, 0, 0, 2, 0}});
+  script("script_i_before_startdt", 1, {Rec{kICtl, 0}});
+  script("script_desync_rewind", 1,
+         {Rec{kUCtl, 0}, Rec{kUOut, 1}, Rec{kICtl, 0}, Rec{kICtl, 1},
+          Rec{kICtl, 2}, Rec{kICtl, 0}, Rec{kICtl, 7}});
+  script("script_ack_of_unsent", 1,
+         {Rec{kUCtl, 0}, Rec{kUOut, 1}, Rec{kIOut, 0},
+          Rec{kSCtl, 0, 0, 200, 0}});
+  script("script_wrap_midstream", 0,
+         {Rec{kIOut, 0xfe, 0x7f}, Rec{kIOut, 0xff, 0x7f}, Rec{kIOut, 0, 0},
+          Rec{kIOut, 1, 0}, Rec{kSCtl, 0, 0, 2, 0}});
+  script("script_confirm_storm", 1,
+         {Rec{kUCtl, 1}, Rec{kUCtl, 5}, Rec{kUCtl, 5}, Rec{kUCtl, 3}});
+  script("script_failure_flood", 0,
+         {Rec{kFail, 0, 16, 0}, Rec{kFail, 1, 8, 4}, Rec{kFail, 2, 31, 7}});
+  script("script_legacy_whitelist", 1,
+         {Rec{kUCtl, 0}, Rec{kUOut, 1}, Rec{kLegacyOut, 0}, Rec{kLegacyOut + 1, 1}});
+  script("script_stopdt_violation", 1,
+         {Rec{kUCtl, 0}, Rec{kUOut, 1}, Rec{kICtl, 0}, Rec{kUCtl, 2},
+          Rec{kUOut, 3}, Rec{kICtl, 1}});
+  // One raw APDU so the stream half of the harness starts from real
+  // framing too (the script half reads it as harmless ops).
+  out.push_back({"stream_raw_i_frame", Category::kConformance,
+                 encode_apdu(iec104::Apdu::make_i(4, 2, measurement_asdu()),
+                             iec104::CodecProfile::standard())});
+}
+
 }  // namespace
 
 std::string category_name(Category c) {
@@ -309,6 +362,7 @@ std::string category_name(Category c) {
     case Category::kIccp: return "iccp";
     case Category::kC37118: return "c37118";
     case Category::kFrame: return "frame";
+    case Category::kConformance: return "conformance";
   }
   return "unknown";
 }
@@ -322,6 +376,7 @@ const std::vector<Seed>& seeds() {
     add_iccp(out);
     add_c37118(out);
     add_frames(out);
+    add_conformance(out);
     return out;
   }();
   return all;

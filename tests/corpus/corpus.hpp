@@ -23,6 +23,7 @@ enum class Category {
   kIccp,     ///< TPKT/COTP/ICCP wire messages
   kC37118,   ///< synchrophasor frames
   kFrame,    ///< Ethernet/IPv4/TCP frames and pcap buffers
+  kConformance,  ///< op scripts for the IEC 104 conformance state machine
 };
 
 std::string category_name(Category c);

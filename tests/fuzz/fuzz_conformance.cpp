@@ -1,0 +1,172 @@
+// libFuzzer harness for the IEC 104 conformance state machine — the
+// hostile-peer judge must itself be unkillable. The input drives the
+// machine two ways:
+//
+//   1. As an op script: byte 0 configures the machine (fresh vs mid-stream
+//    anchor, legacy whitelist on/off), then 5-byte records inject I/S/U
+//    frames with fuzz-chosen sequence numbers, directions and time steps,
+//    plus parse-failure batches — reaching states (interleaved rewinds,
+//    wrap-edge acks, confirm storms) no capture generator would produce.
+//   2. As a byte stream through the tolerant ApduStreamParser, replaying
+//    whatever parses into a second machine the way the dataset audit does.
+//
+// Invariants checked on both machines: accessors never crash, the verdict
+// is consistent with the profile's evidence, and violation counts are
+// coherent. Everything else is the sanitizers' job.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+
+#include "iec104/conformance.hpp"
+#include "iec104/elements.hpp"
+#include "iec104/parser.hpp"
+
+namespace {
+
+using namespace uncharted;
+
+// The standalone driver has no input-minimizing crash report like
+// libFuzzer's, so on an invariant failure print the reason and the raw
+// input before aborting — enough to turn any crash into a regression seed.
+std::span<const std::uint8_t> g_input;
+
+[[noreturn]] void die(const char* reason, const iec104::ConformanceMachine& m) {
+  std::fprintf(stderr, "fuzz_conformance invariant failed: %s\n", reason);
+  std::fprintf(stderr, "  profile: %s\n", m.profile().summary().c_str());
+  std::fprintf(stderr, "  input (%zu bytes):", g_input.size());
+  for (auto b : g_input) std::fprintf(stderr, " %02x", b);
+  std::fprintf(stderr, "\n");
+  std::abort();
+}
+
+iec104::Asdu small_asdu(std::uint8_t selector) {
+  iec104::Asdu asdu;
+  asdu.type = (selector & 1) ? iec104::TypeId::M_ME_NC_1 : iec104::TypeId::M_SP_NA_1;
+  asdu.cot.cause = (selector & 2) ? iec104::Cause::kSpontaneous
+                                  : iec104::Cause::kActivation;
+  asdu.common_address = selector;
+  if (asdu.type == iec104::TypeId::M_ME_NC_1) {
+    asdu.objects.push_back({selector + 1u, iec104::ShortFloat{1.0f, {}}, std::nullopt});
+  } else {
+    asdu.objects.push_back({selector + 1u, iec104::SinglePoint{true, {}}, std::nullopt});
+  }
+  return asdu;
+}
+
+void check_invariants(const iec104::ConformanceMachine& m) {
+  const auto& profile = m.profile();
+  if (profile.warn_score < 0.0) die("negative warn_score", m);
+  std::uint64_t hostile = 0;
+  std::uint64_t legacy = 0;
+  for (const auto& v : profile.violations) {
+    if (v.count == 0) die("violation with zero count", m);
+    if (static_cast<std::int64_t>(v.last_ts - v.first_ts) < 0) {
+      die("violation last_ts before first_ts", m);
+    }
+    if (v.severity == iec104::Severity::kHostile) hostile += v.count;
+    if (v.severity == iec104::Severity::kLegacy) legacy += v.count;
+    if (profile.count(v.code) != v.count) die("count() disagrees with record", m);
+  }
+  if (profile.hostile_events != hostile) die("hostile_events != sum of records", m);
+  if (profile.legacy_events != legacy) die("legacy_events != sum of records", m);
+  bool should_be_hostile = profile.hostile_events > 0 ||
+                           profile.warn_score >= m.policy().hostile_score;
+  if (m.hostile() != should_be_hostile) die("hostile() inconsistent with evidence", m);
+  if (m.hostile() != (m.verdict() == iec104::Verdict::kHostile)) {
+    die("hostile() disagrees with verdict()", m);
+  }
+  if (profile.summary().empty()) die("empty summary", m);
+}
+
+/// Part 1: the input as an op script against one machine.
+void run_script(std::span<const std::uint8_t> input) {
+  if (input.empty()) return;
+  iec104::ConformancePolicy policy;
+  policy.whitelist_legacy_profiles = (input[0] & 2) == 0;
+  iec104::ConformanceMachine machine(policy);
+  Timestamp ts = 1;
+  if (input[0] & 1) machine.on_connection_open(ts);
+
+  std::size_t i = 1;
+  while (i + 5 <= input.size()) {
+    std::uint8_t op = input[i];
+    std::uint8_t a = input[i + 1], b = input[i + 2];
+    std::uint8_t c = input[i + 3], d = input[i + 4];
+    i += 5;
+    ts += 1 + static_cast<Timestamp>(op >> 4) * 997'000;  // 0..~15s steps
+    bool from_controller = (op & 0x08) != 0;
+    std::uint16_t ns = static_cast<std::uint16_t>(a | (b << 8));
+    std::uint16_t nr = static_cast<std::uint16_t>(c | (d << 8));
+    switch (op & 0x07) {
+      case 0:
+      case 1:
+        machine.on_apdu(ts, from_controller, iec104::Apdu::make_i(ns, nr, small_asdu(a)));
+        break;
+      case 2:
+        machine.on_apdu(ts, from_controller, iec104::Apdu::make_s(nr));
+        break;
+      case 3: {
+        static const iec104::UFunction kFunctions[] = {
+            iec104::UFunction::kStartDtAct, iec104::UFunction::kStartDtCon,
+            iec104::UFunction::kStopDtAct,  iec104::UFunction::kStopDtCon,
+            iec104::UFunction::kTestFrAct,  iec104::UFunction::kTestFrCon};
+        machine.on_apdu(ts, from_controller, iec104::Apdu::make_u(kFunctions[a % 6]));
+        break;
+      }
+      case 4:
+        machine.on_apdu(ts, from_controller,
+                        iec104::Apdu::make_i(ns, nr, small_asdu(a)),
+                        iec104::CodecProfile::legacy_cot());
+        break;
+      case 5:
+        machine.on_apdu(ts, from_controller,
+                        iec104::Apdu::make_i(ns, nr, small_asdu(a)),
+                        iec104::CodecProfile::legacy_ioa());
+        break;
+      case 6: {
+        static const iec104::FailureKind kKinds[] = {
+            iec104::FailureKind::kGarbage, iec104::FailureKind::kUndecodable,
+            iec104::FailureKind::kTruncatedTail};
+        machine.on_parse_failures(ts, kKinds[a % 3], b % 32, c % 8);
+        break;
+      }
+      default:
+        // Reserved opcode: time passes, nothing else.
+        break;
+    }
+  }
+  check_invariants(machine);
+}
+
+/// Part 2: the input as raw stream bytes, the dataset-audit path.
+void run_stream(std::span<const std::uint8_t> input) {
+  iec104::ApduStreamParser parser;
+  std::size_t split = input.empty() ? 0 : input[0] % (input.size() + 1);
+  parser.feed(1, input.subspan(0, split));
+  parser.feed(2, input.subspan(split));
+  parser.finish(3);
+
+  iec104::ConformanceMachine machine;
+  bool from_controller = !input.empty() && (input[0] & 4);
+  for (const auto& parsed : parser.apdus()) {
+    machine.on_apdu(parsed.ts, from_controller, parsed.apdu, parsed.profile);
+    from_controller = !from_controller;  // ping-pong the directions
+  }
+  for (const auto& failure : parser.failures()) {
+    bool oversized = failure.raw.size() >= 2 &&
+                     failure.raw[1] > iec104::kMaxApduLength;
+    machine.on_parse_failures(failure.ts, failure.kind, 1, oversized ? 1 : 0);
+  }
+  check_invariants(machine);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  std::span<const std::uint8_t> input(data, size);
+  g_input = input;
+  run_script(input);
+  run_stream(input);
+  return 0;
+}

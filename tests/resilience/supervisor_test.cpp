@@ -244,6 +244,99 @@ TEST(Supervisor, ConnectTimeoutFailsTheAttempt) {
   EXPECT_GE(sup.stats().failed_connects, 2u);  // both endpoints timed out
 }
 
+// --- Hostile-peer quarantine ----------------------------------------------
+
+/// Brings the primary to kActive: connect, STARTDT con.
+void activate_primary(RedundancySupervisor& sup) {
+  sup.on_tick(kT0);
+  sup.on_connected(kT0 + 1, RedundancySupervisor::kPrimary);
+  sup.on_apdu(kT0 + 2, 0, Apdu::make_u(UFunction::kStartDtCon));
+  ASSERT_EQ(sup.state(0), EndpointState::kActive);
+}
+
+TEST(Supervisor, HostilePeerTripsTheCircuitBreaker) {
+  RedundancySupervisor sup(no_jitter_config());
+  activate_primary(sup);
+
+  // The peer acknowledges 200 I-frames this fresh session never sent:
+  // protocol-impossible, so the conformance machine turns hostile and the
+  // supervisor must cut the connection and quarantine the endpoint.
+  auto actions = sup.on_apdu(kT0 + 3, 0, Apdu::make_s(200));
+  EXPECT_GE(count_kind(actions, Action::Kind::kCloseConnection, 0), 1);
+  EXPECT_EQ(sup.state(0), EndpointState::kCircuitOpen);
+  EXPECT_EQ(sup.stats().hostile_quarantines, 1u);
+  EXPECT_EQ(sup.stats().circuit_opens, 1u);
+  EXPECT_TRUE(sup.conformance(0).hostile());
+  EXPECT_EQ(sup.active_endpoint(), -1);  // no standby to fail over to
+}
+
+TEST(Supervisor, HostileActiveFailsOverToStandby) {
+  RedundancySupervisor sup(no_jitter_config());
+  activate_primary(sup);
+  sup.on_connected(kT0 + 3, RedundancySupervisor::kBackup);
+  ASSERT_EQ(sup.state(1), EndpointState::kStandby);
+
+  auto actions = sup.on_apdu(kT0 + 4, 0, Apdu::make_s(200));
+  EXPECT_EQ(sup.state(0), EndpointState::kCircuitOpen);
+  // The standby is promoted exactly as on a T1 switchover.
+  const Apdu* startdt = find_apdu(actions, 1);
+  ASSERT_NE(startdt, nullptr);
+  EXPECT_EQ(startdt->u_function, UFunction::kStartDtAct);
+  EXPECT_EQ(sup.active_endpoint(), 1);
+  EXPECT_EQ(sup.stats().switchovers, 1u);
+}
+
+TEST(Supervisor, ConformingPeerIsNeverQuarantined) {
+  RedundancySupervisor sup(no_jitter_config());
+  activate_primary(sup);
+
+  // A well-behaved outstation session: measurements acknowledging the GI
+  // the supervisor sent at activation (its N(S)=0).
+  Timestamp now = kT0 + 3;
+  for (std::uint16_t ns = 0; ns < 6; ++ns) {
+    iec104::Asdu asdu;
+    asdu.type = iec104::TypeId::M_ME_NC_1;
+    asdu.cot.cause = iec104::Cause::kSpontaneous;
+    asdu.common_address = 1;
+    asdu.objects.push_back({900, iec104::ShortFloat{1.0f, {}}, std::nullopt});
+    sup.on_apdu(now += from_seconds(0.5), 0, Apdu::make_i(ns, 1, asdu));
+  }
+  EXPECT_EQ(sup.state(0), EndpointState::kActive);
+  EXPECT_EQ(sup.stats().hostile_quarantines, 0u);
+  EXPECT_FALSE(sup.conformance(0).hostile());
+}
+
+TEST(Supervisor, HostileQuarantineCanBeDisabled) {
+  auto config = no_jitter_config();
+  config.quarantine_hostile_peers = false;
+  RedundancySupervisor sup(config);
+  activate_primary(sup);
+
+  auto actions = sup.on_apdu(kT0 + 3, 0, Apdu::make_s(200));
+  EXPECT_EQ(count_kind(actions, Action::Kind::kCloseConnection, 0), 0);
+  EXPECT_EQ(sup.state(0), EndpointState::kActive);
+  EXPECT_EQ(sup.stats().hostile_quarantines, 0u);
+  // The evidence is still collected for the operator, just not acted on.
+  EXPECT_TRUE(sup.conformance(0).hostile());
+}
+
+TEST(Supervisor, ConformanceMachineResetsOnReconnect) {
+  auto config = no_jitter_config();
+  config.circuit_open_s = 10.0;
+  RedundancySupervisor sup(config);
+  activate_primary(sup);
+  sup.on_apdu(kT0 + 3, 0, Apdu::make_s(200));
+  ASSERT_EQ(sup.state(0), EndpointState::kCircuitOpen);
+
+  // Cool-off over: the half-open probe reconnects and the new session
+  // starts with a clean machine — past hostility is not held against it.
+  auto probe = sup.on_tick(kT0 + 3 + from_seconds(10.0) + 1);
+  ASSERT_EQ(count_kind(probe, Action::Kind::kOpenConnection, 0), 1);
+  sup.on_connected(kT0 + 3 + from_seconds(11.0), 0);
+  EXPECT_FALSE(sup.conformance(0).hostile());
+  EXPECT_TRUE(sup.conformance(0).profile().violations.empty());
+}
+
 // --- End-to-end soak over a faultinject-damaged wire ----------------------
 
 /// One simulated outstation endpoint: a controlled ConnectionEngine behind
