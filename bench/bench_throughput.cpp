@@ -1,0 +1,207 @@
+// bench_throughput: machine-readable packets/sec and APDUs/sec for the
+// parallel flow-sharded pipeline at 1, 2, 4 and hardware_concurrency
+// threads, over the Y1 and Y2 synthetic captures.
+//
+//   ./bench_throughput [--out BENCH_throughput.json] [--reps N]
+//
+// Three stages are timed per (capture, thread-count) pair:
+//   ingest      — dataset construction (sequential build at 1 thread, the
+//                 flow-sharded builder above that; the 1-thread number is
+//                 exactly the pre-parallelism code path),
+//   analyze     — every §6 computation over the built dataset,
+//   end_to_end  — CaptureAnalyzer::analyze, both of the above.
+// Each stage runs --reps times (default 3) and reports the fastest wall
+// time: the pipeline is deterministic, so the minimum is the measurement
+// and the rest is scheduler noise.
+//
+// Output schema (one JSON object):
+//   { "scale": S, "hardware_threads": H,
+//     "results": [ {"capture": "y1", "stage": "ingest", "threads": T,
+//                   "wall_ms": W, "packets_per_s": P, "apdus_per_s": A}, … ],
+//     "speedup": [ {"capture": "y1", "stage": "end_to_end",
+//                   "threads": T, "vs_1_thread": X}, … ] }
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/sharded.hpp"
+#include "bench/common.hpp"
+#include "core/analyzer.hpp"
+#include "core/export.hpp"
+#include "exec/pool.hpp"
+
+using namespace uncharted;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double time_ms(const std::function<void()>& fn) {
+  auto start = Clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+double best_of(int reps, const std::function<void()>& fn) {
+  double best = time_ms(fn);
+  for (int i = 1; i < reps; ++i) best = std::min(best, time_ms(fn));
+  return best;
+}
+
+std::string json_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+struct Entry {
+  std::string capture;
+  std::string stage;
+  unsigned threads;
+  double wall_ms;
+  std::uint64_t packets;
+  std::uint64_t apdus;
+};
+
+double per_second(std::uint64_t count, double wall_ms) {
+  return wall_ms > 0 ? static_cast<double>(count) / (wall_ms / 1000.0) : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_throughput.json";
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::max(1, std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr, "usage: %s [--out FILE] [--reps N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  unsigned hw = exec::Pool::default_threads();
+  std::vector<unsigned> thread_counts = {1, 2, 4};
+  if (std::find(thread_counts.begin(), thread_counts.end(), hw) ==
+      thread_counts.end()) {
+    thread_counts.push_back(hw);
+  }
+
+  bench::print_header("Pipeline throughput",
+                      "parallel flow-sharded ingest + §6 analytics");
+  std::printf("hardware threads: %u, reps: %d, scale: %s\n\n", hw, reps,
+              json_num(bench::bench_scale()).c_str());
+
+  std::vector<Entry> entries;
+  struct CaptureCase {
+    const char* name;
+    sim::CaptureResult cap;
+  };
+  std::vector<CaptureCase> cases;
+  cases.push_back({"y1", bench::y1_capture()});
+  cases.push_back({"y2", bench::y2_capture()});
+
+  for (auto& c : cases) {
+    const auto& packets = c.cap.packets;
+    analysis::CaptureDataset::Options ds_opts;
+    // APDU count for the throughput denominator (thread-invariant).
+    std::uint64_t apdus =
+        analysis::CaptureDataset::build(packets, ds_opts).stats().apdus;
+    std::printf("%s: %zu packets, %llu apdus\n", c.name, packets.size(),
+                static_cast<unsigned long long>(apdus));
+
+    for (unsigned t : thread_counts) {
+      core::CaptureAnalyzer::Options opts;
+      opts.threads = t;
+
+      double ingest_ms = best_of(reps, [&] {
+        if (t <= 1) {
+          auto ds = analysis::CaptureDataset::build(packets, ds_opts);
+          (void)ds;
+        } else {
+          exec::Pool pool(t);
+          auto ds = analysis::build_dataset_sharded(packets, ds_opts, &pool);
+          (void)ds;
+        }
+      });
+      entries.push_back(
+          {c.name, "ingest", t, ingest_ms, packets.size(), apdus});
+
+      auto dataset = t <= 1 ? analysis::CaptureDataset::build(packets, ds_opts)
+                            : [&] {
+                                exec::Pool pool(t);
+                                return analysis::build_dataset_sharded(
+                                    packets, ds_opts, &pool);
+                              }();
+      double analyze_ms = best_of(reps, [&] {
+        auto report = core::analyze_dataset(
+            dataset, analysis::analyze_bandwidth(packets), opts);
+        (void)report;
+      });
+      entries.push_back(
+          {c.name, "analyze", t, analyze_ms, packets.size(), apdus});
+
+      double e2e_ms = best_of(reps, [&] {
+        auto report = core::CaptureAnalyzer::analyze(packets, opts);
+        (void)report;
+      });
+      entries.push_back(
+          {c.name, "end_to_end", t, e2e_ms, packets.size(), apdus});
+
+      std::printf(
+          "  %u thread(s): ingest %8.1f ms (%s pkt/s)  analyze %8.1f ms  "
+          "end-to-end %8.1f ms\n",
+          t, ingest_ms, json_num(per_second(packets.size(), ingest_ms)).c_str(),
+          analyze_ms, e2e_ms);
+    }
+  }
+
+  // Speedups vs the 1-thread run of the same capture and stage.
+  std::string json = "{";
+  json += "\"scale\":" + json_num(bench::bench_scale());
+  json += ",\"hardware_threads\":" + std::to_string(hw);
+  json += ",\"results\":[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    if (i) json += ",";
+    json += "{\"capture\":\"" + e.capture + "\"";
+    json += ",\"stage\":\"" + e.stage + "\"";
+    json += ",\"threads\":" + std::to_string(e.threads);
+    json += ",\"wall_ms\":" + json_num(e.wall_ms);
+    json += ",\"packets_per_s\":" + json_num(per_second(e.packets, e.wall_ms));
+    json += ",\"apdus_per_s\":" + json_num(per_second(e.apdus, e.wall_ms)) + "}";
+  }
+  json += "],\"speedup\":[";
+  bool first = true;
+  for (const auto& e : entries) {
+    if (e.threads == 1) continue;
+    auto base = std::find_if(entries.begin(), entries.end(), [&](const Entry& b) {
+      return b.capture == e.capture && b.stage == e.stage && b.threads == 1;
+    });
+    if (base == entries.end() || e.wall_ms <= 0) continue;
+    double speedup = base->wall_ms / e.wall_ms;
+    if (!first) json += ",";
+    first = false;
+    json += "{\"capture\":\"" + e.capture + "\"";
+    json += ",\"stage\":\"" + e.stage + "\"";
+    json += ",\"threads\":" + std::to_string(e.threads);
+    json += ",\"vs_1_thread\":" + json_num(speedup) + "}";
+    std::printf("%s %-10s @%u threads: %.2fx vs 1 thread\n", e.capture.c_str(),
+                e.stage.c_str(), e.threads, speedup);
+  }
+  json += "]}";
+
+  if (auto st = core::write_text_file(out_path, json + "\n"); !st) {
+    std::fprintf(stderr, "cannot write %s: %s\n", out_path.c_str(),
+                 st.error().str().c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

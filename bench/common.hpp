@@ -22,8 +22,19 @@ namespace uncharted::bench {
 inline double bench_scale() {
   const char* env = std::getenv("UNCHARTED_BENCH_SCALE");
   if (!env) return 1.0;
-  double v = std::atof(env);
-  return v > 0 ? v : 1.0;
+  // strtod with endptr, not atof: atof returns 0.0 for garbage, which the
+  // old `v > 0` guard silently mapped back to 1.0 — a typo'd override ran
+  // the bench at default scale while claiming the requested one.
+  char* end = nullptr;
+  double v = std::strtod(env, &end);
+  if (end == env || *end != '\0' || !(v > 0)) {
+    std::fprintf(stderr,
+                 "warning: ignoring UNCHARTED_BENCH_SCALE=\"%s\" (not a "
+                 "positive number); using scale 1\n",
+                 env);
+    return 1.0;
+  }
+  return v;
 }
 
 inline sim::CaptureResult y1_capture() {

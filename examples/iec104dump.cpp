@@ -2,6 +2,7 @@
 // you reach for when Wireshark calls the packets malformed.
 //
 //   ./iec104dump capture.pcap [--strict] [--limit N] [--conformance]
+//               [--threads N] [--profile]
 //
 // Prints one line per APDU with the tolerant parse, marking non-compliant
 // frames with the legacy profile that explains them. With --conformance,
@@ -19,7 +20,10 @@
 
 #include "analysis/conformance_audit.hpp"
 #include "analysis/dataset.hpp"
+#include "analysis/sharded.hpp"
 #include "core/names.hpp"
+#include "core/profiler.hpp"
+#include "exec/pool.hpp"
 #include "sim/capture.hpp"
 #include "util/strings.hpp"
 
@@ -29,15 +33,21 @@ int main(int argc, char** argv) {
   std::string path;
   bool strict = false;
   bool conformance = false;
+  bool profile = false;
   long limit = 40;
+  unsigned threads = 0;  // 0 = one per hardware thread
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--strict") {
       strict = true;
     } else if (arg == "--conformance") {
       conformance = true;
+    } else if (arg == "--profile") {
+      profile = true;
     } else if (arg == "--limit" && i + 1 < argc) {
       limit = std::atol(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::atol(argv[++i]));
     } else {
       path = arg;
     }
@@ -69,7 +79,18 @@ int main(int argc, char** argv) {
   analysis::CaptureDataset::Options opts;
   opts.parser_mode = strict ? iec104::ApduStreamParser::Mode::kStrict
                             : iec104::ApduStreamParser::Mode::kTolerant;
-  auto ds = analysis::CaptureDataset::build(packets, opts);
+  unsigned resolved = threads == 0 ? exec::Pool::default_threads() : threads;
+  core::StageTimings timings;
+  auto ds = [&] {
+    if (resolved <= 1) {
+      core::ScopedStageTimer t(&timings, "ingest");
+      return analysis::CaptureDataset::build(packets, opts);
+    }
+    exec::Pool pool(resolved);
+    return analysis::build_dataset_sharded(
+        packets, opts, &pool, analysis::kDefaultShardCount, {}, nullptr,
+        [&](const char* stage, double ms) { timings.add(stage, ms); });
+  }();
   if (names.empty()) names = core::infer_names(ds);
 
   Timestamp t0 = ds.records().empty() ? 0 : ds.records().front().ts;
@@ -147,6 +168,13 @@ int main(int argc, char** argv) {
                  format_count(deg.quarantined_connections).c_str(),
                  pcap_truncated ? ", pcap tail truncated" : "");
   }
+  if (profile) {
+    std::printf("\n== stage timings (%u threads) ==\n", resolved);
+    for (const auto& s : timings.stages) {
+      std::printf("%-14s %10.2f ms\n", s.stage.c_str(), s.wall_ms);
+    }
+  }
+
   if (hostile) return 3;  // hostile wins: an attacker also causes damage
   if (degraded) return 2;
   return 0;

@@ -26,7 +26,7 @@ void usage(const char* argv0) {
                "usage: %s --pcap FILE [--checkpoint FILE] [--interval PACKETS]\n"
                "          [--batch PACKETS] [--max-flows N] [--max-reassembly-bytes N]\n"
                "          [--max-records N] [--max-parsers N] [--reassembled]\n"
-               "          [--kill-after PACKETS] [--quiet]\n",
+               "          [--kill-after PACKETS] [--quiet] [--threads N]\n",
                argv0);
 }
 
@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   std::string pcap_path;
   core::StreamingOptions options;
   options.checkpoint_every_packets = 1000;
+  options.analyze.threads = 0;  // one worker per hardware thread
   std::uint64_t kill_after = 0;
   bool quiet = false;
 
@@ -68,6 +69,8 @@ int main(int argc, char** argv) {
       options.budgets.max_parsers = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--reassembled") {
       options.analyze.mode = analysis::ParseMode::kReassembled;
+    } else if (arg == "--threads") {
+      options.analyze.threads = static_cast<unsigned>(std::atoll(next()));
     } else if (arg == "--kill-after") {
       kill_after = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--quiet") {

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Throughput benchmark driver: builds the release preset and runs
+# bench_throughput, leaving the machine-readable BENCH_throughput.json in
+# the repo root (CI uploads it as an artifact).
+#
+# Usage: scripts/bench.sh [--out FILE] [--reps N] [--scale FACTOR]
+#   --out    output JSON path (default BENCH_throughput.json)
+#   --reps   repetitions per (capture, threads, stage) cell, fastest wins
+#   --scale  capture scale factor (sets UNCHARTED_BENCH_SCALE)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="BENCH_throughput.json"
+reps=3
+scale=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --out)   out="$2"; shift 2 ;;
+    --reps)  reps="$2"; shift 2 ;;
+    --scale) scale="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+cmake --preset release
+cmake --build --preset release --target bench_throughput -j "$jobs"
+
+if [ -n "$scale" ]; then
+  export UNCHARTED_BENCH_SCALE="$scale"
+fi
+build-release/bench/bench_throughput --out "$out" --reps "$reps"

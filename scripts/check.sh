@@ -7,8 +7,11 @@
 #   3. the hostile-peer adversarial sweep under sanitizers: every
 #      sim::HostilePeer attack scenario through the full pipeline plus the
 #      conformance machine and supervisor quarantine tests
-#   4. clang-tidy over src/ (skipped with a notice if clang-tidy is absent)
-#   5. a short streaming kill/restore soak (scripts/soak.sh; the nightly
+#   4. ThreadSanitizer over the work-stealing pool and the parallel
+#      flow-sharded pipeline (the determinism tests double as race
+#      detectors: every stage runs concurrently at threads=8)
+#   5. clang-tidy over src/ (skipped with a notice if clang-tidy is absent)
+#   6. a short streaming kill/restore soak (scripts/soak.sh; the nightly
 #      CI job runs the full 10-minute matrix)
 #
 # Usage: scripts/check.sh [--fuzz]
@@ -26,31 +29,37 @@ for arg in "$@"; do
   esac
 done
 
-echo "==> [1/6] release: build + ctest"
+echo "==> [1/7] release: build + ctest"
 cmake --preset release
 cmake --build --preset release -j "$jobs"
 ctest --preset release -j "$jobs"
 
-echo "==> [2/6] debug-asan-ubsan: build + ctest"
+echo "==> [2/7] debug-asan-ubsan: build + ctest"
 cmake --preset debug-asan-ubsan
 cmake --build --preset debug-asan-ubsan -j "$jobs"
 ASAN_OPTIONS=strict_string_checks=1:detect_stack_use_after_return=1 \
 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --preset debug-asan-ubsan -j "$jobs"
 
-echo "==> [3/6] chaos sweep under sanitizers (fault injection 0-20%)"
+echo "==> [3/7] chaos sweep under sanitizers (fault injection 0-20%)"
 ASAN_OPTIONS=strict_string_checks=1:detect_stack_use_after_return=1 \
 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --preset debug-asan-ubsan -R 'ChaosSweep|FaultInject' --output-on-failure
 
-echo "==> [4/6] hostile-peer: adversarial sweep under sanitizers"
+echo "==> [4/7] hostile-peer: adversarial sweep under sanitizers"
 ASAN_OPTIONS=strict_string_checks=1:detect_stack_use_after_return=1 \
 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --preset debug-asan-ubsan \
     -R 'HostilePeer|Conformance|QuarantinePolicy|Supervisor.Hostile' \
     --output-on-failure
 
-echo "==> [5/6] clang-tidy over src/"
+echo "==> [5/7] tsan: work-stealing pool + parallel pipeline"
+cmake --preset tsan
+cmake --build --preset tsan --target test_parallel -j "$jobs"
+TSAN_OPTIONS=halt_on_error=1 \
+  ctest --preset tsan -R 'Pool|ParallelFor|ParallelDeterminism' --output-on-failure
+
+echo "==> [6/7] clang-tidy over src/"
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake --preset tidy
   cmake --build --preset tidy -j "$jobs"
@@ -58,7 +67,7 @@ else
   echo "    clang-tidy not installed; skipping (CI runs this job)"
 fi
 
-echo "==> [6/6] streaming kill/restore soak (short; nightly CI runs 10 min)"
+echo "==> [7/7] streaming kill/restore soak (short; nightly CI runs 10 min)"
 scripts/soak.sh --duration 120 --rates "0 0.01" --kill-step 10000
 
 if [ "$run_fuzz" -eq 1 ]; then

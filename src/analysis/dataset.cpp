@@ -74,6 +74,7 @@ void DatasetBuilder::collect(const net::FlowKey& key,
     ApduRecord rec;
     rec.ts = parsed.ts;
     rec.flow = key;
+    rec.seq = dmg.apdus;  // arrival index within this directed flow
     rec.apdu = std::move(parsed);
     records_.push_back(std::move(rec));
     ++dmg.apdus;
@@ -192,13 +193,13 @@ void DatasetBuilder::add_packet(const net::CapturedPacket& pkt) {
   enforce_budgets();
 }
 
-CaptureDataset DatasetBuilder::finish() {
-  CaptureDataset ds;
+ShardPartial DatasetBuilder::finish_partial(Timestamp flush_ts) {
+  ShardPartial part;
 
   if (reassembler_) {
     // End of capture: abandon outstanding holes, deliver what is behind
     // them, then account the partial tails left in the stream parsers.
-    reassembler_->flush(last_ts_);
+    reassembler_->flush(flush_ts);
     stats_.tcp_retransmissions = reassembler_->retransmitted_segments();
     auto totals = reassembler_->totals();
     auto& deg = stats_.degradation;
@@ -208,7 +209,7 @@ CaptureDataset DatasetBuilder::finish() {
     deg.aborted_streams += totals.aborted_with_pending;
     deg.wild_segments += totals.wild_segments;
     for (auto& [key, parser] : parsers_) {
-      parser.finish(last_ts_);
+      parser.finish(flush_ts);
       parser.drain(drained_apdus_, drained_failures_);
       collect(key, drained_apdus_, drained_failures_);
     }
@@ -217,7 +218,9 @@ CaptureDataset DatasetBuilder::finish() {
   // Quarantine: a directed stream drowning in parse failures is producing
   // mis-decoded APDUs, not telemetry. The policy scores each failure kind
   // by severity; streams crossing the threshold are dropped so one
-  // poisoned stream cannot skew the report, and the counters say so.
+  // poisoned stream cannot skew the report, and the counters say so. The
+  // decision reads only this stream's own damage, so applying it per shard
+  // is identical to applying it globally.
   {
     const auto& policy = options_.quarantine;
     std::set<net::FlowKey> quarantined;
@@ -234,19 +237,92 @@ CaptureDataset DatasetBuilder::finish() {
       });
       stats_.degradation.quarantined_apdus += dropped;
       stats_.degradation.quarantined_connections += quarantined.size();
-      ds.quarantined_.assign(quarantined.begin(), quarantined.end());
+      part.quarantined.assign(quarantined.begin(), quarantined.end());
     }
   }
 
-  // Per-packet mode appends in packet order which is already time order;
-  // reassembled mode can deliver chunks out of order across flows.
-  std::stable_sort(records_.begin(), records_.end(),
-                   [](const ApduRecord& a, const ApduRecord& b) { return a.ts < b.ts; });
+  part.stats = stats_;
+  part.flows = std::move(flows_);
+  part.records = std::move(records_);
+  part.damage = std::move(damage_);
+  return part;
+}
 
-  ds.stats_ = stats_;
-  ds.flows_ = std::move(flows_);
-  ds.records_ = std::move(records_);
-  ds.damage_ = std::move(damage_);
+CaptureDataset DatasetBuilder::finish() {
+  std::vector<ShardPartial> one;
+  one.push_back(finish_partial(last_ts_));
+  return merge_partials(std::move(one), options_);
+}
+
+namespace {
+
+void sum_degradation(DegradationCounters& into, const DegradationCounters& from) {
+  into.undecodable_frames += from.undecodable_frames;
+  into.parser_resyncs += from.parser_resyncs;
+  into.garbage_bytes += from.garbage_bytes;
+  into.undecodable_apdus += from.undecodable_apdus;
+  into.truncated_tail_bytes += from.truncated_tail_bytes;
+  into.reassembly_gaps += from.reassembly_gaps;
+  into.reassembly_lost_bytes += from.reassembly_lost_bytes;
+  into.overlapping_segments += from.overlapping_segments;
+  into.aborted_streams += from.aborted_streams;
+  into.wild_segments += from.wild_segments;
+  into.quarantined_connections += from.quarantined_connections;
+  into.quarantined_apdus += from.quarantined_apdus;
+}
+
+void sum_stats(DatasetStats& into, const DatasetStats& from) {
+  into.packets += from.packets;
+  into.tcp_packets += from.tcp_packets;
+  into.undecodable_frames += from.undecodable_frames;
+  into.iec104_payload_packets += from.iec104_payload_packets;
+  into.apdus += from.apdus;
+  into.apdu_failures += from.apdu_failures;
+  into.c37118_packets += from.c37118_packets;
+  into.iccp_packets += from.iccp_packets;
+  into.other_tcp_packets += from.other_tcp_packets;
+  into.non_compliant_apdus += from.non_compliant_apdus;
+  into.tcp_retransmissions += from.tcp_retransmissions;
+  sum_degradation(into.degradation, from.degradation);
+}
+
+}  // namespace
+
+CaptureDataset merge_partials(std::vector<ShardPartial> partials,
+                              const CaptureDataset::Options& options) {
+  CaptureDataset ds;
+
+  std::size_t total_records = 0;
+  std::size_t total_quarantined = 0;
+  for (const auto& part : partials) {
+    total_records += part.records.size();
+    total_quarantined += part.quarantined.size();
+  }
+  ds.records_.reserve(total_records);
+  ds.quarantined_.reserve(total_quarantined);
+
+  for (auto& part : partials) {
+    sum_stats(ds.stats_, part.stats);
+    ds.flows_.merge(std::move(part.flows));
+    std::move(part.records.begin(), part.records.end(),
+              std::back_inserter(ds.records_));
+    ds.quarantined_.insert(ds.quarantined_.end(), part.quarantined.begin(),
+                           part.quarantined.end());
+    // Directed flows are shard-affine, so damage maps are disjoint.
+    ds.damage_.merge(std::move(part.damage));
+  }
+  std::sort(ds.quarantined_.begin(), ds.quarantined_.end());
+
+  // Canonical record order: (ts, flow, per-flow seq). A strict total order
+  // — no two records share all three — so the merged sequence is the same
+  // no matter how the records were distributed across partials, and the
+  // single-shard case reproduces it too.
+  std::stable_sort(ds.records_.begin(), ds.records_.end(),
+                   [](const ApduRecord& a, const ApduRecord& b) {
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     if (!(a.flow == b.flow)) return a.flow < b.flow;
+                     return a.seq < b.seq;
+                   });
 
   for (std::size_t i = 0; i < ds.records_.size(); ++i) {
     const auto& rec = ds.records_[i];
@@ -259,7 +335,7 @@ CaptureDataset DatasetBuilder::finish() {
       // Attribute to the outstation (the IEC 104 port owner): a vendor
       // server configured for a legacy RTU mirrors its dialect, but the
       // paper's compliance finding is about the device, not the direction.
-      net::Ipv4Addr station = rec.flow.src_port == options_.iec104_port
+      net::Ipv4Addr station = rec.flow.src_port == options.iec104_port
                                   ? rec.flow.src_ip
                                   : rec.flow.dst_ip;
       auto& entry = ds.compliance_[station];
@@ -441,6 +517,16 @@ Status DatasetBuilder::load(ByteReader& r) {
     if (!apdu) return apdu.error();
     rec.apdu.apdu = std::move(apdu).take();
     records_.push_back(std::move(rec));
+  }
+
+  // seq is not serialized: records were saved in append order, so within
+  // each flow that order IS the arrival order, and only the relative order
+  // matters to the canonical (ts, flow, seq) comparator. Records collected
+  // after the restore continue from the persisted damage counter, which is
+  // >= any recomputed value here (it also counts budget-evicted records).
+  {
+    std::map<net::FlowKey, std::uint64_t> next_seq;
+    for (auto& rec : records_) rec.seq = next_seq[rec.flow]++;
   }
 
   auto parser_count = r.u32le();

@@ -31,6 +31,13 @@ enum class ParseMode { kPerPacket, kReassembled };
 struct ApduRecord {
   Timestamp ts = 0;
   net::FlowKey flow;  ///< directed 4-tuple it travelled on
+  /// Arrival index within this directed flow (0-based). Part of the
+  /// canonical record order (ts, flow, seq): timestamps tie across flows
+  /// whenever a burst shares a capture tick, and the merge of per-shard
+  /// record lanes must not depend on which shard finished first. Within a
+  /// flow the sequence is the parse order, which every execution —
+  /// sequential, sharded, or restored from a checkpoint — reproduces.
+  std::uint64_t seq = 0;
   iec104::ParsedApdu apdu;
 };
 
@@ -108,6 +115,8 @@ struct EndpointPair {
   std::string str() const { return a.str() + " <-> " + b.str(); }
 };
 
+struct ShardPartial;
+
 class CaptureDataset {
  public:
   struct Options {
@@ -173,6 +182,8 @@ class CaptureDataset {
 
  private:
   friend class DatasetBuilder;
+  friend CaptureDataset merge_partials(std::vector<ShardPartial> partials,
+                                       const Options& options);
 
   DatasetStats stats_;
   net::FlowTable flows_;
@@ -183,6 +194,27 @@ class CaptureDataset {
   std::vector<net::FlowKey> quarantined_;
   std::map<net::FlowKey, FlowDamage> damage_;
 };
+
+/// One shard's contribution to a dataset: everything a DatasetBuilder
+/// accumulated, flushed and quarantined, but not yet sorted or indexed.
+/// Partials from flow-disjoint shards merge into the same CaptureDataset a
+/// single sequential builder would have produced (see merge_partials).
+struct ShardPartial {
+  DatasetStats stats;
+  net::FlowTable flows;
+  std::vector<ApduRecord> records;
+  std::vector<net::FlowKey> quarantined;
+  std::map<net::FlowKey, FlowDamage> damage;
+};
+
+/// Deterministic order-independent reducer: folds shard partials into one
+/// CaptureDataset. Integer stats are summed, flow tables merged (disjoint
+/// across shards by construction), records concatenated and re-sorted into
+/// the canonical (ts, flow, seq) order, then sessions / connections /
+/// compliance are indexed exactly as a sequential finish() would. The
+/// result is invariant under any permutation of `partials`.
+CaptureDataset merge_partials(std::vector<ShardPartial> partials,
+                              const CaptureDataset::Options& options);
 
 /// Incremental dataset construction: packets go in one at a time (or in
 /// bounded batches), budgets are enforced as state grows, and the whole
@@ -209,6 +241,17 @@ class DatasetBuilder {
   /// Finalizes: flushes reassembly, applies quarantine, sorts and indexes.
   /// The builder is spent afterwards; ingest into a fresh one.
   CaptureDataset finish();
+
+  /// Shard-lane variant of finish(): flushes and quarantines but leaves
+  /// sorting and indexing to merge_partials(). `flush_ts` must be the
+  /// GLOBAL last dispatched timestamp, not this shard's — truncated-tail
+  /// failures are stamped with it and feed the conformance audit, so a
+  /// shard that went quiet early must still flush at the capture's end.
+  /// finish() is exactly merge_partials({finish_partial(last_ts())}).
+  ShardPartial finish_partial(Timestamp flush_ts);
+
+  /// Timestamp of the most recently ingested packet.
+  Timestamp last_ts() const { return last_ts_; }
 
   /// Checkpoint serialization. Options and budgets are configuration and
   /// are NOT saved — construct the restoring builder with the same ones

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "exec/pool.hpp"
+
 namespace uncharted::analysis {
 
 namespace {
@@ -49,6 +51,11 @@ Matrix seed_plus_plus(const Matrix& points, int k, Rng& rng) {
   return centroids;
 }
 
+/// Points per assignment chunk. A fixed grain (never derived from the
+/// worker count) keeps the partition — and thus every FP operation's
+/// operands — identical at all thread counts.
+constexpr std::size_t kAssignGrain = 64;
+
 KMeansResult lloyd(const Matrix& points, Matrix centroids, const KMeansOptions& options) {
   const int k = static_cast<int>(centroids.size());
   const std::size_t dims = points[0].size();
@@ -58,19 +65,24 @@ KMeansResult lloyd(const Matrix& points, Matrix centroids, const KMeansOptions& 
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
-    // Assign.
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      double best = std::numeric_limits<double>::infinity();
-      int best_c = 0;
-      for (int c = 0; c < k; ++c) {
-        double d = sq_distance(points[i], centroids[static_cast<std::size_t>(c)]);
-        if (d < best) {
-          best = d;
-          best_c = c;
-        }
-      }
-      result.assignment[i] = best_c;
-    }
+    // Assign. Each point is independent (no reduction), so this
+    // parallelizes without any FP-order concern.
+    exec::parallel_for(options.pool, points.size(), kAssignGrain,
+                       [&](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           double best = std::numeric_limits<double>::infinity();
+                           int best_c = 0;
+                           for (int c = 0; c < k; ++c) {
+                             double d = sq_distance(
+                                 points[i], centroids[static_cast<std::size_t>(c)]);
+                             if (d < best) {
+                               best = d;
+                               best_c = c;
+                             }
+                           }
+                           result.assignment[i] = best_c;
+                         }
+                       });
     // Update.
     Matrix next(static_cast<std::size_t>(k), std::vector<double>(dims, 0.0));
     std::vector<std::size_t> counts(static_cast<std::size_t>(k), 0);
@@ -107,11 +119,35 @@ KMeansResult kmeans(const Matrix& points, int k, const KMeansOptions& options) {
   if (k < 1 || points.empty() || points.size() < static_cast<std::size_t>(k)) {
     throw std::invalid_argument("kmeans: need k >= 1 and at least k points");
   }
-  Rng rng(options.seed);
+  // Each restart owns an Rng seeded from a SplitMix64 chain over
+  // options.seed: restarts never share generator state, so they can run
+  // concurrently, and restart r draws the same numbers no matter how many
+  // threads execute the batch (or whether a pool exists at all).
+  const int restarts = std::max(1, options.restarts);
+  std::vector<std::uint64_t> seeds(static_cast<std::size_t>(restarts));
+  SplitMix64 seeder(options.seed);
+  for (auto& s : seeds) s = seeder.next();
+
+  std::vector<KMeansResult> results(static_cast<std::size_t>(restarts));
+  {
+    exec::TaskGroup group(options.pool);
+    for (int r = 0; r < restarts; ++r) {
+      group.run([&, r] {
+        // Assignment-level parallelism nests under restart-level
+        // parallelism; the group's help-based wait makes that safe.
+        Rng rng(seeds[static_cast<std::size_t>(r)]);
+        results[static_cast<std::size_t>(r)] =
+            lloyd(points, seed_plus_plus(points, k, rng), options);
+      });
+    }
+    group.wait();
+  }
+
+  // Ties resolve to the earliest restart (strict <), independent of which
+  // task finished first.
   KMeansResult best;
   best.sse = std::numeric_limits<double>::infinity();
-  for (int r = 0; r < std::max(1, options.restarts); ++r) {
-    auto result = lloyd(points, seed_plus_plus(points, k, rng), options);
+  for (auto& result : results) {
     if (result.sse < best.sse) best = std::move(result);
   }
   return best;
@@ -166,12 +202,21 @@ double explained_variance(const Matrix& points, const KMeansResult& result) {
 
 std::vector<KSweepEntry> sweep_k(const Matrix& points, int k_min, int k_max,
                                  const KMeansOptions& options) {
-  std::vector<KSweepEntry> sweep;
+  std::vector<int> ks;
   for (int k = k_min; k <= k_max && static_cast<std::size_t>(k) <= points.size(); ++k) {
-    auto result = kmeans(points, k, options);
-    sweep.push_back(KSweepEntry{k, result.sse, explained_variance(points, result),
-                                silhouette_score(points, result.assignment, k)});
+    ks.push_back(k);
   }
+  std::vector<KSweepEntry> sweep(ks.size());
+  exec::TaskGroup group(options.pool);
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    group.run([&, i] {
+      int k = ks[i];
+      auto result = kmeans(points, k, options);
+      sweep[i] = KSweepEntry{k, result.sse, explained_variance(points, result),
+                             silhouette_score(points, result.assignment, k)};
+    });
+  }
+  group.wait();
   return sweep;
 }
 

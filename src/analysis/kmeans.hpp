@@ -8,6 +8,10 @@
 
 #include "util/rng.hpp"
 
+namespace uncharted::exec {
+class Pool;
+}  // namespace uncharted::exec
+
 namespace uncharted::analysis {
 
 /// Row-major data matrix: points[i] is one observation.
@@ -26,6 +30,11 @@ struct KMeansOptions {
   double tolerance = 1e-9;   ///< centroid movement convergence threshold
   int restarts = 4;          ///< keep the best of this many seedings
   std::uint64_t seed = 7;
+  /// Runs restarts and the assignment step on this pool (null = inline).
+  /// Each restart draws from its own SplitMix64-derived seed, and ties
+  /// between equally good restarts resolve by restart index, so the
+  /// result is identical at every thread count including 1.
+  exec::Pool* pool = nullptr;
 };
 
 /// Runs K-means++ (k-means with D^2 seeding). Requires k >= 1 and

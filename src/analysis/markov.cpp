@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "exec/pool.hpp"
+
 namespace uncharted::analysis {
 
 std::string apdu_token(const iec104::Apdu& apdu) { return apdu.token(); }
@@ -103,33 +105,49 @@ std::string chain_cluster_name(ChainCluster c) {
   return "?";
 }
 
-std::vector<ConnectionChain> build_connection_chains(const CaptureDataset& dataset) {
-  std::vector<ConnectionChain> out;
+std::vector<ConnectionChain> build_connection_chains(const CaptureDataset& dataset,
+                                                     exec::Pool* pool) {
   const auto& records = dataset.records();
 
+  // Flatten the connection map so each chain builds into its own slot;
+  // the output keeps the map's key order at any thread count.
+  struct Item {
+    const EndpointPair* pair;
+    const std::vector<std::size_t>* indices;
+  };
+  std::vector<Item> items;
+  items.reserve(dataset.connections().size());
   for (const auto& [pair, indices] : dataset.connections()) {
-    ConnectionChain cc;
-    cc.pair = pair;
-    cc.tokens.reserve(indices.size());
-    for (std::size_t idx : indices) {
-      cc.tokens.push_back(apdu_token(records[idx].apdu.apdu));
-      if (records[idx].apdu.apdu.asdu &&
-          records[idx].apdu.apdu.asdu->type == iec104::TypeId::C_IC_NA_1) {
-        cc.has_i100 = true;
-      }
-    }
-    cc.chain = MarkovChain::from_tokens(cc.tokens);
-    cc.nodes = cc.chain.node_count();
-    cc.edges = cc.chain.edge_count();
-    if (cc.nodes == 1 && cc.edges == 1) {
-      cc.cluster = ChainCluster::kPoint11;
-    } else if (cc.has_i100) {
-      cc.cluster = ChainCluster::kEllipse;
-    } else {
-      cc.cluster = ChainCluster::kSquare;
-    }
-    out.push_back(std::move(cc));
+    items.push_back(Item{&pair, &indices});
   }
+
+  std::vector<ConnectionChain> out(items.size());
+  exec::parallel_for(pool, items.size(), 4, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      ConnectionChain cc;
+      cc.pair = *items[i].pair;
+      const auto& indices = *items[i].indices;
+      cc.tokens.reserve(indices.size());
+      for (std::size_t idx : indices) {
+        cc.tokens.push_back(apdu_token(records[idx].apdu.apdu));
+        if (records[idx].apdu.apdu.asdu &&
+            records[idx].apdu.apdu.asdu->type == iec104::TypeId::C_IC_NA_1) {
+          cc.has_i100 = true;
+        }
+      }
+      cc.chain = MarkovChain::from_tokens(cc.tokens);
+      cc.nodes = cc.chain.node_count();
+      cc.edges = cc.chain.edge_count();
+      if (cc.nodes == 1 && cc.edges == 1) {
+        cc.cluster = ChainCluster::kPoint11;
+      } else if (cc.has_i100) {
+        cc.cluster = ChainCluster::kEllipse;
+      } else {
+        cc.cluster = ChainCluster::kSquare;
+      }
+      out[i] = std::move(cc);
+    }
+  });
   return out;
 }
 

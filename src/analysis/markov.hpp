@@ -12,6 +12,10 @@
 
 #include "analysis/dataset.hpp"
 
+namespace uncharted::exec {
+class Pool;
+}  // namespace uncharted::exec
+
 namespace uncharted::analysis {
 
 /// Paper Table 4 token for an APDU: "S", "U1".."U32", "I_<typeid>".
@@ -96,6 +100,9 @@ struct ConnectionChain {
 };
 
 /// Builds per-connection chains (tokens from both directions, time order).
-std::vector<ConnectionChain> build_connection_chains(const CaptureDataset& dataset);
+/// Connections are independent; `pool` fans them out (inline when null),
+/// output in connection-map order either way.
+std::vector<ConnectionChain> build_connection_chains(const CaptureDataset& dataset,
+                                                     exec::Pool* pool = nullptr);
 
 }  // namespace uncharted::analysis

@@ -5,9 +5,16 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "exec/pool.hpp"
+
 namespace uncharted::analysis {
 
 namespace {
+
+/// Rows per reduction chunk. Fixed — never derived from worker count — so
+/// partial sums always cover the same row ranges and combine in the same
+/// order: the summation tree is a function of the input alone.
+constexpr std::size_t kReduceGrain = 64;
 
 /// Cyclic Jacobi rotation eigen-solver for a symmetric matrix.
 /// Returns eigenvalues on the diagonal and accumulates eigenvectors in V
@@ -63,26 +70,47 @@ double PcaResult::explained_by(std::size_t n) const {
   return top / total;
 }
 
-PcaResult pca(const Matrix& points, std::size_t dims) {
+PcaResult pca(const Matrix& points, std::size_t dims, exec::Pool* pool) {
   if (points.size() < 2) throw std::invalid_argument("pca: need at least 2 rows");
   const std::size_t d = points[0].size();
+  const std::size_t n = points.size();
   dims = std::min(dims, d);
+  const std::size_t chunks = (n + kReduceGrain - 1) / kReduceGrain;
 
+  // Mean: per-chunk partial sums, combined in chunk order. One chunk (the
+  // common small-input case) degenerates to the plain sequential sum.
   PcaResult out;
+  std::vector<std::vector<double>> mean_parts(chunks, std::vector<double>(d, 0.0));
+  exec::parallel_for(pool, n, kReduceGrain, [&](std::size_t begin, std::size_t end) {
+    auto& part = mean_parts[begin / kReduceGrain];
+    for (std::size_t r = begin; r < end; ++r) {
+      for (std::size_t i = 0; i < d; ++i) part[i] += points[r][i];
+    }
+  });
   out.mean.assign(d, 0.0);
-  for (const auto& p : points) {
-    for (std::size_t i = 0; i < d; ++i) out.mean[i] += p[i];
+  for (const auto& part : mean_parts) {
+    for (std::size_t i = 0; i < d; ++i) out.mean[i] += part[i];
   }
-  for (auto& m : out.mean) m /= static_cast<double>(points.size());
+  for (auto& m : out.mean) m /= static_cast<double>(n);
 
-  // Covariance matrix.
-  Matrix cov(d, std::vector<double>(d, 0.0));
-  for (const auto& p : points) {
-    for (std::size_t i = 0; i < d; ++i) {
-      double di = p[i] - out.mean[i];
-      for (std::size_t j = i; j < d; ++j) {
-        cov[i][j] += di * (p[j] - out.mean[j]);
+  // Covariance (upper triangle), same chunked-reduction shape.
+  std::vector<Matrix> cov_parts(chunks, Matrix(d, std::vector<double>(d, 0.0)));
+  exec::parallel_for(pool, n, kReduceGrain, [&](std::size_t begin, std::size_t end) {
+    auto& part = cov_parts[begin / kReduceGrain];
+    for (std::size_t r = begin; r < end; ++r) {
+      const auto& p = points[r];
+      for (std::size_t i = 0; i < d; ++i) {
+        double di = p[i] - out.mean[i];
+        for (std::size_t j = i; j < d; ++j) {
+          part[i][j] += di * (p[j] - out.mean[j]);
+        }
       }
+    }
+  });
+  Matrix cov(d, std::vector<double>(d, 0.0));
+  for (const auto& part : cov_parts) {
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = i; j < d; ++j) cov[i][j] += part[i][j];
     }
   }
   for (std::size_t i = 0; i < d; ++i) {
@@ -111,16 +139,19 @@ PcaResult pca(const Matrix& points, std::size_t dims) {
     out.components.push_back(std::move(comp));
   }
 
-  out.projected.reserve(points.size());
-  for (const auto& p : points) {
-    std::vector<double> proj(dims, 0.0);
-    for (std::size_t c = 0; c < dims; ++c) {
-      for (std::size_t i = 0; i < d; ++i) {
-        proj[c] += (p[i] - out.mean[i]) * out.components[c][i];
+  // Projection is per-row independent: no reduction, no FP-order hazard.
+  out.projected.assign(n, std::vector<double>(dims, 0.0));
+  exec::parallel_for(pool, n, kReduceGrain, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      const auto& p = points[r];
+      auto& proj = out.projected[r];
+      for (std::size_t c = 0; c < dims; ++c) {
+        for (std::size_t i = 0; i < d; ++i) {
+          proj[c] += (p[i] - out.mean[i]) * out.components[c][i];
+        }
       }
     }
-    out.projected.push_back(std::move(proj));
-  }
+  });
   return out;
 }
 

@@ -19,7 +19,10 @@ struct PcaResult {
 };
 
 /// Computes PCA of row-major data and projects onto the top `dims`
-/// components. Requires at least 2 rows.
-PcaResult pca(const Matrix& points, std::size_t dims);
+/// components. Requires at least 2 rows. The mean and covariance
+/// accumulations run as fixed-grain chunked reductions (partials combined
+/// in chunk order), so the result is bit-identical whether `pool` is null
+/// or has any number of workers.
+PcaResult pca(const Matrix& points, std::size_t dims, exec::Pool* pool = nullptr);
 
 }  // namespace uncharted::analysis

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <set>
 
+#include "exec/pool.hpp"
+
 namespace uncharted::analysis {
 
 std::string feature_name(std::size_t index) {
@@ -22,12 +24,25 @@ std::string feature_name(std::size_t index) {
   return "feature_" + std::to_string(index);
 }
 
-std::vector<SessionFeatures> extract_session_features(const CaptureDataset& dataset) {
-  std::vector<SessionFeatures> out;
+std::vector<SessionFeatures> extract_session_features(const CaptureDataset& dataset,
+                                                      exec::Pool* pool) {
   const auto& records = dataset.records();
 
+  // Flatten the map so sessions can be processed by index; output order
+  // stays the map's key order regardless of execution order.
+  struct Item {
+    const std::pair<net::Ipv4Addr, net::Ipv4Addr>* key;
+    const std::vector<std::size_t>* indices;
+  };
+  std::vector<Item> items;
+  items.reserve(dataset.sessions().size());
   for (const auto& [key, indices] : dataset.sessions()) {
     if (indices.empty()) continue;
+    items.push_back(Item{&key, &indices});
+  }
+
+  auto featurize = [&records](const std::pair<net::Ipv4Addr, net::Ipv4Addr>& key,
+                              const std::vector<std::size_t>& indices) {
     SessionFeatures sf;
     sf.src = key.first;
     sf.dst = key.second;
@@ -80,24 +95,38 @@ std::vector<SessionFeatures> extract_session_features(const CaptureDataset& data
     sf.values[kFeatPercentS] = static_cast<double>(count_s) / n;
     sf.values[kFeatPercentU] = static_cast<double>(count_u) / n;
     sf.values[kFeatDistinctIoas] = static_cast<double>(ioas.size());
-    out.push_back(std::move(sf));
-  }
+    return sf;
+  };
+
+  std::vector<SessionFeatures> out(items.size());
+  exec::parallel_for(pool, items.size(), 8, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      out[i] = featurize(*items[i].key, *items[i].indices);
+    }
+  });
   return out;
 }
 
 std::vector<FeatureRank> rank_features_by_silhouette(
-    const std::vector<SessionFeatures>& sessions, int k) {
+    const std::vector<SessionFeatures>& sessions, int k, exec::Pool* pool) {
   std::vector<FeatureRank> ranks;
   if (sessions.size() < static_cast<std::size_t>(k) + 1) return ranks;
 
+  ranks.resize(kFeatureCount);
+  KMeansOptions opts;
+  opts.pool = pool;
+  exec::TaskGroup group(pool);
   for (std::size_t f = 0; f < kFeatureCount; ++f) {
-    Matrix column;
-    column.reserve(sessions.size());
-    for (const auto& s : sessions) column.push_back({s.values[f]});
-    Matrix standardized = standardize(column);
-    auto result = kmeans(standardized, k);
-    ranks.push_back(FeatureRank{f, silhouette_score(standardized, result.assignment, k)});
+    group.run([&, f] {
+      Matrix column;
+      column.reserve(sessions.size());
+      for (const auto& s : sessions) column.push_back({s.values[f]});
+      Matrix standardized = standardize(column);
+      auto result = kmeans(standardized, k, opts);
+      ranks[f] = FeatureRank{f, silhouette_score(standardized, result.assignment, k)};
+    });
   }
+  group.wait();
   std::sort(ranks.begin(), ranks.end(),
             [](const FeatureRank& a, const FeatureRank& b) {
               return a.silhouette > b.silhouette;
@@ -110,9 +139,10 @@ std::vector<std::size_t> paper_feature_selection() {
           kFeatPercentU};
 }
 
-SessionClustering cluster_sessions(const CaptureDataset& dataset, int force_k) {
+SessionClustering cluster_sessions(const CaptureDataset& dataset, int force_k,
+                                   exec::Pool* pool) {
   SessionClustering out;
-  out.sessions = extract_session_features(dataset);
+  out.sessions = extract_session_features(dataset, pool);
   out.selected_features = paper_feature_selection();
   if (out.sessions.size() < 8) return out;
 
@@ -126,12 +156,14 @@ SessionClustering cluster_sessions(const CaptureDataset& dataset, int force_k) {
   }
   Matrix standardized = standardize(selected);
 
+  KMeansOptions opts;
+  opts.pool = pool;
   int k_max = static_cast<int>(std::min<std::size_t>(8, out.sessions.size() - 1));
-  out.k_sweep = sweep_k(standardized, 2, k_max);
+  out.k_sweep = sweep_k(standardized, 2, k_max, opts);
   out.chosen_k = force_k > 0 ? force_k : elbow_k(out.k_sweep);
   out.chosen_k = std::min<int>(out.chosen_k, static_cast<int>(out.sessions.size()));
-  out.clustering = kmeans(standardized, out.chosen_k);
-  out.projection = pca(standardized, 2);
+  out.clustering = kmeans(standardized, out.chosen_k, opts);
+  out.projection = pca(standardized, 2, pool);
 
   // Cluster profiles with heuristic interpretations (Fig 11 semantics).
   const int k = out.chosen_k;

@@ -39,8 +39,11 @@ struct SessionFeatures {
   std::vector<double> values;  ///< kFeatureCount entries
 };
 
-/// Extracts all sessions with >= 1 APDU.
-std::vector<SessionFeatures> extract_session_features(const CaptureDataset& dataset);
+/// Extracts all sessions with >= 1 APDU. Sessions are independent, so
+/// extraction fans out per session on `pool` (inline when null); the
+/// output order is the dataset's session-map order either way.
+std::vector<SessionFeatures> extract_session_features(const CaptureDataset& dataset,
+                                                      exec::Pool* pool = nullptr);
 
 /// Mean silhouette of clustering on a single feature (k clusters), used to
 /// rank candidate features as the paper does.
@@ -49,7 +52,8 @@ struct FeatureRank {
   double silhouette;
 };
 std::vector<FeatureRank> rank_features_by_silhouette(
-    const std::vector<SessionFeatures>& sessions, int k = 5);
+    const std::vector<SessionFeatures>& sessions, int k = 5,
+    exec::Pool* pool = nullptr);
 
 /// The paper's selected five features.
 std::vector<std::size_t> paper_feature_selection();
@@ -79,7 +83,10 @@ struct SessionClustering {
 };
 
 /// Runs the paper's session-clustering pipeline. `force_k` pins K (the
-/// paper uses 5); 0 lets the elbow choose.
-SessionClustering cluster_sessions(const CaptureDataset& dataset, int force_k = 5);
+/// paper uses 5); 0 lets the elbow choose. `pool` parallelizes feature
+/// extraction, the k sweep, the final k-means and the PCA — all with
+/// thread-count-invariant results.
+SessionClustering cluster_sessions(const CaptureDataset& dataset, int force_k = 5,
+                                   exec::Pool* pool = nullptr);
 
 }  // namespace uncharted::analysis

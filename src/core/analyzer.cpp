@@ -2,30 +2,61 @@
 
 #include <algorithm>
 
+#include "exec/pool.hpp"
 #include "iec104/constants.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 namespace uncharted::core {
 
+namespace {
+
+unsigned resolve_threads(unsigned threads) {
+  return threads == 0 ? exec::Pool::default_threads() : threads;
+}
+
+}  // namespace
+
 AnalysisReport analyze_dataset(const analysis::CaptureDataset& dataset,
                                analysis::BandwidthReport bandwidth,
-                               const CaptureAnalyzer::Options& options) {
+                               const CaptureAnalyzer::Options& options,
+                               exec::Pool* pool) {
   AnalysisReport report;
   report.stats = dataset.stats();
-  report.flows = analysis::analyze_flows(dataset.flow_table());
+  {
+    ScopedStageTimer t(&report.timings, "flow analysis");
+    report.flows = analysis::analyze_flows(dataset.flow_table());
+  }
   report.compliance = dataset.compliance();
-  report.clustering = analysis::cluster_sessions(dataset, options.cluster_k);
-  report.chains = analysis::build_connection_chains(dataset);
-  report.station_types = analysis::classify_stations(dataset);
-  report.typeids = analysis::typeid_distribution(dataset);
-  report.typeid_stations = analysis::typeid_station_counts(dataset);
-  auto series = analysis::extract_time_series(dataset);
-  report.variance_ranking = analysis::rank_by_normalized_variance(series);
-  if (options.keep_series) report.series = std::move(series);
+  {
+    ScopedStageTimer t(&report.timings, "session clustering");
+    report.clustering = analysis::cluster_sessions(dataset, options.cluster_k, pool);
+  }
+  {
+    ScopedStageTimer t(&report.timings, "markov chains");
+    report.chains = analysis::build_connection_chains(dataset, pool);
+  }
+  {
+    ScopedStageTimer t(&report.timings, "station typing");
+    report.station_types = analysis::classify_stations(dataset);
+    report.typeids = analysis::typeid_distribution(dataset);
+    report.typeid_stations = analysis::typeid_station_counts(dataset);
+  }
+  {
+    ScopedStageTimer t(&report.timings, "time series");
+    auto series = analysis::extract_time_series(dataset);
+    report.variance_ranking = analysis::rank_by_normalized_variance(series);
+    if (options.keep_series) report.series = std::move(series);
+  }
   report.bandwidth = std::move(bandwidth);
-  report.sequence_audit = analysis::audit_sequences(dataset);
-  report.conformance = analysis::audit_conformance(dataset);
+  {
+    ScopedStageTimer t(&report.timings, "sequence audit");
+    report.sequence_audit = analysis::audit_sequences(dataset);
+  }
+  {
+    ScopedStageTimer t(&report.timings, "conformance audit");
+    report.conformance = analysis::audit_conformance(dataset);
+  }
   report.degradation.counters = report.stats.degradation;
   if (report.degradation.counters.any()) {
     report.degradation.warnings.push_back(
@@ -35,13 +66,56 @@ AnalysisReport analyze_dataset(const analysis::CaptureDataset& dataset,
   return report;
 }
 
+AnalysisReport analyze_dataset(const analysis::CaptureDataset& dataset,
+                               analysis::BandwidthReport bandwidth,
+                               const CaptureAnalyzer::Options& options) {
+  unsigned threads = resolve_threads(options.threads);
+  if (threads <= 1) {
+    return analyze_dataset(dataset, std::move(bandwidth), options, nullptr);
+  }
+  exec::Pool pool(threads);
+  return analyze_dataset(dataset, std::move(bandwidth), options, &pool);
+}
+
 AnalysisReport CaptureAnalyzer::analyze(const std::vector<net::CapturedPacket>& packets,
                                         const Options& options) {
   analysis::CaptureDataset::Options ds_opts;
   ds_opts.mode = options.mode;
   ds_opts.parser_mode = options.parser_mode;
-  auto dataset = analysis::CaptureDataset::build(packets, ds_opts);
-  return analyze_dataset(dataset, analysis::analyze_bandwidth(packets), options);
+
+  unsigned threads = resolve_threads(options.threads);
+  if (threads <= 1) {
+    StageTimings build_timings;
+    analysis::CaptureDataset dataset;
+    {
+      ScopedStageTimer t(&build_timings, "ingest");
+      dataset = analysis::CaptureDataset::build(packets, ds_opts);
+    }
+    auto report = analyze_dataset(dataset, analysis::analyze_bandwidth(packets),
+                                  options, nullptr);
+    report.timings.stages.insert(report.timings.stages.begin(),
+                                 build_timings.stages.begin(),
+                                 build_timings.stages.end());
+    return report;
+  }
+
+  exec::Pool pool(threads);
+  StageTimings build_timings;
+  analysis::CaptureDataset dataset;
+  {
+    ScopedStageTimer t(&build_timings, "ingest");
+    dataset = analysis::build_dataset_sharded(
+        packets, ds_opts, &pool, options.shard_count, {}, nullptr,
+        [&build_timings](const char* stage, double wall_ms) {
+          build_timings.add(stage, wall_ms);
+        });
+  }
+  auto report =
+      analyze_dataset(dataset, analysis::analyze_bandwidth(packets), options, &pool);
+  report.timings.stages.insert(report.timings.stages.begin(),
+                               build_timings.stages.begin(),
+                               build_timings.stages.end());
+  return report;
 }
 
 Result<AnalysisReport> CaptureAnalyzer::analyze_file(const std::string& pcap_path,
@@ -85,7 +159,8 @@ void render_deduped_warnings(std::string& out,
 
 }  // namespace
 
-std::string render_report(const AnalysisReport& report, const NameMap& names) {
+std::string render_report(const AnalysisReport& report, const NameMap& names,
+                          const RenderOptions& render_options) {
   std::string out;
 
   out += "== Capture overview ==\n";
@@ -223,7 +298,21 @@ std::string render_report(const AnalysisReport& report, const NameMap& names) {
            format_percent(report.typeids.percentage(type)) + " (" + format_count(count) +
            ")\n";
   }
+
+  // Wall time is nondeterministic, so the footer is opt-in: with it off,
+  // the rendered report stays byte-comparable across runs and thread counts.
+  if (render_options.profile && !report.timings.empty()) {
+    out += "\n== Stage timings (--profile) ==\n";
+    for (const auto& s : report.timings.stages) {
+      out += s.stage + ": " + format_double(s.wall_ms, 2) + " ms\n";
+    }
+    out += "total: " + format_double(report.timings.total_ms(), 2) + " ms\n";
+  }
   return out;
+}
+
+std::string render_report(const AnalysisReport& report, const NameMap& names) {
+  return render_report(report, names, RenderOptions{});
 }
 
 }  // namespace uncharted::core

@@ -15,10 +15,16 @@
 #include "analysis/physical.hpp"
 #include "analysis/seq_audit.hpp"
 #include "analysis/sessions.hpp"
+#include "analysis/sharded.hpp"
 #include "analysis/topology_diff.hpp"
 #include "analysis/typeid_stats.hpp"
 #include "core/names.hpp"
+#include "core/profiler.hpp"
 #include "util/expected.hpp"
+
+namespace uncharted::exec {
+class Pool;
+}  // namespace uncharted::exec
 
 namespace uncharted::core {
 
@@ -57,6 +63,10 @@ struct AnalysisReport {
   analysis::SeqAuditReport sequence_audit;
   analysis::ConformanceReport conformance;
   DegradationReport degradation;
+  /// Wall-clock per-stage timings. NOT part of the deterministic report
+  /// surface: excluded from report_to_json, rendered only with
+  /// RenderOptions.profile.
+  StageTimings timings;
 };
 
 class CaptureAnalyzer {
@@ -67,6 +77,15 @@ class CaptureAnalyzer {
         iec104::ApduStreamParser::Mode::kTolerant;
     int cluster_k = 5;        ///< 0 = pick by elbow
     bool keep_series = true;  ///< retain full time series in the report
+    /// Worker threads for the flow-sharded pipeline and the parallelized
+    /// analytics. 1 = today's sequential path (no pool is created);
+    /// 0 = one per hardware thread. The report is byte-identical at every
+    /// value — see DESIGN.md "Parallel execution model".
+    unsigned threads = 1;
+    /// Shards for the parallel ingest path. Fixed by default (never
+    /// derived from `threads`) so checkpoints and budget slices are
+    /// thread-count independent.
+    std::size_t shard_count = analysis::kDefaultShardCount;
   };
 
   /// Analyzes in-memory packets.
@@ -86,12 +105,28 @@ class CaptureAnalyzer {
 
 /// Shared back half of batch and streaming analysis: every §6 computation
 /// over an already-built dataset. Callers supply the bandwidth report
-/// because only they know how the packets were obtained.
+/// because only they know how the packets were obtained. `pool` fans the
+/// analytics out (clustering restarts and assignment, PCA reductions,
+/// per-connection chains) with thread-count-invariant results; null runs
+/// inline. The three-argument form resolves options.threads itself,
+/// creating a transient pool when it asks for more than one.
+AnalysisReport analyze_dataset(const analysis::CaptureDataset& dataset,
+                               analysis::BandwidthReport bandwidth,
+                               const CaptureAnalyzer::Options& options,
+                               exec::Pool* pool);
 AnalysisReport analyze_dataset(const analysis::CaptureDataset& dataset,
                                analysis::BandwidthReport bandwidth,
                                const CaptureAnalyzer::Options& options);
 
+struct RenderOptions {
+  /// Appends the wall-clock stage-timing footer (nondeterministic; keep
+  /// off when diffing reports).
+  bool profile = false;
+};
+
 /// Human-readable multi-section summary of a report.
+std::string render_report(const AnalysisReport& report, const NameMap& names,
+                          const RenderOptions& render_options);
 std::string render_report(const AnalysisReport& report, const NameMap& names);
 
 }  // namespace uncharted::core

@@ -66,6 +66,200 @@ std::string histogram_to_csv(const LogHistogram& hist) {
   return out;
 }
 
+namespace {
+
+/// JSON number for a double: shortest round-trippable-enough form, fixed
+/// at "%.9g" so the byte sequence is identical across runs and platforms
+/// computing the same value.
+std::string json_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string report_to_json(const AnalysisReport& report) {
+  std::string out = "{";
+
+  const auto& st = report.stats;
+  out += "\"stats\":{";
+  out += "\"packets\":" + std::to_string(st.packets);
+  out += ",\"tcp_packets\":" + std::to_string(st.tcp_packets);
+  out += ",\"undecodable_frames\":" + std::to_string(st.undecodable_frames);
+  out += ",\"iec104_payload_packets\":" + std::to_string(st.iec104_payload_packets);
+  out += ",\"apdus\":" + std::to_string(st.apdus);
+  out += ",\"apdu_failures\":" + std::to_string(st.apdu_failures);
+  out += ",\"c37118_packets\":" + std::to_string(st.c37118_packets);
+  out += ",\"iccp_packets\":" + std::to_string(st.iccp_packets);
+  out += ",\"other_tcp_packets\":" + std::to_string(st.other_tcp_packets);
+  out += ",\"non_compliant_apdus\":" + std::to_string(st.non_compliant_apdus);
+  out += ",\"tcp_retransmissions\":" + std::to_string(st.tcp_retransmissions);
+  out += "}";
+
+  const auto& fs = report.flows.summary;
+  out += ",\"flows\":{";
+  out += "\"total\":" + std::to_string(fs.total);
+  out += ",\"short_lived\":" + std::to_string(fs.short_lived);
+  out += ",\"long_lived\":" + std::to_string(fs.long_lived);
+  out += ",\"short_under_1s\":" + std::to_string(fs.short_under_1s);
+  out += ",\"short_over_1s\":" + std::to_string(fs.short_over_1s);
+  out += "}";
+
+  out += ",\"compliance\":[";
+  bool first = true;
+  for (const auto& [ip, entry] : report.compliance) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"station\":" + json_str(ip.str());
+    out += ",\"i_apdus\":" + std::to_string(entry.i_apdus);
+    out += ",\"non_compliant\":" + std::to_string(entry.non_compliant);
+    out += ",\"profile\":" + json_str(entry.profile.str()) + "}";
+  }
+  out += "]";
+
+  out += ",\"clustering\":{";
+  out += "\"chosen_k\":" + std::to_string(report.clustering.chosen_k);
+  out += ",\"sessions\":" + std::to_string(report.clustering.sessions.size());
+  out += ",\"profiles\":[";
+  first = true;
+  for (const auto& p : report.clustering.profiles) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"cluster\":" + std::to_string(p.cluster);
+    out += ",\"size\":" + std::to_string(p.size);
+    out += ",\"mean_inter_arrival\":" + json_num(p.mean_inter_arrival);
+    out += ",\"mean_packets\":" + json_num(p.mean_packets);
+    out += ",\"pct_i\":" + json_num(p.pct_i);
+    out += ",\"pct_s\":" + json_num(p.pct_s);
+    out += ",\"pct_u\":" + json_num(p.pct_u);
+    out += ",\"interpretation\":" + json_str(p.interpretation) + "}";
+  }
+  out += "]}";
+
+  out += ",\"chains\":[";
+  first = true;
+  for (const auto& c : report.chains) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"a\":" + json_str(c.pair.a.str());
+    out += ",\"b\":" + json_str(c.pair.b.str());
+    out += ",\"nodes\":" + std::to_string(c.nodes);
+    out += ",\"edges\":" + std::to_string(c.edges);
+    out += ",\"has_i100\":" + std::string(c.has_i100 ? "true" : "false");
+    out += ",\"cluster\":" + json_str(analysis::chain_cluster_name(c.cluster)) + "}";
+  }
+  out += "]";
+
+  out += ",\"station_types\":[";
+  first = true;
+  for (const auto& sc : report.station_types) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"station\":" + json_str(sc.station.str());
+    out += ",\"type\":" + std::to_string(static_cast<int>(sc.type)) + "}";
+  }
+  out += "]";
+
+  out += ",\"typeids\":{";
+  out += "\"total\":" + std::to_string(report.typeids.total);
+  out += ",\"counts\":{";
+  first = true;
+  for (const auto& [type, count] : report.typeids.counts) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + std::to_string(static_cast<int>(type)) + "\":" + std::to_string(count);
+  }
+  out += "}}";
+
+  const auto& sa = report.sequence_audit;
+  out += ",\"sequence_audit\":{";
+  out += "\"total_gaps\":" + std::to_string(sa.total_gaps);
+  out += ",\"total_duplicates\":" + std::to_string(sa.total_duplicates);
+  out += ",\"total_ack_violations\":" + std::to_string(sa.total_ack_violations);
+  out += "}";
+
+  const auto& conf = report.conformance;
+  out += ",\"conformance\":{";
+  out += "\"clean\":" + std::to_string(conf.clean_connections);
+  out += ",\"legacy\":" + std::to_string(conf.legacy_connections);
+  out += ",\"suspect\":" + std::to_string(conf.suspect_connections);
+  out += ",\"hostile\":" + std::to_string(conf.hostile_connections);
+  out += ",\"hostile_events\":" + std::to_string(conf.hostile_events);
+  out += ",\"entries\":[";
+  first = true;
+  for (const auto& entry : conf.entries) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"a\":" + json_str(entry.pair.a.str());
+    out += ",\"b\":" + json_str(entry.pair.b.str());
+    out += ",\"verdict\":" + json_str(iec104::verdict_name(entry.verdict)) + "}";
+  }
+  out += "]}";
+
+  out += ",\"bandwidth\":{";
+  out += "\"total_bytes\":{";
+  first = true;
+  for (const auto& [proto, bytes] : report.bandwidth.total_bytes) {
+    if (!first) out += ",";
+    first = false;
+    out += json_str(analysis::tap_protocol_name(proto)) + ":" + std::to_string(bytes);
+  }
+  out += "},\"total_packets\":{";
+  first = true;
+  for (const auto& [proto, packets] : report.bandwidth.total_packets) {
+    if (!first) out += ",";
+    first = false;
+    out += json_str(analysis::tap_protocol_name(proto)) + ":" + std::to_string(packets);
+  }
+  out += "},\"iec104_interarrival_mean_s\":" +
+         json_num(report.bandwidth.iec104_interarrival_s.mean());
+  out += "}";
+
+  const auto& d = report.degradation;
+  out += ",\"degradation\":{";
+  out += "\"degraded\":" + std::string(d.degraded() ? "true" : "false");
+  out += ",\"undecodable_frames\":" + std::to_string(d.counters.undecodable_frames);
+  out += ",\"parser_resyncs\":" + std::to_string(d.counters.parser_resyncs);
+  out += ",\"reassembly_gaps\":" + std::to_string(d.counters.reassembly_gaps);
+  out += ",\"quarantined_connections\":" +
+         std::to_string(d.counters.quarantined_connections);
+  out += ",\"pcap_truncated\":" + std::string(d.pcap_truncated ? "true" : "false");
+  out += ",\"warnings\":[";
+  first = true;
+  for (const auto& w : d.warnings) {
+    if (!first) out += ",";
+    first = false;
+    out += json_str(w);
+  }
+  out += "]}";
+
+  out += "}";
+  return out;
+}
+
 Status write_text_file(const std::string& path, const std::string& content) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (!f) return Err("open-failed", path);

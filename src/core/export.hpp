@@ -10,10 +10,17 @@
 #include "analysis/markov.hpp"
 #include "analysis/physical.hpp"
 #include "analysis/sessions.hpp"
+#include "core/analyzer.hpp"
 #include "util/expected.hpp"
 #include "util/stats.hpp"
 
 namespace uncharted::core {
+
+/// Machine-readable JSON of the full §6 report. Deterministic: map-ordered
+/// keys, doubles through "%.9g", and the wall-clock stage timings are
+/// deliberately excluded — two runs over the same capture produce
+/// byte-identical JSON at any thread count.
+std::string report_to_json(const AnalysisReport& report);
 
 /// Renders a Markov chain as a Graphviz digraph with probability-labelled
 /// edges, e.g. for `dot -Tpng`.

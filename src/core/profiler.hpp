@@ -1,9 +1,15 @@
-// NetworkProfiler: the whitelist the paper's conclusion proposes —
-// correlate cyber profiles (per-connection Markov/bigram models, known
-// endpoints, per-station typeID and IOA sets) with physical profiles
-// (value ranges, the generator-activation signature) and flag deviations.
+// Profiling, in both of this file's senses:
+//  - StageTimings / ScopedStageTimer: wall-clock per-stage timers for the
+//    analysis pipeline (shard fan-out, merge, each §6 analytics stage),
+//    rendered behind --profile and fed by the throughput benchmark.
+//  - NetworkProfiler: the whitelist the paper's conclusion proposes —
+//    correlate cyber profiles (per-connection Markov/bigram models, known
+//    endpoints, per-station typeID and IOA sets) with physical profiles
+//    (value ranges, the generator-activation signature) and flag
+//    deviations.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -16,6 +22,53 @@
 #include "core/names.hpp"
 
 namespace uncharted::core {
+
+/// One timed pipeline stage.
+struct StageTiming {
+  std::string stage;
+  double wall_ms = 0.0;
+};
+
+/// Ordered wall-clock stage timings for one analysis run. Wall time is
+/// inherently nondeterministic, so timings live OUTSIDE every determinism
+/// surface: they are excluded from report_to_json and rendered only when
+/// RenderOptions.profile asks for them.
+struct StageTimings {
+  std::vector<StageTiming> stages;
+
+  void add(std::string stage, double wall_ms) {
+    stages.push_back(StageTiming{std::move(stage), wall_ms});
+  }
+  double total_ms() const {
+    double total = 0.0;
+    for (const auto& s : stages) total += s.wall_ms;
+    return total;
+  }
+  bool empty() const { return stages.empty(); }
+};
+
+/// RAII stage timer: appends to `timings` on destruction; a null target
+/// makes it a no-op so call sites need no conditionals.
+class ScopedStageTimer {
+ public:
+  ScopedStageTimer(StageTimings* timings, std::string stage)
+      : timings_(timings), stage_(std::move(stage)),
+        start_(std::chrono::steady_clock::now()) {}
+  ~ScopedStageTimer() {
+    if (!timings_) return;
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    timings_->add(std::move(stage_),
+                  std::chrono::duration<double, std::milli>(elapsed).count());
+  }
+
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+ private:
+  StageTimings* timings_;
+  std::string stage_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 enum class AnomalyKind {
   kUnknownStation,        ///< endpoint never seen during learning

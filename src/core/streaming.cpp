@@ -3,11 +3,17 @@
 #include <algorithm>
 
 #include "core/checkpoint.hpp"
+#include "exec/pool.hpp"
 #include "util/strings.hpp"
 
 namespace uncharted::core {
 
 namespace {
+
+// Checkpoint payload engine tags: a sharded checkpoint cannot restore into
+// a single builder (or vice versa), so the payload says which wrote it.
+constexpr std::uint8_t kEngineSingle = 1;
+constexpr std::uint8_t kEngineSharded = 2;
 
 analysis::CaptureDataset::Options dataset_options(const StreamingOptions& options) {
   analysis::CaptureDataset::Options ds_opts;
@@ -16,17 +22,47 @@ analysis::CaptureDataset::Options dataset_options(const StreamingOptions& option
   return ds_opts;
 }
 
+unsigned resolve_stream_threads(unsigned threads) {
+  return threads == 0 ? exec::Pool::default_threads() : threads;
+}
+
 }  // namespace
 
 StreamingAnalyzer::StreamingAnalyzer(StreamingOptions options)
-    : options_(std::move(options)),
-      builder_(dataset_options(options_), options_.budgets) {}
+    : options_(std::move(options)) {
+  unsigned threads = resolve_stream_threads(options_.analyze.threads);
+  if (threads > 1) {
+    pool_ = std::make_unique<exec::Pool>(threads);
+    sharded_ = std::make_unique<analysis::ShardedDatasetBuilder>(
+        dataset_options(options_), options_.budgets, pool_.get(),
+        options_.analyze.shard_count);
+  } else {
+    single_ = std::make_unique<analysis::DatasetBuilder>(dataset_options(options_),
+                                                         options_.budgets);
+  }
+}
+
+// Lanes must quiesce before the pool dies: sharded_ (declared after
+// pool_) is destroyed first, joining its TaskGroup.
+StreamingAnalyzer::~StreamingAnalyzer() = default;
+
+std::uint64_t StreamingAnalyzer::packets_consumed() const {
+  return sharded_ ? sharded_->packets_consumed() : single_->packets_consumed();
+}
+
+analysis::ResourcePressure StreamingAnalyzer::pressure() {
+  return sharded_ ? sharded_->pressure() : single_->pressure();
+}
 
 void StreamingAnalyzer::add_packet(const net::CapturedPacket& pkt) {
-  builder_.add_packet(pkt);
+  if (sharded_) {
+    sharded_->add_packet(pkt);
+  } else {
+    single_->add_packet(pkt);
+  }
   bandwidth_.add_packet(pkt);
   if (options_.checkpoint_every_packets > 0 && !options_.checkpoint_path.empty() &&
-      builder_.packets_consumed() - last_checkpoint_packets_ >=
+      packets_consumed() - last_checkpoint_packets_ >=
           options_.checkpoint_every_packets) {
     // A failed periodic write must not stop ingestion (a full disk should
     // degrade durability, not availability); remember it for the report.
@@ -44,12 +80,18 @@ void StreamingAnalyzer::add_packets(std::span<const net::CapturedPacket> packets
 
 Status StreamingAnalyzer::write_checkpoint() {
   ByteWriter w;
-  if (auto st = builder_.save(w); !st) return st;
+  if (sharded_) {
+    w.u8(kEngineSharded);
+    if (auto st = sharded_->save(w); !st) return st;
+  } else {
+    w.u8(kEngineSingle);
+    if (auto st = single_->save(w); !st) return st;
+  }
   bandwidth_.save(w);
   if (auto st = write_checkpoint_file(options_.checkpoint_path, w.view()); !st) {
     return st;
   }
-  last_checkpoint_packets_ = builder_.packets_consumed();
+  last_checkpoint_packets_ = packets_consumed();
   return Status::Ok();
 }
 
@@ -65,9 +107,22 @@ bool StreamingAnalyzer::try_restore() {
   auto payload = read_latest_checkpoint(options_.checkpoint_path);
   if (!payload) return false;  // missing/corrupt/truncated: start fresh
   ByteReader r(payload.value());
-  if (auto st = builder_.load(r); !st) return false;
+  auto engine = r.u8();
+  if (!engine) return false;
+  // An engine (or shard-count) mismatch means the checkpoint was written
+  // under a different --threads configuration; re-ingesting from the start
+  // is always correct, so treat it like a missing checkpoint.
+  if (engine.value() == kEngineSharded) {
+    if (!sharded_) return false;
+    if (auto st = sharded_->load(r); !st) return false;
+  } else if (engine.value() == kEngineSingle) {
+    if (!single_) return false;
+    if (auto st = single_->load(r); !st) return false;
+  } else {
+    return false;
+  }
   if (auto st = bandwidth_.load(r); !st) return false;
-  last_checkpoint_packets_ = builder_.packets_consumed();
+  last_checkpoint_packets_ = packets_consumed();
   return true;
 }
 
@@ -77,16 +132,17 @@ AnalysisReport StreamingAnalyzer::finalize() {
     // of input instead of re-ingesting.
     if (auto st = write_checkpoint(); !st) checkpoint_error_ = st.error().str();
   }
-  auto pressure = builder_.pressure();
-  auto dataset = builder_.finish();
-  auto report = analyze_dataset(dataset, bandwidth_.finish(), options_.analyze);
-  report.degradation.resources = pressure;
-  if (pressure.any()) {
+  auto final_pressure = pressure();
+  auto dataset = sharded_ ? sharded_->finish() : single_->finish();
+  auto report =
+      analyze_dataset(dataset, bandwidth_.finish(), options_.analyze, pool_.get());
+  report.degradation.resources = final_pressure;
+  if (final_pressure.any()) {
     report.degradation.warnings.push_back(
-        "resource budgets enforced: " + format_count(pressure.flow_evictions) +
-        " flow evictions, " + format_count(pressure.reassembly_flushes) +
-        " reassembly flushes, " + format_count(pressure.records_evicted) +
-        " records evicted, " + format_count(pressure.parsers_evicted) +
+        "resource budgets enforced: " + format_count(final_pressure.flow_evictions) +
+        " flow evictions, " + format_count(final_pressure.reassembly_flushes) +
+        " reassembly flushes, " + format_count(final_pressure.records_evicted) +
+        " records evicted, " + format_count(final_pressure.parsers_evicted) +
         " parsers retired — headline metrics undercount accordingly");
   }
   if (!checkpoint_error_.empty()) {

@@ -11,11 +11,17 @@
 // never bound.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <string>
 
 #include "analysis/resource.hpp"
+#include "analysis/sharded.hpp"
 #include "core/analyzer.hpp"
+
+namespace uncharted::exec {
+class Pool;
+}  // namespace uncharted::exec
 
 namespace uncharted::core {
 
@@ -35,6 +41,7 @@ struct StreamingOptions {
 class StreamingAnalyzer {
  public:
   explicit StreamingAnalyzer(StreamingOptions options);
+  ~StreamingAnalyzer();  // out of line: pool_ is only forward-declared here
 
   StreamingAnalyzer(const StreamingAnalyzer&) = delete;
   StreamingAnalyzer& operator=(const StreamingAnalyzer&) = delete;
@@ -48,9 +55,11 @@ class StreamingAnalyzer {
   void add_packets(std::span<const net::CapturedPacket> packets);
 
   /// Packets ingested so far; after try_restore(), the resume cursor.
-  std::uint64_t packets_consumed() const { return builder_.packets_consumed(); }
+  std::uint64_t packets_consumed() const;
 
-  const analysis::ResourcePressure& pressure() const { return builder_.pressure(); }
+  /// Budget enforcement so far. Drains in-flight lane work first on the
+  /// sharded engine, hence by value and non-const.
+  analysis::ResourcePressure pressure();
 
   /// Writes a checkpoint now (error if no checkpoint_path configured).
   Status checkpoint_now();
@@ -69,7 +78,13 @@ class StreamingAnalyzer {
   Status write_checkpoint();
 
   StreamingOptions options_;
-  analysis::DatasetBuilder builder_;
+  /// Engine selection: threads <= 1 uses the single DatasetBuilder (the
+  /// seed code path, byte-for-byte); more threads use the flow-sharded
+  /// builder over pool_. Exactly one of single_/sharded_ is set. pool_ is
+  /// declared first so it outlives the lanes that run on it.
+  std::unique_ptr<exec::Pool> pool_;
+  std::unique_ptr<analysis::DatasetBuilder> single_;
+  std::unique_ptr<analysis::ShardedDatasetBuilder> sharded_;
   analysis::BandwidthAccumulator bandwidth_;
   std::uint64_t last_checkpoint_packets_ = 0;
   std::string checkpoint_error_;  ///< last failed write, for the report

@@ -92,6 +92,37 @@ std::size_t FlowTable::evict_lru(std::size_t max_entries) {
   return evicted;
 }
 
+void FlowTable::merge(FlowTable&& other) {
+  for (auto& [key, theirs] : other.table_) {
+    auto [it, inserted] = table_.try_emplace(key, std::move(theirs));
+    if (inserted) continue;
+    State& ours = it->second;
+    FlowRecord& a = ours.record;
+    const FlowRecord& b = theirs.record;
+    // Same connection seen by both sides: prefer the SYN-oriented key.
+    bool same_dir = a.key == b.key;
+    if (!ours.oriented && theirs.oriented) {
+      if (!same_dir) std::swap(a.packets_fwd, a.packets_rev);
+      a.key = b.key;
+      ours.oriented = true;
+      ours.syn_seq = theirs.syn_seq;
+      same_dir = true;
+    }
+    a.first_ts = std::min(a.first_ts, b.first_ts);
+    a.last_ts = std::max(a.last_ts, b.last_ts);
+    a.packets += b.packets;
+    a.bytes += b.bytes;
+    a.packets_fwd += same_dir ? b.packets_fwd : b.packets_rev;
+    a.packets_rev += same_dir ? b.packets_rev : b.packets_fwd;
+    a.saw_syn |= b.saw_syn;
+    a.saw_synack |= b.saw_synack;
+    a.saw_fin |= b.saw_fin;
+    a.saw_rst |= b.saw_rst;
+    a.syn_rejected_with_rst |= b.syn_rejected_with_rst;
+  }
+  other.table_.clear();
+}
+
 namespace {
 
 void save_record(ByteWriter& w, const FlowRecord& rec) {

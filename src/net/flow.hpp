@@ -87,6 +87,12 @@ class FlowTable {
   /// flows disappear from flows(); callers account them as pressure.
   std::size_t evict_lru(std::size_t max_entries);
 
+  /// Folds another table into this one. Flow-sharded builders produce
+  /// disjoint tables (a connection lives wholly in one shard), so the
+  /// common case is a plain insert; a colliding connection is merged
+  /// field-by-field, preferring the oriented (SYN-observed) record's key.
+  void merge(FlowTable&& other);
+
   /// Checkpoint serialization of every tracked connection.
   void save(ByteWriter& w) const;
   Status load(ByteReader& r);

@@ -37,6 +37,24 @@ Result<DecodedFrame> decode_frame(std::span<const std::uint8_t> frame) {
   return out;
 }
 
+std::optional<std::pair<Ipv4Addr, Ipv4Addr>> peek_ipv4_pair(
+    std::span<const std::uint8_t> frame) {
+  // Ethernet (14) + IPv4 fixed header (20): src at 26, dst at 30.
+  constexpr std::size_t kSrcOffset = EthernetHeader::kSize + 12;
+  if (frame.size() < kSrcOffset + 8) return std::nullopt;
+  std::uint16_t ether_type = static_cast<std::uint16_t>(frame[12] << 8 | frame[13]);
+  if (ether_type != kEtherTypeIpv4) return std::nullopt;
+  auto read_u32 = [&](std::size_t off) {
+    return static_cast<std::uint32_t>(frame[off]) << 24 |
+           static_cast<std::uint32_t>(frame[off + 1]) << 16 |
+           static_cast<std::uint32_t>(frame[off + 2]) << 8 |
+           static_cast<std::uint32_t>(frame[off + 3]);
+  };
+  Ipv4Addr src{read_u32(kSrcOffset)};
+  Ipv4Addr dst{read_u32(kSrcOffset + 4)};
+  return std::make_pair(src, dst);
+}
+
 std::vector<std::uint8_t> build_tcp_frame(const TcpSegmentSpec& spec) {
   Ipv4Header ip;
   ip.src = spec.src_ip;

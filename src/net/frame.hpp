@@ -3,7 +3,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "net/headers.hpp"
@@ -24,6 +26,14 @@ struct DecodedFrame {
 /// Decodes an Ethernet frame expected to carry IPv4+TCP.
 /// Errors: non-IPv4 ethertype, non-TCP protocol, truncation, bad checksum.
 Result<DecodedFrame> decode_frame(std::span<const std::uint8_t> frame);
+
+/// Cheapest possible look at a raw frame: the IPv4 source/destination
+/// addresses, if the buffer is long enough to carry an IPv4 header after
+/// Ethernet. No checksum validation, no TCP decode — this exists so the
+/// shard dispatcher can route a packet by endpoint pair without paying for
+/// (or depending on the success of) the full decode.
+std::optional<std::pair<Ipv4Addr, Ipv4Addr>> peek_ipv4_pair(
+    std::span<const std::uint8_t> frame);
 
 /// Parameters for building one TCP segment as a full Ethernet frame.
 struct TcpSegmentSpec {

@@ -9,6 +9,8 @@
 // the contract, exactness as the implementation's stronger property.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -57,7 +59,11 @@ const KillRestoreRun& run_at(double rate) {
   KillRestoreRun run;
   run.batch = core::CaptureAnalyzer::analyze(packets, analyze_options());
 
-  auto ckpt = ::testing::TempDir() + "streaming_chaos_" + std::to_string(rate) + ".ckpt";
+  // Per-process path: each TEST in this file runs as its own ctest process
+  // and re-runs the kill/restore; under `ctest -j` a shared path would let
+  // one process restore from another's shutdown checkpoint.
+  auto ckpt = ::testing::TempDir() + "streaming_chaos_" + std::to_string(::getpid()) +
+              "_" + std::to_string(rate) + ".ckpt";
   std::filesystem::remove(ckpt);
   std::filesystem::remove(ckpt + ".1");
 

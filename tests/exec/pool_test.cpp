@@ -1,0 +1,133 @@
+#include "exec/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace uncharted::exec {
+namespace {
+
+TEST(Pool, DefaultThreadsIsAtLeastOne) {
+  EXPECT_GE(Pool::default_threads(), 1u);
+}
+
+TEST(Pool, RunsSubmittedTasks) {
+  Pool pool(4);
+  std::atomic<int> count{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 100; ++i) {
+    group.run([&] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(Pool, TaskGroupWithNullPoolRunsInline) {
+  TaskGroup group(nullptr);
+  int count = 0;
+  group.run([&] { ++count; });
+  group.run([&] { ++count; });
+  group.wait();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Pool, TaskGroupPropagatesFirstException) {
+  Pool pool(2);
+  TaskGroup group(&pool);
+  for (int i = 0; i < 8; ++i) {
+    group.run([i] {
+      if (i == 3) throw std::runtime_error("task failed");
+    });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST(Pool, NestedFanOutDoesNotDeadlock) {
+  // Inner groups wait inside worker tasks; wait() must help execute queued
+  // work instead of blocking a worker on work only that worker could run.
+  Pool pool(2);
+  std::atomic<int> leaf{0};
+  TaskGroup outer(&pool);
+  for (int i = 0; i < 8; ++i) {
+    outer.run([&] {
+      TaskGroup inner(&pool);
+      for (int j = 0; j < 8; ++j) {
+        inner.run([&] { leaf.fetch_add(1, std::memory_order_relaxed); });
+      }
+      inner.wait();
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(leaf.load(), 64);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  Pool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(&pool, hits.size(), 16, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelFor, NullPoolRunsInline) {
+  std::vector<int> out(257, 0);
+  parallel_for(nullptr, out.size(), 64,
+               [&](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) out[i] = 1;
+               });
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0),
+            static_cast<int>(out.size()));
+}
+
+TEST(ParallelFor, EmptyRangeIsANoOp) {
+  Pool pool(2);
+  bool called = false;
+  parallel_for(&pool, 0, 16, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, ChunkBoundariesDependOnlyOnSizeAndGrain) {
+  // The determinism contract: the same (n, grain) must produce the same
+  // chunk decomposition whether or not a pool is attached.
+  std::vector<std::pair<std::size_t, std::size_t>> inline_chunks;
+  parallel_for(nullptr, 100, 7, [&](std::size_t b, std::size_t e) {
+    inline_chunks.emplace_back(b, e);
+  });
+  Pool pool(4);
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> pooled_chunks;
+  parallel_for(&pool, 100, 7, [&](std::size_t b, std::size_t e) {
+    std::lock_guard<std::mutex> lock(m);
+    pooled_chunks.emplace_back(b, e);
+  });
+  std::sort(pooled_chunks.begin(), pooled_chunks.end());
+  std::sort(inline_chunks.begin(), inline_chunks.end());
+  EXPECT_EQ(pooled_chunks, inline_chunks);
+}
+
+TEST(Pool, ManyWaitersOnOnePool) {
+  // Sequential groups reusing one pool must each see all their tasks done.
+  Pool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    TaskGroup group(&pool);
+    for (int i = 0; i < 50; ++i) {
+      group.run([&] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    group.wait();
+    ASSERT_EQ(count.load(), 50) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace uncharted::exec
