@@ -1,5 +1,7 @@
 #include "iec104/apdu.hpp"
 
+#include "iec104/seq15.hpp"
+
 namespace uncharted::iec104 {
 
 std::string format_name(ApduFormat f) {
@@ -14,8 +16,8 @@ std::string format_name(ApduFormat f) {
 Apdu Apdu::make_i(std::uint16_t ns, std::uint16_t nr, Asdu a) {
   Apdu apdu;
   apdu.format = ApduFormat::kI;
-  apdu.send_seq = static_cast<std::uint16_t>(ns & 0x7fff);
-  apdu.recv_seq = static_cast<std::uint16_t>(nr & 0x7fff);
+  apdu.send_seq = seq15(ns);
+  apdu.recv_seq = seq15(nr);
   apdu.asdu = std::move(a);
   return apdu;
 }
@@ -23,7 +25,7 @@ Apdu Apdu::make_i(std::uint16_t ns, std::uint16_t nr, Asdu a) {
 Apdu Apdu::make_s(std::uint16_t nr) {
   Apdu apdu;
   apdu.format = ApduFormat::kS;
-  apdu.recv_seq = static_cast<std::uint16_t>(nr & 0x7fff);
+  apdu.recv_seq = seq15(nr);
   return apdu;
 }
 

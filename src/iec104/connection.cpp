@@ -239,10 +239,10 @@ ConnectionEngine::Snapshot ConnectionEngine::snapshot() const {
 
 void ConnectionEngine::restore(const Snapshot& s) {
   started_ = s.started;
-  vs_ = static_cast<std::uint16_t>(s.vs % kSeqModulo);
-  vr_ = static_cast<std::uint16_t>(s.vr % kSeqModulo);
-  ack_sent_ = static_cast<std::uint16_t>(s.ack_sent % kSeqModulo);
-  peer_acked_ = static_cast<std::uint16_t>(s.peer_acked % kSeqModulo);
+  vs_ = seq15(s.vs);
+  vr_ = seq15(s.vr);
+  ack_sent_ = seq15(s.ack_sent);
+  peer_acked_ = seq15(s.peer_acked);
   recv_since_ack_ = s.recv_since_ack;
   last_activity_ = s.last_activity;
   t1_deadline_ = s.t1_deadline;

@@ -8,6 +8,7 @@
 #include "iccp/iccp.hpp"
 #include "iec104/apdu.hpp"
 #include "iec104/constants.hpp"
+#include "iec104/seq15.hpp"
 #include "power/agc.hpp"
 #include "power/grid.hpp"
 #include "sim/scheduler.hpp"
@@ -26,6 +27,7 @@ using iec104::Cause;
 using iec104::CodecProfile;
 using iec104::TypeId;
 using iec104::UFunction;
+using iec104::seq15_next;
 
 // Capture start epochs: 2019-06-15 and 2020-06-13, 00:00 UTC.
 constexpr Timestamp kY1Start = 1560556800ULL * kMicrosPerSecond;
@@ -139,7 +141,7 @@ class CaptureBuilder {
 
   Timestamp send_i_from_out(Link& link, Timestamp ts, Asdu asdu) {
     Apdu apdu = Apdu::make_i(link.ns_out, link.ns_ctl, std::move(asdu));
-    link.ns_out = static_cast<std::uint16_t>((link.ns_out + 1) % 32768);
+    link.ns_out = seq15_next(link.ns_out);
     ts = send_apdu(link, ts, /*from_ctl=*/false, apdu);
     if (++link.unacked_from_out >= 8) {
       ts += 2000 + rng_.below(4000);
@@ -151,7 +153,7 @@ class CaptureBuilder {
 
   Timestamp send_i_from_ctl(Link& link, Timestamp ts, Asdu asdu) {
     Apdu apdu = Apdu::make_i(link.ns_ctl, link.ns_out, std::move(asdu));
-    link.ns_ctl = static_cast<std::uint16_t>((link.ns_ctl + 1) % 32768);
+    link.ns_ctl = seq15_next(link.ns_ctl);
     return send_apdu(link, ts, /*from_ctl=*/true, apdu);
   }
 
