@@ -123,8 +123,13 @@ void ApduStreamParser::parse_buffer(Timestamp ts) {
       pos = next;
       continue;
     }
-    if (pos + 2 > buffer_.size()) break;  // need the length octet
-    const std::size_t frame_len = 2 + static_cast<std::size_t>(buffer_[pos + 1]);
+    // Length octet via the bounds-checked reader (start byte already
+    // validated above); an absent octet means the frame is still arriving.
+    ByteReader header(std::span<const std::uint8_t>(buffer_).subspan(pos));
+    (void)header.u8();
+    const auto length_octet = header.u8();
+    if (!length_octet) break;  // need the length octet
+    const std::size_t frame_len = 2 + static_cast<std::size_t>(length_octet.value());
     if (pos + frame_len > buffer_.size()) break;  // incomplete frame
 
     std::span<const std::uint8_t> frame(buffer_.data() + pos, frame_len);

@@ -335,9 +335,10 @@ Result<Frame> decode_frame(std::span<const std::uint8_t> bytes,
   }
   if (bytes.size() < 16) return Err("truncated", "frame too small");
   std::uint16_t expected = crc_ccitt(bytes.subspan(0, bytes.size() - 2));
-  std::uint16_t actual = static_cast<std::uint16_t>((bytes[bytes.size() - 2] << 8) |
-                                                    bytes[bytes.size() - 1]);
-  if (expected != actual) return Err("bad-crc");
+  ByteReader crc_tail(bytes.subspan(bytes.size() - 2));
+  const auto actual = crc_tail.u16be();
+  if (!actual) return Err("truncated", "CRC tail");
+  if (expected != actual.value()) return Err("bad-crc");
 
   ByteReader r(bytes.subspan(14, bytes.size() - 16));
   switch (header->type) {
