@@ -1,0 +1,16 @@
+// Fixture: valid suppressions — this mini-repo scans clean with exactly two
+// counted waivers (same-line form and line-above form). Never compiled.
+#include <random>
+#include <unordered_map>
+
+namespace fixture {
+
+void waived() {
+  std::unordered_map<int, int> scratch;  // UNCHARTED-LINT-ALLOW(determinism-unordered-container): drained into a sorted vector before any report sees it
+  // UNCHARTED-LINT-ALLOW(determinism-unseeded-rng): exercises the line-above suppression form
+  std::random_device rd;
+  (void)scratch;
+  (void)rd;
+}
+
+}  // namespace fixture

@@ -1,0 +1,6 @@
+// Golden-bad fixture: the RNG rule also covers bench/. Never compiled.
+#include <cstdlib>
+
+int main() {
+  return rand();  // line 5: determinism-unseeded-rng
+}

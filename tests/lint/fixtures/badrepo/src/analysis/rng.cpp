@@ -1,0 +1,16 @@
+// Golden-bad fixture: determinism-unseeded-rng. Never compiled.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+int jitter() {
+  std::random_device rd;                              // line 9
+  std::mt19937 gen(rd());                             // line 10
+  std::srand(static_cast<unsigned>(time(nullptr)));   // line 11
+  (void)gen;
+  return rand() % 3;                                  // line 13
+}
+
+}  // namespace fixture

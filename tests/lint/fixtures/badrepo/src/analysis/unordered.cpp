@@ -1,0 +1,23 @@
+// Golden-bad fixture: determinism container rules. Never compiled; scanned
+// by test_lint, which asserts the exact rule ids and lines below.
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+void containers() {
+  std::unordered_map<int, int> counts;   // line 11: determinism-unordered-container
+  std::unordered_set<long> seen;         // line 12: determinism-unordered-container
+  std::map<const char*, int> by_name;    // line 13: determinism-pointer-key
+  std::set<int*> live;                   // line 14: determinism-pointer-key
+  std::map<int, const char*> names;      // clean: pointer is the mapped type
+  (void)counts;
+  (void)seen;
+  (void)by_name;
+  (void)live;
+  (void)names;
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Golden-bad fixture: suppression misuse. Never compiled.
+#include <unordered_map>
+
+namespace fixture {
+
+void bad_allow() {
+  std::unordered_map<int, int> a;  // UNCHARTED-LINT-ALLOW(determinism-unordered-container)
+  std::unordered_map<int, int> b;  // UNCHARTED-LINT-ALLOW(no-such-rule): the id does not exist
+  // UNCHARTED-LINT-ALLOW(determinism-pointer-key): nothing below to waive
+  int c = 0;
+  (void)a;
+  (void)b;
+  (void)c;
+}
+
+}  // namespace fixture

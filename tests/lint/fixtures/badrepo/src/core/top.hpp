@@ -1,0 +1,5 @@
+// Golden-bad fixture: this direction (core -> util) is legal; the cycle is
+// closed by uplayer.hpp's edge back up. Never compiled.
+#pragma once
+
+#include "util/uplayer.hpp"

@@ -1,0 +1,15 @@
+// Golden-bad fixture: decoder byte-safety rules. Never compiled.
+#include <cstdint>
+#include <cstring>
+
+namespace fixture {
+
+std::uint16_t peek(const std::uint8_t* buf, unsigned long pos) {
+  std::uint8_t hi = buf[pos + 1];       // line 8: decoder-byte-index
+  std::uint8_t lo = buf[pos];           // clean: single index, no arithmetic
+  std::uint8_t scratch[4];
+  std::memcpy(scratch, buf, 4);         // line 11: decoder-memcpy
+  return static_cast<std::uint16_t>((hi << 8) | (lo & scratch[0]));
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Golden-bad fixture: seq15-raw-arith. Never compiled.
+#include <cstdint>
+
+namespace fixture {
+
+std::uint16_t bump(std::uint16_t ns) {
+  std::uint16_t next = static_cast<std::uint16_t>((ns + 1) % 32768);  // line 7
+  std::uint16_t mask = static_cast<std::uint16_t>(ns & 0x7FFF);      // line 8
+  next %= 32768;                                                     // line 9
+  std::uint16_t hex = static_cast<std::uint16_t>(ns % 0x8000);       // line 10
+  std::uint16_t pct = static_cast<std::uint16_t>(ns % 100);  // clean: not 2^15
+  return static_cast<std::uint16_t>(next ^ mask ^ hex ^ pct);
+}
+
+}  // namespace fixture

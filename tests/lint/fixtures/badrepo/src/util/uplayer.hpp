@@ -1,0 +1,5 @@
+// Golden-bad fixture: util (rank 0) reaching up into core (rank 5); the
+// edge also closes an include cycle with core/top.hpp. Never compiled.
+#pragma once
+
+#include "core/top.hpp"

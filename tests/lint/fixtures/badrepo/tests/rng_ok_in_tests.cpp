@@ -1,0 +1,7 @@
+// Negative fixture: tests/ is exempt from the RNG rule, so this file must
+// produce zero findings. Never compiled.
+#include <cstdlib>
+
+int main() {
+  return rand();  // clean: tests zone
+}

@@ -1,0 +1,150 @@
+// Tokenizer tests: the rules are only as good as the lexical view they run
+// on, so pin down exactly the behaviors they rely on — comment capture,
+// literal-content dropping, multi-char operators, include extraction, and
+// line numbering.
+#include "tools/lint/token.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace uncharted::lint {
+namespace {
+
+std::vector<Token> code_tokens(const std::string& src) {
+  std::vector<Token> out;
+  for (const Token& t : lex(src)) {
+    if (t.kind != Tok::kComment && t.kind != Tok::kInclude) out.push_back(t);
+  }
+  return out;
+}
+
+bool has_ident(const std::vector<Token>& tokens, const std::string& name) {
+  return std::any_of(tokens.begin(), tokens.end(), [&](const Token& t) {
+    return t.kind == Tok::kIdent && t.text == name;
+  });
+}
+
+TEST(LintLexer, IdentifiersNumbersAndLines) {
+  const auto tokens = lex("int a = 1;\nlong b = 0x7fff;\n");
+  ASSERT_GE(tokens.size(), 8u);
+  EXPECT_EQ(tokens[0].kind, Tok::kIdent);
+  EXPECT_EQ(tokens[0].text, "int");
+  EXPECT_EQ(tokens[0].line, 1);
+  const Token& hex = tokens[8];
+  EXPECT_EQ(hex.kind, Tok::kNumber);
+  EXPECT_EQ(hex.text, "0x7fff");
+  EXPECT_EQ(hex.line, 2);
+}
+
+TEST(LintLexer, StringAndCharContentsAreDropped) {
+  // Literal contents must never leak identifiers into the rules: the lint
+  // tool's own source mentions banned names inside strings.
+  const auto tokens = code_tokens(
+      "const char* s = \"std::unordered_map rand() % 32768\";\n"
+      "char c = 'x';\n");
+  EXPECT_FALSE(has_ident(tokens, "unordered_map"));
+  EXPECT_FALSE(has_ident(tokens, "rand"));
+  const auto strings = std::count_if(
+      tokens.begin(), tokens.end(),
+      [](const Token& t) { return t.kind == Tok::kString; });
+  EXPECT_EQ(strings, 1);
+}
+
+TEST(LintLexer, RawStringsAreDropped) {
+  const auto tokens = code_tokens(
+      "auto j = R\"json({\"key\": \"unordered_map\"})json\";\n"
+      "int after = 1;\n");
+  EXPECT_FALSE(has_ident(tokens, "unordered_map"));
+  ASSERT_TRUE(has_ident(tokens, "after"));
+  for (const Token& t : tokens) {
+    if (t.kind == Tok::kIdent && t.text == "after") EXPECT_EQ(t.line, 2);
+  }
+}
+
+TEST(LintLexer, CommentsAreCapturedWithLines) {
+  const auto tokens = lex(
+      "int a; // UNCHARTED-LINT-ALLOW(rule): why\n"
+      "/* block\nspanning */ int b;\n");
+  std::vector<const Token*> comments;
+  for (const Token& t : tokens) {
+    if (t.kind == Tok::kComment) comments.push_back(&t);
+  }
+  ASSERT_EQ(comments.size(), 2u);
+  EXPECT_NE(comments[0]->text.find("UNCHARTED-LINT-ALLOW"), std::string::npos);
+  EXPECT_EQ(comments[0]->line, 1);
+  EXPECT_EQ(comments[1]->line, 2);
+  // The declaration after the block comment is on line 3.
+  bool saw_b = false;
+  for (const Token& t : tokens) {
+    if (t.kind == Tok::kIdent && t.text == "b") {
+      saw_b = true;
+      EXPECT_EQ(t.line, 3);
+    }
+  }
+  EXPECT_TRUE(saw_b);
+}
+
+TEST(LintLexer, MultiCharOperatorsAreSingleTokens) {
+  // `->` and `++` must not decay into `-`/`+` or the subscript rule would
+  // misread `arr[p->idx]` as offset arithmetic.
+  const auto tokens = code_tokens("a[p->idx]; b[i++]; c << 2; d %= 3;");
+  for (const Token& t : tokens) {
+    if (t.kind != Tok::kPunct) continue;
+    EXPECT_NE(t.text, "-");
+    EXPECT_NE(t.text, "+");
+  }
+  bool saw_arrow = false, saw_incr = false, saw_modassign = false;
+  for (const Token& t : tokens) {
+    saw_arrow |= t.kind == Tok::kPunct && t.text == "->";
+    saw_incr |= t.kind == Tok::kPunct && t.text == "++";
+    saw_modassign |= t.kind == Tok::kPunct && t.text == "%=";
+  }
+  EXPECT_TRUE(saw_arrow);
+  EXPECT_TRUE(saw_incr);
+  EXPECT_TRUE(saw_modassign);
+}
+
+TEST(LintLexer, IncludeDirectivesBecomeIncludeTokens) {
+  const auto tokens = lex(
+      "#include \"util/bytes.hpp\"\n"
+      "#include <vector>\n"
+      "#define FOO 1\n"
+      "int x;\n");
+  std::vector<const Token*> includes;
+  for (const Token& t : tokens) {
+    if (t.kind == Tok::kInclude) includes.push_back(&t);
+  }
+  ASSERT_EQ(includes.size(), 2u);
+  EXPECT_EQ(includes[0]->text, "util/bytes.hpp");
+  EXPECT_FALSE(includes[0]->angled);
+  EXPECT_EQ(includes[1]->text, "vector");
+  EXPECT_TRUE(includes[1]->angled);
+  // The #define body must not contribute code tokens.
+  EXPECT_FALSE(has_ident(code_tokens("#define EVIL rand()\n"), "rand"));
+}
+
+TEST(LintLexer, DigitSeparatorsAndSuffixes) {
+  const auto tokens = code_tokens("auto a = 32'768u; auto b = 0x7fffULL;");
+  int numbers = 0;
+  for (const Token& t : tokens) {
+    if (t.kind == Tok::kNumber) {
+      ++numbers;
+      EXPECT_TRUE(t.text == "32'768u" || t.text == "0x7fffULL") << t.text;
+    }
+  }
+  EXPECT_EQ(numbers, 2);
+}
+
+TEST(LintLexer, UnterminatedConstructsDoNotLoop) {
+  // Scanner must degrade gracefully on any input, like the decoders.
+  EXPECT_NO_FATAL_FAILURE(lex("/* never closed"));
+  EXPECT_NO_FATAL_FAILURE(lex("\"never closed"));
+  EXPECT_NO_FATAL_FAILURE(lex("R\"raw(never closed"));
+  EXPECT_NO_FATAL_FAILURE(lex("#include \"unclosed"));
+}
+
+}  // namespace
+}  // namespace uncharted::lint

@@ -1,0 +1,344 @@
+#include "engine.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+#include "include_graph.hpp"
+#include "token.hpp"
+
+namespace fs = std::filesystem;
+
+namespace uncharted::lint {
+namespace {
+
+constexpr const char* kAllowMarker = "UNCHARTED-LINT-ALLOW(";
+
+/// Default scan roots under the repository root.
+constexpr std::array<const char*, 5> kDefaultRoots = {"src", "bench",
+                                                      "examples", "tests",
+                                                      "tools"};
+
+/// Excluded from the default walk: golden-bad lint fixtures.
+constexpr const char* kFixtureExclude = "tests/lint/fixtures";
+
+bool has_source_extension(const fs::path& p) {
+  static const std::array<const char*, 7> kExts = {
+      ".cpp", ".cc", ".cxx", ".hpp", ".h", ".hxx", ".ipp"};
+  const std::string ext = p.extension().string();
+  return std::find(kExts.begin(), kExts.end(), ext) != kExts.end();
+}
+
+Zone zone_of(const std::string& rel_path) {
+  const std::size_t slash = rel_path.find('/');
+  const std::string head = rel_path.substr(0, slash);
+  if (head == "src") return Zone::kSrc;
+  if (head == "bench") return Zone::kBench;
+  if (head == "examples") return Zone::kExamples;
+  if (head == "tests") return Zone::kTests;
+  if (head == "tools") return Zone::kTools;
+  return Zone::kOther;
+}
+
+std::string module_of(const std::string& rel_path) {
+  if (rel_path.rfind("src/", 0) != 0) return "";
+  const std::size_t start = 4;
+  const std::size_t slash = rel_path.find('/', start);
+  if (slash == std::string::npos) return "";  // file directly under src/
+  return rel_path.substr(start, slash - start);
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) throw std::runtime_error("unchartedlint: cannot read " + p.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+struct Suppression {
+  std::vector<std::string> rules;
+  int line = 0;
+  std::string justification;
+  bool used = false;
+};
+
+/// Parses UNCHARTED-LINT-ALLOW annotations out of a file's comment tokens.
+/// Syntax errors become (unsuppressible) findings immediately.
+std::vector<Suppression> parse_suppressions(const FileContext& ctx,
+                                            const std::vector<Token>& tokens,
+                                            std::vector<Finding>& out) {
+  std::vector<Suppression> result;
+  for (const Token& t : tokens) {
+    if (t.kind != Tok::kComment) continue;
+    std::size_t at = t.text.find(kAllowMarker);
+    while (at != std::string::npos) {
+      const std::size_t open = at + std::string(kAllowMarker).size();
+      const std::size_t close = t.text.find(')', open);
+      if (close == std::string::npos) {
+        out.push_back(Finding{"lint-allow-malformed", ctx.rel_path, t.line,
+                              "unterminated UNCHARTED-LINT-ALLOW(...)"});
+        break;
+      }
+      Suppression s;
+      s.line = t.line;
+      std::string rule_list = t.text.substr(open, close - open);
+      std::size_t pos = 0;
+      while (pos <= rule_list.size()) {
+        const std::size_t comma = rule_list.find(',', pos);
+        const std::string id = trim(rule_list.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos));
+        if (!id.empty()) s.rules.push_back(id);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+      if (s.rules.empty()) {
+        out.push_back(Finding{"lint-allow-malformed", ctx.rel_path, t.line,
+                              "UNCHARTED-LINT-ALLOW with an empty rule list"});
+      }
+      // Unknown ids are reported and dropped so the same mistake does not
+      // additionally surface as lint-allow-unused.
+      std::vector<std::string> known;
+      for (const std::string& id : s.rules) {
+        if (is_known_rule(id)) {
+          known.push_back(id);
+        } else {
+          out.push_back(Finding{
+              "lint-allow-unknown-rule", ctx.rel_path, t.line,
+              "UNCHARTED-LINT-ALLOW names unknown rule '" + id +
+                  "' (see `unchartedlint --list-rules`)"});
+        }
+      }
+      s.rules = std::move(known);
+      // Mandatory justification: a ':' after the ')' and non-empty text.
+      std::size_t rest_begin = close + 1;
+      std::string justification;
+      if (rest_begin < t.text.size() && t.text[rest_begin] == ':') {
+        std::string rest = t.text.substr(rest_begin + 1);
+        const std::size_t block_end = rest.rfind("*/");
+        if (block_end != std::string::npos) rest = rest.substr(0, block_end);
+        justification = trim(rest);
+      }
+      if (justification.empty()) {
+        out.push_back(Finding{
+            "lint-allow-missing-justification", ctx.rel_path, t.line,
+            "UNCHARTED-LINT-ALLOW requires a justification: "
+            "`// UNCHARTED-LINT-ALLOW(rule): why this is safe`"});
+      } else if (!s.rules.empty()) {
+        s.justification = justification;
+        result.push_back(std::move(s));
+      }
+      at = t.text.find(kAllowMarker, close);
+    }
+  }
+  return result;
+}
+
+void sort_and_dedupe(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return a.file == b.file && a.line == b.line &&
+                                      a.rule == b.rule;
+                             }),
+                 findings.end());
+}
+
+void json_escape(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+Report run_scan(const Options& options) {
+  const fs::path root(options.root);
+  if (!fs::exists(root)) {
+    throw std::runtime_error("unchartedlint: root does not exist: " +
+                             root.string());
+  }
+
+  // Collect the file set, sorted for deterministic output.
+  std::vector<std::string> files;
+  auto collect = [&](const fs::path& base, bool apply_excludes) {
+    if (fs::is_regular_file(base)) {
+      files.push_back(fs::relative(base, root).generic_string());
+      return;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file() || !has_source_extension(entry.path())) {
+        continue;
+      }
+      const std::string rel = fs::relative(entry.path(), root).generic_string();
+      if (apply_excludes && rel.rfind(kFixtureExclude, 0) == 0) continue;
+      files.push_back(rel);
+    }
+  };
+  if (options.paths.empty()) {
+    for (const char* sub : kDefaultRoots) {
+      const fs::path base = root / sub;
+      if (fs::exists(base)) collect(base, /*apply_excludes=*/true);
+    }
+  } else {
+    for (const std::string& p : options.paths) {
+      const fs::path base = root / p;
+      if (!fs::exists(base)) {
+        throw std::runtime_error("unchartedlint: no such path: " +
+                                 base.string());
+      }
+      collect(base, /*apply_excludes=*/false);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  Report report;
+  IncludeGraph graph;
+  std::vector<Finding> findings;
+  std::map<std::string, std::vector<Suppression>> suppressions_by_file;
+
+  for (const std::string& rel : files) {
+    FileContext ctx;
+    ctx.rel_path = rel;
+    ctx.zone = zone_of(rel);
+    ctx.module = module_of(rel);
+    const std::vector<Token> tokens = lex(read_file(root / rel));
+    ++report.files_scanned;
+    suppressions_by_file[rel] = parse_suppressions(ctx, tokens, findings);
+    run_token_rules(ctx, tokens, findings);
+    graph.add_file(ctx, tokens);
+  }
+  graph.check(findings);
+
+  // Apply suppressions: an ALLOW covers matching findings on its own line
+  // or the line directly below. Meta findings (lint-allow-*) are never
+  // suppressible.
+  std::vector<Finding> kept;
+  for (Finding& f : findings) {
+    bool suppressed = false;
+    if (f.rule.rfind("lint-allow-", 0) != 0) {
+      for (Suppression& s : suppressions_by_file[f.file]) {
+        if (s.line != f.line && s.line != f.line - 1) continue;
+        if (std::find(s.rules.begin(), s.rules.end(), f.rule) ==
+            s.rules.end()) {
+          continue;
+        }
+        s.used = true;
+        suppressed = true;
+        report.suppressions.push_back(
+            SuppressionUse{f.rule, f.file, f.line, s.justification});
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(f));
+  }
+
+  // A suppression that matched nothing is stale and must be removed.
+  for (auto& [file, suppressions] : suppressions_by_file) {
+    for (const Suppression& s : suppressions) {
+      if (s.used) continue;
+      std::string rules;
+      for (const std::string& id : s.rules) {
+        rules += (rules.empty() ? "" : ", ") + id;
+      }
+      kept.push_back(Finding{"lint-allow-unused", file, s.line,
+                             "UNCHARTED-LINT-ALLOW(" + rules +
+                                 ") matches no finding; remove the stale "
+                                 "suppression"});
+    }
+  }
+
+  sort_and_dedupe(kept);
+  report.violations = std::move(kept);
+  std::sort(report.suppressions.begin(), report.suppressions.end(),
+            [](const SuppressionUse& a, const SuppressionUse& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return report;
+}
+
+std::string render_text(const Report& report) {
+  std::ostringstream out;
+  for (const Finding& f : report.violations) {
+    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << "\n";
+  }
+  for (const SuppressionUse& s : report.suppressions) {
+    out << "note: " << s.file << ":" << s.line << ": suppressed [" << s.rule
+        << "]: " << s.justification << "\n";
+  }
+  out << "unchartedlint: " << report.violations.size() << " violation(s), "
+      << report.suppressions.size() << " suppression(s), "
+      << report.files_scanned << " file(s) scanned\n";
+  return out.str();
+}
+
+std::string render_json(const Report& report) {
+  std::ostringstream out;
+  out << "{\n  \"tool\": \"unchartedlint\",\n";
+  out << "  \"files_scanned\": " << report.files_scanned << ",\n";
+  out << "  \"violations\": [";
+  for (std::size_t i = 0; i < report.violations.size(); ++i) {
+    const Finding& f = report.violations[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"rule\": ";
+    json_escape(out, f.rule);
+    out << ", \"file\": ";
+    json_escape(out, f.file);
+    out << ", \"line\": " << f.line << ", \"message\": ";
+    json_escape(out, f.message);
+    out << "}";
+  }
+  out << (report.violations.empty() ? "]" : "\n  ]") << ",\n";
+  out << "  \"suppressions\": [";
+  for (std::size_t i = 0; i < report.suppressions.size(); ++i) {
+    const SuppressionUse& s = report.suppressions[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"rule\": ";
+    json_escape(out, s.rule);
+    out << ", \"file\": ";
+    json_escape(out, s.file);
+    out << ", \"line\": " << s.line << ", \"justification\": ";
+    json_escape(out, s.justification);
+    out << "}";
+  }
+  out << (report.suppressions.empty() ? "]" : "\n  ]") << ",\n";
+  out << "  \"counts\": {\"violations\": " << report.violations.size()
+      << ", \"suppressions\": " << report.suppressions.size() << "}\n}\n";
+  return out.str();
+}
+
+}  // namespace uncharted::lint

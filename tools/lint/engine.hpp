@@ -1,0 +1,52 @@
+// Scan orchestration for unchartedlint: walks the tree, lexes each file,
+// runs the token rules and the include graph, applies in-place
+// suppressions, and produces a deterministic report (sorted by file, line,
+// rule — the linter holds itself to the determinism bar it enforces).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace uncharted::lint {
+
+struct Options {
+  /// Repository root. Default scan roots (src, bench, examples, tests,
+  /// tools) are resolved against it; tests/lint/fixtures is excluded from
+  /// the default walk because it is deliberately full of violations.
+  std::string root = ".";
+  /// Explicit files/directories (relative to root) to scan instead of the
+  /// default roots. Explicit paths are scanned verbatim — no exclusions.
+  std::vector<std::string> paths;
+};
+
+/// A suppression that matched a finding.
+struct SuppressionUse {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string justification;
+};
+
+struct Report {
+  std::vector<Finding> violations;
+  std::vector<SuppressionUse> suppressions;
+  int files_scanned = 0;
+
+  bool clean() const { return violations.empty(); }
+};
+
+/// Runs the full scan. Throws std::runtime_error on I/O failure (missing
+/// root or unreadable explicit path).
+Report run_scan(const Options& options);
+
+/// Renders the report as human-readable text (one `file:line: [rule]
+/// message` per finding plus a summary line).
+std::string render_text(const Report& report);
+
+/// Renders the report as machine-readable JSON (stable field order, findings
+/// sorted; uploaded as a CI artifact).
+std::string render_json(const Report& report);
+
+}  // namespace uncharted::lint

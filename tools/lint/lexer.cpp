@@ -1,0 +1,282 @@
+#include "token.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace uncharted::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character operators, longest first so maximal munch works with a
+/// simple prefix test. Keeping `->`, `++`, `--`, `<<`, `>>` etc. as single
+/// tokens matters: the subscript-arithmetic rule must not mistake the `-`
+/// of `->` or the `+` of `++` for offset arithmetic.
+constexpr const char* kOperators[] = {
+    "<<=", ">>=", "...", "->*", "<=>",
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", ".*",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  std::vector<Token> run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '\\' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '\n') {
+        ++line_;
+        pos_ += 2;  // line continuation: same logical line, do not reset
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (at_line_start_ && c == '#') {
+        directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+        number();
+        continue;
+      }
+      if (ident_start(c)) {
+        identifier();
+        continue;
+      }
+      if (c == '"') {
+        string_literal();
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      punct();
+    }
+    return out_;
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void emit(Tok kind, std::string text, int line) {
+    out_.push_back(Token{kind, std::move(text), line, false});
+  }
+
+  void line_comment() {
+    const int line = line_;
+    std::size_t end = pos_;
+    while (end < src_.size() && src_[end] != '\n') ++end;
+    emit(Tok::kComment, src_.substr(pos_, end - pos_), line);
+    pos_ = end;
+  }
+
+  void block_comment() {
+    const int line = line_;
+    std::size_t end = pos_ + 2;
+    while (end + 1 < src_.size() && !(src_[end] == '*' && src_[end + 1] == '/')) {
+      if (src_[end] == '\n') ++line_;
+      ++end;
+    }
+    end = end + 1 < src_.size() ? end + 2 : src_.size();
+    emit(Tok::kComment, src_.substr(pos_, end - pos_), line);
+    pos_ = end;
+  }
+
+  /// Preprocessor directive. #include paths become kInclude tokens; every
+  /// other directive is skipped through its continuation lines.
+  void directive() {
+    const int line = line_;
+    std::size_t p = pos_ + 1;
+    while (p < src_.size() && (src_[p] == ' ' || src_[p] == '\t')) ++p;
+    std::size_t word_end = p;
+    while (word_end < src_.size() && ident_char(src_[word_end])) ++word_end;
+    const std::string word = src_.substr(p, word_end - p);
+    if (word == "include") {
+      p = word_end;
+      while (p < src_.size() && (src_[p] == ' ' || src_[p] == '\t')) ++p;
+      if (p < src_.size() && (src_[p] == '"' || src_[p] == '<')) {
+        const char close = src_[p] == '"' ? '"' : '>';
+        std::size_t path_end = p + 1;
+        while (path_end < src_.size() && src_[path_end] != close &&
+               src_[path_end] != '\n') {
+          ++path_end;
+        }
+        Token t;
+        t.kind = Tok::kInclude;
+        t.text = src_.substr(p + 1, path_end - p - 1);
+        t.line = line;
+        t.angled = close == '>';
+        out_.push_back(std::move(t));
+      }
+    }
+    // Skip to the end of the directive, honoring backslash continuations.
+    while (pos_ < src_.size() && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\' && peek(1) == '\n') {
+        ++line_;
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (src_[pos_] == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      ++pos_;
+    }
+  }
+
+  /// pp-number: digits, idents, quotes-as-digit-separators, and exponent
+  /// signs. Over-accepts relative to the grammar, which is fine — rules
+  /// re-parse the integer value and ignore anything non-integral.
+  void number() {
+    const int line = line_;
+    std::size_t end = pos_;
+    while (end < src_.size()) {
+      const char c = src_[end];
+      if (ident_char(c) || c == '.') {
+        ++end;
+        continue;
+      }
+      if (c == '\'' && end > pos_ && ident_char(src_[end - 1]) &&
+          end + 1 < src_.size() && ident_char(src_[end + 1])) {
+        ++end;  // digit separator
+        continue;
+      }
+      if ((c == '+' || c == '-') && end > pos_ &&
+          (src_[end - 1] == 'e' || src_[end - 1] == 'E' ||
+           src_[end - 1] == 'p' || src_[end - 1] == 'P')) {
+        ++end;  // exponent sign
+        continue;
+      }
+      break;
+    }
+    emit(Tok::kNumber, src_.substr(pos_, end - pos_), line);
+    pos_ = end;
+  }
+
+  void identifier() {
+    const int line = line_;
+    std::size_t end = pos_;
+    while (end < src_.size() && ident_char(src_[end])) ++end;
+    const std::string word = src_.substr(pos_, end - pos_);
+    // Raw-string prefix? R"delim( ... )delim"
+    if (end < src_.size() && src_[end] == '"' &&
+        (word == "R" || word == "LR" || word == "uR" || word == "UR" ||
+         word == "u8R")) {
+      pos_ = end;
+      raw_string(line);
+      return;
+    }
+    // Ordinary encoding prefix on a string/char literal.
+    if (end < src_.size() && (src_[end] == '"' || src_[end] == '\'') &&
+        (word == "L" || word == "u" || word == "U" || word == "u8")) {
+      pos_ = end;
+      if (src_[end] == '"') {
+        string_literal();
+      } else {
+        char_literal();
+      }
+      return;
+    }
+    emit(Tok::kIdent, word, line);
+    pos_ = end;
+  }
+
+  void raw_string(int line) {
+    // pos_ is at the opening quote. Find the delimiter up to '('.
+    std::size_t p = pos_ + 1;
+    std::string delim;
+    while (p < src_.size() && src_[p] != '(' && src_[p] != '\n') {
+      delim.push_back(src_[p]);
+      ++p;
+    }
+    const std::string closer = ")" + delim + "\"";
+    std::size_t end = src_.find(closer, p);
+    end = end == std::string::npos ? src_.size() : end + closer.size();
+    for (std::size_t i = pos_; i < end; ++i) {
+      if (src_[i] == '\n') ++line_;
+    }
+    emit(Tok::kString, "", line);
+    pos_ = end;
+  }
+
+  void string_literal() {
+    const int line = line_;
+    std::size_t end = pos_ + 1;
+    while (end < src_.size() && src_[end] != '"') {
+      if (src_[end] == '\\' && end + 1 < src_.size()) ++end;
+      if (src_[end] == '\n') ++line_;
+      ++end;
+    }
+    emit(Tok::kString, "", line);
+    pos_ = end < src_.size() ? end + 1 : end;
+  }
+
+  void char_literal() {
+    const int line = line_;
+    std::size_t end = pos_ + 1;
+    while (end < src_.size() && src_[end] != '\'') {
+      if (src_[end] == '\\' && end + 1 < src_.size()) ++end;
+      if (src_[end] == '\n') break;  // stray quote, not a literal
+      ++end;
+    }
+    emit(Tok::kChar, "", line);
+    pos_ = end < src_.size() ? end + 1 : end;
+  }
+
+  void punct() {
+    const int line = line_;
+    for (const char* op : kOperators) {
+      const std::size_t n = std::string::traits_type::length(op);
+      if (src_.compare(pos_, n, op) == 0) {
+        emit(Tok::kPunct, op, line);
+        pos_ += n;
+        return;
+      }
+    }
+    emit(Tok::kPunct, std::string(1, src_[pos_]), line);
+    ++pos_;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  std::vector<Token> out_;
+};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& source) { return Lexer(source).run(); }
+
+}  // namespace uncharted::lint

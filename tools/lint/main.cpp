@@ -1,0 +1,85 @@
+// unchartedlint CLI.
+//
+//   unchartedlint [--root DIR] [--json] [--out FILE] [--quiet] [paths...]
+//   unchartedlint --list-rules
+//
+// With no paths, scans src/, bench/, examples/, tests/ and tools/ under the
+// root (tests/lint/fixtures excluded — those are the golden-bad snippets).
+// Explicit paths (files or directories, relative to the root) are scanned
+// verbatim.
+//
+// Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine.hpp"
+#include "rules.hpp"
+
+namespace {
+
+int usage(std::ostream& out, int code) {
+  out << "usage: unchartedlint [--root DIR] [--json] [--out FILE] [--quiet]"
+         " [paths...]\n"
+         "       unchartedlint --list-rules\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace uncharted::lint;
+  Options options;
+  bool json = false;
+  bool quiet = false;
+  std::string out_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) return usage(std::cerr, 2);
+      options.root = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--out") {
+      if (i + 1 >= argc) return usage(std::cerr, 2);
+      out_file = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list-rules") {
+      for (const RuleInfo& r : rule_catalog()) {
+        std::cout << r.id << "\n    " << r.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unchartedlint: unknown option: " << arg << "\n";
+      return usage(std::cerr, 2);
+    } else {
+      options.paths.push_back(arg);
+    }
+  }
+
+  try {
+    const Report report = run_scan(options);
+    const std::string rendered =
+        json ? render_json(report) : render_text(report);
+    if (!out_file.empty()) {
+      std::ofstream out(out_file);
+      if (!out) {
+        std::cerr << "unchartedlint: cannot write " << out_file << "\n";
+        return 2;
+      }
+      out << rendered;
+      if (!quiet) std::cout << render_text(report);
+    } else if (!quiet || !report.clean()) {
+      std::cout << rendered;
+    }
+    return report.clean() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}

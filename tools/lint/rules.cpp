@@ -1,0 +1,319 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <optional>
+
+namespace uncharted::lint {
+namespace {
+
+const std::array<const char*, 4> kDecoderModules = {"iec104", "iec101", "iccp",
+                                                    "synchro"};
+
+/// The one file allowed to spell 15-bit wrap arithmetic.
+constexpr const char* kSeq15Home = "src/iec104/seq15.hpp";
+
+bool is_decoder_module(const FileContext& ctx) {
+  return ctx.zone == Zone::kSrc &&
+         std::find(kDecoderModules.begin(), kDecoderModules.end(),
+                   ctx.module) != kDecoderModules.end();
+}
+
+/// Decodes an integer literal's value; nullopt for floats and malformed
+/// text. Handles hex/octal/binary prefixes, digit separators, and suffixes.
+std::optional<unsigned long long> integer_value(const std::string& text) {
+  std::string digits;
+  digits.reserve(text.size());
+  for (char c : text) {
+    if (c != '\'') digits.push_back(c);
+  }
+  int base = 10;
+  std::size_t pos = 0;
+  if (digits.size() > 1 && digits[0] == '0') {
+    if (digits[1] == 'x' || digits[1] == 'X') {
+      base = 16;
+      pos = 2;
+    } else if (digits[1] == 'b' || digits[1] == 'B') {
+      base = 2;
+      pos = 2;
+    } else {
+      base = 8;
+      pos = 1;
+    }
+  }
+  unsigned long long value = 0;
+  std::size_t consumed = 0;
+  for (; pos < digits.size(); ++pos) {
+    const char c = digits[pos];
+    int d = -1;
+    if (c >= '0' && c <= '9') {
+      d = c - '0';
+    } else if (base == 16 && c >= 'a' && c <= 'f') {
+      d = c - 'a' + 10;
+    } else if (base == 16 && c >= 'A' && c <= 'F') {
+      d = c - 'A' + 10;
+    }
+    if (d < 0 || d >= base) break;
+    value = value * static_cast<unsigned long long>(base) +
+            static_cast<unsigned long long>(d);
+    ++consumed;
+  }
+  // Whatever remains must be an integer suffix; '.', 'e', 'p' mean float.
+  for (; pos < digits.size(); ++pos) {
+    const char c = digits[pos];
+    if (c == 'u' || c == 'U' || c == 'l' || c == 'L' || c == 'z' || c == 'Z') {
+      continue;
+    }
+    return std::nullopt;
+  }
+  if (consumed == 0) return std::nullopt;
+  return value;
+}
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == Tok::kPunct && t.text == text;
+}
+
+void add(std::vector<Finding>& out, const FileContext& ctx, const char* rule,
+         int line, std::string message) {
+  out.push_back(Finding{rule, ctx.rel_path, line, std::move(message)});
+}
+
+// ---------------------------------------------------------------------------
+// determinism-unordered-container / determinism-pointer-key
+// ---------------------------------------------------------------------------
+
+void rule_unordered_container(const FileContext& ctx,
+                              const std::vector<Token>& code,
+                              std::vector<Finding>& out) {
+  static const std::array<const char*, 4> kBanned = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  for (const Token& t : code) {
+    if (t.kind != Tok::kIdent) continue;
+    if (std::find(kBanned.begin(), kBanned.end(), t.text) == kBanned.end()) {
+      continue;
+    }
+    add(out, ctx, "determinism-unordered-container", t.line,
+        "std::" + t.text +
+            " in a pipeline translation unit: hash iteration order feeds "
+            "reports/checkpoints; use std::map/std::set or sort before "
+            "emitting");
+  }
+}
+
+void rule_pointer_key(const FileContext& ctx, const std::vector<Token>& code,
+                      std::vector<Finding>& out) {
+  static const std::array<const char*, 4> kOrdered = {"map", "set", "multimap",
+                                                      "multiset"};
+  for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+    const Token& t = code[i];
+    if (t.kind != Tok::kIdent ||
+        std::find(kOrdered.begin(), kOrdered.end(), t.text) == kOrdered.end() ||
+        !is_punct(code[i + 1], "<")) {
+      continue;
+    }
+    // Scan the key type: tokens until a depth-1 ',' or the closing '>'.
+    int depth = 1;
+    const Token* last = nullptr;
+    for (std::size_t j = i + 2; j < code.size() && j < i + 256; ++j) {
+      const Token& u = code[j];
+      if (u.kind == Tok::kPunct) {
+        if (u.text == "<" || u.text == "(" || u.text == "[" || u.text == "{") {
+          ++depth;
+        } else if (u.text == ">" || u.text == ")" || u.text == "]" ||
+                   u.text == "}") {
+          --depth;
+        } else if (u.text == ">>") {
+          depth -= 2;
+        } else if (u.text == "," && depth == 1) {
+          break;  // key type ends here
+        } else if (u.text == ";") {
+          break;  // not a template argument list after all
+        }
+        if (depth <= 0) break;
+      }
+      last = &u;
+    }
+    if (last != nullptr && is_punct(*last, "*")) {
+      add(out, ctx, "determinism-pointer-key", t.line,
+          "pointer-keyed std::" + t.text +
+              ": address order varies across runs; key on a stable id "
+              "instead");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// determinism-unseeded-rng
+// ---------------------------------------------------------------------------
+
+void rule_unseeded_rng(const FileContext& ctx, const std::vector<Token>& code,
+                       std::vector<Finding>& out) {
+  static const std::array<const char*, 10> kEngines = {
+      "random_device", "random_shuffle", "mt19937",
+      "mt19937_64",    "minstd_rand",    "minstd_rand0",
+      "default_random_engine", "ranlux24", "ranlux48", "knuth_b"};
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Token& t = code[i];
+    if (t.kind != Tok::kIdent) continue;
+    if (std::find(kEngines.begin(), kEngines.end(), t.text) != kEngines.end()) {
+      add(out, ctx, "determinism-unseeded-rng", t.line,
+          "std::" + t.text +
+              ": all randomness goes through the seeded util/rng.hpp "
+              "wrapper so captures replay from a single seed");
+      continue;
+    }
+    const bool call = i + 1 < code.size() && is_punct(code[i + 1], "(");
+    if ((t.text == "rand" || t.text == "srand") && call) {
+      add(out, ctx, "determinism-unseeded-rng", t.line,
+          t.text + "(): C library RNG is unseeded process-global state; use "
+                   "the seeded util/rng.hpp wrapper");
+      continue;
+    }
+    if (t.text == "time" && call && i + 3 < code.size() &&
+        is_punct(code[i + 3], ")")) {
+      const Token& arg = code[i + 2];
+      const bool null_arg =
+          (arg.kind == Tok::kIdent &&
+           (arg.text == "nullptr" || arg.text == "NULL")) ||
+          (arg.kind == Tok::kNumber && integer_value(arg.text) == 0ULL);
+      if (null_arg) {
+        add(out, ctx, "determinism-unseeded-rng", t.line,
+            "time(nullptr): wall-clock seeding makes runs unreproducible; "
+            "thread an explicit seed or timestamp through instead");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// seq15-raw-arith
+// ---------------------------------------------------------------------------
+
+void rule_seq15(const FileContext& ctx, const std::vector<Token>& code,
+                std::vector<Finding>& out) {
+  if (ctx.rel_path == kSeq15Home) return;
+  for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+    const Token& op = code[i];
+    if (op.kind != Tok::kPunct) continue;
+    const Token& rhs = code[i + 1];
+    const bool modulo = op.text == "%" || op.text == "%=";
+    const bool mask = op.text == "&" || op.text == "&=";
+    if (!modulo && !mask) continue;
+    bool hit = false;
+    if (rhs.kind == Tok::kNumber) {
+      const auto v = integer_value(rhs.text);
+      hit = v.has_value() && ((modulo && *v == 32768ULL) ||
+                              (mask && *v == 32767ULL));
+    } else if (rhs.kind == Tok::kIdent && modulo &&
+               rhs.text == "kSeqModulo") {
+      hit = true;
+    }
+    if (hit) {
+      add(out, ctx, "seq15-raw-arith", op.line,
+          "raw 15-bit wrap arithmetic (`" + op.text + " " + rhs.text +
+              "`): use seq15()/seq15_next()/seq15_delta() from "
+              "iec104/seq15.hpp so every wrap comparison shares one "
+              "implementation");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// decoder-byte-index / decoder-memcpy
+// ---------------------------------------------------------------------------
+
+void rule_decoder_bytes(const FileContext& ctx, const std::vector<Token>& code,
+                        std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Token& t = code[i];
+    if (t.kind == Tok::kIdent && (t.text == "memcpy" || t.text == "memmove")) {
+      add(out, ctx, "decoder-memcpy", t.line,
+          t.text + " in a decoder module: wire bytes are read through the "
+                   "bounds-checked util/bytes accessors, never block-copied");
+      continue;
+    }
+    if (!is_punct(t, "[") || i == 0) continue;
+    // Subscript (not a lambda introducer or attribute): '[' directly after
+    // a postfix expression.
+    const Token& prev = code[i - 1];
+    const bool subscript =
+        prev.kind == Tok::kIdent ||
+        (prev.kind == Tok::kPunct && (prev.text == ")" || prev.text == "]"));
+    if (!subscript) continue;
+    int depth = 1;
+    for (std::size_t j = i + 1; j < code.size() && depth > 0; ++j) {
+      const Token& u = code[j];
+      if (u.kind != Tok::kPunct) continue;
+      if (u.text == "[" || u.text == "(") {
+        ++depth;
+      } else if (u.text == "]" || u.text == ")") {
+        --depth;
+      } else if (u.text == "+" || u.text == "-") {
+        add(out, ctx, "decoder-byte-index", t.line,
+            "offset subscript on a wire buffer: slice a span first or use "
+            "the bounds-checked util/bytes readers (a bad offset must be a "
+            "decode error, not UB)");
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> kCatalog = {
+      {"determinism-unordered-container",
+       "no std::unordered_* containers in src/ (iteration order feeds "
+       "reports/checkpoints)"},
+      {"determinism-pointer-key",
+       "no pointer-keyed std::map/std::set in src/ (address order varies "
+       "across runs)"},
+      {"determinism-unseeded-rng",
+       "no rand()/std::random_device/time(nullptr)/std:: engines outside "
+       "tests/ (use seeded util/rng.hpp)"},
+      {"seq15-raw-arith",
+       "no raw `% 32768` / `& 0x7fff` outside iec104/seq15.hpp"},
+      {"decoder-byte-index",
+       "no offset subscripts on wire buffers in decoder modules (use "
+       "util/bytes)"},
+      {"decoder-memcpy",
+       "no memcpy/memmove in decoder modules (use util/bytes)"},
+      {"layering-order",
+       "module includes must follow the ranked DAG (util -> net -> decoders "
+       "-> analysis -> core)"},
+      {"layering-cycle", "the file-level include graph must be acyclic"},
+  };
+  return kCatalog;
+}
+
+bool is_known_rule(const std::string& id) {
+  const auto& catalog = rule_catalog();
+  return std::any_of(catalog.begin(), catalog.end(),
+                     [&](const RuleInfo& r) { return id == r.id; });
+}
+
+void run_token_rules(const FileContext& ctx, const std::vector<Token>& tokens,
+                     std::vector<Finding>& out) {
+  std::vector<Token> code;
+  code.reserve(tokens.size());
+  for (const Token& t : tokens) {
+    if (t.kind != Tok::kComment && t.kind != Tok::kInclude) code.push_back(t);
+  }
+  if (ctx.zone == Zone::kSrc) {
+    rule_unordered_container(ctx, code, out);
+    rule_pointer_key(ctx, code, out);
+  }
+  if (ctx.zone == Zone::kSrc || ctx.zone == Zone::kBench ||
+      ctx.zone == Zone::kExamples) {
+    rule_unseeded_rng(ctx, code, out);
+  }
+  rule_seq15(ctx, code, out);
+  if (is_decoder_module(ctx)) {
+    rule_decoder_bytes(ctx, code, out);
+  }
+}
+
+}  // namespace uncharted::lint

@@ -1,0 +1,38 @@
+// Token model for the unchartedlint scanner.
+//
+// The lexer produces a flat token stream per translation unit: code tokens
+// (identifiers, numbers, literals, punctuation), comment tokens (kept so
+// suppression annotations can be matched to the lines they cover), and
+// include tokens (the include graph is built from these). This is a
+// deliberately lightweight lexical view — no preprocessing, no parsing —
+// which is exactly enough for the project-invariant rules in rules.hpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace uncharted::lint {
+
+enum class Tok {
+  kIdent,    ///< identifier or keyword
+  kNumber,   ///< integer or floating literal (value undecoded; see rules.cpp)
+  kString,   ///< string literal, including raw strings (contents dropped)
+  kChar,     ///< character literal
+  kPunct,    ///< operator/punctuator; multi-char operators are one token
+  kComment,  ///< // or /* */ comment, text preserved for ALLOW parsing
+  kInclude,  ///< #include directive; text is the include path
+};
+
+struct Token {
+  Tok kind = Tok::kPunct;
+  std::string text;
+  int line = 1;        ///< 1-based line of the token's first character
+  bool angled = false; ///< kInclude only: <system> vs "quoted"
+};
+
+/// Lexes a C++ source buffer into tokens. Never fails: unterminated
+/// literals/comments are closed at end of input (the scanner must degrade
+/// gracefully on any input, like the decoders it polices).
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace uncharted::lint
