@@ -2,16 +2,19 @@
 # Local reproduction of the CI jobs (.github/workflows/ci.yml):
 #
 #   1. Release build + ctest
-#   2. Debug ASan+UBSan build + ctest (includes the fault-injection chaos
+#   2. unchartedlint: the project-invariant static analyzer (determinism,
+#      seq15 consolidation, decoder byte-safety, include layering) over the
+#      full tree — any unsuppressed violation fails the run
+#   3. Debug ASan+UBSan build + ctest (includes the fault-injection chaos
 #      sweep, called out explicitly so a chaos regression is easy to spot)
-#   3. the hostile-peer adversarial sweep under sanitizers: every
+#   4. the hostile-peer adversarial sweep under sanitizers: every
 #      sim::HostilePeer attack scenario through the full pipeline plus the
 #      conformance machine and supervisor quarantine tests
-#   4. ThreadSanitizer over the work-stealing pool and the parallel
+#   5. ThreadSanitizer over the work-stealing pool and the parallel
 #      flow-sharded pipeline (the determinism tests double as race
 #      detectors: every stage runs concurrently at threads=8)
-#   5. clang-tidy over src/ (skipped with a notice if clang-tidy is absent)
-#   6. a short streaming kill/restore soak (scripts/soak.sh; the nightly
+#   6. clang-tidy over src/ (skipped with a notice if clang-tidy is absent)
+#   7. a short streaming kill/restore soak (scripts/soak.sh; the nightly
 #      CI job runs the full 10-minute matrix)
 #
 # Usage: scripts/check.sh [--fuzz]
@@ -29,37 +32,40 @@ for arg in "$@"; do
   esac
 done
 
-echo "==> [1/7] release: build + ctest"
+echo "==> [1/8] release: build + ctest"
 cmake --preset release
 cmake --build --preset release -j "$jobs"
 ctest --preset release -j "$jobs"
 
-echo "==> [2/7] debug-asan-ubsan: build + ctest"
+echo "==> [2/8] unchartedlint: project invariants (determinism/seq15/bytes/layering)"
+build-release/tools/lint/unchartedlint --root .
+
+echo "==> [3/8] debug-asan-ubsan: build + ctest"
 cmake --preset debug-asan-ubsan
 cmake --build --preset debug-asan-ubsan -j "$jobs"
 ASAN_OPTIONS=strict_string_checks=1:detect_stack_use_after_return=1 \
 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --preset debug-asan-ubsan -j "$jobs"
 
-echo "==> [3/7] chaos sweep under sanitizers (fault injection 0-20%)"
+echo "==> [4/8] chaos sweep under sanitizers (fault injection 0-20%)"
 ASAN_OPTIONS=strict_string_checks=1:detect_stack_use_after_return=1 \
 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --preset debug-asan-ubsan -R 'ChaosSweep|FaultInject' --output-on-failure
 
-echo "==> [4/7] hostile-peer: adversarial sweep under sanitizers"
+echo "==> [5/8] hostile-peer: adversarial sweep under sanitizers"
 ASAN_OPTIONS=strict_string_checks=1:detect_stack_use_after_return=1 \
 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --preset debug-asan-ubsan \
     -R 'HostilePeer|Conformance|QuarantinePolicy|Supervisor.Hostile' \
     --output-on-failure
 
-echo "==> [5/7] tsan: work-stealing pool + parallel pipeline"
+echo "==> [6/8] tsan: work-stealing pool + parallel pipeline"
 cmake --preset tsan
 cmake --build --preset tsan --target test_parallel -j "$jobs"
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --preset tsan -R 'Pool|ParallelFor|ParallelDeterminism' --output-on-failure
 
-echo "==> [6/7] clang-tidy over src/"
+echo "==> [7/8] clang-tidy over src/"
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake --preset tidy
   cmake --build --preset tidy -j "$jobs"
@@ -67,7 +73,7 @@ else
   echo "    clang-tidy not installed; skipping (CI runs this job)"
 fi
 
-echo "==> [7/7] streaming kill/restore soak (short; nightly CI runs 10 min)"
+echo "==> [8/8] streaming kill/restore soak (short; nightly CI runs 10 min)"
 scripts/soak.sh --duration 120 --rates "0 0.01" --kill-step 10000
 
 if [ "$run_fuzz" -eq 1 ]; then
