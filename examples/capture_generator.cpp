@@ -10,12 +10,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
 
 #include "faultinject/fault.hpp"
 #include "iec104/constants.hpp"
+#include "netd/client.hpp"
 #include "power/measurement.hpp"
 #include "sim/capture.hpp"
+#include "sim/fleet.hpp"
 #include "sim/hostile.hpp"
 #include "util/strings.hpp"
 
@@ -27,8 +30,43 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--year 1|2] [--duration SECONDS] [--seed N]\n"
                "          [--retransmit P] [--no-events] [--out FILE.pcap]\n"
-               "          [--fault-rate P] [--fault-seed N] [--hostile]\n",
+               "          [--fault-rate P] [--fault-seed N] [--hostile]\n"
+               "          [--stream HOST:PORT] [--pace FACTOR]\n",
                argv0);
+}
+
+/// Live-replay mode (--stream): instead of writing a pcap, feed the
+/// capture to a running iec104d as a fleet of tapstream connections, paced
+/// so that `capture time / pace == wall time` (--pace 0 = full speed).
+int stream_capture(const std::vector<net::CapturedPacket>& packets,
+                   const std::string& target, double pace) {
+  auto colon = target.rfind(':');
+  const int port = colon == std::string::npos ? 0 : std::atoi(target.c_str() + colon + 1);
+  if (colon == std::string::npos || colon == 0 || port <= 0 || port > 65535) {
+    std::fprintf(stderr, "--stream needs HOST:PORT, got '%s'\n", target.c_str());
+    return 1;
+  }
+  auto script = sim::build_fleet_script(packets, sim::FleetScriptConfig{});
+  netd::FleetConfig fleet;
+  fleet.host = target.substr(0, colon);
+  fleet.port = static_cast<std::uint16_t>(port);
+  fleet.pace = pace;
+  netd::Reactor reactor;
+  netd::FleetClient client(reactor, fleet, std::move(script.streams));
+  client.start();
+  std::function<void()> watch = [&] {
+    if (client.all_done()) {
+      reactor.stop();
+      return;
+    }
+    reactor.add_timer_after(0.02, watch);
+  };
+  reactor.add_timer_after(0.02, watch);
+  reactor.run();
+  std::printf("streamed %s frames over %zu connections to %s\n",
+              format_count(client.stats().frames_sent).c_str(),
+              script.benign_streams, target.c_str());
+  return client.all_benign_ok() ? 0 : 1;
 }
 
 }  // namespace
@@ -44,13 +82,15 @@ int main(int argc, char** argv) {
   std::uint64_t fault_seed = 0xfa0175;
   bool hostile = false;
   std::string out = "capture.pcap";
+  std::string stream_target;
+  double pace = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
         usage(argv[0]);
-        std::exit(2);
+        std::exit(1);
       }
       return argv[++i];
     };
@@ -73,9 +113,13 @@ int main(int argc, char** argv) {
       hostile = true;
     } else if (arg == "--out") {
       out = next();
+    } else if (arg == "--stream") {
+      stream_target = next();
+    } else if (arg == "--pace") {
+      pace = std::atof(next());
     } else {
       usage(argv[0]);
-      return 2;
+      return 1;
     }
   }
 
@@ -104,7 +148,13 @@ int main(int argc, char** argv) {
                           sim::Endpoint::make(net::Ipv4Addr::from_octets(10, 0, 2, 50),
                                               iec104::kIec104Port),
                           sink, &rng);
-    peer.run_all(from_seconds(1.0));
+    // Anchor the attack timeline to the capture's own clock (the sim
+    // starts at a wall-clock epoch, not zero): a detached timebase would
+    // put a multi-decade gap in the merged pcap.
+    Timestamp attack_start =
+        capture.packets.empty() ? from_seconds(1.0)
+                                : capture.packets.front().ts + from_seconds(1.0);
+    peer.run_all(attack_start);
     std::stable_sort(capture.packets.begin(), capture.packets.end(),
                      [](const net::CapturedPacket& a, const net::CapturedPacket& b) {
                        return a.ts < b.ts;
@@ -123,6 +173,7 @@ int main(int argc, char** argv) {
                 format_count(damaged.log.eligible_packets).c_str());
     capture.packets = std::move(damaged.packets);
   }
+  if (!stream_target.empty()) return stream_capture(capture.packets, stream_target, pace);
   if (auto st = sim::write_capture_pcap(capture, out); !st.ok()) {
     std::fprintf(stderr, "write failed: %s\n", st.error().str().c_str());
     return 1;

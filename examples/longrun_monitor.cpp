@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
         usage(argv[0]);
-        std::exit(2);
+        std::exit(1);
       }
       return argv[++i];
     };
@@ -77,12 +77,12 @@ int main(int argc, char** argv) {
       quiet = true;
     } else {
       usage(argv[0]);
-      return 2;
+      return 1;
     }
   }
   if (pcap_path.empty()) {
     usage(argv[0]);
-    return 2;
+    return 1;
   }
 
   auto read = net::PcapReader::read_file_tolerant(pcap_path);
@@ -135,5 +135,8 @@ int main(int argc, char** argv) {
     core::NameMap names;  // no topology at hand: raw addresses
     std::printf("%s\n", core::render_report(report, names).c_str());
   }
+  // The uniform CLI exit-code contract (README "Exit codes").
+  if (report.conformance.any_hostile()) return 3;
+  if (report.degradation.degraded() || !report.degradation.warnings.empty()) return 2;
   return 0;
 }

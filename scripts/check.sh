@@ -15,7 +15,11 @@
 #      detectors: every stage runs concurrently at threads=8)
 #   6. clang-tidy over src/ (skipped with a notice if clang-tidy is absent)
 #   7. a short streaming kill/restore soak (scripts/soak.sh; the nightly
-#      CI job runs the full 10-minute matrix)
+#      CI job runs the full 10-minute matrix) plus the live-ingest daemon
+#      soak: ~500 concurrent tapstream connections, SIGKILL + --restore
+#      byte-identical reports at --threads 1 and 8, a hostile fleet that
+#      must exit 3 with zero benign flows dropped, and a peak-RSS bound
+#      (the nightly daemon-soak CI job runs 10k connections)
 #
 # Usage: scripts/check.sh [--fuzz]
 #   --fuzz   additionally build the fuzz harnesses and run each one for
@@ -73,7 +77,7 @@ else
   echo "    clang-tidy not installed; skipping (CI runs this job)"
 fi
 
-echo "==> [8/8] streaming kill/restore soak (short; nightly CI runs 10 min)"
+echo "==> [8/8] kill/restore soak + daemon soak (short; nightly CI runs the full matrix)"
 scripts/soak.sh --duration 120 --rates "0 0.01" --kill-step 10000
 
 if [ "$run_fuzz" -eq 1 ]; then

@@ -17,6 +17,12 @@ TapProtocol classify(const net::DecodedFrame& frame) {
   if (on(102)) return TapProtocol::kIccp;
   return TapProtocol::kOther;
 }
+
+/// Longest silence (in buckets) densely zero-filled in a rate series. At
+/// the default 10 s bucket that is ~28 hours; a larger jump is recorded as
+/// a discontinuity instead of materializing the gap, so one absurd
+/// timestamp cannot balloon the series to gigabytes.
+constexpr std::size_t kMaxGapFill = 10'000;
 }  // namespace
 
 std::string tap_protocol_name(TapProtocol p) {
@@ -64,16 +70,50 @@ void BandwidthAccumulator::add_packet(const net::CapturedPacket& pkt) {
   auto frame = net::decode_frame(pkt.data);
   if (!frame) return;
   TapProtocol proto = classify(frame.value());
-  double rel = to_seconds(static_cast<DurationUs>(pkt.ts - start_ts_));
-  auto bucket_index = static_cast<std::size_t>(rel / bucket_seconds_);
+  // A packet stamped before the capture start (reordered tap, or a forged
+  // timestamp) collapses into bucket 0; unsigned subtraction would
+  // otherwise wrap to a ~580,000-year offset.
+  std::size_t bucket_index = 0;
+  if (pkt.ts > start_ts_) {
+    double rel = to_seconds(static_cast<DurationUs>(pkt.ts - start_ts_));
+    bucket_index = static_cast<std::size_t>(rel / bucket_seconds_);
+  }
+  const double t = static_cast<double>(bucket_index) * bucket_seconds_;
 
   auto& buckets = series_[proto];
-  while (buckets.size() <= bucket_index) {
-    buckets.push_back(RateBucket{static_cast<double>(buckets.size()) * bucket_seconds_,
-                                 0, 0});
+  RateBucket* slot = nullptr;
+  if (buckets.empty() || buckets.back().t_seconds < t) {
+    // Zero-fill short silences so contiguous traffic plots densely, but a
+    // timestamp jump (hostile, corrupt, or a tap left running across an
+    // outage) must not allocate one bucket per bucket-width of the gap:
+    // past kMaxGapFill the series records a discontinuity — the new bucket
+    // carries its own t_seconds and nothing is materialized between.
+    const double next_t =
+        buckets.empty() ? 0.0 : buckets.back().t_seconds + bucket_seconds_;
+    if (t > next_t) {
+      auto gap = static_cast<std::size_t>((t - next_t) / bucket_seconds_ + 0.5);
+      if (gap <= kMaxGapFill) {
+        for (std::size_t i = 0; i < gap; ++i) {
+          buckets.push_back(
+              RateBucket{next_t + static_cast<double>(i) * bucket_seconds_, 0, 0});
+        }
+      }
+    }
+    buckets.push_back(RateBucket{t, 0, 0});
+    slot = &buckets.back();
+  } else {
+    // At or before the tail: the bucket usually exists (dense fill), but a
+    // reordered packet can land in an elided gap — insert it in place.
+    auto it = std::lower_bound(
+        buckets.begin(), buckets.end(), t,
+        [](const RateBucket& b, double want) { return b.t_seconds < want; });
+    if (it == buckets.end() || it->t_seconds != t) {
+      it = buckets.insert(it, RateBucket{t, 0, 0});
+    }
+    slot = &*it;
   }
-  buckets[bucket_index].bytes += pkt.data.size();
-  ++buckets[bucket_index].packets;
+  slot->bytes += pkt.data.size();
+  ++slot->packets;
   total_bytes_[proto] += pkt.data.size();
   ++total_packets_[proto];
 
@@ -82,7 +122,9 @@ void BandwidthAccumulator::add_packet(const net::CapturedPacket& pkt) {
                         .canonical()] += frame->payload.size();
 
   if (proto == TapProtocol::kIec104) {
-    if (prev_iec104_) {
+    // A reordered packet would wrap the unsigned gap into an astronomical
+    // inter-arrival sample; skip it rather than poison the statistics.
+    if (prev_iec104_ && pkt.ts >= *prev_iec104_) {
       iec104_interarrival_s_.add(
           to_seconds(static_cast<DurationUs>(pkt.ts - *prev_iec104_)));
     }

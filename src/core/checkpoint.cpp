@@ -30,9 +30,18 @@ Status write_checkpoint_file(const std::string& path,
 
   std::error_code ec;
   // Rotate the previous generation; a missing primary is fine (first write).
+  // A *corrupt* primary (torn by power loss or a crashed writer) must not
+  // be rotated over a still-valid `.1` — that would destroy the last good
+  // generation. Validate before rotating and discard a bad primary when
+  // the fallback is the better artifact.
   if (std::filesystem::exists(path, ec)) {
-    std::filesystem::rename(path, path + ".1", ec);
-    if (ec) return Error{"checkpoint-rotate", ec.message()};
+    if (!read_checkpoint_file(path) && read_checkpoint_file(path + ".1")) {
+      std::filesystem::remove(path, ec);
+      if (ec) return Error{"checkpoint-rotate", ec.message()};
+    } else {
+      std::filesystem::rename(path, path + ".1", ec);
+      if (ec) return Error{"checkpoint-rotate", ec.message()};
+    }
   }
   std::filesystem::rename(tmp, path, ec);
   if (ec) return Error{"checkpoint-rename", ec.message()};

@@ -1,0 +1,161 @@
+#include "core/liveingest.hpp"
+
+#include "core/checkpoint.hpp"
+#include "core/export.hpp"
+#include "util/strings.hpp"
+
+namespace uncharted::core {
+
+namespace {
+
+/// Composed-checkpoint payload magic: cursors + analyzer state follow.
+constexpr std::uint32_t kLiveMagic = 0x554E4C44;  // "UNLD"
+
+std::uint64_t enforcement_total(const analysis::ResourcePressure& p) {
+  return p.flow_evictions + p.reassembly_flushes + p.records_evicted +
+         p.parsers_evicted;
+}
+
+}  // namespace
+
+LiveIngestDaemon::LiveIngestDaemon(netd::Reactor& reactor, LiveIngestOptions options)
+    : reactor_(reactor), options_(std::move(options)) {
+  // The daemon owns the checkpoint file; the analyzer must never write its
+  // own half alone (the halves would stop being mutually consistent).
+  checkpoint_path_ = options_.streaming.checkpoint_path;
+  options_.streaming.checkpoint_path.clear();
+  options_.streaming.checkpoint_every_packets = 0;
+  analyzer_ = std::make_unique<StreamingAnalyzer>(options_.streaming);
+  server_ = std::make_unique<netd::IngestServer>(
+      reactor_, options_.server,
+      [this](std::uint64_t, const net::CapturedPacket& pkt) {
+        analyzer_->add_packet(pkt);
+      });
+}
+
+LiveIngestDaemon::~LiveIngestDaemon() {
+  if (checkpoint_timer_armed_) reactor_.cancel_timer(checkpoint_timer_);
+  if (pressure_timer_armed_) reactor_.cancel_timer(pressure_timer_);
+}
+
+Status LiveIngestDaemon::try_restore_composed() {
+  auto payload = read_latest_checkpoint(checkpoint_path_);
+  if (!payload) return payload.error();
+  ByteReader r(payload.value());
+  auto magic = r.u32le();
+  if (!magic || magic.value() != kLiveMagic) {
+    return Error{"liveingest-magic", "not a live-ingest checkpoint"};
+  }
+  if (auto st = server_->load_cursors(r); !st) return st;
+  if (auto st = analyzer_->load_state(r); !st) return st;
+  return Status::Ok();
+}
+
+Status LiveIngestDaemon::start(bool restore) {
+  if (restore && !checkpoint_path_.empty()) {
+    if (auto st = try_restore_composed(); st) {
+      restored_ = true;
+    } else {
+      // Any invalid/mismatched checkpoint: rebuild both halves fresh so a
+      // partial load can never leave them inconsistent.
+      analyzer_ = std::make_unique<StreamingAnalyzer>(options_.streaming);
+      server_ = std::make_unique<netd::IngestServer>(
+          reactor_, options_.server,
+          [this](std::uint64_t, const net::CapturedPacket& pkt) {
+            analyzer_->add_packet(pkt);
+          });
+    }
+  }
+  server_->set_query_handler([this] { return report_json(); });
+  if (auto st = server_->start(); !st) return st;
+  if (options_.checkpoint_every_s > 0.0 && !checkpoint_path_.empty()) {
+    arm_checkpoint_timer();
+  }
+  if (options_.pressure_poll_s > 0.0) arm_pressure_timer();
+  return Status::Ok();
+}
+
+void LiveIngestDaemon::arm_checkpoint_timer() {
+  checkpoint_timer_ = reactor_.add_timer_after(options_.checkpoint_every_s, [this] {
+    checkpoint_timer_armed_ = false;
+    if (finalized_) return;
+    // A failed periodic write degrades durability, not availability.
+    if (auto st = checkpoint_now(); !st) checkpoint_error_ = st.error().str();
+    arm_checkpoint_timer();
+  });
+  checkpoint_timer_armed_ = true;
+}
+
+void LiveIngestDaemon::arm_pressure_timer() {
+  pressure_timer_ = reactor_.add_timer_after(options_.pressure_poll_s, [this] {
+    pressure_timer_armed_ = false;
+    if (finalized_) return;
+    poll_pressure();
+    arm_pressure_timer();
+  });
+  pressure_timer_armed_ = true;
+}
+
+void LiveIngestDaemon::poll_pressure() {
+  const analysis::ResourcePressure now = analyzer_->pressure();
+  const bool enforcing = enforcement_total(now) > enforcement_total(last_pressure_);
+  last_pressure_ = now;
+  if (enforcing) {
+    // The analyzer is actively shedding its own state: shrink the ingest
+    // buffer budget so the front door sheds connections first.
+    calm_polls_ = 0;
+    pressure_level_ = pressure_level_ >= 2 ? 2 : pressure_level_ + 1;
+    server_->set_pressure_level(pressure_level_);
+  } else if (pressure_level_ > 0 && ++calm_polls_ >= 2) {
+    calm_polls_ = 0;
+    pressure_level_--;
+    server_->set_pressure_level(pressure_level_);
+  }
+}
+
+Status LiveIngestDaemon::checkpoint_now() {
+  if (checkpoint_path_.empty()) {
+    return Error{"checkpoint-unconfigured", "no checkpoint path set"};
+  }
+  ByteWriter w;
+  w.u32le(kLiveMagic);
+  server_->save_cursors(w);
+  if (auto st = analyzer_->save_state(w); !st) return st;
+  return write_checkpoint_file(checkpoint_path_, w.view());
+}
+
+std::string LiveIngestDaemon::report_json() {
+  return report_to_json(analyzer_->report_snapshot());
+}
+
+AnalysisReport LiveIngestDaemon::finalize() {
+  finalized_ = true;
+  if (checkpoint_timer_armed_) {
+    reactor_.cancel_timer(checkpoint_timer_);
+    checkpoint_timer_armed_ = false;
+  }
+  if (pressure_timer_armed_) {
+    reactor_.cancel_timer(pressure_timer_);
+    pressure_timer_armed_ = false;
+  }
+  server_->close_all();
+  if (!checkpoint_path_.empty()) {
+    if (auto st = checkpoint_now(); !st) checkpoint_error_ = st.error().str();
+  }
+  AnalysisReport report = analyzer_->finalize();
+  const netd::ServerStats& stats = server_->stats();
+  if (stats.forced_releases > 0) {
+    report.degradation.warnings.push_back(
+        "live ingest degraded to sampling: " +
+        format_count(stats.forced_releases) +
+        " frames force-released past the deterministic watermark under "
+        "memory pressure");
+  }
+  if (!checkpoint_error_.empty()) {
+    report.degradation.warnings.push_back("checkpoint write failed: " +
+                                          checkpoint_error_);
+  }
+  return report;
+}
+
+}  // namespace uncharted::core

@@ -1,0 +1,102 @@
+// LiveIngestDaemon: the always-on composition of IngestServer and
+// StreamingAnalyzer.
+//
+// The IngestServer releases live frames in one deterministic global order;
+// this class feeds them synchronously into a StreamingAnalyzer and owns
+// the pieces neither side can own alone:
+//
+//   Composed checkpoint   One atomic v3-container snapshot holding the
+//                         server's release cursors AND the analyzer state.
+//                         Because the sink is synchronous, the two halves
+//                         are always mutually consistent: a restore resumes
+//                         the analyzer exactly where the cursors say the
+//                         streams are, and cursor-based client resume
+//                         re-sends everything newer. SIGKILL at any point
+//                         costs at most one checkpoint interval of
+//                         re-sending — never a divergent report.
+//   Pressure coupling     The analyzer's ResourceBudgets enforcement
+//                         (ResourcePressure deltas) raises the server's
+//                         pressure level, shrinking the ingest buffer
+//                         budget so shedding starts before the analyzer
+//                         is forced to evict its own state.
+//   Live report queries   report_snapshot() serialized through a twin
+//                         analyzer renders the current AnalysisReport JSON
+//                         without spending the live one.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/streaming.hpp"
+#include "netd/server.hpp"
+
+namespace uncharted::core {
+
+struct LiveIngestOptions {
+  /// Analyzer configuration. `streaming.checkpoint_path` names the
+  /// daemon's composed checkpoint; the analyzer itself never writes a file
+  /// (the daemon snapshots both halves atomically instead).
+  StreamingOptions streaming;
+  netd::ServerConfig server;
+  /// Composed-checkpoint cadence (0 = only on finalize).
+  double checkpoint_every_s = 2.0;
+  /// Analyzer-pressure poll cadence (0 = coupling off).
+  double pressure_poll_s = 1.0;
+};
+
+class LiveIngestDaemon {
+ public:
+  LiveIngestDaemon(netd::Reactor& reactor, LiveIngestOptions options);
+  ~LiveIngestDaemon();
+
+  LiveIngestDaemon(const LiveIngestDaemon&) = delete;
+  LiveIngestDaemon& operator=(const LiveIngestDaemon&) = delete;
+
+  /// Opens the listeners and arms the housekeeping timers. With
+  /// `restore` set, first loads the newest valid composed checkpoint;
+  /// a missing/corrupt/mismatched checkpoint starts fresh (never fatal).
+  Status start(bool restore);
+
+  netd::IngestServer& server() { return *server_; }
+  StreamingAnalyzer& analyzer() { return *analyzer_; }
+
+  /// True when start(restore=true) actually resumed from a checkpoint.
+  bool restored() const { return restored_; }
+  std::uint64_t frames_ingested() const { return analyzer_->packets_consumed(); }
+
+  /// Writes the composed checkpoint now (no-op error when no path set).
+  Status checkpoint_now();
+
+  /// Current report as deterministic JSON (the query-socket payload).
+  std::string report_json();
+
+  /// Graceful drain: stop accepting, close every connection, write the
+  /// final composed checkpoint, and produce the full report (with a
+  /// degradation warning when forced releases broke the deterministic
+  /// merge). The daemon is spent afterwards.
+  AnalysisReport finalize();
+
+ private:
+  Status try_restore_composed();
+  void arm_checkpoint_timer();
+  void arm_pressure_timer();
+  void poll_pressure();
+
+  netd::Reactor& reactor_;
+  LiveIngestOptions options_;
+  std::string checkpoint_path_;
+  std::unique_ptr<StreamingAnalyzer> analyzer_;
+  std::unique_ptr<netd::IngestServer> server_;
+  bool restored_ = false;
+  bool finalized_ = false;
+  std::uint64_t checkpoint_timer_ = 0;
+  bool checkpoint_timer_armed_ = false;
+  std::uint64_t pressure_timer_ = 0;
+  bool pressure_timer_armed_ = false;
+  analysis::ResourcePressure last_pressure_;
+  int pressure_level_ = 0;
+  int calm_polls_ = 0;
+  std::string checkpoint_error_;
+};
+
+}  // namespace uncharted::core

@@ -78,8 +78,7 @@ void StreamingAnalyzer::add_packets(std::span<const net::CapturedPacket> packets
   }
 }
 
-Status StreamingAnalyzer::write_checkpoint() {
-  ByteWriter w;
+Status StreamingAnalyzer::save_state(ByteWriter& w) {
   if (sharded_) {
     w.u8(kEngineSharded);
     if (auto st = sharded_->save(w); !st) return st;
@@ -88,6 +87,53 @@ Status StreamingAnalyzer::write_checkpoint() {
     if (auto st = single_->save(w); !st) return st;
   }
   bandwidth_.save(w);
+  return Status::Ok();
+}
+
+Status StreamingAnalyzer::load_state(ByteReader& r) {
+  auto engine = r.u8();
+  if (!engine) return Error{"streaming-state", "engine tag unreadable"};
+  // An engine (or shard-count) mismatch means the state was written under
+  // a different --threads configuration; the caller must rebuild fresh.
+  if (engine.value() == kEngineSharded) {
+    if (!sharded_) return Error{"streaming-engine", "sharded state, single engine"};
+    if (auto st = sharded_->load(r); !st) return st;
+  } else if (engine.value() == kEngineSingle) {
+    if (!single_) return Error{"streaming-engine", "single state, sharded engine"};
+    if (auto st = single_->load(r); !st) return st;
+  } else {
+    return Error{"streaming-engine",
+                 "unknown engine tag " + std::to_string(engine.value())};
+  }
+  if (auto st = bandwidth_.load(r); !st) return st;
+  last_checkpoint_packets_ = packets_consumed();
+  return Status::Ok();
+}
+
+AnalysisReport StreamingAnalyzer::report_snapshot() {
+  ByteWriter w;
+  StreamingOptions twin_options = options_;
+  twin_options.checkpoint_path.clear();  // the twin must never touch disk
+  StreamingAnalyzer twin(twin_options);
+  if (auto st = save_state(w); !st) {
+    AnalysisReport report;
+    report.degradation.warnings.push_back("report snapshot unavailable: " +
+                                          st.error().str());
+    return report;
+  }
+  ByteReader r(w.view());
+  if (auto st = twin.load_state(r); !st) {
+    AnalysisReport report;
+    report.degradation.warnings.push_back("report snapshot unavailable: " +
+                                          st.error().str());
+    return report;
+  }
+  return twin.finalize();
+}
+
+Status StreamingAnalyzer::write_checkpoint() {
+  ByteWriter w;
+  if (auto st = save_state(w); !st) return st;
   if (auto st = write_checkpoint_file(options_.checkpoint_path, w.view()); !st) {
     return st;
   }
@@ -107,23 +153,12 @@ bool StreamingAnalyzer::try_restore() {
   auto payload = read_latest_checkpoint(options_.checkpoint_path);
   if (!payload) return false;  // missing/corrupt/truncated: start fresh
   ByteReader r(payload.value());
-  auto engine = r.u8();
-  if (!engine) return false;
-  // An engine (or shard-count) mismatch means the checkpoint was written
-  // under a different --threads configuration; re-ingesting from the start
-  // is always correct, so treat it like a missing checkpoint.
-  if (engine.value() == kEngineSharded) {
-    if (!sharded_) return false;
-    if (auto st = sharded_->load(r); !st) return false;
-  } else if (engine.value() == kEngineSingle) {
-    if (!single_) return false;
-    if (auto st = single_->load(r); !st) return false;
-  } else {
-    return false;
-  }
-  if (auto st = bandwidth_.load(r); !st) return false;
-  last_checkpoint_packets_ = packets_consumed();
-  return true;
+  // A load failure (engine mismatch, truncated payload) means re-ingesting
+  // from the start is the correct recovery; treat like a missing
+  // checkpoint. Note a partial load may have mutated builder state — the
+  // builders tolerate that only because every caller discards the analyzer
+  // or starts from packet 0 on false.
+  return static_cast<bool>(load_state(r));
 }
 
 AnalysisReport StreamingAnalyzer::finalize() {

@@ -64,6 +64,22 @@ class StreamingAnalyzer {
   /// Writes a checkpoint now (error if no checkpoint_path configured).
   Status checkpoint_now();
 
+  /// Serializes the full analyzer state (engine tag + builder + bandwidth)
+  /// into `w` — the payload `write_checkpoint()` wraps in the v3 container.
+  /// Exposed so a daemon can compose it with its own durable state into
+  /// one atomic checkpoint.
+  Status save_state(ByteWriter& w);
+
+  /// Restores state previously written by save_state(). The engine (and
+  /// shard count) must match the current configuration; a mismatch is an
+  /// error and the analyzer should be discarded and rebuilt fresh.
+  Status load_state(ByteReader& r);
+
+  /// The report over everything ingested so far, without spending the
+  /// analyzer: state is serialized into a fresh twin which is finalized.
+  /// Serves live queries on a daemon that keeps ingesting afterwards.
+  AnalysisReport report_snapshot();
+
   /// Loads the newest valid checkpoint generation, if any. Returns true
   /// when state was restored, false when no usable checkpoint exists (the
   /// analyzer stays fresh — corrupt or truncated files are skipped, never

@@ -1,0 +1,183 @@
+#include "sim/fleet.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "iec104/constants.hpp"
+#include "net/frame.hpp"
+#include "sim/hostile.hpp"
+#include "util/rng.hpp"
+
+namespace uncharted::sim {
+
+namespace {
+
+constexpr std::size_t kEthIpMin = 34;     // Ethernet + minimal IPv4 header
+constexpr std::size_t kSrcAddrOff = 26;   // IPv4 source address
+constexpr std::size_t kDstAddrOff = 30;
+constexpr std::size_t kIpCksumOff = 24;
+
+/// Clones per first-octet band: second octets in the capture are small
+/// (0/1 for the fleet, 9 for injected attackers), so a stride of 10 keeps
+/// every clone's three octet values distinct within one band.
+constexpr std::size_t kClonesPerBand = 24;
+constexpr std::uint8_t kFirstCloneOctet = 11;  // original capture is 10.x
+
+std::uint16_t word_at(const std::vector<std::uint8_t>& f, std::size_t off) {
+  return static_cast<std::uint16_t>((f[off] << 8) | f[off + 1]);
+}
+
+void put_word(std::vector<std::uint8_t>& f, std::size_t off, std::uint16_t w) {
+  f[off] = static_cast<std::uint8_t>(w >> 8);
+  f[off + 1] = static_cast<std::uint8_t>(w & 0xFF);
+}
+
+/// RFC 1624 incremental checksum update: HC' = ~(~HC + ~m + m').
+std::uint16_t cksum_adjust(std::uint16_t cksum, std::uint16_t old_word,
+                           std::uint16_t new_word) {
+  std::uint32_t sum = static_cast<std::uint16_t>(~cksum);
+  sum += static_cast<std::uint16_t>(~old_word);
+  sum += new_word;
+  while (sum >> 16) sum = (sum & 0xFFFFu) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xFFFFu);
+}
+
+/// Re-addresses one IPv4/TCP frame into clone `c`'s neighborhood (first
+/// and second octets of both addresses), repairing the IP header checksum
+/// and the TCP checksum (whose pseudo-header covers the addresses)
+/// incrementally. Returns false when the frame is not rewritable.
+bool rewrite_clone(std::vector<std::uint8_t>& frame, std::size_t c) {
+  if (frame.size() < kEthIpMin) return false;
+  if (frame[12] != 0x08 || frame[13] != 0x00) return false;  // not IPv4
+  const unsigned version = frame[14] >> 4;
+  const unsigned ihl = frame[14] & 0x0Fu;
+  if (version != 4 || ihl < 5) return false;
+  if (frame[23] != 6) return false;  // only TCP checksums are repaired here
+  const std::size_t tcp_cksum_off = 14 + static_cast<std::size_t>(ihl) * 4 + 16;
+  if (frame.size() < tcp_cksum_off + 2) return false;
+
+  const auto band = static_cast<std::uint8_t>(kFirstCloneOctet + (c - 1) / kClonesPerBand);
+  const auto stride = static_cast<std::uint8_t>(10 * ((c - 1) % kClonesPerBand));
+  for (std::size_t addr_off : {kSrcAddrOff, kDstAddrOff}) {
+    const std::uint16_t old_word = word_at(frame, addr_off);
+    const auto new_word = static_cast<std::uint16_t>(
+        (band << 8) | ((frame[addr_off + 1] + stride) & 0xFF));
+    if (new_word == old_word) continue;
+    put_word(frame, addr_off, new_word);
+    put_word(frame, kIpCksumOff,
+             cksum_adjust(word_at(frame, kIpCksumOff), old_word, new_word));
+    put_word(frame, tcp_cksum_off,
+             cksum_adjust(word_at(frame, tcp_cksum_off), old_word, new_word));
+  }
+  return true;
+}
+
+}  // namespace
+
+FleetScript build_fleet_script(const std::vector<net::CapturedPacket>& packets,
+                               const FleetScriptConfig& config) {
+  FleetScript script;
+
+  // Partition by canonical endpoint pair (the shard dispatcher's key), in
+  // first-appearance order; unreadable frames form one misc stream.
+  using PairKey = std::pair<net::Ipv4Addr, net::Ipv4Addr>;
+  std::map<PairKey, std::size_t> pair_index;
+  std::vector<std::vector<net::CapturedPacket>> slices;
+  std::vector<net::CapturedPacket> misc;
+  for (const auto& pkt : packets) {
+    auto pair = net::peek_ipv4_pair(pkt.data);
+    if (!pair) {
+      misc.push_back(pkt);
+      continue;
+    }
+    PairKey key = pair->first < pair->second
+                      ? PairKey{pair->first, pair->second}
+                      : PairKey{pair->second, pair->first};
+    auto [it, inserted] = pair_index.try_emplace(key, slices.size());
+    if (inserted) slices.emplace_back();
+    slices[it->second].push_back(pkt);
+  }
+
+  std::uint64_t next_id = 1;
+  auto add_benign = [&](std::vector<net::CapturedPacket> frames) {
+    netd::ReplayStream rs;
+    rs.id = next_id++;
+    rs.mode = netd::ReplayMode::kBenign;
+    script.total_frames += frames.size();
+    rs.frames = std::move(frames);
+    script.streams.push_back(std::move(rs));
+    script.benign_streams++;
+  };
+
+  const std::size_t clones = std::max<std::size_t>(config.clones, 1);
+  for (std::size_t c = 0; c < clones; ++c) {
+    for (const auto& slice : slices) {
+      if (c == 0) {
+        add_benign(slice);
+        continue;
+      }
+      std::vector<net::CapturedPacket> cloned;
+      cloned.reserve(slice.size());
+      for (const auto& pkt : slice) {
+        net::CapturedPacket copy = pkt;
+        if (rewrite_clone(copy.data, c)) cloned.push_back(std::move(copy));
+      }
+      if (!cloned.empty()) add_benign(std::move(cloned));
+    }
+    if (c == 0 && !misc.empty()) add_benign(misc);
+  }
+
+  // Content-hostile streams: valid tapstream transport carrying HostilePeer
+  // attack traffic from per-stream attacker addresses.
+  const Timestamp base_ts =
+      packets.empty() ? from_seconds(1.0) : packets.front().ts;
+  for (std::size_t k = 0; k < config.hostile_content; ++k) {
+    Rng rng(config.seed ^ (0xad7e5aULL + k));
+    std::vector<net::CapturedPacket> frames;
+    auto sink = [&frames](Timestamp ts, std::vector<std::uint8_t> frame) {
+      net::CapturedPacket pkt;
+      pkt.ts = ts;
+      pkt.original_length = static_cast<std::uint32_t>(frame.size());
+      pkt.data = std::move(frame);
+      frames.push_back(std::move(pkt));
+    };
+    const auto third = static_cast<std::uint8_t>(1 + (k % 200));
+    const auto fourth = static_cast<std::uint8_t>(9 + (k / 200));
+    HostilePeer peer(net::Ipv4Addr::from_octets(10, 9, third, fourth),
+                     Endpoint::make(net::Ipv4Addr::from_octets(10, 0, 2, 50),
+                                    iec104::kIec104Port),
+                     sink, &rng);
+    peer.run_all(base_ts + from_seconds(1.0));
+    std::stable_sort(frames.begin(), frames.end(),
+                     [](const net::CapturedPacket& a, const net::CapturedPacket& b) {
+                       return a.ts < b.ts;
+                     });
+    netd::ReplayStream rs;
+    rs.id = next_id++;
+    rs.mode = netd::ReplayMode::kBenign;  // transport-benign, payload-hostile
+    script.total_frames += frames.size();
+    rs.frames = std::move(frames);
+    script.streams.push_back(std::move(rs));
+    script.hostile_streams++;
+  }
+
+  // Transport-hostile streams: the FleetClient plays the abuse itself.
+  for (std::size_t k = 0; k < config.garbage; ++k) {
+    netd::ReplayStream rs;
+    rs.id = next_id++;
+    rs.mode = netd::ReplayMode::kGarbage;
+    script.streams.push_back(std::move(rs));
+    script.hostile_streams++;
+  }
+  for (std::size_t k = 0; k < config.slow_loris; ++k) {
+    netd::ReplayStream rs;
+    rs.id = next_id++;
+    rs.mode = netd::ReplayMode::kSlowLoris;
+    script.streams.push_back(std::move(rs));
+    script.hostile_streams++;
+  }
+  return script;
+}
+
+}  // namespace uncharted::sim

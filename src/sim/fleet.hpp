@@ -1,0 +1,66 @@
+// Fleet scripting: turn one synthesized capture into a fleet of tapstream
+// replay streams for the live-ingest daemon.
+//
+// The daemon's soak and equivalence harnesses need the same traffic a
+// batch analyzer would read from a pcap, but delivered as thousands of
+// concurrent live connections. This module builds that fleet
+// deterministically:
+//
+//   Partition   every frame with a visible IPv4 pair goes to the stream
+//               of its canonical (min, max) endpoint pair — the same
+//               partition the PR-5 shard dispatcher uses — so one stream
+//               is one conversation replayed in capture order. Frames
+//               with no readable pair form one "misc" stream.
+//   Clones      clone c > 0 re-addresses every frame into a fresh /8-ish
+//               neighborhood (first+second source and destination octets
+//               rewritten, IP and TCP checksums repaired incrementally
+//               per RFC 1624), multiplying the fleet without re-running
+//               the simulator. 70-odd streams per clone scales a Fig-6
+//               capture to a 10k-connection soak in a few hundred clones.
+//   Hostiles    content-hostile streams replay sim::HostilePeer attack
+//               scenarios from distinct attacker addresses (the transport
+//               is a well-behaved tapstream client; the *payload* is the
+//               attack — flagged by the conformance audit, not by netd).
+//               Transport-hostile streams (garbage hello, slow-loris) are
+//               empty-framed markers the FleetClient plays in its
+//               corresponding abuse mode.
+//
+// The same config always yields the same script (ids, frames, order), so
+// a daemon killed mid-soak and a fresh uninterrupted daemon can be fed
+// byte-identical fleets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netd/client.hpp"
+
+namespace uncharted::sim {
+
+struct FleetScriptConfig {
+  /// Total copies of the capture (1 = just the original). Clone c >= 1
+  /// is re-addressed; at most ~5800 clones fit the rewrite scheme.
+  std::size_t clones = 1;
+  /// Content-hostile streams: each replays every HostilePeer scenario
+  /// from its own attacker address against the Fig-6 primary target.
+  std::size_t hostile_content = 0;
+  /// Transport-hostile streams handled by FleetClient abuse modes.
+  std::size_t garbage = 0;
+  std::size_t slow_loris = 0;
+  std::uint64_t seed = 0x5ca1ab1eULL;
+};
+
+struct FleetScript {
+  std::vector<netd::ReplayStream> streams;
+  std::size_t benign_streams = 0;   ///< pair/misc streams (incl. clones)
+  std::size_t hostile_streams = 0;  ///< content + transport hostiles
+  std::uint64_t total_frames = 0;   ///< across benign + content-hostile
+};
+
+/// Builds the fleet script for `packets` (a time-ordered capture).
+/// Deterministic: stream ids are assigned in construction order, so the
+/// same capture + config reproduce the same script exactly.
+FleetScript build_fleet_script(const std::vector<net::CapturedPacket>& packets,
+                               const FleetScriptConfig& config);
+
+}  // namespace uncharted::sim

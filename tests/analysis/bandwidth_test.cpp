@@ -62,6 +62,49 @@ TEST(Bandwidth, ProtocolSplitOnSimCapture) {
   }
 }
 
+TEST(Bandwidth, TimestampJumpRecordsDiscontinuityInsteadOfFillingGap) {
+  testlib::CaptureBuilder cb;
+  auto server = testlib::ip(10, 0, 0, 1);
+  auto station = testlib::ip(10, 1, 0, 5);
+  cb.apdu(0, server, station, true, testlib::i_apdu(testlib::float_asdu(5, 1, 1.0f), 0, 0));
+  // 49 years later — the epoch-vs-relative timebase confusion an attacker
+  // (or a buggy tap) can feed a live monitor. Dense zero-fill would try to
+  // materialize ~155 million buckets here.
+  constexpr Timestamp kEpoch2019 = 1'560'556'800ULL * 1'000'000ULL;
+  cb.apdu(kEpoch2019, server, station, true,
+          testlib::i_apdu(testlib::float_asdu(5, 1, 2.0f), 1, 0));
+
+  auto report = analyze_bandwidth(cb.packets(), 10.0);
+  const auto& buckets = report.series.at(TapProtocol::kIec104);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].t_seconds, 0.0);
+  EXPECT_EQ(buckets[0].packets, 1u);
+  // The far bucket still carries its true offset, so duration and mean
+  // rate reflect the real (absurd) span.
+  EXPECT_NEAR(buckets[1].t_seconds, 1'560'556'800.0, 10.0);
+  EXPECT_EQ(buckets[1].packets, 1u);
+  EXPECT_GT(report.duration_seconds(), 1e9);
+}
+
+TEST(Bandwidth, PacketBeforeCaptureStartCollapsesIntoBucketZero) {
+  testlib::CaptureBuilder cb;
+  auto server = testlib::ip(10, 0, 0, 1);
+  auto station = testlib::ip(10, 1, 0, 5);
+  cb.apdu(5'000'000, server, station, true,
+          testlib::i_apdu(testlib::float_asdu(5, 1, 1.0f), 0, 0));
+  // Stamped before the first-seen packet: unsigned subtraction must not
+  // wrap into a ~580,000-year bucket offset.
+  cb.apdu(1'000'000, server, station, true,
+          testlib::i_apdu(testlib::float_asdu(5, 1, 2.0f), 1, 0));
+
+  auto report = analyze_bandwidth(cb.packets(), 10.0);
+  const auto& buckets = report.series.at(TapProtocol::kIec104);
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0].packets, 2u);
+  // The reordered inter-arrival sample is skipped, not recorded as huge.
+  EXPECT_EQ(report.iec104_interarrival_s.count(), 0u);
+}
+
 TEST(Bandwidth, Names) {
   EXPECT_EQ(tap_protocol_name(TapProtocol::kIec104), "IEC 104");
   EXPECT_EQ(tap_protocol_name(TapProtocol::kIccp), "ICCP");

@@ -138,5 +138,107 @@ TEST(Checkpoint, LatestFailsWhenBothGenerationsUnusable) {
   EXPECT_FALSE(r.ok());
 }
 
+// --- Torn-write hardening: every on-disk state a killed writer can leave ---
+
+TEST(Checkpoint, TornPrimaryNeverRotatedOverValidFallback) {
+  // A writer torn mid-overwrite leaves a corrupt primary next to a valid
+  // `.1`. The next successful write must NOT rotate the corrupt primary
+  // over the last good generation.
+  auto path = temp_path("torn_rotate.ckpt");
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".1");
+  auto gen1 = payload_of({1, 1, 1});
+  auto gen3 = payload_of({3, 3, 3});
+  ASSERT_TRUE(write_checkpoint_file(path, gen1).ok());
+  ASSERT_TRUE(write_checkpoint_file(path, payload_of({2, 2, 2})).ok());
+  // .1 now holds gen1. Tear the primary (gen2).
+  auto bytes = read_raw(path);
+  bytes.resize(7);
+  write_raw(path, bytes);
+
+  ASSERT_TRUE(write_checkpoint_file(path, gen3).ok());
+  auto primary = read_checkpoint_file(path);
+  auto fallback = read_checkpoint_file(path + ".1");
+  ASSERT_TRUE(primary.ok());
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_EQ(*primary, gen3);
+  EXPECT_EQ(*fallback, gen1) << "torn primary was rotated over the good .1";
+}
+
+TEST(Checkpoint, ValidTornPrimaryStillRotatesNormally) {
+  // When the primary is intact, rotation must keep working even though the
+  // writer now validates before rotating.
+  auto path = temp_path("still_rotates.ckpt");
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".1");
+  auto gen1 = payload_of({1});
+  auto gen2 = payload_of({2});
+  ASSERT_TRUE(write_checkpoint_file(path, gen1).ok());
+  ASSERT_TRUE(write_checkpoint_file(path, gen2).ok());
+  auto rotated = read_checkpoint_file(path + ".1");
+  ASSERT_TRUE(rotated.ok());
+  EXPECT_EQ(*rotated, gen1);
+}
+
+TEST(Checkpoint, KilledBeforeRenameLeavesStaleTmpRestoreNeedsNoCleanup) {
+  // Writer killed after writing `.tmp` but before the rename: a truncated
+  // `.tmp` sits next to a valid `.1` and no primary. Restore must fall
+  // back to `.1` with the stale `.tmp` still on disk, and the next write
+  // must simply replace the stale `.tmp`.
+  auto path = temp_path("stale_tmp.ckpt");
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".1");
+  std::filesystem::remove(path + ".tmp");
+  auto gen1 = payload_of({9, 9, 9});
+  ASSERT_TRUE(write_checkpoint_file(path, gen1).ok());
+  std::filesystem::rename(path, path + ".1");  // primary became the fallback
+  write_raw(path + ".tmp", payload_of({0x55, 0x4e}));  // torn mid-header
+
+  auto r = read_latest_checkpoint(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, gen1);
+
+  auto gen2 = payload_of({10, 10});
+  ASSERT_TRUE(write_checkpoint_file(path, gen2).ok());
+  auto primary = read_checkpoint_file(path);
+  ASSERT_TRUE(primary.ok());
+  EXPECT_EQ(*primary, gen2);
+}
+
+TEST(Checkpoint, WriterKilledMidRotationSequenceIsRecoverable) {
+  // Walk the writer's own sequence (write .tmp, rotate primary to .1,
+  // rename .tmp to primary) and verify read_latest_checkpoint() recovers
+  // a full generation at every intermediate state a SIGKILL can expose.
+  auto path = temp_path("kill_states.ckpt");
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".1");
+  std::filesystem::remove(path + ".tmp");
+  auto gen1 = payload_of({1, 2, 3});
+  ASSERT_TRUE(write_checkpoint_file(path, gen1).ok());
+
+  // State 1: killed mid-.tmp write (torn tmp, intact primary).
+  write_raw(path + ".tmp", payload_of({0x55}));
+  auto r1 = read_latest_checkpoint(path);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(*r1, gen1);
+
+  // State 2: killed after rotating primary to .1, before the final rename
+  // (valid complete .tmp, valid .1, no primary). The previous generation
+  // is the newest *visible* one and must win.
+  std::filesystem::remove(path + ".tmp");
+  auto gen2 = payload_of({4, 5, 6});
+  ASSERT_TRUE(write_checkpoint_file(path, gen2).ok());  // .1 = gen1
+  std::filesystem::rename(path, path + ".0-being-renamed");
+  auto r2 = read_latest_checkpoint(path);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, gen1);
+  std::filesystem::rename(path + ".0-being-renamed", path);
+
+  // State 3: back to normal, the full sequence completes.
+  auto r3 = read_latest_checkpoint(path);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(*r3, gen2);
+}
+
 }  // namespace
 }  // namespace uncharted::core

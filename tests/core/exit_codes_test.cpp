@@ -1,0 +1,112 @@
+// The CLI exit-code contract (README "Exit codes"): every tool reports
+// 0 = clean, 1 = usage/unreadable input, 2 = degraded, 3 = hostile
+// (hostile wins over degraded). These tests shell out to the real
+// binaries, because the contract is what scripts/soak.sh and operators'
+// cron jobs consume.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+#ifndef UNCHARTED_BIN_IEC104DUMP
+#error "UNCHARTED_BIN_IEC104DUMP must point at the iec104dump binary"
+#endif
+
+int run(const std::string& cmd) {
+  const int rc = std::system((cmd + " >/dev/null 2>&1").c_str());
+  if (rc == -1 || !WIFEXITED(rc)) return -1;
+  return WEXITSTATUS(rc);
+}
+
+std::string quoted(const char* path) { return "'" + std::string(path) + "'"; }
+
+/// Lazily generated fixture pcaps, shared by every test in the process.
+struct Pcaps {
+  std::string clean;
+  std::string truncated;
+  std::string hostile;
+};
+
+const Pcaps& pcaps() {
+  static const Pcaps p = [] {
+    const std::string dir = testing::TempDir();
+    Pcaps out;
+    out.clean = dir + "/exitcodes_clean.pcap";
+    out.truncated = dir + "/exitcodes_truncated.pcap";
+    out.hostile = dir + "/exitcodes_hostile.pcap";
+    EXPECT_EQ(run(quoted(UNCHARTED_BIN_CAPTURE_GENERATOR) +
+                  " --year 1 --duration 10 --seed 7 --no-events --out " +
+                  out.clean),
+              0);
+    EXPECT_EQ(run(quoted(UNCHARTED_BIN_CAPTURE_GENERATOR) +
+                  " --year 1 --duration 10 --seed 7 --no-events --hostile "
+                  "--out " +
+                  out.hostile),
+              0);
+    // Chop the clean pcap mid-record: a truncated tail is the mildest
+    // degradation the pipeline reports.
+    std::ifstream in(out.clean, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    EXPECT_GT(bytes.size(), 64u);
+    std::ofstream cut(out.truncated, std::ios::binary);
+    cut.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 11));
+    return out;
+  }();
+  return p;
+}
+
+TEST(ExitCodes, CleanCaptureExitsZero) {
+  EXPECT_EQ(run(quoted(UNCHARTED_BIN_IEC104DUMP) + " " + pcaps().clean +
+                " --conformance --limit 1"),
+            0);
+}
+
+TEST(ExitCodes, UnreadableInputExitsOne) {
+  EXPECT_EQ(run(quoted(UNCHARTED_BIN_IEC104DUMP) + " /no/such/capture.pcap"),
+            1);
+}
+
+TEST(ExitCodes, UsageErrorsExitOne) {
+  EXPECT_EQ(run(quoted(UNCHARTED_BIN_CAPTURE_GENERATOR) + " --no-such-flag"),
+            1);
+  EXPECT_EQ(run(quoted(UNCHARTED_BIN_IEC104D) + " --no-such-flag"), 1);
+  EXPECT_EQ(run(quoted(UNCHARTED_BIN_LONGRUN_MONITOR) + " --no-such-flag"), 1);
+}
+
+TEST(ExitCodes, TruncatedCaptureExitsTwoDegraded) {
+  EXPECT_EQ(run(quoted(UNCHARTED_BIN_IEC104DUMP) + " " + pcaps().truncated +
+                " --limit 1"),
+            2);
+}
+
+TEST(ExitCodes, HostileCaptureExitsThreeAndWinsOverDegraded) {
+  EXPECT_EQ(run(quoted(UNCHARTED_BIN_IEC104DUMP) + " " + pcaps().hostile +
+                " --conformance --limit 1"),
+            3);
+}
+
+TEST(ExitCodes, LongrunMonitorHonorsTheSameLadder) {
+  EXPECT_EQ(run(quoted(UNCHARTED_BIN_LONGRUN_MONITOR) + " --pcap " +
+                pcaps().clean + " --quiet"),
+            0);
+  EXPECT_EQ(run(quoted(UNCHARTED_BIN_LONGRUN_MONITOR) + " --pcap " +
+                pcaps().truncated + " --quiet"),
+            2);
+  EXPECT_EQ(run(quoted(UNCHARTED_BIN_LONGRUN_MONITOR) + " --pcap " +
+                pcaps().hostile + " --quiet"),
+            3);
+}
+
+TEST(ExitCodes, IdleDaemonDrainsCleanWithExitZero) {
+  EXPECT_EQ(run(quoted(UNCHARTED_BIN_IEC104D) +
+                " --port 0 --run-for 0.2 --quiet"),
+            0);
+}
+
+}  // namespace

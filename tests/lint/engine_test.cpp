@@ -42,6 +42,10 @@ TEST(LintEngine, GoldenBadRepoFlagsEveryRule) {
       {"src/analysis/rng.cpp", 10, "determinism-unseeded-rng"},
       {"src/analysis/rng.cpp", 11, "determinism-unseeded-rng"},
       {"src/analysis/rng.cpp", 13, "determinism-unseeded-rng"},
+      {"src/analysis/rawsock.cpp", 5, "netd-raw-socket"},
+      {"src/analysis/rawsock.cpp", 6, "netd-raw-socket"},
+      {"src/analysis/rawsock.cpp", 7, "netd-raw-socket"},
+      {"src/analysis/rawsock.cpp", 8, "netd-raw-socket"},
       {"src/analysis/unordered.cpp", 11, "determinism-unordered-container"},
       {"src/analysis/unordered.cpp", 12, "determinism-unordered-container"},
       {"src/analysis/unordered.cpp", 13, "determinism-pointer-key"},
@@ -71,12 +75,14 @@ TEST(LintEngine, SuppressionsHonoredAndCounted) {
   options.root = std::string(UNCHARTED_LINT_FIXTURES) + "/allowrepo";
   const Report report = run_scan(options);
   EXPECT_TRUE(report.clean()) << render_text(report);
-  ASSERT_EQ(report.suppressions.size(), 2u);
+  ASSERT_EQ(report.suppressions.size(), 3u);
   EXPECT_EQ(report.suppressions[0].rule, "determinism-unordered-container");
   EXPECT_EQ(report.suppressions[0].line, 9);
   EXPECT_FALSE(report.suppressions[0].justification.empty());
   EXPECT_EQ(report.suppressions[1].rule, "determinism-unseeded-rng");
   EXPECT_EQ(report.suppressions[1].line, 11);
+  EXPECT_EQ(report.suppressions[2].rule, "netd-raw-socket");
+  EXPECT_EQ(report.suppressions[2].line, 14);
 }
 
 TEST(LintEngine, ExplicitPathScansFixturesVerbatim) {

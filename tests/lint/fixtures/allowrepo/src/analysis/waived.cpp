@@ -1,5 +1,5 @@
-// Fixture: valid suppressions — this mini-repo scans clean with exactly two
-// counted waivers (same-line form and line-above form). Never compiled.
+// Fixture: valid suppressions — this mini-repo scans clean with exactly
+// three counted waivers (same-line form and line-above form). Never compiled.
 #include <random>
 #include <unordered_map>
 
@@ -11,6 +11,8 @@ void waived() {
   std::random_device rd;
   (void)scratch;
   (void)rd;
+  int fd = accept(0, nullptr, nullptr);  // UNCHARTED-LINT-ALLOW(netd-raw-socket): fixture exercising the socket-call waiver
+  (void)fd;
 }
 
 }  // namespace fixture

@@ -1,0 +1,18 @@
+// Golden-bad fixture: netd-raw-socket. Never compiled.
+namespace fixture {
+
+int ingest(int listen_fd, void* buf, unsigned long len) {
+  int fd = accept(listen_fd, nullptr, nullptr);       // line 5: bare accept
+  long n = ::recv(fd, buf, len, 0);                   // line 6: global recv
+  n += ::read(fd, buf, len);                          // line 7: global read
+  int ep = epoll_create1(0);                          // line 8: bare epoll
+  // Not flagged: member calls, qualified calls, and generic names bare.
+  struct Sock { long read(void*, unsigned long) { return 0; } } s;
+  n += s.read(buf, len);
+  long read = 0;  // a plain identifier named `read`
+  (void)read;
+  (void)ep;
+  return static_cast<int>(n);
+}
+
+}  // namespace fixture

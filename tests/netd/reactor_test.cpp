@@ -1,0 +1,160 @@
+// Reactor: timers, fd readiness, deterministic dispatch order, and the
+// signal-safe wakeup — exercised on both backends where they differ.
+#include "netd/reactor.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace uncharted::netd {
+namespace {
+
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() {
+    EXPECT_EQ(::pipe(fds), 0);
+    EXPECT_TRUE(Reactor::make_nonblocking(fds[0]).ok());
+    EXPECT_TRUE(Reactor::make_nonblocking(fds[1]).ok());
+  }
+  ~Pipe() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  void poke() const { ASSERT_EQ(::write(fds[1], "x", 1), 1); }
+};
+
+std::vector<Backend> backends_under_test() {
+  std::vector<Backend> out = {Backend::kPoll};
+  if (Reactor::default_backend() == Backend::kEpoll) {
+    out.push_back(Backend::kEpoll);
+  }
+  return out;
+}
+
+TEST(Reactor, TimersFireInDeadlineOrderWithFifoTies) {
+  Reactor reactor;
+  std::string order;
+  reactor.add_timer_after(0.02, [&] { order += 'c'; });
+  reactor.add_timer_after(0.0, [&] { order += 'a'; });
+  reactor.add_timer_after(0.0, [&] { order += 'b'; });  // same deadline: FIFO
+  for (int i = 0; i < 50 && order.size() < 3; ++i) reactor.run_once(10);
+  EXPECT_EQ(order, "abc");
+}
+
+TEST(Reactor, CancelledTimerNeverFires) {
+  Reactor reactor;
+  bool fired = false;
+  auto id = reactor.add_timer_after(0.0, [&] { fired = true; });
+  reactor.cancel_timer(id);
+  for (int i = 0; i < 5; ++i) reactor.run_once(5);
+  EXPECT_FALSE(fired);
+}
+
+TEST(Reactor, TimerCallbackMayArmAnotherTimer) {
+  Reactor reactor;
+  int fires = 0;
+  std::function<void()> again = [&] {
+    if (++fires < 3) reactor.add_timer_after(0.0, again);
+  };
+  reactor.add_timer_after(0.0, again);
+  for (int i = 0; i < 50 && fires < 3; ++i) reactor.run_once(5);
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(Reactor, FdReadinessDispatchesOnBothBackends) {
+  for (Backend backend : backends_under_test()) {
+    Reactor reactor(backend);
+    Pipe p;
+    int events_seen = 0;
+    ASSERT_TRUE(reactor.add_fd(p.fds[0], kEventRead, [&](std::uint32_t ev) {
+                  EXPECT_TRUE(ev & kEventRead);
+                  ++events_seen;
+                  std::array<char, 8> buf;
+                  while (::read(p.fds[0], buf.data(), buf.size()) > 0) {
+                  }
+                }).ok());
+    EXPECT_EQ(reactor.fd_count(), 1u);
+    p.poke();
+    for (int i = 0; i < 50 && events_seen == 0; ++i) reactor.run_once(10);
+    EXPECT_EQ(events_seen, 1) << "backend " << static_cast<int>(backend);
+    reactor.remove_fd(p.fds[0]);
+    EXPECT_EQ(reactor.fd_count(), 0u);
+  }
+}
+
+TEST(Reactor, ReadyFdsDispatchInAscendingFdOrder) {
+  for (Backend backend : backends_under_test()) {
+    Reactor reactor(backend);
+    Pipe a;
+    Pipe b;  // opened second: higher fd numbers
+    ASSERT_LT(a.fds[0], b.fds[0]);
+    std::vector<int> order;
+    for (Pipe* p : {&b, &a}) {  // registration order deliberately reversed
+      int rfd = p->fds[0];
+      ASSERT_TRUE(reactor.add_fd(rfd, kEventRead, [&order, rfd](std::uint32_t) {
+                    order.push_back(rfd);
+                  }).ok());
+      p->poke();
+    }
+    for (int i = 0; i < 50 && order.size() < 2; ++i) reactor.run_once(10);
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_LT(order[0], order[1])
+        << "dispatch must be ascending-fd on backend " << static_cast<int>(backend);
+    reactor.remove_fd(a.fds[0]);
+    reactor.remove_fd(b.fds[0]);
+  }
+}
+
+TEST(Reactor, SetInterestMasksEvents) {
+  Reactor reactor;
+  Pipe p;
+  int called = 0;
+  ASSERT_TRUE(
+      reactor.add_fd(p.fds[0], 0, [&](std::uint32_t) { ++called; }).ok());
+  p.poke();
+  for (int i = 0; i < 3; ++i) reactor.run_once(5);
+  EXPECT_EQ(called, 0) << "no interest bits: no callbacks";
+  ASSERT_TRUE(reactor.set_interest(p.fds[0], kEventRead).ok());
+  for (int i = 0; i < 50 && called == 0; ++i) reactor.run_once(10);
+  EXPECT_GE(called, 1);
+  reactor.remove_fd(p.fds[0]);
+}
+
+TEST(Reactor, CallbackMayRemoveItsOwnFd) {
+  Reactor reactor;
+  Pipe p;
+  int called = 0;
+  ASSERT_TRUE(reactor.add_fd(p.fds[0], kEventRead, [&](std::uint32_t) {
+                ++called;
+                reactor.remove_fd(p.fds[0]);
+              }).ok());
+  p.poke();
+  for (int i = 0; i < 10; ++i) reactor.run_once(5);
+  EXPECT_EQ(called, 1);
+  EXPECT_EQ(reactor.fd_count(), 0u);
+}
+
+TEST(Reactor, StopFromTimerEndsRun) {
+  Reactor reactor;
+  reactor.add_timer_after(0.0, [&] { reactor.stop(); });
+  reactor.run();  // must return promptly
+  EXPECT_TRUE(reactor.stopped());
+}
+
+TEST(Reactor, NotifyFromSignalRunsWakeupCallback) {
+  Reactor reactor;
+  bool woke = false;
+  reactor.set_wakeup_callback([&] {
+    woke = true;
+    reactor.stop();
+  });
+  reactor.notify_from_signal();
+  for (int i = 0; i < 50 && !woke; ++i) reactor.run_once(10);
+  EXPECT_TRUE(woke);
+}
+
+}  // namespace
+}  // namespace uncharted::netd

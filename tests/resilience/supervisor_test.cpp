@@ -122,6 +122,88 @@ TEST(Supervisor, JitteredBackoffStaysWithinConfiguredBand) {
   EXPECT_EQ(count_kind(late, Action::Kind::kOpenConnection, 0), 1);
 }
 
+/// Drives a supervisor whose every connect attempt fails instantly, at a
+/// 10 ms tick, and returns the timestamps of each kOpenConnection on the
+/// primary: the reconnect schedule the jittered backoff produced.
+std::vector<Timestamp> reconnect_schedule(const SupervisorConfig& config,
+                                          double horizon_s) {
+  RedundancySupervisor sup(config);
+  std::vector<Timestamp> schedule;
+  for (Timestamp now = kT0; now < kT0 + from_seconds(horizon_s);
+       now += from_seconds(0.01)) {
+    auto actions = sup.on_tick(now);
+    for (const auto& a : actions) {
+      if (a.kind != Action::Kind::kOpenConnection || a.endpoint != 0) continue;
+      schedule.push_back(now);
+      sup.on_connect_failed(now, 0);
+    }
+  }
+  return schedule;
+}
+
+/// Same, but connect attempts are never answered at all: the supervisor's
+/// own connect_timeout_s must fail them before backoff can be scheduled.
+std::vector<Timestamp> timeout_schedule(const SupervisorConfig& config,
+                                        double horizon_s) {
+  RedundancySupervisor sup(config);
+  std::vector<Timestamp> schedule;
+  for (Timestamp now = kT0; now < kT0 + from_seconds(horizon_s);
+       now += from_seconds(0.01)) {
+    auto actions = sup.on_tick(now);
+    for (const auto& a : actions) {
+      if (a.kind == Action::Kind::kOpenConnection && a.endpoint == 0) {
+        schedule.push_back(now);
+      }
+    }
+  }
+  return schedule;
+}
+
+TEST(Supervisor, SameSeedYieldsIdenticalReconnectSchedule) {
+  SupervisorConfig config;
+  config.backoff_initial_s = 0.5;
+  config.backoff_max_s = 4.0;
+  config.backoff_jitter = 0.25;
+  config.circuit_failure_threshold = 1000;
+  config.seed = 42;
+
+  auto a = reconnect_schedule(config, 60.0);
+  auto b = reconnect_schedule(config, 60.0);
+  ASSERT_GT(a.size(), 5u) << "scenario produced too few retries to compare";
+  EXPECT_EQ(a, b) << "same seed must reproduce the exact reconnect schedule";
+
+  config.seed = 43;
+  auto c = reconnect_schedule(config, 60.0);
+  EXPECT_NE(a, c) << "different seeds should desynchronize the jitter";
+}
+
+TEST(Supervisor, ConnectTimeoutScheduleDeterministicUnderFixedSeed) {
+  SupervisorConfig config;
+  config.connect_timeout_s = 2.0;
+  config.backoff_initial_s = 0.5;
+  config.backoff_max_s = 2.0;
+  config.backoff_jitter = 0.25;
+  config.circuit_failure_threshold = 1000;
+  config.seed = 7;
+
+  auto a = timeout_schedule(config, 40.0);
+  auto b = timeout_schedule(config, 40.0);
+  // The transport never answers, so every retry after the first is the
+  // product of connect_timeout_s + jittered backoff — and must replay
+  // exactly under the same seed.
+  ASSERT_GT(a.size(), 3u) << "connect timeout never fired";
+  EXPECT_EQ(a, b);
+
+  // Consecutive attempts are separated by at least the connect timeout
+  // plus the jitter floor of the backoff delay.
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_GE(a[i] - a[i - 1],
+              from_seconds(config.connect_timeout_s +
+                           config.backoff_initial_s * (1.0 - config.backoff_jitter)) -
+                  from_seconds(0.02));
+  }
+}
+
 TEST(Supervisor, CircuitBreakerOpensAndProbesHalfOpen) {
   auto config = no_jitter_config();
   config.circuit_failure_threshold = 3;

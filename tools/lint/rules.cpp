@@ -261,6 +261,52 @@ void rule_decoder_bytes(const FileContext& ctx, const std::vector<Token>& code,
   }
 }
 
+// ---------------------------------------------------------------------------
+// netd-raw-socket
+// ---------------------------------------------------------------------------
+
+void rule_raw_socket(const FileContext& ctx, const std::vector<Token>& code,
+                     std::vector<Finding>& out) {
+  // Names that are unambiguously socket/reactor plumbing: flagged as a bare
+  // or global-scope call anywhere outside src/netd.
+  static const std::array<const char*, 11> kAlways = {
+      "socket", "accept", "accept4",       "listen",
+      "recv",   "recvfrom", "recvmsg",     "epoll_create",
+      "epoll_create1", "epoll_ctl", "epoll_wait"};
+  // Names too generic to flag bare (read/write/bind/connect are everywhere):
+  // flagged only as an explicit global-scope `::name(` call.
+  static const std::array<const char*, 9> kGlobalOnly = {
+      "read", "write", "send", "sendto", "sendmsg",
+      "connect", "bind", "poll", "select"};
+  for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+    const Token& t = code[i];
+    if (t.kind != Tok::kIdent || !is_punct(code[i + 1], "(")) continue;
+    const bool always =
+        std::find(kAlways.begin(), kAlways.end(), t.text) != kAlways.end();
+    const bool global_only = std::find(kGlobalOnly.begin(), kGlobalOnly.end(),
+                                       t.text) != kGlobalOnly.end();
+    if (!always && !global_only) continue;
+    bool global_scope = false;  // written `::name(`
+    if (i > 0) {
+      const Token& prev = code[i - 1];
+      if (prev.kind == Tok::kPunct && (prev.text == "." || prev.text == "->")) {
+        continue;  // member call
+      }
+      if (prev.kind == Tok::kPunct && prev.text == "::") {
+        // Qualified: `foo::name(` is some other API; `::name(` is libc.
+        if (i > 1 && code[i - 2].kind == Tok::kIdent) continue;
+        global_scope = true;
+      }
+    }
+    if (!always && !global_scope) continue;
+    add(out, ctx, "netd-raw-socket", t.line,
+        (global_scope ? "::" + t.text : t.text) +
+            "(): blocking socket calls outside src/netd stall the analysis "
+            "path and bypass admission control/backpressure; go through the "
+            "netd reactor, IngestServer, or FleetClient");
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rule_catalog() {
@@ -281,6 +327,9 @@ const std::vector<RuleInfo>& rule_catalog() {
        "util/bytes)"},
       {"decoder-memcpy",
        "no memcpy/memmove in decoder modules (use util/bytes)"},
+      {"netd-raw-socket",
+       "no raw blocking socket calls (::accept/::recv/epoll_* ...) outside "
+       "src/netd (use the reactor/IngestServer/FleetClient)"},
       {"layering-order",
        "module includes must follow the ranked DAG (util -> net -> decoders "
        "-> analysis -> core)"},
@@ -313,6 +362,11 @@ void run_token_rules(const FileContext& ctx, const std::vector<Token>& tokens,
   rule_seq15(ctx, code, out);
   if (is_decoder_module(ctx)) {
     rule_decoder_bytes(ctx, code, out);
+  }
+  if ((ctx.zone == Zone::kSrc || ctx.zone == Zone::kBench ||
+       ctx.zone == Zone::kExamples) &&
+      ctx.module != "netd") {
+    rule_raw_socket(ctx, code, out);
   }
 }
 

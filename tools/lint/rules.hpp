@@ -18,6 +18,11 @@
 //                                    wire buffers inside decoder modules —
 //                                    bounded access goes through util/bytes
 //   decoder-memcpy                   no memcpy inside decoder modules
+//   netd-raw-socket                  no raw blocking socket calls
+//                                    (::accept/::recv/epoll_* ...) outside
+//                                    src/netd — live I/O goes through the
+//                                    non-blocking reactor so nothing can
+//                                    stall the analysis path
 //   layering-order                   module includes must follow the ranked
 //                                    DAG in include_graph.cpp
 //   layering-cycle                   the file-level include graph must be
