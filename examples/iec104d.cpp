@@ -20,10 +20,12 @@
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "core/export.hpp"
 #include "core/liveingest.hpp"
+#include "faultinject/sysfault.hpp"
 #include "util/strings.hpp"
 
 using namespace uncharted;
@@ -49,7 +51,9 @@ void usage(const char* argv0) {
       "          [--no-forced-release] [--handshake-timeout S]\n"
       "          [--read-timeout S] [--idle-timeout S] [--query-sock PATH]\n"
       "          [--max-flows N] [--max-reassembly-bytes N] [--max-records N]\n"
-      "          [--max-parsers N] [--reassembled] [--quiet]\n",
+      "          [--max-parsers N] [--reassembled] [--quiet]\n"
+      "          [--sysfault-rate R] [--sysfault-seed N]\n"
+      "          [--sysfault-mode network|storage|compound]\n",
       argv0);
 }
 
@@ -64,6 +68,9 @@ int main(int argc, char** argv) {
   double run_for = 0.0;
   std::uint64_t kill_after_frames = 0;
   std::string report_path;
+  double sysfault_rate = 0.0;
+  std::uint64_t sysfault_seed = 1;
+  std::string sysfault_mode = "compound";
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -131,13 +138,39 @@ int main(int argc, char** argv) {
       options.streaming.analyze.mode = analysis::ParseMode::kReassembled;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--sysfault-rate") {
+      sysfault_rate = std::atof(next());
+    } else if (arg == "--sysfault-seed") {
+      sysfault_seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--sysfault-mode") {
+      sysfault_mode = next();
     } else {
       usage(argv[0]);
       return 1;
     }
   }
 
-  netd::Reactor reactor;
+  // Self-chaos: one FaultySysOps shared by the reactor, the ingest
+  // server, and the checkpoint writer — the soak script's in-binary knob.
+  std::unique_ptr<faultinject::FaultySysOps> sysfault;
+  if (sysfault_rate > 0.0) {
+    faultinject::SysFaultPlan plan;
+    if (sysfault_mode == "network") {
+      plan = faultinject::SysFaultPlan::network(sysfault_rate, sysfault_seed);
+    } else if (sysfault_mode == "storage") {
+      plan = faultinject::SysFaultPlan::storage(sysfault_rate, sysfault_seed);
+    } else if (sysfault_mode == "compound") {
+      plan = faultinject::SysFaultPlan::compound(sysfault_rate, sysfault_seed);
+    } else {
+      usage(argv[0]);
+      return 1;
+    }
+    sysfault = std::make_unique<faultinject::FaultySysOps>(plan);
+    options.server.sys = sysfault.get();
+    options.sys = sysfault.get();
+  }
+
+  netd::Reactor reactor(netd::Reactor::default_backend(), sysfault.get());
   g_reactor = &reactor;
   std::signal(SIGTERM, on_signal);
   std::signal(SIGINT, on_signal);
@@ -184,6 +217,12 @@ int main(int argc, char** argv) {
   }
 
   reactor.run();
+  if (sysfault) {
+    // Chaos stops at drain: the final checkpoint and report measure
+    // recovery, not luck (inject -> stop -> verify steady state).
+    sysfault->set_enabled(false);
+    std::fprintf(stderr, "sysfault: %s\n", sysfault->log().summary().c_str());
+  }
   if (!quiet) {
     std::fprintf(stderr, "draining: %s\n", daemon.server().stats_line().c_str());
   }

@@ -51,10 +51,11 @@ ASAN_OPTIONS=strict_string_checks=1:detect_stack_use_after_return=1 \
 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --preset debug-asan-ubsan -j "$jobs"
 
-echo "==> [4/8] chaos sweep under sanitizers (fault injection 0-20%)"
+echo "==> [4/8] chaos sweep under sanitizers (packet faults 0-20% + syscall/storage faults)"
 ASAN_OPTIONS=strict_string_checks=1:detect_stack_use_after_return=1 \
 UBSAN_OPTIONS=print_stacktrace=1 \
-  ctest --preset debug-asan-ubsan -R 'ChaosSweep|FaultInject' --output-on-failure
+  ctest --preset debug-asan-ubsan \
+    -R 'ChaosSweep|FaultInject|SysFault|CheckpointDurability' --output-on-failure
 
 echo "==> [5/8] hostile-peer: adversarial sweep under sanitizers"
 ASAN_OPTIONS=strict_string_checks=1:detect_stack_use_after_return=1 \

@@ -22,9 +22,19 @@
 # must exit 3 with zero benign flows dropped, and a peak-RSS bound
 # (UNCHARTED_SOAK_RSS_MB, default 1024).
 #
+# A third phase soaks the daemon's own syscall surface: iec104d is run
+# with --sysfault-rate/--sysfault-seed/--sysfault-mode compound (seeded
+# OS fault injection on read/write/accept/poll plus ENOSPC/EIO/torn
+# rename on the checkpoint writer), SIGKILL'd mid-ingest, restored from
+# whatever checkpoint survived the storage chaos, and the final report
+# byte-compared with a fault-free run. Pinned seeds
+# (UNCHARTED_SOAK_SYSFAULT_SEEDS, default "1 2 3") keep failures
+# replayable from the command line.
+#
 # Usage: scripts/soak.sh [--duration SECONDS] [--rates "0 0.01 0.05 0.20"]
 #                        [--seed N] [--build-dir DIR] [--kill-step PACKETS]
 #                        [--daemon-conns N] [--daemon-only] [--skip-daemon]
+#                        [--skip-sysfault]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,6 +47,9 @@ daemon_conns="${UNCHARTED_SOAK_CONNS:-500}"
 rss_bound_mb="${UNCHARTED_SOAK_RSS_MB:-1024}"
 daemon_only=0
 skip_daemon=0
+skip_sysfault=0
+sysfault_rate="${UNCHARTED_SOAK_SYSFAULT_RATE:-0.02}"
+sysfault_seeds="${UNCHARTED_SOAK_SYSFAULT_SEEDS:-1 2 3}"
 
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -48,6 +61,7 @@ while [ $# -gt 0 ]; do
     --daemon-conns) daemon_conns="$2"; shift 2 ;;
     --daemon-only)  daemon_only=1; shift ;;
     --skip-daemon)  skip_daemon=1; shift ;;
+    --skip-sysfault) skip_sysfault=1; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
@@ -318,12 +332,138 @@ daemon_soak() {
   fi
 }
 
+# ---------------------------------------------------------------------------
+# Sysfault soak: the daemon attacking its own syscalls (compound chaos)
+# ---------------------------------------------------------------------------
+
+sysfault_soak() {
+  local dur=10 threads=8
+
+  # Probe the deterministic fleet shape (same trick as daemon_soak; a
+  # single clone keeps this phase short — the gtest chaos soak covers the
+  # seed x thread matrix, this phase proves the shipped binary's knobs).
+  local probe streams frames
+  probe="$("$fleet_bin" --connect 127.0.0.1:9 --year 1 --duration "$dur" \
+             --seed "$seed" --retry-for 0 2>&1 || true)"
+  streams="$(printf '%s\n' "$probe" |
+             sed -n 's/^fleet: \([0-9][0-9]*\) streams.*/\1/p')"
+  frames="$(printf '%s\n' "$probe" |
+            sed -n 's/^fleet: .*, \([0-9][0-9]*\) frames$/\1/p')"
+  if [ -z "$streams" ] || [ "$streams" -eq 0 ]; then
+    echo "    FAIL: cannot probe fleet shape for the sysfault phase" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  echo "==> sysfault soak: $streams streams, $frames frames," \
+       "compound rate $sysfault_rate, seeds {$sysfault_seeds}"
+
+  # Fault-free reference report.
+  local sref="$workdir/sysfault_ref.json" port rc
+  : >"$workdir/sref.out"
+  "$daemon_bin" --port 0 --threads "$threads" --expect-streams "$streams" \
+      --drain-when-done --run-for 900 --report "$sref" --quiet \
+      >"$workdir/sref.out" 2>&1 &
+  local dref=$!
+  port="$(wait_for_port "$workdir/sref.out")" || {
+    echo "    FAIL: sysfault reference daemon never listened" >&2
+    failures=$((failures + 1)); kill "$dref" 2>/dev/null || true; return
+  }
+  "$fleet_bin" --connect "127.0.0.1:$port" --year 1 --duration "$dur" \
+      --seed "$seed" --quiet || {
+    echo "    FAIL: sysfault reference fleet dropped benign flows" >&2
+    failures=$((failures + 1))
+  }
+  rc=0; wait "$dref" || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "    FAIL: sysfault reference daemon exited $rc (want 0)" >&2
+    failures=$((failures + 1)); return
+  fi
+
+  local sfseed
+  for sfseed in $sysfault_seeds; do
+    echo "==> sysfault kill/restore @ seed $sfseed (rate $sysfault_rate, compound)"
+    local sckpt="$workdir/sysfault_s$sfseed.ckpt"
+    local sout="$workdir/sysfault_s$sfseed.json"
+    rm -f "$sckpt" "$sckpt.1"
+
+    # Pre-kill incarnation: ingest a third of the capture under fire.
+    # Periodic checkpoints race the storage faults; any generation that
+    # lands whole is enough for the restore.
+    : >"$workdir/skill.out"
+    "$daemon_bin" --port 0 --threads "$threads" --expect-streams "$streams" \
+        --checkpoint "$sckpt" --interval 0.2 --run-for 900 \
+        --kill-after-frames $((frames / 3)) \
+        --sysfault-rate "$sysfault_rate" --sysfault-seed "$sfseed" \
+        --sysfault-mode compound --quiet \
+        >"$workdir/skill.out" 2>&1 &
+    local d1=$!
+    port="$(wait_for_port "$workdir/skill.out")" || {
+      echo "    FAIL: sysfault daemon (pre-kill) never listened" >&2
+      failures=$((failures + 1)); kill "$d1" 2>/dev/null || true; continue
+    }
+    "$fleet_bin" --connect "127.0.0.1:$port" --year 1 --duration "$dur" \
+        --seed "$seed" --linger --retry-for 300 --quiet \
+        >/dev/null 2>&1 &
+    local fpid=$!
+    rc=0; wait "$d1" || rc=$?
+    if [ "$rc" -ne 42 ]; then
+      echo "    FAIL: sysfault daemon did not simulate the crash (exit $rc, want 42)" >&2
+      cat "$workdir/skill.out" >&2
+      failures=$((failures + 1))
+      kill -TERM "$fpid" 2>/dev/null || true; wait "$fpid" 2>/dev/null || true
+      continue
+    fi
+
+    # Restore on the same port, still under fire, and drain to a report.
+    rc=0
+    "$daemon_bin" --port "$port" --threads "$threads" \
+        --expect-streams "$streams" --checkpoint "$sckpt" --restore \
+        --drain-when-done --run-for 900 --report "$sout" \
+        --sysfault-rate "$sysfault_rate" --sysfault-seed "$sfseed" \
+        --sysfault-mode compound --quiet \
+        >"$workdir/srestore.out" 2>&1 || rc=$?
+    if [ "$rc" -ne 0 ]; then
+      echo "    FAIL: restored sysfault daemon exited $rc (want 0)" >&2
+      cat "$workdir/srestore.out" >&2
+      failures=$((failures + 1))
+      kill -TERM "$fpid" 2>/dev/null || true; wait "$fpid" 2>/dev/null || true
+      continue
+    fi
+
+    kill -TERM "$fpid" 2>/dev/null || true
+    rc=0; wait "$fpid" || rc=$?
+    if [ "$rc" -ne 0 ]; then
+      echo "    FAIL: fleet dropped benign flows under syscall chaos (exit $rc)" >&2
+      failures=$((failures + 1)); continue
+    fi
+
+    # The fault ledger (stderr summary) proves the chaos actually fired.
+    local ledger
+    ledger="$(sed -n 's/^sysfault: //p' "$workdir/srestore.out" | head -n 1)"
+    echo "    faults injected: ${ledger:-none reported}"
+    if [ -z "$ledger" ] || [ "$ledger" = "clean" ]; then
+      echo "    FAIL: sysfault run injected nothing at seed $sfseed" >&2
+      failures=$((failures + 1))
+    fi
+
+    if cmp -s "$sref" "$sout"; then
+      echo "    sysfault kill/restore report == fault-free report (seed $sfseed)"
+    else
+      echo "    FAIL: report diverged under syscall chaos at seed $sfseed" >&2
+      failures=$((failures + 1))
+    fi
+  done
+}
+
 if [ "$skip_daemon" -eq 0 ]; then
   daemon_soak
+fi
+if [ "$skip_daemon" -eq 0 ] && [ "$skip_sysfault" -eq 0 ]; then
+  sysfault_soak
 fi
 
 if [ "$failures" -gt 0 ]; then
   echo "==> soak FAILED ($failures phase(s) diverged or crashed)" >&2
   exit 1
 fi
-echo "==> soak passed: kill/restore == batch at every fault rate; daemon bounded, lossless, hostile-aware"
+echo "==> soak passed: kill/restore == batch at every fault rate; daemon bounded, lossless, hostile-aware; syscall chaos byte-identical"

@@ -9,11 +9,20 @@
 //
 // - Writes go to `path.tmp` and are renamed into place, so `path` is always
 //   either the previous complete checkpoint or the new complete one.
+// - The tmp file is fsync'd BEFORE the rename and the parent directory
+//   after it: without the first, a power loss after rename can surface a
+//   zero-length or torn file under the durable name (which rotation would
+//   then treat as the good copy); without the second, the rename itself
+//   may not survive the crash.
 // - The previous checkpoint is rotated to `path.1` first, so even a rename
 //   caught mid-crash leaves one recoverable generation.
 // - Readers validate magic, version, declared length and CRC-32 before
 //   trusting a byte; a truncated or corrupted file is a clean error, never
 //   a crash, and `read_latest_checkpoint` falls back to the rotation.
+// - Every write-path syscall goes through faultinject::SysOps, so the
+//   chaos tests can serve this code ENOSPC, EIO, failed fsync and torn
+//   rename deterministically. A failed write never leaves a half-visible
+//   checkpoint: the durable names keep their last good generation.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "faultinject/sysfault.hpp"
 #include "util/expected.hpp"
 
 namespace uncharted::core {
@@ -35,9 +45,12 @@ inline constexpr std::uint32_t kCheckpointMagic = 0x554E434B;  // "UNCK"
 inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 /// Atomically replaces `path` with a checkpoint wrapping `payload`,
-/// rotating any existing file to `path + ".1"` first.
+/// rotating any existing file to `path + ".1"` first. Durable: the tmp
+/// file is fsync'd before the rename, the directory after. `sys` routes
+/// the write-path syscalls (nullptr = the real kernel).
 Status write_checkpoint_file(const std::string& path,
-                             std::span<const std::uint8_t> payload);
+                             std::span<const std::uint8_t> payload,
+                             faultinject::SysOps* sys = nullptr);
 
 /// Reads and validates one checkpoint file; returns its payload.
 Result<std::vector<std::uint8_t>> read_checkpoint_file(const std::string& path);

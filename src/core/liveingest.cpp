@@ -79,8 +79,9 @@ void LiveIngestDaemon::arm_checkpoint_timer() {
   checkpoint_timer_ = reactor_.add_timer_after(options_.checkpoint_every_s, [this] {
     checkpoint_timer_armed_ = false;
     if (finalized_) return;
-    // A failed periodic write degrades durability, not availability.
-    if (auto st = checkpoint_now(); !st) checkpoint_error_ = st.error().str();
+    // A failed periodic write degrades durability, not availability:
+    // checkpoint_now() records it and the next interval retries.
+    (void)checkpoint_now();
     arm_checkpoint_timer();
   });
   checkpoint_timer_armed_ = true;
@@ -117,15 +118,31 @@ Status LiveIngestDaemon::checkpoint_now() {
   if (checkpoint_path_.empty()) {
     return Error{"checkpoint-unconfigured", "no checkpoint path set"};
   }
-  ByteWriter w;
-  w.u32le(kLiveMagic);
-  server_->save_cursors(w);
-  if (auto st = analyzer_->save_state(w); !st) return st;
-  return write_checkpoint_file(checkpoint_path_, w.view());
+  Status st = [&] {
+    ByteWriter w;
+    w.u32le(kLiveMagic);
+    server_->save_cursors(w);
+    if (auto s = analyzer_->save_state(w); !s) return s;
+    return write_checkpoint_file(checkpoint_path_, w.view(), options_.sys);
+  }();
+  if (st) {
+    // The on-disk snapshot is current again: clear the degradation flag.
+    checkpoint_error_.clear();
+  } else {
+    ++checkpoint_failures_;
+    checkpoint_error_ = st.error().str();
+  }
+  return st;
 }
 
 std::string LiveIngestDaemon::report_json() {
-  return report_to_json(analyzer_->report_snapshot());
+  AnalysisReport report = analyzer_->report_snapshot();
+  if (!checkpoint_error_.empty()) {
+    report.degradation.warnings.push_back(
+        "checkpoint degraded: " + checkpoint_error_ +
+        " (last good snapshot retained; retrying next interval)");
+  }
+  return report_to_json(report);
 }
 
 AnalysisReport LiveIngestDaemon::finalize() {
@@ -139,9 +156,9 @@ AnalysisReport LiveIngestDaemon::finalize() {
     pressure_timer_armed_ = false;
   }
   server_->close_all();
-  if (!checkpoint_path_.empty()) {
-    if (auto st = checkpoint_now(); !st) checkpoint_error_ = st.error().str();
-  }
+  // The final write clears checkpoint_error_ on success, so the report
+  // carries a warning only when the daemon genuinely ends degraded.
+  if (!checkpoint_path_.empty()) (void)checkpoint_now();
   AnalysisReport report = analyzer_->finalize();
   const netd::ServerStats& stats = server_->stats();
   if (stats.forced_releases > 0) {

@@ -42,6 +42,9 @@ struct LiveIngestOptions {
   double checkpoint_every_s = 2.0;
   /// Analyzer-pressure poll cadence (0 = coupling off).
   double pressure_poll_s = 1.0;
+  /// Syscall surface for the checkpoint writer (nullptr = the real
+  /// kernel). The server's I/O has its own knob in `server.sys`.
+  faultinject::SysOps* sys = nullptr;
 };
 
 class LiveIngestDaemon {
@@ -65,9 +68,22 @@ class LiveIngestDaemon {
   std::uint64_t frames_ingested() const { return analyzer_->packets_consumed(); }
 
   /// Writes the composed checkpoint now (no-op error when no path set).
+  /// Failures are absorbed into the degradation ledger: the counter and
+  /// last-error accessors below, and a warning in report_json() until a
+  /// later write succeeds. A failed checkpoint never kills the daemon;
+  /// the previous on-disk generation stays restorable.
   Status checkpoint_now();
 
+  /// Periodic checkpoint writes that have failed so far.
+  std::uint64_t checkpoint_failures() const { return checkpoint_failures_; }
+  /// Last checkpoint error, empty once a subsequent write succeeds (the
+  /// on-disk snapshot is current again).
+  const std::string& checkpoint_error() const { return checkpoint_error_; }
+
   /// Current report as deterministic JSON (the query-socket payload).
+  /// While the latest checkpoint write has failed, carries a degradation
+  /// warning naming the error — the operator-visible signal that the
+  /// daemon is serving from a stale snapshot.
   std::string report_json();
 
   /// Graceful drain: stop accepting, close every connection, write the
@@ -96,6 +112,7 @@ class LiveIngestDaemon {
   analysis::ResourcePressure last_pressure_;
   int pressure_level_ = 0;
   int calm_polls_ = 0;
+  std::uint64_t checkpoint_failures_ = 0;
   std::string checkpoint_error_;
 };
 

@@ -26,7 +26,10 @@ constexpr std::size_t kLorisDeliveredBytes = 16;
 
 FleetClient::FleetClient(Reactor& reactor, FleetConfig config,
                          std::vector<ReplayStream> streams)
-    : reactor_(reactor), config_(std::move(config)), rng_(config_.seed) {
+    : reactor_(reactor),
+      config_(std::move(config)),
+      sys_(config_.sys != nullptr ? *config_.sys : faultinject::real_sys_ops()),
+      rng_(config_.seed) {
   streams_.reserve(streams.size());
   for (auto& spec : streams) {
     StreamState st;
@@ -195,13 +198,13 @@ void FleetClient::on_readable(std::size_t idx) {
   bool peer_closed = false;
   while (true) {
     std::uint8_t buf[kReadChunk];
-    const ssize_t n = ::recv(st.fd, buf, sizeof buf, 0);
-    if (n > 0) {
-      st.in.insert(st.in.end(), buf, buf + n);
+    const faultinject::IoResult r =
+        faultinject::retry_recv(sys_, st.fd, buf, sizeof buf);
+    if (r.status == faultinject::IoStatus::kOk) {
+      st.in.insert(st.in.end(), buf, buf + r.bytes);
       continue;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    if (n < 0 && errno == EINTR) continue;
+    if (r.status == faultinject::IoStatus::kWouldBlock) break;
     // Peer closed (or reset). The server flushes its final ack and closes
     // immediately, so the ack and the EOF routinely arrive in one readable
     // event: parse what is buffered below BEFORE interpreting the close,
@@ -351,17 +354,17 @@ void FleetClient::pump_send(std::size_t idx) {
 void FleetClient::flush_out(std::size_t idx) {
   StreamState& st = streams_[idx];
   while (st.out_off < st.out.size()) {
-    const ssize_t n = ::send(st.fd, st.out.data() + st.out_off,
-                             st.out.size() - st.out_off, MSG_NOSIGNAL);
-    if (n > 0) {
-      st.out_off += static_cast<std::size_t>(n);
+    const faultinject::IoResult r =
+        faultinject::retry_send(sys_, st.fd, st.out.data() + st.out_off,
+                                st.out.size() - st.out_off, MSG_NOSIGNAL);
+    if (r.status == faultinject::IoStatus::kOk) {
+      st.out_off += r.bytes;
       continue;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+    if (r.status == faultinject::IoStatus::kWouldBlock) {
       (void)reactor_.set_interest(st.fd, kEventRead | kEventWrite);
       return;
     }
-    if (n < 0 && errno == EINTR) continue;
     if (st.spec.mode != ReplayMode::kBenign && st.loris_sent) {
       stats_.hostile_closed++;
       mark_done(idx);
@@ -449,7 +452,9 @@ void FleetClient::on_linger_tick() {
 // ---------------------------------------------------------------------------
 
 Result<std::string> fetch_report(const std::string& host, std::uint16_t port,
-                                 double timeout_s) {
+                                 double timeout_s, faultinject::SysOps* sys) {
+  faultinject::SysOps& ops =
+      sys != nullptr ? *sys : faultinject::real_sys_ops();
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Error{"netd-socket", std::strerror(errno)};
   timeval tv{};
@@ -474,21 +479,23 @@ Result<std::string> fetch_report(const std::string& host, std::uint16_t port,
   wire::encode_hello(w, wire::Hello{wire::HelloKind::kQuery, 0, 0});
   std::size_t off = 0;
   while (off < w.view().size()) {
-    const ssize_t n =
-        ::send(fd, w.view().data() + off, w.view().size() - off, MSG_NOSIGNAL);
-    if (n <= 0) {
+    const faultinject::IoResult r = faultinject::retry_send(
+        ops, fd, w.view().data() + off, w.view().size() - off, MSG_NOSIGNAL);
+    // Blocking socket: kWouldBlock here means SO_SNDTIMEO expired.
+    if (r.status != faultinject::IoStatus::kOk) {
       ::close(fd);
       return Error{"netd-send", "query hello send failed"};
     }
-    off += static_cast<std::size_t>(n);
+    off += r.bytes;
   }
   std::vector<std::uint8_t> in;
   auto read_until = [&](std::size_t want) -> bool {
     while (in.size() < want) {
       std::uint8_t buf[4096];
-      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
-      if (n <= 0) return false;
-      in.insert(in.end(), buf, buf + n);
+      const faultinject::IoResult r =
+          faultinject::retry_recv(ops, fd, buf, sizeof buf);
+      if (r.status != faultinject::IoStatus::kOk) return false;
+      in.insert(in.end(), buf, buf + r.bytes);
     }
     return true;
   };

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "faultinject/sysfault.hpp"
 #include "net/pcap.hpp"
 #include "netd/reactor.hpp"
 #include "netd/wire.hpp"
@@ -66,6 +67,8 @@ struct FleetConfig {
   /// Keep re-offering finished streams (see header comment).
   bool linger = false;
   double linger_recheck_s = 1.0;
+  /// Syscall surface for stream I/O (nullptr = the real kernel).
+  faultinject::SysOps* sys = nullptr;
 };
 
 struct FleetStats {
@@ -149,6 +152,7 @@ class FleetClient {
 
   Reactor& reactor_;
   FleetConfig config_;
+  faultinject::SysOps& sys_;
   std::vector<StreamState> streams_;
   Rng rng_;
   Timestamp epoch_ts_ = 0;  ///< min frame ts across the fleet
@@ -161,6 +165,7 @@ class FleetClient {
 /// connection (Hello kind=kQuery). Used by `iec104_fleet --query` and the
 /// tests; independent of any FleetClient.
 Result<std::string> fetch_report(const std::string& host, std::uint16_t port,
-                                 double timeout_s = 10.0);
+                                 double timeout_s = 10.0,
+                                 faultinject::SysOps* sys = nullptr);
 
 }  // namespace uncharted::netd

@@ -77,7 +77,9 @@ Status Reactor::make_nonblocking(int fd) {
   return Status::Ok();
 }
 
-Reactor::Reactor(Backend backend) : backend_(backend) {
+Reactor::Reactor(Backend backend, faultinject::SysOps* sys)
+    : backend_(backend),
+      sys_(sys != nullptr ? *sys : faultinject::real_sys_ops()) {
 #if UNCHARTED_NETD_HAVE_EPOLL
   if (backend_ == Backend::kEpoll) {
     epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
@@ -213,8 +215,8 @@ bool Reactor::run_once(int max_wait_ms) {
 #if UNCHARTED_NETD_HAVE_EPOLL
   if (backend_ == Backend::kEpoll) {
     std::vector<struct epoll_event> events(std::max<std::size_t>(fds_.size() + 1, 64));
-    int n = ::epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()),
-                         timeout_ms);
+    int n = sys_.epoll_wait(epoll_fd_, events.data(),
+                            static_cast<int>(events.size()), timeout_ms);
     for (int i = 0; i < n; ++i) {
       const int fd = events[static_cast<std::size_t>(i)].data.fd;
       ready.emplace_back(fd, from_epoll(events[static_cast<std::size_t>(i)].events));
@@ -229,7 +231,8 @@ bool Reactor::run_once(int max_wait_ms) {
     for (const auto& [fd, entry] : fds_) {
       pfds.push_back(pollfd{fd, to_poll(entry.interest), 0});
     }
-    int n = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), timeout_ms);
+    int n = sys_.poll_wait(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                           timeout_ms);
     if (n > 0) {
       for (const auto& p : pfds) {
         if (p.revents != 0) ready.emplace_back(p.fd, from_poll(p.revents));
@@ -242,7 +245,8 @@ bool Reactor::run_once(int max_wait_ms) {
   for (const auto& [fd, events] : ready) {
     if (fd == wake_read_) {
       char buf[64];
-      while (::read(wake_read_, buf, sizeof buf) > 0) {
+      while (faultinject::retry_read(sys_, wake_read_, buf, sizeof buf).status ==
+             faultinject::IoStatus::kOk) {
       }
       if (wakeup_cb_) wakeup_cb_();
       ran = true;
@@ -277,8 +281,12 @@ void Reactor::notify_from_signal() {
   if (wake_write_ < 0) return;
   const char byte = 1;
   // Async-signal-safe: a single write(2); EAGAIN just means a wakeup is
-  // already pending, which is equally good.
-  [[maybe_unused]] ssize_t rc = ::write(wake_write_, &byte, 1);
+  // already pending, which is equally good. Deliberately NOT routed
+  // through SysOps: a virtual dispatch into FaultySysOps (which mutates
+  // its RNG and fault ledger) is not reentrant from a signal handler.
+  [[maybe_unused]] ssize_t rc =
+      ::write(wake_write_, &byte, 1);  // UNCHARTED-LINT-ALLOW(netd-raw-socket): async-signal-safe self-pipe wakeup must bypass the (stateful, non-reentrant) SysOps shim
+
 }
 
 }  // namespace uncharted::netd

@@ -26,6 +26,7 @@
 #include <map>
 #include <utility>
 
+#include "faultinject/sysfault.hpp"
 #include "util/expected.hpp"
 
 namespace uncharted::netd {
@@ -50,7 +51,11 @@ class Reactor {
   /// kEpoll on Linux, kPoll elsewhere.
   static Backend default_backend();
 
-  explicit Reactor(Backend backend = default_backend());
+  /// `sys` routes the reactor's waits and wakeup-pipe reads (nullptr =
+  /// the real kernel); pass a faultinject::FaultySysOps to chaos-test the
+  /// loop itself.
+  explicit Reactor(Backend backend = default_backend(),
+                   faultinject::SysOps* sys = nullptr);
   ~Reactor();
 
   Reactor(const Reactor&) = delete;
@@ -106,6 +111,7 @@ class Reactor {
   int timeout_for(int max_wait_ms) const;
 
   Backend backend_;
+  faultinject::SysOps& sys_;
   int epoll_fd_ = -1;
   int wake_read_ = -1;
   int wake_write_ = -1;

@@ -42,6 +42,7 @@ std::size_t frame_cost(const net::CapturedPacket& pkt) {
 IngestServer::IngestServer(Reactor& reactor, ServerConfig config, FrameSink sink)
     : reactor_(reactor),
       config_(std::move(config)),
+      sys_(config_.sys != nullptr ? *config_.sys : faultinject::real_sys_ops()),
       sink_(std::move(sink)),
       tokens_(config_.accept_burst),
       last_refill_(MonoClock::now()) {}
@@ -181,10 +182,24 @@ void IngestServer::accept_loop(int listener_fd, bool unix_peer) {
     }
     sockaddr_in peer{};
     socklen_t len = sizeof peer;
-    int fd = ::accept(listener_fd,
-                      unix_peer ? nullptr : reinterpret_cast<sockaddr*>(&peer),
-                      unix_peer ? nullptr : &len);
-    if (fd < 0) return;  // EAGAIN or transient error: wait for readiness
+    const faultinject::AcceptResult ar = faultinject::retry_accept(
+        sys_, listener_fd,
+        unix_peer ? nullptr : reinterpret_cast<sockaddr*>(&peer),
+        unix_peer ? nullptr : &len);
+    if (ar.status != faultinject::IoStatus::kOk) {
+      if (ar.status == faultinject::IoStatus::kError &&
+          faultinject::fd_exhausted(ar.err)) {
+        // Out of descriptors. With level-triggered polling the pending
+        // backlog would re-fire accept readiness forever; mute the
+        // listener and let the next tick re-arm it once fds have freed.
+        // Pending clients are effectively shed and resume via their
+        // cursors — the same admission-control contract as a busy ack.
+        stats_.accept_fd_exhausted++;
+        (void)reactor_.set_interest(listener_fd, 0);
+      }
+      return;  // EAGAIN or transient error: wait for readiness
+    }
+    const int fd = ar.fd;
     if (!unix_peer && config_.accept_rate > 0.0) tokens_ -= 1.0;
     if (auto st = Reactor::make_nonblocking(fd); !st) {
       ::close(fd);
@@ -218,13 +233,14 @@ void IngestServer::accept_loop(int listener_fd, bool unix_peer) {
       // fresh socket buffer.
       ByteWriter w;
       wire::encode_hello_ack(w, wire::HelloAck{wire::AckStatus::kBusy, 0});
-      [[maybe_unused]] ssize_t rc =
-          ::send(fd, w.data().data(), w.data().size(), MSG_NOSIGNAL);
+      (void)faultinject::retry_send(sys_, fd, w.data().data(), w.data().size(),
+                                    MSG_NOSIGNAL);
       // Drain the greeting the peer has already sent before closing:
       // closing with unread data in the socket fires an RST, which would
       // destroy the busy ack sitting in the peer's receive buffer.
       std::uint8_t drain[256];
-      while (::recv(fd, drain, sizeof drain, 0) > 0) {
+      while (faultinject::retry_recv(sys_, fd, drain, sizeof drain).status ==
+             faultinject::IoStatus::kOk) {
       }
       ::close(fd);
       stats_.rejected_busy++;
@@ -274,20 +290,16 @@ void IngestServer::read_conn(Conn& conn) {
   bool closed = false;
   while (total < kReadBudget) {
     std::uint8_t buf[kReadChunk];
-    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
-    if (n > 0) {
-      conn.in.insert(conn.in.end(), buf, buf + n);
-      total += static_cast<std::size_t>(n);
-      stats_.bytes_received += static_cast<std::uint64_t>(n);
+    const faultinject::IoResult r =
+        faultinject::retry_recv(sys_, fd, buf, sizeof buf);
+    if (r.status == faultinject::IoStatus::kOk) {
+      conn.in.insert(conn.in.end(), buf, buf + r.bytes);
+      total += r.bytes;
+      stats_.bytes_received += r.bytes;
       continue;
     }
-    if (n == 0) {
-      closed = true;
-      break;
-    }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    if (errno == EINTR) continue;
-    closed = true;
+    if (r.status == faultinject::IoStatus::kWouldBlock) break;
+    closed = true;  // kEof or kError: the peer is gone either way
     break;
   }
   if (total > 0) {
@@ -412,8 +424,10 @@ bool IngestServer::handle_hello(Conn& conn, const wire::Hello& hello) {
       wire::encode_query_reply_header(w, wire::AckStatus::kBusy, 0);
     }
     conn.close_after_flush = true;
+    // queue_bytes may close (and free) conn; only the saved fd is safe after.
+    const int fd = conn.fd;
     queue_bytes(conn, w.view());
-    return conns_.count(conn.fd) > 0;
+    return conns_.count(fd) > 0;
   }
 
   stats_.hellos++;
@@ -425,8 +439,9 @@ bool IngestServer::handle_hello(Conn& conn, const wire::Hello& hello) {
     ByteWriter w;
     wire::encode_hello_ack(w, wire::HelloAck{wire::AckStatus::kFinished, s.cursor});
     conn.close_after_flush = true;
+    const int fd = conn.fd;
     queue_bytes(conn, w.view());
-    return conns_.count(conn.fd) > 0;
+    return conns_.count(fd) > 0;
   }
 
   if (s.conn_fd >= 0 && s.conn_fd != conn.fd) {
@@ -446,8 +461,9 @@ bool IngestServer::handle_hello(Conn& conn, const wire::Hello& hello) {
 
   ByteWriter w;
   wire::encode_hello_ack(w, wire::HelloAck{wire::AckStatus::kAccepted, s.cursor});
+  const int fd = conn.fd;
   queue_bytes(conn, w.view());
-  return conns_.count(conn.fd) > 0;
+  return conns_.count(fd) > 0;
 }
 
 bool IngestServer::handle_record(Conn& conn, const wire::RecordHeader& rec,
@@ -499,8 +515,11 @@ bool IngestServer::handle_fin(Conn& conn, std::uint64_t total) {
   }
   s.fin_seen = true;
   s.fin_total = total;
+  // finish_stream acks and then closes (frees) conn even on the healthy
+  // path; only the saved fd is safe to consult afterwards.
+  const int fd = conn.fd;
   if (s.cursor == s.fin_total && s.q.empty()) finish_stream(s);
-  return conns_.count(conn.fd) > 0;
+  return conns_.count(fd) > 0;
 }
 
 void IngestServer::queue_bytes(Conn& conn, std::span<const std::uint8_t> bytes) {
@@ -511,18 +530,18 @@ void IngestServer::queue_bytes(Conn& conn, std::span<const std::uint8_t> bytes) 
 void IngestServer::flush_conn(Conn& conn) {
   const int fd = conn.fd;
   while (conn.out_off < conn.out.size()) {
-    const ssize_t n = ::send(fd, conn.out.data() + conn.out_off,
-                             conn.out.size() - conn.out_off, MSG_NOSIGNAL);
-    if (n > 0) {
-      conn.out_off += static_cast<std::size_t>(n);
+    const faultinject::IoResult r =
+        faultinject::retry_send(sys_, fd, conn.out.data() + conn.out_off,
+                                conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+    if (r.status == faultinject::IoStatus::kOk) {
+      conn.out_off += r.bytes;
       continue;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+    if (r.status == faultinject::IoStatus::kWouldBlock) {
       (void)reactor_.set_interest(fd,
                                   kEventWrite | (conn.paused ? 0u : kEventRead));
       return;
     }
-    if (n < 0 && errno == EINTR) continue;
     close_conn(fd);
     return;
   }
@@ -760,10 +779,15 @@ void IngestServer::on_tick() {
   tick_armed_ = false;
   refill_tokens();
   if (accepting_ && listen_fd_ >= 0) {
-    // Un-mute a rate-deferred listener once tokens are back.
+    // Un-mute a rate-deferred or fd-exhausted listener once tokens are
+    // back. If descriptors are still exhausted the next accept re-mutes
+    // it, so recovery polls at tick cadence instead of busy-looping.
     if (config_.accept_rate <= 0.0 || tokens_ >= 1.0) {
       (void)reactor_.set_interest(listen_fd_, kEventRead);
     }
+  }
+  if (accepting_ && unix_listen_fd_ >= 0) {
+    (void)reactor_.set_interest(unix_listen_fd_, kEventRead);
   }
 
   const MonoTime now = MonoClock::now();
@@ -855,6 +879,7 @@ std::string IngestServer::stats_line() const {
          " queued=" + std::to_string(stats_.queued_bytes) + "B(peak " +
          std::to_string(stats_.peak_queued_bytes) +
          "B) busy=" + std::to_string(stats_.rejected_busy) +
+         " fdexh=" + std::to_string(stats_.accept_fd_exhausted) +
          " shed=" + std::to_string(stats_.shed_connections) +
          " hostile=" + std::to_string(stats_.evicted_hostile) +
          " warn=" + std::to_string(stats_.evicted_warn) +

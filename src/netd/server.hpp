@@ -45,6 +45,7 @@
 #include <tuple>
 #include <vector>
 
+#include "faultinject/sysfault.hpp"
 #include "iec104/conformance.hpp"
 #include "net/pcap.hpp"
 #include "netd/reactor.hpp"
@@ -93,6 +94,10 @@ struct ServerConfig {
 
   /// Housekeeping cadence (timeout scans, token refill).
   double tick_s = 0.25;
+
+  /// Syscall surface for all connection I/O (nullptr = the real kernel).
+  /// The chaos soak passes a faultinject::FaultySysOps here.
+  faultinject::SysOps* sys = nullptr;
 };
 
 /// Why a connection was closed by the server, with a severity verdict on
@@ -109,6 +114,9 @@ struct ServerStats {
   std::uint64_t accepted = 0;
   std::uint64_t rejected_busy = 0;
   std::uint64_t rate_deferred_polls = 0;  ///< accept rounds stopped by the bucket
+  /// Accept failed with EMFILE/ENFILE: the listener was muted until the
+  /// next tick instead of spinning on level-triggered readiness.
+  std::uint64_t accept_fd_exhausted = 0;
   std::uint64_t hellos = 0;
   std::uint64_t resumed_hellos = 0;  ///< hellos answered with a nonzero cursor
   std::uint64_t frames_received = 0;
@@ -254,6 +262,7 @@ class IngestServer {
 
   Reactor& reactor_;
   ServerConfig config_;
+  faultinject::SysOps& sys_;
   FrameSink sink_;
   QueryHandler query_handler_;
 

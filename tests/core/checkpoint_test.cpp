@@ -4,11 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
+
+#include "faultinject/sysfault.hpp"
 
 namespace uncharted::core {
 namespace {
@@ -238,6 +242,223 @@ TEST(Checkpoint, WriterKilledMidRotationSequenceIsRecoverable) {
   auto r3 = read_latest_checkpoint(path);
   ASSERT_TRUE(r3.ok());
   EXPECT_EQ(*r3, gen2);
+}
+
+// --- Storage-fault durability: the writer's syscall contract ------------
+
+/// Wraps the real kernel, records the write path's op sequence, and fails
+/// scripted calls — the deterministic half of the chaos tests (FaultySysOps
+/// is the probabilistic half).
+class RecordingSysOps final : public faultinject::SysOps {
+ public:
+  std::vector<std::string> events;
+  bool fail_writes_enospc = false;
+  bool fail_fsync_eio = false;
+  std::string fail_rename_to;  // fail renames whose target is this path
+
+  ssize_t read(int fd, void* buf, std::size_t n) override {
+    return real().read(fd, buf, n);
+  }
+  ssize_t write(int fd, const void* buf, std::size_t n) override {
+    if (fail_writes_enospc) {
+      events.push_back("write-enospc:" + name_of(fd));
+      errno = ENOSPC;
+      return -1;
+    }
+    events.push_back("write:" + name_of(fd));
+    return real().write(fd, buf, n);
+  }
+  ssize_t recv(int fd, void* buf, std::size_t n, int flags) override {
+    return real().recv(fd, buf, n, flags);
+  }
+  ssize_t send(int fd, const void* buf, std::size_t n, int flags) override {
+    return real().send(fd, buf, n, flags);
+  }
+  int accept(int fd, sockaddr* addr, socklen_t* len) override {
+    return real().accept(fd, addr, len);
+  }
+  int poll_wait(pollfd* fds, nfds_t nfds, int timeout_ms) override {
+    return real().poll_wait(fds, nfds, timeout_ms);
+  }
+#if UNCHARTED_SYSFAULT_HAVE_EPOLL
+  int epoll_wait(int epfd, epoll_event* evs, int max, int timeout_ms) override {
+    return real().epoll_wait(epfd, evs, max, timeout_ms);
+  }
+#endif
+  int open(const char* path, int flags, unsigned mode) override {
+    const int fd = real().open(path, flags, mode);
+    if (fd >= 0) names_[fd] = std::filesystem::path(path).filename().string();
+    events.push_back("open:" + std::string(path));
+    return fd;
+  }
+  int close(int fd) override {
+    events.push_back("close:" + name_of(fd));
+    names_.erase(fd);
+    return real().close(fd);
+  }
+  int fsync(int fd) override {
+    if (fail_fsync_eio) {
+      events.push_back("fsync-eio:" + name_of(fd));
+      errno = EIO;
+      return -1;
+    }
+    events.push_back("fsync:" + name_of(fd));
+    return real().fsync(fd);
+  }
+  int rename(const char* from, const char* to) override {
+    if (!fail_rename_to.empty() && fail_rename_to == to) {
+      events.push_back("rename-eio");
+      errno = EIO;
+      return -1;
+    }
+    events.push_back("rename:" + std::filesystem::path(from).filename().string() +
+                     "->" + std::filesystem::path(to).filename().string());
+    return real().rename(from, to);
+  }
+
+ private:
+  static faultinject::SysOps& real() { return faultinject::real_sys_ops(); }
+  std::string name_of(int fd) const {
+    auto it = names_.find(fd);
+    return it != names_.end() ? it->second : "fd" + std::to_string(fd);
+  }
+  std::map<int, std::string> names_;
+};
+
+std::size_t index_of_prefix(const std::vector<std::string>& events,
+                            const std::string& prefix) {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].rfind(prefix, 0) == 0) return i;
+  }
+  return events.size();
+}
+
+TEST(CheckpointDurability, TmpIsFsyncedBeforeRenameAndDirAfter) {
+  auto path = temp_path("order.ckpt");
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".1");
+  RecordingSysOps sys;
+  ASSERT_TRUE(write_checkpoint_file(path, payload_of({1, 2, 3}), &sys).ok());
+
+  const std::string tmp_name =
+      std::filesystem::path(path + ".tmp").filename().string();
+  const std::size_t tmp_fsync = index_of_prefix(sys.events, "fsync:" + tmp_name);
+  const std::size_t rename_in = index_of_prefix(sys.events, "rename:");
+  ASSERT_LT(tmp_fsync, sys.events.size()) << "tmp file was never fsynced";
+  ASSERT_LT(rename_in, sys.events.size());
+  EXPECT_LT(tmp_fsync, rename_in)
+      << "rename happened before the tmp fsync — a crash could expose a "
+         "torn file under the durable name";
+
+  // The parent directory is fsynced after the rename (making it durable).
+  bool dir_fsync_after_rename = false;
+  for (std::size_t i = rename_in + 1; i < sys.events.size(); ++i) {
+    if (sys.events[i].rfind("fsync:", 0) == 0) dir_fsync_after_rename = true;
+  }
+  EXPECT_TRUE(dir_fsync_after_rename);
+}
+
+TEST(CheckpointDurability, FailedFsyncKeepsPreviousGenerationAndRemovesTmp) {
+  auto path = temp_path("fsyncfail.ckpt");
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".1");
+  auto gen1 = payload_of({1, 1});
+  ASSERT_TRUE(write_checkpoint_file(path, gen1).ok());
+
+  RecordingSysOps sys;
+  sys.fail_fsync_eio = true;
+  auto st = write_checkpoint_file(path, payload_of({2, 2}), &sys);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, "checkpoint-fsync");
+
+  auto back = read_latest_checkpoint(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, gen1) << "failed fsync corrupted the visible generation";
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"))
+      << "un-durable tmp left behind where a restart could trust it";
+}
+
+TEST(CheckpointDurability, EnospcMidWriteLeavesPreviousRestorable) {
+  auto path = temp_path("enospc.ckpt");
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".1");
+  auto gen1 = payload_of({7, 8, 9});
+  ASSERT_TRUE(write_checkpoint_file(path, gen1).ok());
+
+  RecordingSysOps sys;
+  sys.fail_writes_enospc = true;
+  auto st = write_checkpoint_file(path, payload_of({10}), &sys);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, "checkpoint-write");
+
+  auto back = read_latest_checkpoint(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, gen1);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  // The disk comes back: the next write recovers without cleanup.
+  auto gen2 = payload_of({11, 12});
+  ASSERT_TRUE(write_checkpoint_file(path, gen2).ok());
+  auto now = read_latest_checkpoint(path);
+  ASSERT_TRUE(now.ok());
+  EXPECT_EQ(*now, gen2);
+}
+
+TEST(CheckpointDurability, TornRenameKeepsLastGoodGenerationVisible) {
+  auto path = temp_path("tornrename.ckpt");
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".1");
+  std::filesystem::remove(path + ".tmp");
+  auto gen1 = payload_of({1, 2});
+  ASSERT_TRUE(write_checkpoint_file(path, gen1).ok());
+
+  RecordingSysOps sys;
+  sys.fail_rename_to = path;  // the final rename into the durable name
+  auto st = write_checkpoint_file(path, payload_of({3, 4}), &sys);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, "checkpoint-rename");
+
+  // Rotation already moved gen1 to `.1`; the torn rename must leave it
+  // restorable (tmp may remain — it is not a durable name).
+  auto back = read_latest_checkpoint(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, gen1);
+
+  // Healthy disk again: the writer replaces the stale tmp and completes.
+  auto gen2 = payload_of({5, 6});
+  ASSERT_TRUE(write_checkpoint_file(path, gen2).ok());
+  auto now = read_latest_checkpoint(path);
+  ASSERT_TRUE(now.ok());
+  EXPECT_EQ(*now, gen2);
+}
+
+TEST(CheckpointDurability, FaultySysOpsStormEventuallySucceedsAndNeverTears) {
+  // Probabilistic sweep: under a heavy seeded storage-fault plan, every
+  // write either fails cleanly (previous generation restorable) or
+  // succeeds; after enough retries one write lands. No intermediate state
+  // may ever make read_latest_checkpoint fail once a first write existed.
+  auto path = temp_path("storm.ckpt");
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".1");
+  std::filesystem::remove(path + ".tmp");
+  ASSERT_TRUE(write_checkpoint_file(path, payload_of({0})).ok());
+
+  faultinject::FaultySysOps sys(faultinject::SysFaultPlan::storage(0.4, 99));
+  int successes = 0;
+  for (int i = 1; i <= 60; ++i) {
+    auto payload = payload_of({i});
+    auto st = write_checkpoint_file(path, payload, &sys);
+    auto visible = read_latest_checkpoint(path);
+    ASSERT_TRUE(visible.ok())
+        << "iteration " << i << ": no restorable generation after "
+        << (st.ok() ? "success" : st.error().str());
+    if (st.ok()) {
+      ++successes;
+      EXPECT_EQ(*visible, payload);
+    }
+  }
+  EXPECT_GT(successes, 0) << "storage plan at 0.4 starved every write";
+  EXPECT_GT(sys.log().total(), 0u);
 }
 
 }  // namespace

@@ -60,7 +60,9 @@ TEST(LintLexer, RawStringsAreDropped) {
   EXPECT_FALSE(has_ident(tokens, "unordered_map"));
   ASSERT_TRUE(has_ident(tokens, "after"));
   for (const Token& t : tokens) {
-    if (t.kind == Tok::kIdent && t.text == "after") EXPECT_EQ(t.line, 2);
+    if (t.kind == Tok::kIdent && t.text == "after") {
+      EXPECT_EQ(t.line, 2);
+    }
   }
 }
 

@@ -125,6 +125,68 @@ TEST(LintRules, DecoderByteSafety) {
       scan("src/iec104/p.cpp", "auto f = [a, b]() { return a; };").empty());
 }
 
+TEST(LintRules, RawSocketFlaggedOutsideNetd) {
+  EXPECT_TRUE(has_rule(scan("src/analysis/x.cpp", "int fd = accept(s, a, l);"),
+                       "netd-raw-socket"));
+  EXPECT_TRUE(has_rule(scan("src/core/x.cpp", "auto n = ::read(fd, b, 16);"),
+                       "netd-raw-socket"));
+  // Too-generic names stay legal when not `::`-qualified; member and
+  // namespace-qualified calls are someone else's API.
+  EXPECT_TRUE(scan("src/core/x.cpp", "auto n = read(fd, b, 16);").empty());
+  EXPECT_TRUE(scan("src/core/x.cpp", "auto n = sock.send(b);").empty());
+  EXPECT_TRUE(scan("src/core/x.cpp", "auto n = wire::recv(b);").empty());
+}
+
+TEST(LintRules, NetdDataPlaneMustUseTheSysOpsShim) {
+  // Inside src/netd the rule enforces the SysOps shim on the data plane.
+  EXPECT_TRUE(has_rule(scan("src/netd/x.cpp", "int fd = accept(s, a, l);"),
+                       "netd-raw-socket"));
+  EXPECT_TRUE(has_rule(scan("src/netd/x.cpp", "auto n = ::recv(fd, b, 16, 0);"),
+                       "netd-raw-socket"));
+  EXPECT_TRUE(has_rule(scan("src/netd/x.cpp", "auto n = ::write(fd, b, 1);"),
+                       "netd-raw-socket"));
+  EXPECT_TRUE(has_rule(scan("src/netd/x.cpp", "epoll_wait(ep, evs, 64, 0);"),
+                       "netd-raw-socket"));
+  // Setup-plane calls stay legal in netd (once per connection, not per
+  // byte), as do shim-routed calls.
+  EXPECT_TRUE(scan("src/netd/x.cpp", "int s = ::socket(AF_INET, t, 0);").empty());
+  EXPECT_TRUE(scan("src/netd/x.cpp", "::listen(s, 64);").empty());
+  EXPECT_TRUE(scan("src/netd/x.cpp", "::connect(s, a, l);").empty());
+  EXPECT_TRUE(scan("src/netd/x.cpp", "sys_.recv(fd, b, 16, 0);").empty());
+  EXPECT_TRUE(
+      scan("src/netd/x.cpp", "faultinject::retry_recv(sys_, fd, b, 16);")
+          .empty());
+}
+
+TEST(LintRules, StorageSyscallsMustUseTheSysOpsShim) {
+  // ::rename/::fsync are the checkpoint writer's fault surface — shim-only
+  // everywhere, netd or not.
+  EXPECT_TRUE(has_rule(scan("src/core/x.cpp", "::rename(from, to);"),
+                       "netd-raw-socket"));
+  EXPECT_TRUE(has_rule(scan("src/netd/x.cpp", "::fsync(fd);"),
+                       "netd-raw-socket"));
+  EXPECT_TRUE(has_rule(scan("examples/x.cpp", "::fdatasync(fd);"),
+                       "netd-raw-socket"));
+  // Qualified/member forms are other APIs (std::filesystem::rename, the
+  // shim's own methods); bare `rename(` is too generic to flag.
+  EXPECT_TRUE(
+      scan("src/core/x.cpp", "std::filesystem::rename(a, b);").empty());
+  EXPECT_TRUE(scan("src/core/x.cpp", "sys.rename(a, b);").empty());
+  EXPECT_TRUE(scan("src/core/x.cpp", "rename(a, b);").empty());
+}
+
+TEST(LintRules, SysfaultShimIsExemptFromRawSyscallRules) {
+  const std::string raw =
+      "ssize_t n = ::read(fd, b, 16);"
+      "int r = ::rename(f, t);"
+      "int afd = accept(s, a, l);";
+  EXPECT_TRUE(scan("src/faultinject/sysfault.cpp", raw).empty());
+  EXPECT_TRUE(scan("src/faultinject/sysfault.hpp", raw).empty());
+  // The exemption is exactly those two files, not the whole module.
+  EXPECT_TRUE(has_rule(scan("src/faultinject/fault.cpp", raw),
+                       "netd-raw-socket"));
+}
+
 TEST(LintRules, CatalogKnowsEveryEmittedRule) {
   EXPECT_TRUE(is_known_rule("determinism-unordered-container"));
   EXPECT_TRUE(is_known_rule("determinism-pointer-key"));

@@ -265,26 +265,59 @@ void rule_decoder_bytes(const FileContext& ctx, const std::vector<Token>& code,
 // netd-raw-socket
 // ---------------------------------------------------------------------------
 
+bool is_sysfault_shim(const FileContext& ctx) {
+  // The SysOps shim itself (RealSysOps is the one legitimate home of every
+  // raw data-plane and storage syscall in the tree).
+  return ctx.rel_path == "src/faultinject/sysfault.cpp" ||
+         ctx.rel_path == "src/faultinject/sysfault.hpp";
+}
+
 void rule_raw_socket(const FileContext& ctx, const std::vector<Token>& code,
                      std::vector<Finding>& out) {
-  // Names that are unambiguously socket/reactor plumbing: flagged as a bare
-  // or global-scope call anywhere outside src/netd.
+  // Outside src/netd — names that are unambiguously socket/reactor
+  // plumbing: flagged as a bare or global-scope call.
   static const std::array<const char*, 11> kAlways = {
       "socket", "accept", "accept4",       "listen",
       "recv",   "recvfrom", "recvmsg",     "epoll_create",
       "epoll_create1", "epoll_ctl", "epoll_wait"};
-  // Names too generic to flag bare (read/write/bind/connect are everywhere):
-  // flagged only as an explicit global-scope `::name(` call.
+  // Outside src/netd — names too generic to flag bare (read/write/bind/
+  // connect are everywhere): flagged only as explicit `::name(`.
   static const std::array<const char*, 9> kGlobalOnly = {
       "read", "write", "send", "sendto", "sendmsg",
       "connect", "bind", "poll", "select"};
+  // Inside src/netd — data-plane calls that must go through the
+  // faultinject::SysOps shim so chaos tests can reach them. Setup-plane
+  // calls (socket/listen/bind/connect/epoll_ctl/setsockopt/close) stay
+  // legal: they run once per connection, not per byte, and faulting them
+  // adds nothing the data plane doesn't already cover.
+  static const std::array<const char*, 10> kNetdShimAlways = {
+      "accept", "accept4", "recv",       "recvfrom",   "recvmsg",
+      "send",   "sendto",  "sendmsg",    "epoll_wait", "epoll_pwait"};
+  static const std::array<const char*, 4> kNetdShimGlobalOnly = {
+      "read", "write", "poll", "select"};
+  // Everywhere (including netd) — storage-durability syscalls: the
+  // checkpoint writer's fault surface. `std::filesystem::rename` is a
+  // qualified call and stays legal; raw `::rename`/`::fsync` bypass the
+  // shim.
+  static const std::array<const char*, 3> kStorageGlobalOnly = {
+      "rename", "fsync", "fdatasync"};
+
+  if (is_sysfault_shim(ctx)) return;
+  const bool in_netd = ctx.module == "netd";
+
+  auto in = [](const auto& arr, const std::string& name) {
+    return std::find(arr.begin(), arr.end(), name) != arr.end();
+  };
   for (std::size_t i = 0; i + 1 < code.size(); ++i) {
     const Token& t = code[i];
     if (t.kind != Tok::kIdent || !is_punct(code[i + 1], "(")) continue;
+    const bool storage = in(kStorageGlobalOnly, t.text);
     const bool always =
-        std::find(kAlways.begin(), kAlways.end(), t.text) != kAlways.end();
-    const bool global_only = std::find(kGlobalOnly.begin(), kGlobalOnly.end(),
-                                       t.text) != kGlobalOnly.end();
+        !storage && (in_netd ? in(kNetdShimAlways, t.text)
+                             : in(kAlways, t.text));
+    const bool global_only =
+        storage || (in_netd ? in(kNetdShimGlobalOnly, t.text)
+                            : in(kGlobalOnly, t.text));
     if (!always && !global_only) continue;
     bool global_scope = false;  // written `::name(`
     if (i > 0) {
@@ -299,11 +332,22 @@ void rule_raw_socket(const FileContext& ctx, const std::vector<Token>& code,
       }
     }
     if (!always && !global_scope) continue;
-    add(out, ctx, "netd-raw-socket", t.line,
-        (global_scope ? "::" + t.text : t.text) +
-            "(): blocking socket calls outside src/netd stall the analysis "
+    std::string why;
+    if (storage) {
+      why = "(): raw storage syscalls bypass the faultinject::SysOps shim; "
+            "route durability through SysOps (see core/checkpoint.cpp) so "
+            "the chaos tests can serve this path ENOSPC/EIO/torn renames";
+    } else if (in_netd) {
+      why = "(): raw data-plane syscalls inside src/netd bypass the "
+            "faultinject::SysOps shim and its retry helpers; call through "
+            "sys_/retry_read/retry_recv/retry_send/retry_accept instead";
+    } else {
+      why = "(): blocking socket calls outside src/netd stall the analysis "
             "path and bypass admission control/backpressure; go through the "
-            "netd reactor, IngestServer, or FleetClient");
+            "netd reactor, IngestServer, or FleetClient";
+    }
+    add(out, ctx, "netd-raw-socket", t.line,
+        (global_scope ? "::" + t.text : t.text) + why);
   }
 }
 
@@ -329,7 +373,9 @@ const std::vector<RuleInfo>& rule_catalog() {
        "no memcpy/memmove in decoder modules (use util/bytes)"},
       {"netd-raw-socket",
        "no raw blocking socket calls (::accept/::recv/epoll_* ...) outside "
-       "src/netd (use the reactor/IngestServer/FleetClient)"},
+       "src/netd (use the reactor/IngestServer/FleetClient); inside netd "
+       "and for ::rename/::fsync anywhere, go through faultinject::SysOps "
+       "(only sysfault.cpp/RealSysOps touches the kernel directly)"},
       {"layering-order",
        "module includes must follow the ranked DAG (util -> net -> decoders "
        "-> analysis -> core)"},
@@ -363,9 +409,10 @@ void run_token_rules(const FileContext& ctx, const std::vector<Token>& tokens,
   if (is_decoder_module(ctx)) {
     rule_decoder_bytes(ctx, code, out);
   }
-  if ((ctx.zone == Zone::kSrc || ctx.zone == Zone::kBench ||
-       ctx.zone == Zone::kExamples) &&
-      ctx.module != "netd") {
+  if (ctx.zone == Zone::kSrc || ctx.zone == Zone::kBench ||
+      ctx.zone == Zone::kExamples) {
+    // Inside src/netd the rule switches to its shim-enforcement form
+    // (data-plane syscalls must go through faultinject::SysOps).
     rule_raw_socket(ctx, code, out);
   }
 }
