@@ -7,10 +7,13 @@
 // synthesized capture or a pcap, then replays every stream concurrently
 // with pacing, churn, seeded reconnect backoff, and hostile abuse modes.
 // With --query it instead fetches the daemon's current report JSON and
-// prints it.
+// prints it; --health fetches the daemon's supervision (health) JSON.
 //
-// Exit codes: 0 all benign streams delivered and acknowledged, 1 usage or
-// input error, 2 some benign stream failed permanently.
+// Exit codes follow the uniform CLI ladder: 0 all benign streams
+// delivered and acknowledged with no hostile modes scripted, 1 usage or
+// input error (or a failed --query/--health), 2 some benign stream failed
+// permanently, 3 hostile modes were scripted (wins over 2 — the run
+// deliberately impersonated attackers).
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -35,7 +38,7 @@ void on_signal(int) {
 void usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --connect HOST:PORT [--query]\n"
+      "usage: %s --connect HOST:PORT [--query | --health]\n"
       "          [--pcap FILE | --year 1|2 [--duration SECONDS] [--seed N]]\n"
       "          [--clones N] [--hostile-content N] [--garbage N]\n"
       "          [--slow-loris N] [--pace FACTOR] [--churn P]\n"
@@ -62,6 +65,7 @@ int main(int argc, char** argv) {
   std::string connect_arg;
   std::string pcap_path;
   bool query = false;
+  bool health = false;
   bool quiet = false;
   bool seed_set = false;
   int year = 1;
@@ -81,6 +85,8 @@ int main(int argc, char** argv) {
       connect_arg = next();
     } else if (arg == "--query") {
       query = true;
+    } else if (arg == "--health") {
+      health = true;
     } else if (arg == "--pcap") {
       pcap_path = next();
     } else if (arg == "--year") {
@@ -123,10 +129,12 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (query) {
-    auto json = netd::fetch_report(fleet.host, fleet.port, 10.0);
+  if (query || health) {
+    auto json = health ? netd::fetch_health(fleet.host, fleet.port, 10.0)
+                       : netd::fetch_report(fleet.host, fleet.port, 10.0);
     if (!json) {
-      std::fprintf(stderr, "query failed: %s\n", json.error().str().c_str());
+      std::fprintf(stderr, "%s failed: %s\n", health ? "health query" : "query",
+                   json.error().str().c_str());
       return 1;
     }
     std::printf("%s\n", json->c_str());
@@ -195,5 +203,7 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(stats.busy_retries),
                  static_cast<unsigned long long>(stats.failed_streams));
   }
+  // The uniform exit ladder: hostile (3) wins over degraded (2).
+  if (script.hostile_streams > 0) return 3;
   return client.all_benign_ok() ? 0 : 2;
 }

@@ -13,7 +13,8 @@
 // Exit codes: 0 clean, 1 usage or startup failure, 2 degraded (analyzer
 // degradation warnings or forced releases), 3 hostile (conformance
 // verdicts in the report, or transport-hostile peers evicted by netd;
-// wins over 2).
+// wins over 2), 4 self-terminate (the health watchdog ladder exhausted
+// its recovery rungs; a process supervisor should restart with --restore).
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +27,7 @@
 #include "core/export.hpp"
 #include "core/liveingest.hpp"
 #include "faultinject/sysfault.hpp"
+#include "health/health.hpp"
 #include "util/strings.hpp"
 
 using namespace uncharted;
@@ -53,7 +55,11 @@ void usage(const char* argv0) {
       "          [--max-flows N] [--max-reassembly-bytes N] [--max-records N]\n"
       "          [--max-parsers N] [--reassembled] [--quiet]\n"
       "          [--sysfault-rate R] [--sysfault-seed N]\n"
-      "          [--sysfault-mode network|storage|compound]\n",
+      "          [--sysfault-mode network|storage|compound]\n"
+      "          [--no-watchdog] [--watchdog-poll S] [--watchdog-reactor S]\n"
+      "          [--watchdog-merge S] [--watchdog-lane S]\n"
+      "          [--watchdog-checkpoint S] [--breaker-max N]\n"
+      "          [--breaker-window S] [--stall-checkpoint]\n",
       argv0);
 }
 
@@ -144,6 +150,27 @@ int main(int argc, char** argv) {
       sysfault_seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--sysfault-mode") {
       sysfault_mode = next();
+    } else if (arg == "--no-watchdog") {
+      options.watchdog.poll_s = 0.0;
+    } else if (arg == "--watchdog-poll") {
+      options.watchdog.poll_s = std::atof(next());
+    } else if (arg == "--watchdog-reactor") {
+      options.watchdog.reactor_deadline_s = std::atof(next());
+    } else if (arg == "--watchdog-merge") {
+      options.watchdog.merge_deadline_s = std::atof(next());
+    } else if (arg == "--watchdog-lane") {
+      options.watchdog.lane_deadline_s = std::atof(next());
+    } else if (arg == "--watchdog-checkpoint") {
+      options.watchdog.checkpoint_deadline_s = std::atof(next());
+    } else if (arg == "--breaker-max") {
+      options.watchdog.breaker.max_recoveries =
+          static_cast<std::uint32_t>(std::atoll(next()));
+    } else if (arg == "--breaker-window") {
+      options.watchdog.breaker.window_s = std::atof(next());
+    } else if (arg == "--stall-checkpoint") {
+      // Test knob: wedge the checkpoint writer to drive the recovery
+      // ladder (restart-checkpoint ×2 → self-terminate, exit 4).
+      options.stall_checkpoint = true;
     } else {
       usage(argv[0]);
       return 1;
@@ -180,6 +207,16 @@ int main(int argc, char** argv) {
   });
 
   core::LiveIngestDaemon daemon(reactor, options);
+  // Every recovery action lands on stderr (the health JSON keeps the full
+  // ledger); the ladder's final rung stops the loop for the exit-4 path.
+  daemon.set_recovery_hook([&](const health::StallEvent& ev, bool ok,
+                               const std::string& detail) {
+    std::fprintf(stderr, "health: %s %s: %s (%s)\n", ev.subsystem.c_str(),
+                 health::action_name(ev.action), detail.c_str(),
+                 ok ? "ok" : "failed");
+    std::fflush(stderr);
+    if (daemon.terminate_requested()) reactor.stop();
+  });
   if (auto st = daemon.start(restore); !st) {
     std::fprintf(stderr, "start failed: %s\n", st.error().str().c_str());
     return 1;
@@ -217,6 +254,15 @@ int main(int argc, char** argv) {
   }
 
   reactor.run();
+  if (daemon.terminate_requested()) {
+    // Controlled self-terminate: no finalize (the daemon is wedged — the
+    // last good checkpoint on disk is the restart point). The supervisor
+    // contract is exit 4 → restart with --restore.
+    std::fprintf(stderr, "self-terminate: %s\n",
+                 daemon.terminate_reason().c_str());
+    std::fprintf(stderr, "health: %s\n", daemon.health_json().c_str());
+    return health::kRecoveryExitCode;
+  }
   if (sysfault) {
     // Chaos stops at drain: the final checkpoint and report measure
     // recovery, not luck (inject -> stop -> verify steady state).

@@ -31,6 +31,11 @@
 # (UNCHARTED_SOAK_SYSFAULT_SEEDS, default "1 2 3") keep failures
 # replayable from the command line.
 #
+# An opt-in fourth phase (UNCHARTED_SOAK_STALL=1) wedges the daemon's
+# checkpoint writer and asserts the health watchdog climbs its recovery
+# ladder: restart-checkpoint twice, then self-terminate with exit 4 while
+# the health query socket keeps answering.
+#
 # Usage: scripts/soak.sh [--duration SECONDS] [--rates "0 0.01 0.05 0.20"]
 #                        [--seed N] [--build-dir DIR] [--kill-step PACKETS]
 #                        [--daemon-conns N] [--daemon-only] [--skip-daemon]
@@ -50,6 +55,9 @@ skip_daemon=0
 skip_sysfault=0
 sysfault_rate="${UNCHARTED_SOAK_SYSFAULT_RATE:-0.02}"
 sysfault_seeds="${UNCHARTED_SOAK_SYSFAULT_SEEDS:-1 2 3}"
+soak_stall="${UNCHARTED_SOAK_STALL:-0}"
+stall_poll="${UNCHARTED_SOAK_STALL_POLL:-0.1}"
+stall_deadline="${UNCHARTED_SOAK_STALL_DEADLINE:-1}"
 
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -80,8 +88,16 @@ for bin in $needed; do
   fi
 done
 
-workdir="$(mktemp -d "${TMPDIR:-/tmp}/soak.XXXXXX")"
-trap 'rm -rf "$workdir"' EXIT
+# UNCHARTED_SOAK_WORKDIR keeps every daemon stderr log, health JSON and
+# report in a caller-chosen directory that survives the run — CI uploads
+# it as a failure artifact. Unset, a throwaway tmpdir is cleaned on exit.
+if [ -n "${UNCHARTED_SOAK_WORKDIR:-}" ]; then
+  workdir="$UNCHARTED_SOAK_WORKDIR"
+  mkdir -p "$workdir"
+else
+  workdir="$(mktemp -d "${TMPDIR:-/tmp}/soak.XXXXXX")"
+  trap 'rm -rf "$workdir"' EXIT
+fi
 
 failures=0
 [ "$daemon_only" -eq 1 ] && rates=""
@@ -295,11 +311,13 @@ daemon_soak() {
   done
 
   # Hostile fleet: content attacks, garbage hellos, slow-loris dribbles.
-  # The daemon must exit 3 (hostile), the fleet must exit 0 (no benign
-  # flow quarantined). Garbage peers never say hello, so they are not
-  # counted in --expect-streams.
+  # Both binaries follow the uniform exit ladder: the daemon must exit 3
+  # (hostile traffic analyzed) and the fleet must exit 3 too (hostile
+  # modes scripted) — benign losslessness is asserted from its stats line
+  # (failed=0), not its exit code. Garbage peers never say hello, so they
+  # are not counted in --expect-streams.
   echo "==> daemon hostile fleet (content=2 garbage=2 slow-loris=2)"
-  local hn hexpect port rc
+  local hn hexpect port rc fout
   hn="$("$fleet_bin" --connect 127.0.0.1:9 --year 1 --duration "$dur" \
           --seed "$seed" --hostile-content 2 --garbage 2 --slow-loris 2 \
           --retry-for 0 2>&1 || true)"
@@ -316,11 +334,16 @@ daemon_soak() {
     failures=$((failures + 1)); kill "$dh" 2>/dev/null || true; return
   }
   rc=0
-  "$fleet_bin" --connect "127.0.0.1:$port" --year 1 --duration "$dur" \
+  fout="$("$fleet_bin" --connect "127.0.0.1:$port" --year 1 --duration "$dur" \
       --seed "$seed" --hostile-content 2 --garbage 2 --slow-loris 2 \
-      --quiet || rc=$?
-  if [ "$rc" -ne 0 ]; then
-    echo "    FAIL: hostile-phase fleet exit $rc (benign flows dropped)" >&2
+      2>&1)" || rc=$?
+  if [ "$rc" -ne 3 ]; then
+    echo "    FAIL: hostile-phase fleet exit $rc (want 3: hostile modes scripted)" >&2
+    failures=$((failures + 1))
+  fi
+  if ! printf '%s\n' "$fout" | grep -q 'failed=0$'; then
+    echo "    FAIL: hostile-phase fleet dropped benign flows" >&2
+    printf '%s\n' "$fout" >&2
     failures=$((failures + 1))
   fi
   rc=0; wait "$dh" || rc=$?
@@ -328,8 +351,46 @@ daemon_soak() {
     echo "    FAIL: daemon exit $rc under hostile fleet (want 3)" >&2
     failures=$((failures + 1))
   else
-    echo "    hostile fleet flagged (exit 3), zero benign flows dropped"
+    echo "    hostile fleet flagged (exit 3 both sides), zero benign flows dropped"
   fi
+}
+
+# ---------------------------------------------------------------------------
+# Stall soak: a wedged checkpoint writer must climb the recovery ladder
+# (opt-in: UNCHARTED_SOAK_STALL=1 — the gtest chaos suite covers the stall
+# classes deterministically; this phase proves the shipped binary's knobs)
+# ---------------------------------------------------------------------------
+
+stall_soak() {
+  echo "==> stall soak: wedged checkpoint writer (restart ×2 -> exit 4)"
+  local sckpt="$workdir/stall.ckpt" port rc
+  : >"$workdir/dstall.out"
+  "$daemon_bin" --port 0 --threads 8 --checkpoint "$sckpt" --interval 0.1 \
+      --stall-checkpoint --watchdog-poll "$stall_poll" \
+      --watchdog-checkpoint "$stall_deadline" --run-for 120 \
+      >"$workdir/dstall.out" 2>&1 &
+  local d=$!
+  port="$(wait_for_port "$workdir/dstall.out")" || {
+    echo "    FAIL: stall-phase daemon never listened" >&2
+    failures=$((failures + 1)); kill "$d" 2>/dev/null || true; return
+  }
+  # The health endpoint must answer while the daemon is stalled.
+  if ! "$fleet_bin" --connect "127.0.0.1:$port" --health \
+        >"$workdir/stall_health.json" 2>/dev/null; then
+    echo "    FAIL: health query refused during the stall" >&2
+    failures=$((failures + 1))
+  fi
+  rc=0; wait "$d" || rc=$?
+  if [ "$rc" -ne 4 ]; then
+    echo "    FAIL: stalled daemon exited $rc (want 4: supervisor restart)" >&2
+    cat "$workdir/dstall.out" >&2
+    failures=$((failures + 1)); return
+  fi
+  if ! grep -q 'restart-checkpoint' "$workdir/dstall.out"; then
+    echo "    FAIL: no restart-checkpoint rung in the recovery ledger" >&2
+    failures=$((failures + 1)); return
+  fi
+  echo "    ladder climbed: restart-checkpoint ×2 -> self-terminate (exit 4)"
 }
 
 # ---------------------------------------------------------------------------
@@ -460,6 +521,9 @@ if [ "$skip_daemon" -eq 0 ]; then
 fi
 if [ "$skip_daemon" -eq 0 ] && [ "$skip_sysfault" -eq 0 ]; then
   sysfault_soak
+fi
+if [ "$skip_daemon" -eq 0 ] && [ "$soak_stall" = "1" ]; then
+  stall_soak
 fi
 
 if [ "$failures" -gt 0 ]; then

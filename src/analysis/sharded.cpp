@@ -107,6 +107,9 @@ struct ShardedDatasetBuilder::Lane {
   std::deque<std::vector<net::CapturedPacket>> pending;
   bool active = false;  ///< a drain task is scheduled or running
   DatasetBuilder builder;
+  // Health-watchdog counters, readable without the lane mutex.
+  std::atomic<std::uint64_t> ingested{0};
+  std::atomic<std::size_t> queued{0};
 
   Lane(const CaptureDataset::Options& options, const ResourceBudgets& budgets)
       : builder(options, budgets) {}
@@ -148,6 +151,7 @@ void ShardedDatasetBuilder::add_packet(const net::CapturedPacket& pkt) {
 void ShardedDatasetBuilder::push_batch(Lane& lane,
                                        std::vector<net::CapturedPacket>&& batch) {
   bool schedule = false;
+  lane.queued.fetch_add(batch.size(), std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(lane.m);
     lane.pending.push_back(std::move(batch));
@@ -176,7 +180,23 @@ void ShardedDatasetBuilder::drain_lane(Lane& lane) {
       lane.pending.pop_front();
     }
     for (const auto& pkt : batch) lane.builder.add_packet(pkt);
+    lane.ingested.fetch_add(batch.size(), std::memory_order_relaxed);
+    lane.queued.fetch_sub(batch.size(), std::memory_order_relaxed);
   }
+}
+
+std::vector<ShardedDatasetBuilder::LaneStat> ShardedDatasetBuilder::lane_stats()
+    const {
+  std::vector<LaneStat> out(lanes_.size());
+  for (std::size_t s = 0; s < lanes_.size(); ++s) {
+    out[s].ingested = lanes_[s]->ingested.load(std::memory_order_relaxed);
+    // Staging is deliberately excluded: it is a driver-side batching
+    // buffer flushed on a deterministic threshold, so packets parked
+    // there under a slow trickle are normal operation, not lane demand —
+    // counting them would make the lane watchdog see phantom stalls.
+    out[s].queued_packets = lanes_[s]->queued.load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 void ShardedDatasetBuilder::drain() {

@@ -15,6 +15,7 @@
 // *enforced* budget evicts on different packet boundaries).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -92,6 +93,17 @@ class ShardedDatasetBuilder {
   /// Packets dispatched so far — the resume cursor, mirroring
   /// DatasetBuilder::packets_consumed().
   std::uint64_t packets_consumed() const { return dispatched_; }
+
+  /// Per-lane progress snapshot for the health watchdogs: how many packets
+  /// a lane's builder has ingested and how many sit queued behind it
+  /// (pending batches, not the driver's staging buffer). Lock-free reads
+  /// of per-lane atomics — safe to call from the driver thread while lane
+  /// tasks run; values from different lanes are not a consistent cut.
+  struct LaneStat {
+    std::uint64_t ingested = 0;
+    std::size_t queued_packets = 0;
+  };
+  std::vector<LaneStat> lane_stats() const;
 
   /// Barrier: flushes staging, waits for every lane to go idle, rethrows
   /// the first exception any lane task raised.

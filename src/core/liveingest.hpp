@@ -28,9 +28,34 @@
 #include <string>
 
 #include "core/streaming.hpp"
+#include "health/health.hpp"
 #include "netd/server.hpp"
 
 namespace uncharted::core {
+
+/// Deadlines and cadence for the daemon's health watchdogs. Defaults are
+/// deliberately generous: an overloaded-but-moving daemon must never trip
+/// them (the kill/restore soaks assert byte-identity with watchdogs on).
+/// Setting a deadline to 0 disables that watchdog; poll_s = 0 disables
+/// the whole supervision subsystem.
+struct LiveWatchdogOptions {
+  /// Watchdog evaluation cadence (rides its own reactor timer).
+  double poll_s = 0.25;
+  /// Reactor housekeeping ticks stop advancing (event-loop starvation).
+  double reactor_deadline_s = 5.0;
+  /// Watermark merge releases nothing while frames sit queued and the
+  /// release gate is open (a registered stream went silent).
+  double merge_deadline_s = 30.0;
+  /// A shard lane ingests nothing while packets queue behind it.
+  double lane_deadline_s = 30.0;
+  /// Checkpoint writer makes no successful write while one is due.
+  /// 0 derives max(3 × checkpoint_every_s, 30 s).
+  double checkpoint_deadline_s = 0.0;
+  /// Crash-loop circuit breaker across all recovery actions.
+  health::BreakerConfig breaker;
+  /// Virtual clock for tests (empty = steady_clock).
+  health::Clock clock;
+};
 
 struct LiveIngestOptions {
   /// Analyzer configuration. `streaming.checkpoint_path` names the
@@ -45,6 +70,12 @@ struct LiveIngestOptions {
   /// Syscall surface for the checkpoint writer (nullptr = the real
   /// kernel). The server's I/O has its own knob in `server.sys`.
   faultinject::SysOps* sys = nullptr;
+  /// Self-healing supervision (see LiveWatchdogOptions).
+  LiveWatchdogOptions watchdog;
+  /// Test-only: wedge the checkpoint writer — every write fails with a
+  /// deterministic error. Drives the restart-checkpoint → self-terminate
+  /// rungs without needing an fsync storm.
+  bool stall_checkpoint = false;
 };
 
 class LiveIngestDaemon {
@@ -86,6 +117,23 @@ class LiveIngestDaemon {
   /// daemon is serving from a stale snapshot.
   std::string report_json();
 
+  /// Supervision state as JSON (the `health` query payload): per-subsystem
+  /// state / progress / demand / recovery counts, plus the full recovery
+  /// ledger. Volatile telemetry — never part of the analysis report.
+  std::string health_json() const { return health_.to_json(); }
+  const health::Registry& health() const { return health_; }
+
+  /// Set by the recovery ladder's final rung: the daemon wants the process
+  /// to exit health::kRecoveryExitCode so a supervisor restarts it into
+  /// --restore. The driver's run loop checks this between reactor turns.
+  bool terminate_requested() const { return terminate_requested_; }
+  const std::string& terminate_reason() const { return terminate_reason_; }
+
+  /// Observes every executed recovery (for stderr telemetry in drivers).
+  using RecoveryHook = std::function<void(const health::StallEvent& ev, bool ok,
+                                          const std::string& detail)>;
+  void set_recovery_hook(RecoveryHook h) { recovery_hook_ = std::move(h); }
+
   /// Graceful drain: stop accepting, close every connection, write the
   /// final composed checkpoint, and produce the full report (with a
   /// degradation warning when forced releases broke the deterministic
@@ -94,9 +142,20 @@ class LiveIngestDaemon {
 
  private:
   Status try_restore_composed();
+  void rebuild_engine();
+  void install_handlers();
   void arm_checkpoint_timer();
   void arm_pressure_timer();
+  void arm_watchdog_timer();
   void poll_pressure();
+  void register_watchdogs();
+  void poll_watchdogs();
+  void execute_recovery(const health::StallEvent& ev);
+  /// kRestartLane: tear down the server and analyzer and rebuild both from
+  /// the last good composed checkpoint (fresh when none), on the same
+  /// port. Clients resume from the restored cursors — the PR-7 kill/
+  /// restore contract, executed in-process.
+  Status recover_from_checkpoint(const std::string& why);
 
   netd::Reactor& reactor_;
   LiveIngestOptions options_;
@@ -109,11 +168,18 @@ class LiveIngestDaemon {
   bool checkpoint_timer_armed_ = false;
   std::uint64_t pressure_timer_ = 0;
   bool pressure_timer_armed_ = false;
+  std::uint64_t watchdog_timer_ = 0;
+  bool watchdog_timer_armed_ = false;
   analysis::ResourcePressure last_pressure_;
   int pressure_level_ = 0;
   int calm_polls_ = 0;
   std::uint64_t checkpoint_failures_ = 0;
+  std::uint64_t checkpoint_successes_ = 0;
   std::string checkpoint_error_;
+  health::Registry health_;
+  RecoveryHook recovery_hook_;
+  bool terminate_requested_ = false;
+  std::string terminate_reason_;
 };
 
 }  // namespace uncharted::core

@@ -40,6 +40,9 @@ StreamingAnalyzer::StreamingAnalyzer(StreamingOptions options)
     single_ = std::make_unique<analysis::DatasetBuilder>(dataset_options(options_),
                                                          options_.budgets);
   }
+  std::size_t shards = std::max<std::size_t>(options_.analyze.shard_count, 1);
+  deferred_.resize(shards);
+  shard_ingested_.resize(shards, 0);
 }
 
 // Lanes must quiesce before the pool dies: sharded_ (declared after
@@ -54,20 +57,84 @@ analysis::ResourcePressure StreamingAnalyzer::pressure() {
   return sharded_ ? sharded_->pressure() : single_->pressure();
 }
 
-void StreamingAnalyzer::add_packet(const net::CapturedPacket& pkt) {
+std::size_t StreamingAnalyzer::deferral_shard(const net::CapturedPacket& pkt) const {
+  return analysis::shard_of(pkt.data, deferred_.size());
+}
+
+void StreamingAnalyzer::ingest(std::size_t shard, const net::CapturedPacket& pkt) {
   if (sharded_) {
     sharded_->add_packet(pkt);
   } else {
     single_->add_packet(pkt);
   }
+  ++shard_ingested_[shard];
+}
+
+void StreamingAnalyzer::add_packet(const net::CapturedPacket& pkt) {
+  // Bandwidth is accounted at admission, before any stall deferral, so the
+  // byte/interval series the report derives from does not depend on when a
+  // wedged shard recovers.
   bandwidth_.add_packet(pkt);
+  std::size_t shard = deferral_shard(pkt);
+  // A non-empty queue keeps deferring even if the hook cleared — per-shard
+  // order must survive the stall, and only poll_deferred() drains in order.
+  if (!deferred_[shard].empty() ||
+      (options_.stall_hook && options_.stall_hook(shard))) {
+    deferred_[shard].push_back(pkt);
+    ++deferred_total_;
+    return;
+  }
+  ingest(shard, pkt);
   if (options_.checkpoint_every_packets > 0 && !options_.checkpoint_path.empty() &&
+      deferred_total_ == 0 &&
       packets_consumed() - last_checkpoint_packets_ >=
           options_.checkpoint_every_packets) {
     // A failed periodic write must not stop ingestion (a full disk should
     // degrade durability, not availability); remember it for the report.
     if (auto st = write_checkpoint(); !st) checkpoint_error_ = st.error().str();
   }
+}
+
+std::size_t StreamingAnalyzer::poll_deferred() {
+  if (deferred_total_ == 0) return 0;
+  std::size_t drained = 0;
+  for (std::size_t s = 0; s < deferred_.size(); ++s) {
+    auto& q = deferred_[s];
+    while (!q.empty() && !(options_.stall_hook && options_.stall_hook(s))) {
+      ingest(s, q.front());
+      q.pop_front();
+      --deferred_total_;
+      ++drained;
+    }
+  }
+  return drained;
+}
+
+void StreamingAnalyzer::force_drain_deferred() {
+  // Finalize override: whatever the hook says, the report must cover every
+  // admitted packet. Per-shard order is all correctness requires.
+  for (std::size_t s = 0; s < deferred_.size(); ++s) {
+    for (const auto& pkt : deferred_[s]) ingest(s, pkt);
+    deferred_total_ -= deferred_[s].size();
+    deferred_[s].clear();
+  }
+}
+
+std::vector<analysis::ShardedDatasetBuilder::LaneStat>
+StreamingAnalyzer::lane_stats() const {
+  std::vector<analysis::ShardedDatasetBuilder::LaneStat> out;
+  if (sharded_) {
+    out = sharded_->lane_stats();
+  } else {
+    out.resize(deferred_.size());
+    for (std::size_t s = 0; s < out.size(); ++s) {
+      out[s].ingested = shard_ingested_[s];
+    }
+  }
+  for (std::size_t s = 0; s < out.size() && s < deferred_.size(); ++s) {
+    out[s].queued_packets += deferred_[s].size();
+  }
+  return out;
 }
 
 void StreamingAnalyzer::add_packets(std::span<const net::CapturedPacket> packets) {
@@ -145,6 +212,11 @@ Status StreamingAnalyzer::checkpoint_now() {
   if (options_.checkpoint_path.empty()) {
     return Error{"checkpoint-unconfigured", "no checkpoint_path set"};
   }
+  if (!quiescent()) {
+    return Error{"checkpoint-stalled",
+                 "packets parked behind a wedged shard; checkpoint would be "
+                 "inconsistent"};
+  }
   return write_checkpoint();
 }
 
@@ -162,6 +234,7 @@ bool StreamingAnalyzer::try_restore() {
 }
 
 AnalysisReport StreamingAnalyzer::finalize() {
+  force_drain_deferred();
   if (!options_.checkpoint_path.empty()) {
     // Shutdown checkpoint: a restart after this point resumes at the end
     // of input instead of re-ingesting.

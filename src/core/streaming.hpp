@@ -11,9 +11,12 @@
 // never bound.
 #pragma once
 
+#include <deque>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "analysis/resource.hpp"
 #include "analysis/sharded.hpp"
@@ -24,6 +27,15 @@ class Pool;
 }  // namespace uncharted::exec
 
 namespace uncharted::core {
+
+/// Test-only stall seam: called with a packet's shard index before it is
+/// handed to the analysis engine. Returning true parks the packet in a
+/// per-shard deferred queue instead — the shard is "wedged" — until a
+/// later poll_deferred() finds the hook returning false again. Per-shard
+/// order is preserved, and the shard index is computed with the same
+/// endpoint-pair hash at every --threads value, so a stalled-then-drained
+/// run produces the same report on both engines.
+using StallHook = std::function<bool(std::size_t shard)>;
 
 struct StreamingOptions {
   CaptureAnalyzer::Options analyze;
@@ -36,6 +48,8 @@ struct StreamingOptions {
   std::uint64_t checkpoint_every_packets = 0;
   /// Checkpoint file path; empty disables checkpointing entirely.
   std::string checkpoint_path;
+  /// Test-only: wedge selected shards (see StallHook above). Empty = never.
+  StallHook stall_hook;
 };
 
 class StreamingAnalyzer {
@@ -56,6 +70,22 @@ class StreamingAnalyzer {
 
   /// Packets ingested so far; after try_restore(), the resume cursor.
   std::uint64_t packets_consumed() const;
+
+  /// Re-checks the stall hook for every wedged shard and ingests (in
+  /// per-shard order) everything whose shard is no longer stalled. Returns
+  /// the number of packets drained. Cheap no-op when nothing is deferred.
+  std::size_t poll_deferred();
+
+  /// No packets are parked behind a wedged shard. Checkpoints composed
+  /// with external cursors are only consistent when this holds — a parked
+  /// packet is counted by the cursor but absent from builder state.
+  bool quiescent() const { return deferred_total_ == 0; }
+
+  /// Per-shard progress for the health watchdogs: packets handed to the
+  /// engine and packets queued behind it (engine lanes + deferred). On the
+  /// single-builder engine the "lanes" are the same hash partition the
+  /// sharded engine would use, so watchdog wiring is thread-count-neutral.
+  std::vector<analysis::ShardedDatasetBuilder::LaneStat> lane_stats() const;
 
   /// Budget enforcement so far. Drains in-flight lane work first on the
   /// sharded engine, hence by value and non-const.
@@ -92,6 +122,9 @@ class StreamingAnalyzer {
 
  private:
   Status write_checkpoint();
+  std::size_t deferral_shard(const net::CapturedPacket& pkt) const;
+  void ingest(std::size_t shard, const net::CapturedPacket& pkt);
+  void force_drain_deferred();
 
   StreamingOptions options_;
   /// Engine selection: threads <= 1 uses the single DatasetBuilder (the
@@ -104,6 +137,11 @@ class StreamingAnalyzer {
   analysis::BandwidthAccumulator bandwidth_;
   std::uint64_t last_checkpoint_packets_ = 0;
   std::string checkpoint_error_;  ///< last failed write, for the report
+  /// Stall-deferral state, one slot per deferral shard (the sharded
+  /// engine's shard count on both engines). Driver-thread only.
+  std::vector<std::deque<net::CapturedPacket>> deferred_;
+  std::vector<std::uint64_t> shard_ingested_;
+  std::size_t deferred_total_ = 0;
 };
 
 /// Streams a pcap file: restore from checkpoint if present, skip what was

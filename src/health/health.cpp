@@ -1,0 +1,218 @@
+#include "health/health.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace uncharted::health {
+
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string fmt_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", s);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* state_name(State s) {
+  switch (s) {
+    case State::kHealthy: return "healthy";
+    case State::kStalled: return "stalled";
+    case State::kRecovering: return "recovering";
+    case State::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+const char* action_name(Action a) {
+  switch (a) {
+    case Action::kObserve: return "observe";
+    case Action::kCondemnStream: return "condemn-stream";
+    case Action::kRestartLane: return "restart-lane";
+    case Action::kRestartCheckpoint: return "restart-checkpoint";
+    case Action::kSelfTerminate: return "self-terminate";
+  }
+  return "unknown";
+}
+
+Registry::Registry(Clock clock) : clock_(std::move(clock)) {
+  if (!clock_) clock_ = steady_seconds;
+  t0_ = clock_();
+}
+
+double Registry::now() const { return clock_() - t0_; }
+
+void Registry::add(const std::string& name, WatchdogConfig config) {
+  Subsystem& sub = subs_[name];
+  sub.config = std::move(config);
+  sub.last_progress_t = now();
+}
+
+void Registry::publish(const std::string& name, std::uint64_t progress) {
+  auto it = subs_.find(name);
+  if (it == subs_.end()) return;
+  Subsystem& sub = it->second;
+  if (progress != sub.progress) {
+    sub.progress = progress;
+    sub.last_progress_t = now();
+    // Progress is the ground truth of recovery: whatever the last action
+    // was, the subsystem is moving again, so the ladder starts over.
+    if (sub.state != State::kFailed || progress > 0) sub.state = State::kHealthy;
+    sub.rung = 0;
+  }
+}
+
+void Registry::set_demand(const std::string& name, std::uint64_t pending) {
+  auto it = subs_.find(name);
+  if (it == subs_.end()) return;
+  Subsystem& sub = it->second;
+  sub.demand = pending;
+  // An idle subsystem parks its deadline clock: the watchdog measures
+  // "demand waited this long without progress", not "nothing happened".
+  if (pending == 0) sub.last_progress_t = now();
+}
+
+bool Registry::breaker_open_at(const Subsystem& sub, double t) const {
+  if (breaker_.max_recoveries == 0) return false;
+  std::uint64_t in_window = 0;
+  for (double at : sub.attempts) {
+    if (breaker_.window_s <= 0.0 || t - at <= breaker_.window_s) in_window++;
+  }
+  return in_window >= breaker_.max_recoveries;
+}
+
+std::vector<StallEvent> Registry::evaluate() {
+  std::vector<StallEvent> events;
+  const double t = now();
+  for (auto& [name, sub] : subs_) {
+    if (sub.config.deadline_s <= 0.0) continue;
+    if (sub.demand == 0) continue;
+    const double stalled_for = t - sub.last_progress_t;
+    if (stalled_for <= sub.config.deadline_s) continue;
+    if (breaker_open_at(sub, t)) {
+      sub.state = State::kFailed;
+      continue;
+    }
+    sub.state = State::kStalled;
+    StallEvent ev;
+    ev.subsystem = name;
+    ev.stalled_for_s = stalled_for;
+    if (sub.config.ladder.empty()) {
+      ev.action = Action::kObserve;
+    } else {
+      const std::size_t rung =
+          sub.rung < sub.config.ladder.size() ? sub.rung : sub.config.ladder.size() - 1;
+      ev.action = sub.config.ladder[rung];
+    }
+    // Rearm: the recovery the caller is about to run gets one full
+    // deadline to produce progress before the next (escalated) firing.
+    sub.last_progress_t = t;
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+void Registry::record_recovery(const std::string& name, Action action, bool ok,
+                               const std::string& detail) {
+  auto it = subs_.find(name);
+  if (it == subs_.end()) return;
+  Subsystem& sub = it->second;
+  const double t = now();
+  sub.recoveries++;
+  total_recoveries_++;
+  sub.attempts.push_back(t);
+  // Bound the window bookkeeping; only entries inside the window matter.
+  while (sub.attempts.size() > 64 &&
+         (breaker_.window_s > 0.0 && t - sub.attempts.front() > breaker_.window_s)) {
+    sub.attempts.pop_front();
+  }
+  sub.rung++;
+  sub.state = breaker_open_at(sub, t) ? State::kFailed : State::kRecovering;
+  LedgerEntry entry;
+  entry.t_s = t;
+  entry.subsystem = name;
+  entry.action = action;
+  entry.ok = ok;
+  entry.detail = detail;
+  ledger_.push_back(std::move(entry));
+}
+
+State Registry::state(const std::string& name) const {
+  auto it = subs_.find(name);
+  return it == subs_.end() ? State::kHealthy : it->second.state;
+}
+
+bool Registry::breaker_open(const std::string& name) const {
+  auto it = subs_.find(name);
+  return it != subs_.end() && breaker_open_at(it->second, now());
+}
+
+std::uint64_t Registry::recoveries(const std::string& name) const {
+  auto it = subs_.find(name);
+  return it == subs_.end() ? 0 : it->second.recoveries;
+}
+
+std::string Registry::to_json() const {
+  const double t = now();
+  std::string out = "{\"subsystems\":{";
+  bool first = true;
+  for (const auto& [name, sub] : subs_) {
+    if (!first) out += ",";
+    first = false;
+    const double since =
+        sub.demand == 0 ? 0.0 : t - sub.last_progress_t;
+    out += "\"" + json_escape(name) + "\":{";
+    out += "\"state\":\"" + std::string(state_name(sub.state)) + "\",";
+    out += "\"progress\":" + std::to_string(sub.progress) + ",";
+    out += "\"demand\":" + std::to_string(sub.demand) + ",";
+    out += "\"since_progress_s\":" + fmt_seconds(since) + ",";
+    out += "\"deadline_s\":" + fmt_seconds(sub.config.deadline_s) + ",";
+    out += "\"recoveries\":" + std::to_string(sub.recoveries) + ",";
+    out += "\"breaker_open\":" +
+           std::string(breaker_open_at(sub, t) ? "true" : "false");
+    out += "}";
+  }
+  out += "},\"ledger\":[";
+  for (std::size_t i = 0; i < ledger_.size(); ++i) {
+    if (i > 0) out += ",";
+    const LedgerEntry& e = ledger_[i];
+    out += "{\"t_s\":" + fmt_seconds(e.t_s);
+    out += ",\"subsystem\":\"" + json_escape(e.subsystem) + "\"";
+    out += ",\"action\":\"" + std::string(action_name(e.action)) + "\"";
+    out += ",\"ok\":" + std::string(e.ok ? "true" : "false");
+    out += ",\"detail\":\"" + json_escape(e.detail) + "\"}";
+  }
+  out += "],\"recoveries_total\":" + std::to_string(total_recoveries_) + "}";
+  return out;
+}
+
+}  // namespace uncharted::health

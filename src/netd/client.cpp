@@ -448,11 +448,14 @@ void FleetClient::on_linger_tick() {
 }
 
 // ---------------------------------------------------------------------------
-// Blocking report query
+// Blocking report / health queries
 // ---------------------------------------------------------------------------
 
-Result<std::string> fetch_report(const std::string& host, std::uint16_t port,
-                                 double timeout_s, faultinject::SysOps* sys) {
+namespace {
+
+Result<std::string> fetch_query_json(wire::HelloKind kind, const std::string& host,
+                                     std::uint16_t port, double timeout_s,
+                                     faultinject::SysOps* sys) {
   faultinject::SysOps& ops =
       sys != nullptr ? *sys : faultinject::real_sys_ops();
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -476,7 +479,7 @@ Result<std::string> fetch_report(const std::string& host, std::uint16_t port,
     return err;
   }
   ByteWriter w;
-  wire::encode_hello(w, wire::Hello{wire::HelloKind::kQuery, 0, 0});
+  wire::encode_hello(w, wire::Hello{kind, 0, 0});
   std::size_t off = 0;
   while (off < w.view().size()) {
     const faultinject::IoResult r = faultinject::retry_send(
@@ -522,6 +525,18 @@ Result<std::string> fetch_report(const std::string& host, std::uint16_t port,
   return std::string(
       reinterpret_cast<const char*>(in.data()) + wire::kQueryReplyHeaderSize,
       json_len.value());
+}
+
+}  // namespace
+
+Result<std::string> fetch_report(const std::string& host, std::uint16_t port,
+                                 double timeout_s, faultinject::SysOps* sys) {
+  return fetch_query_json(wire::HelloKind::kQuery, host, port, timeout_s, sys);
+}
+
+Result<std::string> fetch_health(const std::string& host, std::uint16_t port,
+                                 double timeout_s, faultinject::SysOps* sys) {
+  return fetch_query_json(wire::HelloKind::kHealth, host, port, timeout_s, sys);
 }
 
 }  // namespace uncharted::netd

@@ -168,4 +168,11 @@ Result<std::string> fetch_report(const std::string& host, std::uint16_t port,
                                  double timeout_s = 10.0,
                                  faultinject::SysOps* sys = nullptr);
 
+/// Same transport, Hello kind=kHealth: fetches the supervision registry's
+/// health JSON (per-subsystem state, recovery counts, recovery ledger).
+/// Used by `iec104_fleet --health` and the stall post-mortem artifacts.
+Result<std::string> fetch_health(const std::string& host, std::uint16_t port,
+                                 double timeout_s = 10.0,
+                                 faultinject::SysOps* sys = nullptr);
+
 }  // namespace uncharted::netd

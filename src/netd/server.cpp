@@ -152,6 +152,34 @@ bool IngestServer::all_expected_finished() const {
          stats_.streams_finished >= config_.expect_streams;
 }
 
+bool IngestServer::release_gate_open() const {
+  return config_.expect_streams == 0 || streams_.size() >= config_.expect_streams;
+}
+
+std::uint64_t IngestServer::condemn_watermark_laggard(const std::string& reason) {
+  if (!release_gate_open() || bounds_.empty() || heads_.empty()) return 0;
+  const std::uint64_t id = std::get<1>(*bounds_.begin());
+  auto it = streams_.find(id);
+  if (it == streams_.end() || it->second.finished) return 0;
+  // A gating stream that still has frames queued is about to release them
+  // on its own; only an empty-handed laggard can wedge the merge.
+  if (!it->second.q.empty()) return 0;
+  if (it->second.conn_fd >= 0) {
+    evict(it->second.conn_fd, iec104::Severity::kWarn, reason);
+  }
+  // Condemn the stream as finished (the same shape as hostile eviction):
+  // its bound clears, it still counts toward the expect_streams gate, and
+  // a later re-register is answered kFinished. Frames it never sent are
+  // lost to the report — which is why this is a ladder action recorded in
+  // the degradation ledger, never routine housekeeping.
+  auto sit = streams_.find(id);
+  if (sit == streams_.end() || sit->second.finished) return 0;
+  sit->second.fin_seen = false;
+  finish_stream(sit->second);
+  pump();
+  return id;
+}
+
 // ---------------------------------------------------------------------------
 // Accept path
 // ---------------------------------------------------------------------------
@@ -410,12 +438,15 @@ bool IngestServer::parse_conn(Conn& conn) {
 }
 
 bool IngestServer::handle_hello(Conn& conn, const wire::Hello& hello) {
-  if (hello.kind == wire::HelloKind::kQuery) {
+  if (hello.kind == wire::HelloKind::kQuery ||
+      hello.kind == wire::HelloKind::kHealth) {
     conn.is_query = true;
     stats_.queries_served++;
+    const QueryHandler& handler =
+        hello.kind == wire::HelloKind::kHealth ? health_handler_ : query_handler_;
     ByteWriter w;
-    if (query_handler_) {
-      const std::string json = query_handler_();
+    if (handler) {
+      const std::string json = handler();
       wire::encode_query_reply_header(w, wire::AckStatus::kAccepted,
                                       static_cast<std::uint32_t>(json.size()));
       w.bytes(std::span<const std::uint8_t>(
@@ -818,6 +849,7 @@ void IngestServer::on_tick() {
 
   update_pauses();
   pump();
+  stats_.ticks++;
   tick_timer_ = reactor_.add_timer_after(config_.tick_s, [this] { on_tick(); });
   tick_armed_ = true;
 }

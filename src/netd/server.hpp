@@ -130,6 +130,9 @@ struct ServerStats {
   std::uint64_t paused_reads = 0;
   std::uint64_t queries_served = 0;
   std::uint64_t streams_finished = 0;
+  /// Housekeeping ticks completed — the reactor-liveness heartbeat the
+  /// health watchdog consumes.
+  std::uint64_t ticks = 0;
   std::size_t connections = 0;       ///< current
   std::size_t peak_connections = 0;
   std::size_t queued_bytes = 0;      ///< current
@@ -141,7 +144,8 @@ class IngestServer {
   /// Frames released in deterministic global order land here.
   using FrameSink =
       std::function<void(std::uint64_t stream_id, const net::CapturedPacket&)>;
-  /// Produces the current report JSON for a query connection.
+  /// Produces the current report JSON for a query connection. Also used
+  /// for kHealth hellos via set_health_handler.
   using QueryHandler = std::function<std::string()>;
 
   IngestServer(Reactor& reactor, ServerConfig config, FrameSink sink);
@@ -156,6 +160,9 @@ class IngestServer {
   std::uint16_t port() const { return bound_port_; }
 
   void set_query_handler(QueryHandler h) { query_handler_ = std::move(h); }
+  /// Serves `health` hellos (wire::HelloKind::kHealth) with supervision
+  /// JSON. Unset, a health query is answered kBusy like a report query.
+  void set_health_handler(QueryHandler h) { health_handler_ = std::move(h); }
 
   /// Graceful-drain support: refuse new connections but keep serving the
   /// established ones.
@@ -173,6 +180,19 @@ class IngestServer {
   std::uint64_t streams_finished() const { return stats_.streams_finished; }
   /// True when expect_streams > 0 and every expected stream has finished.
   bool all_expected_finished() const;
+
+  /// True once the watermark release gate is open (every expected stream
+  /// has said hello, or no expectation was configured). While closed,
+  /// queued frames waiting on absent peers are normal, not a merge stall.
+  bool release_gate_open() const;
+
+  /// Health-watchdog recovery, first rung of the ladder: the merge has
+  /// stopped while traffic is queued, so condemn the stream holding the
+  /// minimum watermark bound — evict its connection (kWarn) and finish
+  /// the stream so its bound stops gating honest peers. Returns the
+  /// condemned stream id, or 0 when no stream is actually gating (empty
+  /// bounds, the laggard still has queued frames, or the gate is closed).
+  std::uint64_t condemn_watermark_laggard(const std::string& reason);
 
   /// Serializes per-stream release cursors (the netd half of the daemon's
   /// composed checkpoint). Only durable fields: cursor, released_ts,
@@ -265,6 +285,7 @@ class IngestServer {
   faultinject::SysOps& sys_;
   FrameSink sink_;
   QueryHandler query_handler_;
+  QueryHandler health_handler_;
 
   int listen_fd_ = -1;
   int unix_listen_fd_ = -1;

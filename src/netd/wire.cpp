@@ -52,8 +52,8 @@ Result<Hello> decode_hello(ByteReader& r) {
   auto stream_id = r.u64le();
   auto total = r.u64le();
   if (!total) return Error{"wire-truncated", "hello truncated"};
-  if (kind.value() != static_cast<std::uint8_t>(HelloKind::kData) &&
-      kind.value() != static_cast<std::uint8_t>(HelloKind::kQuery)) {
+  if (kind.value() < static_cast<std::uint8_t>(HelloKind::kData) ||
+      kind.value() > static_cast<std::uint8_t>(HelloKind::kHealth)) {
     return Error{"wire-kind", "unknown hello kind"};
   }
   Hello h;

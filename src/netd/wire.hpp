@@ -19,7 +19,9 @@
 // buffered but had not released when a connection (or the daemon) died is
 // simply sent again.
 //
-// A Hello with kind=kQuery instead asks for the current AnalysisReport:
+// A Hello with kind=kQuery instead asks for the current AnalysisReport,
+// and kind=kHealth for the supervision registry's health JSON (per-
+// subsystem state, recovery counts, and the recovery ledger):
 //   server -> client   QueryReply { status, json_len, json_bytes }, close.
 #pragma once
 
@@ -39,8 +41,9 @@ inline constexpr std::uint16_t kVersion = 1;
 inline constexpr std::uint32_t kMaxFrameBytes = 128 * 1024;
 
 enum class HelloKind : std::uint8_t {
-  kData = 1,   ///< this connection replays one capture stream
-  kQuery = 2,  ///< this connection fetches the current report JSON
+  kData = 1,    ///< this connection replays one capture stream
+  kQuery = 2,   ///< this connection fetches the current report JSON
+  kHealth = 3,  ///< this connection fetches the supervision health JSON
 };
 
 enum class AckStatus : std::uint8_t {

@@ -6,10 +6,12 @@
 #include <gtest/gtest.h>
 #include <sys/wait.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 
 namespace {
 
@@ -107,6 +109,61 @@ TEST(ExitCodes, IdleDaemonDrainsCleanWithExitZero) {
   EXPECT_EQ(run(quoted(UNCHARTED_BIN_IEC104D) +
                 " --port 0 --run-for 0.2 --quiet"),
             0);
+}
+
+TEST(ExitCodes, DaemonSelfTerminatesWithExitFourWhenTheLadderExhausts) {
+  // A checkpoint writer wedged past both restart rungs: the recovery
+  // ladder's terminal rung asks for exit 4 so a supervisor restarts the
+  // daemon into --restore. Distinct from 0/1/2/3 and from 42.
+  const std::string ckpt = testing::TempDir() + "/exitcodes_selfterm.ckpt";
+  EXPECT_EQ(run(quoted(UNCHARTED_BIN_IEC104D) + " --port 0 --checkpoint " +
+                ckpt +
+                " --interval 0.05 --stall-checkpoint --watchdog-poll 0.02"
+                " --watchdog-checkpoint 0.15 --run-for 10 --quiet"),
+            4);
+}
+
+TEST(ExitCodes, FleetHonorsTheSameLadder) {
+  // Usage error and a failed query/health fetch are 1, like every tool.
+  EXPECT_EQ(run(quoted(UNCHARTED_BIN_IEC104_FLEET) + " --no-such-flag"), 1);
+  EXPECT_EQ(run(quoted(UNCHARTED_BIN_IEC104_FLEET) +
+                " --connect 127.0.0.1:1 --health"),
+            1);
+}
+
+TEST(ExitCodes, FleetExitsZeroBenignAndThreeWhenHostileModesAreScripted) {
+  // One background daemon serves every fleet run; it announces its
+  // ephemeral port on stdout ("listening on HOST:PORT"), the same line
+  // scripts/soak.sh parses.
+  const std::string out = testing::TempDir() + "/exitcodes_fleet_daemon.out";
+  const std::string pid_file = testing::TempDir() + "/exitcodes_fleet_daemon.pid";
+  ASSERT_EQ(std::system((quoted(UNCHARTED_BIN_IEC104D) +
+                         " --port 0 --run-for 60 --quiet > " + out +
+                         " 2>/dev/null & echo $! > " + pid_file)
+                            .c_str()),
+            0);
+  std::string port;
+  for (int i = 0; i < 200 && port.empty(); ++i) {
+    std::ifstream in(out);
+    std::string line;
+    if (std::getline(in, line) && line.rfind("listening on ", 0) == 0) {
+      port = line.substr(line.rfind(':') + 1);
+    }
+    if (port.empty()) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_FALSE(port.empty()) << "daemon never announced its port";
+
+  const std::string connect = " --connect 127.0.0.1:" + port;
+  EXPECT_EQ(run(quoted(UNCHARTED_BIN_IEC104_FLEET) + connect +
+                " --year 1 --duration 2 --clones 2 --quiet"),
+            0);
+  EXPECT_EQ(run(quoted(UNCHARTED_BIN_IEC104_FLEET) + connect +
+                " --year 1 --duration 2 --garbage 1 --quiet"),
+            3);
+  // A --health fetch against a live daemon succeeds (contrast with the
+  // unreachable-port 1 above).
+  EXPECT_EQ(run(quoted(UNCHARTED_BIN_IEC104_FLEET) + connect + " --health"), 0);
+  run("kill $(cat " + pid_file + ")");
 }
 
 }  // namespace

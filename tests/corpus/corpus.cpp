@@ -10,6 +10,7 @@
 #include "iec104/apdu.hpp"
 #include "net/frame.hpp"
 #include "net/pcap.hpp"
+#include "netd/wire.hpp"
 #include "synchro/c37118.hpp"
 #include "util/bytes.hpp"
 
@@ -353,6 +354,53 @@ void add_conformance(std::vector<Seed>& out) {
                              iec104::CodecProfile::standard())});
 }
 
+// Tapstream wire messages for fuzz_tapstream: every message kind of the
+// live-ingest protocol (data/query/health hellos, the ack, a record with
+// payload and its fin, the fin-ack), plus structurally broken variants so
+// mutation starts at the framing cliffs.
+void add_tapstream(std::vector<Seed>& out) {
+  using netd::wire::Hello;
+  using netd::wire::HelloKind;
+  auto hello_bytes = [](HelloKind kind, std::uint64_t id, std::uint64_t total) {
+    ByteWriter w;
+    netd::wire::encode_hello(w, Hello{kind, id, total});
+    return w.take();
+  };
+  out.push_back({"tap_hello_data", Category::kTapstream,
+                 hello_bytes(HelloKind::kData, 42, 1000)});
+  out.push_back({"tap_hello_query", Category::kTapstream,
+                 hello_bytes(HelloKind::kQuery, 0, 0)});
+  out.push_back({"tap_hello_health", Category::kTapstream,
+                 hello_bytes(HelloKind::kHealth, 0, 0)});
+
+  ByteWriter ack;
+  netd::wire::encode_hello_ack(
+      ack, {netd::wire::AckStatus::kAccepted, 512});
+  out.push_back({"tap_hello_ack_resume", Category::kTapstream, ack.take()});
+
+  // A record (header + payload) followed by the stream's fin, as a client
+  // would send them back to back on the wire.
+  ByteWriter rec;
+  netd::wire::encode_record_header(rec, {123456789, 64, 8});
+  for (int i = 0; i < 8; ++i) rec.u8(static_cast<std::uint8_t>(0x68 + i));
+  netd::wire::encode_fin(rec, 1);
+  out.push_back({"tap_record_then_fin", Category::kTapstream, rec.take()});
+
+  ByteWriter fin_ack;
+  netd::wire::encode_fin_ack(fin_ack, 1000);
+  out.push_back({"tap_fin_ack", Category::kTapstream, fin_ack.take()});
+
+  auto bad_magic = hello_bytes(HelloKind::kData, 7, 9);
+  bad_magic[0] ^= 0xff;
+  out.push_back({"tap_hello_bad_magic", Category::kTapstream,
+                 std::move(bad_magic)});
+
+  auto truncated = hello_bytes(HelloKind::kData, 7, 9);
+  truncated.resize(truncated.size() / 2);
+  out.push_back({"tap_hello_truncated", Category::kTapstream,
+                 std::move(truncated)});
+}
+
 }  // namespace
 
 std::string category_name(Category c) {
@@ -363,6 +411,7 @@ std::string category_name(Category c) {
     case Category::kC37118: return "c37118";
     case Category::kFrame: return "frame";
     case Category::kConformance: return "conformance";
+    case Category::kTapstream: return "tapstream";
   }
   return "unknown";
 }
@@ -377,6 +426,7 @@ const std::vector<Seed>& seeds() {
     add_c37118(out);
     add_frames(out);
     add_conformance(out);
+    add_tapstream(out);
     return out;
   }();
   return all;

@@ -24,6 +24,7 @@ enum class Category {
   kC37118,   ///< synchrophasor frames
   kFrame,    ///< Ethernet/IPv4/TCP frames and pcap buffers
   kConformance,  ///< op scripts for the IEC 104 conformance state machine
+  kTapstream,    ///< live-ingest tapstream wire messages (hello..fin-ack)
 };
 
 std::string category_name(Category c);

@@ -12,6 +12,7 @@
 #include "net/frame.hpp"
 #include "net/pcap.hpp"
 #include "net/reassembly.hpp"
+#include "netd/wire.hpp"
 #include "synchro/c37118.hpp"
 #include "util/rng.hpp"
 
@@ -104,6 +105,35 @@ TEST(Fuzz, Ft12Decoder) {
     auto frame = iec101::decode_ft12(r);
     if (frame.ok()) (void)iec101::unframe_asdu(*frame);
   });
+}
+
+TEST(Fuzz, TapstreamWireDecoders) {
+  Rng rng(11);
+  const auto decode_all = [](std::span<const std::uint8_t> bytes) {
+    {
+      ByteReader r(bytes);
+      (void)netd::wire::decode_hello(r);
+    }
+    {
+      ByteReader r(bytes);
+      (void)netd::wire::decode_hello_ack(r);
+    }
+    {
+      ByteReader r(bytes);
+      auto rec = netd::wire::decode_record_header(r);
+      if (rec.ok()) (void)r.skip(rec->cap_len);
+    }
+    {
+      ByteReader r(bytes);
+      (void)netd::wire::decode_fin(r);
+    }
+    {
+      ByteReader r(bytes);
+      (void)netd::wire::decode_fin_ack(r);
+    }
+  };
+  for (int i = 0; i < 500; ++i) decode_all(random_bytes(rng, 64));
+  sweep_category(rng, corpus::Category::kTapstream, 200, decode_all);
 }
 
 TEST(Fuzz, C37118Decoder) {

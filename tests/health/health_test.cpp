@@ -1,0 +1,212 @@
+// Registry semantics on a virtual clock: heartbeats, demand parking,
+// deadline firing, ladder escalation, rung reset on progress, the
+// crash-loop breaker, and the JSON rendering the query socket serves.
+#include "health/health.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uncharted::health {
+namespace {
+
+struct Fixture {
+  double t = 0.0;
+  Registry reg{[this] { return t; }};
+};
+
+TEST(HealthRegistry, IdleSubsystemNeverStalls) {
+  Fixture f;
+  f.reg.add("merge", {1.0, {Action::kCondemnStream}});
+  f.reg.publish("merge", 0);
+  f.reg.set_demand("merge", 0);
+  f.t = 100.0;
+  EXPECT_TRUE(f.reg.evaluate().empty());
+  EXPECT_EQ(f.reg.state("merge"), State::kHealthy);
+}
+
+TEST(HealthRegistry, StallFiresOnlyPastDeadlineWithDemand) {
+  Fixture f;
+  f.reg.add("merge", {1.0, {Action::kCondemnStream}});
+  f.reg.set_demand("merge", 512);
+  f.t = 0.9;
+  EXPECT_TRUE(f.reg.evaluate().empty());
+  f.t = 1.1;
+  auto events = f.reg.evaluate();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].subsystem, "merge");
+  EXPECT_EQ(events[0].action, Action::kCondemnStream);
+  EXPECT_GT(events[0].stalled_for_s, 1.0);
+  EXPECT_EQ(f.reg.state("merge"), State::kStalled);
+}
+
+TEST(HealthRegistry, FiringRearmsForAFullDeadline) {
+  Fixture f;
+  f.reg.add("merge", {1.0, {Action::kCondemnStream}});
+  f.reg.set_demand("merge", 1);
+  f.t = 1.5;
+  ASSERT_EQ(f.reg.evaluate().size(), 1u);
+  // Immediately after firing, the deadline is rearmed: no double fire.
+  EXPECT_TRUE(f.reg.evaluate().empty());
+  f.t = 2.4;
+  EXPECT_TRUE(f.reg.evaluate().empty());
+  f.t = 2.6;
+  EXPECT_EQ(f.reg.evaluate().size(), 1u);
+}
+
+TEST(HealthRegistry, ProgressResetsStateAndLadderRung) {
+  Fixture f;
+  f.reg.add("lane/3", {1.0, {Action::kRestartLane, Action::kSelfTerminate}});
+  f.reg.set_demand("lane/3", 10);
+  f.t = 1.5;
+  auto first = f.reg.evaluate();
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].action, Action::kRestartLane);
+  f.reg.record_recovery("lane/3", first[0].action, true, "restarted");
+  EXPECT_EQ(f.reg.state("lane/3"), State::kRecovering);
+  // Progress resumes: healthy again, and the ladder starts over.
+  f.reg.publish("lane/3", 42);
+  EXPECT_EQ(f.reg.state("lane/3"), State::kHealthy);
+  f.t = 3.5;
+  auto second = f.reg.evaluate();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].action, Action::kRestartLane);  // rung reset, not terminate
+}
+
+TEST(HealthRegistry, LadderEscalatesWhileStallPersists) {
+  Fixture f;
+  f.reg.add("checkpoint", {1.0,
+                           {Action::kRestartCheckpoint, Action::kRestartCheckpoint,
+                            Action::kSelfTerminate}});
+  f.reg.set_demand("checkpoint", 1);
+  std::vector<Action> fired;
+  for (int round = 0; round < 3; ++round) {
+    f.t += 1.5;
+    auto events = f.reg.evaluate();
+    ASSERT_EQ(events.size(), 1u) << "round " << round;
+    fired.push_back(events[0].action);
+    f.reg.record_recovery("checkpoint", events[0].action, false, "still wedged");
+  }
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0], Action::kRestartCheckpoint);
+  EXPECT_EQ(fired[1], Action::kRestartCheckpoint);
+  EXPECT_EQ(fired[2], Action::kSelfTerminate);
+}
+
+TEST(HealthRegistry, LadderClampsAtLastRung) {
+  Fixture f;
+  f.reg.configure_breaker({0, 0.0});  // breaker off: isolate the clamp
+  f.reg.add("merge", {1.0, {Action::kCondemnStream}});
+  f.reg.set_demand("merge", 1);
+  for (int round = 0; round < 4; ++round) {
+    f.t += 1.5;
+    auto events = f.reg.evaluate();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].action, Action::kCondemnStream);
+    f.reg.record_recovery("merge", events[0].action, false, "no laggard");
+  }
+}
+
+TEST(HealthRegistry, CounterRebaseCountsAsProgress) {
+  // A recovery that rebuilds the engine resets its counters to zero; the
+  // registry must treat the decrease as progress, not a deeper stall.
+  Fixture f;
+  f.reg.add("lane/0", {1.0, {Action::kRestartLane}});
+  f.reg.publish("lane/0", 1000);
+  f.reg.set_demand("lane/0", 5);
+  f.t = 0.9;
+  f.reg.publish("lane/0", 3);  // engine restarted, fresh counter
+  f.t = 1.5;
+  EXPECT_TRUE(f.reg.evaluate().empty());
+  EXPECT_EQ(f.reg.state("lane/0"), State::kHealthy);
+}
+
+TEST(HealthRegistry, BreakerOpensAndHaltsRecovery) {
+  Fixture f;
+  f.reg.configure_breaker({2, 60.0});
+  f.reg.add("lane/1", {1.0, {Action::kRestartLane}});
+  f.reg.set_demand("lane/1", 1);
+  // Two failed recoveries open the breaker...
+  for (int round = 0; round < 2; ++round) {
+    f.t += 1.5;
+    auto events = f.reg.evaluate();
+    ASSERT_EQ(events.size(), 1u);
+    f.reg.record_recovery("lane/1", events[0].action, false, "wedged");
+  }
+  EXPECT_TRUE(f.reg.breaker_open("lane/1"));
+  EXPECT_EQ(f.reg.state("lane/1"), State::kFailed);
+  // ...after which evaluate() emits nothing: no flapping, state stays
+  // failed and honest.
+  f.t += 10.0;
+  EXPECT_TRUE(f.reg.evaluate().empty());
+  EXPECT_EQ(f.reg.state("lane/1"), State::kFailed);
+  EXPECT_EQ(f.reg.recoveries("lane/1"), 2u);
+}
+
+TEST(HealthRegistry, BreakerWindowSlidesAttemptsOut) {
+  Fixture f;
+  f.reg.configure_breaker({2, 10.0});
+  f.reg.add("s", {1.0, {Action::kObserve}});
+  f.reg.set_demand("s", 1);
+  f.t = 2.0;
+  ASSERT_EQ(f.reg.evaluate().size(), 1u);
+  f.reg.record_recovery("s", Action::kObserve, true, "one");
+  EXPECT_FALSE(f.reg.breaker_open("s"));
+  // 20 virtual seconds later the first attempt left the window: a second
+  // attempt does not open the breaker.
+  f.t = 22.0;
+  ASSERT_EQ(f.reg.evaluate().size(), 1u);
+  f.reg.record_recovery("s", Action::kObserve, true, "two");
+  EXPECT_FALSE(f.reg.breaker_open("s"));
+}
+
+TEST(HealthRegistry, LedgerRecordsEveryAttemptInOrder) {
+  Fixture f;
+  f.reg.add("a", {1.0, {Action::kObserve}});
+  f.reg.set_demand("a", 1);
+  f.t = 1.5;
+  (void)f.reg.evaluate();
+  f.reg.record_recovery("a", Action::kObserve, true, "first");
+  f.t = 3.5;
+  (void)f.reg.evaluate();
+  f.reg.record_recovery("a", Action::kObserve, false, "second");
+  const auto& ledger = f.reg.ledger();
+  ASSERT_EQ(ledger.size(), 2u);
+  EXPECT_EQ(ledger[0].detail, "first");
+  EXPECT_TRUE(ledger[0].ok);
+  EXPECT_EQ(ledger[1].detail, "second");
+  EXPECT_FALSE(ledger[1].ok);
+  EXPECT_LT(ledger[0].t_s, ledger[1].t_s);
+  EXPECT_EQ(f.reg.total_recoveries(), 2u);
+}
+
+TEST(HealthRegistry, JsonIsDeterministicAndComplete) {
+  Fixture f;
+  f.reg.add("merge", {1.0, {Action::kCondemnStream}});
+  f.reg.add("query", {0.0, {}});
+  f.reg.publish("merge", 7);
+  f.reg.set_demand("merge", 3);
+  f.t = 2.0;
+  (void)f.reg.evaluate();
+  f.reg.record_recovery("merge", Action::kCondemnStream, true,
+                        "condemned stream 9");
+  const std::string a = f.reg.to_json();
+  const std::string b = f.reg.to_json();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"merge\""), std::string::npos);
+  EXPECT_NE(a.find("\"query\""), std::string::npos);
+  EXPECT_NE(a.find("\"state\":\"recovering\""), std::string::npos);
+  EXPECT_NE(a.find("\"action\":\"condemn-stream\""), std::string::npos);
+  EXPECT_NE(a.find("\"recoveries_total\":1"), std::string::npos);
+  EXPECT_NE(a.find("condemned stream 9"), std::string::npos);
+}
+
+TEST(HealthRegistry, ZeroDeadlineIsHeartbeatOnly) {
+  Fixture f;
+  f.reg.add("query", {0.0, {}});
+  f.reg.set_demand("query", 100);
+  f.t = 1000.0;
+  EXPECT_TRUE(f.reg.evaluate().empty());
+  EXPECT_EQ(f.reg.state("query"), State::kHealthy);
+}
+
+}  // namespace
+}  // namespace uncharted::health

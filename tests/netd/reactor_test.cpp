@@ -144,6 +144,36 @@ TEST(Reactor, StopFromTimerEndsRun) {
   EXPECT_TRUE(reactor.stopped());
 }
 
+TEST(Reactor, TimerScheduleParityAcrossBackends) {
+  // The timer heap lives above the readiness backend, so an identical
+  // schedule — distinct deadlines, a FIFO tie, a cancel, a re-arm from
+  // inside a callback — must produce an identical fire order on epoll and
+  // poll. The daemon's watchdog cadence depends on this parity.
+  std::vector<std::string> orders;
+  for (Backend backend : backends_under_test()) {
+    Reactor reactor(backend);
+    std::string order;
+    reactor.add_timer_after(0.05, [&] { order += 'e'; });
+    reactor.add_timer_after(0.01, [&] {
+      order += 'b';
+      // Re-arm from inside a callback: lands between the tie and the tail.
+      reactor.add_timer_after(0.015, [&order] { order += 'd'; });
+    });
+    const auto dead = reactor.add_timer_after(0.02, [&] { order += 'X'; });
+    reactor.add_timer_after(0.0, [&] { order += 'a'; });
+    reactor.add_timer_after(0.01, [&] { order += 'c'; });  // tie with 'b': FIFO
+    reactor.cancel_timer(dead);
+    for (int i = 0; i < 400 && order.size() < 5; ++i) reactor.run_once(10);
+    EXPECT_EQ(order, "abcde")
+        << (backend == Backend::kEpoll ? "epoll" : "poll")
+        << " backend broke the schedule";
+    orders.push_back(order);
+  }
+  for (std::size_t i = 1; i < orders.size(); ++i) {
+    EXPECT_EQ(orders[0], orders[i]) << "backends disagree on timer order";
+  }
+}
+
 TEST(Reactor, NotifyFromSignalRunsWakeupCallback) {
   Reactor reactor;
   bool woke = false;

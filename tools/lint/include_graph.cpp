@@ -15,7 +15,8 @@ std::string first_segment(const std::string& path) {
 
 std::optional<int> module_rank(const std::string& module) {
   static const std::map<std::string, int> kRanks = {
-      {"util", 0},   {"exec", 0},    {"net", 1},        {"faultinject", 2},
+      {"util", 0},   {"exec", 0},    {"health", 1},     {"net", 1},
+      {"faultinject", 2},
       {"iec104", 2}, {"iccp", 2},    {"synchro", 2},    {"power", 2},
       {"iec101", 3}, {"netd", 3},    {"analysis", 4}, {"resilience", 4}, {"sim", 4},
       {"core", 5},
