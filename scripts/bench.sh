@@ -3,21 +3,29 @@
 # bench_throughput, leaving the machine-readable BENCH_throughput.json in
 # the repo root (CI uploads it as an artifact).
 #
+# Every run is also appended to BENCH_trajectory.json as
+# {git_sha, date, results}, so the repo carries the performance history of
+# its own hot path alongside the latest snapshot.
+#
 # Usage: scripts/bench.sh [--out FILE] [--reps N] [--scale FACTOR]
-#   --out    output JSON path (default BENCH_throughput.json)
-#   --reps   repetitions per (capture, threads, stage) cell, fastest wins
-#   --scale  capture scale factor (sets UNCHARTED_BENCH_SCALE)
+#                         [--no-trajectory]
+#   --out            output JSON path (default BENCH_throughput.json)
+#   --reps           repetitions per (capture, threads, stage) cell, fastest wins
+#   --scale          capture scale factor (sets UNCHARTED_BENCH_SCALE)
+#   --no-trajectory  skip the BENCH_trajectory.json append (smoke/CI runs)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="BENCH_throughput.json"
 reps=3
 scale=""
+trajectory=1
 while [ $# -gt 0 ]; do
   case "$1" in
     --out)   out="$2"; shift 2 ;;
     --reps)  reps="$2"; shift 2 ;;
     --scale) scale="$2"; shift 2 ;;
+    --no-trajectory) trajectory=0; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
@@ -30,3 +38,35 @@ if [ -n "$scale" ]; then
   export UNCHARTED_BENCH_SCALE="$scale"
 fi
 build-release/bench/bench_throughput --out "$out" --reps "$reps"
+
+if [ "$trajectory" -eq 1 ]; then
+  git_sha="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+  if ! git diff --quiet HEAD 2>/dev/null; then
+    git_sha="${git_sha}-dirty"
+  fi
+  run_date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  GIT_SHA="$git_sha" RUN_DATE="$run_date" BENCH_OUT="$out" python3 - <<'PY'
+import json, os
+
+with open(os.environ["BENCH_OUT"]) as f:
+    snapshot = json.load(f)
+
+path = "BENCH_trajectory.json"
+try:
+    with open(path) as f:
+        trajectory = json.load(f)
+except FileNotFoundError:
+    trajectory = []
+
+trajectory.append({
+    "git_sha": os.environ["GIT_SHA"],
+    "date": os.environ["RUN_DATE"],
+    "results": snapshot,
+})
+with open(path, "w") as f:
+    json.dump(trajectory, f, indent=1)
+    f.write("\n")
+print(f"appended {os.environ['GIT_SHA'][:12]} to {path} "
+      f"({len(trajectory)} entries)")
+PY
+fi

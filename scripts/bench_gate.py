@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Throughput regression gate for CI.
+
+Compares a fresh bench_throughput run against the committed baseline
+(BENCH_throughput.json) and fails if the threads-1 ingest packet rate of
+any capture regressed by more than the allowed fraction. Only the
+single-threaded ingest stage is gated: it is the zero-copy hot path the
+repo commits a trajectory for, and it is the least noisy cell on shared
+CI runners (no scheduler effects from worker threads).
+
+Usage: scripts/bench_gate.py --baseline BENCH_throughput.json \
+           --candidate bench-smoke.json [--max-regression 0.15]
+
+Exit codes: 0 pass, 1 regression, 2 bad input.
+"""
+import argparse
+import json
+import sys
+
+
+def ingest_threads1(snapshot):
+    """Map capture name -> packets_per_s for the (ingest, threads=1) cells."""
+    out = {}
+    for row in snapshot.get("results", []):
+        if row.get("stage") == "ingest" and row.get("threads") == 1:
+            out[row["capture"]] = float(row["packets_per_s"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--candidate", required=True)
+    parser.add_argument("--max-regression", type=float, default=0.15)
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = ingest_threads1(json.load(f))
+        with open(args.candidate) as f:
+            candidate = ingest_threads1(json.load(f))
+    except (OSError, json.JSONDecodeError, KeyError, ValueError) as err:
+        print(f"bench_gate: cannot load inputs: {err}", file=sys.stderr)
+        return 2
+
+    if not baseline:
+        print("bench_gate: baseline has no (ingest, threads=1) rows",
+              file=sys.stderr)
+        return 2
+
+    failed = False
+    for capture, base_pps in sorted(baseline.items()):
+        cand_pps = candidate.get(capture)
+        if cand_pps is None:
+            print(f"bench_gate: candidate missing capture {capture!r}",
+                  file=sys.stderr)
+            failed = True
+            continue
+        ratio = cand_pps / base_pps
+        floor = 1.0 - args.max_regression
+        verdict = "OK" if ratio >= floor else "REGRESSION"
+        print(f"{capture}: ingest t1 {cand_pps:,.0f} pkt/s vs baseline "
+              f"{base_pps:,.0f} pkt/s ({ratio:.3f}x, floor {floor:.2f}x) "
+              f"{verdict}")
+        if ratio < floor:
+            failed = True
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

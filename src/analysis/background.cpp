@@ -120,21 +120,21 @@ BackgroundTraffic analyze_background(const std::vector<net::CapturedPacket>& pac
   std::map<net::FlowKey, PmuAccumulator> pmu_dirs;
   std::map<std::pair<net::Ipv4Addr, net::Ipv4Addr>, IccpAccumulator> iccp_pairs;
 
-  net::TcpReassembler reassembler([&](const net::FlowKey& key,
-                                      const net::StreamChunk& chunk) {
+  net::TcpReassembler reassembler([&](const net::FlowKey& key, Timestamp ts,
+                                      std::span<const std::uint8_t> data) {
     if (key.dst_port == synchro::kC37118Port) {
       // PMU -> concentrator direction carries the frames.
       auto& acc = pmu_dirs[key];
       acc.summary.source = key.src_ip;
       acc.summary.sink = key.dst_ip;
-      acc.feed(chunk.ts, chunk.data);
+      acc.feed(ts, data);
     } else if (key.src_port == iccp::kIsoTsapPort || key.dst_port == iccp::kIsoTsapPort) {
       net::Ipv4Addr a = key.src_ip, b = key.dst_ip;
       if (b < a) std::swap(a, b);
       auto& acc = iccp_pairs[std::make_pair(a, b)];
       acc.summary.a = a;
       acc.summary.b = b;
-      acc.feed(chunk.data);
+      acc.feed(data);
     }
   });
 

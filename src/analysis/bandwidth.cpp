@@ -59,23 +59,31 @@ BandwidthReport analyze_bandwidth(const std::vector<net::CapturedPacket>& packet
   return acc.finish();
 }
 
+BandwidthReport analyze_bandwidth(std::span<const net::FrameView> frames,
+                                  double bucket_seconds) {
+  BandwidthAccumulator acc(bucket_seconds);
+  for (const auto& frame : frames) acc.add_packet(frame.ts, frame.data);
+  return acc.finish();
+}
+
 BandwidthAccumulator::BandwidthAccumulator(double bucket_seconds)
     : bucket_seconds_(bucket_seconds) {}
 
-void BandwidthAccumulator::add_packet(const net::CapturedPacket& pkt) {
+void BandwidthAccumulator::add_packet(Timestamp ts,
+                                      std::span<const std::uint8_t> data) {
   if (!have_start_) {
-    start_ts_ = pkt.ts;
+    start_ts_ = ts;
     have_start_ = true;
   }
-  auto frame = net::decode_frame(pkt.data);
-  if (!frame) return;
-  TapProtocol proto = classify(frame.value());
+  net::DecodedFrame frame;
+  if (!net::decode_frame_into(data, frame)) return;
+  TapProtocol proto = classify(frame);
   // A packet stamped before the capture start (reordered tap, or a forged
   // timestamp) collapses into bucket 0; unsigned subtraction would
   // otherwise wrap to a ~580,000-year offset.
   std::size_t bucket_index = 0;
-  if (pkt.ts > start_ts_) {
-    double rel = to_seconds(static_cast<DurationUs>(pkt.ts - start_ts_));
+  if (ts > start_ts_) {
+    double rel = to_seconds(static_cast<DurationUs>(ts - start_ts_));
     bucket_index = static_cast<std::size_t>(rel / bucket_seconds_);
   }
   const double t = static_cast<double>(bucket_index) * bucket_seconds_;
@@ -112,23 +120,23 @@ void BandwidthAccumulator::add_packet(const net::CapturedPacket& pkt) {
     }
     slot = &*it;
   }
-  slot->bytes += pkt.data.size();
+  slot->bytes += data.size();
   ++slot->packets;
-  total_bytes_[proto] += pkt.data.size();
+  total_bytes_[proto] += data.size();
   ++total_packets_[proto];
 
-  connection_bytes_[net::FlowKey{frame->ip.src, frame->tcp.src_port, frame->ip.dst,
-                                 frame->tcp.dst_port}
-                        .canonical()] += frame->payload.size();
+  connection_bytes_[net::FlowKey{frame.ip.src, frame.tcp.src_port, frame.ip.dst,
+                                 frame.tcp.dst_port}
+                        .canonical()] += frame.payload.size();
 
   if (proto == TapProtocol::kIec104) {
     // A reordered packet would wrap the unsigned gap into an astronomical
     // inter-arrival sample; skip it rather than poison the statistics.
-    if (prev_iec104_ && pkt.ts >= *prev_iec104_) {
+    if (prev_iec104_ && ts >= *prev_iec104_) {
       iec104_interarrival_s_.add(
-          to_seconds(static_cast<DurationUs>(pkt.ts - *prev_iec104_)));
+          to_seconds(static_cast<DurationUs>(ts - *prev_iec104_)));
     }
-    prev_iec104_ = pkt.ts;
+    prev_iec104_ = ts;
   }
 }
 

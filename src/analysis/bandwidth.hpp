@@ -52,6 +52,9 @@ struct BandwidthReport {
 /// Computes the report with the given time bucket (default 10 s).
 BandwidthReport analyze_bandwidth(const std::vector<net::CapturedPacket>& packets,
                                   double bucket_seconds = 10.0);
+/// Zero-copy variant over frame views (the mmap'd-file path).
+BandwidthReport analyze_bandwidth(std::span<const net::FrameView> frames,
+                                  double bucket_seconds = 10.0);
 
 /// Incremental bandwidth accounting: one packet at a time, checkpointable.
 /// `analyze_bandwidth` is a thin wrapper; the streaming analyzer feeds one
@@ -60,7 +63,12 @@ class BandwidthAccumulator {
  public:
   explicit BandwidthAccumulator(double bucket_seconds = 10.0);
 
-  void add_packet(const net::CapturedPacket& pkt);
+  void add_packet(const net::CapturedPacket& pkt) {
+    add_packet(pkt.ts, pkt.data);
+  }
+  /// Zero-copy form: all accounting reads only the timestamp and the raw
+  /// frame bytes, so views and owning packets take the same path.
+  void add_packet(Timestamp ts, std::span<const std::uint8_t> data);
 
   /// Snapshot of the report so far (top talkers sorted and truncated).
   BandwidthReport finish() const;

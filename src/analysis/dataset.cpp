@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <numeric>
 #include <set>
 
 namespace uncharted::analysis {
@@ -18,14 +19,24 @@ CaptureDataset CaptureDataset::build(const std::vector<net::CapturedPacket>& pac
   return builder.finish();
 }
 
+CaptureDataset CaptureDataset::build(std::span<const net::FrameView> frames,
+                                     const Options& options) {
+  DatasetBuilder builder(options);
+  builder.add_packets(frames);
+  return builder.finish();
+}
+
 DatasetBuilder::DatasetBuilder(CaptureDataset::Options options,
                                ResourceBudgets budgets)
-    : options_(options), budgets_(budgets) {
+    : options_(options),
+      budgets_(budgets),
+      record_arena_(std::make_shared<util::RecordArena>()),
+      packet_parser_(options.parser_mode) {
+  packet_parser_.set_arena(record_arena_->resource());
   if (options_.mode == ParseMode::kReassembled) {
     reassembler_.emplace(
-        [this](const net::FlowKey& key, const net::StreamChunk& chunk) {
-          ingest(key, chunk.ts, chunk.data);
-        },
+        [this](const net::FlowKey& key, Timestamp ts,
+               std::span<const std::uint8_t> data) { ingest(key, ts, data); },
         options_.reassembly_limits);
   }
 }
@@ -34,6 +45,7 @@ iec104::ApduStreamParser& DatasetBuilder::parser_for(const net::FlowKey& key) {
   auto it = parsers_.find(key);
   if (it == parsers_.end()) {
     it = parsers_.emplace(key, iec104::ApduStreamParser(options_.parser_mode)).first;
+    it->second.set_arena(record_arena_->resource());
   }
   return it->second;
 }
@@ -42,7 +54,13 @@ void DatasetBuilder::collect(const net::FlowKey& key,
                              std::vector<iec104::ParsedApdu>& apdus,
                              std::vector<iec104::ParseFailure>& failures) {
   auto& deg = stats_.degradation;
-  auto& dmg = damage_[key];
+  std::uint64_t hash = net::flow_key_hash(key);
+  FlowDamage* dmgp = damage_cache_.find(key, hash);
+  if (dmgp == nullptr) {
+    dmgp = &damage_[key];
+    damage_cache_.put(key, hash, dmgp);
+  }
+  auto& dmg = *dmgp;
   for (const auto& f : failures) {
     ++stats_.apdu_failures;
     dmg.last_failure_ts = f.ts;
@@ -145,18 +163,20 @@ void DatasetBuilder::enforce_budgets() {
   }
 }
 
-void DatasetBuilder::add_packet(const net::CapturedPacket& pkt) {
+void DatasetBuilder::add_packet_impl(Timestamp ts,
+                                     std::span<const std::uint8_t> data) {
   ++packets_consumed_;
   ++stats_.packets;
-  last_ts_ = pkt.ts;
-  auto frame = net::decode_frame(pkt.data);
-  if (!frame) {
+  last_ts_ = ts;
+  net::DecodedFrame frame_storage;
+  if (!net::decode_frame_into(data, frame_storage)) {
     ++stats_.undecodable_frames;
     ++stats_.degradation.undecodable_frames;
     return;
   }
+  const net::DecodedFrame* frame = &frame_storage;
   ++stats_.tcp_packets;
-  flows_.add(pkt.ts, frame.value());
+  flows_.add(ts, *frame);
 
   bool is_iec104 = frame->tcp.src_port == options_.iec104_port ||
                    frame->tcp.dst_port == options_.iec104_port;
@@ -171,25 +191,47 @@ void DatasetBuilder::add_packet(const net::CapturedPacket& pkt) {
     } else {
       ++stats_.other_tcp_packets;
     }
-    enforce_budgets();
     return;
   }
 
   if (options_.mode == ParseMode::kReassembled) {
-    reassembler_->add(pkt.ts, frame.value());
+    reassembler_->add(ts, *frame);
   } else if (!frame->payload.empty()) {
     ++stats_.iec104_payload_packets;
     net::FlowKey key{frame->ip.src, frame->tcp.src_port, frame->ip.dst,
                      frame->tcp.dst_port};
     // Per-packet mode: each payload parsed independently (fresh framing),
     // matching the paper's per-packet SCAPY pipeline. An APDU cut off by
-    // the packet boundary is a truncated tail, not silence.
-    iec104::ApduStreamParser packet_parser(options_.parser_mode);
-    packet_parser.feed(pkt.ts, frame->payload);
-    packet_parser.finish(pkt.ts);
-    packet_parser.drain(drained_apdus_, drained_failures_);
+    // the packet boundary is a truncated tail, not silence. The scratch
+    // parser is reset, not reconstructed: same semantics, no allocation.
+    packet_parser_.reset_stream();
+    packet_parser_.feed(ts, frame->payload);
+    packet_parser_.finish(ts);
+    packet_parser_.drain(drained_apdus_, drained_failures_);
     collect(key, drained_apdus_, drained_failures_);
   }
+}
+
+void DatasetBuilder::add_packet(Timestamp ts, std::span<const std::uint8_t> data) {
+  add_packet_impl(ts, data);
+  enforce_budgets();
+}
+
+void DatasetBuilder::add_packets(std::span<const net::FrameView> frames) {
+  if (!budgets_.unlimited()) {
+    // Budgets in play: enforcement has to see every packet boundary, or
+    // eviction timing would depend on the driver's batch size.
+    for (const auto& frame : frames) {
+      add_packet_impl(frame.ts, frame.data);
+      enforce_budgets();
+    }
+    return;
+  }
+  // Unlimited budgets: no enforcement branch can fire, so enforce_budgets
+  // degenerates to peak sampling. Flows, records and parsers only grow
+  // within a batch, so end-of-batch sampling observes their true peaks;
+  // only the (unbudgeted) reassembly transient can be sampled lower.
+  for (const auto& frame : frames) add_packet_impl(frame.ts, frame.data);
   enforce_budgets();
 }
 
@@ -245,6 +287,10 @@ ShardPartial DatasetBuilder::finish_partial(Timestamp flush_ts) {
   part.flows = std::move(flows_);
   part.records = std::move(records_);
   part.damage = std::move(damage_);
+  // Shared, not moved: the builder's parsers still point at the arena, and
+  // the partial must keep it alive once the records leave the builder.
+  part.arena = record_arena_;
+  damage_cache_.invalidate();
   return part;
 }
 
@@ -298,14 +344,21 @@ CaptureDataset merge_partials(std::vector<ShardPartial> partials,
     total_records += part.records.size();
     total_quarantined += part.quarantined.size();
   }
-  ds.records_.reserve(total_records);
   ds.quarantined_.reserve(total_quarantined);
 
   for (auto& part : partials) {
     sum_stats(ds.stats_, part.stats);
+    if (part.arena) ds.arenas_.push_back(std::move(part.arena));
     ds.flows_.merge(std::move(part.flows));
-    std::move(part.records.begin(), part.records.end(),
-              std::back_inserter(ds.records_));
+    if (&part == &partials.front()) {
+      // First (or only) partial: adopt the vector wholesale. At
+      // --threads 1 this elides the element-wise move of every record.
+      ds.records_ = std::move(part.records);
+      ds.records_.reserve(total_records);
+    } else {
+      std::move(part.records.begin(), part.records.end(),
+                std::back_inserter(ds.records_));
+    }
     ds.quarantined_.insert(ds.quarantined_.end(), part.quarantined.begin(),
                            part.quarantined.end());
     // Directed flows are shard-affine, so damage maps are disjoint.
@@ -316,13 +369,35 @@ CaptureDataset merge_partials(std::vector<ShardPartial> partials,
   // Canonical record order: (ts, flow, per-flow seq). A strict total order
   // — no two records share all three — so the merged sequence is the same
   // no matter how the records were distributed across partials, and the
-  // single-shard case reproduces it too.
-  std::stable_sort(ds.records_.begin(), ds.records_.end(),
-                   [](const ApduRecord& a, const ApduRecord& b) {
+  // single-shard case reproduces it too. The sort runs over a u32
+  // permutation so each fat record (owning a parsed ASDU) is moved exactly
+  // once when the permutation is applied, not O(n log n) times inside the
+  // sort.
+  std::vector<std::uint32_t> order(ds.records_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t ia, std::uint32_t ib) {
+                     const ApduRecord& a = ds.records_[ia];
+                     const ApduRecord& b = ds.records_[ib];
                      if (a.ts != b.ts) return a.ts < b.ts;
                      if (!(a.flow == b.flow)) return a.flow < b.flow;
                      return a.seq < b.seq;
                    });
+  std::vector<ApduRecord> sorted;
+  sorted.reserve(ds.records_.size());
+  for (std::uint32_t idx : order) sorted.push_back(std::move(ds.records_[idx]));
+  ds.records_ = std::move(sorted);
+
+  // Hot columns are filled in the same pass that indexes sessions and
+  // connections, so the SoA projection is exactly row-aligned with the
+  // canonical record order.
+  auto& cols = ds.columns_;
+  cols.ts.reserve(ds.records_.size());
+  cols.flow_index.reserve(ds.records_.size());
+  cols.seq.reserve(ds.records_.size());
+  cols.type_id.reserve(ds.records_.size());
+  cols.wire_size.reserve(ds.records_.size());
+  std::map<net::FlowKey, std::uint32_t> flow_ids;
 
   for (std::size_t i = 0; i < ds.records_.size(); ++i) {
     const auto& rec = ds.records_[i];
@@ -330,6 +405,18 @@ CaptureDataset merge_partials(std::vector<ShardPartial> partials,
     if (!rec.apdu.compliant) ++ds.stats_.non_compliant_apdus;
     ds.sessions_[{rec.flow.src_ip, rec.flow.dst_ip}].push_back(i);
     ds.connections_[EndpointPair::of(rec.flow.src_ip, rec.flow.dst_ip)].push_back(i);
+
+    auto [fit, fresh] = flow_ids.try_emplace(
+        rec.flow, static_cast<std::uint32_t>(ds.flow_keys_.size()));
+    if (fresh) ds.flow_keys_.push_back(rec.flow);
+    cols.ts.push_back(rec.ts);
+    cols.flow_index.push_back(fit->second);
+    cols.seq.push_back(rec.seq);
+    cols.type_id.push_back(
+        rec.apdu.apdu.format == iec104::ApduFormat::kI && rec.apdu.apdu.asdu
+            ? static_cast<std::uint16_t>(rec.apdu.apdu.asdu->type)
+            : CaptureDataset::kNoTypeId);
+    cols.wire_size.push_back(static_cast<std::uint32_t>(rec.apdu.wire_size));
 
     if (rec.apdu.apdu.format == iec104::ApduFormat::kI) {
       // Attribute to the outstation (the IEC 104 port owner): a vendor
@@ -513,7 +600,8 @@ Status DatasetBuilder::load(ByteReader& r) {
     rec.apdu.compliant = compliant.value() != 0;
     rec.apdu.wire_size = wire_size.value();
     ByteReader apdu_reader(*bytes);
-    auto apdu = iec104::decode_apdu(apdu_reader, rec.apdu.profile);
+    auto apdu =
+        iec104::decode_apdu(apdu_reader, rec.apdu.profile, record_arena_->resource());
     if (!apdu) return apdu.error();
     rec.apdu.apdu = std::move(apdu).take();
     records_.push_back(std::move(rec));
@@ -537,11 +625,15 @@ Status DatasetBuilder::load(ByteReader& r) {
     if (!key) return key.error();
     auto parser = iec104::ApduStreamParser::load(r);
     if (!parser) return parser.error();
-    parsers_.emplace(key.value(), std::move(parser).take());
+    auto [it, ok] = parsers_.emplace(key.value(), std::move(parser).take());
+    // The arena is runtime configuration, not checkpoint state: re-point
+    // every restored parser at this builder's arena.
+    it->second.set_arena(record_arena_->resource());
   }
 
   auto damage_count = r.u32le();
   if (!damage_count) return damage_count.error();
+  damage_cache_.invalidate();
   damage_.clear();
   for (std::uint32_t i = 0; i < damage_count.value(); ++i) {
     auto key = net::FlowKey::load(r);

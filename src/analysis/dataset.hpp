@@ -11,17 +11,20 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include <optional>
 
 #include "analysis/resource.hpp"
+#include "util/arena.hpp"
 #include "iec104/conformance.hpp"
 #include "iec104/parser.hpp"
 #include "net/flow.hpp"
 #include "net/pcap.hpp"
 #include "net/reassembly.hpp"
+#include "util/ptrcache.hpp"
 
 namespace uncharted::analysis {
 
@@ -143,6 +146,10 @@ class CaptureDataset {
   static CaptureDataset build(const std::vector<net::CapturedPacket>& packets) {
     return build(packets, Options{});
   }
+  /// Zero-copy build over frame views (spans into an mmap'd capture or
+  /// owning packets; the backing bytes must outlive the call).
+  static CaptureDataset build(std::span<const net::FrameView> frames,
+                              const Options& options);
 
   const DatasetStats& stats() const { return stats_; }
   const net::FlowTable& flow_table() const { return flows_; }
@@ -173,6 +180,29 @@ class CaptureDataset {
     return compliance_;
   }
 
+  /// Structure-of-arrays projection of records(): the columns the counting
+  /// analyses (type distributions, rate stats) actually touch, laid out
+  /// contiguously so a pass over a million records walks flat arrays
+  /// instead of striding through fat ApduRecords. Row i describes
+  /// records()[i]; built once after the canonical sort.
+  struct HotColumns {
+    std::vector<Timestamp> ts;
+    /// Index into flow_keys() — per-record flow identity as a small int.
+    std::vector<std::uint32_t> flow_index;
+    std::vector<std::uint64_t> seq;
+    /// ASDU type identification, or kNoTypeId for S/U frames (no ASDU).
+    std::vector<std::uint16_t> type_id;
+    std::vector<std::uint32_t> wire_size;
+  };
+  /// type_id column sentinel: the record carries no ASDU. Real typeIDs are
+  /// 8-bit, so the sentinel can never collide.
+  static constexpr std::uint16_t kNoTypeId = 0xffff;
+
+  const HotColumns& columns() const { return columns_; }
+  /// Directed flow keys in order of first appearance in records();
+  /// flow_index values index into this.
+  const std::vector<net::FlowKey>& flow_keys() const { return flow_keys_; }
+
   /// Directed flows excluded from the dataset by the quarantine rule.
   const std::vector<net::FlowKey>& quarantined_flows() const { return quarantined_; }
 
@@ -185,6 +215,10 @@ class CaptureDataset {
   friend CaptureDataset merge_partials(std::vector<ShardPartial> partials,
                                        const Options& options);
 
+  /// Lane arenas backing the records' parsed-ASDU object storage. Declared
+  /// first so they are destroyed last — records_ must release its pmr
+  /// vectors while their resource is still alive.
+  std::vector<std::shared_ptr<util::RecordArena>> arenas_;
   DatasetStats stats_;
   net::FlowTable flows_;
   std::vector<ApduRecord> records_;
@@ -193,6 +227,8 @@ class CaptureDataset {
   std::map<net::Ipv4Addr, ComplianceEntry> compliance_;
   std::vector<net::FlowKey> quarantined_;
   std::map<net::FlowKey, FlowDamage> damage_;
+  HotColumns columns_;
+  std::vector<net::FlowKey> flow_keys_;
 };
 
 /// One shard's contribution to a dataset: everything a DatasetBuilder
@@ -200,6 +236,9 @@ class CaptureDataset {
 /// Partials from flow-disjoint shards merge into the same CaptureDataset a
 /// single sequential builder would have produced (see merge_partials).
 struct ShardPartial {
+  /// The lane's record arena (declared first: destroyed after records).
+  /// Travels with the records whose ASDU objects it backs.
+  std::shared_ptr<util::RecordArena> arena;
   DatasetStats stats;
   net::FlowTable flows;
   std::vector<ApduRecord> records;
@@ -230,7 +269,21 @@ class DatasetBuilder {
   DatasetBuilder& operator=(const DatasetBuilder&) = delete;
 
   /// Ingests one captured packet. Budgets are enforced after each call.
-  void add_packet(const net::CapturedPacket& pkt);
+  void add_packet(const net::CapturedPacket& pkt) { add_packet(pkt.ts, pkt.data); }
+
+  /// Zero-copy variant: `data` is only read during the call (the mmap'd
+  /// frame-view ingest path). Payload bytes are copied only where they must
+  /// outlive the call — out-of-order reassembly segments, partial APDU
+  /// tails, and failure evidence.
+  void add_packet(Timestamp ts, std::span<const std::uint8_t> data);
+
+  /// Batched ingest over frame views: the whole batch is decoded
+  /// back-to-back and — when no budget is set, so enforcement cannot fire —
+  /// the budget/peak bookkeeping runs once per batch instead of once per
+  /// packet. With budgets set, enforcement stays per-packet: governance
+  /// timing is observable (eviction order, pressure counters) and must not
+  /// depend on how the driver batched the input.
+  void add_packets(std::span<const net::FrameView> frames);
 
   /// Packets ingested so far — the resume cursor a checkpoint stores.
   std::uint64_t packets_consumed() const { return packets_consumed_; }
@@ -253,6 +306,12 @@ class DatasetBuilder {
   /// Timestamp of the most recently ingested packet.
   Timestamp last_ts() const { return last_ts_; }
 
+  /// Heap bytes held by this lane's record arena (parsed-ASDU object
+  /// storage). Monotone until the lane dies — record eviction trims the
+  /// record count but arena blocks are only reclaimed wholesale, which is
+  /// why governance and the allocation-budget tests watch this number.
+  std::size_t record_arena_bytes() const { return record_arena_->heap_bytes(); }
+
   /// Checkpoint serialization. Options and budgets are configuration and
   /// are NOT saved — construct the restoring builder with the same ones
   /// (a mismatch is a caller bug, like mismatched ReassemblyLimits).
@@ -263,6 +322,8 @@ class DatasetBuilder {
   Status load(ByteReader& r);
 
  private:
+  /// add_packet without the budget epilogue — the shared decode body.
+  void add_packet_impl(Timestamp ts, std::span<const std::uint8_t> data);
   iec104::ApduStreamParser& parser_for(const net::FlowKey& key);
   /// Accounts freshly drained parse results for one directed flow.
   void collect(const net::FlowKey& key, std::vector<iec104::ParsedApdu>& apdus,
@@ -274,11 +335,19 @@ class DatasetBuilder {
   CaptureDataset::Options options_;
   ResourceBudgets budgets_;
 
+  /// Backs the parsed-ASDU object storage of everything this lane parses.
+  /// Declared before records_/parsers_/scratch (destroyed after them) and
+  /// shared into the ShardPartial so the dataset keeps it alive.
+  std::shared_ptr<util::RecordArena> record_arena_;
+
   DatasetStats stats_;
   net::FlowTable flows_;
   std::vector<ApduRecord> records_;
   std::map<net::FlowKey, iec104::ApduStreamParser> parsers_;
   std::map<net::FlowKey, FlowDamage> damage_;
+  /// Short-circuit for the per-packet damage_ lookup in collect(). Any
+  /// path that moves or clears damage_ must invalidate it.
+  DirectMappedCache<net::FlowKey, FlowDamage, 1024> damage_cache_;
   std::optional<net::TcpReassembler> reassembler_;
   Timestamp last_ts_ = 0;
   std::uint64_t packets_consumed_ = 0;
@@ -286,6 +355,9 @@ class DatasetBuilder {
   /// Scratch for drain(); members so buffers are reused across packets.
   std::vector<iec104::ParsedApdu> drained_apdus_;
   std::vector<iec104::ParseFailure> drained_failures_;
+  /// Per-packet-mode scratch parser, reset_stream()ed per payload so its
+  /// buffers keep their capacity instead of reallocating every packet.
+  iec104::ApduStreamParser packet_parser_;
 };
 
 }  // namespace uncharted::analysis

@@ -37,6 +37,11 @@ ResourceBudgets divide_budgets(const ResourceBudgets& budgets, std::size_t shard
 
 namespace {
 
+net::FrameView to_view(const net::CapturedPacket& pkt) {
+  return net::FrameView{pkt.ts, pkt.original_length, pkt.data};
+}
+net::FrameView to_view(const net::FrameView& view) { return view; }
+
 void fold_pressure(ResourcePressure& into, const ResourcePressure& from) {
   into.flow_evictions += from.flow_evictions;
   into.reassembly_flushes += from.reassembly_flushes;
@@ -51,14 +56,16 @@ void fold_pressure(ResourcePressure& into, const ResourcePressure& from) {
   into.peak_parsers = std::max(into.peak_parsers, from.peak_parsers);
 }
 
-}  // namespace
-
-CaptureDataset build_dataset_sharded(const std::vector<net::CapturedPacket>& packets,
-                                     const CaptureDataset::Options& options,
-                                     exec::Pool* pool, std::size_t shard_count,
-                                     const ResourceBudgets& budgets,
-                                     ResourcePressure* pressure_out,
-                                     const StageHook& on_stage) {
+/// Both frame representations expose `.ts` and `.data` (an owning vector
+/// or a borrowed span — shard_of and the builder take spans either way),
+/// so one template serves both public overloads identically.
+template <typename Frame>
+CaptureDataset build_dataset_sharded_impl(std::span<const Frame> packets,
+                                          const CaptureDataset::Options& options,
+                                          exec::Pool* pool, std::size_t shard_count,
+                                          const ResourceBudgets& budgets,
+                                          ResourcePressure* pressure_out,
+                                          const StageHook& on_stage) {
   using Clock = std::chrono::steady_clock;
   auto ms_since = [](Clock::time_point start) {
     return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
@@ -83,7 +90,13 @@ CaptureDataset build_dataset_sharded(const std::vector<net::CapturedPacket>& pac
       if (members[s].empty()) continue;
       group.run([&, s] {
         DatasetBuilder builder(options, per_shard);
-        for (std::size_t idx : members[s]) builder.add_packet(packets[idx]);
+        // Gather the shard's frames into one contiguous batch so the
+        // builder's batched path amortizes its per-packet bookkeeping.
+        // Views only — for owning packets this borrows, never copies.
+        std::vector<net::FrameView> batch;
+        batch.reserve(members[s].size());
+        for (std::size_t idx : members[s]) batch.push_back(to_view(packets[idx]));
+        builder.add_packets(batch);
         pressures[s] = builder.pressure();
         partials[s] = builder.finish_partial(flush_ts);
       });
@@ -100,6 +113,28 @@ CaptureDataset build_dataset_sharded(const std::vector<net::CapturedPacket>& pac
   auto dataset = merge_partials(std::move(partials), options);
   if (on_stage) on_stage("shard merge", ms_since(start));
   return dataset;
+}
+
+}  // namespace
+
+CaptureDataset build_dataset_sharded(const std::vector<net::CapturedPacket>& packets,
+                                     const CaptureDataset::Options& options,
+                                     exec::Pool* pool, std::size_t shard_count,
+                                     const ResourceBudgets& budgets,
+                                     ResourcePressure* pressure_out,
+                                     const StageHook& on_stage) {
+  return build_dataset_sharded_impl<net::CapturedPacket>(
+      packets, options, pool, shard_count, budgets, pressure_out, on_stage);
+}
+
+CaptureDataset build_dataset_sharded(std::span<const net::FrameView> frames,
+                                     const CaptureDataset::Options& options,
+                                     exec::Pool* pool, std::size_t shard_count,
+                                     const ResourceBudgets& budgets,
+                                     ResourcePressure* pressure_out,
+                                     const StageHook& on_stage) {
+  return build_dataset_sharded_impl<net::FrameView>(
+      frames, options, pool, shard_count, budgets, pressure_out, on_stage);
 }
 
 struct ShardedDatasetBuilder::Lane {
@@ -179,7 +214,7 @@ void ShardedDatasetBuilder::drain_lane(Lane& lane) {
       batch = std::move(lane.pending.front());
       lane.pending.pop_front();
     }
-    for (const auto& pkt : batch) lane.builder.add_packet(pkt);
+    lane.builder.add_packets(net::as_frame_views(batch));
     lane.ingested.fetch_add(batch.size(), std::memory_order_relaxed);
     lane.queued.fetch_sub(batch.size(), std::memory_order_relaxed);
   }

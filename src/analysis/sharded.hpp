@@ -67,6 +67,17 @@ CaptureDataset build_dataset_sharded(const std::vector<net::CapturedPacket>& pac
                                      ResourcePressure* pressure_out = nullptr,
                                      const StageHook& on_stage = {});
 
+/// Zero-copy batch entry: same partition/merge machinery over frame views
+/// (spans into an mmap'd capture or owning packets, which must outlive the
+/// call). Produces byte-identical datasets to the owning overload.
+CaptureDataset build_dataset_sharded(std::span<const net::FrameView> frames,
+                                     const CaptureDataset::Options& options,
+                                     exec::Pool* pool,
+                                     std::size_t shard_count = kDefaultShardCount,
+                                     const ResourceBudgets& budgets = {},
+                                     ResourcePressure* pressure_out = nullptr,
+                                     const StageHook& on_stage = {});
+
 /// Streaming counterpart: packets arrive one at a time on the driver
 /// thread and are routed to per-shard lanes. Each lane is a strand — a
 /// FIFO of packet batches plus an "a drain task is scheduled" flag — so a

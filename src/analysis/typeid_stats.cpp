@@ -12,10 +12,12 @@ std::vector<std::pair<std::uint8_t, std::uint64_t>> TypeIdDistribution::sorted()
 }
 
 TypeIdDistribution typeid_distribution(const CaptureDataset& dataset) {
+  // Counting pass over the SoA type_id column: one flat u16 array instead
+  // of a pointer chase through every fat record's optional ASDU.
   TypeIdDistribution dist;
-  for (const auto& rec : dataset.records()) {
-    if (rec.apdu.apdu.format != iec104::ApduFormat::kI || !rec.apdu.apdu.asdu) continue;
-    ++dist.counts[static_cast<std::uint8_t>(rec.apdu.apdu.asdu->type)];
+  for (std::uint16_t type : dataset.columns().type_id) {
+    if (type == CaptureDataset::kNoTypeId) continue;
+    ++dist.counts[static_cast<std::uint8_t>(type)];
     ++dist.total;
   }
   return dist;
@@ -23,13 +25,20 @@ TypeIdDistribution typeid_distribution(const CaptureDataset& dataset) {
 
 TypeIdStations typeid_station_counts(const CaptureDataset& dataset) {
   TypeIdStations out;
-  for (const auto& rec : dataset.records()) {
-    if (rec.apdu.apdu.format != iec104::ApduFormat::kI || !rec.apdu.apdu.asdu) continue;
-    // The outstation owns the IEC 104 port; commands from a server are
-    // attributed to the outstation they address.
-    net::Ipv4Addr station = rec.flow.src_port == iec104::kIec104Port ? rec.flow.src_ip
-                                                                     : rec.flow.dst_ip;
-    out.stations[static_cast<std::uint8_t>(rec.apdu.apdu.asdu->type)].insert(station);
+  // The outstation owns the IEC 104 port; commands from a server are
+  // attributed to the outstation they address. Resolved once per directed
+  // flow, then the per-record loop reads only the two hot columns.
+  const auto& keys = dataset.flow_keys();
+  std::vector<net::Ipv4Addr> station_of(keys.size());
+  for (std::size_t f = 0; f < keys.size(); ++f) {
+    station_of[f] = keys[f].src_port == iec104::kIec104Port ? keys[f].src_ip
+                                                            : keys[f].dst_ip;
+  }
+  const auto& cols = dataset.columns();
+  for (std::size_t i = 0; i < cols.type_id.size(); ++i) {
+    if (cols.type_id[i] == CaptureDataset::kNoTypeId) continue;
+    out.stations[static_cast<std::uint8_t>(cols.type_id[i])].insert(
+        station_of[cols.flow_index[i]]);
   }
   return out;
 }

@@ -79,6 +79,12 @@ AnalysisReport analyze_dataset(const analysis::CaptureDataset& dataset,
 
 AnalysisReport CaptureAnalyzer::analyze(const std::vector<net::CapturedPacket>& packets,
                                         const Options& options) {
+  auto views = net::as_frame_views(packets);
+  return analyze(views, options);
+}
+
+AnalysisReport CaptureAnalyzer::analyze(std::span<const net::FrameView> frames,
+                                        const Options& options) {
   analysis::CaptureDataset::Options ds_opts;
   ds_opts.mode = options.mode;
   ds_opts.parser_mode = options.parser_mode;
@@ -89,9 +95,9 @@ AnalysisReport CaptureAnalyzer::analyze(const std::vector<net::CapturedPacket>& 
     analysis::CaptureDataset dataset;
     {
       ScopedStageTimer t(&build_timings, "ingest");
-      dataset = analysis::CaptureDataset::build(packets, ds_opts);
+      dataset = analysis::CaptureDataset::build(frames, ds_opts);
     }
-    auto report = analyze_dataset(dataset, analysis::analyze_bandwidth(packets),
+    auto report = analyze_dataset(dataset, analysis::analyze_bandwidth(frames),
                                   options, nullptr);
     report.timings.stages.insert(report.timings.stages.begin(),
                                  build_timings.stages.begin(),
@@ -105,13 +111,13 @@ AnalysisReport CaptureAnalyzer::analyze(const std::vector<net::CapturedPacket>& 
   {
     ScopedStageTimer t(&build_timings, "ingest");
     dataset = analysis::build_dataset_sharded(
-        packets, ds_opts, &pool, options.shard_count, {}, nullptr,
+        frames, ds_opts, &pool, options.shard_count, {}, nullptr,
         [&build_timings](const char* stage, double wall_ms) {
           build_timings.add(stage, wall_ms);
         });
   }
   auto report =
-      analyze_dataset(dataset, analysis::analyze_bandwidth(packets), options, &pool);
+      analyze_dataset(dataset, analysis::analyze_bandwidth(frames), options, &pool);
   report.timings.stages.insert(report.timings.stages.begin(),
                                build_timings.stages.begin(),
                                build_timings.stages.end());
@@ -120,15 +126,30 @@ AnalysisReport CaptureAnalyzer::analyze(const std::vector<net::CapturedPacket>& 
 
 Result<AnalysisReport> CaptureAnalyzer::analyze_file(const std::string& pcap_path,
                                                      const Options& options) {
-  // Tolerant read: a capture cut off mid-record (crashed tap, live file)
-  // still yields the report over its complete prefix, flagged as degraded.
-  auto read = net::PcapReader::read_file_tolerant(pcap_path);
-  if (!read) return read.error();
-  auto report = analyze(read->packets, options);
-  if (read->truncated_tail) {
+  return analyze_file(pcap_path, options, nullptr);
+}
+
+Result<AnalysisReport> CaptureAnalyzer::analyze_file(const std::string& pcap_path,
+                                                     const Options& options,
+                                                     net::FileOps* file_ops) {
+  // The capture is mapped (or read, when mapping is impossible) once; the
+  // whole ingest pipeline then runs over views into those bytes. Tolerant
+  // cursor: a capture cut off mid-record (crashed tap, live file) still
+  // yields the report over its complete prefix, flagged as degraded.
+  auto mapping = net::PcapMapping::open(pcap_path, file_ops);
+  if (!mapping) return mapping.error();
+  auto cursor = net::PcapCursor::open(mapping->bytes());
+  if (!cursor) return cursor.error();
+
+  std::vector<net::FrameView> frames;
+  net::FrameView view;
+  while (cursor->next(view)) frames.push_back(view);
+
+  auto report = analyze(frames, options);
+  if (cursor->truncated_tail()) {
     report.degradation.pcap_truncated = true;
     report.degradation.warnings.insert(report.degradation.warnings.begin(),
-                                       read->warning);
+                                       cursor->warning());
   }
   return report;
 }

@@ -20,6 +20,7 @@
 #include "analysis/typeid_stats.hpp"
 #include "core/names.hpp"
 #include "core/profiler.hpp"
+#include "net/mapping.hpp"
 #include "util/expected.hpp"
 
 namespace uncharted::exec {
@@ -88,19 +89,32 @@ class CaptureAnalyzer {
     std::size_t shard_count = analysis::kDefaultShardCount;
   };
 
-  /// Analyzes in-memory packets.
+  /// Analyzes in-memory packets (borrows them as views; see below).
   static AnalysisReport analyze(const std::vector<net::CapturedPacket>& packets,
                                 const Options& options);
   static AnalysisReport analyze(const std::vector<net::CapturedPacket>& packets) {
     return analyze(packets, Options{});
   }
 
-  /// Reads and analyzes a pcap file.
+  /// Zero-copy entry point: analyzes frame views in place. Every view's
+  /// span must stay valid for the duration of the call (an mmap'd capture
+  /// or owning packets both qualify). The owning overload above borrows
+  /// its packets and delegates here, so the two are byte-identical.
+  static AnalysisReport analyze(std::span<const net::FrameView> frames,
+                                const Options& options);
+
+  /// Maps (or, for unmappable inputs, reads) and analyzes a pcap file.
+  /// The hot path runs over views into the mapping — no per-packet copy.
   static Result<AnalysisReport> analyze_file(const std::string& pcap_path,
                                              const Options& options);
   static Result<AnalysisReport> analyze_file(const std::string& pcap_path) {
     return analyze_file(pcap_path, Options{});
   }
+  /// Test seam: `file_ops` overrides the OS surface the mapping uses
+  /// (fault injection, forced read-fallback). Null means the real kernel.
+  static Result<AnalysisReport> analyze_file(const std::string& pcap_path,
+                                             const Options& options,
+                                             net::FileOps* file_ops);
 };
 
 /// Shared back half of batch and streaming analysis: every §6 computation

@@ -262,36 +262,65 @@ AnalysisReport StreamingAnalyzer::finalize() {
 
 Result<AnalysisReport> analyze_file_streaming(const std::string& pcap_path,
                                               const StreamingOptions& options) {
-  auto read = net::PcapReader::read_file_tolerant(pcap_path);
-  if (!read) return read.error();
+  // The capture is mmap'd (read only when unmappable) and records are fed
+  // straight off the mapping; one owning packet is materialized per record
+  // because the deferral queues need ownership, but the whole-file slurp
+  // and its second per-packet copy are gone.
+  auto mapping = net::PcapMapping::open(pcap_path, nullptr);
+  if (!mapping) return mapping.error();
+  auto probe = net::PcapCursor::open(mapping->bytes());
+  if (!probe) return probe.error();
+  // Count records up front: the checkpoint-beyond-end check below needs the
+  // total before the first packet is admitted. A second cursor pass over
+  // the mapping is header walking only — no payloads are touched.
+  std::uint64_t total = 0;
+  {
+    net::FrameView v;
+    while (probe->next(v)) ++total;
+  }
 
   StreamingAnalyzer analyzer(options);
   std::uint64_t skip = 0;
+  bool checkpoint_ignored = false;
   if (analyzer.try_restore()) {
     skip = analyzer.packets_consumed();
     // A checkpoint past the end of this file means it belongs to some
     // other input; restart clean rather than silently produce nothing.
-    if (skip > read->packets.size()) {
-      StreamingAnalyzer fresh(options);
-      fresh.add_packets(read->packets);
-      auto report = fresh.finalize();
-      report.degradation.warnings.push_back(
-          "checkpoint ignored: cursor beyond end of input");
-      if (read->truncated_tail) {
-        report.degradation.pcap_truncated = true;
-        report.degradation.warnings.insert(report.degradation.warnings.begin(),
-                                           read->warning);
-      }
-      return report;
+    if (skip > total) {
+      checkpoint_ignored = true;
+      skip = 0;
     }
   }
-  analyzer.add_packets(std::span<const net::CapturedPacket>(read->packets)
-                           .subspan(static_cast<std::size_t>(skip)));
-  auto report = analyzer.finalize();
-  if (read->truncated_tail) {
+
+  auto feed = [&](StreamingAnalyzer& an) {
+    auto cursor = net::PcapCursor::open(mapping->bytes());
+    net::FrameView view;
+    net::CapturedPacket pkt;
+    std::uint64_t index = 0;
+    while (cursor->next(view)) {
+      if (index++ < skip) continue;
+      pkt.ts = view.ts;
+      pkt.original_length = view.original_length;
+      pkt.data.assign(view.data.begin(), view.data.end());
+      an.add_packet(pkt);
+    }
+  };
+
+  AnalysisReport report;
+  if (checkpoint_ignored) {
+    StreamingAnalyzer fresh(options);
+    feed(fresh);
+    report = fresh.finalize();
+    report.degradation.warnings.push_back(
+        "checkpoint ignored: cursor beyond end of input");
+  } else {
+    feed(analyzer);
+    report = analyzer.finalize();
+  }
+  if (probe->truncated_tail()) {
     report.degradation.pcap_truncated = true;
     report.degradation.warnings.insert(report.degradation.warnings.begin(),
-                                       read->warning);
+                                       probe->warning());
   }
   return report;
 }

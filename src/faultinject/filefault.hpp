@@ -1,0 +1,57 @@
+// Fault-injecting net::FileOps: the mmap reader's chaos adapter.
+//
+// net::PcapMapping reads files through the net-level FileOps seam because
+// the include-layering DAG forbids net from depending on this module. The
+// adapter closes the loop from this side: it implements FileOps over a
+// faultinject::SysOps (so open/read/close inherit the SysFaultPlan's
+// storage faults) and adds the one fault class SysOps cannot express —
+// mmap itself failing — which forces PcapMapping onto its read fallback.
+// The mmap-vs-read parity tests drive both paths through identical
+// captures with this.
+#pragma once
+
+#include "faultinject/sysfault.hpp"
+#include "net/mapping.hpp"
+
+namespace uncharted::faultinject {
+
+class FaultyFileOps final : public net::FileOps {
+ public:
+  /// Routes syscalls through `sys` (the real kernel when null).
+  explicit FaultyFileOps(SysOps* sys = nullptr)
+      : sys_(sys != nullptr ? *sys : real_sys_ops()) {}
+
+  /// When set, map_ro fails unconditionally: every open falls back to the
+  /// read path, exactly as on a filesystem without mmap support.
+  void set_fail_mmap(bool fail) { fail_mmap_ = fail; }
+  bool fail_mmap() const { return fail_mmap_; }
+
+  /// How many map_ro attempts were refused.
+  std::uint64_t mmap_failures() const { return mmap_failures_; }
+
+  int open_ro(const char* path) override {
+    return sys_.open(path, 0 /*O_RDONLY*/, 0);
+  }
+  long long size(int fd) override { return net::real_file_ops().size(fd); }
+  void* map_ro(std::size_t len, int fd) override {
+    if (fail_mmap_) {
+      ++mmap_failures_;
+      return nullptr;
+    }
+    return net::real_file_ops().map_ro(len, fd);
+  }
+  int unmap(void* addr, std::size_t len) override {
+    return net::real_file_ops().unmap(addr, len);
+  }
+  ssize_t read(int fd, void* buf, std::size_t n) override {
+    return sys_.read(fd, buf, n);
+  }
+  int close(int fd) override { return sys_.close(fd); }
+
+ private:
+  SysOps& sys_;
+  bool fail_mmap_ = false;
+  std::uint64_t mmap_failures_ = 0;
+};
+
+}  // namespace uncharted::faultinject

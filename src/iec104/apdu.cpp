@@ -109,7 +109,8 @@ std::string Apdu::str() const {
   return "?";
 }
 
-Result<Apdu> decode_apdu(ByteReader& r, const CodecProfile& profile) {
+Result<Apdu> decode_apdu(ByteReader& r, const CodecProfile& profile,
+                         std::pmr::memory_resource* arena) {
   auto start = r.u8();
   if (!start) return start.error();
   if (start.value() != kStartByte) {
@@ -132,7 +133,7 @@ Result<Apdu> decode_apdu(ByteReader& r, const CodecProfile& profile) {
     apdu.format = ApduFormat::kI;
     apdu.send_seq = static_cast<std::uint16_t>((cf1 >> 1) | (cf2 << 7));
     apdu.recv_seq = static_cast<std::uint16_t>((cf3 >> 1) | (cf4 << 7));
-    auto asdu = Asdu::decode(b, profile);
+    auto asdu = Asdu::decode(b, profile, arena);
     if (!asdu) return asdu.error();
     apdu.asdu = std::move(asdu).take();
   } else if ((cf1 & 0x03) == 0x01) {

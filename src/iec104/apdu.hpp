@@ -46,8 +46,10 @@ struct Apdu {
 
 /// Decodes exactly one APDU from `r` (which may contain more bytes after
 /// it; only the framed length is consumed). The ASDU of an I-format APDU is
-/// decoded with `profile`.
+/// decoded with `profile`; `arena` (optional) arena-allocates its object
+/// storage — see Asdu::decode.
 Result<Apdu> decode_apdu(ByteReader& r,
-                         const CodecProfile& profile = CodecProfile::standard());
+                         const CodecProfile& profile = CodecProfile::standard(),
+                         std::pmr::memory_resource* arena = nullptr);
 
 }  // namespace uncharted::iec104

@@ -731,13 +731,18 @@ Status Asdu::encode(ByteWriter& w, const CodecProfile& profile) const {
   return Status::Ok();
 }
 
-Result<Asdu> Asdu::decode(ByteReader& r, const CodecProfile& profile) {
+Result<Asdu> Asdu::decode(ByteReader& r, const CodecProfile& profile,
+                          std::pmr::memory_resource* arena) {
   auto type_code = r.u8();
   if (!type_code) return type_code.error();
   if (!is_supported_type(type_code.value())) {
     return Err("unknown-typeid", std::to_string(type_code.value()));
   }
-  Asdu asdu;
+  // The arena must be seated at construction: polymorphic_allocator never
+  // propagates on assignment, so assigning an arena-backed vector into a
+  // default-constructed one would silently keep the default resource.
+  Asdu asdu{.objects = std::pmr::vector<InformationObject>(
+                arena != nullptr ? arena : std::pmr::get_default_resource())};
   asdu.type = static_cast<TypeId>(type_code.value());
 
   auto vsq = r.u8();
@@ -745,6 +750,7 @@ Result<Asdu> Asdu::decode(ByteReader& r, const CodecProfile& profile) {
   asdu.sequence = vsq.value() & 0x80;
   std::uint8_t count = vsq.value() & 0x7f;
   if (count == 0) return Err("zero-objects");
+  asdu.objects.reserve(count);
 
   auto cot1 = r.u8();
   if (!cot1) return cot1.error();

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory_resource>
 #include <optional>
 #include <string>
 #include <vector>
@@ -60,7 +61,12 @@ struct Asdu {
   bool sequence = false;  ///< SQ bit: objects share a base IOA
   CauseOfTransmission cot;
   std::uint16_t common_address = 0;
-  std::vector<InformationObject> objects;
+  /// pmr so the ingest hot path can arena-allocate object storage per lane
+  /// (see util::RecordArena). Default-constructed ASDUs use the default
+  /// resource — plain heap — and behave exactly like std::vector; copies
+  /// always land on the default resource, so a copied ASDU never pins an
+  /// arena.
+  std::pmr::vector<InformationObject> objects;
 
   /// Serializes with the given profile. Returns an error for object counts
   /// > 127 or elements inconsistent with the type.
@@ -69,8 +75,12 @@ struct Asdu {
   /// Decodes an ASDU expected to fill `r` exactly. Unknown typeIDs and
   /// leftover/missing bytes are errors (this exactness is what lets the
   /// tolerant parser detect which legacy profile a device speaks).
+  /// `arena`, when non-null, provides the storage for `objects`; the
+  /// returned ASDU (and anything it is moved into) must then not outlive
+  /// the arena.
   static Result<Asdu> decode(ByteReader& r,
-                             const CodecProfile& profile = CodecProfile::standard());
+                             const CodecProfile& profile = CodecProfile::standard(),
+                             std::pmr::memory_resource* arena = nullptr);
 
   std::string str() const;
 };

@@ -35,6 +35,17 @@ std::string failure_kind_name(FailureKind kind) {
 }
 
 void ApduStreamParser::feed(Timestamp ts, std::span<const std::uint8_t> data) {
+  if (buffer_.empty()) {
+    // Zero-copy fast path: with no partial frame pending, parse straight
+    // from the caller's bytes. Only a frame cut off at the end of `data`
+    // is copied in, to wait for the rest of the stream.
+    std::size_t consumed = parse_span(ts, data);
+    if (consumed < data.size()) {
+      buffer_.assign(data.begin() + static_cast<std::ptrdiff_t>(consumed),
+                     data.end());
+    }
+    return;
+  }
   buffer_.insert(buffer_.end(), data.begin(), data.end());
   parse_buffer(ts);
 }
@@ -105,18 +116,24 @@ Result<ApduStreamParser> ApduStreamParser::load(ByteReader& r) {
 }
 
 void ApduStreamParser::parse_buffer(Timestamp ts) {
+  std::size_t pos = parse_span(ts, buffer_);
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+std::size_t ApduStreamParser::parse_span(Timestamp ts,
+                                         std::span<const std::uint8_t> data) {
   std::size_t pos = 0;
-  while (pos < buffer_.size()) {
+  while (pos < data.size()) {
     // Resynchronize on the start byte, recording skipped garbage.
-    if (buffer_[pos] != kStartByte) {
+    if (data[pos] != kStartByte) {
       std::size_t next = pos;
-      while (next < buffer_.size() && buffer_[next] != kStartByte) ++next;
+      while (next < data.size() && data[next] != kStartByte) ++next;
       ParseFailure f;
       f.ts = ts;
       f.kind = FailureKind::kGarbage;
       f.error = "bad-start-byte";
-      f.raw.assign(buffer_.begin() + static_cast<std::ptrdiff_t>(pos),
-                   buffer_.begin() + static_cast<std::ptrdiff_t>(next));
+      f.raw.assign(data.begin() + static_cast<std::ptrdiff_t>(pos),
+                   data.begin() + static_cast<std::ptrdiff_t>(next));
       ++resyncs_;
       garbage_bytes_ += f.raw.size();
       failures_.push_back(std::move(f));
@@ -125,14 +142,14 @@ void ApduStreamParser::parse_buffer(Timestamp ts) {
     }
     // Length octet via the bounds-checked reader (start byte already
     // validated above); an absent octet means the frame is still arriving.
-    ByteReader header(std::span<const std::uint8_t>(buffer_).subspan(pos));
+    ByteReader header(data.subspan(pos));
     (void)header.u8();
     const auto length_octet = header.u8();
     if (!length_octet) break;  // need the length octet
     const std::size_t frame_len = 2 + static_cast<std::size_t>(length_octet.value());
-    if (pos + frame_len > buffer_.size()) break;  // incomplete frame
+    if (pos + frame_len > data.size()) break;  // incomplete frame
 
-    std::span<const std::uint8_t> frame(buffer_.data() + pos, frame_len);
+    std::span<const std::uint8_t> frame = data.subspan(pos, frame_len);
     if (!try_parse_frame(ts, frame)) {
       ParseFailure f;
       f.ts = ts;
@@ -143,7 +160,7 @@ void ApduStreamParser::parse_buffer(Timestamp ts) {
     }
     pos += frame_len;
   }
-  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(pos));
+  return pos;
 }
 
 int asdu_plausibility(const Asdu& asdu, const CodecProfile& profile) {
@@ -188,26 +205,32 @@ int asdu_plausibility(const Asdu& asdu, const CodecProfile& profile) {
 }
 
 bool ApduStreamParser::try_parse_frame(Timestamp ts, std::span<const std::uint8_t> frame) {
-  struct Candidate {
-    CodecProfile profile;
-    Apdu apdu;
-    int score = 0;
-    int preference = 0;  ///< higher = preferred on score ties
-  };
-  std::vector<Candidate> candidates;
+  // Running best instead of a materialized candidate list: the fast paths
+  // below produce at most one candidate, so the common case does no
+  // bookkeeping. Ties keep the earliest attempt, matching the previous
+  // first-of-max-element selection.
+  bool have_best = false;
+  Apdu best_apdu;
+  CodecProfile best_profile = CodecProfile::standard();
+  int best_score = 0;
+  int best_preference = 0;
 
   auto attempt = [&](const CodecProfile& profile, int preference) {
     ByteReader r(frame);
-    auto apdu = decode_apdu(r, profile);
+    auto apdu = decode_apdu(r, profile, arena_);
     if (!apdu || !r.empty()) return false;
-    Candidate cand;
-    cand.profile = profile;
-    cand.preference = preference;
+    int score = 0;
     if (apdu->format == ApduFormat::kI) {
-      cand.score = asdu_plausibility(*apdu->asdu, profile);
+      score = asdu_plausibility(*apdu->asdu, profile);
     }
-    cand.apdu = std::move(apdu).take();
-    candidates.push_back(std::move(cand));
+    if (!have_best || score > best_score ||
+        (score == best_score && preference > best_preference)) {
+      best_apdu = std::move(apdu).take();
+      best_profile = profile;
+      best_score = score;
+      best_preference = preference;
+      have_best = true;
+    }
     return true;
   };
 
@@ -222,32 +245,26 @@ bool ApduStreamParser::try_parse_frame(Timestamp ts, std::span<const std::uint8_
     // which disambiguates the legacy layouts (a 1-octet-COT reading of a
     // 2-octet-IOA frame consumes the same bytes).
     if (locked_) attempt(*locked_, 3);
-    if (candidates.empty()) attempt(CodecProfile::standard(), 2);
-    if (candidates.empty()) {
+    if (!have_best) attempt(CodecProfile::standard(), 2);
+    if (!have_best) {
       for (const auto& profile : candidate_profiles()) {
         if (profile.is_standard() || (locked_ && profile == *locked_)) continue;
         attempt(profile, 0);
       }
     }
   }
-  if (candidates.empty()) return false;
-
-  auto best = std::max_element(candidates.begin(), candidates.end(),
-                               [](const Candidate& a, const Candidate& b) {
-                                 if (a.score != b.score) return a.score < b.score;
-                                 return a.preference < b.preference;
-                               });
+  if (!have_best) return false;
 
   ParsedApdu parsed;
   parsed.ts = ts;
-  parsed.apdu = std::move(best->apdu);
-  parsed.profile = best->profile;
+  parsed.apdu = std::move(best_apdu);
+  parsed.profile = best_profile;
   parsed.compliant =
-      best->profile.is_standard() || parsed.apdu.format != ApduFormat::kI;
+      best_profile.is_standard() || parsed.apdu.format != ApduFormat::kI;
   parsed.wire_size = frame.size();
   if (!parsed.compliant) {
     ++non_compliant_;
-    locked_ = best->profile;
+    locked_ = best_profile;
   }
   apdus_.push_back(std::move(parsed));
   return true;

@@ -100,6 +100,13 @@ class ApduStreamParser {
   void save(ByteWriter& w) const;
   static Result<ApduStreamParser> load(ByteReader& r);
 
+  /// Arena for parsed-APDU object storage (null = plain heap). Runtime
+  /// configuration, not state: it is not checkpointed, and the caller must
+  /// re-set it after load(). ASDUs parsed while an arena is set must not
+  /// outlive it — the dataset keeps its lane arenas alive for exactly this
+  /// reason.
+  void set_arena(std::pmr::memory_resource* arena) { arena_ = arena; }
+
   /// Times the parser lost framing and hunted for the next start byte.
   std::uint64_t resyncs() const { return resyncs_; }
   /// Bytes skipped during those hunts.
@@ -117,12 +124,30 @@ class ApduStreamParser {
   /// Total I-format APDUs whose ASDU parsed only under a legacy profile.
   std::uint64_t non_compliant_count() const { return non_compliant_; }
 
+  /// Resets per-stream state (framing buffer, locked profile, counters) so
+  /// a per-packet caller can reuse one parser — and the capacity of its
+  /// result vectors — instead of constructing a fresh parser per packet.
+  /// Results must have been drained first.
+  void reset_stream() {
+    buffer_.clear();
+    locked_.reset();
+    non_compliant_ = 0;
+    resyncs_ = 0;
+    garbage_bytes_ = 0;
+    truncated_tail_bytes_ = 0;
+  }
+
  private:
   void parse_buffer(Timestamp ts);
+  /// Parses frames from `data` without buffering; returns bytes consumed.
+  /// The zero-copy core of feed(): a trailing partial frame is left for
+  /// the caller to buffer.
+  std::size_t parse_span(Timestamp ts, std::span<const std::uint8_t> data);
   /// Attempts one framed APDU (start byte already verified).
   bool try_parse_frame(Timestamp ts, std::span<const std::uint8_t> frame);
 
   Mode mode_;
+  std::pmr::memory_resource* arena_ = nullptr;
   std::vector<std::uint8_t> buffer_;
   std::vector<ParsedApdu> apdus_;
   std::vector<ParseFailure> failures_;

@@ -5,11 +5,6 @@
 
 namespace uncharted::net {
 
-FlowKey FlowKey::canonical() const {
-  FlowKey rev = reversed();
-  return (*this <= rev) ? *this : rev;
-}
-
 std::string FlowKey::str() const {
   return src_ip.str() + ":" + std::to_string(src_port) + " -> " + dst_ip.str() + ":" +
          std::to_string(dst_port);
@@ -40,8 +35,16 @@ void FlowTable::add(Timestamp ts, const DecodedFrame& frame) {
   FlowKey dir{frame.ip.src, frame.tcp.src_port, frame.ip.dst, frame.tcp.dst_port};
   FlowKey canon = dir.canonical();
 
-  auto [it, inserted] = table_.try_emplace(canon);
-  State& st = it->second;
+  std::uint64_t hash = flow_key_hash(canon);
+  State* stp = cache_.find(canon, hash);
+  bool inserted = false;
+  if (stp == nullptr) {
+    auto [it, fresh] = table_.try_emplace(canon);
+    stp = &it->second;
+    inserted = fresh;
+    cache_.put(canon, hash, stp);
+  }
+  State& st = *stp;
   FlowRecord& rec = st.record;
 
   if (inserted) {
@@ -80,6 +83,7 @@ void FlowTable::add(Timestamp ts, const DecodedFrame& frame) {
 }
 
 std::size_t FlowTable::evict_lru(std::size_t max_entries) {
+  cache_.invalidate();  // eviction erases nodes; cached pointers may die
   std::size_t evicted = 0;
   while (table_.size() > max_entries) {
     auto victim = table_.begin();
@@ -93,6 +97,8 @@ std::size_t FlowTable::evict_lru(std::size_t max_entries) {
 }
 
 void FlowTable::merge(FlowTable&& other) {
+  cache_.invalidate();
+  other.cache_.invalidate();
   for (auto& [key, theirs] : other.table_) {
     auto [it, inserted] = table_.try_emplace(key, std::move(theirs));
     if (inserted) continue;
@@ -184,6 +190,7 @@ void FlowTable::save(ByteWriter& w) const {
 Status FlowTable::load(ByteReader& r) {
   auto count = r.u32le();
   if (!count) return count.error();
+  cache_.invalidate();
   table_.clear();
   for (std::uint32_t i = 0; i < count.value(); ++i) {
     auto rec = load_record(r);

@@ -14,6 +14,8 @@
 
 #include "net/frame.hpp"
 #include "util/bytes.hpp"
+#include "util/ptrcache.hpp"
+#include "util/rng.hpp"
 #include "util/timebase.hpp"
 
 namespace uncharted::net {
@@ -28,8 +30,12 @@ struct FlowKey {
   /// Key for the opposite direction.
   FlowKey reversed() const { return {dst_ip, dst_port, src_ip, src_port}; }
   /// Canonical (direction-agnostic) form: the lexicographically smaller
-  /// endpoint first. Both directions of a connection share it.
-  FlowKey canonical() const;
+  /// endpoint first. Both directions of a connection share it. Inline: the
+  /// per-packet flow and bandwidth paths canonicalize every frame.
+  FlowKey canonical() const {
+    FlowKey rev = reversed();
+    return (*this <= rev) ? *this : rev;
+  }
 
   /// Checkpoint serialization (12 bytes).
   void save(ByteWriter& w) const;
@@ -38,6 +44,16 @@ struct FlowKey {
   std::string str() const;
   auto operator<=>(const FlowKey&) const = default;
 };
+
+/// SplitMix64 finalizer over the packed tuple. Used to index direct-mapped
+/// caches on the per-packet path; quality matters more than speed of a
+/// perfect pack, so overlapping fields are fine — the mixer scrambles them.
+inline std::uint64_t flow_key_hash(const FlowKey& k) {
+  SplitMix64 mix((static_cast<std::uint64_t>(k.src_ip.value) << 32) ^
+                 k.dst_ip.value ^ (static_cast<std::uint64_t>(k.src_port) << 48) ^
+                 (static_cast<std::uint64_t>(k.dst_port) << 16));
+  return mix.next();
+}
 
 /// How a bidirectional connection's lifetime was observed.
 enum class FlowLifetime {
@@ -105,6 +121,11 @@ class FlowTable {
   };
 
   std::map<FlowKey, State> table_;  ///< keyed by canonical tuple
+  /// Short-circuit for add(): both directions of a conversation share the
+  /// canonical key, and taps interleave a modest set of connections, so a
+  /// direct-mapped cache converts the per-packet map walk into one hash
+  /// plus one key compare. Erase paths must invalidate it.
+  DirectMappedCache<FlowKey, State, 1024> cache_;
 };
 
 }  // namespace uncharted::net

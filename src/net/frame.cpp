@@ -3,6 +3,12 @@
 namespace uncharted::net {
 
 Result<DecodedFrame> decode_frame(std::span<const std::uint8_t> frame) {
+  // Success path: one fast decode, no intermediate Results. The slow path
+  // below re-runs the per-layer decoders only to produce the error detail.
+  {
+    DecodedFrame out;
+    if (decode_frame_into(frame, out)) return out;
+  }
   ByteReader r(frame);
   auto eth = EthernetHeader::decode(r);
   if (!eth) return eth.error();

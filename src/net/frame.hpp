@@ -27,6 +27,40 @@ struct DecodedFrame {
 /// Errors: non-IPv4 ethertype, non-TCP protocol, truncation, bad checksum.
 Result<DecodedFrame> decode_frame(std::span<const std::uint8_t> frame);
 
+/// Fast-path decode: fills `out` and returns true, or returns false leaving
+/// `out` unspecified. Accepts exactly the frames decode_frame() accepts —
+/// decode_frame() routes its success path through this — but materializes
+/// no Result (and no error detail), which matters at one call per captured
+/// packet. Per-packet ingest loops that only branch on success use this.
+inline bool decode_frame_into(std::span<const std::uint8_t> frame,
+                              DecodedFrame& out) {
+  ByteReader r(frame);
+  auto eth = EthernetHeader::decode(r);
+  if (!eth || eth->ether_type != kEtherTypeIpv4) return false;
+  std::size_t ip_start = r.position();
+  auto ip = Ipv4Header::decode(r);
+  if (!ip || ip->protocol != kIpProtoTcp) return false;
+
+  // The IP total length bounds the TCP segment; captures may carry Ethernet
+  // padding beyond it which must not leak into the payload.
+  std::size_t ip_total = ip->total_length;
+  if (ip_total < Ipv4Header::kSize || ip_start + ip_total > frame.size()) {
+    return false;
+  }
+  auto tcp = TcpHeader::decode(r);
+  if (!tcp) return false;
+
+  std::size_t payload_start = r.position();
+  std::size_t segment_end = ip_start + ip_total;
+  if (payload_start > segment_end) return false;
+
+  out.eth = eth.value();
+  out.ip = ip.value();
+  out.tcp = tcp.value();
+  out.payload = frame.subspan(payload_start, segment_end - payload_start);
+  return true;
+}
+
 /// Cheapest possible look at a raw frame: the IPv4 source/destination
 /// addresses, if the buffer is long enough to carry an IPv4 header after
 /// Ethernet. No checksum validation, no TCP decode — this exists so the

@@ -7,6 +7,7 @@
 // far below any sane MTU; fragments are surfaced as errors).
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <span>
@@ -106,9 +107,109 @@ struct TcpHeader {
 };
 
 /// RFC 1071 Internet checksum over a byte range.
-std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+inline std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i] << 8);
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
 
 /// TCP checksum with IPv4 pseudo-header.
 std::uint16_t tcp_checksum(const Ipv4Header& ip, std::span<const std::uint8_t> tcp_segment);
+
+// The three header decoders are inline: they run once per captured packet
+// and an out-of-line call per layer was visible in the ingest profile.
+
+inline Result<EthernetHeader> EthernetHeader::decode(ByteReader& r) {
+  EthernetHeader h;
+  auto dst = r.bytes(6);
+  if (!dst) return dst.error();
+  std::copy(dst->begin(), dst->end(), h.dst.octets.begin());
+  auto src = r.bytes(6);
+  if (!src) return src.error();
+  std::copy(src->begin(), src->end(), h.src.octets.begin());
+  auto type = r.u16be();
+  if (!type) return type.error();
+  h.ether_type = type.value();
+  return h;
+}
+
+inline Result<Ipv4Header> Ipv4Header::decode(ByteReader& r) {
+  std::size_t start = r.position();
+  auto ver_ihl = r.u8();
+  if (!ver_ihl) return ver_ihl.error();
+  if ((ver_ihl.value() >> 4) != 4) return Err("not-ipv4");
+  std::size_t ihl = static_cast<std::size_t>(ver_ihl.value() & 0x0f) * 4;
+  if (ihl < kSize) return Err("bad-ihl", std::to_string(ihl));
+
+  Ipv4Header h;
+  auto dscp = r.u8();
+  auto len = r.u16be();
+  auto id = r.u16be();
+  auto fl = r.u16be();
+  auto ttl = r.u8();
+  auto proto = r.u8();
+  auto sum = r.u16be();
+  auto src = r.u32be();
+  auto dst = r.u32be();
+  if (!dst) return Err("truncated", "ipv4 header");
+  h.dscp_ecn = dscp.value();
+  h.total_length = len.value();
+  h.identification = id.value();
+  h.flags = static_cast<std::uint8_t>(fl.value() >> 13);
+  h.fragment_offset = static_cast<std::uint16_t>(fl.value() & 0x1fff);
+  h.ttl = ttl.value();
+  h.protocol = proto.value();
+  h.checksum = sum.value();
+  h.src.value = src.value();
+  h.dst.value = dst.value();
+
+  if (h.fragment_offset != 0 || (h.flags & 0x01)) {
+    return Err("fragmented", "IPv4 fragments unsupported in SCADA captures");
+  }
+  if (ihl > kSize) {
+    auto skipped = r.skip(ihl - kSize);
+    if (!skipped.ok()) return skipped.error();
+  }
+  // Verify checksum over the header bytes as captured.
+  std::size_t end = r.position();
+  r.seek(start);
+  auto raw = r.bytes(end - start);
+  if (internet_checksum(raw.value()) != 0) return Err("bad-ip-checksum");
+  return h;
+}
+
+inline Result<TcpHeader> TcpHeader::decode(ByteReader& r) {
+  TcpHeader h;
+  auto sp = r.u16be();
+  auto dp = r.u16be();
+  auto seq = r.u32be();
+  auto ack = r.u32be();
+  auto off = r.u8();
+  auto flags = r.u8();
+  auto win = r.u16be();
+  auto sum = r.u16be();
+  auto urg = r.u16be();
+  if (!urg) return Err("truncated", "tcp header");
+  h.src_port = sp.value();
+  h.dst_port = dp.value();
+  h.seq = seq.value();
+  h.ack = ack.value();
+  h.flags = flags.value();
+  h.window = win.value();
+  h.checksum = sum.value();
+  h.urgent = urg.value();
+  std::size_t data_offset = static_cast<std::size_t>(off.value() >> 4) * 4;
+  if (data_offset < kSize) return Err("bad-tcp-offset", std::to_string(data_offset));
+  if (data_offset > kSize) {
+    auto skipped = r.skip(data_offset - kSize);
+    if (!skipped.ok()) return skipped.error();
+  }
+  return h;
+}
 
 }  // namespace uncharted::net

@@ -1,0 +1,106 @@
+#include "net/mapping.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace uncharted::net {
+
+int RealFileOps::open_ro(const char* path) { return ::open(path, O_RDONLY); }
+
+long long RealFileOps::size(int fd) {
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) return -1;
+  if (!S_ISREG(st.st_mode)) return -1;  // pipes etc: size is meaningless
+  return static_cast<long long>(st.st_size);
+}
+
+void* RealFileOps::map_ro(std::size_t len, int fd) {
+  void* addr = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  return addr == MAP_FAILED ? nullptr : addr;
+}
+
+int RealFileOps::unmap(void* addr, std::size_t len) {
+  return ::munmap(addr, len);
+}
+
+ssize_t RealFileOps::read(int fd, void* buf, std::size_t n) {
+  // RealFileOps is the FileOps seam's one passthrough to the kernel, the
+  // mmap-layer twin of RealSysOps; every other caller goes through the
+  // interface.
+  return ::read(fd, buf, n);
+}
+
+int RealFileOps::close(int fd) { return ::close(fd); }
+
+FileOps& real_file_ops() {
+  static RealFileOps ops;
+  return ops;
+}
+
+PcapMapping& PcapMapping::operator=(PcapMapping&& other) noexcept {
+  if (this != &other) {
+    if (mapped_ && ops_ != nullptr) {
+      ops_->unmap(const_cast<std::uint8_t*>(addr_), len_);
+    }
+    ops_ = std::exchange(other.ops_, nullptr);
+    addr_ = std::exchange(other.addr_, nullptr);
+    len_ = std::exchange(other.len_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+    owned_ = std::move(other.owned_);
+  }
+  return *this;
+}
+
+PcapMapping::~PcapMapping() {
+  if (mapped_ && ops_ != nullptr) {
+    ops_->unmap(const_cast<std::uint8_t*>(addr_), len_);
+  }
+}
+
+Result<PcapMapping> PcapMapping::open(const std::string& path, FileOps* ops) {
+  FileOps& io = ops != nullptr ? *ops : real_file_ops();
+  int fd = io.open_ro(path.c_str());
+  if (fd < 0) return Err("open-failed", path);
+
+  PcapMapping out;
+  long long size = io.size(fd);
+  if (size > 0) {
+    void* addr = io.map_ro(static_cast<std::size_t>(size), fd);
+    if (addr != nullptr) {
+      out.ops_ = &io;
+      out.addr_ = static_cast<const std::uint8_t*>(addr);
+      out.len_ = static_cast<std::size_t>(size);
+      out.mapped_ = true;
+      // The mapping pins the inode; the descriptor is no longer needed.
+      io.close(fd);
+      return out;
+    }
+  } else if (size == 0) {
+    io.close(fd);
+    return out;  // empty file: empty bytes, nothing to map
+  }
+
+  // Fallback: unmappable (or unsizable) input is read into an owned
+  // buffer. Chunked so pipes work even though size() failed.
+  constexpr std::size_t kChunk = 1 << 20;
+  if (size > 0) out.owned_.reserve(static_cast<std::size_t>(size));
+  for (;;) {
+    std::size_t base = out.owned_.size();
+    out.owned_.resize(base + kChunk);
+    ssize_t got = io.read(fd, out.owned_.data() + base, kChunk);
+    if (got < 0) {
+      io.close(fd);
+      return Err("read-failed", path);
+    }
+    out.owned_.resize(base + static_cast<std::size_t>(got));
+    if (got == 0) break;
+  }
+  io.close(fd);
+  return out;
+}
+
+}  // namespace uncharted::net

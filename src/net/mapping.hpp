@@ -1,0 +1,92 @@
+// Memory-mapped pcap access: the zero-copy substrate under analyze_file.
+//
+// A capture file is mapped read-only and every FrameView the PcapCursor
+// yields is a span straight into the mapping — decode, flow tracking,
+// reassembly and APDU parsing all run over file-backed pages without one
+// payload copy. When the input cannot be mapped (a pipe, an exotic
+// filesystem, or an injected fault), open() silently falls back to
+// reading the bytes into an owned buffer: same span API, same results,
+// one copy instead of zero.
+//
+// The `FileOps` seam mirrors the daemon's SysOps pattern one layer down:
+// net cannot depend on faultinject (include-layering DAG — faultinject
+// depends on net), so the seam lives here and the fault injector adapts
+// onto it from its own side. Production passes nullptr and gets the real
+// kernel.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "util/expected.hpp"
+
+namespace uncharted::net {
+
+/// The mmap reader's OS surface. Methods keep the libc contract (-1 or
+/// nullptr + errno on failure) so a fault injector can impersonate the
+/// kernel faithfully.
+class FileOps {
+ public:
+  virtual ~FileOps() = default;
+
+  virtual int open_ro(const char* path) = 0;
+  /// Size via fstat; -1 on failure (including unsizable fds like pipes).
+  virtual long long size(int fd) = 0;
+  /// PROT_READ/MAP_PRIVATE mapping of [0, len); nullptr on failure.
+  virtual void* map_ro(std::size_t len, int fd) = 0;
+  virtual int unmap(void* addr, std::size_t len) = 0;
+  virtual ssize_t read(int fd, void* buf, std::size_t n) = 0;
+  virtual int close(int fd) = 0;
+};
+
+/// Passthrough to the real kernel.
+class RealFileOps final : public FileOps {
+ public:
+  int open_ro(const char* path) override;
+  long long size(int fd) override;
+  void* map_ro(std::size_t len, int fd) override;
+  int unmap(void* addr, std::size_t len) override;
+  ssize_t read(int fd, void* buf, std::size_t n) override;
+  int close(int fd) override;
+};
+
+/// Shared process-wide passthrough (the default wherever FileOps* is null).
+FileOps& real_file_ops();
+
+/// A pcap file's bytes, mmap'd when possible, read into an owned buffer
+/// otherwise. Move-only; the destructor unmaps. Spans returned by bytes()
+/// — and every FrameView cut from them — are valid for the mapping's
+/// lifetime, so keep it alive for the whole analysis.
+class PcapMapping {
+ public:
+  static Result<PcapMapping> open(const std::string& path,
+                                  FileOps* ops = nullptr);
+
+  PcapMapping(PcapMapping&& other) noexcept { *this = std::move(other); }
+  PcapMapping& operator=(PcapMapping&& other) noexcept;
+  PcapMapping(const PcapMapping&) = delete;
+  PcapMapping& operator=(const PcapMapping&) = delete;
+  ~PcapMapping();
+
+  std::span<const std::uint8_t> bytes() const {
+    return mapped_ ? std::span<const std::uint8_t>(addr_, len_)
+                   : std::span<const std::uint8_t>(owned_);
+  }
+  /// False means the read fallback populated an owned buffer instead.
+  bool mapped() const { return mapped_; }
+
+ private:
+  PcapMapping() = default;
+
+  FileOps* ops_ = nullptr;  ///< only set while a live mapping needs unmap
+  const std::uint8_t* addr_ = nullptr;
+  std::size_t len_ = 0;
+  bool mapped_ = false;
+  std::vector<std::uint8_t> owned_;
+};
+
+}  // namespace uncharted::net

@@ -49,49 +49,16 @@ Status PcapWriter::close() {
   return Status::Ok();
 }
 
-namespace {
-
-Result<std::vector<std::uint8_t>> slurp(const std::string& path) {
-  std::unique_ptr<std::FILE, decltype([](std::FILE* f) {
-                    if (f) std::fclose(f);
-                  })>
-      f(std::fopen(path.c_str(), "rb"));
-  if (!f) return Err("open-failed", path);
-  std::fseek(f.get(), 0, SEEK_END);
-  long size = std::ftell(f.get());
-  std::fseek(f.get(), 0, SEEK_SET);
-  if (size < 0) return Err("stat-failed", path);
-  std::vector<std::uint8_t> buf(static_cast<std::size_t>(size));
-  if (!buf.empty() && std::fread(buf.data(), 1, buf.size(), f.get()) != buf.size()) {
-    return Err("read-failed", path);
+std::vector<FrameView> as_frame_views(const std::vector<CapturedPacket>& packets) {
+  std::vector<FrameView> views;
+  views.reserve(packets.size());
+  for (const auto& pkt : packets) {
+    views.push_back(FrameView{pkt.ts, pkt.original_length, pkt.data});
   }
-  return buf;
+  return views;
 }
 
-}  // namespace
-
-Result<std::vector<CapturedPacket>> PcapReader::read_file(const std::string& path) {
-  auto buf = slurp(path);
-  if (!buf) return buf.error();
-  return read_buffer(buf.value());
-}
-
-Result<PcapReader::TolerantRead> PcapReader::read_file_tolerant(const std::string& path) {
-  auto buf = slurp(path);
-  if (!buf) return buf.error();
-  return read_buffer_tolerant(buf.value());
-}
-
-Result<std::vector<CapturedPacket>> PcapReader::read_buffer(
-    std::span<const std::uint8_t> data) {
-  auto read = read_buffer_tolerant(data);
-  if (!read) return read.error();
-  if (read->truncated_tail) return Err("truncated", read->warning);
-  return std::move(read->packets);
-}
-
-Result<PcapReader::TolerantRead> PcapReader::read_buffer_tolerant(
-    std::span<const std::uint8_t> data) {
+Result<PcapCursor> PcapCursor::open(std::span<const std::uint8_t> data) {
   ByteReader r(data);
   auto magic = r.u32le();
   if (!magic) return Err("truncated", "pcap global header");
@@ -118,32 +85,147 @@ Result<PcapReader::TolerantRead> PcapReader::read_buffer_tolerant(
   if (linktype.value() != kLinkTypeEthernet) {
     return Err("bad-linktype", std::to_string(linktype.value()));
   }
+  return PcapCursor(data, r.position(), swapped);
+}
 
+bool PcapCursor::next(FrameView& out) {
+  if (done_ || offset_ >= data_.size()) return false;
+  ByteReader r(data_.subspan(offset_));
+  auto u32 = [&]() { return swapped_ ? r.u32be() : r.u32le(); };
+  auto sec = u32();
+  auto usec = u32();
+  auto incl = u32();
+  auto orig = u32();
+  if (!orig) {
+    done_ = true;
+    truncated_tail_ = true;
+    warning_ = "pcap record header cut short after " + std::to_string(records_) +
+               " packets";
+    return false;
+  }
+  auto payload = r.bytes(incl.value());
+  if (!payload) {
+    done_ = true;
+    truncated_tail_ = true;
+    warning_ = "pcap record body cut short after " + std::to_string(records_) +
+               " packets";
+    return false;
+  }
+  out.ts = make_timestamp(sec.value(), usec.value());
+  out.original_length = orig.value();
+  out.data = payload.value();
+  offset_ += r.position();
+  ++records_;
+  return true;
+}
+
+Result<std::vector<CapturedPacket>> PcapReader::read_file(const std::string& path) {
+  auto read = read_file_tolerant(path);
+  if (!read) return read.error();
+  if (read->truncated_tail) return Err("truncated", read->warning);
+  return std::move(read->packets);
+}
+
+Result<PcapReader::TolerantRead> PcapReader::read_file_tolerant(const std::string& path) {
+  std::unique_ptr<std::FILE, decltype([](std::FILE* f) {
+                    if (f) std::fclose(f);
+                  })>
+      f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Err("open-failed", path);
+
+  // File size bounds every record's claimed length, so a corrupt header
+  // cannot demand a multi-gigabyte allocation the file could never back.
+  std::fseek(f.get(), 0, SEEK_END);
+  long file_size = std::ftell(f.get());
+  std::fseek(f.get(), 0, SEEK_SET);
+  if (file_size < 0) return Err("stat-failed", path);
+  std::size_t remaining = static_cast<std::size_t>(file_size);
+
+  // Global header, strict: nothing after a damaged one can be interpreted.
+  std::uint8_t hdr[24];
+  if (std::fread(hdr, 1, sizeof hdr, f.get()) != sizeof hdr) {
+    return Err("truncated", "pcap global header");
+  }
+  remaining -= sizeof hdr;
+  auto cursor = PcapCursor::open(std::span<const std::uint8_t>(hdr, sizeof hdr));
+  if (!cursor) return cursor.error();
+  bool swapped = false;
+  {
+    std::uint32_t magic = static_cast<std::uint32_t>(hdr[0]) |
+                          static_cast<std::uint32_t>(hdr[1]) << 8 |
+                          static_cast<std::uint32_t>(hdr[2]) << 16 |
+                          static_cast<std::uint32_t>(hdr[3]) << 24;
+    swapped = magic == kPcapMagicSwapped;
+  }
+
+  // Records stream straight from the file into each packet's own buffer —
+  // no whole-file intermediate copy (the old path slurped the file and
+  // then duplicated every payload out of the slurp buffer).
   TolerantRead out;
-  while (!r.empty()) {
-    auto sec = u32();
-    auto usec = u32();
-    auto incl = u32();
-    auto orig = u32();
-    if (!orig) {
+  for (;;) {
+    std::uint8_t rec[16];
+    std::size_t got = std::fread(rec, 1, sizeof rec, f.get());
+    if (got == 0) break;  // clean end of file
+    if (got < sizeof rec) {
       out.truncated_tail = true;
       out.warning = "pcap record header cut short after " +
                     std::to_string(out.packets.size()) + " packets";
       break;
     }
-    auto payload = r.bytes(incl.value());
-    if (!payload) {
+    remaining -= sizeof rec;
+    ByteReader r(rec);
+    auto u32 = [&]() { return swapped ? r.u32be() : r.u32le(); };
+    std::uint32_t sec = u32().value();
+    std::uint32_t usec = u32().value();
+    std::uint32_t incl = u32().value();
+    std::uint32_t orig = u32().value();
+
+    if (incl > remaining) {
       out.truncated_tail = true;
       out.warning = "pcap record body cut short after " +
                     std::to_string(out.packets.size()) + " packets";
       break;
     }
     CapturedPacket pkt;
-    pkt.ts = make_timestamp(sec.value(), usec.value());
-    pkt.original_length = orig.value();
-    pkt.data.assign(payload->begin(), payload->end());
+    pkt.ts = make_timestamp(sec, usec);
+    pkt.original_length = orig;
+    pkt.data.resize(incl);
+    if (incl > 0 && std::fread(pkt.data.data(), 1, incl, f.get()) != incl) {
+      out.truncated_tail = true;
+      out.warning = "pcap record body cut short after " +
+                    std::to_string(out.packets.size()) + " packets";
+      break;
+    }
+    remaining -= incl;
     out.packets.push_back(std::move(pkt));
   }
+  return out;
+}
+
+Result<std::vector<CapturedPacket>> PcapReader::read_buffer(
+    std::span<const std::uint8_t> data) {
+  auto read = read_buffer_tolerant(data);
+  if (!read) return read.error();
+  if (read->truncated_tail) return Err("truncated", read->warning);
+  return std::move(read->packets);
+}
+
+Result<PcapReader::TolerantRead> PcapReader::read_buffer_tolerant(
+    std::span<const std::uint8_t> data) {
+  auto cursor = PcapCursor::open(data);
+  if (!cursor) return cursor.error();
+
+  TolerantRead out;
+  FrameView view;
+  while (cursor->next(view)) {
+    CapturedPacket pkt;
+    pkt.ts = view.ts;
+    pkt.original_length = view.original_length;
+    pkt.data.assign(view.data.begin(), view.data.end());
+    out.packets.push_back(std::move(pkt));
+  }
+  out.truncated_tail = cursor->truncated_tail();
+  out.warning = cursor->warning();
   return out;
 }
 

@@ -29,6 +29,56 @@ struct CapturedPacket {
   std::vector<std::uint8_t> data;     ///< possibly truncated to snaplen
 };
 
+/// Zero-copy view of one captured record: the span references the pcap
+/// buffer it was cut from (an mmap'd file or an owned byte vector), which
+/// must outlive the view. The ingest hot path runs on these; CapturedPacket
+/// remains the owning form for callers that must hold packets past the
+/// buffer (streaming deferral queues, fault-injection rewrites).
+struct FrameView {
+  Timestamp ts = 0;
+  std::uint32_t original_length = 0;
+  std::span<const std::uint8_t> data;
+};
+
+/// Borrows owning packets as views (spans into each packet's buffer).
+std::vector<FrameView> as_frame_views(const std::vector<CapturedPacket>& packets);
+
+/// Forward cursor over pcap bytes yielding FrameViews without copying a
+/// single payload byte. Parses the global header at open; next() walks
+/// records until the end or a truncated tail (which is reported, not
+/// fatal — a crashed or still-writing tcpdump leaves exactly that).
+class PcapCursor {
+ public:
+  /// Validates the global header. Errors: truncation, bad magic, non-
+  /// Ethernet link type. Byte-swapped files are readable.
+  static Result<PcapCursor> open(std::span<const std::uint8_t> data);
+
+  /// True and fills `out` while complete records remain.
+  bool next(FrameView& out);
+
+  /// The file ended mid-record (only meaningful once next() returned false).
+  bool truncated_tail() const { return truncated_tail_; }
+  /// Human-readable tail diagnosis; empty unless truncated_tail().
+  const std::string& warning() const { return warning_; }
+
+  std::uint64_t records() const { return records_; }
+  /// Byte offset of the next unread record — a resume cursor over the
+  /// mapped file.
+  std::size_t offset() const { return offset_; }
+
+ private:
+  PcapCursor(std::span<const std::uint8_t> data, std::size_t offset, bool swapped)
+      : data_(data), offset_(offset), swapped_(swapped) {}
+
+  std::span<const std::uint8_t> data_;
+  std::size_t offset_ = 0;
+  bool swapped_ = false;
+  bool done_ = false;
+  bool truncated_tail_ = false;
+  std::uint64_t records_ = 0;
+  std::string warning_;
+};
+
 /// Streams packets into a pcap file.
 class PcapWriter {
  public:

@@ -41,6 +41,9 @@ void TcpStreamDirection::drain_contiguous(StreamChunk& chunk) {
     pending_bytes_ -= it->second.size();
     it = pending_.erase(it);
   }
+  // The slab is monotonic: an empty buffer is the one moment every byte in
+  // it (drained entries and overwrite waste alike) is reclaimable at once.
+  if (pending_.empty()) slab_.reset();
 }
 
 StreamChunk TcpStreamDirection::skip_hole(Timestamp ts) {
@@ -96,19 +99,25 @@ std::vector<StreamChunk> TcpStreamDirection::on_segment(
       ++stats_.wild_segments;
       return out;
     }
-    // Out of order: buffer for later (overwrite-same-start keeps longest).
+    // Out of order: copy into the slab (the only place the zero-copy path
+    // ever copies payload bytes) and buffer for later. Overwrite-same-start
+    // keeps the longest; the superseded copy becomes slab waste until the
+    // buffer next drains empty.
     ++stats_.out_of_order;
     auto it = pending_.find(seg_start);
     if (it == pending_.end()) {
       pending_bytes_ += payload.size();
-      pending_[seg_start] = {payload.begin(), payload.end()};
+      pending_[seg_start] = slab_.store(payload);
     } else if (it->second.size() < payload.size()) {
       pending_bytes_ += payload.size() - it->second.size();
-      it->second.assign(payload.begin(), payload.end());
+      it->second = slab_.store(payload);
     }
     // Past the cap the hole in front can no longer be waited out: abandon
-    // it, deliver the buffered data, and keep memory bounded.
+    // it, deliver the buffered data, and keep memory bounded. The slab's
+    // full footprint (waste included) counts against the byte cap — the
+    // budget bounds memory actually held, not just live bytes.
     while (pending_bytes_ > limits_.max_pending_bytes ||
+           slab_.bytes_used() > limits_.max_pending_bytes ||
            pending_.size() > limits_.max_pending_segments) {
       auto chunk = skip_hole(ts);
       if (!chunk.data.empty()) out.push_back(std::move(chunk));
@@ -138,6 +147,7 @@ void TcpStreamDirection::on_reset(Timestamp ts) {
     stats_.lost_bytes += pending_bytes_;
     pending_.clear();
     pending_bytes_ = 0;
+    slab_.reset();
   }
   // Re-anchor on the next segment (a reused tuple starts a fresh stream;
   // an injected RST in the middle of a live stream resumes where the
@@ -190,7 +200,7 @@ Result<TcpStreamDirection> TcpStreamDirection::load(ByteReader& r,
     auto data = r.bytes(len.value());
     if (!data) return data.error();
     dir.pending_bytes_ += data->size();
-    dir.pending_[seq.value()] = {data->begin(), data->end()};
+    dir.pending_[seq.value()] = dir.slab_.store(*data);
   }
   std::array<std::uint64_t*, 9> fields = {
       &dir.stats_.retransmissions, &dir.stats_.overlapping_segments,
@@ -213,8 +223,14 @@ void TcpReassembler::add(Timestamp ts, const DecodedFrame& frame) {
     it = directions_.emplace(key, TcpStreamDirection(limits_)).first;
   }
   auto& dir = it->second;
-  for (auto& chunk : dir.on_segment(ts, frame.tcp, frame.payload)) {
-    if (sink_) sink_(key, chunk);
+  if (sink_) {
+    dir.deliver_segment(ts, frame.tcp, frame.payload,
+                        [&](Timestamp cts, std::span<const std::uint8_t> data) {
+                          sink_(key, cts, data);
+                        });
+  } else {
+    dir.deliver_segment(ts, frame.tcp, frame.payload,
+                        [](Timestamp, std::span<const std::uint8_t>) {});
   }
   if (frame.tcp.rst()) {
     // A reset kills both directions of the connection.
@@ -227,7 +243,7 @@ void TcpReassembler::add(Timestamp ts, const DecodedFrame& frame) {
 void TcpReassembler::flush(Timestamp ts) {
   for (auto& [key, dir] : directions_) {
     for (auto& chunk : dir.flush(ts)) {
-      if (sink_) sink_(key, chunk);
+      if (sink_) sink_(key, chunk.ts, chunk.data);
     }
   }
 }
@@ -250,8 +266,10 @@ StreamStats TcpReassembler::totals() const {
 }
 
 std::size_t TcpReassembler::pending_bytes() const {
+  // Slab footprint, not live bytes: budgets govern memory actually held,
+  // and the arena only reclaims when a direction drains empty.
   std::size_t total = 0;
-  for (const auto& [key, dir] : directions_) total += dir.pending_bytes();
+  for (const auto& [key, dir] : directions_) total += dir.slab_bytes();
   return total;
 }
 
@@ -260,15 +278,15 @@ std::size_t TcpReassembler::evict_pending(Timestamp ts, std::size_t max_bytes) {
   while (pending_bytes() > max_bytes) {
     auto victim = directions_.end();
     for (auto it = directions_.begin(); it != directions_.end(); ++it) {
-      if (it->second.pending_bytes() == 0) continue;
+      if (it->second.slab_bytes() == 0) continue;
       if (victim == directions_.end() ||
-          it->second.pending_bytes() > victim->second.pending_bytes()) {
+          it->second.slab_bytes() > victim->second.slab_bytes()) {
         victim = it;
       }
     }
     if (victim == directions_.end()) break;
     for (auto& chunk : victim->second.flush(ts)) {
-      if (sink_) sink_(victim->first, chunk);
+      if (sink_) sink_(victim->first, chunk.ts, chunk.data);
     }
     ++flushed;
   }

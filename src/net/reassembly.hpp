@@ -23,6 +23,7 @@
 
 #include "net/flow.hpp"
 #include "net/frame.hpp"
+#include "util/arena.hpp"
 #include "util/timebase.hpp"
 
 namespace uncharted::net {
@@ -71,6 +72,26 @@ class TcpStreamDirection {
   std::vector<StreamChunk> on_segment(Timestamp ts, const TcpHeader& tcp,
                                       std::span<const std::uint8_t> payload);
 
+  /// Zero-copy delivery: the common in-order segment with nothing buffered
+  /// is handed to `deliver(ts, payload)` as the borrowed span — no copy, no
+  /// chunk allocation; the span is valid only during the call. Every other
+  /// case (anchor, retransmission, overlap, out-of-order, drain behind a
+  /// filled hole) falls back to on_segment() and delivers owned chunks.
+  template <typename Deliver>
+  void deliver_segment(Timestamp ts, const TcpHeader& tcp,
+                       std::span<const std::uint8_t> payload, Deliver&& deliver) {
+    if (initialized_ && pending_.empty() && !payload.empty() &&
+        tcp.seq == next_seq_) {
+      next_seq_ += static_cast<std::uint32_t>(payload.size());
+      stats_.delivered_bytes += payload.size();
+      deliver(ts, payload);
+      return;
+    }
+    for (auto& chunk : on_segment(ts, tcp, payload)) {
+      deliver(chunk.ts, std::span<const std::uint8_t>(chunk.data));
+    }
+  }
+
   /// A RST tore the stream down: buffered out-of-order data can never
   /// complete, so it is dropped (counted as lost) and the direction
   /// re-anchors on the next segment, if any.
@@ -86,8 +107,16 @@ class TcpStreamDirection {
   std::uint64_t out_of_order_segments() const { return stats_.out_of_order; }
   std::uint64_t overlapping_segments() const { return stats_.overlapping_segments; }
 
-  /// Bytes buffered out of order right now (resource accounting).
+  /// Live bytes buffered out of order right now.
   std::size_t pending_bytes() const { return pending_bytes_; }
+
+  /// The OOO slab's full footprint: live bytes plus arena waste (segments
+  /// superseded by a longer overwrite, drained entries not yet reclaimed).
+  /// This, not pending_bytes(), is what the direction actually holds in
+  /// memory, so resource governance evicts against it. The slab is
+  /// monotonic and reclaims everything at once whenever the buffer drains
+  /// empty, so footprint == live bytes in the steady state.
+  std::size_t slab_bytes() const { return slab_.bytes_used(); }
 
   /// Checkpoint serialization: anchor, OOO buffer and counters. Limits are
   /// configuration, not state — the loader supplies them.
@@ -104,8 +133,11 @@ class TcpStreamDirection {
   ReassemblyLimits limits_;
   bool initialized_ = false;
   std::uint32_t next_seq_ = 0;  ///< next expected sequence number
-  std::map<std::uint32_t, std::vector<std::uint8_t>> pending_;  ///< OOO buffer
+  /// OOO buffer: seq -> bytes held in slab_. Spans stay valid until the
+  /// slab resets, which only happens once the map is empty.
+  std::map<std::uint32_t, std::span<const std::uint8_t>> pending_;
   std::size_t pending_bytes_ = 0;
+  util::MonotonicArena slab_{16 * 1024};  ///< backing store for pending_
   StreamStats stats_;
 };
 
@@ -113,8 +145,12 @@ class TcpStreamDirection {
 /// application chunks to a sink keyed by the directed flow.
 class TcpReassembler {
  public:
-  /// sink(directed_key, chunk): invoked for every delivered chunk.
-  using Sink = std::function<void(const FlowKey&, const StreamChunk&)>;
+  /// sink(directed_key, ts, data): invoked for every delivered chunk. For
+  /// in-order traffic `data` borrows the caller's payload (valid only
+  /// during the call); buffered deliveries borrow a transient chunk.
+  /// Either way the sink must copy what it keeps.
+  using Sink =
+      std::function<void(const FlowKey&, Timestamp, std::span<const std::uint8_t>)>;
 
   explicit TcpReassembler(Sink sink, ReassemblyLimits limits = {})
       : sink_(std::move(sink)), limits_(limits) {}

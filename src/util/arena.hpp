@@ -1,0 +1,130 @@
+// Monotonic byte arena: bump allocation for short-lived payload copies.
+//
+// The zero-copy ingest path only copies bytes that must outlive the packet
+// that carried them (out-of-order reassembly segments, partial APDU tails).
+// Those copies are small, bursty and die together — exactly the monotonic
+// pattern: allocate by bumping a cursor through chunked blocks, free
+// everything at once with reset(). Individual deallocation does not exist;
+// callers that drop an allocation early must account the waste themselves
+// (bytes_used() reports the full footprint, waste included, so resource
+// budgets can bound the arena honestly).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory_resource>
+#include <span>
+#include <vector>
+
+namespace uncharted::util {
+
+class MonotonicArena {
+ public:
+  /// `block_bytes` is the granularity of growth; allocations larger than a
+  /// block get a dedicated block of their exact size.
+  explicit MonotonicArena(std::size_t block_bytes = 64 * 1024)
+      : block_bytes_(block_bytes == 0 ? 1 : block_bytes) {}
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+  MonotonicArena(MonotonicArena&&) = default;
+  MonotonicArena& operator=(MonotonicArena&&) = default;
+
+  /// Uninitialized storage, stable until reset() (blocks never move: the
+  /// block index grows but each block's buffer stays put).
+  std::span<std::uint8_t> allocate(std::size_t n) {
+    if (n == 0) return {};
+    if (blocks_.empty() || blocks_.back().capacity() - blocks_.back().size() < n) {
+      std::vector<std::uint8_t> block;
+      block.reserve(n > block_bytes_ ? n : block_bytes_);
+      blocks_.push_back(std::move(block));
+    }
+    auto& block = blocks_.back();
+    std::size_t offset = block.size();
+    block.resize(offset + n);
+    used_ += n;
+    return {block.data() + offset, n};
+  }
+
+  /// Copies `bytes` into the arena and returns the stable copy.
+  std::span<const std::uint8_t> store(std::span<const std::uint8_t> bytes) {
+    auto dst = allocate(bytes.size());
+    if (!bytes.empty()) std::memcpy(dst.data(), bytes.data(), bytes.size());
+    return dst;
+  }
+
+  /// Frees every allocation at once. The largest block is kept (emptied)
+  /// so a steady-state fill/reset cycle stops touching the heap.
+  void reset() {
+    if (blocks_.size() > 1) {
+      std::size_t keep = 0;
+      for (std::size_t i = 1; i < blocks_.size(); ++i) {
+        if (blocks_[i].capacity() > blocks_[keep].capacity()) keep = i;
+      }
+      blocks_[0] = std::move(blocks_[keep]);
+      blocks_.resize(1);
+    }
+    if (!blocks_.empty()) blocks_[0].clear();
+    used_ = 0;
+  }
+
+  /// Bytes handed out since the last reset — the arena's honest footprint,
+  /// including allocations the caller has since abandoned.
+  std::size_t bytes_used() const { return used_; }
+
+  /// Heap bytes held across resets.
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const auto& b : blocks_) total += b.capacity();
+    return total;
+  }
+
+ private:
+  std::size_t block_bytes_;
+  std::vector<std::vector<std::uint8_t>> blocks_;
+  std::size_t used_ = 0;
+};
+
+/// std::pmr arena for parsed records: a monotonic resource over a counting
+/// upstream, so the per-lane record arena can report its true heap
+/// footprint (resource governance and the allocation-budget tests read
+/// it). Containers allocated from resource() must not outlive the arena;
+/// lanes hand theirs to the dataset via shared_ptr so records and their
+/// backing blocks travel together. Not movable — the resource chain is
+/// self-referencing.
+class RecordArena {
+ public:
+  RecordArena() : mono_(&upstream_) {}
+  RecordArena(const RecordArena&) = delete;
+  RecordArena& operator=(const RecordArena&) = delete;
+
+  std::pmr::memory_resource* resource() { return &mono_; }
+
+  /// Bytes drawn from the heap so far (block-granular; never shrinks until
+  /// the arena dies).
+  std::size_t heap_bytes() const { return upstream_.bytes(); }
+
+ private:
+  class CountingUpstream final : public std::pmr::memory_resource {
+   public:
+    std::size_t bytes() const { return bytes_; }
+
+   private:
+    void* do_allocate(std::size_t bytes, std::size_t align) override {
+      bytes_ += bytes;
+      return std::pmr::new_delete_resource()->allocate(bytes, align);
+    }
+    void do_deallocate(void* p, std::size_t bytes, std::size_t align) override {
+      std::pmr::new_delete_resource()->deallocate(p, bytes, align);
+    }
+    bool do_is_equal(const std::pmr::memory_resource& other) const noexcept override {
+      return this == &other;
+    }
+    std::size_t bytes_ = 0;
+  };
+
+  CountingUpstream upstream_;
+  std::pmr::monotonic_buffer_resource mono_;
+};
+
+}  // namespace uncharted::util

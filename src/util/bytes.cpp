@@ -4,74 +4,10 @@
 
 namespace uncharted {
 
-namespace {
-Error truncated(std::size_t want, std::size_t have) {
-  return Err("truncated",
-             "need " + std::to_string(want) + " bytes, have " + std::to_string(have));
-}
-}  // namespace
-
-#define UNCHARTED_CHECK_READ(n)                  \
-  do {                                           \
-    if (!can_read(n)) {                          \
-      failed_ = true;                            \
-      return truncated((n), remaining());        \
-    }                                            \
-  } while (0)
-
-Result<std::uint8_t> ByteReader::u8() {
-  UNCHARTED_CHECK_READ(1);
-  return data_[pos_++];
-}
-
-Result<std::uint16_t> ByteReader::u16le() {
-  UNCHARTED_CHECK_READ(2);
-  // Assemble in unsigned arithmetic: the implicit uint8_t -> int promotion
-  // of `b << 8` is a signed shift, which tidy rightly flags on a wire path.
-  std::uint16_t v = static_cast<std::uint16_t>(
-      static_cast<std::uint32_t>(data_[pos_]) |
-      (static_cast<std::uint32_t>(data_[pos_ + 1]) << 8));
-  pos_ += 2;
-  return v;
-}
-
-Result<std::uint16_t> ByteReader::u16be() {
-  UNCHARTED_CHECK_READ(2);
-  std::uint16_t v = static_cast<std::uint16_t>(
-      (static_cast<std::uint32_t>(data_[pos_]) << 8) |
-      static_cast<std::uint32_t>(data_[pos_ + 1]));
-  pos_ += 2;
-  return v;
-}
-
-Result<std::uint32_t> ByteReader::u32le() {
-  UNCHARTED_CHECK_READ(4);
-  std::uint32_t v = static_cast<std::uint32_t>(data_[pos_]) |
-                    (static_cast<std::uint32_t>(data_[pos_ + 1]) << 8) |
-                    (static_cast<std::uint32_t>(data_[pos_ + 2]) << 16) |
-                    (static_cast<std::uint32_t>(data_[pos_ + 3]) << 24);
-  pos_ += 4;
-  return v;
-}
-
-Result<std::uint32_t> ByteReader::u32be() {
-  UNCHARTED_CHECK_READ(4);
-  std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
-                    (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
-                    (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
-                    static_cast<std::uint32_t>(data_[pos_ + 3]);
-  pos_ += 4;
-  return v;
-}
-
-Result<std::uint64_t> ByteReader::u64le() {
-  UNCHARTED_CHECK_READ(8);
-  std::uint64_t v = 0;
-  for (int i = 7; i >= 0; --i) {
-    v = (v << 8) | static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)]);
-  }
-  pos_ += 8;
-  return v;
+Error ByteReader::fail(std::size_t want) {
+  failed_ = true;
+  return Err("truncated", "need " + std::to_string(want) + " bytes, have " +
+                              std::to_string(remaining()));
 }
 
 Result<float> ByteReader::f32le() {
@@ -86,53 +22,14 @@ Result<double> ByteReader::f64le() {
   return std::bit_cast<double>(raw.value());
 }
 
-Result<std::span<const std::uint8_t>> ByteReader::bytes(std::size_t n) {
-  UNCHARTED_CHECK_READ(n);
-  auto out = data_.subspan(pos_, n);
-  pos_ += n;
-  return out;
-}
-
-Status ByteReader::skip(std::size_t n) {
-  UNCHARTED_CHECK_READ(n);
-  pos_ += n;
-  return Status::Ok();
-}
-
 void ByteReader::seek(std::size_t pos) {
   pos_ = pos <= data_.size() ? pos : data_.size();
   failed_ = false;
 }
 
-void ByteWriter::u16le(std::uint16_t v) {
-  buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
-  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
-}
-
-void ByteWriter::u16be(std::uint16_t v) {
-  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
-  buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
-}
-
-void ByteWriter::u32le(std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
-}
-
-void ByteWriter::u32be(std::uint32_t v) {
-  for (int i = 3; i >= 0; --i) buf_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
-}
-
-void ByteWriter::u64le(std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
-}
-
 void ByteWriter::f32le(float v) { u32le(std::bit_cast<std::uint32_t>(v)); }
 
 void ByteWriter::f64le(double v) { u64le(std::bit_cast<std::uint64_t>(v)); }
-
-void ByteWriter::bytes(std::span<const std::uint8_t> data) {
-  buf_.insert(buf_.end(), data.begin(), data.end());
-}
 
 void ByteWriter::patch_u16be(std::size_t pos, std::uint16_t v) {
   buf_.at(pos) = static_cast<std::uint8_t>(v >> 8);

@@ -4,6 +4,11 @@
 // IEC 60870-5-104 fields are little-endian. Both views are provided and every
 // access is range-checked: a truncated capture must surface as a decode
 // error, never as UB.
+//
+// The readers are defined inline: decode loops call them tens of millions of
+// times per capture, and an out-of-line call per field read dominated the
+// ingest profile. Only the failure path (which allocates an error message)
+// stays out of line.
 #pragma once
 
 #include <cstdint>
@@ -32,28 +37,90 @@ class ByteReader {
   /// True if at least n bytes remain and no prior read has failed.
   bool can_read(std::size_t n) const { return !failed_ && remaining() >= n; }
 
-  Result<std::uint8_t> u8();
-  Result<std::uint16_t> u16le();
-  Result<std::uint16_t> u16be();
-  Result<std::uint32_t> u32le();
-  Result<std::uint32_t> u32be();
-  Result<std::uint64_t> u64le();
+  Result<std::uint8_t> u8() {
+    if (!can_read(1)) return fail(1);
+    return data_[pos_++];
+  }
+
+  Result<std::uint16_t> u16le() {
+    if (!can_read(2)) return fail(2);
+    // Assemble in unsigned arithmetic: the implicit uint8_t -> int promotion
+    // of `b << 8` is a signed shift, which tidy rightly flags on a wire path.
+    std::uint16_t v = static_cast<std::uint16_t>(
+        static_cast<std::uint32_t>(data_[pos_]) |
+        (static_cast<std::uint32_t>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+
+  Result<std::uint16_t> u16be() {
+    if (!can_read(2)) return fail(2);
+    std::uint16_t v = static_cast<std::uint16_t>(
+        (static_cast<std::uint32_t>(data_[pos_]) << 8) |
+        static_cast<std::uint32_t>(data_[pos_ + 1]));
+    pos_ += 2;
+    return v;
+  }
+
+  Result<std::uint32_t> u32le() {
+    if (!can_read(4)) return fail(4);
+    std::uint32_t v = static_cast<std::uint32_t>(data_[pos_]) |
+                      (static_cast<std::uint32_t>(data_[pos_ + 1]) << 8) |
+                      (static_cast<std::uint32_t>(data_[pos_ + 2]) << 16) |
+                      (static_cast<std::uint32_t>(data_[pos_ + 3]) << 24);
+    pos_ += 4;
+    return v;
+  }
+
+  Result<std::uint32_t> u32be() {
+    if (!can_read(4)) return fail(4);
+    std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+                      (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+                      (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+                      static_cast<std::uint32_t>(data_[pos_ + 3]);
+    pos_ += 4;
+    return v;
+  }
+
+  Result<std::uint64_t> u64le() {
+    if (!can_read(8)) return fail(8);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) |
+          static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)]);
+    }
+    pos_ += 8;
+    return v;
+  }
+
   /// IEEE-754 single precision, little-endian (IEC 104 float encoding).
   Result<float> f32le();
   /// IEEE-754 double precision, little-endian (checkpoint snapshots).
   Result<double> f64le();
 
   /// Returns a subspan of n bytes and advances.
-  Result<std::span<const std::uint8_t>> bytes(std::size_t n);
+  Result<std::span<const std::uint8_t>> bytes(std::size_t n) {
+    if (!can_read(n)) return fail(n);
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
 
   /// Skips n bytes.
-  Status skip(std::size_t n);
+  Status skip(std::size_t n) {
+    if (!can_read(n)) return fail(n);
+    pos_ += n;
+    return Status::Ok();
+  }
 
   /// Rewinds to an absolute position (must be <= size) and clears any
   /// failure state.
   void seek(std::size_t pos);
 
  private:
+  /// Cold path: poisons the reader and builds the truncation error.
+  Error fail(std::size_t want);
+
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
   bool failed_ = false;
@@ -66,14 +133,34 @@ class ByteWriter {
   explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
 
   void u8(std::uint8_t v) { buf_.push_back(v); }
-  void u16le(std::uint16_t v);
-  void u16be(std::uint16_t v);
-  void u32le(std::uint32_t v);
-  void u32be(std::uint32_t v);
-  void u64le(std::uint64_t v);
+  void u16le(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u16be(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+  }
+  void u32le(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void u32be(std::uint32_t v) {
+    for (int i = 3; i >= 0; --i) {
+      buf_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void u64le(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+    }
+  }
   void f32le(float v);
   void f64le(double v);
-  void bytes(std::span<const std::uint8_t> data);
+  void bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
 
   /// Overwrites a previously written byte (e.g. a length field backpatch).
   void patch_u8(std::size_t pos, std::uint8_t v) { buf_.at(pos) = v; }

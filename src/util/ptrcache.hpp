@@ -1,0 +1,69 @@
+// Direct-mapped key→pointer cache for fronting an ordered map on a hot
+// path. Repo rule: unordered containers are banned in src/ (iteration
+// order leaks into reports), so per-packet state lives in std::map; the
+// O(log n) pointer-chasing lookup then dominates tight ingest loops. This
+// cache keeps the map as the single source of truth and only memoizes
+// node addresses — std::map nodes are stable under insertion, so a hit is
+// valid until something erases or rebuilds nodes, at which point the
+// owner must call invalidate(). Determinism is unaffected: a collision or
+// stale slot merely falls back to the map.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace uncharted {
+
+template <typename Key, typename Value, std::size_t Slots>
+class DirectMappedCache {
+  static_assert(Slots > 0 && (Slots & (Slots - 1)) == 0,
+                "Slots must be a power of two");
+
+ public:
+  /// Cached node addresses must not travel with the owning object: after a
+  /// copy the pointers would alias the SOURCE's nodes, and after a move the
+  /// source's map may be gone. Copying or moving therefore yields empty
+  /// caches on both sides — correctness over a one-off warm-up cost.
+  DirectMappedCache() = default;
+  DirectMappedCache(const DirectMappedCache&) {}
+  DirectMappedCache(DirectMappedCache&& other) noexcept { other.invalidate(); }
+  DirectMappedCache& operator=(const DirectMappedCache&) {
+    invalidate();
+    return *this;
+  }
+  DirectMappedCache& operator=(DirectMappedCache&& other) noexcept {
+    invalidate();
+    other.invalidate();
+    return *this;
+  }
+
+  /// Cached pointer for `key`, or nullptr on miss. The caller supplies the
+  /// hash so one computation can serve find() and a following put().
+  Value* find(const Key& key, std::uint64_t hash) const {
+    const Slot& s = slots_[hash & (Slots - 1)];
+    return (s.value != nullptr && s.key == key) ? s.value : nullptr;
+  }
+
+  /// Installs `value` for `key`, displacing whatever shared the slot.
+  void put(const Key& key, std::uint64_t hash, Value* value) {
+    Slot& s = slots_[hash & (Slots - 1)];
+    s.key = key;
+    s.value = value;
+  }
+
+  /// Drops every entry. Required after any operation that erases, moves,
+  /// or clears nodes in the backing map.
+  void invalidate() {
+    for (auto& s : slots_) s.value = nullptr;
+  }
+
+ private:
+  struct Slot {
+    Key key{};
+    Value* value = nullptr;
+  };
+  std::array<Slot, Slots> slots_{};
+};
+
+}  // namespace uncharted

@@ -39,7 +39,7 @@ TEST(Bandwidth, BucketsAndTotalsFromHandBuiltCapture) {
 }
 
 TEST(Bandwidth, EmptyCapture) {
-  auto report = analyze_bandwidth({});
+  auto report = analyze_bandwidth(std::vector<net::CapturedPacket>{});
   EXPECT_TRUE(report.series.empty());
   EXPECT_EQ(report.duration_seconds(), 0.0);
   EXPECT_EQ(report.mean_rate_bps(TapProtocol::kIec104), 0.0);

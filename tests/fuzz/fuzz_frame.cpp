@@ -12,7 +12,8 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size
   using namespace uncharted;
   std::span<const std::uint8_t> input(data, size);
 
-  const auto no_sink = [](const net::FlowKey&, const net::StreamChunk&) {};
+  const auto no_sink = [](const net::FlowKey&, Timestamp,
+                          std::span<const std::uint8_t>) {};
 
   auto frame = net::decode_frame(input);
   if (frame.ok()) {

@@ -75,7 +75,7 @@ TEST(LintEngine, SuppressionsHonoredAndCounted) {
   options.root = std::string(UNCHARTED_LINT_FIXTURES) + "/allowrepo";
   const Report report = run_scan(options);
   EXPECT_TRUE(report.clean()) << render_text(report);
-  ASSERT_EQ(report.suppressions.size(), 3u);
+  ASSERT_EQ(report.suppressions.size(), 4u);
   EXPECT_EQ(report.suppressions[0].rule, "determinism-unordered-container");
   EXPECT_EQ(report.suppressions[0].line, 9);
   EXPECT_FALSE(report.suppressions[0].justification.empty());
@@ -83,6 +83,8 @@ TEST(LintEngine, SuppressionsHonoredAndCounted) {
   EXPECT_EQ(report.suppressions[1].line, 11);
   EXPECT_EQ(report.suppressions[2].rule, "netd-raw-socket");
   EXPECT_EQ(report.suppressions[2].line, 14);
+  EXPECT_EQ(report.suppressions[3].rule, "zerocopy-vector-payload");
+  EXPECT_EQ(report.suppressions[3].file, "src/net/waived_net.cpp");
 }
 
 TEST(LintEngine, ExplicitPathScansFixturesVerbatim) {

@@ -1,0 +1,12 @@
+// Fixture: a waived zerocopy-vector-payload finding — src/net signatures
+// are span-only, and this is the one sanctioned escape hatch. Never
+// compiled.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+// UNCHARTED-LINT-ALLOW(zerocopy-vector-payload): fixture exercising the owning-payload waiver
+void legacy_sink(const std::vector<std::uint8_t>& payload);
+
+}  // namespace fixture

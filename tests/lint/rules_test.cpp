@@ -187,6 +187,46 @@ TEST(LintRules, SysfaultShimIsExemptFromRawSyscallRules) {
                        "netd-raw-socket"));
 }
 
+TEST(LintRules, VectorPayloadParamsFlaggedInSrcNetOnly) {
+  const std::string by_cref =
+      "void deliver(Timestamp ts, const std::vector<std::uint8_t>& payload);";
+  const std::string by_value =
+      "Status feed(std::vector<std::uint8_t> payload);";
+  const std::string unnamed =
+      "using Sink = std::function<void(const std::vector<std::uint8_t>&)>;";
+  EXPECT_TRUE(
+      has_rule(scan("src/net/x.hpp", by_cref), "zerocopy-vector-payload"));
+  EXPECT_TRUE(
+      has_rule(scan("src/net/x.cpp", by_value), "zerocopy-vector-payload"));
+  EXPECT_TRUE(
+      has_rule(scan("src/net/x.hpp", unnamed), "zerocopy-vector-payload"));
+  // Only src/net carries the span-only contract.
+  EXPECT_FALSE(
+      has_rule(scan("src/iec104/x.hpp", by_cref), "zerocopy-vector-payload"));
+  EXPECT_FALSE(
+      has_rule(scan("tests/net/x.cpp", by_cref), "zerocopy-vector-payload"));
+  // Owning storage stays legal: members, locals, return types, and
+  // constructing a vector at a call site are not payload parameters.
+  EXPECT_TRUE(scan("src/net/x.hpp",
+                   "struct CapturedPacket { std::vector<std::uint8_t> data; };")
+                  .empty());
+  EXPECT_TRUE(
+      scan("src/net/x.cpp", "std::vector<std::uint8_t> owned = read_all();")
+          .empty());
+  EXPECT_TRUE(scan("src/net/x.hpp",
+                   "std::vector<std::uint8_t> take() { return buf_; }")
+                  .empty());
+  EXPECT_TRUE(
+      scan("src/net/x.cpp", "sink(std::vector<std::uint8_t>(first, last));")
+          .empty());
+  // The element type matters: a vector of frames is not a payload buffer.
+  EXPECT_TRUE(
+      scan("src/net/x.hpp", "void add(const std::vector<FrameView>& v);")
+          .empty());
+  EXPECT_TRUE(has_rule(scan("src/net/x.hpp", by_cref + by_value),
+                       "zerocopy-vector-payload"));
+}
+
 TEST(LintRules, CatalogKnowsEveryEmittedRule) {
   EXPECT_TRUE(is_known_rule("determinism-unordered-container"));
   EXPECT_TRUE(is_known_rule("determinism-pointer-key"));
@@ -194,6 +234,7 @@ TEST(LintRules, CatalogKnowsEveryEmittedRule) {
   EXPECT_TRUE(is_known_rule("seq15-raw-arith"));
   EXPECT_TRUE(is_known_rule("decoder-byte-index"));
   EXPECT_TRUE(is_known_rule("decoder-memcpy"));
+  EXPECT_TRUE(is_known_rule("zerocopy-vector-payload"));
   EXPECT_TRUE(is_known_rule("layering-order"));
   EXPECT_TRUE(is_known_rule("layering-cycle"));
   EXPECT_FALSE(is_known_rule("no-such-rule"));

@@ -186,8 +186,9 @@ TEST(StreamDirection, ResetDropsPendingAndReanchors) {
 
 TEST(Reassembler, RstMidStreamResetsBothDirections) {
   std::vector<std::uint8_t> delivered;
-  TcpReassembler r([&](const FlowKey&, const StreamChunk& chunk) {
-    delivered.insert(delivered.end(), chunk.data.begin(), chunk.data.end());
+  TcpReassembler r([&](const FlowKey&, Timestamp,
+                       std::span<const std::uint8_t> data) {
+    delivered.insert(delivered.end(), data.begin(), data.end());
   });
 
   DecodedFrame fwd;
@@ -221,7 +222,9 @@ TEST(Reassembler, RstMidStreamResetsBothDirections) {
 
 TEST(Reassembler, FlushDrainsEveryDirection) {
   std::size_t chunks = 0;
-  TcpReassembler r([&](const FlowKey&, const StreamChunk&) { ++chunks; });
+  TcpReassembler r([&](const FlowKey&, Timestamp, std::span<const std::uint8_t>) {
+    ++chunks;
+  });
   DecodedFrame f;
   f.ip.src = Ipv4Addr::parse("10.0.0.1").value();
   f.ip.dst = Ipv4Addr::parse("10.1.0.2").value();
@@ -242,9 +245,10 @@ TEST(Reassembler, FlushDrainsEveryDirection) {
 
 TEST(Reassembler, RoutesPerDirection) {
   std::map<std::string, std::vector<std::uint8_t>> streams;
-  TcpReassembler r([&](const FlowKey& key, const StreamChunk& chunk) {
+  TcpReassembler r([&](const FlowKey& key, Timestamp,
+                       std::span<const std::uint8_t> data) {
     auto& s = streams[key.str()];
-    s.insert(s.end(), chunk.data.begin(), chunk.data.end());
+    s.insert(s.end(), data.begin(), data.end());
   });
 
   DecodedFrame fwd;

@@ -88,9 +88,10 @@ TEST(SimTcp, PayloadBytesSurviveReassembly) {
   t = conn.send(t + 1000, true, a);
 
   std::map<std::string, std::vector<std::uint8_t>> streams;
-  net::TcpReassembler reasm([&](const net::FlowKey& key, const net::StreamChunk& chunk) {
+  net::TcpReassembler reasm([&](const net::FlowKey& key, Timestamp,
+                                std::span<const std::uint8_t> data) {
     auto& s = streams[key.str()];
-    s.insert(s.end(), chunk.data.begin(), chunk.data.end());
+    s.insert(s.end(), data.begin(), data.end());
   });
   for (const auto& [ts, data] : h.frames) {
     auto f = net::decode_frame(data);
@@ -112,7 +113,8 @@ TEST(SimTcp, RetransmissionInjectionVisibleToReassembler) {
   std::vector<std::uint8_t> payload = {1, 2, 3};
   conn.send(t + 1000, true, payload);
 
-  net::TcpReassembler reasm([](const net::FlowKey&, const net::StreamChunk&) {});
+  net::TcpReassembler reasm(
+      [](const net::FlowKey&, Timestamp, std::span<const std::uint8_t>) {});
   // Frames may be out of time order (dup is timestamped later); sort first.
   std::sort(h.frames.begin(), h.frames.end(),
             [](const auto& x, const auto& y) { return x.first < y.first; });

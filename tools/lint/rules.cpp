@@ -351,6 +351,69 @@ void rule_raw_socket(const FileContext& ctx, const std::vector<Token>& code,
   }
 }
 
+// ---------------------------------------------------------------------------
+// zerocopy-vector-payload
+// ---------------------------------------------------------------------------
+
+/// src/net is the zero-copy substrate: decode-path functions take payload
+/// bytes as std::span views so the mmap'd hot path never materializes a
+/// vector to call them. A `std::vector<std::uint8_t>` parameter reintroduces
+/// an owning-buffer contract (and usually a copy at every call site). The
+/// detector keys on parameter position — a vector-of-bytes type directly
+/// after '(' or ',' followed by a parameter name or the end of the list —
+/// so owning members, locals, and return types stay legal.
+void rule_vector_payload(const FileContext& ctx, const std::vector<Token>& code,
+                         std::vector<Finding>& out) {
+  auto ident = [&](std::size_t j, const char* text) {
+    return j < code.size() && code[j].kind == Tok::kIdent && code[j].text == text;
+  };
+  for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+    if (!is_punct(code[i], "(") && !is_punct(code[i], ",")) continue;
+    std::size_t j = i + 1;
+    if (ident(j, "const")) ++j;
+    if (ident(j, "std") && j + 1 < code.size() && is_punct(code[j + 1], "::")) {
+      j += 2;
+    }
+    if (!ident(j, "vector") || j + 1 >= code.size() ||
+        !is_punct(code[j + 1], "<")) {
+      continue;
+    }
+    const int line = code[j].line;
+    // Walk the template argument list; the element type must be a byte.
+    bool byte_element = false;
+    int depth = 1;
+    std::size_t k = j + 2;
+    for (; k < code.size() && depth > 0; ++k) {
+      const Token& u = code[k];
+      if (u.kind == Tok::kIdent &&
+          (u.text == "uint8_t" || u.text == "byte" || u.text == "char")) {
+        byte_element = true;
+      } else if (u.kind == Tok::kPunct) {
+        if (u.text == "<") ++depth;
+        else if (u.text == ">") --depth;
+        else if (u.text == ">>") depth -= 2;
+        else if (u.text == ";") break;
+      }
+    }
+    if (!byte_element || depth > 0) continue;
+    if (k < code.size() && (is_punct(code[k], "&") || is_punct(code[k], "&&"))) {
+      ++k;
+    }
+    // Parameter, not a call or brace-init: next is the parameter name, a
+    // ',' starting the next parameter, or the ')' closing an unnamed one.
+    if (k >= code.size()) continue;
+    const Token& next = code[k];
+    const bool parameter = next.kind == Tok::kIdent || is_punct(next, ",") ||
+                           is_punct(next, ")") || is_punct(next, "=");
+    if (!parameter) continue;
+    add(out, ctx, "zerocopy-vector-payload", line,
+        "std::vector<std::uint8_t> payload parameter in src/net: the "
+        "zero-copy ingest contract is span-in (std::span<const "
+        "std::uint8_t>); an owning-vector signature forces every mmap'd "
+        "caller to copy");
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rule_catalog() {
@@ -376,6 +439,9 @@ const std::vector<RuleInfo>& rule_catalog() {
        "src/netd (use the reactor/IngestServer/FleetClient); inside netd "
        "and for ::rename/::fsync anywhere, go through faultinject::SysOps "
        "(only sysfault.cpp/RealSysOps touches the kernel directly)"},
+      {"zerocopy-vector-payload",
+       "no std::vector<std::uint8_t> payload parameters in src/net (decode "
+       "paths are span-only; owning buffers stay behind the seam)"},
       {"layering-order",
        "module includes must follow the ranked DAG (util -> net -> decoders "
        "-> analysis -> core)"},
@@ -408,6 +474,9 @@ void run_token_rules(const FileContext& ctx, const std::vector<Token>& tokens,
   rule_seq15(ctx, code, out);
   if (is_decoder_module(ctx)) {
     rule_decoder_bytes(ctx, code, out);
+  }
+  if (ctx.zone == Zone::kSrc && ctx.module == "net") {
+    rule_vector_payload(ctx, code, out);
   }
   if (ctx.zone == Zone::kSrc || ctx.zone == Zone::kBench ||
       ctx.zone == Zone::kExamples) {

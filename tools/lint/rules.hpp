@@ -23,6 +23,10 @@
 //                                    src/netd — live I/O goes through the
 //                                    non-blocking reactor so nothing can
 //                                    stall the analysis path
+//   zerocopy-vector-payload          no std::vector<std::uint8_t> payload
+//                                    parameters in src/net — decode paths
+//                                    are span-only so the mmap'd hot path
+//                                    never copies to call them
 //   layering-order                   module includes must follow the ranked
 //                                    DAG in include_graph.cpp
 //   layering-cycle                   the file-level include graph must be
